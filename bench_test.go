@@ -1,0 +1,267 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/crdt"
+	"repro/internal/experiments"
+	"repro/internal/ot"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// ── Experiment benchmarks ──────────────────────────────────────────────
+//
+// One benchmark per experiment in DESIGN.md's index: each iteration runs
+// the full experiment (a deterministic simulation) with a distinct seed
+// and reports the wall cost of regenerating that table/figure. Run a
+// single experiment's numbers with:
+//
+//	go test -bench=BenchmarkE2 -benchtime=1x -v
+//
+// and print the tables themselves with cmd/ecbench.
+
+func benchExperiment(b *testing.B, run func(seed int64) experiments.Result) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res := run(int64(i + 1))
+		if len(res.Tables) == 0 && len(res.Series) == 0 {
+			b.Fatal("experiment produced no output")
+		}
+	}
+}
+
+func BenchmarkE1ConsistencyLatency(b *testing.B) {
+	benchExperiment(b, experiments.E1ConsistencyLatency)
+}
+
+func BenchmarkE2PBS(b *testing.B) {
+	benchExperiment(b, experiments.E2PBS)
+}
+
+func BenchmarkE3QuorumSweep(b *testing.B) {
+	benchExperiment(b, experiments.E3QuorumSweep)
+}
+
+func BenchmarkE4AntiEntropy(b *testing.B) {
+	benchExperiment(b, experiments.E4AntiEntropy)
+}
+
+func BenchmarkE5CRDT(b *testing.B) {
+	benchExperiment(b, experiments.E5CRDT)
+}
+
+func BenchmarkE6ConflictResolution(b *testing.B) {
+	benchExperiment(b, experiments.E6ConflictResolution)
+}
+
+func BenchmarkE7Partition(b *testing.B) {
+	benchExperiment(b, experiments.E7Partition)
+}
+
+func BenchmarkE8SessionGuarantees(b *testing.B) {
+	benchExperiment(b, experiments.E8SessionGuarantees)
+}
+
+func BenchmarkE9ReplicationThroughput(b *testing.B) {
+	benchExperiment(b, experiments.E9ReplicationThroughput)
+}
+
+func BenchmarkE10SLA(b *testing.B) {
+	benchExperiment(b, experiments.E10SLA)
+}
+
+// ── Micro-benchmarks ───────────────────────────────────────────────────
+//
+// CPU costs of the primitives the experiments lean on: CRDT merges (the
+// ns/op panel of E5), clock comparisons, Merkle updates, storage ops.
+
+func BenchmarkE5CRDTMergeORSet(b *testing.B) {
+	for _, size := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("elems=%d", size), func(b *testing.B) {
+			r := rand.New(rand.NewSource(1))
+			base := crdt.NewORSet[int]("a")
+			other := crdt.NewORSet[int]("b")
+			for i := 0; i < size; i++ {
+				base.Add(r.Intn(size))
+				other.Add(r.Intn(size))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := base.Copy()
+				s.Merge(other)
+			}
+		})
+	}
+}
+
+func BenchmarkE5CRDTMergeGCounter(b *testing.B) {
+	a := crdt.NewGCounter("a")
+	other := crdt.NewGCounter("b")
+	a.Inc(100)
+	other.Inc(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Merge(other)
+	}
+}
+
+func BenchmarkE5CRDTOpORSetApply(b *testing.B) {
+	s := crdt.NewOpORSet[int]("a")
+	ops := make([]crdt.AddOp[int], 1000)
+	src := crdt.NewOpORSet[int]("b")
+	for i := range ops {
+		ops[i] = src.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Apply(ops[i%len(ops)])
+	}
+}
+
+func BenchmarkRGAInsert(b *testing.B) {
+	r := crdt.NewRGA[rune]("a")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Insert(r.Len(), 'x')
+	}
+}
+
+func BenchmarkOTTransform(b *testing.B) {
+	a := ot.InsertOp(5, "x", "s1")
+	d := ot.DeleteOp(2, 4, "s2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ot.Transform(a, d)
+	}
+}
+
+// BenchmarkOTvsRGAEditing compares the two convergence techniques for
+// sequences on the same editing pattern: N sequential inserts at random
+// positions, with one remote op transformed/integrated per local edit.
+func BenchmarkOTvsRGAEditing(b *testing.B) {
+	b.Run("ot-jupiter", func(b *testing.B) {
+		srv := ot.NewServer("")
+		cl := ot.NewClient("c", "", 0)
+		r := rand.New(rand.NewSource(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			docLen := len(cl.Doc())
+			m, ok := cl.Insert(r.Intn(docLen+1), "x")
+			if ok {
+				bm := srv.Submit(m)
+				if m2, ok2 := cl.Receive(bm); ok2 {
+					cl.Receive(srv.Submit(m2))
+				}
+			}
+		}
+	})
+	b.Run("rga", func(b *testing.B) {
+		doc := crdt.NewRGA[rune]("c")
+		r := rand.New(rand.NewSource(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			doc.Insert(r.Intn(doc.Len()+1), 'x')
+		}
+	})
+}
+
+func BenchmarkVectorClockCompare(b *testing.B) {
+	v1 := clock.Vector{"a": 1, "b": 2, "c": 3}
+	v2 := clock.Vector{"a": 2, "b": 1, "c": 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v1.Compare(v2)
+	}
+}
+
+func BenchmarkDVVSiblingAdd(b *testing.B) {
+	var s clock.Siblings[int]
+	ctx := clock.NewVector()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(clock.MintDVV("n", ctx, uint64(i)), i)
+		ctx = s.Context()
+	}
+}
+
+func BenchmarkMerkleUpdate(b *testing.B) {
+	m := storage.NewMerkle(12)
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Update(keys[i%len(keys)], uint64(i))
+	}
+}
+
+func BenchmarkMerkleDiff(b *testing.B) {
+	x, y := storage.NewMerkle(12), storage.NewMerkle(12)
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		x.Update(k, uint64(i))
+		y.Update(k, uint64(i))
+	}
+	y.Update("key-42", 999)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = storage.DiffLeaves(x, y)
+	}
+}
+
+func BenchmarkKVPut(b *testing.B) {
+	kv := storage.NewKV()
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	val := []byte("0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kv.Put(keys[i%len(keys)], val, nil)
+	}
+}
+
+func BenchmarkKVGet(b *testing.B) {
+	kv := storage.NewKV()
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		kv.Put(keys[i], []byte("v"), nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kv.Get(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkZipfianNext(b *testing.B) {
+	z := workload.NewZipfian(100000, 0.99)
+	r := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Next(r)
+	}
+}
+
+func BenchmarkHLCNow(b *testing.B) {
+	var t int64
+	h := clock.NewHLC("n", func() int64 { t++; return t })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Now()
+	}
+}
+
+// Guard against silent drift: the experiment list and the benchmark list
+// must stay in sync.
+func TestEveryExperimentHasABenchmark(t *testing.T) {
+	if len(experiments.All()) != 10 {
+		t.Fatalf("experiment count changed (%d); update bench_test.go", len(experiments.All()))
+	}
+}

@@ -1,0 +1,53 @@
+// Command ecbench runs the evaluation suite (experiments E1–E10 from
+// DESIGN.md) and prints each experiment's tables and series.
+//
+// Usage:
+//
+//	ecbench                  # run everything
+//	ecbench -experiment E2   # one experiment by id ...
+//	ecbench -experiment pbs-staleness   # ... or by name
+//	ecbench -seed 7          # a different deterministic universe
+//	ecbench -list            # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("experiment", "", "experiment id (E1..E10) or name; empty = all")
+		seed = flag.Int64("seed", 1, "simulation seed")
+		list = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+
+	runners := experiments.All()
+	if *exp != "" {
+		r, ok := experiments.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ecbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		res := r.Run(*seed)
+		fmt.Println(res.String())
+		fmt.Printf("(%s completed in %v wall time)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,101 @@
+// Bank: transactions over an eventually consistent store, the tutorial's
+// closing topic. Deposits commute, so they run as RedBlue "blue"
+// operations at any site with no coordination; withdrawals must preserve
+// the non-negative invariant, so they are "red" and serialize through a
+// coordinator. The second act shows escrow reservations: pre-partitioned
+// stock lets even the invariant-sensitive operation run locally most of
+// the time.
+//
+// Run it with: go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/txn"
+)
+
+func main() {
+	redBlue()
+	fmt.Println()
+	escrow()
+}
+
+func redBlue() {
+	fmt.Println("── RedBlue: commutative deposits (blue), coordinated withdrawals (red) ──")
+	cluster := sim.New(sim.Config{Seed: 3, Latency: sim.Uniform(2*time.Millisecond, 8*time.Millisecond)})
+	ids := []string{"frankfurt", "virginia", "singapore"}
+	sites := make([]*txn.Site, len(ids))
+	for i, id := range ids {
+		sites[i] = txn.NewSite(id, txn.Config{Sites: ids})
+		cluster.AddNode(id, sites[i])
+	}
+	env := func(i int) sim.Env { return cluster.ClientEnv(ids[i]) }
+	log := func(f string, a ...any) {
+		fmt.Printf("  t=%-6v %s\n", cluster.Now().Round(time.Millisecond), fmt.Sprintf(f, a...))
+	}
+
+	cluster.At(0, func() {
+		sites[0].Deposit(env(0), "acct:carol", 80)
+		log("frankfurt: deposit 80 (blue, no coordination, acked instantly)")
+		sites[2].Deposit(env(2), "acct:carol", 40)
+		log("singapore: deposit 40 (blue)")
+	})
+	cluster.At(300*time.Millisecond, func() {
+		sites[1].Withdraw(env(1), "acct:carol", 100, func(r txn.RedResult) {
+			log("virginia:  withdraw 100 (red) -> ok=%v", r.OK)
+		})
+		sites[2].Withdraw(env(2), "acct:carol", 100, func(r txn.RedResult) {
+			log("singapore: withdraw 100 (red) -> ok=%v (would overdraw)", r.OK)
+		})
+	})
+	cluster.Run(3 * time.Second)
+	for i, s := range sites {
+		fmt.Printf("  final balance at %-10s %d\n", ids[i]+":", s.Balance("acct:carol"))
+	}
+}
+
+func escrow() {
+	fmt.Println("── Escrow: pre-partitioned stock, local decrements ──")
+	cluster := sim.New(sim.Config{Seed: 4, Latency: sim.Uniform(2*time.Millisecond, 8*time.Millisecond)})
+	ids := []string{"us", "eu"}
+	sites := make([]*txn.EscrowSite, len(ids))
+	for i, id := range ids {
+		sites[i] = txn.NewEscrowSite(id, txn.EscrowConfig{Sites: ids})
+		cluster.AddNode(id, sites[i])
+	}
+	// 100 concert tickets, escrowed 50/50 between regions.
+	sites[0].Seed("tickets", 50)
+	sites[1].Seed("tickets", 50)
+	env := func(i int) sim.Env { return cluster.ClientEnv(ids[i]) }
+	log := func(f string, a ...any) {
+		fmt.Printf("  t=%-6v %s\n", cluster.Now().Round(time.Millisecond), fmt.Sprintf(f, a...))
+	}
+
+	cluster.At(0, func() {
+		sites[0].Consume(env(0), "tickets", 30, func(r txn.EscrowResult) {
+			log("us: sell 30 -> ok=%v transfer-needed=%v", r.OK, r.Transferred)
+		})
+		sites[1].Consume(env(1), "tickets", 45, func(r txn.EscrowResult) {
+			log("eu: sell 45 -> ok=%v transfer-needed=%v", r.OK, r.Transferred)
+		})
+	})
+	// EU wants 15 more but holds only 5: a share transfer tops it up.
+	cluster.At(time.Second, func() {
+		sites[1].Consume(env(1), "tickets", 15, func(r txn.EscrowResult) {
+			log("eu: sell 15 -> ok=%v transfer-needed=%v", r.OK, r.Transferred)
+		})
+	})
+	// Then someone asks for more than the world holds.
+	cluster.At(2*time.Second, func() {
+		sites[0].Consume(env(0), "tickets", 50, func(r txn.EscrowResult) {
+			log("us: sell 50 -> ok=%v (global stock exhausted)", r.OK)
+		})
+	})
+	cluster.Run(5 * time.Second)
+	total := sites[0].Share("tickets") + sites[1].Share("tickets")
+	fmt.Printf("  remaining shares: us=%d eu=%d (total %d of 100 after selling 90)\n",
+		sites[0].Share("tickets"), sites[1].Share("tickets"), total)
+}

@@ -1,0 +1,78 @@
+// Geo-replication with consistency SLAs: a service is deployed with its
+// primary in one region and a user far away. The user's reads carry a
+// Pileus-style SLA ladder — "strong within 30ms is worth 1.0, bounded
+// staleness within 30ms is worth 0.6, eventual within 30ms is worth
+// 0.3" — and the client library routes each read to whichever replica
+// maximizes expected utility. The example prints where each read went and
+// what consistency it actually delivered.
+//
+// Run it with: go run ./examples/georeplication
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/sla"
+)
+
+func main() {
+	geo := &sim.Geo{
+		DC: map[string]string{
+			"primary":   "us-east",
+			"sec-east":  "us-east",
+			"sec-tokyo": "tokyo",
+			"user":      "tokyo",
+		},
+		DefaultDC:  "us-east",
+		Local:      sim.Uniform(300*time.Microsecond, 1200*time.Microsecond),
+		WAN:        map[[2]string]time.Duration{{"us-east", "tokyo"}: 85 * time.Millisecond},
+		DefaultWAN: 85 * time.Millisecond,
+	}
+	cluster := sim.New(sim.Config{Seed: 7, Latency: geo})
+	cfg := sla.ServerConfig{Primary: "primary", SyncInterval: 150 * time.Millisecond}
+	for _, id := range []string{"primary", "sec-east", "sec-tokyo"} {
+		cluster.AddNode(id, sla.NewServer(id, cfg))
+	}
+	user := sla.NewClient("user", "primary", []string{"primary", "sec-east", "sec-tokyo"})
+	cluster.AddNode("user", user)
+	env := cluster.ClientEnv("user")
+
+	ladder := sla.SLA{
+		{Level: sla.Strong, Latency: 30 * time.Millisecond, Utility: 1.0},
+		{Level: sla.Bounded, Bound: 500 * time.Millisecond, Latency: 30 * time.Millisecond, Utility: 0.6},
+		{Level: sla.Eventual, Latency: 30 * time.Millisecond, Utility: 0.3},
+	}
+	names := []string{"strong", "bounded(500ms)", "eventual"}
+
+	var totalUtility float64
+	reads := 0
+	var round func(i int)
+	round = func(i int) {
+		if i >= 8 {
+			return
+		}
+		key := fmt.Sprintf("profile-%d", i%3)
+		user.Write(env, key, []byte(fmt.Sprintf("rev%d", i)), func(sla.WriteResult) {
+			user.Read(env, key, ladder, func(r sla.ReadResult) {
+				delivered := "NONE (SLA missed)"
+				if r.SubIndex >= 0 {
+					delivered = names[r.SubIndex]
+				}
+				fmt.Printf("  read %-10s served by %-10s in %7v -> %-15s utility %.1f\n",
+					key, r.Server, r.Latency.Round(time.Millisecond), delivered, r.Utility)
+				totalUtility += r.Utility
+				reads++
+				cluster.After(200*time.Millisecond, func() { round(i + 1) })
+			})
+		})
+	}
+	fmt.Println("user in Tokyo, primary in us-east (85ms one-way):")
+	cluster.At(time.Second, func() { round(0) })
+	cluster.Run(time.Minute)
+
+	fmt.Printf("\nmean utility %.2f over %d reads\n", totalUtility/float64(reads), reads)
+	fmt.Println("a fixed-primary policy would pay 170ms+ per read and miss the 30ms targets entirely;")
+	fmt.Println("the SLA client reads the Tokyo secondary and earns the bounded/eventual rungs instead.")
+}

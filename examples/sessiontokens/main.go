@@ -1,0 +1,79 @@
+// Session tokens: a web app stores login sessions in a replicated store
+// behind a load balancer that may route each request to a different
+// replica. Without read-your-writes, a user can log in, get bounced to a
+// lagging replica, and be told they are logged out. This example runs the
+// same request sequence with and without session guarantees and prints
+// what the user experiences.
+//
+// Run it with: go run ./examples/sessiontokens
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/session"
+	"repro/internal/sim"
+)
+
+func main() {
+	for _, guarantees := range []struct {
+		name string
+		g    session.Guarantees
+	}{
+		{"no guarantees (plain eventual)", session.Guarantees{}},
+		{"read-your-writes enabled", session.Guarantees{ReadYourWrites: true}},
+	} {
+		fmt.Printf("── %s ──\n", guarantees.name)
+		run(guarantees.g)
+		fmt.Println()
+	}
+}
+
+func run(g session.Guarantees) {
+	cluster := sim.New(sim.Config{Seed: 42, Latency: sim.Uniform(time.Millisecond, 4*time.Millisecond)})
+	// Three replicas that anti-entropy every 400ms — a visible lag.
+	ids := []string{"replica-a", "replica-b", "replica-c"}
+	for _, id := range ids {
+		cfg := session.ServerConfig{AntiEntropyInterval: 400 * time.Millisecond}
+		for _, p := range ids {
+			if p != id {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
+		cluster.AddNode(id, session.NewServer(id, cfg))
+	}
+	user := session.NewClient("user", g)
+	cluster.AddNode("user", user)
+	env := cluster.ClientEnv("user")
+
+	log := func(what string) {
+		fmt.Printf("  t=%-7v %s\n", cluster.Now().Round(time.Millisecond), what)
+	}
+
+	cluster.At(0, func() {
+		// Login handled by replica-a.
+		user.Write(env, "replica-a", "session:alice", []byte("token-123"), func(session.WriteResult) {
+			log(`POST /login        -> replica-a stored session token`)
+			// The next click is load-balanced to replica-c.
+			user.Read(env, "replica-c", "session:alice", func(r session.ReadResult) {
+				if r.OK {
+					log(fmt.Sprintf("GET  /dashboard    -> replica-c: welcome back (%s)", r.Value))
+				} else {
+					log("GET  /dashboard    -> replica-c: 401 LOGGED OUT (read-your-writes anomaly)")
+				}
+				// Later request, after anti-entropy has run.
+				cluster.After(time.Second, func() {
+					user.Read(env, "replica-b", "session:alice", func(r2 session.ReadResult) {
+						if r2.OK {
+							log("GET  /settings     -> replica-b: welcome back")
+						} else {
+							log("GET  /settings     -> replica-b: 401 LOGGED OUT")
+						}
+					})
+				})
+			})
+		})
+	})
+	cluster.Run(5 * time.Second)
+}

@@ -1,0 +1,461 @@
+// Package causal implements a COPS-style causal+ geo-replicated store
+// (Lloyd et al., cited by the tutorial as the strongest consistency
+// compatible with availability and partition tolerance): every operation
+// completes in the client's local data center; writes replicate
+// asynchronously, but a remote data center applies a write only after the
+// write's causal dependencies are locally visible. Convergent conflict
+// handling (last-writer-wins on the version order) resolves concurrent
+// writes identically everywhere.
+//
+// Each data center is a set of shard nodes partitioning the key space
+// (the same layout in every DC). Clients track nearest dependencies;
+// GetTrans provides COPS-GT's two-round causally consistent multi-key
+// snapshot.
+package causal
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Ver identifies a write: a Lamport timestamp plus the shard node that
+// accepted it. Vers are totally ordered, giving the convergent
+// last-writer-wins rule.
+type Ver struct {
+	Time uint64
+	Node string
+}
+
+// IsZero reports whether the version is the sentinel "no version".
+func (v Ver) IsZero() bool { return v == Ver{} }
+
+// Less orders versions (the convergent conflict-resolution order).
+func (v Ver) Less(o Ver) bool {
+	if v.Time != o.Time {
+		return v.Time < o.Time
+	}
+	return v.Node < o.Node
+}
+
+// AtLeast reports v >= o.
+func (v Ver) AtLeast(o Ver) bool { return !v.Less(o) }
+
+// String implements fmt.Stringer.
+func (v Ver) String() string { return fmt.Sprintf("%d@%s", v.Time, v.Node) }
+
+// Dep is a causal dependency: key must be at version Ver or newer before
+// the depending write may become visible.
+type Dep struct {
+	Key string
+	Ver Ver
+}
+
+// Topology describes the DC/shard layout, shared by all nodes.
+type Topology struct {
+	// DCs lists data center names.
+	DCs []string
+	// ShardsPerDC is how many shard nodes each DC runs.
+	ShardsPerDC int
+}
+
+// NodeID names the shard node for (dc, shard).
+func (t Topology) NodeID(dc string, shard int) string {
+	return fmt.Sprintf("%s-shard%d", dc, shard)
+}
+
+// ShardOf maps a key to its shard index.
+func (t Topology) ShardOf(key string) int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(t.ShardsPerDC))
+}
+
+// OwnerIn returns the node owning key in the given DC.
+func (t Topology) OwnerIn(dc, key string) string {
+	return t.NodeID(dc, t.ShardOf(key))
+}
+
+// stored is one version of a key kept by a shard.
+type stored struct {
+	Value []byte
+	Ver   Ver
+	Deps  []Dep
+}
+
+// Protocol messages.
+type (
+	cput struct {
+		ID   uint64
+		Key  string
+		Val  []byte
+		Deps []Dep
+	}
+	cputResp struct {
+		ID  uint64
+		Key string
+		Ver Ver
+	}
+	cget struct {
+		ID  uint64
+		Key string
+	}
+	cgetResp struct {
+		ID   uint64
+		Key  string
+		Val  []byte
+		Ver  Ver
+		Deps []Dep
+		OK   bool
+	}
+	// cgetAt requests the exact version named (COPS-GT round 2).
+	cgetAt struct {
+		ID  uint64
+		Key string
+		Ver Ver
+	}
+	// repl carries a write to the same shard in another DC.
+	repl struct {
+		Key  string
+		Val  []byte
+		Ver  Ver
+		Deps []Dep
+	}
+	// replAck confirms a replicated write was received (it may still be
+	// waiting on dependencies); the origin stops retransmitting it.
+	replAck struct {
+		Ver Ver
+	}
+	// depCheck asks the local owner of a dependency to confirm (and, if
+	// needed, wait for) its visibility.
+	depCheck struct {
+		ID  uint64
+		Dep Dep
+	}
+	depCheckResp struct {
+		ID uint64
+	}
+)
+
+// Size implements the sim bandwidth hook.
+func (m repl) Size() int { return len(m.Key) + len(m.Val) + 16 + 24*len(m.Deps) }
+
+// pendingRepl is a replicated write waiting for its dependency checks.
+type pendingRepl struct {
+	w       repl
+	waiting int
+}
+
+// Node is one shard of one data center. It implements sim.Handler.
+type Node struct {
+	topo  Topology
+	dc    string
+	shard int
+	id    string
+
+	lamport uint64
+	// history holds all versions per key, newest last, so GT round 2 can
+	// read named versions.
+	history map[string][]stored
+
+	nextCheck uint64
+	pending   map[uint64]*pendingRepl // check id -> waiting write
+	// blockedChecks holds dep checks from same-DC peers that are not yet
+	// satisfied, keyed by the dependency key.
+	blockedChecks map[string][]blockedCheck
+
+	// unacked holds outbound replications not yet acknowledged, per
+	// destination node, for periodic retransmission (reliable eventual
+	// delivery across loss and crashes).
+	unacked map[string]map[Ver]repl
+	// seen records (by version) writes already received, so retransmits
+	// are acked but not re-processed.
+	seen map[Ver]struct{}
+	// checksOut tracks dep checks sent to same-DC peers and not yet
+	// answered, for retransmission (the peer may have been down).
+	checksOut map[uint64]outCheck
+
+	// Replicated counts writes applied from remote DCs.
+	Replicated uint64
+	// Retransmits counts replication retransmissions.
+	Retransmits uint64
+}
+
+// retransmitInterval paces replication retransmission.
+const retransmitInterval = 200 * time.Millisecond
+
+type retransmitTick struct{}
+
+type blockedCheck struct {
+	from string
+	id   uint64
+	dep  Dep
+}
+
+// outCheck is an unanswered dep check sent to a same-DC peer.
+type outCheck struct {
+	owner string
+	dep   Dep
+}
+
+// NewNode returns the shard node for (dc, shard).
+func NewNode(topo Topology, dc string, shard int) *Node {
+	return &Node{
+		topo:          topo,
+		dc:            dc,
+		shard:         shard,
+		id:            topo.NodeID(dc, shard),
+		history:       make(map[string][]stored),
+		pending:       make(map[uint64]*pendingRepl),
+		blockedChecks: make(map[string][]blockedCheck),
+		unacked:       make(map[string]map[Ver]repl),
+		seen:          make(map[Ver]struct{}),
+		checksOut:     make(map[uint64]outCheck),
+	}
+}
+
+// ID returns the node's simulator id.
+func (n *Node) ID() string { return n.id }
+
+// OnStart implements sim.Handler.
+func (n *Node) OnStart(env sim.Env) {
+	env.SetTimer(retransmitInterval, retransmitTick{})
+}
+
+// OnTimer implements sim.Handler.
+func (n *Node) OnTimer(env sim.Env, tag any) {
+	if _, ok := tag.(retransmitTick); !ok {
+		return
+	}
+	for dest, writes := range n.unacked {
+		for _, w := range writes {
+			env.Send(dest, w)
+			n.Retransmits++
+		}
+	}
+	for id, oc := range n.checksOut {
+		env.Send(oc.owner, depCheck{ID: id, Dep: oc.dep})
+		n.Retransmits++
+	}
+	env.SetTimer(retransmitInterval, retransmitTick{})
+}
+
+// OnMessage implements sim.Handler.
+func (n *Node) OnMessage(env sim.Env, from string, msg sim.Message) {
+	switch m := msg.(type) {
+	case cput:
+		n.handlePut(env, from, m)
+	case cget:
+		n.handleGet(env, from, m)
+	case cgetAt:
+		n.handleGetAt(env, from, m)
+	case repl:
+		// Ack receipt (even for duplicates) so the origin stops
+		// retransmitting; process each version once.
+		env.Send(from, replAck{Ver: m.Ver})
+		if _, dup := n.seen[m.Ver]; dup {
+			return
+		}
+		n.seen[m.Ver] = struct{}{}
+		n.handleRepl(env, m)
+	case replAck:
+		if w, ok := n.unacked[from]; ok {
+			delete(w, m.Ver)
+			if len(w) == 0 {
+				delete(n.unacked, from)
+			}
+		}
+	case depCheck:
+		n.handleDepCheck(env, from, m)
+	case depCheckResp:
+		n.handleDepCheckResp(env, m.ID)
+	}
+}
+
+func (n *Node) latest(key string) (stored, bool) {
+	h := n.history[key]
+	if len(h) == 0 {
+		return stored{}, false
+	}
+	return h[len(h)-1], true
+}
+
+// install adds a version to the key's history, keeping newest-last order.
+// Returns false if the exact version is already present.
+func (n *Node) install(key string, s stored) bool {
+	h := n.history[key]
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i].Ver == s.Ver {
+			return false
+		}
+		if h[i].Ver.Less(s.Ver) {
+			// Insert after i.
+			h = append(h, stored{})
+			copy(h[i+2:], h[i+1:])
+			h[i+1] = s
+			n.history[key] = h
+			return true
+		}
+	}
+	n.history[key] = append([]stored{s}, h...)
+	return true
+}
+
+func (n *Node) handlePut(env sim.Env, client string, m cput) {
+	n.lamport++
+	ver := Ver{Time: n.lamport, Node: n.id}
+	s := stored{Value: m.Val, Ver: ver, Deps: m.Deps}
+	n.install(m.Key, s)
+	n.wakeBlocked(env, m.Key)
+	env.Send(client, cputResp{ID: m.ID, Key: m.Key, Ver: ver})
+	// Replicate asynchronously to the same shard in every other DC,
+	// retransmitting until acknowledged.
+	w := repl{Key: m.Key, Val: m.Val, Ver: ver, Deps: m.Deps}
+	for _, dc := range n.topo.DCs {
+		if dc == n.dc {
+			continue
+		}
+		dest := n.topo.NodeID(dc, n.shard)
+		if n.unacked[dest] == nil {
+			n.unacked[dest] = make(map[Ver]repl)
+		}
+		n.unacked[dest][ver] = w
+		env.Send(dest, w)
+	}
+}
+
+func (n *Node) handleGet(env sim.Env, client string, m cget) {
+	s, ok := n.latest(m.Key)
+	env.Send(client, cgetResp{ID: m.ID, Key: m.Key, Val: s.Value, Ver: s.Ver, Deps: s.Deps, OK: ok})
+}
+
+func (n *Node) handleGetAt(env sim.Env, client string, m cgetAt) {
+	// Return the exact named version; COPS-GT guarantees it exists by
+	// the time round 2 runs (it was a dependency of a visible write), but
+	// replication races make "not yet" possible — then fall back to the
+	// newest version at or after it, or the latest available.
+	h := n.history[m.Key]
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i].Ver == m.Ver {
+			env.Send(client, cgetResp{ID: m.ID, Key: m.Key, Val: h[i].Value, Ver: h[i].Ver, Deps: h[i].Deps, OK: true})
+			return
+		}
+	}
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i].Ver.AtLeast(m.Ver) {
+			env.Send(client, cgetResp{ID: m.ID, Key: m.Key, Val: h[i].Value, Ver: h[i].Ver, Deps: h[i].Deps, OK: true})
+			return
+		}
+	}
+	s, ok := n.latest(m.Key)
+	env.Send(client, cgetResp{ID: m.ID, Key: m.Key, Val: s.Value, Ver: s.Ver, Deps: s.Deps, OK: ok})
+}
+
+// handleRepl processes a write arriving from a remote DC: check its
+// dependencies against the local DC before making it visible.
+func (n *Node) handleRepl(env sim.Env, m repl) {
+	if n.lamport < m.Ver.Time {
+		n.lamport = m.Ver.Time // keep Lamport order consistent with versions
+	}
+	if len(m.Deps) == 0 {
+		n.apply(env, m)
+		return
+	}
+	p := &pendingRepl{w: m}
+	for _, d := range m.Deps {
+		owner := n.topo.OwnerIn(n.dc, d.Key)
+		n.nextCheck++
+		id := n.nextCheck
+		n.pending[id] = p
+		p.waiting++
+		if owner == n.id {
+			// Local dependency: check directly (and block if unmet).
+			n.handleDepCheck(env, n.id, depCheck{ID: id, Dep: d})
+		} else {
+			n.checksOut[id] = outCheck{owner: owner, dep: d}
+			env.Send(owner, depCheck{ID: id, Dep: d})
+		}
+	}
+}
+
+func (n *Node) apply(env sim.Env, m repl) {
+	if n.install(m.Key, stored{Value: m.Val, Ver: m.Ver, Deps: m.Deps}) {
+		n.Replicated++
+		n.wakeBlocked(env, m.Key)
+	}
+}
+
+func (n *Node) depSatisfied(d Dep) bool {
+	s, ok := n.latest(d.Key)
+	return ok && s.Ver.AtLeast(d.Ver)
+}
+
+func (n *Node) handleDepCheck(env sim.Env, from string, m depCheck) {
+	if n.depSatisfied(m.Dep) {
+		if from == n.id {
+			n.handleDepCheckResp(env, m.ID)
+		} else {
+			env.Send(from, depCheckResp{ID: m.ID})
+		}
+		return
+	}
+	n.blockedChecks[m.Dep.Key] = append(n.blockedChecks[m.Dep.Key], blockedCheck{from: from, id: m.ID, dep: m.Dep})
+}
+
+// wakeBlocked re-evaluates dep checks blocked on key after a new version
+// became visible.
+func (n *Node) wakeBlocked(env sim.Env, key string) {
+	blocked := n.blockedChecks[key]
+	if len(blocked) == 0 {
+		return
+	}
+	var still []blockedCheck
+	for _, b := range blocked {
+		if n.depSatisfied(b.dep) {
+			if b.from == n.id {
+				n.handleDepCheckResp(env, b.id)
+			} else {
+				env.Send(b.from, depCheckResp{ID: b.id})
+			}
+		} else {
+			still = append(still, b)
+		}
+	}
+	if len(still) == 0 {
+		delete(n.blockedChecks, key)
+	} else {
+		n.blockedChecks[key] = still
+	}
+}
+
+func (n *Node) handleDepCheckResp(env sim.Env, id uint64) {
+	p, ok := n.pending[id]
+	if !ok {
+		return
+	}
+	delete(n.pending, id)
+	delete(n.checksOut, id)
+	p.waiting--
+	if p.waiting == 0 {
+		n.apply(env, p.w)
+	}
+}
+
+// VisibleValue exposes the locally visible latest value, for experiments
+// measuring replication lag and anomaly rates.
+func (n *Node) VisibleValue(key string) ([]byte, Ver, bool) {
+	s, ok := n.latest(key)
+	return s.Value, s.Ver, ok
+}
+
+// PendingReplications returns how many remote writes are still blocked on
+// dependencies here.
+func (n *Node) PendingReplications() int {
+	seen := map[*pendingRepl]bool{}
+	for _, p := range n.pending {
+		seen[p] = true
+	}
+	return len(seen)
+}

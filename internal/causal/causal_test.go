@@ -1,0 +1,366 @@
+package causal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// geoCluster builds a topology with the given DCs/shards on a Geo latency
+// model (1ms local, 40ms one-way WAN) and returns the cluster plus all
+// shard nodes indexed [dc][shard].
+func geoCluster(t *testing.T, topo Topology, seed int64) (*sim.Cluster, map[string][]*Node) {
+	t.Helper()
+	dcOf := map[string]string{}
+	nodes := map[string][]*Node{}
+	for _, dc := range topo.DCs {
+		for s := 0; s < topo.ShardsPerDC; s++ {
+			dcOf[topo.NodeID(dc, s)] = dc
+		}
+	}
+	geo := &sim.Geo{
+		DC:         dcOf,
+		DefaultDC:  topo.DCs[0],
+		Local:      sim.Uniform(500*time.Microsecond, 1500*time.Microsecond),
+		WAN:        map[[2]string]time.Duration{},
+		DefaultWAN: 40 * time.Millisecond,
+	}
+	c := sim.New(sim.Config{Seed: seed, Latency: geo})
+	for _, dc := range topo.DCs {
+		for s := 0; s < topo.ShardsPerDC; s++ {
+			n := NewNode(topo, dc, s)
+			nodes[dc] = append(nodes[dc], n)
+			c.AddNode(n.ID(), n)
+		}
+	}
+	return c, nodes
+}
+
+// addClient registers a client homed in dc. Its geo placement defaults to
+// DefaultDC; home it properly by mapping its id.
+func addClient(c *sim.Cluster, topo Topology, dc, id string) (*Client, sim.Env) {
+	cl := NewClient(topo, dc, id)
+	c.AddNode(id, cl)
+	return cl, c.ClientEnv(id)
+}
+
+func TestLocalPutGet(t *testing.T) {
+	topo := Topology{DCs: []string{"us", "eu"}, ShardsPerDC: 2}
+	c, _ := geoCluster(t, topo, 1)
+	cl, env := addClient(c, topo, "us", "client")
+	var got GetResult
+	c.At(0, func() {
+		cl.Put(env, "k", []byte("v"), func(PutResult) {
+			cl.Get(env, "k", func(r GetResult) { got = r })
+		})
+	})
+	c.Run(time.Second)
+	if !got.OK || string(got.Value) != "v" {
+		t.Fatalf("get = %+v", got)
+	}
+}
+
+func TestAsyncReplicationReachesRemoteDC(t *testing.T) {
+	topo := Topology{DCs: []string{"us", "eu"}, ShardsPerDC: 2}
+	c, nodes := geoCluster(t, topo, 2)
+	cl, env := addClient(c, topo, "us", "client")
+	c.At(0, func() { cl.Put(env, "k", []byte("v"), nil) })
+	c.Run(time.Second)
+	shard := topo.ShardOf("k")
+	v, _, ok := nodes["eu"][shard].VisibleValue("k")
+	if !ok || string(v) != "v" {
+		t.Fatalf("eu replica = %q ok=%v", v, ok)
+	}
+}
+
+// TestCausalOrderAcrossKeys is the canonical causal anomaly test: write
+// post, then write comment (which depends on post). The remote DC must
+// never make the comment visible before the post.
+func TestCausalOrderAcrossKeys(t *testing.T) {
+	topo := Topology{DCs: []string{"us", "eu"}, ShardsPerDC: 4}
+	// Find two keys on different shards.
+	post, comment := "post", ""
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("comment%d", i)
+		if topo.ShardOf(k) != topo.ShardOf(post) {
+			comment = k
+			break
+		}
+	}
+	for trial := int64(0); trial < 10; trial++ {
+		c, nodes := geoCluster(t, topo, 100+trial)
+		cl, env := addClient(c, topo, "us", "client")
+		c.At(0, func() {
+			cl.Put(env, post, []byte("the post"), func(PutResult) {
+				cl.Put(env, comment, []byte("the comment"), nil)
+			})
+		})
+		// Poll the EU DC: whenever the comment is visible, the post must
+		// be visible too.
+		violations := 0
+		euPost := nodes["eu"][topo.ShardOf(post)]
+		euComment := nodes["eu"][topo.ShardOf(comment)]
+		var poll func()
+		poll = func() {
+			_, _, commentVisible := euComment.VisibleValue(comment)
+			_, _, postVisible := euPost.VisibleValue(post)
+			if commentVisible && !postVisible {
+				violations++
+			}
+			if c.Now() < 500*time.Millisecond {
+				c.After(time.Millisecond, poll)
+			}
+		}
+		c.At(0, poll)
+		c.Run(time.Second)
+		if violations > 0 {
+			t.Fatalf("trial %d: comment visible before post %d times", trial, violations)
+		}
+		// And both must eventually be visible.
+		if _, _, ok := euComment.VisibleValue(comment); !ok {
+			t.Fatalf("trial %d: comment never replicated", trial)
+		}
+	}
+}
+
+func TestDepCheckBlocksUntilDependencyArrives(t *testing.T) {
+	// Force the dependency to arrive late by writing post and comment
+	// from different *shards* where the post's replication is much
+	// slower. We emulate slowness with a partition: block the post
+	// shard's WAN traffic, write both, then heal.
+	topo := Topology{DCs: []string{"us", "eu"}, ShardsPerDC: 4}
+	post := "post"
+	comment := ""
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("c%d", i)
+		if topo.ShardOf(k) != topo.ShardOf(post) {
+			comment = k
+			break
+		}
+	}
+	c, nodes := geoCluster(t, topo, 7)
+	cl, env := addClient(c, topo, "us", "client")
+	postOwnerUS := topo.OwnerIn("us", post)
+	var others []string
+	for _, id := range c.Nodes() {
+		if id != postOwnerUS {
+			others = append(others, id)
+		}
+	}
+	c.At(0, func() {
+		// Cut the post's US shard off (its replication will be delayed)
+		// but keep the client able to reach it? The client needs it for
+		// the put. Instead: do the put first, then partition before
+		// replication arrives is racy. Simpler: partition eu's post
+		// shard away so the repl message is dropped... dropped is
+		// forever. Use crash/restart: crash eu post shard, write, then
+		// restart — repl is lost, so this tests the *blocking*: comment
+		// must stay invisible forever since its dep never arrives.
+		c.Crash(topo.OwnerIn("eu", post))
+		cl.Put(env, post, []byte("P"), func(PutResult) {
+			cl.Put(env, comment, []byte("C"), nil)
+		})
+	})
+	_ = others
+	c.Run(2 * time.Second)
+	euComment := nodes["eu"][topo.ShardOf(comment)]
+	if _, _, ok := euComment.VisibleValue(comment); ok {
+		t.Fatal("comment became visible although its dependency can never arrive")
+	}
+	if euComment.PendingReplications() != 1 {
+		t.Fatalf("pending = %d, want 1 blocked write", euComment.PendingReplications())
+	}
+}
+
+func TestReplicationSurvivesCrashAndRestart(t *testing.T) {
+	// The dependency shard is down when the write replicates; after it
+	// restarts, retransmission delivers the post, the dep check clears,
+	// and the blocked comment becomes visible. (Volatile state is kept by
+	// the handler across restart, modeling a reboot with durable storage.)
+	topo := Topology{DCs: []string{"us", "eu"}, ShardsPerDC: 4}
+	post := "post"
+	comment := ""
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("c%d", i)
+		if topo.ShardOf(k) != topo.ShardOf(post) {
+			comment = k
+			break
+		}
+	}
+	c, nodes := geoCluster(t, topo, 21)
+	cl, env := addClient(c, topo, "us", "client")
+	euPostShard := topo.OwnerIn("eu", post)
+	c.At(0, func() {
+		c.Crash(euPostShard)
+		cl.Put(env, post, []byte("P"), func(PutResult) {
+			cl.Put(env, comment, []byte("C"), nil)
+		})
+	})
+	c.At(2*time.Second, func() { c.Restart(euPostShard) })
+	c.Run(10 * time.Second)
+	euPost := nodes["eu"][topo.ShardOf(post)]
+	euComment := nodes["eu"][topo.ShardOf(comment)]
+	if v, _, ok := euPost.VisibleValue(post); !ok || string(v) != "P" {
+		t.Fatalf("post never recovered after restart: %q ok=%v", v, ok)
+	}
+	if v, _, ok := euComment.VisibleValue(comment); !ok || string(v) != "C" {
+		t.Fatalf("comment never unblocked after dependency recovered: %q ok=%v", v, ok)
+	}
+	if euComment.PendingReplications() != 0 {
+		t.Fatalf("pending = %d after recovery", euComment.PendingReplications())
+	}
+}
+
+func TestReplicationSurvivesMessageLoss(t *testing.T) {
+	topo := Topology{DCs: []string{"us", "eu"}, ShardsPerDC: 2}
+	dcOf := map[string]string{}
+	for _, dc := range topo.DCs {
+		for s := 0; s < topo.ShardsPerDC; s++ {
+			dcOf[topo.NodeID(dc, s)] = dc
+		}
+	}
+	geo := &sim.Geo{
+		DC: dcOf, DefaultDC: "us",
+		Local:      sim.Uniform(500*time.Microsecond, 1500*time.Microsecond),
+		WAN:        map[[2]string]time.Duration{},
+		DefaultWAN: 40 * time.Millisecond,
+	}
+	c := sim.New(sim.Config{Seed: 23, Latency: sim.Lossy(geo, 0.3)})
+	nodes := map[string][]*Node{}
+	for _, dc := range topo.DCs {
+		for s := 0; s < topo.ShardsPerDC; s++ {
+			n := NewNode(topo, dc, s)
+			nodes[dc] = append(nodes[dc], n)
+			c.AddNode(n.ID(), n)
+		}
+	}
+	cl := NewClient(topo, "us", "client")
+	c.AddNode("client", cl)
+	env := c.ClientEnv("client")
+	c.At(0, func() {
+		for i := 0; i < 10; i++ {
+			cl.Put(env, fmt.Sprintf("k%d", i), []byte("v"), nil)
+		}
+	})
+	c.Run(30 * time.Second)
+	retrans := uint64(0)
+	for _, ns := range nodes {
+		for _, n := range ns {
+			retrans += n.Retransmits
+		}
+	}
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("k%d", i)
+		v, _, ok := nodes["eu"][topo.ShardOf(key)].VisibleValue(key)
+		if !ok || string(v) != "v" {
+			t.Fatalf("key %s never replicated under 30%% loss (retransmits=%d)", key, retrans)
+		}
+	}
+	if retrans == 0 {
+		t.Fatal("30% loss but zero retransmissions; recovery path untested")
+	}
+}
+
+func TestLWWConvergenceOnConcurrentWrites(t *testing.T) {
+	topo := Topology{DCs: []string{"us", "eu"}, ShardsPerDC: 2}
+	c, nodes := geoCluster(t, topo, 9)
+	clUS, envUS := addClient(c, topo, "us", "client-us")
+	clEU, envEU := addClient(c, topo, "eu", "client-eu")
+	c.At(0, func() {
+		clUS.Put(envUS, "k", []byte("us-val"), nil)
+		clEU.Put(envEU, "k", []byte("eu-val"), nil)
+	})
+	c.Run(2 * time.Second)
+	shard := topo.ShardOf("k")
+	vUS, verUS, _ := nodes["us"][shard].VisibleValue("k")
+	vEU, verEU, _ := nodes["eu"][shard].VisibleValue("k")
+	if string(vUS) != string(vEU) || verUS != verEU {
+		t.Fatalf("DCs diverged: us=%q(%v) eu=%q(%v)", vUS, verUS, vEU, verEU)
+	}
+}
+
+func TestGetTransReturnsConsistentSnapshot(t *testing.T) {
+	// Album-ACL anomaly from the COPS paper: alice sets acl=private then
+	// adds photo. A GT at the remote DC must never return (new photo, old
+	// public acl).
+	topo := Topology{DCs: []string{"us", "eu"}, ShardsPerDC: 4}
+	acl, photo := "acl", ""
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("photo%d", i)
+		if topo.ShardOf(k) != topo.ShardOf(acl) {
+			photo = k
+			break
+		}
+	}
+	c, _ := geoCluster(t, topo, 11)
+	alice, envA := addClient(c, topo, "us", "alice")
+	bob, envB := addClient(c, topo, "eu", "bob")
+	c.At(0, func() {
+		alice.Put(envA, acl, []byte("public"), func(PutResult) {
+			alice.Put(envA, photo, []byte("old"), nil)
+		})
+	})
+	c.At(200*time.Millisecond, func() {
+		alice.Put(envA, acl, []byte("private"), func(PutResult) {
+			alice.Put(envA, photo, []byte("secret"), nil)
+		})
+	})
+	anomalies := 0
+	checks := 0
+	var snap func()
+	snap = func() {
+		bob.GetTrans(envB, []string{acl, photo}, func(res map[string]GetResult) {
+			checks++
+			if string(res[photo].Value) == "secret" && string(res[acl].Value) != "private" {
+				anomalies++
+			}
+		})
+		if c.Now() < 600*time.Millisecond {
+			c.After(3*time.Millisecond, snap)
+		}
+	}
+	c.At(0, snap)
+	c.Run(2 * time.Second)
+	if checks == 0 {
+		t.Fatal("no snapshots taken")
+	}
+	if anomalies > 0 {
+		t.Fatalf("%d/%d GT snapshots exposed secret photo with stale ACL", anomalies, checks)
+	}
+}
+
+func TestClientContextResetsAfterPut(t *testing.T) {
+	topo := Topology{DCs: []string{"us"}, ShardsPerDC: 1}
+	c, _ := geoCluster(t, topo, 3)
+	cl, env := addClient(c, topo, "us", "client")
+	c.At(0, func() {
+		cl.Get(env, "a", nil)
+		cl.Get(env, "b", nil)
+	})
+	c.At(100*time.Millisecond, func() {
+		cl.Put(env, "c", []byte("v"), nil)
+	})
+	c.Run(time.Second)
+	if len(cl.deps) != 1 {
+		t.Fatalf("deps after put = %v, want just the put", cl.deps)
+	}
+	if _, ok := cl.deps["c"]; !ok {
+		t.Fatalf("deps = %v, want c", cl.deps)
+	}
+}
+
+func TestTopologyShardStable(t *testing.T) {
+	topo := Topology{DCs: []string{"a", "b"}, ShardsPerDC: 4}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("key%d", i)
+		s := topo.ShardOf(k)
+		if s < 0 || s >= 4 {
+			t.Fatalf("shard %d out of range", s)
+		}
+		if topo.OwnerIn("a", k) != topo.NodeID("a", s) {
+			t.Fatal("owner mismatch")
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package causal
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Client is a causal+ client library bound to one data center. It tracks
+// nearest dependencies: each get or put folds into the context the next
+// put carries, so causality observed by this client is preserved
+// everywhere. Register the Client as a simulator node; issue operations
+// from scheduled callbacks.
+type Client struct {
+	topo Topology
+	dc   string
+	id   string
+
+	nextID uint64
+	// deps are the nearest dependencies for the next put.
+	deps map[string]Ver
+
+	getCBs map[uint64]func(GetResult)
+	putCBs map[uint64]func(PutResult)
+	gts    map[uint64]*gtState
+
+	// outstanding holds the wire message for each incomplete single-key
+	// op, for retransmission on timeout (at-least-once: a retried put
+	// may commit twice as two versions of the same value, which LWW
+	// collapses).
+	outstanding map[uint64]sim.Message
+
+	// RequestTimeout paces retransmission of unanswered requests
+	// (default 1s).
+	RequestTimeout time.Duration
+}
+
+type clientRetry struct{ id uint64 }
+
+// GetResult is the completion of a single-key read.
+type GetResult struct {
+	Key   string
+	Value []byte
+	Ver   Ver
+	OK    bool
+}
+
+// PutResult is the completion of a write.
+type PutResult struct {
+	Key string
+	Ver Ver
+}
+
+// gtState drives one GetTrans through its two rounds.
+type gtState struct {
+	keys    []string
+	results map[string]GetResult
+	pending int
+	round   int
+	cb      func(map[string]GetResult)
+	deps    map[string][]Dep // deps of each round-1 result
+}
+
+// NewClient returns a client homed in dc with the given simulator id.
+func NewClient(topo Topology, dc, id string) *Client {
+	return &Client{
+		topo:           topo,
+		dc:             dc,
+		id:             id,
+		deps:           make(map[string]Ver),
+		getCBs:         make(map[uint64]func(GetResult)),
+		putCBs:         make(map[uint64]func(PutResult)),
+		gts:            make(map[uint64]*gtState),
+		outstanding:    make(map[uint64]sim.Message),
+		RequestTimeout: time.Second,
+	}
+}
+
+// OnStart implements sim.Handler.
+func (c *Client) OnStart(sim.Env) {}
+
+// OnTimer implements sim.Handler.
+func (c *Client) OnTimer(env sim.Env, tag any) {
+	t, ok := tag.(clientRetry)
+	if !ok {
+		return
+	}
+	msg, ok := c.outstanding[t.id]
+	if !ok {
+		return
+	}
+	switch m := msg.(type) {
+	case cput:
+		env.Send(c.topo.OwnerIn(c.dc, m.Key), m)
+	case cget:
+		env.Send(c.topo.OwnerIn(c.dc, m.Key), m)
+	}
+	env.SetTimer(c.RequestTimeout, clientRetry{id: t.id})
+}
+
+// OnMessage implements sim.Handler.
+func (c *Client) OnMessage(env sim.Env, _ string, msg sim.Message) {
+	switch m := msg.(type) {
+	case cputResp:
+		cb, ok := c.putCBs[m.ID]
+		if !ok {
+			return // duplicate response to a retried put
+		}
+		delete(c.putCBs, m.ID)
+		delete(c.outstanding, m.ID)
+		// The new write subsumes all previous dependencies (transitivity
+		// of causal order): the context resets to just this write.
+		c.deps = map[string]Ver{m.Key: m.Ver}
+		if cb != nil {
+			cb(PutResult{Key: m.Key, Ver: m.Ver})
+		}
+	case cgetResp:
+		if st, ok := c.gts[m.ID]; ok {
+			c.gtResponse(env, m.ID, st, m)
+			return
+		}
+		cb, ok := c.getCBs[m.ID]
+		if !ok {
+			return // duplicate response to a retried get
+		}
+		delete(c.getCBs, m.ID)
+		delete(c.outstanding, m.ID)
+		if m.OK {
+			c.observe(m.Key, m.Ver)
+		}
+		if cb != nil {
+			cb(GetResult{Key: m.Key, Value: m.Val, Ver: m.Ver, OK: m.OK})
+		}
+	}
+}
+
+// observe folds a read version into the nearest-dependency context.
+func (c *Client) observe(key string, v Ver) {
+	if cur, ok := c.deps[key]; !ok || cur.Less(v) {
+		c.deps[key] = v
+	}
+}
+
+func (c *Client) currentDeps() []Dep {
+	out := make([]Dep, 0, len(c.deps))
+	for k, v := range c.deps {
+		out = append(out, Dep{Key: k, Ver: v})
+	}
+	return out
+}
+
+// Put writes key=value at the local DC, carrying the client's nearest
+// dependencies.
+func (c *Client) Put(env sim.Env, key string, value []byte, cb func(PutResult)) {
+	c.nextID++
+	msg := cput{ID: c.nextID, Key: key, Val: value, Deps: c.currentDeps()}
+	c.putCBs[c.nextID] = cb
+	c.outstanding[c.nextID] = msg
+	env.Send(c.topo.OwnerIn(c.dc, key), msg)
+	env.SetTimer(c.RequestTimeout, clientRetry{id: c.nextID})
+}
+
+// Get reads key at the local DC.
+func (c *Client) Get(env sim.Env, key string, cb func(GetResult)) {
+	c.nextID++
+	msg := cget{ID: c.nextID, Key: key}
+	c.getCBs[c.nextID] = cb
+	c.outstanding[c.nextID] = msg
+	env.Send(c.topo.OwnerIn(c.dc, key), msg)
+	env.SetTimer(c.RequestTimeout, clientRetry{id: c.nextID})
+}
+
+// GetTrans reads a set of keys as a causally consistent snapshot using
+// the COPS-GT two-round algorithm: round 1 fetches all keys with their
+// dependency lists; any key older than a dependency another result names
+// is re-fetched at that named version in round 2.
+func (c *Client) GetTrans(env sim.Env, keys []string, cb func(map[string]GetResult)) {
+	c.nextID++
+	id := c.nextID
+	st := &gtState{
+		keys:    keys,
+		results: make(map[string]GetResult, len(keys)),
+		pending: len(keys),
+		round:   1,
+		cb:      cb,
+		deps:    make(map[string][]Dep),
+	}
+	c.gts[id] = st
+	for _, k := range keys {
+		env.Send(c.topo.OwnerIn(c.dc, k), cget{ID: id, Key: k})
+	}
+}
+
+func (c *Client) gtResponse(env sim.Env, id uint64, st *gtState, m cgetResp) {
+	if st.round == 1 {
+		st.results[m.Key] = GetResult{Key: m.Key, Value: m.Val, Ver: m.Ver, OK: m.OK}
+		st.deps[m.Key] = m.Deps
+		st.pending--
+		if st.pending > 0 {
+			return
+		}
+		// Compute the causally consistent cut: for each requested key,
+		// the maximum version named by any other result's dependencies.
+		want := make(map[string]Ver)
+		inSet := make(map[string]bool, len(st.keys))
+		for _, k := range st.keys {
+			inSet[k] = true
+		}
+		for _, deps := range st.deps {
+			for _, d := range deps {
+				if !inSet[d.Key] {
+					continue
+				}
+				if cur, ok := want[d.Key]; !ok || cur.Less(d.Ver) {
+					want[d.Key] = d.Ver
+				}
+			}
+		}
+		st.round = 2
+		for k, v := range want {
+			if st.results[k].Ver.AtLeast(v) && st.results[k].OK {
+				continue
+			}
+			st.pending++
+			env.Send(c.topo.OwnerIn(c.dc, k), cgetAt{ID: id, Key: k, Ver: v})
+		}
+		if st.pending == 0 {
+			c.finishGT(id, st)
+		}
+		return
+	}
+	// Round 2 response: overwrite with the dependency-satisfying version.
+	st.results[m.Key] = GetResult{Key: m.Key, Value: m.Val, Ver: m.Ver, OK: m.OK}
+	st.pending--
+	if st.pending == 0 {
+		c.finishGT(id, st)
+	}
+}
+
+func (c *Client) finishGT(id uint64, st *gtState) {
+	delete(c.gts, id)
+	for k, r := range st.results {
+		if r.OK {
+			c.observe(k, r.Ver)
+		}
+	}
+	if st.cb != nil {
+		st.cb(st.results)
+	}
+}
+
+// ID returns the client's simulator id.
+func (c *Client) ID() string { return c.id }
+
+// DC returns the client's home data center.
+func (c *Client) DC() string { return c.dc }

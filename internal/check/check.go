@@ -1,0 +1,313 @@
+// Package check verifies consistency properties of operation histories
+// recorded from the simulated stores — the Jepsen-style methodology: run
+// a workload against a model, record every operation's invocation and
+// completion times and results, then decide whether some formal
+// consistency model admits that history.
+//
+// Linearizable implements the Wing & Gong search for single-key
+// read/write registers: is there a total order of operations, consistent
+// with real-time precedence, in which every read returns the most recent
+// write? The Strong (Paxos) store must always pass; eventual stores fail
+// whenever a client observes staleness that real-time order forbids.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Kind is the operation type in a history.
+type Kind uint8
+
+// The operation kinds.
+const (
+	// Read observed Value (empty Value with OK=false means "not found").
+	Read Kind = iota
+	// Write set Value.
+	Write
+)
+
+// Op is one completed operation in a history.
+type Op struct {
+	Kind  Kind
+	Key   string
+	Value string
+	// OK is false for a read that found nothing.
+	OK bool
+	// Start and End are the operation's invocation and completion times.
+	// An op A happens-before op B iff A.End < B.Start.
+	Start, End time.Duration
+	// Client identifies the issuing client (informational).
+	Client string
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	k := "r"
+	if o.Kind == Write {
+		k = "w"
+	}
+	v := o.Value
+	if !o.OK && o.Kind == Read {
+		v = "∅"
+	}
+	return fmt.Sprintf("%s(%s)=%s[%v,%v]", k, o.Key, v, o.Start, o.End)
+}
+
+// History is a set of completed operations.
+type History []Op
+
+// Keys returns the distinct keys in the history.
+func (h History) Keys() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, o := range h {
+		if !seen[o.Key] {
+			seen[o.Key] = true
+			out = append(out, o.Key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// forKey filters the history to one key.
+func (h History) forKey(key string) History {
+	var out History
+	for _, o := range h {
+		if o.Key == key {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Linearizable reports whether the history is linearizable as a set of
+// independent single-value registers (per-key linearizability composes
+// to the full store because linearizability is a local property). The
+// search is exponential in the per-key concurrency; keep per-key
+// histories modest (≲ 25 ops).
+func Linearizable(h History) bool {
+	for _, key := range h.Keys() {
+		if !linearizableKey(h.forKey(key)) {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstViolation returns a key whose sub-history is not linearizable,
+// for diagnostics ("" if the history is linearizable).
+func FirstViolation(h History) string {
+	for _, key := range h.Keys() {
+		if !linearizableKey(h.forKey(key)) {
+			return key
+		}
+	}
+	return ""
+}
+
+func linearizableKey(h History) bool {
+	n := len(h)
+	if n == 0 {
+		return true
+	}
+	if n > 63 {
+		panic("check: per-key history too large for bitmask search")
+	}
+	// Memoize on (set of already-linearized ops, current value index).
+	// The current value is determined by the last write in the chosen
+	// prefix; encode it as the op index of that write (+1; 0 = initial
+	// "not found" state).
+	type state struct {
+		mask uint64
+		last int
+	}
+	seen := map[state]bool{}
+
+	var search func(mask uint64, last int) bool
+	search = func(mask uint64, last int) bool {
+		if mask == (uint64(1)<<n)-1 {
+			return true
+		}
+		st := state{mask, last}
+		if seen[st] {
+			return false
+		}
+		seen[st] = true
+
+		// An op may be linearized next only if no *unlinearized* op
+		// completed before it started (that op would have to come first).
+		var minEnd time.Duration = 1<<63 - 1
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 && h[i].End < minEnd {
+				minEnd = h[i].End
+			}
+		}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				continue
+			}
+			if h[i].Start > minEnd {
+				continue // some other pending op strictly precedes it
+			}
+			switch h[i].Kind {
+			case Write:
+				if search(mask|(1<<i), i+1) {
+					return true
+				}
+			case Read:
+				// The read must match the current register state.
+				if last == 0 {
+					if h[i].OK {
+						continue
+					}
+				} else {
+					if !h[i].OK || h[i].Value != h[last-1].Value {
+						continue
+					}
+				}
+				if search(mask|(1<<i), last) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return search(0, 0)
+}
+
+// SequentiallyConsistent reports whether the history is sequentially
+// consistent per key: some total order of operations that respects each
+// client's program order (but NOT real-time order across clients) in
+// which every read returns the most recent write. Linearizability
+// implies sequential consistency; an eventually consistent store's
+// histories often pass SC (stale reads are explainable by "that client's
+// view ran behind") while failing linearizability.
+//
+// Note: checking SC per key is a necessary but not sufficient condition
+// for whole-history SC (unlike linearizability, SC is not compositional);
+// the per-key result is still the standard practical check.
+func SequentiallyConsistent(h History) bool {
+	for _, key := range h.Keys() {
+		if !sequentialKey(h.forKey(key)) {
+			return false
+		}
+	}
+	return true
+}
+
+func sequentialKey(h History) bool {
+	n := len(h)
+	if n == 0 {
+		return true
+	}
+	if n > 63 {
+		panic("check: per-key history too large for bitmask search")
+	}
+	// Program order per client: ops sorted by Start per client; an op is
+	// eligible when all earlier ops of its client are linearized.
+	prev := make([]int, n) // index of the client-order predecessor, or -1
+	for i := range prev {
+		prev[i] = -1
+	}
+	lastOf := map[string]int{}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return h[idx[a]].Start < h[idx[b]].Start })
+	for _, i := range idx {
+		if p, ok := lastOf[h[i].Client]; ok {
+			prev[i] = p
+		}
+		lastOf[h[i].Client] = i
+	}
+
+	type state struct {
+		mask uint64
+		last int
+	}
+	seen := map[state]bool{}
+	var search func(mask uint64, last int) bool
+	search = func(mask uint64, last int) bool {
+		if mask == (uint64(1)<<n)-1 {
+			return true
+		}
+		st := state{mask, last}
+		if seen[st] {
+			return false
+		}
+		seen[st] = true
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				continue
+			}
+			if prev[i] >= 0 && mask&(1<<prev[i]) == 0 {
+				continue // program-order predecessor not yet placed
+			}
+			switch h[i].Kind {
+			case Write:
+				if search(mask|(1<<i), i+1) {
+					return true
+				}
+			case Read:
+				if last == 0 {
+					if h[i].OK {
+						continue
+					}
+				} else if !h[i].OK || h[i].Value != h[last-1].Value {
+					continue
+				}
+				if search(mask|(1<<i), last) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return search(0, 0)
+}
+
+// MonotonicPerClient reports whether, for every client and key, the
+// sequence of values the client observed (reads) never moves backwards
+// with respect to that client's own operation order, given a version
+// order defined by write time. It is a cheap necessary condition for
+// session guarantees (monotonic reads + read-your-writes) used as a
+// sanity check on large histories where full linearizability checking
+// is infeasible.
+func MonotonicPerClient(h History, versionOf func(value string) int) bool {
+	type ck struct{ client, key string }
+	last := map[ck]int{}
+	// Process in per-client completion order.
+	idx := make([]int, len(h))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return h[idx[a]].End < h[idx[b]].End })
+	for _, i := range idx {
+		o := h[i]
+		k := ck{o.Client, o.Key}
+		switch o.Kind {
+		case Write:
+			v := versionOf(o.Value)
+			if v > last[k] {
+				last[k] = v
+			}
+		case Read:
+			if !o.OK {
+				if last[k] > 0 {
+					return false // saw nothing after having seen something
+				}
+				continue
+			}
+			v := versionOf(o.Value)
+			if v < last[k] {
+				return false
+			}
+			last[k] = v
+		}
+	}
+	return true
+}

@@ -1,0 +1,233 @@
+package check
+
+import (
+	"strconv"
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func w(key, val string, start, end int) Op {
+	return Op{Kind: Write, Key: key, Value: val, OK: true, Start: ms(start), End: ms(end)}
+}
+
+func r(key, val string, start, end int) Op {
+	return Op{Kind: Read, Key: key, Value: val, OK: val != "", Start: ms(start), End: ms(end)}
+}
+
+func TestEmptyAndTrivialHistories(t *testing.T) {
+	if !Linearizable(nil) {
+		t.Fatal("empty history must be linearizable")
+	}
+	if !Linearizable(History{w("k", "a", 0, 1)}) {
+		t.Fatal("single write must be linearizable")
+	}
+	if !Linearizable(History{r("k", "", 0, 1)}) {
+		t.Fatal("read of initial state must be linearizable")
+	}
+	if Linearizable(History{r("k", "ghost", 0, 1)}) {
+		t.Fatal("read of a never-written value must not be linearizable")
+	}
+}
+
+func TestSequentialReadAfterWrite(t *testing.T) {
+	h := History{
+		w("k", "a", 0, 1),
+		r("k", "a", 2, 3),
+	}
+	if !Linearizable(h) {
+		t.Fatal("w then r of same value must be linearizable")
+	}
+	hBad := History{
+		w("k", "a", 0, 1),
+		r("k", "", 2, 3), // completed write invisible to a later read
+	}
+	if Linearizable(hBad) {
+		t.Fatal("stale read after completed write must violate linearizability")
+	}
+}
+
+func TestConcurrentReadMayReturnEitherValue(t *testing.T) {
+	// The read overlaps the write: both old and new values are legal.
+	old := History{w("k", "a", 0, 1), w("k", "b", 10, 20), r("k", "a", 12, 14)}
+	nu := History{w("k", "a", 0, 1), w("k", "b", 10, 20), r("k", "b", 12, 14)}
+	if !Linearizable(old) {
+		t.Fatal("overlapping read of the old value must be linearizable")
+	}
+	if !Linearizable(nu) {
+		t.Fatal("overlapping read of the new value must be linearizable")
+	}
+}
+
+func TestReadMustNotGoBackwards(t *testing.T) {
+	// Two sequential reads during no writes cannot see b then a.
+	h := History{
+		w("k", "a", 0, 1),
+		w("k", "b", 2, 3),
+		r("k", "b", 4, 5),
+		r("k", "a", 6, 7),
+	}
+	if Linearizable(h) {
+		t.Fatal("value going backwards across sequential reads must violate linearizability")
+	}
+}
+
+func TestConcurrentWritesEitherOrder(t *testing.T) {
+	h := History{
+		w("k", "a", 0, 10),
+		w("k", "b", 0, 10),
+		r("k", "a", 12, 13),
+	}
+	if !Linearizable(h) {
+		t.Fatal("concurrent writes may linearize in either order")
+	}
+	h2 := append(History{}, h...)
+	h2[2] = r("k", "b", 12, 13)
+	if !Linearizable(h2) {
+		t.Fatal("the other order must be acceptable too")
+	}
+}
+
+func TestTwoReadersDisagreeOnOrder(t *testing.T) {
+	// Classic violation: after both writes complete, reader 1 sees b
+	// then reader 2 sees a (sequentially after reader 1).
+	h := History{
+		w("k", "a", 0, 1),
+		w("k", "b", 2, 3),
+		r("k", "b", 4, 5),
+		r("k", "a", 6, 7),
+	}
+	if Linearizable(h) {
+		t.Fatal("disagreeing sequential readers must violate linearizability")
+	}
+}
+
+func TestPerKeyComposition(t *testing.T) {
+	// Key k1 is fine; key k2 has a violation; the whole history fails and
+	// FirstViolation names k2.
+	h := History{
+		w("k1", "x", 0, 1), r("k1", "x", 2, 3),
+		w("k2", "a", 0, 1), r("k2", "", 5, 6),
+	}
+	if Linearizable(h) {
+		t.Fatal("violation in one key must fail the whole history")
+	}
+	if v := FirstViolation(h); v != "k2" {
+		t.Fatalf("FirstViolation = %q, want k2", v)
+	}
+	if v := FirstViolation(h[:2]); v != "" {
+		t.Fatalf("clean history reported violation at %q", v)
+	}
+}
+
+func TestPendingOverlapWindow(t *testing.T) {
+	// Read starts before a write completes but after it starts; with a
+	// long-overlapping second read the search must still find an order.
+	h := History{
+		w("k", "a", 0, 100),
+		r("k", "a", 50, 60),
+		r("k", "", 10, 20), // linearizes before the write
+	}
+	if !Linearizable(h) {
+		t.Fatal("valid overlapping schedule rejected")
+	}
+}
+
+func TestSequentialConsistencyWeakerThanLinearizability(t *testing.T) {
+	// A stale read by a *different* client, after the write completed in
+	// real time: not linearizable, but sequentially consistent (client
+	// c2's whole view can be ordered before the write).
+	h := History{
+		{Kind: Write, Key: "k", Value: "a", OK: true, Client: "c1", Start: ms(0), End: ms(1)},
+		{Kind: Read, Key: "k", OK: false, Client: "c2", Start: ms(5), End: ms(6)},
+	}
+	if Linearizable(h) {
+		t.Fatal("real-time-stale read must fail linearizability")
+	}
+	if !SequentiallyConsistent(h) {
+		t.Fatal("cross-client staleness must pass sequential consistency")
+	}
+}
+
+func TestSequentialConsistencyRespectsProgramOrder(t *testing.T) {
+	// The SAME client writes then reads nothing: violates even SC.
+	h := History{
+		{Kind: Write, Key: "k", Value: "a", OK: true, Client: "c1", Start: ms(0), End: ms(1)},
+		{Kind: Read, Key: "k", OK: false, Client: "c1", Start: ms(5), End: ms(6)},
+	}
+	if SequentiallyConsistent(h) {
+		t.Fatal("a client missing its own earlier write violates SC")
+	}
+}
+
+func TestSequentialConsistencyDisagreeingOrders(t *testing.T) {
+	// Two readers observe two writes in opposite orders: no single total
+	// order explains both, so even SC fails.
+	h := History{
+		{Kind: Write, Key: "k", Value: "a", OK: true, Client: "w1", Start: ms(0), End: ms(1)},
+		{Kind: Write, Key: "k", Value: "b", OK: true, Client: "w2", Start: ms(0), End: ms(1)},
+		{Kind: Read, Key: "k", Value: "a", OK: true, Client: "r1", Start: ms(2), End: ms(3)},
+		{Kind: Read, Key: "k", Value: "b", OK: true, Client: "r1", Start: ms(4), End: ms(5)},
+		{Kind: Read, Key: "k", Value: "b", OK: true, Client: "r2", Start: ms(2), End: ms(3)},
+		{Kind: Read, Key: "k", Value: "a", OK: true, Client: "r2", Start: ms(4), End: ms(5)},
+	}
+	if SequentiallyConsistent(h) {
+		t.Fatal("readers disagreeing on write order must violate SC")
+	}
+}
+
+func TestLinearizableImpliesSequentiallyConsistent(t *testing.T) {
+	histories := []History{
+		{w("k", "a", 0, 1), r("k", "a", 2, 3)},
+		{w("k", "a", 0, 10), w("k", "b", 0, 10), r("k", "a", 12, 13)},
+	}
+	for i, h := range histories {
+		for j := range h {
+			h[j].Client = "c" + strconv.Itoa(j%2)
+		}
+		if Linearizable(h) && !SequentiallyConsistent(h) {
+			t.Fatalf("history %d: linearizable but not SC — containment violated", i)
+		}
+	}
+}
+
+func TestMonotonicPerClient(t *testing.T) {
+	version := func(v string) int {
+		if v == "" {
+			return 0
+		}
+		n, _ := strconv.Atoi(v)
+		return n
+	}
+	good := History{
+		{Kind: Write, Key: "k", Value: "1", OK: true, Client: "c1", Start: ms(0), End: ms(1)},
+		{Kind: Read, Key: "k", Value: "1", OK: true, Client: "c1", Start: ms(2), End: ms(3)},
+		{Kind: Read, Key: "k", Value: "1", OK: true, Client: "c1", Start: ms(4), End: ms(5)},
+	}
+	if !MonotonicPerClient(good, version) {
+		t.Fatal("monotone history rejected")
+	}
+	backwards := History{
+		{Kind: Read, Key: "k", Value: "2", OK: true, Client: "c1", Start: ms(0), End: ms(1)},
+		{Kind: Read, Key: "k", Value: "1", OK: true, Client: "c1", Start: ms(2), End: ms(3)},
+	}
+	if MonotonicPerClient(backwards, version) {
+		t.Fatal("backwards reads accepted")
+	}
+	ryw := History{
+		{Kind: Write, Key: "k", Value: "3", OK: true, Client: "c1", Start: ms(0), End: ms(1)},
+		{Kind: Read, Key: "k", OK: false, Client: "c1", Start: ms(2), End: ms(3)},
+	}
+	if MonotonicPerClient(ryw, version) {
+		t.Fatal("read-your-writes miss accepted")
+	}
+	// Other clients' reads are independent.
+	cross := History{
+		{Kind: Write, Key: "k", Value: "3", OK: true, Client: "c1", Start: ms(0), End: ms(1)},
+		{Kind: Read, Key: "k", OK: false, Client: "c2", Start: ms(2), End: ms(3)},
+	}
+	if !MonotonicPerClient(cross, version) {
+		t.Fatal("cross-client staleness must be allowed by the per-client check")
+	}
+}

@@ -1,0 +1,171 @@
+package clock
+
+import "fmt"
+
+// Dot identifies a single write event: the n-th event produced by replica
+// Node. Dots are the building block of dotted version vectors.
+type Dot struct {
+	Node    string
+	Counter uint64
+}
+
+// String implements fmt.Stringer.
+func (d Dot) String() string { return fmt.Sprintf("(%s,%d)", d.Node, d.Counter) }
+
+// DVV is a dotted version vector: a causal context (a plain version
+// vector summarizing everything this value's writer had seen) plus the
+// single dot of the write itself.
+//
+// Plain version vectors used per-value suffer "sibling explosion": a
+// client that writes without reading first appears concurrent with
+// everything, so servers accumulate spurious siblings. DVVs fix this by
+// separating the event (the dot) from the context (what the writer knew),
+// allowing exact supersession checks. See Preguiça et al., "Dotted
+// Version Vectors" — cited in the tutorial's convergence discussion.
+type DVV struct {
+	Dot     Dot
+	Context Vector
+}
+
+// NewDVV stamps a new write performed at node, which had observed context
+// (typically the merge of the contexts the client read). It advances the
+// node's counter within the context and returns the resulting DVV.
+func NewDVV(node string, context Vector) DVV {
+	ctx := context.Copy()
+	if ctx == nil {
+		ctx = NewVector()
+	}
+	n := ctx.Tick(node)
+	return DVV{Dot: Dot{Node: node, Counter: n}, Context: ctx}
+}
+
+// MintDVV stamps a new write whose dot may lie beyond the context — the
+// "dotted" construction proper. context is what the writer causally
+// observed and is NOT extended with the new dot; the dot counter is
+// max(context[node], minCounter)+1, where minCounter is the caller's
+// per-key mint floor guaranteeing uniqueness even when the writer has not
+// observed its own earlier writes yet (e.g. a coordinator whose local
+// apply is still in flight). Two such blind writes stay concurrent
+// instead of one falsely superseding the other.
+func MintDVV(node string, context Vector, minCounter uint64) DVV {
+	ctx := context.Copy()
+	if ctx == nil {
+		ctx = NewVector()
+	}
+	c := ctx.Get(node)
+	if minCounter > c {
+		c = minCounter
+	}
+	return DVV{Dot: Dot{Node: node, Counter: c + 1}, Context: ctx}
+}
+
+// Obsoletes reports whether v's context has seen other's dot — i.e. the
+// write identified by other happened-before v and is superseded by it.
+func (v DVV) Obsoletes(other DVV) bool {
+	return v.Context.Get(other.Dot.Node) >= other.Dot.Counter
+}
+
+// ConcurrentWith reports whether neither write supersedes the other.
+func (v DVV) ConcurrentWith(other DVV) bool {
+	return !v.Obsoletes(other) && !other.Obsoletes(v)
+}
+
+// Join returns the merge of both causal contexts including both dots —
+// the context a reader holds after observing both versions.
+func (v DVV) Join(other DVV) Vector {
+	out := v.Context.Copy()
+	out.Merge(other.Context)
+	if out.Get(v.Dot.Node) < v.Dot.Counter {
+		out[v.Dot.Node] = v.Dot.Counter
+	}
+	if out.Get(other.Dot.Node) < other.Dot.Counter {
+		out[other.Dot.Node] = other.Dot.Counter
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (v DVV) String() string {
+	return fmt.Sprintf("%s@%s", v.Dot, v.Context)
+}
+
+// Siblings maintains the set of concurrent versions of one key under DVV
+// semantics: adding a version drops every existing version it obsoletes
+// and is itself dropped if obsoleted.
+type Siblings[T any] struct {
+	versions []taggedVersion[T]
+}
+
+type taggedVersion[T any] struct {
+	dvv   DVV
+	value T
+}
+
+// Add inserts a version, applying DVV supersession. Adding a version
+// whose dot is already present is a no-op (idempotent re-delivery). It
+// returns the number of surviving siblings.
+func (s *Siblings[T]) Add(dvv DVV, value T) int {
+	kept := s.versions[:0]
+	obsoleted := false
+	for _, tv := range s.versions {
+		if tv.dvv.Dot == dvv.Dot {
+			// The same write re-delivered: keep the existing copy.
+			kept = append(kept, tv)
+			obsoleted = true
+			continue
+		}
+		if dvv.Obsoletes(tv.dvv) {
+			continue // new write supersedes this sibling
+		}
+		if tv.dvv.Obsoletes(dvv) {
+			obsoleted = true
+		}
+		kept = append(kept, tv)
+	}
+	s.versions = kept
+	if !obsoleted {
+		s.versions = append(s.versions, taggedVersion[T]{dvv: dvv, value: value})
+	}
+	return len(s.versions)
+}
+
+// Values returns the current sibling values in insertion order.
+func (s *Siblings[T]) Values() []T {
+	out := make([]T, len(s.versions))
+	for i, tv := range s.versions {
+		out[i] = tv.value
+	}
+	return out
+}
+
+// Context returns the merged causal context of all siblings — what a
+// client must echo back on its next write to supersede them all.
+func (s *Siblings[T]) Context() Vector {
+	ctx := NewVector()
+	for _, tv := range s.versions {
+		ctx.Merge(tv.dvv.Context)
+		if ctx.Get(tv.dvv.Dot.Node) < tv.dvv.Dot.Counter {
+			ctx[tv.dvv.Dot.Node] = tv.dvv.Dot.Counter
+		}
+	}
+	return ctx
+}
+
+// Len returns the number of surviving siblings.
+func (s *Siblings[T]) Len() int { return len(s.versions) }
+
+// SiblingEntry is one concurrent version with its DVV, as exposed by
+// Entries for replication layers that ship full sibling sets.
+type SiblingEntry[T any] struct {
+	DVV   DVV
+	Value T
+}
+
+// Entries returns the surviving (DVV, value) pairs in insertion order.
+func (s *Siblings[T]) Entries() []SiblingEntry[T] {
+	out := make([]SiblingEntry[T], len(s.versions))
+	for i, tv := range s.versions {
+		out[i] = SiblingEntry[T]{DVV: tv.dvv, Value: tv.value}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package clock
+
+import "fmt"
+
+// HLCTimestamp is a hybrid logical clock reading: a physical component
+// (wall-clock milliseconds, here simulated time) plus a logical component
+// that breaks ties while preserving happens-before. HLC timestamps give
+// last-writer-wins a total order that never orders an event before one it
+// causally follows, fixing the classic LWW anomaly of skewed wall clocks.
+type HLCTimestamp struct {
+	Wall    int64  // physical component
+	Logical uint32 // logical component, resets when Wall advances
+	Node    string // final tie-break so distinct events never compare equal
+}
+
+// Compare returns -1, 0, or +1 ordering t relative to other.
+func (t HLCTimestamp) Compare(other HLCTimestamp) int {
+	switch {
+	case t.Wall != other.Wall:
+		if t.Wall < other.Wall {
+			return -1
+		}
+		return 1
+	case t.Logical != other.Logical:
+		if t.Logical < other.Logical {
+			return -1
+		}
+		return 1
+	case t.Node != other.Node:
+		if t.Node < other.Node {
+			return -1
+		}
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Before reports whether t orders strictly before other.
+func (t HLCTimestamp) Before(other HLCTimestamp) bool { return t.Compare(other) < 0 }
+
+// String implements fmt.Stringer.
+func (t HLCTimestamp) String() string {
+	return fmt.Sprintf("%d.%d@%s", t.Wall, t.Logical, t.Node)
+}
+
+// HLC is a hybrid logical clock (Kulkarni et al.). It needs a physical
+// time source; in this repository that is the simulator's deterministic
+// clock, so HLC behaviour is replayable.
+type HLC struct {
+	node string
+	now  func() int64 // physical time source, e.g. sim time in ms
+
+	wall    int64
+	logical uint32
+}
+
+// NewHLC returns an HLC for node whose physical component is read from
+// now. now must be monotonically non-decreasing.
+func NewHLC(node string, now func() int64) *HLC {
+	return &HLC{node: node, now: now}
+}
+
+// Now stamps a local event (a send or a write).
+func (h *HLC) Now() HLCTimestamp {
+	pt := h.now()
+	if pt > h.wall {
+		h.wall = pt
+		h.logical = 0
+	} else {
+		h.logical++
+	}
+	return HLCTimestamp{Wall: h.wall, Logical: h.logical, Node: h.node}
+}
+
+// Observe merges a remote timestamp into the clock (the receive rule) and
+// returns the stamp for the receive event.
+func (h *HLC) Observe(remote HLCTimestamp) HLCTimestamp {
+	pt := h.now()
+	maxWall := h.wall
+	if remote.Wall > maxWall {
+		maxWall = remote.Wall
+	}
+	if pt > maxWall {
+		h.wall = pt
+		h.logical = 0
+		return HLCTimestamp{Wall: h.wall, Logical: h.logical, Node: h.node}
+	}
+	switch {
+	case h.wall == remote.Wall:
+		if remote.Logical > h.logical {
+			h.logical = remote.Logical
+		}
+		h.logical++
+	case h.wall > remote.Wall:
+		h.logical++
+	default: // remote.Wall > h.wall
+		h.wall = remote.Wall
+		h.logical = remote.Logical + 1
+	}
+	return HLCTimestamp{Wall: h.wall, Logical: h.logical, Node: h.node}
+}

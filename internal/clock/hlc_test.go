@@ -1,0 +1,101 @@
+package clock
+
+import (
+	"testing"
+)
+
+// fakeTime is a controllable physical time source.
+type fakeTime struct{ t int64 }
+
+func (f *fakeTime) now() int64 { return f.t }
+
+func TestHLCAdvancesWithPhysicalTime(t *testing.T) {
+	ft := &fakeTime{t: 100}
+	h := NewHLC("a", ft.now)
+	t1 := h.Now()
+	if t1.Wall != 100 || t1.Logical != 0 {
+		t.Fatalf("first stamp = %v, want 100.0", t1)
+	}
+	ft.t = 150
+	t2 := h.Now()
+	if t2.Wall != 150 || t2.Logical != 0 {
+		t.Fatalf("stamp after advance = %v, want 150.0", t2)
+	}
+}
+
+func TestHLCLogicalTieBreakWhenStalled(t *testing.T) {
+	ft := &fakeTime{t: 100}
+	h := NewHLC("a", ft.now)
+	t1 := h.Now()
+	t2 := h.Now()
+	t3 := h.Now()
+	if !(t1.Before(t2) && t2.Before(t3)) {
+		t.Fatalf("stamps with stalled clock must still be strictly increasing: %v %v %v", t1, t2, t3)
+	}
+	if t3.Wall != 100 || t3.Logical != 2 {
+		t.Fatalf("t3 = %v, want 100.2", t3)
+	}
+}
+
+func TestHLCObserveRespectsCausality(t *testing.T) {
+	// Receiver's physical clock is behind the sender's. The receive stamp
+	// must still exceed the send stamp (this is the anomaly HLC fixes for
+	// LWW: no message is ordered before what caused it).
+	fa := &fakeTime{t: 500}
+	fb := &fakeTime{t: 100} // b's clock is 400ms behind
+	a := NewHLC("a", fa.now)
+	b := NewHLC("b", fb.now)
+	send := a.Now()
+	recv := b.Observe(send)
+	if !send.Before(recv) {
+		t.Fatalf("receive %v must be after send %v despite clock skew", recv, send)
+	}
+	// And b's next local event stays after the receive.
+	next := b.Now()
+	if !recv.Before(next) {
+		t.Fatalf("next local stamp %v must follow receive %v", next, recv)
+	}
+}
+
+func TestHLCObservePhysicalDominates(t *testing.T) {
+	fa := &fakeTime{t: 100}
+	fb := &fakeTime{t: 900}
+	a := NewHLC("a", fa.now)
+	b := NewHLC("b", fb.now)
+	send := a.Now()
+	recv := b.Observe(send)
+	if recv.Wall != 900 || recv.Logical != 0 {
+		t.Fatalf("receive with fresh physical clock = %v, want 900.0", recv)
+	}
+}
+
+func TestHLCObserveEqualWall(t *testing.T) {
+	ft := &fakeTime{t: 100}
+	h := NewHLC("b", ft.now)
+	h.Now() // wall=100, logical=0
+	recv := h.Observe(HLCTimestamp{Wall: 100, Logical: 7, Node: "a"})
+	if recv.Wall != 100 || recv.Logical != 8 {
+		t.Fatalf("equal-wall observe = %v, want 100.8", recv)
+	}
+}
+
+func TestHLCTimestampCompare(t *testing.T) {
+	tests := []struct {
+		a, b HLCTimestamp
+		want int
+	}{
+		{HLCTimestamp{1, 0, "a"}, HLCTimestamp{2, 0, "a"}, -1},
+		{HLCTimestamp{2, 0, "a"}, HLCTimestamp{1, 9, "a"}, 1},
+		{HLCTimestamp{1, 1, "a"}, HLCTimestamp{1, 2, "a"}, -1},
+		{HLCTimestamp{1, 1, "a"}, HLCTimestamp{1, 1, "b"}, -1},
+		{HLCTimestamp{1, 1, "a"}, HLCTimestamp{1, 1, "a"}, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Compare(tt.b); got != tt.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+		if got := tt.b.Compare(tt.a); got != -tt.want {
+			t.Errorf("antisymmetry violated for %v, %v", tt.a, tt.b)
+		}
+	}
+}

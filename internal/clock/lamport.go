@@ -1,0 +1,46 @@
+// Package clock implements the logical clock machinery that eventually
+// consistent replication depends on: Lamport clocks, vector clocks,
+// dotted version vectors, and hybrid logical clocks.
+//
+// The tutorial's taxonomy ("Rethinking Eventual Consistency", Bernstein &
+// Das, SIGMOD 2013) treats happens-before tracking as the foundation for
+// every convergence mechanism stronger than last-writer-wins: version
+// vectors detect concurrent updates, dotted version vectors bound sibling
+// explosion, and hybrid logical clocks give last-writer-wins timestamps
+// that respect causality.
+package clock
+
+import "fmt"
+
+// Lamport is a scalar logical clock (Lamport 1978). It provides a total
+// order consistent with happens-before but cannot detect concurrency.
+//
+// The zero value is ready to use. Lamport is not safe for concurrent use;
+// wrap it in a mutex or confine it to one goroutine (the simulator runs
+// each node single-threaded, so protocols use it unlocked).
+type Lamport struct {
+	time uint64
+}
+
+// Now returns the current clock value without advancing it.
+func (l *Lamport) Now() uint64 { return l.time }
+
+// Tick advances the clock for a local event and returns the new value.
+func (l *Lamport) Tick() uint64 {
+	l.time++
+	return l.time
+}
+
+// Observe merges a timestamp received from another process, advancing the
+// local clock past it, and returns the new value. This is the "receive"
+// rule: L = max(L, remote) + 1.
+func (l *Lamport) Observe(remote uint64) uint64 {
+	if remote > l.time {
+		l.time = remote
+	}
+	l.time++
+	return l.time
+}
+
+// String implements fmt.Stringer.
+func (l *Lamport) String() string { return fmt.Sprintf("L%d", l.time) }

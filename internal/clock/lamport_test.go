@@ -1,0 +1,50 @@
+package clock
+
+import "testing"
+
+func TestLamportZeroValue(t *testing.T) {
+	var l Lamport
+	if got := l.Now(); got != 0 {
+		t.Fatalf("zero-value Now() = %d, want 0", got)
+	}
+}
+
+func TestLamportTick(t *testing.T) {
+	var l Lamport
+	for i := uint64(1); i <= 5; i++ {
+		if got := l.Tick(); got != i {
+			t.Fatalf("Tick() = %d, want %d", got, i)
+		}
+	}
+}
+
+func TestLamportObserveAdvancesPastRemote(t *testing.T) {
+	var l Lamport
+	l.Tick() // 1
+	if got := l.Observe(10); got != 11 {
+		t.Fatalf("Observe(10) = %d, want 11", got)
+	}
+	if got := l.Observe(3); got != 12 {
+		t.Fatalf("Observe(3) after 11 = %d, want 12 (local already ahead)", got)
+	}
+}
+
+func TestLamportSendReceiveOrdering(t *testing.T) {
+	// Message from a to b: receive stamp must exceed send stamp.
+	var a, b Lamport
+	a.Tick()
+	a.Tick()
+	send := a.Tick()
+	recv := b.Observe(send)
+	if recv <= send {
+		t.Fatalf("receive stamp %d not after send stamp %d", recv, send)
+	}
+}
+
+func TestLamportString(t *testing.T) {
+	var l Lamport
+	l.Tick()
+	if got := l.String(); got != "L1" {
+		t.Fatalf("String() = %q, want %q", got, "L1")
+	}
+}

@@ -1,0 +1,154 @@
+package clock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ordering is the result of comparing two vector clocks (or any partially
+// ordered timestamps).
+type Ordering int
+
+// The four possible relationships between two events' timestamps.
+const (
+	// Equal means the two clocks are identical.
+	Equal Ordering = iota
+	// Before means the receiver happens-before the argument.
+	Before
+	// After means the argument happens-before the receiver.
+	After
+	// Concurrent means neither dominates: the events are concurrent and,
+	// if they wrote the same key, in conflict.
+	Concurrent
+)
+
+// String implements fmt.Stringer.
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// Vector is a vector clock: a map from replica ID to the count of events
+// observed from that replica. Absent entries are zero. Vector clocks order
+// events by happens-before and, unlike Lamport clocks, detect concurrency.
+//
+// The zero value (nil map) is a usable bottom element; mutating methods
+// must be called on a Vector created by NewVector or Copy.
+type Vector map[string]uint64
+
+// NewVector returns an empty vector clock.
+func NewVector() Vector { return make(Vector) }
+
+// Get returns the counter for replica id (zero if absent).
+func (v Vector) Get(id string) uint64 { return v[id] }
+
+// Tick increments the counter for replica id and returns the new value.
+func (v Vector) Tick(id string) uint64 {
+	v[id]++
+	return v[id]
+}
+
+// Merge folds other into v entry-wise taking maxima. Merge is the join of
+// the vector-clock lattice: commutative, associative, idempotent.
+func (v Vector) Merge(other Vector) {
+	for id, n := range other {
+		if n > v[id] {
+			v[id] = n
+		}
+	}
+}
+
+// Copy returns an independent copy of v.
+func (v Vector) Copy() Vector {
+	c := make(Vector, len(v))
+	for id, n := range v {
+		c[id] = n
+	}
+	return c
+}
+
+// Compare reports the ordering of v relative to other.
+func (v Vector) Compare(other Vector) Ordering {
+	vLess, oLess := false, false // v < other in some coordinate; other < v in some coordinate
+	for id, n := range v {
+		if m := other[id]; n < m {
+			vLess = true
+		} else if n > m {
+			oLess = true
+		}
+	}
+	for id, m := range other {
+		if n := v[id]; n < m {
+			vLess = true
+		} else if n > m {
+			oLess = true
+		}
+	}
+	switch {
+	case vLess && oLess:
+		return Concurrent
+	case vLess:
+		return Before
+	case oLess:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// Descends reports whether v dominates or equals other (other ≤ v), i.e.
+// every event other has seen, v has seen too.
+func (v Vector) Descends(other Vector) bool {
+	for id, m := range other {
+		if v[id] < m {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether v and other are concurrent.
+func (v Vector) Concurrent(other Vector) bool {
+	return v.Compare(other) == Concurrent
+}
+
+// Sum returns the total event count across all replicas — a cheap scalar
+// proxy for "how much has this clock seen", used by read repair to pick a
+// candidate when clocks are equal-ranked.
+func (v Vector) Sum() uint64 {
+	var s uint64
+	for _, n := range v {
+		s += n
+	}
+	return s
+}
+
+// String renders the clock deterministically, e.g. {a:1 b:3}.
+func (v Vector) String() string {
+	ids := make([]string, 0, len(v))
+	for id := range v {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", id, v[id])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package clock
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorCompareTable(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Vector
+		want Ordering
+	}{
+		{"both empty", Vector{}, Vector{}, Equal},
+		{"nil vs empty", nil, Vector{}, Equal},
+		{"identical", Vector{"a": 1, "b": 2}, Vector{"a": 1, "b": 2}, Equal},
+		{"zero entry equals absent", Vector{"a": 1, "b": 0}, Vector{"a": 1}, Equal},
+		{"simple before", Vector{"a": 1}, Vector{"a": 2}, Before},
+		{"simple after", Vector{"a": 3}, Vector{"a": 2}, After},
+		{"subset before", Vector{"a": 1}, Vector{"a": 1, "b": 1}, Before},
+		{"superset after", Vector{"a": 1, "b": 1}, Vector{"b": 1}, After},
+		{"classic concurrent", Vector{"a": 1}, Vector{"b": 1}, Concurrent},
+		{"crossed concurrent", Vector{"a": 2, "b": 1}, Vector{"a": 1, "b": 2}, Concurrent},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Errorf("%v.Compare(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+			// Compare must be antisymmetric.
+			wantInv := tt.want
+			switch tt.want {
+			case Before:
+				wantInv = After
+			case After:
+				wantInv = Before
+			}
+			if got := tt.b.Compare(tt.a); got != wantInv {
+				t.Errorf("inverse %v.Compare(%v) = %v, want %v", tt.b, tt.a, got, wantInv)
+			}
+		})
+	}
+}
+
+func TestVectorTick(t *testing.T) {
+	v := NewVector()
+	if got := v.Tick("a"); got != 1 {
+		t.Fatalf("first Tick = %d, want 1", got)
+	}
+	if got := v.Tick("a"); got != 2 {
+		t.Fatalf("second Tick = %d, want 2", got)
+	}
+	if got := v.Get("b"); got != 0 {
+		t.Fatalf("Get of absent id = %d, want 0", got)
+	}
+}
+
+func TestVectorDescends(t *testing.T) {
+	a := Vector{"a": 2, "b": 1}
+	if !a.Descends(Vector{"a": 1}) {
+		t.Error("a should descend {a:1}")
+	}
+	if !a.Descends(a) {
+		t.Error("Descends must be reflexive")
+	}
+	if !a.Descends(nil) {
+		t.Error("everything descends bottom")
+	}
+	if a.Descends(Vector{"c": 1}) {
+		t.Error("a must not descend a clock with unseen events")
+	}
+}
+
+func TestVectorMergeObservedAfterWrite(t *testing.T) {
+	// A replica that merges a remote clock then ticks must be After both.
+	local := Vector{"a": 3}
+	remote := Vector{"b": 5}
+	merged := local.Copy()
+	merged.Merge(remote)
+	merged.Tick("a")
+	if merged.Compare(local) != After {
+		t.Error("merged+tick should be After local")
+	}
+	if merged.Compare(remote) != After {
+		t.Error("merged+tick should be After remote")
+	}
+}
+
+func TestVectorSum(t *testing.T) {
+	if got := (Vector{"a": 2, "b": 3}).Sum(); got != 5 {
+		t.Fatalf("Sum = %d, want 5", got)
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	v := Vector{"b": 2, "a": 1}
+	if got := v.String(); got != "{a:1 b:2}" {
+		t.Fatalf("String = %q, want deterministic sorted form", got)
+	}
+}
+
+// genVector produces a small random vector clock over a fixed id universe,
+// keeping the space dense enough that all four orderings occur.
+func genVector(r *rand.Rand) Vector {
+	ids := []string{"a", "b", "c"}
+	v := NewVector()
+	for _, id := range ids {
+		if n := r.Intn(4); n > 0 {
+			v[id] = uint64(n)
+		}
+	}
+	return v
+}
+
+func TestVectorMergeLatticeLaws(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(genVector(r))
+			args[1] = reflect.ValueOf(genVector(r))
+			args[2] = reflect.ValueOf(genVector(r))
+		},
+	}
+
+	commutative := func(a, b, _ Vector) bool {
+		x, y := a.Copy(), b.Copy()
+		x.Merge(b)
+		y.Merge(a)
+		return x.Compare(y) == Equal
+	}
+	if err := quick.Check(commutative, cfg); err != nil {
+		t.Errorf("merge not commutative: %v", err)
+	}
+
+	associative := func(a, b, c Vector) bool {
+		x := a.Copy()
+		x.Merge(b)
+		x.Merge(c)
+		bc := b.Copy()
+		bc.Merge(c)
+		y := a.Copy()
+		y.Merge(bc)
+		return x.Compare(y) == Equal
+	}
+	if err := quick.Check(associative, cfg); err != nil {
+		t.Errorf("merge not associative: %v", err)
+	}
+
+	idempotent := func(a, _, _ Vector) bool {
+		x := a.Copy()
+		x.Merge(a)
+		return x.Compare(a) == Equal
+	}
+	if err := quick.Check(idempotent, cfg); err != nil {
+		t.Errorf("merge not idempotent: %v", err)
+	}
+
+	upperBound := func(a, b, _ Vector) bool {
+		x := a.Copy()
+		x.Merge(b)
+		return x.Descends(a) && x.Descends(b)
+	}
+	if err := quick.Check(upperBound, cfg); err != nil {
+		t.Errorf("merge not an upper bound: %v", err)
+	}
+}
+
+func TestVectorCompareConsistentWithDescends(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(genVector(r))
+			args[1] = reflect.ValueOf(genVector(r))
+		},
+	}
+	prop := func(a, b Vector) bool {
+		switch a.Compare(b) {
+		case Equal:
+			return a.Descends(b) && b.Descends(a)
+		case Before:
+			return b.Descends(a) && !a.Descends(b)
+		case After:
+			return a.Descends(b) && !b.Descends(a)
+		case Concurrent:
+			return !a.Descends(b) && !b.Descends(a)
+		}
+		return false
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Errorf("Compare inconsistent with Descends: %v", err)
+	}
+}

@@ -1,0 +1,246 @@
+package consensus
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestCommitsUnderMessageLoss: 20% message loss must not prevent commits
+// (retries + re-elections ride it out) and must never break agreement.
+func TestCommitsUnderMessageLoss(t *testing.T) {
+	c := sim.New(sim.Config{
+		Seed:    11,
+		Latency: sim.Lossy(sim.Uniform(time.Millisecond, 5*time.Millisecond), 0.2),
+	})
+	ids := make([]string, 5)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("p%d", i)
+	}
+	nodes := make([]*Node, 5)
+	for i, id := range ids {
+		nodes[i] = NewNode(id, Config{Peers: ids})
+		c.AddNode(id, nodes[i])
+	}
+	cl := NewClient("client", ids)
+	cl.RequestTimeout = 500 * time.Millisecond
+	c.AddNode("client", cl)
+	env := c.ClientEnv("client")
+
+	committed := 0
+	var loop func(i int)
+	loop = func(i int) {
+		if i >= 15 {
+			return
+		}
+		cl.Put(env, fmt.Sprintf("k%d", i), []byte("v"), func(r Result) {
+			if r.Err == "" {
+				committed++
+			}
+			loop(i + 1)
+		})
+	}
+	c.At(2*time.Second, func() { loop(0) })
+	c.Run(3 * time.Minute)
+	if committed < 12 {
+		t.Fatalf("only %d/15 commits under 20%% loss", committed)
+	}
+	// Agreement: every pair of replicas agrees on every slot both have
+	// chosen.
+	assertLogAgreement(t, nodes)
+}
+
+// assertLogAgreement checks the Paxos safety property: no two nodes
+// disagree on a chosen slot's value.
+func assertLogAgreement(t *testing.T, nodes []*Node) {
+	t.Helper()
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			a, b := nodes[i], nodes[j]
+			max := a.committed
+			if b.committed < max {
+				max = b.committed
+			}
+			for s := uint64(1); s <= max; s++ {
+				ea, oka := a.log[s]
+				eb, okb := b.log[s]
+				if !oka || !okb || !ea.chosen || !eb.chosen {
+					continue
+				}
+				if ea.value.Op != eb.value.Op || ea.value.Key != eb.value.Key ||
+					string(ea.value.Value) != string(eb.value.Value) {
+					t.Fatalf("slot %d disagreement between %s and %s: %+v vs %+v",
+						s, a.id, b.id, ea.value, eb.value)
+				}
+			}
+		}
+	}
+}
+
+// TestChaosRollingCrashes: random crash/restart cycles of non-majority
+// subsets while a client keeps writing. Liveness may stutter; safety
+// (agreement + no lost acknowledged writes) must hold.
+func TestChaosRollingCrashes(t *testing.T) {
+	c := sim.New(sim.Config{Seed: 13, Latency: sim.Uniform(time.Millisecond, 6*time.Millisecond)})
+	ids := make([]string, 5)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("p%d", i)
+	}
+	nodes := make([]*Node, 5)
+	for i, id := range ids {
+		nodes[i] = NewNode(id, Config{Peers: ids})
+		c.AddNode(id, nodes[i])
+	}
+	cl := NewClient("client", ids)
+	cl.RequestTimeout = 500 * time.Millisecond
+	cl.Retries = 60
+	c.AddNode("client", cl)
+	env := c.ClientEnv("client")
+
+	var acked []string
+	var loop func(i int)
+	loop = func(i int) {
+		if i >= 25 {
+			return
+		}
+		key := fmt.Sprintf("k%d", i)
+		cl.Put(env, key, []byte("v"), func(r Result) {
+			if r.Err == "" {
+				acked = append(acked, key)
+			}
+			loop(i + 1)
+		})
+	}
+	c.At(2*time.Second, func() { loop(0) })
+
+	// Rolling single-node crashes every 3 seconds, each down for 2s.
+	for round := 0; round < 8; round++ {
+		round := round
+		victim := ids[round%len(ids)]
+		at := 3*time.Second + time.Duration(round)*3*time.Second
+		c.At(at, func() { c.Crash(victim) })
+		c.At(at+2*time.Second, func() { c.Restart(victim) })
+	}
+	c.Run(5 * time.Minute)
+
+	if len(acked) < 15 {
+		t.Fatalf("only %d/25 writes acked under rolling crashes", len(acked))
+	}
+	assertLogAgreement(t, nodes)
+
+	// Durability: every acknowledged write is in the state machine of a
+	// majority (check the most advanced node, which must have them all
+	// after catch-up).
+	var most *Node
+	for _, n := range nodes {
+		if most == nil || n.committed > most.committed {
+			most = n
+		}
+	}
+	for _, key := range acked {
+		if _, ok := most.Value(key); !ok {
+			t.Fatalf("acknowledged write %s missing from the most advanced replica", key)
+		}
+	}
+}
+
+// TestDuelingCampaignersResolve: two nodes that both keep campaigning
+// (tiny election timeouts) must still converge on a single leader —
+// randomized timeouts break the livelock.
+func TestDuelingCampaignersResolve(t *testing.T) {
+	c := sim.New(sim.Config{Seed: 17, Latency: sim.Uniform(time.Millisecond, 10*time.Millisecond)})
+	ids := []string{"p0", "p1", "p2"}
+	nodes := make([]*Node, 3)
+	for i, id := range ids {
+		nodes[i] = NewNode(id, Config{
+			Peers:           ids,
+			ElectionTimeout: 60 * time.Millisecond, // aggressive
+		})
+		c.AddNode(id, nodes[i])
+	}
+	c.Run(30 * time.Second)
+	if n := leaderCount(nodes); n != 1 {
+		t.Fatalf("leaders = %d after 30s, want exactly 1", n)
+	}
+}
+
+// TestSnapshotCatchupAfterCompaction: a node down through more commits
+// than the retained log tail must catch up via a snapshot, not entries.
+func TestSnapshotCatchupAfterCompaction(t *testing.T) {
+	c := sim.New(sim.Config{Seed: 29, Latency: sim.Uniform(time.Millisecond, 5*time.Millisecond)})
+	ids := []string{"p0", "p1", "p2"}
+	nodes := make([]*Node, 3)
+	for i, id := range ids {
+		nodes[i] = NewNode(id, Config{Peers: ids, SnapshotEvery: 20})
+		c.AddNode(id, nodes[i])
+	}
+	cl := NewClient("client", ids)
+	c.AddNode("client", cl)
+	env := c.ClientEnv("client")
+
+	c.At(time.Second, func() { c.Crash("p2") })
+	done := 0
+	var loop func(i int)
+	loop = func(i int) {
+		if i >= 80 { // far beyond SnapshotEvery+tail
+			return
+		}
+		cl.Put(env, fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i)), func(Result) { done++; loop(i + 1) })
+	}
+	c.At(2*time.Second, func() { loop(0) })
+	c.At(60*time.Second, func() { c.Restart("p2") })
+	c.Run(3 * time.Minute)
+
+	if done != 80 {
+		t.Fatalf("committed %d/80", done)
+	}
+	// Compaction actually happened at the live nodes.
+	if nodes[0].Snapshots == 0 && nodes[1].Snapshots == 0 {
+		t.Fatal("no node ever compacted despite 80 commits at SnapshotEvery=20")
+	}
+	// The laggard installed a snapshot (entry catch-up alone cannot span
+	// the compacted prefix).
+	if nodes[2].SnapshotsInstalled == 0 {
+		t.Fatal("restarted node never installed a snapshot")
+	}
+	// And its state machine is complete.
+	for i := 0; i < 80; i++ {
+		v, ok := nodes[2].Value(fmt.Sprintf("k%d", i))
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("restarted node missing k%d after snapshot catch-up (%q, %v)", i, v, ok)
+		}
+	}
+	// Log memory is bounded: retained entries ≪ total commits.
+	if n := len(nodes[0].log); n > 60 {
+		t.Fatalf("leader retains %d log entries after compaction", n)
+	}
+}
+
+// TestCatchupAfterLongOutage: a node down through many commits catches up
+// fully via heartbeat-triggered catch-up after restart.
+func TestCatchupAfterLongOutage(t *testing.T) {
+	c, nodes, ids := buildGroup(t, 3, 19)
+	cl, env := addClient(c, "client", ids)
+	c.At(time.Second, func() { c.Crash(ids[2]) })
+	done := 0
+	var loop func(i int)
+	loop = func(i int) {
+		if i >= 20 {
+			return
+		}
+		cl.Put(env, fmt.Sprintf("k%d", i), []byte("v"), func(Result) { done++; loop(i + 1) })
+	}
+	c.At(2*time.Second, func() { loop(0) })
+	c.At(30*time.Second, func() { c.Restart(ids[2]) })
+	c.Run(2 * time.Minute)
+	if done != 20 {
+		t.Fatalf("committed %d/20", done)
+	}
+	for i := 0; i < 20; i++ {
+		if _, ok := nodes[2].Value(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("restarted node missing k%d after catch-up", i)
+		}
+	}
+}

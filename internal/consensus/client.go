@@ -1,0 +1,145 @@
+package consensus
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Client submits commands to the replicated state machine, following
+// leader redirects, timing out unreachable targets, and retrying with
+// backoff until the command commits or the retry budget is exhausted.
+// Register it as a simulator node.
+type Client struct {
+	id    string
+	peers []string
+
+	// Retries bounds redirect/retry attempts per command (default
+	// DefaultRetries).
+	Retries int
+	// RequestTimeout is how long to wait for any reply from the current
+	// target before trying the next peer (default 1s).
+	RequestTimeout time.Duration
+
+	nextSeq uint64
+	pending map[uint64]*pendingCmd
+}
+
+type pendingCmd struct {
+	cmd     Command
+	cb      func(Result)
+	target  int // index into peers currently tried
+	retries int
+	attempt uint64 // guards stale timeout timers
+}
+
+type retryTag struct {
+	seq     uint64
+	attempt uint64
+}
+
+// DefaultRetries is the default per-command retry budget.
+const DefaultRetries = 20
+
+// NewClient returns a client that knows the consensus group membership.
+func NewClient(id string, peers []string) *Client {
+	return &Client{
+		id:             id,
+		peers:          peers,
+		Retries:        DefaultRetries,
+		RequestTimeout: time.Second,
+		pending:        make(map[uint64]*pendingCmd),
+	}
+}
+
+// OnStart implements sim.Handler.
+func (c *Client) OnStart(sim.Env) {}
+
+// OnTimer implements sim.Handler.
+func (c *Client) OnTimer(env sim.Env, tag any) {
+	t, ok := tag.(retryTag)
+	if !ok {
+		return
+	}
+	p, ok := c.pending[t.seq]
+	if !ok || p.attempt != t.attempt {
+		return // already answered or already retried
+	}
+	// No reply from the current target: rotate and retry.
+	c.retry(env, t.seq, p, (p.target+1)%len(c.peers))
+}
+
+func (c *Client) retry(env sim.Env, seq uint64, p *pendingCmd, nextTarget int) {
+	p.retries++
+	if p.retries > c.Retries {
+		delete(c.pending, seq)
+		if p.cb != nil {
+			p.cb(Result{Seq: seq, Op: p.cmd.Op, Key: p.cmd.Key, Err: "retries exhausted"})
+		}
+		return
+	}
+	p.target = nextTarget
+	p.attempt++
+	env.Send(c.peers[p.target], clientReq{Cmd: p.cmd})
+	env.SetTimer(c.RequestTimeout, retryTag{seq: seq, attempt: p.attempt})
+}
+
+// OnMessage implements sim.Handler.
+func (c *Client) OnMessage(env sim.Env, _ string, msg sim.Message) {
+	res, ok := msg.(Result)
+	if !ok {
+		return
+	}
+	p, ok := c.pending[res.Seq]
+	if !ok {
+		return // duplicate reply for an already completed command
+	}
+	if res.Err == "" {
+		delete(c.pending, res.Seq)
+		if p.cb != nil {
+			p.cb(res)
+		}
+		return
+	}
+	// Follow the leader hint when one is given, otherwise rotate.
+	next := (p.target + 1) % len(c.peers)
+	if res.Leader != "" {
+		for i, peer := range c.peers {
+			if peer == res.Leader {
+				next = i
+				break
+			}
+		}
+	}
+	c.retry(env, res.Seq, p, next)
+}
+
+func (c *Client) submit(env sim.Env, op, key string, value []byte, cb func(Result)) {
+	c.nextSeq++
+	cmd := Command{Seq: c.nextSeq, Op: op, Key: key, Value: value}
+	p := &pendingCmd{cmd: cmd, cb: cb, target: int(c.nextSeq) % len(c.peers)}
+	c.pending[c.nextSeq] = p
+	env.Send(c.peers[p.target], clientReq{Cmd: cmd})
+	env.SetTimer(c.RequestTimeout, retryTag{seq: c.nextSeq, attempt: 0})
+}
+
+// Put replicates key=value through consensus.
+func (c *Client) Put(env sim.Env, key string, value []byte, cb func(Result)) {
+	c.submit(env, "put", key, value, cb)
+}
+
+// Get performs a linearizable read (the read goes through the log).
+func (c *Client) Get(env sim.Env, key string, cb func(Result)) {
+	c.submit(env, "get", key, nil, cb)
+}
+
+// Delete removes key through consensus.
+func (c *Client) Delete(env sim.Env, key string, cb func(Result)) {
+	c.submit(env, "del", key, nil, cb)
+}
+
+// Pending returns how many commands are outstanding.
+func (c *Client) Pending() int { return len(c.pending) }
+
+// ID returns the client's simulator id.
+func (c *Client) ID() string { return c.id }

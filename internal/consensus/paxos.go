@@ -1,0 +1,697 @@
+// Package consensus implements a Multi-Paxos replicated log with leader
+// election, catch-up, and a replicated key-value state machine on top —
+// the strong-consistency baseline the tutorial contrasts eventual
+// consistency against (the Megastore/Spanner-style synchronous
+// geo-replication that pays a majority round trip per commit and loses
+// availability on the minority side of a partition; experiments E1, E7,
+// E9).
+//
+// Roles are combined: every node is proposer, acceptor, and learner. A
+// node that suspects the leader (missed heartbeats) runs Phase 1 with a
+// higher ballot; the winner leads Phase 2 for client commands. Committed
+// entries apply to the KV state machine in log order.
+package consensus
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Ballot orders leadership attempts.
+type Ballot struct {
+	N    uint64
+	Node string
+}
+
+// Less orders ballots.
+func (b Ballot) Less(o Ballot) bool {
+	if b.N != o.N {
+		return b.N < o.N
+	}
+	return b.Node < o.Node
+}
+
+// AtLeast reports b >= o.
+func (b Ballot) AtLeast(o Ballot) bool { return !b.Less(o) }
+
+// String implements fmt.Stringer.
+func (b Ballot) String() string { return fmt.Sprintf("%d.%s", b.N, b.Node) }
+
+// Command is one state-machine operation.
+type Command struct {
+	// ID pairs the command with the requesting client (ClientID, Seq);
+	// replies route by it and duplicate submissions are filtered by it.
+	ClientID string
+	Seq      uint64
+	// Op is "put", "del", or "get".
+	Op    string
+	Key   string
+	Value []byte
+}
+
+// Result is the state-machine output delivered to the client.
+type Result struct {
+	Seq   uint64
+	Op    string
+	Key   string
+	Value []byte
+	Found bool
+	// Err is set when the node could not commit (for example it is in a
+	// minority partition); the client may retry elsewhere.
+	Err string
+	// Leader hints where to retry when Err is "not leader".
+	Leader string
+}
+
+type logEntry struct {
+	accepted Ballot
+	value    Command
+	hasValue bool
+	chosen   bool
+}
+
+// Protocol messages.
+type (
+	prepare struct {
+		B    Ballot
+		From uint64 // first slot the new leader needs state for
+	}
+	promise struct {
+		B        Ballot
+		Accepted map[uint64]acceptedSlot
+		LastSlot uint64
+		// Committed is the promiser's highest applied slot; a new leader
+		// must not invent no-ops at or below the quorum's maximum (those
+		// slots are already chosen somewhere).
+		Committed uint64
+	}
+	reject struct {
+		B Ballot // the higher promised ballot
+	}
+	accept struct {
+		B    Ballot
+		Slot uint64
+		Cmd  Command
+	}
+	acceptedMsg struct {
+		B    Ballot
+		Slot uint64
+	}
+	commitMsg struct {
+		Slot uint64
+		Cmd  Command
+	}
+	heartbeat struct {
+		B         Ballot
+		Committed uint64 // highest committed slot, for catch-up detection
+	}
+	catchupReq struct {
+		From uint64
+	}
+	catchupResp struct {
+		Entries map[uint64]Command
+	}
+	// snapshotMsg replaces a lagging node's state wholesale when the
+	// entries it needs have been compacted away.
+	snapshotMsg struct {
+		Slot    uint64
+		KV      map[string][]byte
+		LastSeq map[string]uint64
+	}
+	clientReq struct {
+		Cmd Command
+	}
+)
+
+type acceptedSlot struct {
+	B   Ballot
+	Cmd Command
+}
+
+// Config configures a consensus node.
+type Config struct {
+	// Peers lists all nodes (including self).
+	Peers []string
+	// HeartbeatInterval is the leader's heartbeat period (default 50ms).
+	HeartbeatInterval time.Duration
+	// ElectionTimeout is how long a follower waits without heartbeats
+	// before campaigning (default 300ms; jittered per node).
+	ElectionTimeout time.Duration
+	// CommitTimeout bounds how long a client command may stay pending
+	// before failing back to the client (default 1s).
+	CommitTimeout time.Duration
+	// SnapshotEvery compacts the log each time this many new slots
+	// commit, replacing the prefix with a state snapshot (default 128;
+	// set negative to disable compaction).
+	SnapshotEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if c.ElectionTimeout <= 0 {
+		c.ElectionTimeout = 300 * time.Millisecond
+	}
+	if c.CommitTimeout <= 0 {
+		c.CommitTimeout = time.Second
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 128
+	}
+	return c
+}
+
+type pendingSlot struct {
+	cmd    Command
+	votes  map[string]bool
+	since  time.Duration
+	failed bool // client already got a timeout error; keep driving the slot
+}
+
+// Node is one Multi-Paxos replica. It implements sim.Handler.
+type Node struct {
+	cfg Config
+	id  string
+
+	// Acceptor state.
+	promised Ballot
+	log      map[uint64]*logEntry
+
+	// Leader state.
+	ballot     Ballot
+	isLeader   bool
+	preparing  bool
+	promises   map[string]promise
+	nextSlot   uint64
+	inFlight   map[uint64]*pendingSlot
+	leaderHint string
+
+	// Learner state.
+	committed uint64 // highest slot such that all slots <= it are chosen
+	applied   uint64
+	kv        map[string][]byte
+	// lastSeq filters duplicate client submissions (at-most-once).
+	lastSeq map[string]uint64
+
+	lastHeartbeat time.Duration
+
+	// compactedThrough is the highest slot folded into the snapshot; log
+	// entries at or below it are discarded.
+	compactedThrough uint64
+
+	// Commits counts commands this node applied.
+	Commits uint64
+	// Snapshots counts compactions performed.
+	Snapshots uint64
+	// SnapshotsInstalled counts snapshots received and installed.
+	SnapshotsInstalled uint64
+}
+
+type electionTick struct{}
+type heartbeatTick struct{}
+type commitSweep struct{}
+
+// NewNode returns a consensus node.
+func NewNode(id string, cfg Config) *Node {
+	return &Node{
+		cfg:      cfg.withDefaults(),
+		id:       id,
+		log:      make(map[uint64]*logEntry),
+		inFlight: make(map[uint64]*pendingSlot),
+		kv:       make(map[string][]byte),
+		lastSeq:  make(map[string]uint64),
+	}
+}
+
+func (n *Node) majority() int { return len(n.cfg.Peers)/2 + 1 }
+
+// OnStart implements sim.Handler.
+func (n *Node) OnStart(env sim.Env) {
+	n.lastHeartbeat = env.Now()
+	env.SetTimer(n.electionDelay(env), electionTick{})
+	env.SetTimer(n.cfg.CommitTimeout/2, commitSweep{})
+}
+
+func (n *Node) electionDelay(env sim.Env) time.Duration {
+	return n.cfg.ElectionTimeout + time.Duration(env.Rand().Int63n(int64(n.cfg.ElectionTimeout)))
+}
+
+// OnTimer implements sim.Handler.
+func (n *Node) OnTimer(env sim.Env, tag any) {
+	switch tag.(type) {
+	case electionTick:
+		if !n.isLeader && env.Now()-n.lastHeartbeat >= n.cfg.ElectionTimeout {
+			n.campaign(env)
+		}
+		env.SetTimer(n.electionDelay(env), electionTick{})
+	case heartbeatTick:
+		if n.isLeader {
+			for _, p := range n.cfg.Peers {
+				if p != n.id {
+					env.Send(p, heartbeat{B: n.ballot, Committed: n.committed})
+				}
+			}
+			// Retransmit accepts for slots still awaiting a majority, so
+			// lost messages cannot wedge a slot (and with it every later
+			// slot) forever. Acceptors and the vote map are idempotent.
+			for slot, p := range n.inFlight {
+				for _, peer := range n.cfg.Peers {
+					if peer != n.id && !p.votes[peer] {
+						env.Send(peer, accept{B: n.ballot, Slot: slot, Cmd: p.cmd})
+					}
+				}
+			}
+			env.SetTimer(n.cfg.HeartbeatInterval, heartbeatTick{})
+		}
+	case commitSweep:
+		n.sweepPending(env)
+		env.SetTimer(n.cfg.CommitTimeout/2, commitSweep{})
+	}
+}
+
+// campaign starts Phase 1 with a ballot above everything seen.
+func (n *Node) campaign(env sim.Env) {
+	n.ballot = Ballot{N: n.promised.N + 1, Node: n.id}
+	n.preparing = true
+	n.isLeader = false
+	n.promises = make(map[string]promise)
+	msg := prepare{B: n.ballot, From: n.committed + 1}
+	// Promise to self.
+	n.promised = n.ballot
+	n.promises[n.id] = n.buildPromise(msg.From)
+	for _, p := range n.cfg.Peers {
+		if p != n.id {
+			env.Send(p, msg)
+		}
+	}
+	n.checkElected(env)
+}
+
+func (n *Node) buildPromise(from uint64) promise {
+	acc := make(map[uint64]acceptedSlot)
+	var last uint64
+	for s, e := range n.log {
+		if s > last {
+			last = s
+		}
+		if s >= from && e.hasValue {
+			acc[s] = acceptedSlot{B: e.accepted, Cmd: e.value}
+		}
+	}
+	return promise{B: n.promised, Accepted: acc, LastSlot: last, Committed: n.committed}
+}
+
+// OnMessage implements sim.Handler.
+func (n *Node) OnMessage(env sim.Env, from string, msg sim.Message) {
+	switch m := msg.(type) {
+	case prepare:
+		n.onPrepare(env, from, m)
+	case promise:
+		n.onPromise(env, from, m)
+	case reject:
+		if n.promised.Less(m.B) {
+			n.promised = m.B
+		}
+		if n.preparing || n.isLeader {
+			// Someone with a higher ballot is out there; step down.
+			n.preparing = false
+			n.stepDown(env, m.B.Node)
+		}
+	case accept:
+		n.onAccept(env, from, m)
+	case acceptedMsg:
+		n.onAccepted(env, from, m)
+	case commitMsg:
+		n.learn(env, m.Slot, m.Cmd)
+	case heartbeat:
+		n.onHeartbeat(env, from, m)
+	case catchupReq:
+		n.onCatchupReq(env, from, m)
+	case catchupResp:
+		for s, cmd := range m.Entries {
+			n.learn(env, s, cmd)
+		}
+	case snapshotMsg:
+		n.installSnapshot(env, m)
+	case clientReq:
+		n.onClientReq(env, from, m)
+	}
+}
+
+func (n *Node) onPrepare(env sim.Env, from string, m prepare) {
+	if m.B.Less(n.promised) {
+		env.Send(from, reject{B: n.promised})
+		return
+	}
+	n.promised = m.B
+	if n.isLeader && m.B.Node != n.id {
+		n.stepDown(env, m.B.Node)
+	}
+	n.lastHeartbeat = env.Now() // a live campaigner resets the election clock
+	env.Send(from, n.buildPromise(m.From))
+}
+
+func (n *Node) onPromise(env sim.Env, from string, m promise) {
+	if !n.preparing || m.B != n.ballot {
+		return
+	}
+	n.promises[from] = m
+	n.checkElected(env)
+}
+
+func (n *Node) checkElected(env sim.Env) {
+	if !n.preparing || len(n.promises) < n.majority() {
+		return
+	}
+	n.preparing = false
+	n.isLeader = true
+	n.leaderHint = n.id
+
+	// Adopt the highest-ballot accepted value per slot, and re-propose.
+	// Slots at or below the quorum's committed floor are already chosen
+	// somewhere: never invent no-ops for them (their value may have been
+	// compacted out of every promise); fetch them by catch-up instead.
+	adopt := make(map[uint64]acceptedSlot)
+	var last uint64
+	floor := n.committed
+	floorHolder := ""
+	for from, p := range n.promises {
+		if p.LastSlot > last {
+			last = p.LastSlot
+		}
+		if p.Committed > floor {
+			floor = p.Committed
+			floorHolder = from
+		}
+		for s, a := range p.Accepted {
+			if cur, ok := adopt[s]; !ok || cur.B.Less(a.B) {
+				adopt[s] = a
+			}
+		}
+	}
+	if floor > n.committed && floorHolder != "" && floorHolder != n.id {
+		env.Send(floorHolder, catchupReq{From: n.committed + 1})
+	}
+	n.nextSlot = floor + 1
+	for s := floor + 1; s <= last; s++ {
+		if a, ok := adopt[s]; ok {
+			n.propose(env, s, a.Cmd)
+		} else {
+			// Fill gaps above the floor with no-ops so later slots can
+			// commit.
+			n.propose(env, s, Command{Op: "noop"})
+		}
+		if s >= n.nextSlot {
+			n.nextSlot = s + 1
+		}
+	}
+	env.SetTimer(0, heartbeatTick{})
+}
+
+func (n *Node) stepDown(env sim.Env, leaderHint string) {
+	wasLeader := n.isLeader
+	n.isLeader = false
+	n.leaderHint = leaderHint
+	if wasLeader {
+		// Fail pending client commands so clients can retry at the new
+		// leader.
+		for s, p := range n.inFlight {
+			n.replyErr(env, p.cmd, "not leader", leaderHint)
+			delete(n.inFlight, s)
+		}
+	}
+}
+
+func (n *Node) propose(env sim.Env, slot uint64, cmd Command) {
+	p := &pendingSlot{cmd: cmd, votes: map[string]bool{n.id: true}, since: env.Now()}
+	n.inFlight[slot] = p
+	// Accept locally.
+	n.storeAccept(slot, n.ballot, cmd)
+	for _, peer := range n.cfg.Peers {
+		if peer != n.id {
+			env.Send(peer, accept{B: n.ballot, Slot: slot, Cmd: cmd})
+		}
+	}
+	n.maybeChosen(env, slot)
+}
+
+func (n *Node) storeAccept(slot uint64, b Ballot, cmd Command) {
+	e, ok := n.log[slot]
+	if !ok {
+		e = &logEntry{}
+		n.log[slot] = e
+	}
+	if e.chosen {
+		return
+	}
+	e.accepted = b
+	e.value = cmd
+	e.hasValue = true
+}
+
+func (n *Node) onAccept(env sim.Env, from string, m accept) {
+	if m.B.Less(n.promised) {
+		env.Send(from, reject{B: n.promised})
+		return
+	}
+	n.promised = m.B
+	n.lastHeartbeat = env.Now()
+	if n.isLeader && m.B.Node != n.id {
+		n.stepDown(env, m.B.Node)
+	}
+	n.storeAccept(m.Slot, m.B, m.Cmd)
+	env.Send(from, acceptedMsg{B: m.B, Slot: m.Slot})
+}
+
+func (n *Node) onAccepted(env sim.Env, from string, m acceptedMsg) {
+	if !n.isLeader || m.B != n.ballot {
+		return
+	}
+	p, ok := n.inFlight[m.Slot]
+	if !ok {
+		return
+	}
+	p.votes[from] = true
+	n.maybeChosen(env, m.Slot)
+}
+
+func (n *Node) maybeChosen(env sim.Env, slot uint64) {
+	p, ok := n.inFlight[slot]
+	if !ok || len(p.votes) < n.majority() {
+		return
+	}
+	delete(n.inFlight, slot)
+	for _, peer := range n.cfg.Peers {
+		if peer != n.id {
+			env.Send(peer, commitMsg{Slot: slot, Cmd: p.cmd})
+		}
+	}
+	n.learn(env, slot, p.cmd)
+}
+
+// learn marks a slot chosen and applies every contiguous chosen slot.
+func (n *Node) learn(env sim.Env, slot uint64, cmd Command) {
+	e, ok := n.log[slot]
+	if !ok {
+		e = &logEntry{}
+		n.log[slot] = e
+	}
+	if e.chosen {
+		return
+	}
+	e.value = cmd
+	e.hasValue = true
+	e.chosen = true
+	for {
+		next, ok := n.log[n.committed+1]
+		if !ok || !next.chosen {
+			break
+		}
+		n.committed++
+		n.apply(env, n.committed, next.value)
+	}
+	n.maybeCompact()
+}
+
+// maybeCompact folds the committed log prefix into a snapshot once
+// enough new slots have applied, keeping a small tail for cheap
+// entry-based catch-up.
+func (n *Node) maybeCompact() {
+	if n.cfg.SnapshotEvery < 0 {
+		return
+	}
+	const tail = 16 // retained entries below committed
+	if n.committed < n.compactedThrough+uint64(n.cfg.SnapshotEvery)+tail {
+		return
+	}
+	upTo := n.committed - tail
+	for s := n.compactedThrough + 1; s <= upTo; s++ {
+		delete(n.log, s)
+	}
+	n.compactedThrough = upTo
+	n.Snapshots++
+}
+
+// snapshot captures the state machine for a lagging peer.
+func (n *Node) snapshot() snapshotMsg {
+	kv := make(map[string][]byte, len(n.kv))
+	for k, v := range n.kv {
+		kv[k] = v
+	}
+	seq := make(map[string]uint64, len(n.lastSeq))
+	for k, v := range n.lastSeq {
+		seq[k] = v
+	}
+	return snapshotMsg{Slot: n.committed, KV: kv, LastSeq: seq}
+}
+
+// installSnapshot replaces state with a snapshot ahead of this node.
+func (n *Node) installSnapshot(env sim.Env, m snapshotMsg) {
+	if m.Slot <= n.committed {
+		return
+	}
+	n.kv = make(map[string][]byte, len(m.KV))
+	for k, v := range m.KV {
+		n.kv[k] = v
+	}
+	n.lastSeq = make(map[string]uint64, len(m.LastSeq))
+	for k, v := range m.LastSeq {
+		n.lastSeq[k] = v
+	}
+	for s := range n.log {
+		if s <= m.Slot {
+			delete(n.log, s)
+		}
+	}
+	n.committed = m.Slot
+	n.applied = m.Slot
+	if m.Slot > n.compactedThrough {
+		n.compactedThrough = m.Slot
+	}
+	n.SnapshotsInstalled++
+}
+
+func (n *Node) apply(env sim.Env, slot uint64, cmd Command) {
+	n.applied = slot
+	n.Commits++
+	if cmd.Op == "noop" {
+		return
+	}
+	dup := cmd.Seq <= n.lastSeq[cmd.ClientID]
+	if !dup {
+		n.lastSeq[cmd.ClientID] = cmd.Seq
+	}
+	res := Result{Seq: cmd.Seq, Op: cmd.Op, Key: cmd.Key}
+	switch cmd.Op {
+	case "put":
+		if !dup {
+			n.kv[cmd.Key] = cmd.Value
+		}
+		res.Value = cmd.Value
+	case "del":
+		if !dup {
+			delete(n.kv, cmd.Key)
+		}
+	case "get":
+		v, ok := n.kv[cmd.Key]
+		res.Value = v
+		res.Found = ok
+	}
+	// Only the node that proposed the command replies (it knows the
+	// client); every replica applies. Proposer == current leader that had
+	// it in flight — we reply from whichever node is applying if it was
+	// the command's entry point. Simplest correct scheme in this
+	// simulator: every node replies iff it currently believes it is the
+	// leader; duplicate replies are filtered client-side by Seq.
+	if n.isLeader && cmd.ClientID != "" {
+		env.Send(cmd.ClientID, res)
+	}
+}
+
+func (n *Node) replyErr(env sim.Env, cmd Command, errStr, leader string) {
+	if cmd.ClientID == "" {
+		return
+	}
+	env.Send(cmd.ClientID, Result{Seq: cmd.Seq, Op: cmd.Op, Key: cmd.Key, Err: errStr, Leader: leader})
+}
+
+func (n *Node) onHeartbeat(env sim.Env, from string, m heartbeat) {
+	if m.B.Less(n.promised) {
+		env.Send(from, reject{B: n.promised})
+		return
+	}
+	n.promised = m.B
+	n.lastHeartbeat = env.Now()
+	if n.isLeader && m.B.Node != n.id {
+		n.stepDown(env, m.B.Node)
+	}
+	n.leaderHint = from
+	if m.Committed > n.committed {
+		env.Send(from, catchupReq{From: n.committed + 1})
+	}
+}
+
+func (n *Node) onCatchupReq(env sim.Env, from string, m catchupReq) {
+	start := m.From
+	if start <= n.compactedThrough {
+		// The requested prefix is gone: ship the snapshot, then any
+		// retained entries above it.
+		env.Send(from, n.snapshot())
+		start = n.compactedThrough + 1
+	}
+	entries := make(map[uint64]Command)
+	for s := start; s <= n.committed; s++ {
+		if e, ok := n.log[s]; ok && e.chosen {
+			entries[s] = e.value
+		}
+	}
+	if len(entries) > 0 {
+		env.Send(from, catchupResp{Entries: entries})
+	}
+}
+
+func (n *Node) onClientReq(env sim.Env, from string, m clientReq) {
+	cmd := m.Cmd
+	cmd.ClientID = from
+	if !n.isLeader {
+		if n.preparing {
+			// Election in progress; fail fast, client retries.
+			n.replyErr(env, cmd, "no leader", n.leaderHint)
+			return
+		}
+		n.replyErr(env, cmd, "not leader", n.leaderHint)
+		return
+	}
+	slot := n.nextSlot
+	n.nextSlot++
+	n.propose(env, slot, cmd)
+}
+
+// sweepPending fails client commands stuck longer than CommitTimeout
+// (e.g. leader in a minority partition) back to their clients. The slot
+// itself stays in flight: a chosen slot may not be abandoned, and an
+// unchosen one must keep being driven or it becomes a permanent log gap.
+// The retried client command dedups by sequence number at apply time.
+func (n *Node) sweepPending(env sim.Env) {
+	for _, p := range n.inFlight {
+		if !p.failed && env.Now()-p.since >= n.cfg.CommitTimeout {
+			p.failed = true
+			n.replyErr(env, p.cmd, "commit timeout", n.leaderHint)
+		}
+	}
+}
+
+// IsLeader reports whether this node currently believes it leads.
+func (n *Node) IsLeader() bool { return n.isLeader }
+
+// Committed returns the highest contiguous committed slot.
+func (n *Node) Committed() uint64 { return n.committed }
+
+// Value exposes the state machine's current value for key, for tests.
+func (n *Node) Value(key string) ([]byte, bool) {
+	v, ok := n.kv[key]
+	return v, ok
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// roundTrip writes then reads a key through the unified API and returns
+// the read result.
+func roundTrip(t *testing.T, m Model, seed int64) GetResult {
+	t.Helper()
+	c := New(Options{Model: m, Seed: seed})
+	cl := c.NewClient("client")
+	var got GetResult
+	done := false
+	// Strong needs leader election first; start late enough for all.
+	c.At(2*time.Second, func() {
+		cl.Put("k", []byte("v"), func(pr PutResult) {
+			if pr.Err != nil {
+				t.Errorf("%v put failed: %v", m, pr.Err)
+			}
+			cl.Get("k", func(gr GetResult) { got = gr; done = true })
+		})
+	})
+	c.Run(30 * time.Second)
+	if !done {
+		t.Fatalf("%v: round trip never completed", m)
+	}
+	return got
+}
+
+func TestRoundTripEveryModel(t *testing.T) {
+	for _, m := range Models {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			got := roundTrip(t, m, 42)
+			if got.Err != nil {
+				t.Fatalf("get failed: %v", got.Err)
+			}
+			v, ok := got.Value()
+			if !ok || string(v) != "v" {
+				t.Fatalf("value = %q ok=%v", v, ok)
+			}
+		})
+	}
+}
+
+func TestDeleteEveryModel(t *testing.T) {
+	for _, m := range Models {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			c := New(Options{Model: m, Seed: 7})
+			cl := c.NewClient("client")
+			var got GetResult
+			done := false
+			c.At(2*time.Second, func() {
+				cl.Put("k", []byte("v"), func(PutResult) {
+					cl.Delete("k", func(PutResult) {
+						cl.Get("k", func(gr GetResult) { got = gr; done = true })
+					})
+				})
+			})
+			c.Run(30 * time.Second)
+			if !done {
+				t.Fatal("sequence never completed")
+			}
+			if got.Err != nil {
+				t.Fatalf("get failed: %v", got.Err)
+			}
+			if v, ok := got.Value(); ok && len(v) > 0 {
+				t.Fatalf("deleted key still returned %q", v)
+			}
+		})
+	}
+}
+
+func TestMissingKeyEveryModel(t *testing.T) {
+	for _, m := range Models {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			c := New(Options{Model: m, Seed: 3})
+			cl := c.NewClient("client")
+			var got GetResult
+			done := false
+			c.At(2*time.Second, func() {
+				cl.Get("ghost", func(gr GetResult) { got = gr; done = true })
+			})
+			c.Run(30 * time.Second)
+			if !done {
+				t.Fatal("get never completed")
+			}
+			if got.Err != nil {
+				t.Fatalf("get errored: %v", got.Err)
+			}
+			if _, ok := got.Value(); ok {
+				t.Fatal("missing key returned a value")
+			}
+		})
+	}
+}
+
+func TestStrongUnavailableInMinorityPartition(t *testing.T) {
+	c := New(Options{Model: Strong, Seed: 5, Nodes: 5})
+	cl := c.NewClient("client")
+	nodes := c.Nodes()
+	var res PutResult
+	done := false
+	c.At(3*time.Second, func() {
+		// Client with a 2-node minority.
+		c.Sim().Partition(
+			[]string{nodes[0], nodes[1], "client"},
+			[]string{nodes[2], nodes[3], nodes[4]},
+		)
+		cl.Put("k", []byte("v"), func(r PutResult) { res = r; done = true })
+	})
+	c.Run(60 * time.Second)
+	if !done {
+		t.Fatal("put never resolved")
+	}
+	if res.Err == nil {
+		t.Fatal("strong write succeeded from a minority partition")
+	}
+}
+
+func TestEventualAvailableInMinorityPartition(t *testing.T) {
+	c := New(Options{Model: Eventual, Seed: 5, Nodes: 5})
+	cl := c.NewClient("client")
+	nodes := c.Nodes()
+	var res PutResult
+	done := false
+	c.At(time.Second, func() {
+		c.Sim().Partition(
+			[]string{nodes[0], "client"},
+			[]string{nodes[1], nodes[2], nodes[3], nodes[4]},
+		)
+		// Force the write at the reachable node.
+		cl.env.Send(nodes[0], gput{ID: 999, Key: "k", Val: []byte("v")})
+		cl.gsp.put[999] = func(r PutResult) { res = r; done = true }
+	})
+	c.Run(10 * time.Second)
+	if !done {
+		t.Fatal("put never resolved")
+	}
+	if res.Err != nil {
+		t.Fatalf("eventual write failed during partition: %v", res.Err)
+	}
+}
+
+func TestQuorumSiblingsSurfaceThroughCore(t *testing.T) {
+	c := New(Options{Model: Quorum, Seed: 9, N: 3, R: 3, W: 3})
+	a := c.NewClient("a")
+	b := c.NewClient("b")
+	var got GetResult
+	c.At(0, func() {
+		a.Put("k", []byte("va"), nil)
+		b.Put("k", []byte("vb"), nil)
+	})
+	c.At(2*time.Second, func() {
+		a.Get("k", func(r GetResult) { got = r })
+	})
+	c.Run(10 * time.Second)
+	if len(got.Values) != 2 {
+		t.Fatalf("siblings = %d, want 2 concurrent values", len(got.Values))
+	}
+}
+
+func TestCausalClientsInDifferentDCs(t *testing.T) {
+	c := New(Options{Model: Causal, Seed: 11, Nodes: 3})
+	w := c.NewClientIn("writer", "dc0")
+	r := c.NewClientIn("reader", "dc2")
+	var got GetResult
+	c.At(0, func() { w.Put("k", []byte("v"), nil) })
+	c.At(2*time.Second, func() {
+		r.Get("k", func(res GetResult) { got = res })
+	})
+	c.Run(10 * time.Second)
+	v, ok := got.Value()
+	if !ok || string(v) != "v" {
+		t.Fatalf("remote-DC read = %q ok=%v", v, ok)
+	}
+}
+
+func TestSequentialWritesEveryModelEndWithLastValue(t *testing.T) {
+	for _, m := range Models {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			c := New(Options{Model: m, Seed: 13})
+			cl := c.NewClient("client")
+			var final GetResult
+			done := false
+			var loop func(i int)
+			loop = func(i int) {
+				if i >= 5 {
+					cl.Get("k", func(r GetResult) { final = r; done = true })
+					return
+				}
+				cl.Put("k", []byte(fmt.Sprintf("v%d", i)), func(PutResult) { loop(i + 1) })
+			}
+			c.At(2*time.Second, func() { loop(0) })
+			c.Run(60 * time.Second)
+			if !done {
+				t.Fatal("sequence never completed")
+			}
+			v, ok := final.Value()
+			if !ok {
+				t.Fatal("final read empty")
+			}
+			// Session/eventual/etc. may in principle read stale, but a
+			// same-session read-after-write with all guarantees (the
+			// default) must return the last value; LWW models resolve to
+			// the newest too.
+			if string(v) != "v4" && len(final.Values) == 1 {
+				t.Fatalf("final value = %q, want v4", v)
+			}
+		})
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if Strong.String() != "strong" || Eventual.String() != "eventual" {
+		t.Fatal("model names wrong")
+	}
+	if Model(99).String() == "" {
+		t.Fatal("unknown model must still format")
+	}
+}

@@ -1,0 +1,151 @@
+// Package crdt implements the conflict-free replicated data types the
+// tutorial presents as the principled route to convergence: replicas apply
+// updates locally without coordination, exchange state (or operations),
+// and merge; because merge is a join in a semilattice (commutative,
+// associative, idempotent), all replicas that have seen the same updates
+// hold the same state, regardless of delivery order or duplication.
+//
+// State-based types here: GCounter, PNCounter, GSet, TwoPSet, ORSet,
+// LWWRegister, MVRegister, LWWMap, ORMap, and RGA (a replicated sequence).
+// Op-based variants (OpCounter, OpORSet) with a causal delivery buffer
+// live in opbased.go.
+package crdt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GCounter is a grow-only counter: one monotone counter slot per replica;
+// the value is the sum and merge is the entry-wise max.
+type GCounter struct {
+	id     string
+	counts map[string]uint64
+}
+
+// NewGCounter returns a counter owned by replica id.
+func NewGCounter(id string) *GCounter {
+	return &GCounter{id: id, counts: make(map[string]uint64)}
+}
+
+// Inc adds n (which must not make the replica's slot decrease; n is
+// unsigned so it cannot).
+func (c *GCounter) Inc(n uint64) { c.counts[c.id] += n }
+
+// Value returns the counter's current value.
+func (c *GCounter) Value() uint64 {
+	var s uint64
+	for _, n := range c.counts {
+		s += n
+	}
+	return s
+}
+
+// Merge joins other into c (entry-wise max).
+func (c *GCounter) Merge(other *GCounter) {
+	for id, n := range other.counts {
+		if n > c.counts[id] {
+			c.counts[id] = n
+		}
+	}
+}
+
+// Copy returns a replica-local deep copy with the same owner id.
+func (c *GCounter) Copy() *GCounter {
+	out := NewGCounter(c.id)
+	for id, n := range c.counts {
+		out.counts[id] = n
+	}
+	return out
+}
+
+// Equal reports whether both counters hold identical state.
+func (c *GCounter) Equal(other *GCounter) bool {
+	if len(c.counts) != len(other.counts) {
+		// Extra zero entries should not break equality.
+		return c.equalSparse(other) && other.equalSparse(c)
+	}
+	return c.equalSparse(other) && other.equalSparse(c)
+}
+
+func (c *GCounter) equalSparse(other *GCounter) bool {
+	for id, n := range c.counts {
+		if other.counts[id] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// WireSize estimates the serialized size in bytes (id + 8-byte counter per
+// slot), the bandwidth proxy used by experiment E5.
+func (c *GCounter) WireSize() int {
+	n := 0
+	for id := range c.counts {
+		n += len(id) + 8
+	}
+	return n
+}
+
+// String implements fmt.Stringer.
+func (c *GCounter) String() string {
+	ids := make([]string, 0, len(c.counts))
+	for id := range c.counts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var b strings.Builder
+	fmt.Fprintf(&b, "GCounter(%d){", c.Value())
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", id, c.counts[id])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// PNCounter supports increments and decrements as a pair of GCounters.
+type PNCounter struct {
+	p, n *GCounter
+}
+
+// NewPNCounter returns a counter owned by replica id.
+func NewPNCounter(id string) *PNCounter {
+	return &PNCounter{p: NewGCounter(id), n: NewGCounter(id)}
+}
+
+// Inc adds n to the counter.
+func (c *PNCounter) Inc(n uint64) { c.p.Inc(n) }
+
+// Dec subtracts n from the counter.
+func (c *PNCounter) Dec(n uint64) { c.n.Inc(n) }
+
+// Value returns increments minus decrements (may be negative).
+func (c *PNCounter) Value() int64 {
+	return int64(c.p.Value()) - int64(c.n.Value())
+}
+
+// Merge joins other into c.
+func (c *PNCounter) Merge(other *PNCounter) {
+	c.p.Merge(other.p)
+	c.n.Merge(other.n)
+}
+
+// Copy returns a deep copy with the same owner id.
+func (c *PNCounter) Copy() *PNCounter {
+	return &PNCounter{p: c.p.Copy(), n: c.n.Copy()}
+}
+
+// Equal reports whether both counters hold identical state.
+func (c *PNCounter) Equal(other *PNCounter) bool {
+	return c.p.Equal(other.p) && c.n.Equal(other.n)
+}
+
+// WireSize estimates the serialized size in bytes.
+func (c *PNCounter) WireSize() int { return c.p.WireSize() + c.n.WireSize() }
+
+// String implements fmt.Stringer.
+func (c *PNCounter) String() string { return fmt.Sprintf("PNCounter(%d)", c.Value()) }

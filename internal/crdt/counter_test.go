@@ -1,0 +1,194 @@
+package crdt
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestGCounterBasics(t *testing.T) {
+	c := NewGCounter("a")
+	if c.Value() != 0 {
+		t.Fatal("new counter not zero")
+	}
+	c.Inc(3)
+	c.Inc(2)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestGCounterMergeTwoReplicas(t *testing.T) {
+	a, b := NewGCounter("a"), NewGCounter("b")
+	a.Inc(3)
+	b.Inc(4)
+	a.Merge(b)
+	b.Merge(a)
+	if a.Value() != 7 || b.Value() != 7 {
+		t.Fatalf("after merge: a=%d b=%d, want 7", a.Value(), b.Value())
+	}
+	if !a.Equal(b) {
+		t.Fatal("replicas not equal after bidirectional merge")
+	}
+}
+
+func TestGCounterMergeIsNotAddition(t *testing.T) {
+	// Merging the same state twice must not double-count (idempotence).
+	a, b := NewGCounter("a"), NewGCounter("b")
+	a.Inc(5)
+	b.Merge(a)
+	b.Merge(a)
+	b.Merge(a.Copy())
+	if b.Value() != 5 {
+		t.Fatalf("idempotence violated: %d, want 5", b.Value())
+	}
+}
+
+func TestPNCounterBasics(t *testing.T) {
+	c := NewPNCounter("a")
+	c.Inc(10)
+	c.Dec(4)
+	if c.Value() != 6 {
+		t.Fatalf("Value = %d, want 6", c.Value())
+	}
+	c.Dec(10)
+	if c.Value() != -4 {
+		t.Fatalf("Value = %d, want -4 (must go negative)", c.Value())
+	}
+}
+
+func TestPNCounterConcurrentIncDec(t *testing.T) {
+	a, b := NewPNCounter("a"), NewPNCounter("b")
+	a.Inc(5)
+	b.Dec(3)
+	a.Merge(b)
+	b.Merge(a)
+	if a.Value() != 2 || b.Value() != 2 {
+		t.Fatalf("a=%d b=%d, want 2", a.Value(), b.Value())
+	}
+	if !a.Equal(b) {
+		t.Fatal("replicas diverged")
+	}
+}
+
+// counterScript drives n replicas through a random schedule of increments
+// and pairwise merges, then fully merges and checks all replicas agree and
+// the value equals the sum of all increments (the CRDT convergence
+// contract).
+func TestGCounterQuickConvergence(t *testing.T) {
+	type step struct {
+		replica int
+		inc     uint64 // 0 means merge instead
+		from    int
+	}
+	const replicas = 4
+	cfg := &quick.Config{
+		MaxCount: 150,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(60)
+			steps := make([]step, n)
+			for i := range steps {
+				steps[i] = step{
+					replica: r.Intn(replicas),
+					inc:     uint64(r.Intn(5)), // 0 = merge
+					from:    r.Intn(replicas),
+				}
+			}
+			args[0] = reflect.ValueOf(steps)
+		},
+	}
+	prop := func(steps []step) bool {
+		cs := make([]*GCounter, replicas)
+		ids := []string{"a", "b", "c", "d"}
+		for i := range cs {
+			cs[i] = NewGCounter(ids[i])
+		}
+		var total uint64
+		for _, s := range steps {
+			if s.inc == 0 {
+				cs[s.replica].Merge(cs[s.from])
+			} else {
+				cs[s.replica].Inc(s.inc)
+				total += s.inc
+			}
+		}
+		// Full anti-entropy round: everyone merges everyone.
+		for i := range cs {
+			for j := range cs {
+				cs[i].Merge(cs[j])
+			}
+		}
+		for i := range cs {
+			if cs[i].Value() != total {
+				return false
+			}
+			if !cs[i].Equal(cs[0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGCounterLatticeLaws(t *testing.T) {
+	gen := func(r *rand.Rand) *GCounter {
+		ids := []string{"a", "b", "c"}
+		c := NewGCounter(ids[r.Intn(len(ids))])
+		for _, id := range ids {
+			c.counts[id] = uint64(r.Intn(10))
+		}
+		return c
+	}
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(gen(r))
+			args[1] = reflect.ValueOf(gen(r))
+			args[2] = reflect.ValueOf(gen(r))
+		},
+	}
+	commut := func(a, b, _ *GCounter) bool {
+		x, y := a.Copy(), b.Copy()
+		x.Merge(b)
+		y.Merge(a)
+		return x.Equal(y)
+	}
+	assoc := func(a, b, c *GCounter) bool {
+		x := a.Copy()
+		x.Merge(b)
+		x.Merge(c)
+		bc := b.Copy()
+		bc.Merge(c)
+		y := a.Copy()
+		y.Merge(bc)
+		return x.Equal(y)
+	}
+	idem := func(a, _, _ *GCounter) bool {
+		x := a.Copy()
+		x.Merge(a)
+		return x.Equal(a)
+	}
+	for name, prop := range map[string]any{"commutative": commut, "associative": assoc, "idempotent": idem} {
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Errorf("GCounter merge not %s: %v", name, err)
+		}
+	}
+}
+
+func TestCounterWireSize(t *testing.T) {
+	c := NewGCounter("node-1")
+	c.Inc(1)
+	if c.WireSize() != len("node-1")+8 {
+		t.Fatalf("WireSize = %d", c.WireSize())
+	}
+	p := NewPNCounter("n")
+	p.Inc(1)
+	p.Dec(1)
+	if p.WireSize() != 2*(1+8) {
+		t.Fatalf("PN WireSize = %d", p.WireSize())
+	}
+}

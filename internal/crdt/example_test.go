@@ -1,0 +1,95 @@
+package crdt_test
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/crdt"
+)
+
+// Two replicas of a grow-only counter increment independently and merge:
+// no increment is lost, in either merge order.
+func ExampleGCounter() {
+	a := crdt.NewGCounter("replica-a")
+	b := crdt.NewGCounter("replica-b")
+	a.Inc(3)
+	b.Inc(4)
+	a.Merge(b)
+	b.Merge(a)
+	fmt.Println(a.Value(), b.Value())
+	// Output: 7 7
+}
+
+// The Dynamo shopping cart: a concurrent remove and re-add resolve to
+// "add wins" — the re-added item survives the merge on both replicas.
+func ExampleORSet() {
+	cart := crdt.NewORSet[string]("dc1")
+	cart.Add("book")
+	other := cart.Fork("dc2")
+
+	cart.Remove("book") // concurrent with ...
+	other.Add("book")   // ... a re-add elsewhere
+
+	cart.Merge(other)
+	other.Merge(cart)
+	fmt.Println(cart.Contains("book"), other.Contains("book"))
+	// Output: true true
+}
+
+// A multi-value register surfaces concurrent writes as siblings instead
+// of silently dropping one; a subsequent write resolves them.
+func ExampleMVRegister() {
+	a := crdt.NewMVRegister[string]("a")
+	b := crdt.NewMVRegister[string]("b")
+	a.Set("x")
+	b.Set("y")
+	a.Merge(b)
+
+	vals := a.Get()
+	sort.Strings(vals)
+	fmt.Println(vals, a.Siblings())
+
+	a.Set("resolved")
+	fmt.Println(a.Get(), a.Siblings())
+	// Output:
+	// [x y] 2
+	// [resolved] 1
+}
+
+// A replicated sequence: concurrent inserts at the same position
+// converge to one order on both replicas after exchanging operations.
+func ExampleRGA() {
+	alice := crdt.NewRGA[rune]("alice")
+	bob := alice.Fork("bob")
+
+	opA := alice.Insert(0, 'A')
+	opB := bob.Insert(0, 'B')
+	alice.Integrate(opB)
+	bob.Integrate(opA)
+
+	fmt.Println(string(alice.Values()) == string(bob.Values()))
+	// Output: true
+}
+
+// CausalBuffer delays an op-based remove until the add it observed has
+// been applied, even when the network reorders them.
+func ExampleCausalBuffer() {
+	set := crdt.NewOpORSet[string]("a")
+	buf := crdt.NewCausalBuffer()
+
+	// Origin b added then removed "tmp"; the remove arrives first.
+	addEnv := crdt.Envelope{Origin: "b", Seq: 1, Op: crdt.AddOp[string]{Elem: "tmp", Tag: crdt.Tag{Replica: "b", Seq: 1}}}
+	rmEnv := crdt.Envelope{Origin: "b", Seq: 2, Op: crdt.RemoveOp[string]{Elem: "tmp", Tags: []crdt.Tag{{Replica: "b", Seq: 1}}}}
+
+	for _, ready := range buf.Deliver(rmEnv) {
+		set.Apply(ready.Op)
+	}
+	fmt.Println("after early remove:", set.Contains("tmp"), "buffered:", buf.Pending())
+	for _, ready := range buf.Deliver(addEnv) {
+		set.Apply(ready.Op)
+	}
+	fmt.Println("after both applied:", set.Contains("tmp"))
+	// Output:
+	// after early remove: false buffered: 1
+	// after both applied: false
+}

@@ -1,0 +1,181 @@
+package crdt
+
+import (
+	"repro/internal/clock"
+)
+
+// LWWMap is a map whose entries (including deletions) are resolved
+// last-writer-wins by HLC timestamp, the register semantics Cassandra
+// applies per column.
+type LWWMap[K comparable, V any] struct {
+	entries map[K]lwwEntry[V]
+}
+
+type lwwEntry[V any] struct {
+	value   V
+	ts      clock.HLCTimestamp
+	deleted bool
+}
+
+// NewLWWMap returns an empty map.
+func NewLWWMap[K comparable, V any]() *LWWMap[K, V] {
+	return &LWWMap[K, V]{entries: make(map[K]lwwEntry[V])}
+}
+
+// Set writes key=value at ts; stale writes are ignored. It reports
+// whether the write took effect.
+func (m *LWWMap[K, V]) Set(key K, value V, ts clock.HLCTimestamp) bool {
+	return m.apply(key, lwwEntry[V]{value: value, ts: ts})
+}
+
+// Delete tombstones key at ts; stale deletes are ignored.
+func (m *LWWMap[K, V]) Delete(key K, ts clock.HLCTimestamp) bool {
+	return m.apply(key, lwwEntry[V]{ts: ts, deleted: true})
+}
+
+func (m *LWWMap[K, V]) apply(key K, e lwwEntry[V]) bool {
+	if cur, ok := m.entries[key]; ok && !cur.ts.Before(e.ts) {
+		return false
+	}
+	m.entries[key] = e
+	return true
+}
+
+// Get returns the live value for key.
+func (m *LWWMap[K, V]) Get(key K) (V, bool) {
+	e, ok := m.entries[key]
+	if !ok || e.deleted {
+		var zero V
+		return zero, false
+	}
+	return e.value, true
+}
+
+// Len returns the number of live keys.
+func (m *LWWMap[K, V]) Len() int {
+	n := 0
+	for _, e := range m.entries {
+		if !e.deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// Keys returns live keys in unspecified order.
+func (m *LWWMap[K, V]) Keys() []K {
+	var out []K
+	for k, e := range m.entries {
+		if !e.deleted {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Merge joins other into m per key.
+func (m *LWWMap[K, V]) Merge(other *LWWMap[K, V]) {
+	for k, e := range other.entries {
+		m.apply(k, e)
+	}
+}
+
+// Copy returns a deep copy (values are copied shallowly).
+func (m *LWWMap[K, V]) Copy() *LWWMap[K, V] {
+	out := NewLWWMap[K, V]()
+	for k, e := range m.entries {
+		out.entries[k] = e
+	}
+	return out
+}
+
+// ORMap is an add-wins map from keys to PN-counter values — the composite
+// CRDT shape (Riak's "map" data type) the tutorial ends its CRDT tour on:
+// key presence behaves like an OR-Set, values merge as nested CRDTs.
+type ORMap[K comparable] struct {
+	id       string
+	presence *ORSet[K]
+	values   map[K]*PNCounter
+}
+
+// NewORMap returns an empty map owned by replica id.
+func NewORMap[K comparable](id string) *ORMap[K] {
+	return &ORMap[K]{
+		id:       id,
+		presence: NewORSet[K](id),
+		values:   make(map[K]*PNCounter),
+	}
+}
+
+// Update applies fn to the counter at key. Every update asserts the key's
+// presence with a fresh tag, so an update concurrent with a Remove at
+// another replica resurrects the entry (add-wins, Riak-map semantics).
+func (m *ORMap[K]) Update(key K, fn func(*PNCounter)) {
+	m.presence.Add(key)
+	c, ok := m.values[key]
+	if !ok {
+		c = NewPNCounter(m.id)
+		m.values[key] = c
+	}
+	fn(c)
+}
+
+// Remove deletes key with observed-remove semantics: concurrent updates at
+// other replicas resurrect the entry (with their counter state).
+func (m *ORMap[K]) Remove(key K) {
+	m.presence.Remove(key)
+	delete(m.values, key)
+}
+
+// Get returns the counter value at key.
+func (m *ORMap[K]) Get(key K) (int64, bool) {
+	if !m.presence.Contains(key) {
+		return 0, false
+	}
+	c, ok := m.values[key]
+	if !ok {
+		return 0, true // present but never locally updated
+	}
+	return c.Value(), true
+}
+
+// Keys returns live keys in unspecified order.
+func (m *ORMap[K]) Keys() []K { return m.presence.Elements() }
+
+// Len returns the number of live keys.
+func (m *ORMap[K]) Len() int { return m.presence.Len() }
+
+// Merge joins other into m: presence merges as an OR-Set; counters merge
+// per key. A key removed here but live in other comes back with other's
+// counter contributions only (observed-remove semantics for the nested
+// state as well).
+func (m *ORMap[K]) Merge(other *ORMap[K]) {
+	m.presence.Merge(other.presence)
+	for k, oc := range other.values {
+		if !m.presence.Contains(k) {
+			continue
+		}
+		c, ok := m.values[k]
+		if !ok {
+			c = NewPNCounter(m.id)
+			m.values[k] = c
+		}
+		c.Merge(oc)
+	}
+	// Drop counter state for keys whose presence died in the merge.
+	for k := range m.values {
+		if !m.presence.Contains(k) {
+			delete(m.values, k)
+		}
+	}
+}
+
+// Copy returns a deep copy with the same owner id.
+func (m *ORMap[K]) Copy() *ORMap[K] {
+	out := NewORMap[K](m.id)
+	out.presence = m.presence.Copy()
+	for k, c := range m.values {
+		out.values[k] = c.Copy()
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package crdt
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+)
+
+func ts(wall int64, logical uint32, node string) clock.HLCTimestamp {
+	return clock.HLCTimestamp{Wall: wall, Logical: logical, Node: node}
+}
+
+func TestLWWRegisterLastWriteWins(t *testing.T) {
+	r := NewLWWRegister[string]()
+	if _, ok := r.Get(); ok {
+		t.Fatal("empty register returned a value")
+	}
+	if !r.Set("v1", ts(10, 0, "a")) {
+		t.Fatal("first write rejected")
+	}
+	if r.Set("old", ts(5, 0, "b")) {
+		t.Fatal("stale write accepted")
+	}
+	if v, _ := r.Get(); v != "v1" {
+		t.Fatalf("value = %q, want v1", v)
+	}
+	r.Set("v2", ts(20, 0, "b"))
+	if v, _ := r.Get(); v != "v2" {
+		t.Fatalf("value = %q, want v2", v)
+	}
+}
+
+func TestLWWRegisterMergeConverges(t *testing.T) {
+	a, b := NewLWWRegister[string](), NewLWWRegister[string]()
+	a.Set("from-a", ts(10, 0, "a"))
+	b.Set("from-b", ts(10, 0, "b")) // same wall: node id breaks the tie
+	a.Merge(b)
+	b.Merge(a)
+	va, _ := a.Get()
+	vb, _ := b.Get()
+	if va != vb {
+		t.Fatalf("diverged: %q vs %q", va, vb)
+	}
+	if va != "from-b" { // "b" > "a" in the total order
+		t.Fatalf("winner = %q, want from-b", va)
+	}
+}
+
+func TestLWWRegisterLosesConcurrentWrite(t *testing.T) {
+	// The documented LWW anomaly (measured by E6): one of two concurrent
+	// writes silently vanishes.
+	a, b := NewLWWRegister[int](), NewLWWRegister[int]()
+	a.Set(1, ts(10, 0, "a"))
+	b.Set(2, ts(11, 0, "b"))
+	a.Merge(b)
+	b.Merge(a)
+	va, _ := a.Get()
+	if va != 2 {
+		t.Fatalf("value = %d, want 2", va)
+	}
+	// Value 1 is unrecoverable — that is the point.
+}
+
+func TestMVRegisterKeepsConcurrentSiblings(t *testing.T) {
+	a := NewMVRegister[string]("a")
+	b := NewMVRegister[string]("b")
+	a.Set("x")
+	b.Set("y")
+	a.Merge(b)
+	if a.Siblings() != 2 {
+		t.Fatalf("siblings = %d, want 2 (both concurrent writes kept)", a.Siblings())
+	}
+	vals := a.Get()
+	seen := map[string]bool{}
+	for _, v := range vals {
+		seen[v] = true
+	}
+	if !seen["x"] || !seen["y"] {
+		t.Fatalf("values = %v, want both x and y", vals)
+	}
+}
+
+func TestMVRegisterOverwriteResolvesSiblings(t *testing.T) {
+	a := NewMVRegister[string]("a")
+	b := NewMVRegister[string]("b")
+	a.Set("x")
+	b.Set("y")
+	a.Merge(b)
+	// A new write after observing both siblings supersedes them.
+	a.Set("resolved")
+	if a.Siblings() != 1 {
+		t.Fatalf("siblings after resolve = %d, want 1", a.Siblings())
+	}
+	b.Merge(a)
+	if b.Siblings() != 1 {
+		t.Fatalf("b siblings = %d, want 1 (resolution propagates)", b.Siblings())
+	}
+	if v := b.Get(); v[0] != "resolved" {
+		t.Fatalf("b value = %v", v)
+	}
+}
+
+func TestMVRegisterSequentialWritesNoSiblings(t *testing.T) {
+	a := NewMVRegister[int]("a")
+	b := NewMVRegister[int]("b")
+	a.Set(1)
+	b.Merge(a)
+	b.Set(2) // causally after a's write
+	a.Merge(b)
+	if a.Siblings() != 1 {
+		t.Fatalf("sequential writes produced %d siblings", a.Siblings())
+	}
+	if v := a.Get(); v[0] != 2 {
+		t.Fatalf("value = %v, want [2]", v)
+	}
+}
+
+func TestMVRegisterMergeIdempotent(t *testing.T) {
+	a := NewMVRegister[int]("a")
+	b := NewMVRegister[int]("b")
+	a.Set(1)
+	b.Set(2)
+	a.Merge(b)
+	before := a.Siblings()
+	a.Merge(b)
+	a.Merge(a.Copy())
+	if a.Siblings() != before {
+		t.Fatalf("idempotence violated: %d -> %d siblings", before, a.Siblings())
+	}
+}
+
+func TestMVRegisterThreeWayConvergence(t *testing.T) {
+	regs := []*MVRegister[int]{
+		NewMVRegister[int]("a"),
+		NewMVRegister[int]("b"),
+		NewMVRegister[int]("c"),
+	}
+	for i, r := range regs {
+		r.Set(i)
+	}
+	for round := 0; round < 2; round++ {
+		for i := range regs {
+			for j := range regs {
+				if i != j {
+					regs[i].Merge(regs[j])
+				}
+			}
+		}
+	}
+	for _, r := range regs {
+		if r.Siblings() != 3 {
+			t.Fatalf("siblings = %d, want 3", r.Siblings())
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package crdt
+
+import (
+	"fmt"
+)
+
+// ElemID uniquely identifies one inserted element of an RGA: a Lamport
+// timestamp plus the inserting replica.
+type ElemID struct {
+	Time    uint64
+	Replica string
+}
+
+// IsZero reports whether the ID is the head sentinel.
+func (id ElemID) IsZero() bool { return id == ElemID{} }
+
+// less orders concurrent siblings: higher (Time, Replica) integrates
+// first, the RGA rule that makes concurrent inserts converge.
+func (id ElemID) less(other ElemID) bool {
+	if id.Time != other.Time {
+		return id.Time < other.Time
+	}
+	return id.Replica < other.Replica
+}
+
+// String implements fmt.Stringer.
+func (id ElemID) String() string { return fmt.Sprintf("%s@%d", id.Replica, id.Time) }
+
+type rgaNode[T any] struct {
+	id      ElemID
+	parent  ElemID // element this was inserted after; zero = head
+	value   T
+	deleted bool
+}
+
+// RGA is a replicated growable array (Roh et al.), the CRDT for ordered
+// sequences — the convergence alternative to operational transformation
+// for collaborative editing that the tutorial contrasts with OT. Elements
+// carry unique IDs; an insert names the element it goes after; concurrent
+// inserts at the same position order by descending ID; deletes tombstone.
+//
+// RGA supports both op-based integration (Integrate/Tombstone, requiring
+// causally ordered delivery of an element after its parent) and state
+// merge (Merge, safe under any delivery).
+type RGA[T any] struct {
+	id    string
+	time  uint64
+	nodes []rgaNode[T] // document order, including tombstones
+	index map[ElemID]struct{}
+}
+
+// NewRGA returns an empty sequence owned by replica id.
+func NewRGA[T any](id string) *RGA[T] {
+	return &RGA[T]{id: id, index: make(map[ElemID]struct{})}
+}
+
+// InsertOp describes one remote-applicable insert.
+type InsertOp[T any] struct {
+	ID     ElemID
+	Parent ElemID
+	Value  T
+}
+
+// visibleIndex maps a visible position to the nodes index; pos ==
+// visible length returns len(nodes) (append).
+func (r *RGA[T]) visibleIndex(pos int) int {
+	if pos < 0 {
+		panic("crdt: negative RGA position")
+	}
+	seen := 0
+	for i, n := range r.nodes {
+		if n.deleted {
+			continue
+		}
+		if seen == pos {
+			return i
+		}
+		seen++
+	}
+	if pos == seen {
+		return len(r.nodes)
+	}
+	panic(fmt.Sprintf("crdt: RGA position %d out of range (len %d)", pos, seen))
+}
+
+// Insert places value at visible position pos (0 = front) and returns the
+// operation to broadcast to other replicas.
+func (r *RGA[T]) Insert(pos int, value T) InsertOp[T] {
+	var parent ElemID
+	if pos > 0 {
+		// Parent is the element currently visible at pos-1.
+		i := r.visibleIndex(pos - 1)
+		parent = r.nodes[i].id
+	}
+	r.time++
+	op := InsertOp[T]{
+		ID:     ElemID{Time: r.time, Replica: r.id},
+		Parent: parent,
+		Value:  value,
+	}
+	r.Integrate(op)
+	return op
+}
+
+// Integrate applies an insert (local or remote). The parent must already
+// be present (causal delivery); integrating the same op twice is a no-op.
+// It reports whether the op was applied (false for duplicate or missing
+// parent, letting callers buffer).
+func (r *RGA[T]) Integrate(op InsertOp[T]) bool {
+	if _, dup := r.index[op.ID]; dup {
+		return false
+	}
+	start := 0
+	if !op.Parent.IsZero() {
+		pi := -1
+		for i, n := range r.nodes {
+			if n.id == op.Parent {
+				pi = i
+				break
+			}
+		}
+		if pi < 0 {
+			return false
+		}
+		start = pi + 1
+	}
+	// RGA rule: skip over any following elements with a greater ID; they
+	// are concurrent inserts at the same spot that order before us.
+	i := start
+	for i < len(r.nodes) && op.ID.less(r.nodes[i].id) {
+		i++
+	}
+	if op.ID.Time > r.time {
+		r.time = op.ID.Time
+	}
+	r.nodes = append(r.nodes, rgaNode[T]{})
+	copy(r.nodes[i+1:], r.nodes[i:])
+	r.nodes[i] = rgaNode[T]{id: op.ID, parent: op.Parent, value: op.Value}
+	r.index[op.ID] = struct{}{}
+	return true
+}
+
+// Delete tombstones the element at visible position pos and returns its
+// ID for broadcast.
+func (r *RGA[T]) Delete(pos int) ElemID {
+	i := r.visibleIndex(pos)
+	if i >= len(r.nodes) {
+		panic(fmt.Sprintf("crdt: RGA delete position %d out of range", pos))
+	}
+	r.nodes[i].deleted = true
+	return r.nodes[i].id
+}
+
+// Tombstone applies a remote delete. Unknown IDs report false so callers
+// can buffer for causal delivery.
+func (r *RGA[T]) Tombstone(id ElemID) bool {
+	for i := range r.nodes {
+		if r.nodes[i].id == id {
+			r.nodes[i].deleted = true
+			return true
+		}
+	}
+	return false
+}
+
+// Values returns the visible sequence.
+func (r *RGA[T]) Values() []T {
+	var out []T
+	for _, n := range r.nodes {
+		if !n.deleted {
+			out = append(out, n.value)
+		}
+	}
+	return out
+}
+
+// Len returns the visible length.
+func (r *RGA[T]) Len() int {
+	n := 0
+	for _, node := range r.nodes {
+		if !node.deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalLen returns the length including tombstones, the metadata-growth
+// cost the tutorial flags for tombstoned sequence CRDTs.
+func (r *RGA[T]) TotalLen() int { return len(r.nodes) }
+
+// Merge joins other's state into r. Iterating other's document order
+// guarantees each element's parent is integrated before the element
+// (parents precede children in RGA document order, and tombstoned nodes
+// are retained), so Merge is safe without causal delivery.
+func (r *RGA[T]) Merge(other *RGA[T]) {
+	for _, n := range other.nodes {
+		r.Integrate(InsertOp[T]{ID: n.id, Parent: n.parent, Value: n.value})
+	}
+	for _, n := range other.nodes {
+		if n.deleted {
+			r.Tombstone(n.id)
+		}
+	}
+}
+
+// Copy returns a deep copy with the same owner id.
+func (r *RGA[T]) Copy() *RGA[T] {
+	out := NewRGA[T](r.id)
+	out.time = r.time
+	out.nodes = append([]rgaNode[T](nil), r.nodes...)
+	for id := range r.index {
+		out.index[id] = struct{}{}
+	}
+	return out
+}
+
+// Fork returns a deep copy owned by another replica id.
+func (r *RGA[T]) Fork(id string) *RGA[T] {
+	out := r.Copy()
+	out.id = id
+	return out
+}

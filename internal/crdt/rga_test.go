@@ -1,0 +1,212 @@
+package crdt
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func rgaString(r *RGA[rune]) string {
+	return string(r.Values())
+}
+
+func TestRGALocalEditing(t *testing.T) {
+	r := NewRGA[rune]("a")
+	for i, ch := range "hello" {
+		r.Insert(i, ch)
+	}
+	if got := rgaString(r); got != "hello" {
+		t.Fatalf("sequence = %q", got)
+	}
+	r.Insert(0, 'X')
+	if got := rgaString(r); got != "Xhello" {
+		t.Fatalf("front insert = %q", got)
+	}
+	r.Delete(0)
+	if got := rgaString(r); got != "hello" {
+		t.Fatalf("after delete = %q", got)
+	}
+	if r.TotalLen() != 6 || r.Len() != 5 {
+		t.Fatalf("lens = %d/%d, want 6 total, 5 visible", r.TotalLen(), r.Len())
+	}
+}
+
+func TestRGAMidInsert(t *testing.T) {
+	r := NewRGA[rune]("a")
+	for i, ch := range "ac" {
+		r.Insert(i, ch)
+	}
+	r.Insert(1, 'b')
+	if got := rgaString(r); got != "abc" {
+		t.Fatalf("mid insert = %q", got)
+	}
+}
+
+func TestRGAOpBroadcastConverges(t *testing.T) {
+	a := NewRGA[rune]("a")
+	b := NewRGA[rune]("b")
+	ops := []InsertOp[rune]{}
+	for i, ch := range "abc" {
+		ops = append(ops, a.Insert(i, ch))
+	}
+	for _, op := range ops {
+		if !b.Integrate(op) {
+			t.Fatalf("integrate %v failed", op)
+		}
+	}
+	if rgaString(a) != rgaString(b) {
+		t.Fatalf("diverged: %q vs %q", rgaString(a), rgaString(b))
+	}
+}
+
+func TestRGAConcurrentSamePositionInserts(t *testing.T) {
+	// Both replicas insert at the head concurrently; after exchanging
+	// ops both must agree on one order (and no interleaving of the two
+	// users' runs happens within a single op here).
+	a := NewRGA[rune]("a")
+	b := a.Fork("b")
+	opA := a.Insert(0, 'A')
+	opB := b.Insert(0, 'B')
+	if !a.Integrate(opB) || !b.Integrate(opA) {
+		t.Fatal("integration failed")
+	}
+	if rgaString(a) != rgaString(b) {
+		t.Fatalf("diverged: %q vs %q", rgaString(a), rgaString(b))
+	}
+	if s := rgaString(a); s != "AB" && s != "BA" {
+		t.Fatalf("unexpected order %q", s)
+	}
+}
+
+func TestRGAIntegrateIdempotent(t *testing.T) {
+	a := NewRGA[rune]("a")
+	op := a.Insert(0, 'x')
+	if a.Integrate(op) {
+		t.Fatal("duplicate integrate reported success")
+	}
+	if a.Len() != 1 {
+		t.Fatalf("duplicate integrate duplicated element: len=%d", a.Len())
+	}
+}
+
+func TestRGAIntegrateMissingParentBuffers(t *testing.T) {
+	a := NewRGA[rune]("a")
+	orphan := InsertOp[rune]{ID: ElemID{Time: 5, Replica: "x"}, Parent: ElemID{Time: 4, Replica: "x"}, Value: 'q'}
+	if a.Integrate(orphan) {
+		t.Fatal("integrate with missing parent must fail (caller buffers)")
+	}
+}
+
+func TestRGADeleteConverges(t *testing.T) {
+	a := NewRGA[rune]("a")
+	var ops []InsertOp[rune]
+	for i, ch := range "abc" {
+		ops = append(ops, a.Insert(i, ch))
+	}
+	b := NewRGA[rune]("b")
+	for _, op := range ops {
+		b.Integrate(op)
+	}
+	id := a.Delete(1)
+	if !b.Tombstone(id) {
+		t.Fatal("tombstone failed")
+	}
+	if rgaString(a) != "ac" || rgaString(b) != "ac" {
+		t.Fatalf("after delete: %q vs %q", rgaString(a), rgaString(b))
+	}
+	if !b.Tombstone(id) {
+		t.Fatal("tombstone must be idempotent on known ids")
+	}
+	if b.Tombstone(ElemID{Time: 99, Replica: "zz"}) {
+		t.Fatal("tombstone of unknown id must report false")
+	}
+}
+
+func TestRGAStateMergeConverges(t *testing.T) {
+	a := NewRGA[rune]("a")
+	for i, ch := range "base" {
+		a.Insert(i, ch)
+	}
+	b := a.Fork("b")
+	a.Insert(4, '1')
+	b.Insert(0, '2')
+	b.Delete(1) // deletes 'b' of base
+	a.Merge(b)
+	b.Merge(a)
+	if rgaString(a) != rgaString(b) {
+		t.Fatalf("state merge diverged: %q vs %q", rgaString(a), rgaString(b))
+	}
+	if !strings.Contains(rgaString(a), "1") || !strings.Contains(rgaString(a), "2") {
+		t.Fatalf("merge lost an insert: %q", rgaString(a))
+	}
+	if strings.Contains(rgaString(a), "b") {
+		t.Fatalf("merge lost the delete: %q", rgaString(a))
+	}
+}
+
+// TestRGAQuickConvergence: three replicas perform random edits from a
+// shared base, then state-merge pairwise until fixpoint; all must agree.
+func TestRGAQuickConvergence(t *testing.T) {
+	type edit struct {
+		replica int
+		del     bool
+		pos     int
+		ch      rune
+	}
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(25)
+			edits := make([]edit, n)
+			for i := range edits {
+				edits[i] = edit{
+					replica: r.Intn(3),
+					del:     r.Intn(4) == 0,
+					pos:     r.Intn(1000),
+					ch:      rune('a' + r.Intn(26)),
+				}
+			}
+			args[0] = reflect.ValueOf(edits)
+		},
+	}
+	prop := func(edits []edit) bool {
+		base := NewRGA[rune]("base")
+		for i, ch := range "0123456789" {
+			base.Insert(i, ch)
+		}
+		rs := []*RGA[rune]{base.Fork("a"), base.Fork("b"), base.Fork("c")}
+		for _, e := range edits {
+			r := rs[e.replica]
+			if e.del && r.Len() > 0 {
+				r.Delete(e.pos % r.Len())
+			} else {
+				r.Insert(e.pos%(r.Len()+1), e.ch)
+			}
+		}
+		for round := 0; round < 2; round++ {
+			for i := range rs {
+				for j := range rs {
+					if i != j {
+						rs[i].Merge(rs[j])
+					}
+				}
+			}
+		}
+		return rgaString(rs[0]) == rgaString(rs[1]) && rgaString(rs[1]) == rgaString(rs[2])
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRGAPanicsOnBadPosition(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range insert did not panic")
+		}
+	}()
+	r := NewRGA[rune]("a")
+	r.Insert(5, 'x')
+}

@@ -1,0 +1,299 @@
+package crdt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GSet is a grow-only set: add-only, merge is union.
+type GSet[T comparable] struct {
+	items map[T]struct{}
+}
+
+// NewGSet returns an empty grow-only set.
+func NewGSet[T comparable]() *GSet[T] {
+	return &GSet[T]{items: make(map[T]struct{})}
+}
+
+// Add inserts v.
+func (s *GSet[T]) Add(v T) { s.items[v] = struct{}{} }
+
+// Contains reports membership.
+func (s *GSet[T]) Contains(v T) bool {
+	_, ok := s.items[v]
+	return ok
+}
+
+// Len returns the element count.
+func (s *GSet[T]) Len() int { return len(s.items) }
+
+// Elements returns the members in unspecified order.
+func (s *GSet[T]) Elements() []T {
+	out := make([]T, 0, len(s.items))
+	for v := range s.items {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Merge unions other into s.
+func (s *GSet[T]) Merge(other *GSet[T]) {
+	for v := range other.items {
+		s.items[v] = struct{}{}
+	}
+}
+
+// Copy returns a deep copy.
+func (s *GSet[T]) Copy() *GSet[T] {
+	out := NewGSet[T]()
+	out.Merge(s)
+	return out
+}
+
+// Equal reports whether both sets have the same members.
+func (s *GSet[T]) Equal(other *GSet[T]) bool {
+	if len(s.items) != len(other.items) {
+		return false
+	}
+	for v := range s.items {
+		if _, ok := other.items[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// TwoPSet is a two-phase set: removal wins permanently — a removed element
+// can never be re-added. The tutorial presents it as the simplest set with
+// removes and its re-add limitation as the motivation for OR-Sets.
+type TwoPSet[T comparable] struct {
+	adds    *GSet[T]
+	removes *GSet[T]
+}
+
+// NewTwoPSet returns an empty two-phase set.
+func NewTwoPSet[T comparable]() *TwoPSet[T] {
+	return &TwoPSet[T]{adds: NewGSet[T](), removes: NewGSet[T]()}
+}
+
+// Add inserts v unless it was ever removed.
+func (s *TwoPSet[T]) Add(v T) { s.adds.Add(v) }
+
+// Remove deletes v permanently.
+func (s *TwoPSet[T]) Remove(v T) {
+	if s.adds.Contains(v) {
+		s.removes.Add(v)
+	}
+}
+
+// Contains reports live membership.
+func (s *TwoPSet[T]) Contains(v T) bool {
+	return s.adds.Contains(v) && !s.removes.Contains(v)
+}
+
+// Elements returns live members in unspecified order.
+func (s *TwoPSet[T]) Elements() []T {
+	var out []T
+	for _, v := range s.adds.Elements() {
+		if !s.removes.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Len returns the live element count.
+func (s *TwoPSet[T]) Len() int { return len(s.Elements()) }
+
+// Merge joins other into s.
+func (s *TwoPSet[T]) Merge(other *TwoPSet[T]) {
+	s.adds.Merge(other.adds)
+	s.removes.Merge(other.removes)
+}
+
+// Copy returns a deep copy.
+func (s *TwoPSet[T]) Copy() *TwoPSet[T] {
+	return &TwoPSet[T]{adds: s.adds.Copy(), removes: s.removes.Copy()}
+}
+
+// Equal reports whether both sets hold identical state (including
+// remove history).
+func (s *TwoPSet[T]) Equal(other *TwoPSet[T]) bool {
+	return s.adds.Equal(other.adds) && s.removes.Equal(other.removes)
+}
+
+// Tag uniquely identifies one Add operation: the n-th add performed by a
+// replica.
+type Tag struct {
+	Replica string
+	Seq     uint64
+}
+
+// String implements fmt.Stringer.
+func (t Tag) String() string { return fmt.Sprintf("%s#%d", t.Replica, t.Seq) }
+
+// ORSet is an observed-remove (add-wins) set: each Add creates a unique
+// tag; Remove deletes only the tags it has observed, so a concurrent Add
+// survives a Remove. This is the semantics behind Dynamo's shopping-cart
+// example in the tutorial: a removed item can reappear only if some
+// replica re-added it concurrently, never spontaneously.
+type ORSet[T comparable] struct {
+	id      string
+	seq     uint64
+	adds    map[T]map[Tag]struct{} // live tags per element
+	removed map[Tag]struct{}       // tombstoned tags
+}
+
+// NewORSet returns an empty set owned by replica id.
+func NewORSet[T comparable](id string) *ORSet[T] {
+	return &ORSet[T]{
+		id:      id,
+		adds:    make(map[T]map[Tag]struct{}),
+		removed: make(map[Tag]struct{}),
+	}
+}
+
+// Add inserts v with a fresh tag and returns that tag.
+func (s *ORSet[T]) Add(v T) Tag {
+	s.seq++
+	t := Tag{Replica: s.id, Seq: s.seq}
+	if s.adds[v] == nil {
+		s.adds[v] = make(map[Tag]struct{})
+	}
+	s.adds[v][t] = struct{}{}
+	return t
+}
+
+// Remove deletes all currently observed tags of v. A concurrent Add at
+// another replica (a tag not yet observed here) survives the merge.
+func (s *ORSet[T]) Remove(v T) {
+	for t := range s.adds[v] {
+		s.removed[t] = struct{}{}
+	}
+	delete(s.adds, v)
+}
+
+// Contains reports live membership.
+func (s *ORSet[T]) Contains(v T) bool { return len(s.adds[v]) > 0 }
+
+// Len returns the live element count.
+func (s *ORSet[T]) Len() int { return len(s.adds) }
+
+// Elements returns live members in unspecified order.
+func (s *ORSet[T]) Elements() []T {
+	out := make([]T, 0, len(s.adds))
+	for v := range s.adds {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Merge joins other into s: union the add-tags, union the tombstones, then
+// drop any tag that is tombstoned on either side.
+func (s *ORSet[T]) Merge(other *ORSet[T]) {
+	for t := range other.removed {
+		s.removed[t] = struct{}{}
+	}
+	for v, tags := range other.adds {
+		for t := range tags {
+			if _, dead := s.removed[t]; dead {
+				continue
+			}
+			if s.adds[v] == nil {
+				s.adds[v] = make(map[Tag]struct{})
+			}
+			s.adds[v][t] = struct{}{}
+		}
+	}
+	// Apply newly learned tombstones to local tags.
+	for v, tags := range s.adds {
+		for t := range tags {
+			if _, dead := s.removed[t]; dead {
+				delete(tags, t)
+			}
+		}
+		if len(tags) == 0 {
+			delete(s.adds, v)
+		}
+	}
+	// Keep the owner's tag sequence ahead of anything merged in, so a
+	// copy used as a new replica cannot reuse tags.
+	if other.seq > s.seq && other.id == s.id {
+		s.seq = other.seq
+	}
+}
+
+// Copy returns a deep copy that keeps the same owner id. To fork a new
+// replica, use Fork.
+func (s *ORSet[T]) Copy() *ORSet[T] { return s.fork(s.id, s.seq) }
+
+// Fork returns a deep copy owned by a different replica id, for
+// bootstrapping a new replica from existing state.
+func (s *ORSet[T]) Fork(id string) *ORSet[T] { return s.fork(id, 0) }
+
+func (s *ORSet[T]) fork(id string, seq uint64) *ORSet[T] {
+	out := NewORSet[T](id)
+	out.seq = seq
+	for v, tags := range s.adds {
+		m := make(map[Tag]struct{}, len(tags))
+		for t := range tags {
+			m[t] = struct{}{}
+		}
+		out.adds[v] = m
+	}
+	for t := range s.removed {
+		out.removed[t] = struct{}{}
+	}
+	return out
+}
+
+// Equal reports whether both sets expose the same live membership and
+// tombstones.
+func (s *ORSet[T]) Equal(other *ORSet[T]) bool {
+	if len(s.adds) != len(other.adds) || len(s.removed) != len(other.removed) {
+		return false
+	}
+	for v, tags := range s.adds {
+		otags, ok := other.adds[v]
+		if !ok || len(tags) != len(otags) {
+			return false
+		}
+		for t := range tags {
+			if _, ok := otags[t]; !ok {
+				return false
+			}
+		}
+	}
+	for t := range s.removed {
+		if _, ok := other.removed[t]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// WireSize estimates the serialized size in bytes: each live tag and each
+// tombstone costs its replica-id length plus 8 bytes of sequence.
+func (s *ORSet[T]) WireSize() int {
+	n := 0
+	for _, tags := range s.adds {
+		for t := range tags {
+			n += len(t.Replica) + 8 + 16 // tag + element overhead estimate
+		}
+	}
+	for t := range s.removed {
+		n += len(t.Replica) + 8
+	}
+	return n
+}
+
+// TombstoneCount exposes the tombstone-set size, the metadata-growth cost
+// the tutorial flags for observed-remove sets.
+func (s *ORSet[T]) TombstoneCount() int { return len(s.removed) }
+
+// SortedInts is a test helper ordering for integer element types.
+func SortedInts(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

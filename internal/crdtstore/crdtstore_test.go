@@ -1,0 +1,252 @@
+package crdtstore
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func buildState(t *testing.T, n int, seed int64, lat sim.LatencyModel) (*sim.Cluster, []*StateNode) {
+	t.Helper()
+	c := sim.New(sim.Config{Seed: seed, Latency: lat})
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("s%d", i)
+	}
+	nodes := make([]*StateNode, n)
+	for i, id := range ids {
+		var peers []string
+		for _, p := range ids {
+			if p != id {
+				peers = append(peers, p)
+			}
+		}
+		nodes[i] = NewStateNode(id, peers, 50*time.Millisecond)
+		c.AddNode(id, nodes[i])
+	}
+	return c, nodes
+}
+
+func buildOp(t *testing.T, n int, seed int64, lat sim.LatencyModel) (*sim.Cluster, []*OpNode) {
+	t.Helper()
+	c := sim.New(sim.Config{Seed: seed, Latency: lat})
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("o%d", i)
+	}
+	nodes := make([]*OpNode, n)
+	for i, id := range ids {
+		var peers []string
+		for _, p := range ids {
+			if p != id {
+				peers = append(peers, p)
+			}
+		}
+		nodes[i] = NewOpNode(id, peers, 50*time.Millisecond)
+		c.AddNode(id, nodes[i])
+	}
+	return c, nodes
+}
+
+func sortedStrings(xs []string) []string {
+	out := append([]string(nil), xs...)
+	sort.Strings(out)
+	return out
+}
+
+func sameElements(a, b []string) bool {
+	a, b = sortedStrings(a), sortedStrings(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStateReplicationConverges(t *testing.T) {
+	c, nodes := buildState(t, 4, 1, sim.Uniform(time.Millisecond, 5*time.Millisecond))
+	c.At(0, func() {
+		nodes[0].Add("x")
+		nodes[1].Add("y")
+		nodes[2].Inc(5)
+		nodes[3].Dec(2)
+	})
+	c.Run(5 * time.Second)
+	for i, n := range nodes[1:] {
+		if !nodes[0].ConvergedWith(n) {
+			t.Fatalf("replica %d diverged: %v/%d vs %v/%d", i+1,
+				sortedStrings(nodes[0].Elements()), nodes[0].Counter(),
+				sortedStrings(n.Elements()), n.Counter())
+		}
+	}
+	if nodes[0].Counter() != 3 {
+		t.Fatalf("counter = %d, want 3", nodes[0].Counter())
+	}
+	if !nodes[0].Contains("x") || !nodes[0].Contains("y") {
+		t.Fatalf("set = %v", nodes[0].Elements())
+	}
+}
+
+func TestStateSurvivesLossAndDuplication(t *testing.T) {
+	// 40% loss: state sync is idempotent, so eventually a full state gets
+	// through and merges.
+	c, nodes := buildState(t, 3, 2, sim.Lossy(sim.Uniform(time.Millisecond, 3*time.Millisecond), 0.4))
+	c.At(0, func() {
+		for i := 0; i < 10; i++ {
+			nodes[i%3].Add(fmt.Sprintf("e%d", i))
+		}
+	})
+	c.Run(20 * time.Second)
+	for i, n := range nodes[1:] {
+		if !nodes[0].ConvergedWith(n) {
+			t.Fatalf("replica %d diverged under loss", i+1)
+		}
+	}
+	if len(nodes[0].Elements()) != 10 {
+		t.Fatalf("elements = %d, want 10", len(nodes[0].Elements()))
+	}
+}
+
+func TestStateConcurrentAddRemoveAddWins(t *testing.T) {
+	c, nodes := buildState(t, 2, 3, sim.Fixed(2*time.Millisecond))
+	c.At(0, func() { nodes[0].Add("item") })
+	c.Run(time.Second) // replicate
+	c.After(0, func() {
+		nodes[0].Remove("item") // concurrent with...
+		nodes[1].Add("item")    // ...a re-add
+	})
+	c.Run(5 * time.Second)
+	if !nodes[0].Contains("item") || !nodes[1].Contains("item") {
+		t.Fatal("concurrent add must win over remove")
+	}
+}
+
+func TestOpReplicationConverges(t *testing.T) {
+	c, nodes := buildOp(t, 4, 4, sim.Uniform(time.Millisecond, 5*time.Millisecond))
+	env := func(i int) sim.Env { return c.ClientEnv(fmt.Sprintf("o%d", i)) }
+	c.At(0, func() {
+		nodes[0].Add(env(0), "x")
+		nodes[1].Add(env(1), "y")
+		nodes[2].Inc(env(2), 5)
+		nodes[3].Inc(env(3), -2)
+	})
+	c.Run(5 * time.Second)
+	for i, n := range nodes {
+		if !sameElements(n.Elements(), []string{"x", "y"}) {
+			t.Fatalf("replica %d set = %v", i, sortedStrings(n.Elements()))
+		}
+		if n.Counter() != 3 {
+			t.Fatalf("replica %d counter = %d, want 3", i, n.Counter())
+		}
+		if n.Pending() != 0 {
+			t.Fatalf("replica %d has %d stuck ops", i, n.Pending())
+		}
+	}
+}
+
+func TestOpCausalRemoveAfterAdd(t *testing.T) {
+	// Remove causally follows the add it observed; even if the network
+	// reorders the broadcasts, the causal buffer holds the remove until
+	// the add has applied. With heavy reordering (bimodal latency) this
+	// fails without causal delivery.
+	lat := sim.Bimodal(sim.Fixed(time.Millisecond), sim.Fixed(80*time.Millisecond), 0.5)
+	c, nodes := buildOp(t, 3, 5, lat)
+	env := func(i int) sim.Env { return c.ClientEnv(fmt.Sprintf("o%d", i)) }
+	c.At(0, func() {
+		nodes[0].Add(env(0), "tmp")
+		nodes[0].Remove(env(0), "tmp")
+	})
+	c.Run(10 * time.Second)
+	for i, n := range nodes {
+		if n.Contains("tmp") {
+			t.Fatalf("replica %d resurrected a removed element (causal order broken)", i)
+		}
+		if n.Pending() != 0 {
+			t.Fatalf("replica %d stuck ops: %d", i, n.Pending())
+		}
+	}
+}
+
+func TestOpReplicationRecoversFromLoss(t *testing.T) {
+	c, nodes := buildOp(t, 3, 6, sim.Lossy(sim.Uniform(time.Millisecond, 3*time.Millisecond), 0.4))
+	env := func(i int) sim.Env { return c.ClientEnv(fmt.Sprintf("o%d", i)) }
+	c.At(0, func() {
+		for i := 0; i < 15; i++ {
+			nodes[i%3].Add(env(i%3), fmt.Sprintf("e%d", i))
+		}
+	})
+	c.Run(30 * time.Second)
+	for i, n := range nodes {
+		if len(n.Elements()) != 15 {
+			t.Fatalf("replica %d has %d/15 elements despite retransmission", i, len(n.Elements()))
+		}
+		if n.Pending() != 0 {
+			t.Fatalf("replica %d stuck ops: %d", i, n.Pending())
+		}
+	}
+	rb := nodes[0].Rebroadcasts + nodes[1].Rebroadcasts + nodes[2].Rebroadcasts
+	if rb == 0 {
+		t.Fatal("40% loss but zero rebroadcasts; recovery path untested")
+	}
+}
+
+func TestOpPartitionHealConverges(t *testing.T) {
+	c, nodes := buildOp(t, 4, 7, sim.Uniform(time.Millisecond, 4*time.Millisecond))
+	env := func(i int) sim.Env { return c.ClientEnv(fmt.Sprintf("o%d", i)) }
+	c.At(0, func() {
+		c.Partition([]string{"o0", "o1"}, []string{"o2", "o3"})
+		nodes[0].Add(env(0), "left")
+		nodes[2].Add(env(2), "right")
+		nodes[0].Inc(env(0), 10)
+		nodes[2].Inc(env(2), 20)
+	})
+	c.At(2*time.Second, func() { c.Heal() })
+	c.Run(20 * time.Second)
+	for i, n := range nodes {
+		if !sameElements(n.Elements(), []string{"left", "right"}) {
+			t.Fatalf("replica %d set = %v", i, sortedStrings(n.Elements()))
+		}
+		if n.Counter() != 30 {
+			t.Fatalf("replica %d counter = %d, want 30", i, n.Counter())
+		}
+	}
+}
+
+func TestStateVsOpBandwidth(t *testing.T) {
+	// The E5 claim at the systems level: with a large container and few
+	// updates, op-based ships far fewer bytes.
+	load := func(state bool) uint64 {
+		lat := sim.Uniform(time.Millisecond, 3*time.Millisecond)
+		if state {
+			c, nodes := buildState(t, 3, 8, lat)
+			c.At(0, func() {
+				for i := 0; i < 300; i++ {
+					nodes[0].Add(fmt.Sprintf("element-%d", i))
+				}
+			})
+			c.Run(10 * time.Second)
+			return c.Stats().BytesDelivered
+		}
+		c, nodes := buildOp(t, 3, 8, lat)
+		c.At(0, func() {
+			env := c.ClientEnv("o0")
+			for i := 0; i < 300; i++ {
+				nodes[0].Add(env, fmt.Sprintf("element-%d", i))
+			}
+		})
+		c.Run(10 * time.Second)
+		return c.Stats().BytesDelivered
+	}
+	stateBytes := load(true)
+	opBytes := load(false)
+	if opBytes >= stateBytes {
+		t.Fatalf("op-based bytes %d not below state-based %d", opBytes, stateBytes)
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// threeDCs is the canonical geo topology used by several experiments:
+// three data centers with asymmetric one-way WAN delays (roughly
+// US-east / EU / Asia).
+var threeDCWAN = map[[2]string]time.Duration{
+	{"dc0", "dc1"}: 40 * time.Millisecond,
+	{"dc0", "dc2"}: 80 * time.Millisecond,
+	{"dc1", "dc2"}: 60 * time.Millisecond,
+}
+
+// geoFor builds a Geo latency model mapping the given node ids
+// round-robin onto three DCs, homing every listed client id in dc0.
+func geoFor(nodeIDs []string, clients ...string) *sim.Geo {
+	dc := map[string]string{}
+	for i, id := range nodeIDs {
+		dc[id] = fmt.Sprintf("dc%d", i%3)
+	}
+	for _, cl := range clients {
+		dc[cl] = "dc0"
+	}
+	return &sim.Geo{
+		DC:         dc,
+		DefaultDC:  "dc0",
+		Local:      sim.Uniform(300*time.Microsecond, 1500*time.Microsecond),
+		WAN:        threeDCWAN,
+		DefaultWAN: 60 * time.Millisecond,
+		Jitter:     2 * time.Millisecond,
+	}
+}
+
+// causalGeo maps causal shard node ids (dcX-shardY) onto their DCs.
+func causalGeo(dcs, shards int, clients ...string) *sim.Geo {
+	dc := map[string]string{}
+	for d := 0; d < dcs; d++ {
+		for s := 0; s < shards; s++ {
+			dc[fmt.Sprintf("dc%d-shard%d", d, s)] = fmt.Sprintf("dc%d", d)
+		}
+	}
+	for _, cl := range clients {
+		dc[cl] = "dc0"
+	}
+	return &sim.Geo{
+		DC:         dc,
+		DefaultDC:  "dc0",
+		Local:      sim.Uniform(300*time.Microsecond, 1500*time.Microsecond),
+		WAN:        threeDCWAN,
+		DefaultWAN: 60 * time.Millisecond,
+		Jitter:     2 * time.Millisecond,
+	}
+}
+
+// mixStats aggregates a closed-loop run.
+type mixStats struct {
+	Reads, Writes *metrics.Histogram
+	Errors        metrics.Ratio
+	Completed     int
+}
+
+// runClosedLoop drives ops operations through the client back-to-back
+// (closed loop), recording per-op latency. It schedules itself starting
+// at start; callers must Run the cluster long enough afterwards.
+func runClosedLoop(c *core.Cluster, cl *core.Client, mix *workload.Mix, ops int, start time.Duration) *mixStats {
+	st := &mixStats{Reads: metrics.NewHistogram(), Writes: metrics.NewHistogram()}
+	var issue func(i int)
+	issue = func(i int) {
+		if i >= ops {
+			return
+		}
+		op := mix.Next(c.Sim().Rand())
+		begin := c.Now()
+		if op.Kind == workload.OpRead {
+			cl.Get(op.Key, func(r core.GetResult) {
+				st.Reads.Observe(c.Now() - begin)
+				st.Errors.Observe(r.Err != nil)
+				st.Completed++
+				issue(i + 1)
+			})
+		} else {
+			cl.Put(op.Key, op.Value, func(r core.PutResult) {
+				st.Writes.Observe(c.Now() - begin)
+				st.Errors.Observe(r.Err != nil)
+				st.Completed++
+				issue(i + 1)
+			})
+		}
+	}
+	c.At(start, func() { issue(0) })
+	return st
+}

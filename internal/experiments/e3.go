@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/quorum"
+	"repro/internal/sim"
+)
+
+// E3QuorumSweep reproduces Table 1: the full (R, W) design space at N=3 —
+// latency percentiles and read-your-write staleness for every
+// configuration, with the A1 read-repair ablation. Claim: R+W>N gives
+// read-your-writes at higher latency; R+W<=N trades freshness for speed;
+// read repair cuts the staleness tail of weak configurations.
+func E3QuorumSweep(seed int64) Result {
+	table := &metrics.Table{Header: []string{
+		"R", "W", "strict", "read p50", "read p99", "write p50", "write p99", "stale reads",
+	}}
+
+	lat := sim.Bimodal(
+		sim.Uniform(500*time.Microsecond, 2*time.Millisecond),
+		sim.Uniform(20*time.Millisecond, 80*time.Millisecond),
+		0.10,
+	)
+
+	run := func(R, W int, readRepair bool) (readH, writeH *metrics.Histogram, stale *metrics.Ratio) {
+		readH, writeH = metrics.NewHistogram(), metrics.NewHistogram()
+		stale = &metrics.Ratio{}
+		c := sim.New(sim.Config{Seed: seed, Latency: lat})
+		ring := make([]string, 5)
+		for i := range ring {
+			ring[i] = fmt.Sprintf("s%d", i)
+		}
+		qc := quorum.Config{Ring: ring, N: 3, R: R, W: W, ReadRepair: readRepair}
+		for _, id := range ring {
+			c.AddNode(id, quorum.NewNode(id, qc))
+		}
+		client := quorum.NewClient("client")
+		c.AddNode("client", client)
+		env := c.ClientEnv("client")
+
+		const rounds = 250
+		var round func(i int)
+		round = func(i int) {
+			if i >= rounds {
+				return
+			}
+			key := fmt.Sprintf("key-%d", i%50)
+			val := []byte(fmt.Sprintf("val-%d", i))
+			wStart := c.Now()
+			client.PutBlind(env, ring[i%len(ring)], key, val, func(pr quorum.PutResult) {
+				writeH.Observe(c.Now() - wStart)
+				rStart := c.Now()
+				client.Get(env, ring[(i+2)%len(ring)], key, func(gr quorum.GetResult) {
+					readH.Observe(c.Now() - rStart)
+					fresh := false
+					for _, v := range gr.Values {
+						if string(v) == string(val) {
+							fresh = true
+						}
+					}
+					if gr.Err == nil {
+						stale.Observe(!fresh)
+					}
+					round(i + 1)
+				})
+			})
+		}
+		c.At(0, func() { round(0) })
+		c.Run(10 * time.Minute)
+		return readH, writeH, stale
+	}
+
+	for _, cfg := range []struct {
+		R, W int
+		rr   bool
+	}{
+		{1, 1, false},
+		{1, 2, false}, {2, 1, false}, {2, 2, false},
+		{1, 3, false}, {3, 1, false}, {2, 3, false}, {3, 2, false}, {3, 3, false},
+	} {
+		readH, writeH, stale := run(cfg.R, cfg.W, cfg.rr)
+		strict := "no"
+		if cfg.R+cfg.W > 3 {
+			strict = "yes"
+		}
+		table.AddRow(cfg.R, cfg.W, strict,
+			readH.Quantile(0.5), readH.Quantile(0.99),
+			writeH.Quantile(0.5), writeH.Quantile(0.99),
+			stale.String())
+	}
+
+	return Result{
+		ID:     "E3",
+		Title:  "Quorum configuration sweep at N=3 (read-after-write freshness and latency)",
+		Claim:  "strict quorums (R+W>N) never miss the session's own write; weak quorums are faster but stale; read repair converges a key after its first read",
+		Tables: []*metrics.Table{table, readRepairAblation(seed, lat)},
+		Notes:  "250 write-then-read rounds over 50 keys; heavy-tailed delivery; the same client writes and immediately reads. A1 table: one W=1 write then five R=1 reads 10ms apart — rows are separate simulations, so compare the decay across reads, not read #1 across rows",
+	}
+}
+
+// readRepairAblation is A1: one W=1 write followed by a train of R=1
+// reads of the same key. Without read repair the laggard replicas stay
+// stale indefinitely (the quorum store has no anti-entropy of its own);
+// with it, the first read fixes them, so later reads are always fresh.
+func readRepairAblation(seed int64, lat sim.LatencyModel) *metrics.Table {
+	table := &metrics.Table{Header: []string{
+		"read-repair", "read #1 stale", "read #3 stale", "read #5 stale",
+	}}
+	const trials = 150
+	const readsPerTrial = 5
+	for _, rr := range []bool{false, true} {
+		stale := make([]*metrics.Ratio, readsPerTrial)
+		for i := range stale {
+			stale[i] = &metrics.Ratio{}
+		}
+		c := sim.New(sim.Config{Seed: seed, Latency: lat})
+		ring := make([]string, 5)
+		for i := range ring {
+			ring[i] = fmt.Sprintf("s%d", i)
+		}
+		qc := quorum.Config{Ring: ring, N: 3, R: 1, W: 1, ReadRepair: rr}
+		for _, id := range ring {
+			c.AddNode(id, quorum.NewNode(id, qc))
+		}
+		client := quorum.NewClient("client")
+		c.AddNode("client", client)
+		env := c.ClientEnv("client")
+		for t := 0; t < trials; t++ {
+			t := t
+			key := fmt.Sprintf("key-%d", t)
+			val := []byte(fmt.Sprintf("val-%d", t))
+			c.At(time.Duration(t)*400*time.Millisecond, func() {
+				client.PutBlind(env, ring[t%5], key, val, func(quorum.PutResult) {
+					var readN func(i int)
+					readN = func(i int) {
+						if i >= readsPerTrial {
+							return
+						}
+						client.Get(env, ring[(t+i)%5], key, func(gr quorum.GetResult) {
+							fresh := false
+							for _, v := range gr.Values {
+								if string(v) == string(val) {
+									fresh = true
+								}
+							}
+							stale[i].Observe(!fresh)
+							c.After(10*time.Millisecond, func() { readN(i + 1) })
+						})
+					}
+					readN(0)
+				})
+			})
+		}
+		c.Run(time.Duration(trials)*400*time.Millisecond + 5*time.Second)
+		table.AddRow(rr, stale[0].String(), stale[2].String(), stale[4].String())
+	}
+	return table
+}

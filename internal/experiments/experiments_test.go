@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Each experiment must run, produce non-empty output, and reproduce the
+// qualitative shape of its claim. These are the repository's
+// end-to-end acceptance tests.
+
+func parseDur(t *testing.T, s string) time.Duration {
+	t.Helper()
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		t.Fatalf("cannot parse duration %q: %v", s, err)
+	}
+	return d
+}
+
+func rowsByFirst(tb *metrics.Table) map[string][]string {
+	out := map[string][]string{}
+	for _, r := range tb.Rows {
+		out[r[0]] = r
+	}
+	return out
+}
+
+func TestE1Shape(t *testing.T) {
+	res := E1ConsistencyLatency(1)
+	if len(res.Tables) == 0 || len(res.Tables[0].Rows) != 5 {
+		t.Fatalf("E1 rows = %d, want 5 models", len(res.Tables[0].Rows))
+	}
+	rows := rowsByFirst(res.Tables[0])
+	// Strong write p50 must exceed eventual write p50 by a wide margin
+	// (WAN round trips vs local).
+	strong := parseDur(t, rows["strong"][3])
+	eventual := parseDur(t, rows["eventual"][3])
+	causal := parseDur(t, rows["causal"][3])
+	if strong < 10*eventual {
+		t.Errorf("strong write p50 %v not ≫ eventual %v", strong, eventual)
+	}
+	if causal > 20*time.Millisecond {
+		t.Errorf("causal write p50 %v, want local-DC latency", causal)
+	}
+	if strong < 40*time.Millisecond {
+		t.Errorf("strong write p50 %v, want ≥ WAN majority round trip", strong)
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	res := E2PBS(1)
+	if len(res.Series) != 6 {
+		t.Fatalf("E2 series = %d, want 6 configs", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+	}
+	// Strict quorums (R+W>3) must never be stale.
+	for _, s := range res.Series {
+		strict := s.Name == "R=2 W=2" || s.Name == "R=3 W=1" || s.Name == "R=1 W=3"
+		if !strict {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.Y != 0 {
+				t.Errorf("%s stale probability %v at t=%v, want 0", s.Name, p.Y, p.X)
+			}
+		}
+	}
+	// R=1 W=1 must show staleness at t=0.
+	for _, s := range res.Series {
+		if s.Name == "R=1 W=1" && s.Points[0].Y == 0 {
+			t.Error("R=1 W=1 shows no staleness at t=0; the PBS effect is missing")
+		}
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	res := E3QuorumSweep(1)
+	sweep := res.Tables[0]
+	if len(sweep.Rows) != 9 {
+		t.Fatalf("sweep rows = %d, want all 9 (R,W) configs", len(sweep.Rows))
+	}
+	staleRate := func(cell string) float64 {
+		// format: "23/250 (9.20%)"
+		var hit, total int
+		if _, err := fmt.Sscanf(cell, "%d/%d", &hit, &total); err != nil {
+			t.Fatalf("bad stale cell %q: %v", cell, err)
+		}
+		return float64(hit) / float64(total)
+	}
+	for _, r := range sweep.Rows {
+		rate := staleRate(r[7])
+		if r[2] == "yes" && rate != 0 {
+			t.Errorf("strict quorum R=%s W=%s read stale (%s)", r[0], r[1], r[7])
+		}
+		if r[0] == "1" && r[1] == "1" && rate == 0 {
+			t.Error("R=1 W=1 never stale; freshness race missing")
+		}
+	}
+	// A1: with read repair, the 5th read's staleness must not exceed the
+	// no-repair run's 5th read.
+	abl := res.Tables[1]
+	noRR := staleRate(abl.Rows[0][3])
+	withRR := staleRate(abl.Rows[1][3])
+	if withRR > noRR {
+		t.Errorf("read repair made late reads staler: %v vs %v", withRR, noRR)
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	res := E4AntiEntropy(1)
+	if len(res.Series) < 2 {
+		t.Fatal("E4 missing series")
+	}
+	size := res.Series[0]
+	// Convergence must not blow up linearly: 64 nodes should take less
+	// than 4× the 8-node time (O(log n) claim, loosely checked).
+	t8, t64 := size.Points[0].Y, size.Points[len(size.Points)-1].Y
+	if t8 <= 0 || t64 <= 0 {
+		t.Fatalf("non-positive convergence times: %v, %v", t8, t64)
+	}
+	if t64 > 6*t8 {
+		t.Errorf("convergence at 64 nodes (%v ms) more than 6× the 8-node time (%v ms)", t64, t8)
+	}
+	fanout := res.Series[1]
+	if fanout.Points[0].Y < fanout.Points[len(fanout.Points)-1].Y {
+		// fanout 1 should be slower than fanout 4
+	} else if fanout.Points[0].Y == 0 {
+		t.Error("fanout series empty")
+	}
+	if fanout.Points[len(fanout.Points)-1].Y > fanout.Points[0].Y {
+		t.Errorf("fanout 4 (%v) slower than fanout 1 (%v)", fanout.Points[len(fanout.Points)-1].Y, fanout.Points[0].Y)
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	res := E5CRDT(1)
+	state := res.Series[0]
+	op := res.Series[1]
+	// State bytes grow with ops; op bytes stay roughly flat.
+	if state.Points[len(state.Points)-1].Y <= state.Points[0].Y {
+		t.Error("state-based sync bytes did not grow with container size")
+	}
+	growth := op.Points[len(op.Points)-1].Y / op.Points[0].Y
+	if growth > 3 {
+		t.Errorf("op-based bytes grew %.1f× with container size; expected ≈constant", growth)
+	}
+	// At the largest size, state ≫ op.
+	if state.Points[len(state.Points)-1].Y < 10*op.Points[len(op.Points)-1].Y {
+		t.Error("state-based sync not an order of magnitude above op-based at 10k ops")
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	res := E6ConflictResolution(1)
+	rows := rowsByFirst(res.Tables[0])
+	if rows["LWW register"][3] == "0" {
+		t.Error("LWW lost-update rate is 0; the anomaly is missing")
+	}
+	if rows["PN-Counter"][3] != "0" {
+		t.Errorf("PN-Counter lost updates: %s, want 0", rows["PN-Counter"][3])
+	}
+	if rows["OR-Set (cart)"][3] != "0" {
+		t.Errorf("OR-Set lost adds: %s, want 0", rows["OR-Set (cart)"][3])
+	}
+	// A3: DVV sibling count bounded (≤ 2 concurrent writers).
+	a3 := res.Tables[1]
+	if a3.Rows[0][2] != "2" {
+		t.Errorf("DVV max siblings = %s, want 2", a3.Rows[0][2])
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	res := E7Partition(1)
+	tb := res.Tables[0]
+	get := func(model, side string) float64 {
+		for _, r := range tb.Rows {
+			if r[0] == model && strings.HasPrefix(r[1], side) {
+				v, err := strconv.ParseFloat(r[4], 64)
+				if err != nil {
+					t.Fatalf("bad availability cell %q", r[4])
+				}
+				return v
+			}
+		}
+		t.Fatalf("row %s/%s missing", model, side)
+		return 0
+	}
+	if v := get("eventual", "minority"); v < 0.99 {
+		t.Errorf("eventual minority availability %v, want ≈1", v)
+	}
+	if v := get("strong", "minority"); v > 0.05 {
+		t.Errorf("strong minority availability %v, want ≈0", v)
+	}
+	if v := get("strong", "majority"); v < 0.9 {
+		t.Errorf("strong majority availability %v, want ≈1", v)
+	}
+	// A4: sloppy quorums restore availability under a transient replica
+	// failure without losing acknowledged writes.
+	a4 := res.Tables[1]
+	strictOK := a4.Rows[0][1]
+	sloppyOK := a4.Rows[1][1]
+	if !strings.HasPrefix(sloppyOK, "60/60") {
+		t.Errorf("sloppy availability = %s, want 60/60", sloppyOK)
+	}
+	if strings.HasPrefix(strictOK, "60/60") {
+		t.Errorf("strict W=3 fully available with a replica down (%s); outage not modeled", strictOK)
+	}
+	for _, row := range a4.Rows {
+		if row[2] != "0" {
+			t.Errorf("handoff=%s lost %s acknowledged keys", row[0], row[2])
+		}
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	res := E8SessionGuarantees(1)
+	rows := rowsByFirst(res.Tables[0])
+	none := rows["none (eventual)"]
+	all := rows["all four"]
+	if !strings.Contains(none[1], "/") || strings.HasPrefix(none[1], "0/") {
+		t.Errorf("no-guarantee RYW anomalies = %s, want > 0", none[1])
+	}
+	if !strings.HasPrefix(all[1], "0/") {
+		t.Errorf("all-guarantees RYW anomalies = %s, want 0", all[1])
+	}
+	if !strings.HasPrefix(all[2], "0/") {
+		t.Errorf("all-guarantees MR anomalies = %s, want 0", all[2])
+	}
+	// Guarantees cost latency: p99 with all four ≥ p99 with none.
+	noneP99 := parseDur(t, none[4])
+	allP99 := parseDur(t, all[4])
+	if allP99 < noneP99 {
+		t.Errorf("guaranteed p99 %v < unguaranteed %v; blocking cost missing", allP99, noneP99)
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	res := E9ReplicationThroughput(1)
+	rows := rowsByFirst(res.Tables[0])
+	ev := parseDur(t, rows["eventual"][1])
+	sync := parseDur(t, rows["primary-sync"][1])
+	strong := parseDur(t, rows["strong"][1])
+	async := parseDur(t, rows["primary-async"][1])
+	if !(ev < sync && async < sync) {
+		t.Errorf("commit p50 ordering violated: eventual %v, async %v, sync %v", ev, async, sync)
+	}
+	if strong < sync {
+		t.Errorf("strong commit p50 %v faster than sync primary %v", strong, sync)
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	res := E10SLA(1)
+	slaS, primS, localS := res.Series[0], res.Series[1], res.Series[2]
+	last := len(slaS.Points) - 1
+	// Far from the primary, SLA routing beats fixed-primary.
+	if slaS.Points[last].Y <= primS.Points[last].Y {
+		t.Errorf("at distance, SLA utility %v not above fixed-primary %v",
+			slaS.Points[last].Y, primS.Points[last].Y)
+	}
+	// Near the primary, SLA routing is at least as good as fixed-local.
+	if slaS.Points[0].Y < localS.Points[0].Y {
+		t.Errorf("near primary, SLA utility %v below fixed-local %v",
+			slaS.Points[0].Y, localS.Points[0].Y)
+	}
+	// SLA routing weakly dominates fixed-local everywhere.
+	for i := range slaS.Points {
+		if slaS.Points[i].Y+1e-9 < localS.Points[i].Y {
+			t.Errorf("SLA utility %v below fixed-local %v at x=%v",
+				slaS.Points[i].Y, localS.Points[i].Y, slaS.Points[i].X)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("E3"); !ok {
+		t.Fatal("Lookup(E3) failed")
+	}
+	if _, ok := Lookup("pbs-staleness"); !ok {
+		t.Fatal("Lookup by name failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup(nope) succeeded")
+	}
+	if len(All()) != 10 {
+		t.Fatalf("All() = %d experiments, want 10", len(All()))
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := E6ConflictResolution(1)
+	s := r.String()
+	for _, want := range []string{"E6", "Claim:", "LWW"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered result missing %q:\n%s", want, s)
+		}
+	}
+}

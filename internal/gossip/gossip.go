@@ -1,0 +1,305 @@
+// Package gossip implements eventual delivery by anti-entropy: replicas
+// periodically reconcile state with randomly chosen peers using
+// Merkle-tree diffs (the Dynamo/Cassandra mechanism), optionally
+// accelerated by rumor mongering (forwarding fresh writes a few hops
+// immediately). Convergence of values is last-writer-wins by hybrid
+// logical clock timestamp.
+//
+// A gossip.Node is a sim.Handler; experiments drive a cluster of them and
+// measure time-to-convergence and bandwidth (experiment E4).
+package gossip
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Write is one replicated key version.
+type Write struct {
+	Key     string
+	Value   []byte
+	TS      clock.HLCTimestamp
+	Deleted bool
+}
+
+func (w Write) hash() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(w.TS.Node))
+	var b [17]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(w.TS.Wall) >> (8 * i))
+	}
+	for i := 0; i < 4; i++ {
+		b[8+i] = byte(w.TS.Logical >> (8 * i))
+	}
+	if w.Deleted {
+		b[16] = 1
+	}
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// wireSize estimates the write's serialized size for bandwidth accounting.
+func (w Write) wireSize() int { return len(w.Key) + len(w.Value) + 8 + 4 + len(w.TS.Node) + 1 }
+
+// Protocol messages.
+type (
+	// syncReq opens an anti-entropy round with the initiator's Merkle
+	// leaf hashes.
+	syncReq struct {
+		Leaves []uint64
+	}
+	// syncResp returns the responder's writes in the divergent buckets,
+	// plus the bucket list so the initiator can push back its own.
+	syncResp struct {
+		Buckets []int
+		Writes  []Write
+	}
+	// syncPush closes the round with the initiator's writes for the
+	// divergent buckets.
+	syncPush struct {
+		Writes []Write
+	}
+	// rumor carries one fresh write for TTL more hops.
+	rumor struct {
+		W   Write
+		TTL int
+	}
+)
+
+// Size implements the sim bandwidth hook for each message type.
+func (m syncReq) Size() int { return 8 * len(m.Leaves) }
+
+// Size implements the sim bandwidth hook.
+func (m syncResp) Size() int {
+	n := 4 * len(m.Buckets)
+	for _, w := range m.Writes {
+		n += w.wireSize()
+	}
+	return n
+}
+
+// Size implements the sim bandwidth hook.
+func (m syncPush) Size() int {
+	n := 0
+	for _, w := range m.Writes {
+		n += w.wireSize()
+	}
+	return n
+}
+
+// Size implements the sim bandwidth hook.
+func (m rumor) Size() int { return m.W.wireSize() + 4 }
+
+// Config configures a gossip node.
+type Config struct {
+	// Peers lists the other replicas.
+	Peers []string
+	// Interval between anti-entropy rounds (default 100ms).
+	Interval time.Duration
+	// Fanout is how many peers each round contacts (default 1).
+	Fanout int
+	// MerkleDepth sets the reconciliation tree depth (default 8).
+	MerkleDepth int
+	// RumorTTL > 0 enables rumor mongering: fresh writes are forwarded to
+	// Fanout random peers with the given hop budget.
+	RumorTTL int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = 1
+	}
+	if c.MerkleDepth <= 0 {
+		c.MerkleDepth = 8
+	}
+	return c
+}
+
+// Node is one anti-entropy replica. It implements sim.Handler.
+type Node struct {
+	cfg    Config
+	id     string
+	hlc    *clock.HLC
+	data   map[string]Write
+	merkle *storage.Merkle
+
+	// SyncRounds counts completed anti-entropy rounds initiated here.
+	SyncRounds uint64
+}
+
+// NewNode returns a gossip replica. now must be the simulator clock (it
+// feeds the HLC so LWW respects causality).
+func NewNode(id string, cfg Config, now func() int64) *Node {
+	cfg = cfg.withDefaults()
+	return &Node{
+		cfg:    cfg,
+		id:     id,
+		hlc:    clock.NewHLC(id, now),
+		data:   make(map[string]Write),
+		merkle: storage.NewMerkle(cfg.MerkleDepth),
+	}
+}
+
+type tickTag struct{}
+
+// OnStart implements sim.Handler.
+func (n *Node) OnStart(env sim.Env) {
+	env.SetTimer(n.jittered(env.Rand()), tickTag{})
+}
+
+func (n *Node) jittered(r *rand.Rand) time.Duration {
+	// Spread rounds so replicas don't sync in lockstep.
+	return n.cfg.Interval/2 + time.Duration(r.Int63n(int64(n.cfg.Interval)))
+}
+
+// OnTimer implements sim.Handler.
+func (n *Node) OnTimer(env sim.Env, _ any) {
+	n.startSync(env)
+	env.SetTimer(n.jittered(env.Rand()), tickTag{})
+}
+
+func (n *Node) startSync(env sim.Env) {
+	if len(n.cfg.Peers) == 0 {
+		return
+	}
+	r := env.Rand()
+	perm := r.Perm(len(n.cfg.Peers))
+	k := n.cfg.Fanout
+	if k > len(perm) {
+		k = len(perm)
+	}
+	for _, pi := range perm[:k] {
+		env.Send(n.cfg.Peers[pi], syncReq{Leaves: n.merkle.LevelHashes(n.merkle.Depth())})
+	}
+}
+
+// OnMessage implements sim.Handler.
+func (n *Node) OnMessage(env sim.Env, from string, msg sim.Message) {
+	switch m := msg.(type) {
+	case syncReq:
+		buckets := n.diffBuckets(m.Leaves)
+		if len(buckets) == 0 {
+			return
+		}
+		env.Send(from, syncResp{Buckets: buckets, Writes: n.writesInBuckets(buckets)})
+	case syncResp:
+		for _, w := range m.Writes {
+			n.apply(env, w, 0)
+		}
+		env.Send(from, syncPush{Writes: n.writesInBuckets(m.Buckets)})
+		n.SyncRounds++
+	case syncPush:
+		for _, w := range m.Writes {
+			n.apply(env, w, 0)
+		}
+	case rumor:
+		n.apply(env, m.W, m.TTL)
+	}
+}
+
+func (n *Node) diffBuckets(remoteLeaves []uint64) []int {
+	local := n.merkle.LevelHashes(n.merkle.Depth())
+	var out []int
+	for i := range local {
+		if i < len(remoteLeaves) && local[i] != remoteLeaves[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (n *Node) writesInBuckets(buckets []int) []Write {
+	want := make(map[int]bool, len(buckets))
+	for _, b := range buckets {
+		want[b] = true
+	}
+	var out []Write
+	for k, w := range n.data {
+		if want[n.merkle.Bucket(k)] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// apply installs a write if it is newer (LWW), updating the Merkle tree
+// and, when fresh and rumor mongering is on, forwarding it.
+func (n *Node) apply(env sim.Env, w Write, ttl int) {
+	cur, ok := n.data[w.Key]
+	if ok && !cur.TS.Before(w.TS) {
+		return // stale or duplicate
+	}
+	n.hlc.Observe(w.TS)
+	n.data[w.Key] = w
+	n.merkle.Update(w.Key, w.hash())
+	if ttl > 0 {
+		n.spreadRumor(env, w, ttl-1)
+	}
+}
+
+func (n *Node) spreadRumor(env sim.Env, w Write, ttl int) {
+	r := env.Rand()
+	perm := r.Perm(len(n.cfg.Peers))
+	k := n.cfg.Fanout
+	if k > len(perm) {
+		k = len(perm)
+	}
+	for _, pi := range perm[:k] {
+		env.Send(n.cfg.Peers[pi], rumor{W: w, TTL: ttl})
+	}
+}
+
+// Put performs a client write at this replica. Call it from a cluster
+// callback so it runs at simulation time.
+func (n *Node) Put(env sim.Env, key string, value []byte) {
+	w := Write{Key: key, Value: value, TS: n.hlc.Now()}
+	n.data[key] = w
+	n.merkle.Update(key, w.hash())
+	if n.cfg.RumorTTL > 0 {
+		n.spreadRumor(env, w, n.cfg.RumorTTL)
+	}
+}
+
+// Delete performs a client delete (a tombstone write) at this replica.
+func (n *Node) Delete(env sim.Env, key string) {
+	w := Write{Key: key, TS: n.hlc.Now(), Deleted: true}
+	n.data[key] = w
+	n.merkle.Update(key, w.hash())
+	if n.cfg.RumorTTL > 0 {
+		n.spreadRumor(env, w, n.cfg.RumorTTL)
+	}
+}
+
+// Get reads the replica's local value for key.
+func (n *Node) Get(key string) ([]byte, bool) {
+	w, ok := n.data[key]
+	if !ok || w.Deleted {
+		return nil, false
+	}
+	return w.Value, true
+}
+
+// RootHash exposes the Merkle root for convergence checks.
+func (n *Node) RootHash() uint64 { return n.merkle.RootHash() }
+
+// Keys returns the number of keys (including tombstones) held.
+func (n *Node) Keys() int { return len(n.data) }
+
+// Converged reports whether all nodes hold identical replicated state.
+func Converged(nodes []*Node) bool {
+	for _, n := range nodes[1:] {
+		if n.RootHash() != nodes[0].RootHash() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,260 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// buildCluster wires n gossip nodes into a simulator.
+func buildCluster(t *testing.T, n int, cfg Config, seed int64) (*sim.Cluster, []*Node) {
+	t.Helper()
+	c := sim.New(sim.Config{Seed: seed, Latency: sim.Uniform(time.Millisecond, 5*time.Millisecond)})
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("n%d", i)
+	}
+	nodes := make([]*Node, n)
+	for i, id := range ids {
+		peers := make([]string, 0, n-1)
+		for _, p := range ids {
+			if p != id {
+				peers = append(peers, p)
+			}
+		}
+		nc := cfg
+		nc.Peers = peers
+		nodes[i] = NewNode(id, nc, func() int64 { return int64(c.Now() / time.Millisecond) })
+		c.AddNode(id, nodes[i])
+	}
+	return c, nodes
+}
+
+func TestSingleWriteSpreadsEverywhere(t *testing.T) {
+	c, nodes := buildCluster(t, 5, Config{Interval: 50 * time.Millisecond}, 1)
+	c.At(0, func() { nodes[0].Put(c.ClientEnv("n0"), "k", []byte("v")) })
+	c.Run(5 * time.Second)
+	for i, n := range nodes {
+		v, ok := n.Get("k")
+		if !ok || string(v) != "v" {
+			t.Fatalf("node %d missing the write: %q ok=%v", i, v, ok)
+		}
+	}
+	if !Converged(nodes) {
+		t.Fatal("root hashes differ after long run")
+	}
+}
+
+func TestConcurrentWritesConvergeLWW(t *testing.T) {
+	c, nodes := buildCluster(t, 4, Config{Interval: 50 * time.Millisecond}, 2)
+	// Two replicas write the same key at the same instant.
+	c.At(0, func() {
+		nodes[0].Put(c.ClientEnv("n0"), "k", []byte("from-0"))
+		nodes[1].Put(c.ClientEnv("n1"), "k", []byte("from-1"))
+	})
+	c.Run(5 * time.Second)
+	if !Converged(nodes) {
+		t.Fatal("not converged")
+	}
+	v0, _ := nodes[0].Get("k")
+	for i, n := range nodes[1:] {
+		v, _ := n.Get("k")
+		if string(v) != string(v0) {
+			t.Fatalf("node %d value %q != node 0 value %q", i+1, v, v0)
+		}
+	}
+}
+
+func TestDeleteSpreadsAsTombstone(t *testing.T) {
+	c, nodes := buildCluster(t, 3, Config{Interval: 50 * time.Millisecond}, 3)
+	c.At(0, func() { nodes[0].Put(c.ClientEnv("n0"), "k", []byte("v")) })
+	c.At(time.Second, func() { nodes[1].Delete(c.ClientEnv("n1"), "k") })
+	c.Run(5 * time.Second)
+	for i, n := range nodes {
+		if _, ok := n.Get("k"); ok {
+			t.Fatalf("node %d still sees deleted key", i)
+		}
+	}
+	if !Converged(nodes) {
+		t.Fatal("not converged")
+	}
+}
+
+func TestPartitionHealsViaAntiEntropy(t *testing.T) {
+	c, nodes := buildCluster(t, 6, Config{Interval: 50 * time.Millisecond}, 4)
+	c.Partition([]string{"n0", "n1", "n2"}, []string{"n3", "n4", "n5"})
+	// Divergent writes on both sides (different keys, plus a conflicting
+	// one).
+	c.At(0, func() {
+		nodes[0].Put(c.ClientEnv("n0"), "left", []byte("L"))
+		nodes[3].Put(c.ClientEnv("n3"), "right", []byte("R"))
+		nodes[0].Put(c.ClientEnv("n0"), "both", []byte("from-left"))
+		nodes[3].Put(c.ClientEnv("n3"), "both", []byte("from-right"))
+	})
+	c.Run(2 * time.Second)
+	if _, ok := nodes[0].Get("right"); ok {
+		t.Fatal("write crossed the partition")
+	}
+	c.Heal()
+	c.Run(10 * time.Second)
+	if !Converged(nodes) {
+		t.Fatal("anti-entropy did not converge after heal")
+	}
+	for i, n := range nodes {
+		if _, ok := n.Get("left"); !ok {
+			t.Fatalf("node %d missing left", i)
+		}
+		if _, ok := n.Get("right"); !ok {
+			t.Fatalf("node %d missing right", i)
+		}
+	}
+}
+
+func TestRumorMongeringFasterThanAntiEntropyAlone(t *testing.T) {
+	timeToConverge := func(cfg Config) time.Duration {
+		c, nodes := buildCluster(t, 16, cfg, 7)
+		var converged time.Duration = -1
+		c.At(0, func() { nodes[0].Put(c.ClientEnv("n0"), "k", []byte("v")) })
+		check := func() {}
+		check = func() {
+			if converged < 0 && Converged(nodes) {
+				all := true
+				for _, n := range nodes {
+					if _, ok := n.Get("k"); !ok {
+						all = false
+					}
+				}
+				if all {
+					converged = c.Now()
+					return
+				}
+			}
+			c.After(5*time.Millisecond, check)
+		}
+		c.At(time.Millisecond, check)
+		c.Run(30 * time.Second)
+		if converged < 0 {
+			t.Fatalf("never converged (cfg %+v)", cfg)
+		}
+		return converged
+	}
+	slow := timeToConverge(Config{Interval: 200 * time.Millisecond})
+	fast := timeToConverge(Config{Interval: 200 * time.Millisecond, RumorTTL: 4, Fanout: 2})
+	if fast >= slow {
+		t.Fatalf("rumor mongering (%v) not faster than anti-entropy alone (%v)", fast, slow)
+	}
+}
+
+func TestHigherFanoutConvergesFaster(t *testing.T) {
+	timeToConverge := func(fanout int) time.Duration {
+		c, nodes := buildCluster(t, 24, Config{Interval: 100 * time.Millisecond, Fanout: fanout}, 11)
+		c.At(0, func() {
+			for i := 0; i < 20; i++ {
+				nodes[0].Put(c.ClientEnv("n0"), fmt.Sprintf("k%d", i), []byte("v"))
+			}
+		})
+		var converged time.Duration = -1
+		var check func()
+		check = func() {
+			if Converged(nodes) && nodes[0].Keys() == 20 {
+				converged = c.Now()
+				return
+			}
+			c.After(10*time.Millisecond, check)
+		}
+		c.At(10*time.Millisecond, check)
+		c.Run(60 * time.Second)
+		if converged < 0 {
+			t.Fatalf("fanout %d never converged", fanout)
+		}
+		return converged
+	}
+	f1 := timeToConverge(1)
+	f3 := timeToConverge(3)
+	if f3 >= f1 {
+		t.Fatalf("fanout 3 (%v) not faster than fanout 1 (%v)", f3, f1)
+	}
+}
+
+func TestStaleWriteNeverOverwritesNewer(t *testing.T) {
+	c, nodes := buildCluster(t, 3, Config{Interval: 50 * time.Millisecond}, 5)
+	c.At(0, func() { nodes[0].Put(c.ClientEnv("n0"), "k", []byte("old")) })
+	c.At(500*time.Millisecond, func() { nodes[1].Put(c.ClientEnv("n1"), "k", []byte("new")) })
+	c.Run(5 * time.Second)
+	for i, n := range nodes {
+		v, _ := n.Get("k")
+		if string(v) != "new" {
+			t.Fatalf("node %d has %q, want new (LWW with later wall time)", i, v)
+		}
+	}
+}
+
+func TestNodeWithNoPeersIsQuiet(t *testing.T) {
+	c := sim.New(sim.Config{Seed: 1})
+	n := NewNode("solo", Config{Interval: 10 * time.Millisecond}, func() int64 { return int64(c.Now() / time.Millisecond) })
+	c.AddNode("solo", n)
+	c.At(0, func() { n.Put(c.ClientEnv("solo"), "k", []byte("v")) })
+	c.Run(time.Second)
+	if c.Stats().MessagesSent != 0 {
+		t.Fatalf("solo node sent %d messages", c.Stats().MessagesSent)
+	}
+	if v, ok := n.Get("k"); !ok || string(v) != "v" {
+		t.Fatal("local write lost")
+	}
+}
+
+func TestCrashedNodeCatchesUpAfterRestart(t *testing.T) {
+	c, nodes := buildCluster(t, 5, Config{Interval: 50 * time.Millisecond}, 21)
+	c.At(0, func() { c.Crash("n4") })
+	c.At(10*time.Millisecond, func() {
+		for i := 0; i < 20; i++ {
+			nodes[0].Put(c.ClientEnv("n0"), fmt.Sprintf("k%d", i), []byte("v"))
+		}
+	})
+	c.At(3*time.Second, func() { c.Restart("n4") })
+	c.Run(10 * time.Second)
+	if !Converged(nodes) {
+		t.Fatal("restarted node never converged")
+	}
+	if nodes[4].Keys() != 20 {
+		t.Fatalf("restarted node has %d/20 keys", nodes[4].Keys())
+	}
+}
+
+func TestConvergenceUnderContinuousChurn(t *testing.T) {
+	// Writes keep flowing while nodes crash and restart; after the churn
+	// stops, everything converges.
+	c, nodes := buildCluster(t, 6, Config{Interval: 50 * time.Millisecond, Fanout: 2}, 22)
+	for i := 0; i < 30; i++ {
+		i := i
+		c.At(time.Duration(i)*100*time.Millisecond, func() {
+			// Writer must be up.
+			w := i % 6
+			if c.Up(fmt.Sprintf("n%d", w)) {
+				nodes[w].Put(c.ClientEnv(fmt.Sprintf("n%d", w)), fmt.Sprintf("k%d", i), []byte("v"))
+			}
+		})
+	}
+	for round := 0; round < 4; round++ {
+		round := round
+		victim := fmt.Sprintf("n%d", (round*2+1)%6)
+		at := time.Duration(round) * 700 * time.Millisecond
+		c.At(at, func() { c.Crash(victim) })
+		c.At(at+400*time.Millisecond, func() { c.Restart(victim) })
+	}
+	c.Run(30 * time.Second)
+	if !Converged(nodes) {
+		t.Fatal("cluster did not converge after churn stopped")
+	}
+}
+
+func TestBandwidthAccountedForSyncMessages(t *testing.T) {
+	c, nodes := buildCluster(t, 3, Config{Interval: 20 * time.Millisecond}, 6)
+	c.At(0, func() { nodes[0].Put(c.ClientEnv("n0"), "k", []byte("0123456789")) })
+	c.Run(2 * time.Second)
+	if c.Stats().BytesDelivered == 0 {
+		t.Fatal("no bandwidth recorded despite sync traffic")
+	}
+}

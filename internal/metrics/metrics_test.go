@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	for _, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond} {
+		h.Observe(d)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 2*time.Millisecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 3*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	r := rand.New(rand.NewSource(1))
+	// Uniform 1..100ms: p50 ≈ 50ms, p99 ≈ 99ms.
+	for i := 0; i < 100000; i++ {
+		h.Observe(time.Duration(1+r.Intn(100)) * time.Millisecond)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 40*time.Millisecond || p50 > 60*time.Millisecond {
+		t.Fatalf("p50 = %v, want ≈50ms", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 85*time.Millisecond || p99 > 110*time.Millisecond {
+		t.Fatalf("p99 = %v, want ≈99ms", p99)
+	}
+	if h.Quantile(1.0) < h.Quantile(0.5) {
+		t.Fatal("quantiles must be monotone")
+	}
+}
+
+func TestHistogramQuantileNeverExceedsMax(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(10 * time.Millisecond)
+	if q := h.Quantile(0.99); q > h.Max() {
+		t.Fatalf("Quantile %v exceeds max %v", q, h.Max())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Observe(time.Millisecond)
+	b.Observe(3 * time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 2 || a.Mean() != 2*time.Millisecond {
+		t.Fatalf("after merge: count=%d mean=%v", a.Count(), a.Mean())
+	}
+	if a.Min() != time.Millisecond || a.Max() != 3*time.Millisecond {
+		t.Fatalf("merge lost extremes: %v/%v", a.Min(), a.Max())
+	}
+	// Merging an empty histogram must not clobber min.
+	a.Merge(NewHistogram())
+	if a.Min() != time.Millisecond {
+		t.Fatal("merging empty histogram corrupted min")
+	}
+}
+
+func TestHistogramTinyAndHugeSamples(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)              // clamped to 1ns bucket
+	h.Observe(time.Hour * 10) // clamped to top bucket
+	if h.Count() != 2 {
+		t.Fatal("extreme samples dropped")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Fatal("empty ratio not 0")
+	}
+	r.Observe(true)
+	r.Observe(false)
+	r.Observe(false)
+	r.Observe(true)
+	if r.Value() != 0.5 {
+		t.Fatalf("Value = %v, want 0.5", r.Value())
+	}
+	if !strings.Contains(r.String(), "2/4") {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"mode", "p50", "stale"}}
+	tb.AddRow("eventual", 2*time.Millisecond, 0.123456)
+	tb.AddRow("strong", 150*time.Millisecond, 0.0)
+	s := tb.String()
+	if !strings.Contains(s, "eventual") || !strings.Contains(s, "2ms") {
+		t.Fatalf("table missing cells:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "x"
+	s.Add(1, 2)
+	s.Add(3, 4)
+	if len(s.Points) != 2 || s.Points[1] != (Point{3, 4}) {
+		t.Fatalf("points = %v", s.Points)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	samples := []float64{5, 1, 4, 2, 3}
+	got := Percentiles(samples, 0.2, 0.5, 1.0)
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("Percentiles = %v", got)
+	}
+	// Input must not be mutated.
+	if samples[0] != 5 {
+		t.Fatal("Percentiles sorted the caller's slice")
+	}
+	if got := Percentiles(nil, 0.5); got[0] != 0 {
+		t.Fatal("empty percentiles should be zero")
+	}
+}

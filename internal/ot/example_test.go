@@ -1,0 +1,38 @@
+package ot_test
+
+import (
+	"fmt"
+
+	"repro/internal/ot"
+)
+
+// Two users edit "the cat" concurrently; the server serializes and both
+// replicas converge on the transformed result.
+func ExampleServer() {
+	srv := ot.NewServer("the cat")
+	alice := ot.NewClient("alice", srv.Doc(), srv.Rev())
+	bob := ot.NewClient("bob", srv.Doc(), srv.Rev())
+
+	ma, _ := alice.Insert(0, "see ") // alice: "see the cat"
+	mb, _ := bob.Delete(0, 4)        // bob:   "cat"
+
+	for _, bm := range []ot.ServerMsg{srv.Submit(ma), srv.Submit(mb)} {
+		alice.Receive(bm)
+		bob.Receive(bm)
+	}
+	fmt.Println(srv.Doc(), "|", alice.Doc() == bob.Doc())
+	// Output: see cat | true
+}
+
+// Transform satisfies TP1: applying the ops in either order (with the
+// other transformed) yields the same document.
+func ExampleTransform() {
+	doc := []rune("abcdef")
+	ins := ot.InsertOp(1, "X", "site1")
+	del := ot.DeleteOp(3, 2, "site2")
+
+	viaIns := ot.Transform(del, ins).Apply(ins.Apply(doc))
+	viaDel := ot.Transform(ins, del).Apply(del.Apply(doc))
+	fmt.Println(string(viaIns), string(viaDel))
+	// Output: aXbcf aXbcf
+}

@@ -1,0 +1,160 @@
+package ot
+
+// The Jupiter protocol (Nichols et al., used by Google Wave): a central
+// server holds the authoritative document and a revision counter. Each
+// client edit is tagged with the revision it was made against; the
+// server transforms it over every operation committed since, applies it,
+// and broadcasts the transformed op. Clients symmetrically transform
+// incoming server ops against their own unacknowledged edits.
+
+// Revision numbers the server's committed operation sequence.
+type Revision int
+
+// ClientMsg is an operation a client submits, made against Base.
+type ClientMsg struct {
+	ClientID string
+	Seq      int // client-local sequence, for ack matching
+	Base     Revision
+	Op       Op
+}
+
+// ServerMsg is an operation the server broadcasts after committing it.
+type ServerMsg struct {
+	Rev      Revision // the revision this op produced
+	ClientID string   // originating client
+	Seq      int
+	Op       Op // already transformed to apply at Rev-1
+}
+
+// Server is the authoritative OT document.
+type Server struct {
+	doc []rune
+	log []ServerMsg // committed ops; log[i] produced revision i+1
+}
+
+// NewServer returns a server with the given initial document.
+func NewServer(initial string) *Server {
+	return &Server{doc: []rune(initial)}
+}
+
+// Rev returns the current revision.
+func (s *Server) Rev() Revision { return Revision(len(s.log)) }
+
+// Doc returns the authoritative document.
+func (s *Server) Doc() string { return string(s.doc) }
+
+// Submit commits a client operation: transform it over everything
+// committed since its base revision, apply, append to the log, and
+// return the broadcastable message.
+func (s *Server) Submit(m ClientMsg) ServerMsg {
+	op := m.Op
+	for i := int(m.Base); i < len(s.log); i++ {
+		op = Transform(op, s.log[i].Op)
+	}
+	s.doc = op.Apply(s.doc)
+	out := ServerMsg{Rev: Revision(len(s.log) + 1), ClientID: m.ClientID, Seq: m.Seq, Op: op}
+	s.log = append(s.log, out)
+	return out
+}
+
+// Client is a Jupiter client replica. Local edits apply immediately; at
+// most ONE operation is in flight to the server at a time (the invariant
+// that makes base-revision bookkeeping sufficient — the Wave/ShareJS
+// discipline); further local edits queue in a buffer and are released
+// one by one as acknowledgements arrive.
+type Client struct {
+	id  string
+	doc []rune
+	rev Revision // last server revision incorporated
+	seq int
+
+	// inflight is the unacknowledged op, if any.
+	inflight *ClientMsg
+	// buffer holds local ops made while inflight is outstanding; they
+	// are already applied locally.
+	buffer []Op
+}
+
+// NewClient returns a client synchronized to the server's initial state.
+func NewClient(id, initial string, rev Revision) *Client {
+	return &Client{id: id, doc: []rune(initial), rev: rev}
+}
+
+// Doc returns the client's current (optimistic) document.
+func (c *Client) Doc() string { return string(c.doc) }
+
+// Rev returns the last server revision this client has incorporated.
+func (c *Client) Rev() Revision { return c.rev }
+
+// Pending returns how many local ops await acknowledgement (the in-flight
+// op plus the buffer).
+func (c *Client) Pending() int {
+	n := len(c.buffer)
+	if c.inflight != nil {
+		n++
+	}
+	return n
+}
+
+// Edit applies a local operation immediately. If a message is ready to
+// send to the server it is returned with ok=true; otherwise the op is
+// buffered behind the in-flight one (send the messages Receive returns
+// later).
+func (c *Client) Edit(op Op) (ClientMsg, bool) {
+	op.Site = c.id
+	c.doc = op.Apply(c.doc)
+	if c.inflight != nil {
+		c.buffer = append(c.buffer, op)
+		return ClientMsg{}, false
+	}
+	return c.makeInflight(op), true
+}
+
+func (c *Client) makeInflight(op Op) ClientMsg {
+	c.seq++
+	m := ClientMsg{ClientID: c.id, Seq: c.seq, Base: c.rev, Op: op}
+	c.inflight = &m
+	return m
+}
+
+// Insert is a convenience for Edit(InsertOp(...)).
+func (c *Client) Insert(pos int, s string) (ClientMsg, bool) {
+	return c.Edit(InsertOp(pos, s, c.id))
+}
+
+// Delete is a convenience for Edit(DeleteOp(...)).
+func (c *Client) Delete(pos, n int) (ClientMsg, bool) {
+	return c.Edit(DeleteOp(pos, n, c.id))
+}
+
+// Receive incorporates a server broadcast. If it acknowledges this
+// client's in-flight op and a buffered op is waiting, the next message
+// to send is returned with ok=true.
+func (c *Client) Receive(m ServerMsg) (next ClientMsg, ok bool) {
+	c.rev = m.Rev
+	if m.ClientID == c.id {
+		// Our own op acknowledged (it is already applied locally).
+		c.inflight = nil
+		if len(c.buffer) > 0 {
+			op := c.buffer[0]
+			c.buffer = c.buffer[1:]
+			return c.makeInflight(op), true
+		}
+		return ClientMsg{}, false
+	}
+	// Remote op: transform it over the in-flight op and the buffer,
+	// transforming them over it in turn (the Jupiter bridge).
+	remote := m.Op
+	if c.inflight != nil {
+		newRemote := Transform(remote, c.inflight.Op)
+		c.inflight.Op = Transform(c.inflight.Op, remote)
+		remote = newRemote
+	}
+	for i := range c.buffer {
+		newRemote := Transform(remote, c.buffer[i])
+		c.buffer[i] = Transform(c.buffer[i], remote)
+		remote = newRemote
+	}
+	c.doc = remote.Apply(c.doc)
+	return ClientMsg{}, false
+}

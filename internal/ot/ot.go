@@ -1,0 +1,181 @@
+// Package ot implements operational transformation for collaborative
+// text editing — the pre-CRDT convergence technique the tutorial
+// contrasts with RGA-style sequence CRDTs. Concurrent operations are
+// *transformed* against each other so that applying them in different
+// orders at different replicas yields the same document (the TP1
+// property), coordinated by a central server that serializes operations
+// (the Jupiter / Google-Wave architecture).
+//
+// The package provides the transform functions, a Server that serializes
+// client operations, and a Client that buffers local edits and
+// transforms incoming remote operations against its unacknowledged
+// ones.
+package ot
+
+import "fmt"
+
+// Op is a text operation: exactly one of Insert or Delete semantics.
+// Insert inserts Str at Pos; Delete removes Len runes starting at Pos.
+type Op struct {
+	Insert bool
+	Pos    int
+	Str    string // insert payload
+	Len    int    // delete length
+	// Site breaks ties between concurrent inserts at the same position
+	// (a deterministic priority, as in Jupiter).
+	Site string
+}
+
+// InsertOp builds an insert operation.
+func InsertOp(pos int, s, site string) Op {
+	return Op{Insert: true, Pos: pos, Str: s, Site: site}
+}
+
+// DeleteOp builds a delete operation.
+func DeleteOp(pos, n int, site string) Op {
+	return Op{Pos: pos, Len: n, Site: site}
+}
+
+// IsNoop reports whether the op has no effect (inserting "" or deleting
+// zero runes) — transforms can shrink ops to nothing.
+func (o Op) IsNoop() bool {
+	if o.Insert {
+		return o.Str == ""
+	}
+	return o.Len == 0
+}
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	if o.Insert {
+		return fmt.Sprintf("ins(%d,%q)", o.Pos, o.Str)
+	}
+	return fmt.Sprintf("del(%d,%d)", o.Pos, o.Len)
+}
+
+// Apply applies the op to a document.
+func (o Op) Apply(doc []rune) []rune {
+	if o.IsNoop() {
+		return doc
+	}
+	pos := o.Pos
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > len(doc) {
+		pos = len(doc)
+	}
+	if o.Insert {
+		out := make([]rune, 0, len(doc)+len(o.Str))
+		out = append(out, doc[:pos]...)
+		out = append(out, []rune(o.Str)...)
+		out = append(out, doc[pos:]...)
+		return out
+	}
+	end := pos + o.Len
+	if end > len(doc) {
+		end = len(doc)
+	}
+	out := make([]rune, 0, len(doc)-(end-pos))
+	out = append(out, doc[:pos]...)
+	out = append(out, doc[end:]...)
+	return out
+}
+
+// Transform rewrites op a to apply after concurrent op b has been
+// applied: a' = T(a, b), satisfying TP1 — apply(apply(doc, b), T(a, b))
+// == apply(apply(doc, a), T(b, a)) for all docs both ops are valid on.
+func Transform(a, b Op) Op {
+	switch {
+	case a.Insert && b.Insert:
+		return transformII(a, b)
+	case a.Insert && !b.Insert:
+		return transformID(a, b)
+	case !a.Insert && b.Insert:
+		return transformDI(a, b)
+	default:
+		return transformDD(a, b)
+	}
+}
+
+// transformII: insert vs insert — shift right if b inserted at or before
+// a's position; equal positions break ties by site priority so both
+// replicas agree which insert comes first.
+func transformII(a, b Op) Op {
+	if b.Pos < a.Pos || (b.Pos == a.Pos && b.Site < a.Site) {
+		a.Pos += len([]rune(b.Str))
+	}
+	return a
+}
+
+// transformID: insert vs delete. An insert at the boundary of the
+// deleted range survives (shifted as needed); an insert strictly inside
+// it becomes a no-op — this package's ops are single contiguous ranges,
+// so the "delete wins over interior insert" policy is applied
+// symmetrically (transformDI extends the delete over the insert). This
+// trades a sliver of intention preservation for TP1 with unsplittable
+// ops; splitting transforms (returning op lists) would preserve the
+// interior insert instead.
+func transformID(a, b Op) Op {
+	switch {
+	case a.Pos <= b.Pos:
+		// insert at or before the deleted range's start: unaffected
+	case a.Pos >= b.Pos+b.Len:
+		a.Pos -= b.Len
+	default:
+		// Strictly inside the concurrently deleted range: delete wins.
+		a.Str = ""
+	}
+	return a
+}
+
+// transformDI: delete vs insert — shift right past text inserted before
+// the range; extend over text inserted strictly inside the range (the
+// symmetric half of the "delete wins over interior insert" policy).
+func transformDI(a, b Op) Op {
+	ins := len([]rune(b.Str))
+	switch {
+	case b.Pos <= a.Pos:
+		a.Pos += ins
+	case b.Pos >= a.Pos+a.Len:
+		// insert after the deleted range: unaffected
+	default:
+		a.Len += ins
+	}
+	return a
+}
+
+// transformDD: delete vs delete — subtract the overlap.
+func transformDD(a, b Op) Op {
+	aEnd, bEnd := a.Pos+a.Len, b.Pos+b.Len
+	switch {
+	case bEnd <= a.Pos:
+		// b entirely before a
+		a.Pos -= b.Len
+	case b.Pos >= aEnd:
+		// b entirely after a: unaffected
+	default:
+		// Overlap: remove the doubly deleted part from a.
+		overlapStart := max(a.Pos, b.Pos)
+		overlapEnd := min(aEnd, bEnd)
+		a.Len -= overlapEnd - overlapStart
+		if b.Pos < a.Pos {
+			a.Pos = b.Pos
+		}
+	}
+	return a
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,263 @@
+package ot
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func apply(doc string, ops ...Op) string {
+	r := []rune(doc)
+	for _, op := range ops {
+		r = op.Apply(r)
+	}
+	return string(r)
+}
+
+func TestApplyInsert(t *testing.T) {
+	if got := apply("ac", InsertOp(1, "b", "x")); got != "abc" {
+		t.Fatalf("got %q", got)
+	}
+	if got := apply("", InsertOp(0, "xyz", "x")); got != "xyz" {
+		t.Fatalf("got %q", got)
+	}
+	// Out-of-range positions clamp.
+	if got := apply("ab", InsertOp(99, "!", "x")); got != "ab!" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestApplyDelete(t *testing.T) {
+	if got := apply("abcd", DeleteOp(1, 2, "x")); got != "ad" {
+		t.Fatalf("got %q", got)
+	}
+	// Deleting past the end clamps.
+	if got := apply("ab", DeleteOp(1, 99, "x")); got != "a" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestTP1Table: hand-picked concurrent pairs must commute under
+// transformation.
+func TestTP1Table(t *testing.T) {
+	doc := "abcdef"
+	pairs := []struct {
+		name string
+		a, b Op
+	}{
+		{"ins-ins disjoint", InsertOp(1, "X", "s1"), InsertOp(4, "Y", "s2")},
+		{"ins-ins same pos", InsertOp(2, "X", "s1"), InsertOp(2, "Y", "s2")},
+		{"ins-del before", InsertOp(1, "X", "s1"), DeleteOp(3, 2, "s2")},
+		{"ins-del inside", InsertOp(4, "X", "s1"), DeleteOp(2, 3, "s2")},
+		{"del-del disjoint", DeleteOp(0, 2, "s1"), DeleteOp(4, 2, "s2")},
+		{"del-del overlap", DeleteOp(1, 3, "s1"), DeleteOp(2, 3, "s2")},
+		{"del-del nested", DeleteOp(1, 4, "s1"), DeleteOp(2, 1, "s2")},
+		{"del-del identical", DeleteOp(2, 2, "s1"), DeleteOp(2, 2, "s2")},
+		{"ins at del start", InsertOp(2, "X", "s1"), DeleteOp(2, 2, "s2")},
+	}
+	for _, p := range pairs {
+		t.Run(p.name, func(t *testing.T) {
+			ab := apply(doc, p.a, Transform(p.b, p.a))
+			ba := apply(doc, p.b, Transform(p.a, p.b))
+			if ab != ba {
+				t.Fatalf("TP1 violated: a,b' -> %q vs b,a' -> %q", ab, ba)
+			}
+		})
+	}
+}
+
+// TestTP1Quick: random op pairs on random documents must satisfy TP1.
+func TestTP1Quick(t *testing.T) {
+	genOp := func(r *rand.Rand, docLen int, site string) Op {
+		if r.Intn(2) == 0 {
+			pos := r.Intn(docLen + 1)
+			return InsertOp(pos, string(rune('A'+r.Intn(26))), site)
+		}
+		if docLen == 0 {
+			return InsertOp(0, "Z", site)
+		}
+		pos := r.Intn(docLen)
+		n := 1 + r.Intn(docLen-pos)
+		return DeleteOp(pos, n, site)
+	}
+	cfg := &quick.Config{
+		MaxCount: 3000,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			n := 1 + r.Intn(10)
+			doc := make([]rune, n)
+			for i := range doc {
+				doc[i] = rune('a' + i)
+			}
+			args[0] = reflect.ValueOf(string(doc))
+			args[1] = reflect.ValueOf(genOp(r, n, "s1"))
+			args[2] = reflect.ValueOf(genOp(r, n, "s2"))
+		},
+	}
+	prop := func(doc string, a, b Op) bool {
+		ab := apply(doc, a, Transform(b, a))
+		ba := apply(doc, b, Transform(a, b))
+		return ab == ba
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJupiterBasicRoundTrip(t *testing.T) {
+	srv := NewServer("hello")
+	alice := NewClient("alice", srv.Doc(), srv.Rev())
+	bob := NewClient("bob", srv.Doc(), srv.Rev())
+
+	m, ok := alice.Edit(InsertOp(5, " world", "alice"))
+	if !ok {
+		t.Fatal("idle client must send immediately")
+	}
+	bm := srv.Submit(m)
+	alice.Receive(bm)
+	bob.Receive(bm)
+
+	if srv.Doc() != "hello world" || alice.Doc() != srv.Doc() || bob.Doc() != srv.Doc() {
+		t.Fatalf("docs: srv=%q alice=%q bob=%q", srv.Doc(), alice.Doc(), bob.Doc())
+	}
+	if alice.Pending() != 0 {
+		t.Fatal("ack did not clear the in-flight op")
+	}
+}
+
+func TestJupiterConcurrentEditsConverge(t *testing.T) {
+	srv := NewServer("the cat")
+	alice := NewClient("alice", srv.Doc(), srv.Rev())
+	bob := NewClient("bob", srv.Doc(), srv.Rev())
+
+	// Both edit concurrently against revision 0.
+	ma, _ := alice.Edit(InsertOp(0, "see ", "alice")) // "see the cat"
+	mb, _ := bob.Edit(DeleteOp(0, 4, "bob"))          // "cat"
+
+	// Server receives alice first.
+	ba := srv.Submit(ma)
+	bb := srv.Submit(mb)
+	for _, m := range []ServerMsg{ba, bb} {
+		alice.Receive(m)
+		bob.Receive(m)
+	}
+	if alice.Doc() != bob.Doc() || alice.Doc() != srv.Doc() {
+		t.Fatalf("diverged: srv=%q alice=%q bob=%q", srv.Doc(), alice.Doc(), bob.Doc())
+	}
+	if srv.Doc() != "see cat" {
+		t.Fatalf("doc = %q, want %q", srv.Doc(), "see cat")
+	}
+}
+
+func TestJupiterBuffersBehindInflight(t *testing.T) {
+	srv := NewServer("")
+	cl := NewClient("c", srv.Doc(), srv.Rev())
+	m1, ok1 := cl.Insert(0, "a")
+	_, ok2 := cl.Insert(1, "b") // buffered behind m1
+	if !ok1 || ok2 {
+		t.Fatalf("ok1=%v ok2=%v, want true,false", ok1, ok2)
+	}
+	if cl.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", cl.Pending())
+	}
+	b1 := srv.Submit(m1)
+	m2, ok := cl.Receive(b1)
+	if !ok {
+		t.Fatal("ack must release the buffered op")
+	}
+	b2 := srv.Submit(m2)
+	if _, ok := cl.Receive(b2); ok {
+		t.Fatal("no more buffered ops expected")
+	}
+	if srv.Doc() != "ab" || cl.Doc() != "ab" {
+		t.Fatalf("docs: srv=%q cl=%q", srv.Doc(), cl.Doc())
+	}
+}
+
+// TestJupiterRandomConvergence: several clients make random edits in
+// random interleavings (each client's broadcasts delivered in order, at
+// random times); after all broadcasts drain, everyone matches the
+// server.
+func TestJupiterRandomConvergence(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		srv := NewServer("0123456789")
+		clients := make([]*Client, 3)
+		for i := range clients {
+			clients[i] = NewClient(fmt.Sprintf("c%d", i), srv.Doc(), srv.Rev())
+		}
+		var queue []ServerMsg
+		submit := func(m ClientMsg, ok bool) {
+			if ok {
+				queue = append(queue, srv.Submit(m))
+			}
+		}
+
+		for step := 0; step < 80; step++ {
+			switch r.Intn(3) {
+			case 0: // a client edits
+				cl := clients[r.Intn(len(clients))]
+				docLen := len([]rune(cl.Doc()))
+				if r.Intn(2) == 0 || docLen == 0 {
+					m, ok := cl.Insert(r.Intn(docLen+1), string(rune('a'+r.Intn(26))))
+					submit(m, ok)
+				} else {
+					pos := r.Intn(docLen)
+					m, ok := cl.Delete(pos, 1+r.Intn(min(3, docLen-pos)))
+					submit(m, ok)
+				}
+			default: // deliver the next broadcast to a random lagging client
+				cl := clients[r.Intn(len(clients))]
+				if int(cl.Rev()) < len(queue) {
+					submit(cl.Receive(queue[cl.Rev()]))
+				}
+			}
+		}
+		// Drain all broadcasts (acks may release buffered ops, which
+		// extend the queue; keep going until everyone is caught up and
+		// idle).
+		for {
+			progress := false
+			for _, cl := range clients {
+				for int(cl.Rev()) < len(queue) {
+					submit(cl.Receive(queue[cl.Rev()]))
+					progress = true
+				}
+			}
+			if !progress {
+				break
+			}
+		}
+		for i, cl := range clients {
+			if cl.Doc() != srv.Doc() {
+				t.Fatalf("seed %d: client %d diverged: %q vs server %q", seed, i, cl.Doc(), srv.Doc())
+			}
+			if cl.Pending() != 0 {
+				t.Fatalf("seed %d: client %d has %d unacked ops after drain", seed, i, cl.Pending())
+			}
+		}
+	}
+}
+
+func TestNoopOps(t *testing.T) {
+	if !InsertOp(0, "", "s").IsNoop() || !DeleteOp(3, 0, "s").IsNoop() {
+		t.Fatal("noop detection broken")
+	}
+	if got := apply("abc", InsertOp(1, "", "s")); got != "abc" {
+		t.Fatalf("noop changed doc: %q", got)
+	}
+}
+
+func TestTransformProducesApplicableOps(t *testing.T) {
+	// After transformation the op must stay within bounds of the
+	// transformed document (no panics, clamped application).
+	doc := "hello world"
+	a := DeleteOp(3, 8, "s1")
+	b := DeleteOp(0, 6, "s2")
+	res := apply(doc, b, Transform(a, b))
+	res2 := apply(doc, a, Transform(b, a))
+	if res != res2 {
+		t.Fatalf("TP1: %q vs %q", res, res2)
+	}
+}

@@ -1,0 +1,179 @@
+package quorum
+
+import (
+	"hash/fnv"
+
+	"repro/internal/clock"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Active anti-entropy for the quorum store: each node maintains, per
+// peer, a Merkle tree over exactly the keys both nodes replicate (the
+// intersection of preference lists). Periodically a node exchanges leaf
+// hashes with one random peer and push-pulls the sibling sets of
+// divergent buckets. This is Dynamo's background repair path: unlike
+// read repair it converges keys that are never read.
+
+type (
+	// aeReq opens a round with the sender's leaf hashes of the tree it
+	// keeps for the receiver.
+	aeReq struct {
+		Leaves []uint64
+	}
+	// aeResp returns the responder's entries in the divergent buckets
+	// plus the bucket list for the push half.
+	aeResp struct {
+		Buckets []int
+		Entries []aeEntry
+	}
+	// aePush closes the round with the initiator's entries.
+	aePush struct {
+		Entries []aeEntry
+	}
+)
+
+type aeEntry struct {
+	Key     string
+	Entries []clock.SiblingEntry[record]
+}
+
+// Size implements the sim bandwidth hook.
+func (m aeReq) Size() int { return 8 * len(m.Leaves) }
+
+// Size implements the sim bandwidth hook.
+func (m aeResp) Size() int {
+	n := 4 * len(m.Buckets)
+	for _, e := range m.Entries {
+		n += len(e.Key)
+		for _, s := range e.Entries {
+			n += len(s.Value.Value) + 16*len(s.DVV.Context) + 16
+		}
+	}
+	return n
+}
+
+// Size implements the sim bandwidth hook.
+func (m aePush) Size() int { return aeResp{Entries: m.Entries}.Size() }
+
+type aeTick struct{}
+
+// tree returns (creating lazily) the Merkle tree tracking keys shared
+// with peer.
+func (n *Node) tree(peer string) *storage.Merkle {
+	if n.aeTrees == nil {
+		n.aeTrees = make(map[string]*storage.Merkle)
+	}
+	t, ok := n.aeTrees[peer]
+	if !ok {
+		t = storage.NewMerkle(n.cfg.MerkleDepth)
+		n.aeTrees[peer] = t
+	}
+	return t
+}
+
+// keyStateHash digests a key's full sibling set, so two replicas agree
+// on the hash iff they hold identical versions.
+func (n *Node) keyStateHash(key string) uint64 {
+	h := fnv.New64a()
+	for _, e := range n.localEntries(key) {
+		h.Write([]byte(e.DVV.Dot.Node))
+		var b [9]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(e.DVV.Dot.Counter >> (8 * i))
+		}
+		if e.Value.Deleted {
+			b[8] = 1
+		}
+		h.Write(b[:])
+		h.Write(e.Value.Value)
+	}
+	return h.Sum64()
+}
+
+// noteKeyChanged refreshes the key's digest in every peer tree that
+// shares it. Call after any local sibling-set mutation.
+func (n *Node) noteKeyChanged(key string) {
+	if !n.cfg.AntiEntropy {
+		return
+	}
+	digest := n.keyStateHash(key)
+	for _, rep := range n.PreferenceList(key) {
+		if rep != n.id {
+			n.tree(rep).Update(key, digest)
+		}
+	}
+}
+
+// startAntiEntropy exchanges with one random peer.
+func (n *Node) startAntiEntropy(env sim.Env) {
+	if len(n.cfg.Ring) < 2 {
+		return
+	}
+	var peer string
+	for {
+		peer = n.cfg.Ring[env.Rand().Intn(len(n.cfg.Ring))]
+		if peer != n.id {
+			break
+		}
+	}
+	t := n.tree(peer)
+	env.Send(peer, aeReq{Leaves: t.LevelHashes(t.Depth())})
+}
+
+func (n *Node) handleAEReq(env sim.Env, from string, m aeReq) {
+	t := n.tree(from)
+	local := t.LevelHashes(t.Depth())
+	var buckets []int
+	for i := range local {
+		if i < len(m.Leaves) && local[i] != m.Leaves[i] {
+			buckets = append(buckets, i)
+		}
+	}
+	if len(buckets) == 0 {
+		return
+	}
+	env.Send(from, aeResp{Buckets: buckets, Entries: n.entriesInBuckets(from, buckets)})
+}
+
+// entriesInBuckets collects this node's sibling sets for keys shared
+// with peer that fall in the given buckets.
+func (n *Node) entriesInBuckets(peer string, buckets []int) []aeEntry {
+	t := n.tree(peer)
+	want := make(map[int]bool, len(buckets))
+	for _, b := range buckets {
+		want[b] = true
+	}
+	var out []aeEntry
+	for key := range n.data {
+		if !want[t.Bucket(key)] {
+			continue
+		}
+		if !contains(n.PreferenceList(key), peer) {
+			continue // peer is not a replica of this key
+		}
+		out = append(out, aeEntry{Key: key, Entries: n.localEntries(key)})
+	}
+	return out
+}
+
+func (n *Node) handleAEResp(env sim.Env, from string, m aeResp) {
+	n.applyAEEntries(m.Entries)
+	env.Send(from, aePush{Entries: n.entriesInBuckets(from, m.Buckets)})
+	n.AESyncs++
+}
+
+func (n *Node) applyAEEntries(entries []aeEntry) {
+	for _, e := range entries {
+		if !contains(n.PreferenceList(e.Key), n.id) {
+			continue // not a replica of this key; ignore
+		}
+		sib := n.siblings(e.Key)
+		before := sib.Len()
+		for _, s := range e.Entries {
+			sib.Add(s.DVV, s.Value)
+		}
+		_ = before
+		n.noteKeyChanged(e.Key)
+	}
+}

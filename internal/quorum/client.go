@@ -1,0 +1,159 @@
+package quorum
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/sim"
+)
+
+// Client is a quorum-store client. Register it as a simulator node, then
+// issue operations from scheduled callbacks; completion callbacks run when
+// quorum responses arrive. A Client tracks the causal context per key so
+// sequential writes through the same client supersede each other (the
+// read-modify-write discipline DVVs expect).
+type Client struct {
+	id      string
+	nextID  uint64
+	getCBs  map[uint64]func(GetResult)
+	putCBs  map[uint64]func(PutResult)
+	keys    map[uint64]string
+	context map[string]clock.Vector
+
+	// RequestTimeout bounds how long the client waits for any response
+	// before failing the operation locally (for example when the chosen
+	// coordinator is dead). Default 2s.
+	RequestTimeout time.Duration
+}
+
+// ErrNoResponse is returned when the coordinator never answered within
+// the client's RequestTimeout.
+var ErrNoResponse = errors.New("quorum: no response from coordinator")
+
+type clientTimeout struct{ id uint64 }
+
+// NewClient returns a client with the given simulator node id.
+func NewClient(id string) *Client {
+	return &Client{
+		id:             id,
+		getCBs:         make(map[uint64]func(GetResult)),
+		putCBs:         make(map[uint64]func(PutResult)),
+		keys:           make(map[uint64]string),
+		context:        make(map[string]clock.Vector),
+		RequestTimeout: 2 * time.Second,
+	}
+}
+
+// OnStart implements sim.Handler.
+func (c *Client) OnStart(sim.Env) {}
+
+// OnTimer implements sim.Handler.
+func (c *Client) OnTimer(_ sim.Env, tag any) {
+	t, ok := tag.(clientTimeout)
+	if !ok {
+		return
+	}
+	key := c.keys[t.id]
+	if cb, ok := c.putCBs[t.id]; ok {
+		delete(c.putCBs, t.id)
+		delete(c.keys, t.id)
+		if cb != nil {
+			cb(PutResult{Key: key, Err: ErrNoResponse})
+		}
+	}
+	if cb, ok := c.getCBs[t.id]; ok {
+		delete(c.getCBs, t.id)
+		delete(c.keys, t.id)
+		if cb != nil {
+			cb(GetResult{Key: key, Err: ErrNoResponse})
+		}
+	}
+}
+
+// OnMessage implements sim.Handler.
+func (c *Client) OnMessage(_ sim.Env, _ string, msg sim.Message) {
+	switch m := msg.(type) {
+	case putResp:
+		cb, ok := c.putCBs[m.ID]
+		if !ok {
+			return
+		}
+		delete(c.putCBs, m.ID)
+		key := c.keys[m.ID]
+		delete(c.keys, m.ID)
+		res := PutResult{Key: key, Context: m.Context, Sloppy: m.Sloppy}
+		if m.Err != "" {
+			res.Err = errors.New(m.Err)
+		} else {
+			c.context[key] = m.Context
+		}
+		if cb != nil {
+			cb(res)
+		}
+	case getResp:
+		cb, ok := c.getCBs[m.ID]
+		if !ok {
+			return
+		}
+		delete(c.getCBs, m.ID)
+		key := c.keys[m.ID]
+		delete(c.keys, m.ID)
+		res := GetResult{Key: key, Values: m.Values, Context: m.Context, Replicas: m.Replicas}
+		if m.Err != "" {
+			res.Err = errors.New(m.Err)
+		} else {
+			c.context[key] = m.Context
+		}
+		if cb != nil {
+			cb(res)
+		}
+	}
+}
+
+// Put writes key=value through coordinator (any store node), invoking cb
+// on completion. The client's stored context for the key is attached, so
+// this write supersedes everything the client has read or written before.
+func (c *Client) Put(env sim.Env, coordinator, key string, value []byte, cb func(PutResult)) {
+	c.nextID++
+	c.putCBs[c.nextID] = cb
+	c.keys[c.nextID] = key
+	env.Send(coordinator, clientPut{ID: c.nextID, Key: key, Value: value, Context: c.context[key]})
+	env.SetTimer(c.RequestTimeout, clientTimeout{id: c.nextID})
+}
+
+// PutBlind writes without any causal context (a client that did not read
+// first) — the sibling-generating pattern the DVV machinery bounds.
+func (c *Client) PutBlind(env sim.Env, coordinator, key string, value []byte, cb func(PutResult)) {
+	c.nextID++
+	c.putCBs[c.nextID] = cb
+	c.keys[c.nextID] = key
+	env.Send(coordinator, clientPut{ID: c.nextID, Key: key, Value: value})
+	env.SetTimer(c.RequestTimeout, clientTimeout{id: c.nextID})
+}
+
+// Delete tombstones key through coordinator.
+func (c *Client) Delete(env sim.Env, coordinator, key string, cb func(PutResult)) {
+	c.nextID++
+	c.putCBs[c.nextID] = cb
+	c.keys[c.nextID] = key
+	env.Send(coordinator, clientPut{ID: c.nextID, Key: key, Deleted: true, Context: c.context[key]})
+	env.SetTimer(c.RequestTimeout, clientTimeout{id: c.nextID})
+}
+
+// Get reads key through coordinator, invoking cb with the merged sibling
+// values.
+func (c *Client) Get(env sim.Env, coordinator, key string, cb func(GetResult)) {
+	c.nextID++
+	c.getCBs[c.nextID] = cb
+	c.keys[c.nextID] = key
+	env.Send(coordinator, clientGet{ID: c.nextID, Key: key})
+	env.SetTimer(c.RequestTimeout, clientTimeout{id: c.nextID})
+}
+
+// ID returns the client's node id.
+func (c *Client) ID() string { return c.id }
+
+// Context returns the client's current causal context for key (nil if the
+// key was never read or written here).
+func (c *Client) Context(key string) clock.Vector { return c.context[key] }

@@ -1,0 +1,691 @@
+// Package quorum implements Dynamo-style partial-quorum replication: every
+// key has N replicas chosen from a ring; a write is acknowledged after W
+// replica acks and a read returns after R replica responses. R + W > N
+// makes reads observe the latest acknowledged write (a strict quorum);
+// smaller R and W trade freshness for latency and availability — the
+// "tunable consistency" knob the tutorial discusses, quantified by
+// experiments E2 (probabilistically bounded staleness) and E3 (the R/W
+// sweep).
+//
+// Versioning uses dotted version vectors: concurrent writes surface as
+// siblings, a write that echoes its read context supersedes what it read,
+// and sibling explosion is bounded (ablation A3). Optional mechanisms:
+// read repair (stale replicas are fixed on the read path) and sloppy
+// quorums with hinted handoff (fallback replicas accept writes for
+// unreachable members and deliver them later).
+package quorum
+
+import (
+	"hash/fnv"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Config configures every node of a quorum store.
+type Config struct {
+	// Ring lists all storage nodes in ring order. Every node must use the
+	// same Ring.
+	Ring []string
+	// N is the replication factor.
+	N int
+	// R is the read quorum (responses needed before a read returns).
+	R int
+	// W is the write quorum (acks needed before a write returns).
+	W int
+	// Timeout bounds how long a coordinator waits for a quorum before
+	// failing the request (or engaging fallbacks under SloppyQuorum).
+	// Default 500ms.
+	Timeout time.Duration
+	// ReadRepair pushes the merged result to stale replicas after a read.
+	ReadRepair bool
+	// SloppyQuorum lets the coordinator count fallback-replica acks
+	// toward W, with hinted handoff delivering the write to the intended
+	// replica later.
+	SloppyQuorum bool
+	// HandoffInterval is how often hinted writes are retried (default
+	// 200ms).
+	HandoffInterval time.Duration
+	// AntiEntropy enables background Merkle-tree reconciliation between
+	// replicas (Dynamo's second repair mechanism, fixing divergence on
+	// keys that are never read).
+	AntiEntropy bool
+	// AntiEntropyInterval is the reconciliation period (default 500ms).
+	AntiEntropyInterval time.Duration
+	// MerkleDepth sets the reconciliation tree depth (default 8).
+	MerkleDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout <= 0 {
+		c.Timeout = 500 * time.Millisecond
+	}
+	if c.HandoffInterval <= 0 {
+		c.HandoffInterval = 200 * time.Millisecond
+	}
+	if c.AntiEntropyInterval <= 0 {
+		c.AntiEntropyInterval = 500 * time.Millisecond
+	}
+	if c.MerkleDepth <= 0 {
+		c.MerkleDepth = 8
+	}
+	return c
+}
+
+// record is a replicated value (or tombstone).
+type record struct {
+	Value   []byte
+	Deleted bool
+}
+
+// GetResult is delivered to the client when a read completes.
+type GetResult struct {
+	Key string
+	// Values holds the live sibling values (concurrent versions). Empty
+	// means not found (or all siblings deleted).
+	Values [][]byte
+	// Context is the causal context to echo on the next Put of this key.
+	Context clock.Vector
+	// Err is non-nil when the quorum was not reached in time.
+	Err error
+	// Replicas is how many replicas contributed before returning.
+	Replicas int
+}
+
+// PutResult is delivered to the client when a write completes.
+type PutResult struct {
+	Key string
+	// Context supersedes the write; echo it on a subsequent Put to
+	// overwrite.
+	Context clock.Vector
+	// Err is non-nil when the quorum was not reached in time.
+	Err error
+	// Sloppy reports whether fallback replicas were needed.
+	Sloppy bool
+}
+
+// quorumError is the failure type for unreachable quorums.
+type quorumError string
+
+func (e quorumError) Error() string { return string(e) }
+
+// ErrQuorumTimeout is returned when a coordinator cannot assemble the
+// required quorum within the timeout — the "unavailable" outcome CAP
+// forces on strict quorums during partitions.
+const ErrQuorumTimeout = quorumError("quorum: timeout waiting for quorum")
+
+// Protocol messages.
+type (
+	clientPut struct {
+		ID      uint64
+		Key     string
+		Value   []byte
+		Deleted bool
+		Context clock.Vector
+	}
+	clientGet struct {
+		ID  uint64
+		Key string
+	}
+	putResp struct {
+		ID      uint64
+		Context clock.Vector
+		Err     string
+		Sloppy  bool
+	}
+	getResp struct {
+		ID       uint64
+		Values   [][]byte
+		Context  clock.Vector
+		Err      string
+		Replicas int
+	}
+	replicaPut struct {
+		ID     uint64
+		Key    string
+		Entry  clock.SiblingEntry[record]
+		Hint   string // non-empty: store as hint for this intended node
+		Repair bool   // read-repair writes need no ack
+	}
+	replicaPutAck struct {
+		ID uint64
+	}
+	replicaGet struct {
+		ID  uint64
+		Key string
+	}
+	replicaGetResp struct {
+		ID      uint64
+		Key     string
+		Entries []clock.SiblingEntry[record]
+	}
+	handoffDeliver struct {
+		Key     string
+		Entries []clock.SiblingEntry[record]
+	}
+	handoffAck struct {
+		Key string
+	}
+)
+
+// Size implements the sim bandwidth hook.
+func (m replicaPut) Size() int {
+	return len(m.Key) + len(m.Entry.Value.Value) + 16*len(m.Entry.DVV.Context) + 16
+}
+
+// Size implements the sim bandwidth hook.
+func (m replicaGetResp) Size() int {
+	n := len(m.Key)
+	for _, e := range m.Entries {
+		n += len(e.Value.Value) + 16*len(e.DVV.Context) + 16
+	}
+	return n
+}
+
+type pendingWrite struct {
+	client    string
+	id        uint64
+	key       string
+	entry     clock.SiblingEntry[record]
+	acked     map[string]bool // replicas (or fallbacks) that acked
+	needed    int
+	replicas  []string // intended preference list
+	fallbacks []string // next ring nodes for sloppy quorum
+	sloppy    bool
+	done      bool
+	timer     sim.TimerID
+}
+
+type pendingRead struct {
+	client    string
+	id        uint64
+	key       string
+	responses map[string][]clock.SiblingEntry[record]
+	needed    int
+	replicas  []string
+	done      bool
+	timer     sim.TimerID
+}
+
+// Node is one storage node of the quorum store. It implements
+// sim.Handler. All nodes are symmetric: a client may send a request to
+// any node, which forwards it to a coordinator in the key's preference
+// list.
+type Node struct {
+	cfg Config
+	id  string
+
+	data map[string]*clock.Siblings[record]
+
+	// minted tracks the highest dot counter this node has issued per key,
+	// so dots stay unique even when the local replica apply races the
+	// next coordinated write (or this node is not a replica of the key).
+	minted map[string]uint64
+
+	// hints holds writes accepted on behalf of unreachable nodes:
+	// intended node -> key -> entries.
+	hints map[string]map[string][]clock.SiblingEntry[record]
+
+	nextReq uint64
+	writes  map[uint64]*pendingWrite
+	reads   map[uint64]*pendingRead
+	// repairs holds completed reads still awaiting late replica
+	// responses for background read repair.
+	repairs map[uint64]*repairState
+
+	// aeTrees holds one Merkle tree per peer, covering exactly the keys
+	// both nodes replicate (see antientropy.go).
+	aeTrees map[string]*storage.Merkle
+
+	// Stats.
+	ReadRepairsSent uint64
+	HintsStored     uint64
+	HintsDelivered  uint64
+	AESyncs         uint64
+}
+
+// NewNode returns a quorum node with the given shared configuration.
+func NewNode(id string, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	if cfg.N <= 0 || cfg.N > len(cfg.Ring) {
+		panic("quorum: N must be in [1, len(Ring)]")
+	}
+	if cfg.R <= 0 || cfg.R > cfg.N || cfg.W <= 0 || cfg.W > cfg.N {
+		panic("quorum: R and W must be in [1, N]")
+	}
+	return &Node{
+		cfg:     cfg,
+		id:      id,
+		data:    make(map[string]*clock.Siblings[record]),
+		minted:  make(map[string]uint64),
+		hints:   make(map[string]map[string][]clock.SiblingEntry[record]),
+		writes:  make(map[uint64]*pendingWrite),
+		reads:   make(map[uint64]*pendingRead),
+		repairs: make(map[uint64]*repairState),
+	}
+}
+
+// PreferenceList returns the N replicas for key, in priority order.
+func (n *Node) PreferenceList(key string) []string {
+	return preferenceList(n.cfg.Ring, key, n.cfg.N)
+}
+
+func preferenceList(ring []string, key string, n int) []string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	start := int(h.Sum64() % uint64(len(ring)))
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, ring[(start+i)%len(ring)])
+	}
+	return out
+}
+
+// fallbackList returns the ring nodes after the preference list, used for
+// sloppy quorums.
+func (n *Node) fallbackList(key string) []string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	start := int(h.Sum64() % uint64(len(n.cfg.Ring)))
+	var out []string
+	for i := n.cfg.N; i < len(n.cfg.Ring); i++ {
+		out = append(out, n.cfg.Ring[(start+i)%len(n.cfg.Ring)])
+	}
+	return out
+}
+
+type handoffTag struct{}
+
+type timeoutTag struct {
+	id    uint64
+	write bool
+}
+
+// OnStart implements sim.Handler.
+func (n *Node) OnStart(env sim.Env) {
+	if n.cfg.SloppyQuorum {
+		env.SetTimer(n.cfg.HandoffInterval, handoffTag{})
+	}
+	if n.cfg.AntiEntropy {
+		// Jittered so replicas do not reconcile in lockstep.
+		d := n.cfg.AntiEntropyInterval/2 + time.Duration(env.Rand().Int63n(int64(n.cfg.AntiEntropyInterval)))
+		env.SetTimer(d, aeTick{})
+	}
+}
+
+// OnTimer implements sim.Handler.
+func (n *Node) OnTimer(env sim.Env, tag any) {
+	switch tg := tag.(type) {
+	case handoffTag:
+		n.attemptHandoff(env)
+		env.SetTimer(n.cfg.HandoffInterval, handoffTag{})
+	case aeTick:
+		n.startAntiEntropy(env)
+		env.SetTimer(n.cfg.AntiEntropyInterval, aeTick{})
+	case timeoutTag:
+		if tg.write {
+			n.writeTimeout(env, tg.id)
+		} else {
+			n.readTimeout(env, tg.id)
+		}
+	}
+}
+
+// OnMessage implements sim.Handler.
+func (n *Node) OnMessage(env sim.Env, from string, msg sim.Message) {
+	switch m := msg.(type) {
+	case clientPut:
+		n.coordinatePut(env, from, m)
+	case clientGet:
+		n.coordinateGet(env, from, m)
+	case replicaPut:
+		n.applyReplicaPut(env, from, m)
+	case replicaPutAck:
+		n.onPutAck(env, from, m.ID)
+	case replicaGet:
+		entries := n.localEntries(m.Key)
+		env.Send(from, replicaGetResp{ID: m.ID, Key: m.Key, Entries: entries})
+	case replicaGetResp:
+		n.onGetResp(env, from, m)
+	case handoffDeliver:
+		sib := n.siblings(m.Key)
+		for _, e := range m.Entries {
+			sib.Add(e.DVV, e.Value)
+		}
+		n.noteKeyChanged(m.Key)
+		env.Send(from, handoffAck{Key: m.Key})
+	case handoffAck:
+		if keys, ok := n.hints[from]; ok {
+			n.HintsDelivered += uint64(len(keys[m.Key]))
+			delete(keys, m.Key)
+			if len(keys) == 0 {
+				delete(n.hints, from)
+			}
+		}
+	case aeReq:
+		n.handleAEReq(env, from, m)
+	case aeResp:
+		n.handleAEResp(env, from, m)
+	case aePush:
+		n.applyAEEntries(m.Entries)
+	}
+}
+
+func (n *Node) siblings(key string) *clock.Siblings[record] {
+	s, ok := n.data[key]
+	if !ok {
+		s = &clock.Siblings[record]{}
+		n.data[key] = s
+	}
+	return s
+}
+
+func (n *Node) localEntries(key string) []clock.SiblingEntry[record] {
+	if s, ok := n.data[key]; ok {
+		return s.Entries()
+	}
+	return nil
+}
+
+// coordinatePut runs the write protocol at whichever node the client
+// contacted (Cassandra-style coordination): mint a new version, send it
+// to the key's N replicas, and acknowledge the client after W replica
+// acks. The coordinator's own replica (when it is one) acks through the
+// same message path, so acks race realistically.
+func (n *Node) coordinatePut(env sim.Env, client string, m clientPut) {
+	prefs := n.PreferenceList(m.Key)
+
+	// Mint the new version: the context is exactly what the client
+	// causally observed (a blind write must sibling with, not supersede,
+	// versions it never read); the dot sits beyond the context, with the
+	// per-key mint floor keeping dots unique.
+	dvv := clock.MintDVV(n.id, m.Context, n.minted[m.Key])
+	n.minted[m.Key] = dvv.Dot.Counter
+	entry := clock.SiblingEntry[record]{DVV: dvv, Value: record{Value: m.Value, Deleted: m.Deleted}}
+
+	n.nextReq++
+	id := n.nextReq
+	pw := &pendingWrite{
+		client:   client,
+		id:       m.ID,
+		key:      m.Key,
+		entry:    entry,
+		acked:    make(map[string]bool),
+		needed:   n.cfg.W,
+		replicas: prefs,
+	}
+	if n.cfg.SloppyQuorum {
+		pw.fallbacks = n.fallbackList(m.Key)
+	}
+	n.writes[id] = pw
+
+	for _, rep := range prefs {
+		env.Send(rep, replicaPut{ID: id, Key: m.Key, Entry: entry})
+	}
+	pw.timer = env.SetTimer(n.cfg.Timeout, timeoutTag{id: id, write: true})
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node) applyReplicaPut(env sim.Env, from string, m replicaPut) {
+	if m.Hint != "" && m.Hint != n.id {
+		// Store on behalf of the unreachable intended replica.
+		if n.hints[m.Hint] == nil {
+			n.hints[m.Hint] = make(map[string][]clock.SiblingEntry[record])
+		}
+		n.hints[m.Hint][m.Key] = append(n.hints[m.Hint][m.Key], m.Entry)
+		n.HintsStored++
+	} else {
+		n.siblings(m.Key).Add(m.Entry.DVV, m.Entry.Value)
+		n.noteKeyChanged(m.Key)
+	}
+	if !m.Repair {
+		env.Send(from, replicaPutAck{ID: m.ID})
+	}
+}
+
+func (n *Node) onPutAck(env sim.Env, from string, id uint64) {
+	pw, ok := n.writes[id]
+	if !ok || pw.done {
+		return
+	}
+	pw.acked[from] = true
+	if len(pw.acked) >= pw.needed {
+		n.finishWrite(env, id, pw, "")
+	}
+}
+
+func (n *Node) finishWrite(env sim.Env, id uint64, pw *pendingWrite, errStr string) {
+	pw.done = true
+	delete(n.writes, id)
+	env.Cancel(pw.timer)
+	ctx := pw.entry.DVV.Context.Copy()
+	if ctx.Get(pw.entry.DVV.Dot.Node) < pw.entry.DVV.Dot.Counter {
+		ctx[pw.entry.DVV.Dot.Node] = pw.entry.DVV.Dot.Counter
+	}
+	env.Send(pw.client, putResp{ID: pw.id, Context: ctx, Err: errStr, Sloppy: pw.sloppy})
+}
+
+func (n *Node) writeTimeout(env sim.Env, id uint64) {
+	pw, ok := n.writes[id]
+	if !ok || pw.done {
+		return
+	}
+	if n.cfg.SloppyQuorum && !pw.sloppy && len(pw.fallbacks) > 0 {
+		// Engage one fallback per unacked preference replica, each
+		// carrying a hint naming the replica it stands in for. Fallback
+		// acks count toward W; hinted handoff later delivers the write
+		// to the intended replica.
+		pw.sloppy = true
+		fi := 0
+		for _, rep := range pw.replicas {
+			if pw.acked[rep] || fi >= len(pw.fallbacks) {
+				continue
+			}
+			env.Send(pw.fallbacks[fi], replicaPut{ID: id, Key: pw.key, Entry: pw.entry, Hint: rep})
+			fi++
+		}
+		pw.timer = env.SetTimer(n.cfg.Timeout, timeoutTag{id: id, write: true})
+		return
+	}
+	n.finishWrite(env, id, pw, string(ErrQuorumTimeout))
+}
+
+// coordinateGet runs the read protocol at whichever node the client
+// contacted: query all N replicas, return after the fastest R responses.
+// The coordinator does not short-circuit through its own local state;
+// its own replica (when it is one) answers through the message path like
+// any other, so which R replicas "win" is decided by delivery timing —
+// the race probabilistically-bounded staleness quantifies.
+func (n *Node) coordinateGet(env sim.Env, client string, m clientGet) {
+	prefs := n.PreferenceList(m.Key)
+	n.nextReq++
+	id := n.nextReq
+	pr := &pendingRead{
+		client:    client,
+		id:        m.ID,
+		key:       m.Key,
+		responses: make(map[string][]clock.SiblingEntry[record]),
+		needed:    n.cfg.R,
+		replicas:  prefs,
+	}
+	n.reads[id] = pr
+	for _, rep := range prefs {
+		env.Send(rep, replicaGet{ID: id, Key: m.Key})
+	}
+	pr.timer = env.SetTimer(n.cfg.Timeout, timeoutTag{id: id, write: false})
+}
+
+// repairState tracks a completed read whose remaining replica responses
+// drive background read repair.
+type repairState struct {
+	key     string
+	merged  *clock.Siblings[record]
+	waiting int
+}
+
+func (n *Node) onGetResp(env sim.Env, from string, m replicaGetResp) {
+	pr, ok := n.reads[m.ID]
+	if !ok || pr.done {
+		// Late response after the quorum returned: background repair.
+		if rs, ok := n.repairs[m.ID]; ok {
+			n.backgroundRepair(env, m.ID, rs, from, m.Entries)
+		}
+		return
+	}
+	pr.responses[from] = m.Entries
+	if len(pr.responses) >= pr.needed {
+		n.finishRead(env, m.ID, pr, "")
+	}
+}
+
+func (n *Node) finishRead(env sim.Env, id uint64, pr *pendingRead, errStr string) {
+	pr.done = true
+	delete(n.reads, id)
+	env.Cancel(pr.timer)
+
+	// Merge all sibling sets under DVV supersession.
+	var merged clock.Siblings[record]
+	for _, entries := range pr.responses {
+		for _, e := range entries {
+			merged.Add(e.DVV, e.Value)
+		}
+	}
+	mergedEntries := merged.Entries()
+
+	if n.cfg.ReadRepair && errStr == "" {
+		n.readRepair(env, pr, mergedEntries)
+		// Late responses from the replicas that did not make the quorum
+		// drive background repair as they trickle in.
+		if remaining := len(pr.replicas) - len(pr.responses); remaining > 0 {
+			n.repairs[id] = &repairState{key: pr.key, merged: &merged, waiting: remaining}
+		}
+	}
+
+	var values [][]byte
+	for _, e := range mergedEntries {
+		if !e.Value.Deleted {
+			values = append(values, e.Value.Value)
+		}
+	}
+	env.Send(pr.client, getResp{
+		ID:       pr.id,
+		Values:   values,
+		Context:  merged.Context(),
+		Err:      errStr,
+		Replicas: len(pr.responses),
+	})
+}
+
+// backgroundRepair handles a replica response arriving after the quorum
+// returned: fold it into the merged set and, if the replica was behind,
+// push the merged versions back to it.
+func (n *Node) backgroundRepair(env sim.Env, id uint64, rs *repairState, from string, entries []clock.SiblingEntry[record]) {
+	before := rs.merged.Entries()
+	for _, e := range entries {
+		rs.merged.Add(e.DVV, e.Value)
+	}
+	if !sameEntries(entries, before) {
+		for _, e := range rs.merged.Entries() {
+			env.Send(from, replicaPut{Key: rs.key, Entry: e, Repair: true})
+			n.ReadRepairsSent++
+		}
+	}
+	rs.waiting--
+	if rs.waiting <= 0 {
+		delete(n.repairs, id)
+	}
+}
+
+// readRepair pushes the merged sibling set to every replica whose
+// response differed from it (A1 ablation switch).
+func (n *Node) readRepair(env sim.Env, pr *pendingRead, merged []clock.SiblingEntry[record]) {
+	for rep, entries := range pr.responses {
+		if sameEntries(entries, merged) {
+			continue
+		}
+		if rep == n.id {
+			sib := n.siblings(pr.key)
+			for _, e := range merged {
+				sib.Add(e.DVV, e.Value)
+			}
+			n.noteKeyChanged(pr.key)
+			continue
+		}
+		for _, e := range merged {
+			env.Send(rep, replicaPut{Key: pr.key, Entry: e, Repair: true})
+			n.ReadRepairsSent++
+		}
+	}
+}
+
+func sameEntries(a, b []clock.SiblingEntry[record]) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, ea := range a {
+		found := false
+		for _, eb := range b {
+			if ea.DVV.Dot == eb.DVV.Dot {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *Node) readTimeout(env sim.Env, id uint64) {
+	pr, ok := n.reads[id]
+	if !ok || pr.done {
+		return
+	}
+	n.finishRead(env, id, pr, string(ErrQuorumTimeout))
+}
+
+// attemptHandoff tries to deliver stored hints to their intended nodes.
+// Hints are retained until the intended node acknowledges them, so
+// delivery survives the target staying down across attempts.
+func (n *Node) attemptHandoff(env sim.Env) {
+	for intended, keys := range n.hints {
+		for key, entries := range keys {
+			env.Send(intended, handoffDeliver{Key: key, Entries: entries})
+		}
+	}
+}
+
+// LocalValues exposes the node's live local values for key — what this
+// single replica believes — used by experiments to measure divergence
+// without going through the read path.
+func (n *Node) LocalValues(key string) [][]byte {
+	var out [][]byte
+	for _, e := range n.localEntries(key) {
+		if !e.Value.Deleted {
+			out = append(out, e.Value.Value)
+		}
+	}
+	return out
+}
+
+// PendingHints returns how many hinted writes are queued here.
+func (n *Node) PendingHints() int {
+	c := 0
+	for _, keys := range n.hints {
+		for _, entries := range keys {
+			c += len(entries)
+		}
+	}
+	return c
+}

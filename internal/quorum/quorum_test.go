@@ -1,0 +1,391 @@
+package quorum
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// harness wires a quorum store plus one client into a simulator.
+type harness struct {
+	c      *sim.Cluster
+	nodes  []*Node
+	client *Client
+	env    sim.Env
+}
+
+func newHarness(t *testing.T, nNodes int, cfg Config, seed int64) *harness {
+	t.Helper()
+	return newHarnessLatency(t, nNodes, cfg, seed, sim.Uniform(time.Millisecond, 5*time.Millisecond))
+}
+
+func newHarnessLatency(t *testing.T, nNodes int, cfg Config, seed int64, lat sim.LatencyModel) *harness {
+	t.Helper()
+	c := sim.New(sim.Config{Seed: seed, Latency: lat})
+	ring := make([]string, nNodes)
+	for i := range ring {
+		ring[i] = fmt.Sprintf("s%d", i)
+	}
+	cfg.Ring = ring
+	nodes := make([]*Node, nNodes)
+	for i, id := range ring {
+		nodes[i] = NewNode(id, cfg)
+		c.AddNode(id, nodes[i])
+	}
+	client := NewClient("client")
+	c.AddNode("client", client)
+	return &harness{c: c, nodes: nodes, client: client, env: c.ClientEnv("client")}
+}
+
+func (h *harness) anyNode() string { return h.nodes[0].id }
+
+func TestWriteThenReadStrictQuorum(t *testing.T) {
+	h := newHarness(t, 5, Config{N: 3, R: 2, W: 2}, 1)
+	var got GetResult
+	h.c.At(0, func() {
+		h.client.Put(h.env, h.anyNode(), "k", []byte("v"), func(pr PutResult) {
+			if pr.Err != nil {
+				t.Errorf("put failed: %v", pr.Err)
+			}
+			h.client.Get(h.env, h.anyNode(), "k", func(gr GetResult) { got = gr })
+		})
+	})
+	h.c.Run(5 * time.Second)
+	if got.Err != nil {
+		t.Fatalf("get failed: %v", got.Err)
+	}
+	if len(got.Values) != 1 || string(got.Values[0]) != "v" {
+		t.Fatalf("values = %q", got.Values)
+	}
+	if got.Replicas < 2 {
+		t.Fatalf("read used %d replicas, want >= R", got.Replicas)
+	}
+}
+
+func TestReadYourWritesWithStrictQuorum(t *testing.T) {
+	// R+W > N guarantees a read after an acknowledged write sees it.
+	h := newHarness(t, 5, Config{N: 3, R: 2, W: 2}, 2)
+	var results []string
+	for i := 0; i < 10; i++ {
+		i := i
+		h.c.At(time.Duration(i)*200*time.Millisecond, func() {
+			val := fmt.Sprintf("v%d", i)
+			h.client.Put(h.env, h.anyNode(), "k", []byte(val), func(pr PutResult) {
+				h.client.Get(h.env, h.anyNode(), "k", func(gr GetResult) {
+					if len(gr.Values) == 1 {
+						results = append(results, string(gr.Values[0]))
+					} else {
+						results = append(results, fmt.Sprintf("siblings:%d", len(gr.Values)))
+					}
+				})
+			})
+		})
+	}
+	h.c.Run(10 * time.Second)
+	if len(results) != 10 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r != fmt.Sprintf("v%d", i) {
+			t.Fatalf("read %d = %q, want v%d (strict quorum must be RYW)", i, r, i)
+		}
+	}
+}
+
+func TestMissingKeyReturnsEmpty(t *testing.T) {
+	h := newHarness(t, 3, Config{N: 3, R: 2, W: 2}, 3)
+	var got GetResult
+	done := false
+	h.c.At(0, func() {
+		h.client.Get(h.env, h.anyNode(), "ghost", func(gr GetResult) { got = gr; done = true })
+	})
+	h.c.Run(2 * time.Second)
+	if !done {
+		t.Fatal("get never completed")
+	}
+	if got.Err != nil || len(got.Values) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDeleteHidesValue(t *testing.T) {
+	h := newHarness(t, 3, Config{N: 3, R: 2, W: 2}, 4)
+	var got GetResult
+	h.c.At(0, func() {
+		h.client.Put(h.env, h.anyNode(), "k", []byte("v"), func(PutResult) {
+			h.client.Delete(h.env, h.anyNode(), "k", func(PutResult) {
+				h.client.Get(h.env, h.anyNode(), "k", func(gr GetResult) { got = gr })
+			})
+		})
+	})
+	h.c.Run(5 * time.Second)
+	if len(got.Values) != 0 {
+		t.Fatalf("deleted key returned %q", got.Values)
+	}
+}
+
+func TestConcurrentBlindWritesCreateSiblings(t *testing.T) {
+	h := newHarness(t, 5, Config{N: 3, R: 3, W: 3}, 5)
+	c2 := NewClient("client2")
+	h.c.AddNode("client2", c2)
+	env2 := h.c.ClientEnv("client2")
+	var got GetResult
+	h.c.At(0, func() {
+		h.client.PutBlind(h.env, h.anyNode(), "k", []byte("a"), nil)
+		c2.PutBlind(env2, h.anyNode(), "k", []byte("b"), nil)
+	})
+	h.c.At(time.Second, func() {
+		h.client.Get(h.env, h.anyNode(), "k", func(gr GetResult) { got = gr })
+	})
+	h.c.Run(5 * time.Second)
+	if len(got.Values) != 2 {
+		t.Fatalf("siblings = %q, want both concurrent writes", got.Values)
+	}
+}
+
+func TestContextualWriteResolvesSiblings(t *testing.T) {
+	h := newHarness(t, 5, Config{N: 3, R: 3, W: 3}, 6)
+	c2 := NewClient("client2")
+	h.c.AddNode("client2", c2)
+	env2 := h.c.ClientEnv("client2")
+	var final GetResult
+	h.c.At(0, func() {
+		h.client.PutBlind(h.env, h.anyNode(), "k", []byte("a"), nil)
+		c2.PutBlind(env2, h.anyNode(), "k", []byte("b"), nil)
+	})
+	h.c.At(time.Second, func() {
+		// Read (absorbing both siblings' context), then overwrite.
+		h.client.Get(h.env, h.anyNode(), "k", func(GetResult) {
+			h.client.Put(h.env, h.anyNode(), "k", []byte("resolved"), func(PutResult) {
+				h.client.Get(h.env, h.anyNode(), "k", func(gr GetResult) { final = gr })
+			})
+		})
+	})
+	h.c.Run(5 * time.Second)
+	if len(final.Values) != 1 || string(final.Values[0]) != "resolved" {
+		t.Fatalf("final = %q, want single resolved value", final.Values)
+	}
+}
+
+func TestWeakQuorumCanReadStale(t *testing.T) {
+	// R=1, W=1, N=3: a read right after a write may hit a replica the
+	// write has not reached. Staleness needs a latency tail (a laggard
+	// replica), as in the PBS model: 10% of messages take 20–80ms.
+	lat := sim.Bimodal(
+		sim.Uniform(500*time.Microsecond, 2*time.Millisecond),
+		sim.Uniform(20*time.Millisecond, 80*time.Millisecond),
+		0.10,
+	)
+	h := newHarnessLatency(t, 5, Config{N: 3, R: 1, W: 1}, 7, lat)
+	stale := 0
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		i := i
+		key := fmt.Sprintf("k%d", i)
+		h.c.At(time.Duration(i)*100*time.Millisecond, func() {
+			h.client.Put(h.env, h.anyNode(), key, []byte("v"), func(pr PutResult) {
+				h.client.Get(h.env, h.anyNode(), key, func(gr GetResult) {
+					if len(gr.Values) == 0 {
+						stale++
+					}
+				})
+			})
+		})
+	}
+	h.c.Run(20 * time.Second)
+	if stale == 0 {
+		t.Fatal("R=W=1 never produced a stale read in 50 trials; staleness model broken")
+	}
+	if stale == trials {
+		t.Fatal("every read was stale; write propagation broken")
+	}
+}
+
+func TestReadRepairConvergesReplicas(t *testing.T) {
+	h := newHarness(t, 5, Config{N: 3, R: 3, W: 1, ReadRepair: true}, 8)
+	key := "k"
+	var prefs []string
+	h.c.At(0, func() {
+		prefs = h.nodes[0].PreferenceList(key)
+		h.client.Put(h.env, h.anyNode(), key, []byte("v"), nil)
+	})
+	// Read with R=3 triggers repair of any replica that missed the write.
+	h.c.At(time.Second, func() {
+		h.client.Get(h.env, h.anyNode(), key, nil)
+	})
+	h.c.Run(5 * time.Second)
+	byID := map[string]*Node{}
+	for _, n := range h.nodes {
+		byID[n.id] = n
+	}
+	for _, rep := range prefs {
+		vals := byID[rep].LocalValues(key)
+		if len(vals) != 1 || string(vals[0]) != "v" {
+			t.Fatalf("replica %s not repaired: %q", rep, vals)
+		}
+	}
+}
+
+func TestStrictQuorumUnavailableUnderPartition(t *testing.T) {
+	h := newHarness(t, 5, Config{N: 3, R: 2, W: 2, Timeout: 200 * time.Millisecond}, 9)
+	key := "k"
+	var prefs []string
+	var putErr error
+	putDone := false
+	h.c.At(0, func() {
+		prefs = h.nodes[0].PreferenceList(key)
+		// Cut the coordinator (first preference) off from everyone else,
+		// including the client? No — client must reach it, so partition
+		// the other replicas away.
+		rest := []string{"client", prefs[0]}
+		var other []string
+		for _, n := range h.c.Nodes() {
+			if !contains(rest, n) {
+				other = append(other, n)
+			}
+		}
+		h.c.Partition(rest, other)
+		h.client.Put(h.env, prefs[0], key, []byte("v"), func(pr PutResult) {
+			putErr = pr.Err
+			putDone = true
+		})
+	})
+	h.c.Run(5 * time.Second)
+	if !putDone {
+		t.Fatal("put never completed")
+	}
+	if putErr == nil {
+		t.Fatal("W=2 write succeeded with all peer replicas partitioned away")
+	}
+}
+
+func TestSloppyQuorumStaysAvailableAndHandsOff(t *testing.T) {
+	h := newHarness(t, 6, Config{
+		N: 3, R: 2, W: 2,
+		Timeout:         100 * time.Millisecond,
+		SloppyQuorum:    true,
+		HandoffInterval: 100 * time.Millisecond,
+	}, 10)
+	key := "k"
+	byID := map[string]*Node{}
+	for _, n := range h.nodes {
+		byID[n.id] = n
+	}
+	prefs := h.nodes[0].PreferenceList(key)
+	var put PutResult
+	putDone := false
+	h.c.At(0, func() {
+		// Crash the non-coordinator members of the preference list.
+		for _, rep := range prefs[1:] {
+			h.c.Crash(rep)
+		}
+		h.client.Put(h.env, prefs[0], key, []byte("v"), func(pr PutResult) {
+			put = pr
+			putDone = true
+		})
+	})
+	// Restart the crashed replicas; handoff should deliver.
+	h.c.At(2*time.Second, func() {
+		for _, rep := range prefs[1:] {
+			h.c.Restart(rep)
+		}
+	})
+	h.c.Run(10 * time.Second)
+	if !putDone {
+		t.Fatal("put never completed")
+	}
+	if put.Err != nil {
+		t.Fatalf("sloppy quorum write failed: %v", put.Err)
+	}
+	if !put.Sloppy {
+		t.Fatal("write did not report fallback use")
+	}
+	// After restart + handoff, the intended replicas hold the value.
+	for _, rep := range prefs[1:] {
+		vals := byID[rep].LocalValues(key)
+		if len(vals) != 1 || string(vals[0]) != "v" {
+			t.Fatalf("handoff did not reach %s: %q", rep, vals)
+		}
+	}
+}
+
+func TestForwardingFromNonPreferenceNode(t *testing.T) {
+	// Send to a node not in the key's preference list; it must forward
+	// and the operation must still succeed end-to-end.
+	h := newHarness(t, 8, Config{N: 3, R: 2, W: 2}, 11)
+	key := "k"
+	var outside string
+	var got GetResult
+	h.c.At(0, func() {
+		prefs := h.nodes[0].PreferenceList(key)
+		for _, n := range h.nodes {
+			if !contains(prefs, n.id) {
+				outside = n.id
+				break
+			}
+		}
+		if outside == "" {
+			t.Error("no node outside the preference list; enlarge the ring")
+			return
+		}
+		h.client.Put(h.env, outside, key, []byte("v"), func(pr PutResult) {
+			if pr.Err != nil {
+				t.Errorf("forwarded put failed: %v", pr.Err)
+			}
+			h.client.Get(h.env, outside, key, func(gr GetResult) { got = gr })
+		})
+	})
+	h.c.Run(5 * time.Second)
+	if len(got.Values) != 1 || string(got.Values[0]) != "v" {
+		t.Fatalf("forwarded read = %q", got.Values)
+	}
+}
+
+func TestPreferenceListProperties(t *testing.T) {
+	ring := []string{"a", "b", "c", "d", "e"}
+	n := NewNode("a", Config{Ring: ring, N: 3, R: 2, W: 2})
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		pl := n.PreferenceList(key)
+		if len(pl) != 3 {
+			t.Fatalf("preference list size %d", len(pl))
+		}
+		dup := map[string]bool{}
+		for _, id := range pl {
+			if dup[id] {
+				t.Fatalf("duplicate replica in %v", pl)
+			}
+			dup[id] = true
+			seen[id] = true
+		}
+		// Determinism.
+		pl2 := n.PreferenceList(key)
+		for j := range pl {
+			if pl[j] != pl2[j] {
+				t.Fatal("preference list not deterministic")
+			}
+		}
+	}
+	if len(seen) != len(ring) {
+		t.Fatalf("keys map to only %d/%d nodes", len(seen), len(ring))
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	ring := []string{"a", "b", "c"}
+	mustPanic("N>ring", func() { NewNode("a", Config{Ring: ring, N: 4, R: 1, W: 1}) })
+	mustPanic("N=0", func() { NewNode("a", Config{Ring: ring, N: 0, R: 1, W: 1}) })
+	mustPanic("R>N", func() { NewNode("a", Config{Ring: ring, N: 2, R: 3, W: 1}) })
+	mustPanic("W=0", func() { NewNode("a", Config{Ring: ring, N: 2, R: 1, W: 0}) })
+}

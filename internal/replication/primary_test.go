@@ -1,0 +1,234 @@
+package replication
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func buildGroup(t *testing.T, nBackups int, mode Mode, seed int64) (*sim.Cluster, *Node, []*Node, *Client, sim.Env) {
+	t.Helper()
+	c := sim.New(sim.Config{Seed: seed, Latency: sim.Uniform(time.Millisecond, 5*time.Millisecond)})
+	backups := make([]string, nBackups)
+	for i := range backups {
+		backups[i] = fmt.Sprintf("b%d", i)
+	}
+	cfg := Config{Primary: "primary", Backups: backups, Mode: mode, ShipInterval: 20 * time.Millisecond}
+	p := NewNode("primary", cfg)
+	c.AddNode("primary", p)
+	bs := make([]*Node, nBackups)
+	for i, id := range backups {
+		bs[i] = NewNode(id, cfg)
+		c.AddNode(id, bs[i])
+	}
+	cl := NewClient("client", "primary")
+	c.AddNode("client", cl)
+	return c, p, bs, cl, c.ClientEnv("client")
+}
+
+func TestSyncCommitWaitsForBackups(t *testing.T) {
+	c, p, bs, cl, env := buildGroup(t, 2, Sync, 1)
+	var done time.Duration = -1
+	c.At(0, func() {
+		cl.Put(env, "k", []byte("v"), func(r Result) {
+			if r.Err != "" {
+				t.Errorf("put failed: %s", r.Err)
+			}
+			done = c.Now()
+		})
+	})
+	c.Run(5 * time.Second)
+	if done < 0 {
+		t.Fatal("put never completed")
+	}
+	// By commit time the backups must already have the entry.
+	for i, b := range bs {
+		if v, ok := b.Value("k"); !ok || string(v) != "v" {
+			t.Fatalf("backup %d missing entry at commit: %q ok=%v", i, v, ok)
+		}
+	}
+	if p.LastIndex() != 1 {
+		t.Fatalf("primary log length %d", p.LastIndex())
+	}
+}
+
+func TestAsyncCommitReturnsBeforeBackups(t *testing.T) {
+	c, _, bs, cl, env := buildGroup(t, 2, Async, 2)
+	var committedAt time.Duration = -1
+	backupHadIt := false
+	c.At(0, func() {
+		cl.Put(env, "k", []byte("v"), func(Result) {
+			committedAt = c.Now()
+			_, backupHadIt = bs[0].Value("k")
+		})
+	})
+	c.Run(5 * time.Second)
+	if committedAt < 0 {
+		t.Fatal("put never completed")
+	}
+	if backupHadIt {
+		t.Fatal("backup already had the entry at async-commit time (shipping is not lazy)")
+	}
+	// Eventually shipped.
+	for i, b := range bs {
+		if v, ok := b.Value("k"); !ok || string(v) != "v" {
+			t.Fatalf("backup %d never received entry: %q ok=%v", i, v, ok)
+		}
+	}
+}
+
+func TestSyncFasterAckWithFewerRequiredAcks(t *testing.T) {
+	// SyncAcks=1 should commit no slower than SyncAcks=2 (majority-style
+	// tuning).
+	commitTime := func(acks int, seed int64) time.Duration {
+		c := sim.New(sim.Config{Seed: seed, Latency: sim.Uniform(time.Millisecond, 20*time.Millisecond)})
+		cfg := Config{Primary: "p", Backups: []string{"b0", "b1"}, Mode: Sync, SyncAcks: acks, ShipInterval: 5 * time.Millisecond}
+		c.AddNode("p", NewNode("p", cfg))
+		c.AddNode("b0", NewNode("b0", cfg))
+		c.AddNode("b1", NewNode("b1", cfg))
+		cl := NewClient("client", "p")
+		c.AddNode("client", cl)
+		env := c.ClientEnv("client")
+		var done time.Duration = -1
+		c.At(0, func() { cl.Put(env, "k", []byte("v"), func(Result) { done = c.Now() }) })
+		c.Run(5 * time.Second)
+		if done < 0 {
+			t.Fatalf("put with SyncAcks=%d never completed", acks)
+		}
+		return done
+	}
+	if one, two := commitTime(1, 3), commitTime(2, 3); one > two {
+		t.Fatalf("SyncAcks=1 (%v) slower than SyncAcks=2 (%v)", one, two)
+	}
+}
+
+func TestGetFromBackupMayBeStaleInAsync(t *testing.T) {
+	c, _, _, cl, env := buildGroup(t, 2, Async, 4)
+	staleSeen := false
+	c.At(0, func() {
+		cl.Put(env, "k", []byte("v"), func(Result) {
+			cl.Get(env, "b0", "k", func(r Result) {
+				if !r.Found {
+					staleSeen = true
+				}
+			})
+		})
+	})
+	c.Run(5 * time.Second)
+	if !staleSeen {
+		t.Fatal("immediate backup read saw the async write; staleness model broken")
+	}
+}
+
+func TestNonPrimaryRejectsWrites(t *testing.T) {
+	c, _, _, cl, env := buildGroup(t, 2, Sync, 5)
+	var res Result
+	got := false
+	c.At(0, func() {
+		c.Send("client", "b0", pput{ID: 99, Key: "k", Value: []byte("v")})
+	})
+	cl.cbs[99] = func(r Result) { res = r; got = true }
+	_ = env
+	c.Run(2 * time.Second)
+	if !got {
+		t.Fatal("no reply from backup")
+	}
+	if res.Err == "" {
+		t.Fatal("backup accepted a write")
+	}
+}
+
+func TestSyncCommitTimesOutWhenBackupsDown(t *testing.T) {
+	c, _, _, cl, env := buildGroup(t, 2, Sync, 6)
+	var res Result
+	got := false
+	c.At(0, func() {
+		c.Crash("b0")
+		c.Crash("b1")
+		cl.Put(env, "k", []byte("v"), func(r Result) { res = r; got = true })
+	})
+	c.Run(5 * time.Second)
+	if !got {
+		t.Fatal("put never resolved")
+	}
+	if res.Err == "" {
+		t.Fatal("sync commit succeeded with all backups down")
+	}
+}
+
+func TestAsyncFailoverLosesUnshippedSuffix(t *testing.T) {
+	c, p, bs, cl, env := buildGroup(t, 2, Async, 7)
+	committed := 0
+	c.At(0, func() {
+		// A burst of writes, then immediate primary crash: the tail has
+		// not shipped yet.
+		for i := 0; i < 20; i++ {
+			key := fmt.Sprintf("k%d", i)
+			cl.Put(env, key, []byte("v"), func(r Result) {
+				if r.Err == "" {
+					committed++
+				}
+			})
+		}
+	})
+	c.At(10*time.Millisecond, func() { // before the first 20ms ship tick
+		c.Crash("primary")
+		Promote(c, "b0")
+		cl.Retarget("b0")
+	})
+	c.Run(5 * time.Second)
+	if committed == 0 {
+		t.Fatal("no writes committed before crash")
+	}
+	lost := int(p.LastIndex()) - int(bs[0].LastIndex())
+	if lost <= 0 {
+		t.Fatalf("expected lost suffix on async failover; primary=%d promoted=%d",
+			p.LastIndex(), bs[0].LastIndex())
+	}
+	if !bs[0].IsPrimary() {
+		t.Fatal("b0 not promoted")
+	}
+	// The new primary accepts writes.
+	var post Result
+	gotPost := false
+	c.After(0, func() {
+		cl.Put(env, "post", []byte("x"), func(r Result) { post = r; gotPost = true })
+	})
+	c.Run(10 * time.Second)
+	if !gotPost || post.Err != "" {
+		t.Fatalf("post-failover write: got=%v res=%+v", gotPost, post)
+	}
+}
+
+func TestSyncFailoverLosesNothing(t *testing.T) {
+	c, p, bs, cl, env := buildGroup(t, 2, Sync, 8)
+	committed := 0
+	var writeLoop func(i int)
+	writeLoop = func(i int) {
+		if i >= 10 {
+			return
+		}
+		cl.Put(env, fmt.Sprintf("k%d", i), []byte("v"), func(r Result) {
+			if r.Err == "" {
+				committed++
+				writeLoop(i + 1)
+			}
+		})
+	}
+	c.At(0, func() { writeLoop(0) })
+	c.At(2*time.Second, func() {
+		c.Crash("primary")
+		Promote(c, "b0")
+	})
+	c.Run(5 * time.Second)
+	if committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	// Every acknowledged write (SyncAcks = all backups) is on b0.
+	if int(bs[0].LastIndex()) < committed {
+		t.Fatalf("promoted backup has %d entries < %d committed", bs[0].LastIndex(), committed)
+	}
+	_ = p
+}

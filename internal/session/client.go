@@ -1,0 +1,144 @@
+package session
+
+import (
+	"repro/internal/clock"
+	"repro/internal/sim"
+)
+
+// Guarantees selects which of the four session guarantees a session
+// enforces. The zero value is plain eventual consistency.
+type Guarantees struct {
+	ReadYourWrites    bool
+	MonotonicReads    bool
+	WritesFollowReads bool
+	MonotonicWrites   bool
+}
+
+// All enables all four guarantees (Bayou's "causal session").
+func All() Guarantees {
+	return Guarantees{ReadYourWrites: true, MonotonicReads: true, WritesFollowReads: true, MonotonicWrites: true}
+}
+
+// ReadResult is the completion of a session read.
+type ReadResult struct {
+	Key      string
+	Value    []byte
+	OK       bool
+	TimedOut bool
+}
+
+// WriteResult is the completion of a session write.
+type WriteResult struct {
+	Key      string
+	TimedOut bool
+}
+
+// Client is a session client: it tracks the session's read and write
+// vectors and stamps each operation with the minimum server state the
+// selected guarantees demand. Register it as a simulator node.
+type Client struct {
+	id string
+	g  Guarantees
+
+	readVec  clock.Vector
+	writeVec clock.Vector
+
+	nextID   uint64
+	readCBs  map[uint64]func(ReadResult)
+	writeCBs map[uint64]func(WriteResult)
+}
+
+// NewClient returns a session client with the given guarantees.
+func NewClient(id string, g Guarantees) *Client {
+	return &Client{
+		id:       id,
+		g:        g,
+		readVec:  clock.NewVector(),
+		writeVec: clock.NewVector(),
+		readCBs:  make(map[uint64]func(ReadResult)),
+		writeCBs: make(map[uint64]func(WriteResult)),
+	}
+}
+
+// OnStart implements sim.Handler.
+func (c *Client) OnStart(sim.Env) {}
+
+// OnTimer implements sim.Handler.
+func (c *Client) OnTimer(sim.Env, any) {}
+
+// OnMessage implements sim.Handler.
+func (c *Client) OnMessage(_ sim.Env, _ string, msg sim.Message) {
+	switch m := msg.(type) {
+	case sreadResp:
+		cb := c.readCBs[m.ID]
+		delete(c.readCBs, m.ID)
+		if !m.TimedOut {
+			// Fold what the serving replica had seen into the session's
+			// read vector (the standard over-approximation of "the
+			// writes relevant to this read").
+			c.readVec.Merge(m.V)
+		}
+		if cb != nil {
+			cb(ReadResult{Key: m.Key, Value: m.Val, OK: m.OK, TimedOut: m.TimedOut})
+		}
+	case swriteResp:
+		cb := c.writeCBs[m.ID]
+		delete(c.writeCBs, m.ID)
+		if !m.TimedOut {
+			if c.writeVec.Get(m.WID.Origin) < m.WID.Seq {
+				c.writeVec[m.WID.Origin] = m.WID.Seq
+			}
+		}
+		if cb != nil {
+			cb(WriteResult{TimedOut: m.TimedOut})
+		}
+	}
+}
+
+func (c *Client) readFloor() clock.Vector {
+	floor := clock.NewVector()
+	if c.g.ReadYourWrites {
+		floor.Merge(c.writeVec)
+	}
+	if c.g.MonotonicReads {
+		floor.Merge(c.readVec)
+	}
+	return floor
+}
+
+func (c *Client) writeFloor() clock.Vector {
+	floor := clock.NewVector()
+	if c.g.MonotonicWrites {
+		floor.Merge(c.writeVec)
+	}
+	if c.g.WritesFollowReads {
+		floor.Merge(c.readVec)
+	}
+	return floor
+}
+
+// Read reads key at server, blocking there until the selected guarantees
+// hold.
+func (c *Client) Read(env sim.Env, server, key string, cb func(ReadResult)) {
+	c.nextID++
+	c.readCBs[c.nextID] = cb
+	env.Send(server, sread{ID: c.nextID, Key: key, MinVec: c.readFloor()})
+}
+
+// Write writes key=value at server, blocking there until the selected
+// guarantees hold.
+func (c *Client) Write(env sim.Env, server, key string, value []byte, cb func(WriteResult)) {
+	c.nextID++
+	c.writeCBs[c.nextID] = cb
+	env.Send(server, swrite{ID: c.nextID, Key: key, Val: value, MinVec: c.writeFloor()})
+}
+
+// Delete tombstones key at server under the same write guarantees.
+func (c *Client) Delete(env sim.Env, server, key string, cb func(WriteResult)) {
+	c.nextID++
+	c.writeCBs[c.nextID] = cb
+	env.Send(server, swrite{ID: c.nextID, Key: key, Deleted: true, MinVec: c.writeFloor()})
+}
+
+// ID returns the client's simulator id.
+func (c *Client) ID() string { return c.id }

@@ -1,0 +1,52 @@
+package session_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/session"
+	"repro/internal/sim"
+)
+
+// Read-your-writes across replicas: without the guarantee a read at a
+// lagging replica misses the session's own write; with it, the replica
+// holds the read until anti-entropy delivers the write.
+func ExampleClient() {
+	run := func(g session.Guarantees) (found bool, latency time.Duration) {
+		cluster := sim.New(sim.Config{Seed: 9, Latency: sim.Fixed(2 * time.Millisecond)})
+		ids := []string{"srv0", "srv1", "srv2"}
+		for _, id := range ids {
+			cfg := session.ServerConfig{AntiEntropyInterval: 100 * time.Millisecond}
+			for _, p := range ids {
+				if p != id {
+					cfg.Peers = append(cfg.Peers, p)
+				}
+			}
+			cluster.AddNode(id, session.NewServer(id, cfg))
+		}
+		cl := session.NewClient("user", g)
+		cluster.AddNode("user", cl)
+		env := cluster.ClientEnv("user")
+
+		var start time.Duration
+		cluster.At(0, func() {
+			cl.Write(env, "srv0", "k", []byte("v"), func(session.WriteResult) {
+				start = cluster.Now()
+				cl.Read(env, "srv2", "k", func(r session.ReadResult) {
+					found = r.OK
+					latency = cluster.Now() - start
+				})
+			})
+		})
+		cluster.Run(5 * time.Second)
+		return found, latency
+	}
+
+	f1, l1 := run(session.Guarantees{})
+	f2, l2 := run(session.Guarantees{ReadYourWrites: true})
+	fmt.Printf("without RYW: found=%v fast=%v\n", f1, l1 < 50*time.Millisecond)
+	fmt.Printf("with RYW:    found=%v fast=%v\n", f2, l2 < 50*time.Millisecond)
+	// Output:
+	// without RYW: found=false fast=true
+	// with RYW:    found=true fast=false
+}

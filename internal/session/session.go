@@ -1,0 +1,325 @@
+// Package session implements Terry et al.'s session guarantees (Bayou) —
+// the tutorial's "shades between eventual and strong" tier: Read Your
+// Writes, Monotonic Reads, Writes Follow Reads, and Monotonic Writes,
+// enforced per client session over a weakly consistent replicated server
+// group.
+//
+// Servers replicate writes by anti-entropy (per-origin ordered logs with
+// version-vector exchange, as in Bayou). A session tracks two vectors —
+// what it has written and what it has read — and each operation names the
+// minimum vector its target server must dominate; servers block the
+// request until they catch up (or time it out). Experiment E8 measures
+// the anomaly rates the guarantees eliminate and the latency they cost.
+package session
+
+import (
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/sim"
+)
+
+// WriteID identifies a write: the n-th write accepted by a server.
+type WriteID struct {
+	Origin string
+	Seq    uint64
+}
+
+// write is one replicated update.
+type write struct {
+	ID      WriteID
+	Key     string
+	Val     []byte
+	Deleted bool
+	// TS orders writes for last-writer-wins value resolution (Lamport
+	// time at the accepting server, tie-broken by server id).
+	TS struct {
+		Time uint64
+		Node string
+	}
+}
+
+func tsLess(a, b write) bool {
+	if a.TS.Time != b.TS.Time {
+		return a.TS.Time < b.TS.Time
+	}
+	return a.TS.Node < b.TS.Node
+}
+
+// Protocol messages.
+type (
+	// aeReq opens anti-entropy: "here is what I have".
+	aeReq struct {
+		V clock.Vector
+	}
+	// aeResp returns the writes the requester is missing, in per-origin
+	// order.
+	aeResp struct {
+		Writes []write
+	}
+	// sread is a session read carrying the guarantee floor.
+	sread struct {
+		ID     uint64
+		Key    string
+		MinVec clock.Vector
+	}
+	sreadResp struct {
+		ID       uint64
+		Key      string
+		Val      []byte
+		OK       bool
+		V        clock.Vector
+		TimedOut bool
+	}
+	// swrite is a session write carrying the guarantee floor.
+	swrite struct {
+		ID      uint64
+		Key     string
+		Val     []byte
+		Deleted bool
+		MinVec  clock.Vector
+	}
+	swriteResp struct {
+		ID       uint64
+		WID      WriteID
+		V        clock.Vector
+		TimedOut bool
+	}
+)
+
+// Size implements the sim bandwidth hook.
+func (m aeResp) Size() int {
+	n := 0
+	for _, w := range m.Writes {
+		n += len(w.Key) + len(w.Val) + 24
+	}
+	return n
+}
+
+// ServerConfig configures a session server.
+type ServerConfig struct {
+	// Peers lists the other servers.
+	Peers []string
+	// AntiEntropyInterval is the gossip period (default 50ms).
+	AntiEntropyInterval time.Duration
+	// BlockTimeout bounds how long a guarantee-blocked request waits
+	// before failing (default 2s).
+	BlockTimeout time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.AntiEntropyInterval <= 0 {
+		c.AntiEntropyInterval = 50 * time.Millisecond
+	}
+	if c.BlockTimeout <= 0 {
+		c.BlockTimeout = 2 * time.Second
+	}
+	return c
+}
+
+type blockedReq struct {
+	from   string
+	msg    sim.Message
+	expiry time.Duration
+}
+
+// Server is one Bayou-style replica. It implements sim.Handler.
+type Server struct {
+	cfg ServerConfig
+	id  string
+
+	lamport uint64
+	logs    map[string][]write // per-origin, seq order, dense
+	vec     clock.Vector       // vec[origin] = len(logs[origin])
+	data    map[string]write   // LWW-resolved current value per key
+
+	blocked []blockedReq
+
+	// BlockedServed counts requests that had to wait for anti-entropy.
+	BlockedServed uint64
+}
+
+type aeTick struct{}
+type blockSweep struct{}
+
+// NewServer returns a session server.
+func NewServer(id string, cfg ServerConfig) *Server {
+	return &Server{
+		cfg:  cfg.withDefaults(),
+		id:   id,
+		logs: make(map[string][]write),
+		vec:  clock.NewVector(),
+		data: make(map[string]write),
+	}
+}
+
+// OnStart implements sim.Handler.
+func (s *Server) OnStart(env sim.Env) {
+	env.SetTimer(s.cfg.AntiEntropyInterval, aeTick{})
+	env.SetTimer(s.cfg.BlockTimeout/4, blockSweep{})
+}
+
+// OnTimer implements sim.Handler.
+func (s *Server) OnTimer(env sim.Env, tag any) {
+	switch tag.(type) {
+	case aeTick:
+		if len(s.cfg.Peers) > 0 {
+			peer := s.cfg.Peers[env.Rand().Intn(len(s.cfg.Peers))]
+			env.Send(peer, aeReq{V: s.vec.Copy()})
+		}
+		env.SetTimer(s.cfg.AntiEntropyInterval, aeTick{})
+	case blockSweep:
+		s.sweepBlocked(env)
+		env.SetTimer(s.cfg.BlockTimeout/4, blockSweep{})
+	}
+}
+
+// OnMessage implements sim.Handler.
+func (s *Server) OnMessage(env sim.Env, from string, msg sim.Message) {
+	switch m := msg.(type) {
+	case aeReq:
+		var missing []write
+		for origin, log := range s.logs {
+			have := int(m.V.Get(origin))
+			if have < len(log) {
+				missing = append(missing, log[have:]...)
+			}
+		}
+		if len(missing) > 0 {
+			env.Send(from, aeResp{Writes: missing})
+		}
+	case aeResp:
+		applied := false
+		for _, w := range m.Writes {
+			if s.applyRemote(w) {
+				applied = true
+			}
+		}
+		if applied {
+			s.wakeBlocked(env)
+		}
+	case sread:
+		if !s.vec.Descends(m.MinVec) {
+			s.block(env, from, m)
+			return
+		}
+		s.serveRead(env, from, m, false)
+	case swrite:
+		if !s.vec.Descends(m.MinVec) {
+			s.block(env, from, m)
+			return
+		}
+		s.serveWrite(env, from, m, false)
+	}
+}
+
+func (s *Server) serveRead(env sim.Env, from string, m sread, wasBlocked bool) {
+	if wasBlocked {
+		s.BlockedServed++
+	}
+	w, ok := s.data[m.Key]
+	resp := sreadResp{ID: m.ID, Key: m.Key, V: s.vec.Copy()}
+	if ok && !w.Deleted {
+		resp.Val = w.Val
+		resp.OK = true
+	}
+	env.Send(from, resp)
+}
+
+func (s *Server) serveWrite(env sim.Env, from string, m swrite, wasBlocked bool) {
+	if wasBlocked {
+		s.BlockedServed++
+	}
+	s.lamport++
+	w := write{
+		ID:      WriteID{Origin: s.id, Seq: uint64(len(s.logs[s.id])) + 1},
+		Key:     m.Key,
+		Val:     m.Val,
+		Deleted: m.Deleted,
+	}
+	w.TS.Time = s.lamport
+	w.TS.Node = s.id
+	s.logs[s.id] = append(s.logs[s.id], w)
+	s.vec[s.id] = uint64(len(s.logs[s.id]))
+	s.resolve(w)
+	env.Send(from, swriteResp{ID: m.ID, WID: w.ID, V: s.vec.Copy()})
+}
+
+// applyRemote installs a write received by anti-entropy, keeping
+// per-origin logs dense. Returns whether it was new.
+func (s *Server) applyRemote(w write) bool {
+	log := s.logs[w.ID.Origin]
+	if w.ID.Seq != uint64(len(log))+1 {
+		return false // duplicate or gap (gaps cannot happen with prefix shipping)
+	}
+	s.logs[w.ID.Origin] = append(log, w)
+	s.vec[w.ID.Origin] = w.ID.Seq
+	if w.TS.Time > s.lamport {
+		s.lamport = w.TS.Time
+	}
+	s.resolve(w)
+	return true
+}
+
+func (s *Server) resolve(w write) {
+	cur, ok := s.data[w.Key]
+	if !ok || tsLess(cur, w) {
+		s.data[w.Key] = w
+	}
+}
+
+func (s *Server) block(env sim.Env, from string, msg sim.Message) {
+	s.blocked = append(s.blocked, blockedReq{from: from, msg: msg, expiry: env.Now() + s.cfg.BlockTimeout})
+}
+
+func (s *Server) wakeBlocked(env sim.Env) {
+	var still []blockedReq
+	for _, b := range s.blocked {
+		served := false
+		switch m := b.msg.(type) {
+		case sread:
+			if s.vec.Descends(m.MinVec) {
+				s.serveRead(env, b.from, m, true)
+				served = true
+			}
+		case swrite:
+			if s.vec.Descends(m.MinVec) {
+				s.serveWrite(env, b.from, m, true)
+				served = true
+			}
+		}
+		if !served {
+			still = append(still, b)
+		}
+	}
+	s.blocked = still
+}
+
+func (s *Server) sweepBlocked(env sim.Env) {
+	var still []blockedReq
+	for _, b := range s.blocked {
+		if env.Now() < b.expiry {
+			still = append(still, b)
+			continue
+		}
+		switch m := b.msg.(type) {
+		case sread:
+			env.Send(b.from, sreadResp{ID: m.ID, Key: m.Key, TimedOut: true, V: s.vec.Copy()})
+		case swrite:
+			env.Send(b.from, swriteResp{ID: m.ID, TimedOut: true, V: s.vec.Copy()})
+		}
+	}
+	s.blocked = still
+}
+
+// Vector exposes the server's version vector (a copy), for tests.
+func (s *Server) Vector() clock.Vector { return s.vec.Copy() }
+
+// Value exposes the server's current value for key, for tests.
+func (s *Server) Value(key string) ([]byte, bool) {
+	w, ok := s.data[key]
+	if !ok || w.Deleted {
+		return nil, false
+	}
+	return w.Val, true
+}

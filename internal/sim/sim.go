@@ -1,0 +1,430 @@
+// Package sim is a deterministic discrete-event simulator for distributed
+// protocols. It models a cluster of single-threaded actor nodes exchanging
+// messages over links with configurable latency, loss, duplication, and
+// partitions, under a virtual clock.
+//
+// Every replication protocol in this repository (quorum, gossip, causal,
+// consensus, primary-copy) runs on this substrate. Because the simulator
+// owns the only clock and the only random number generator, and breaks
+// event-time ties by sequence number, a run is a pure function of its seed:
+// every anomaly an experiment reports can be replayed exactly.
+//
+// This is the substitution (per DESIGN.md) for the geo-distributed testbeds
+// used by the systems the tutorial surveys: consistency anomalies,
+// staleness, convergence time and availability are functions of message
+// ordering and timing, which the simulator reproduces exactly.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Message is any protocol payload exchanged between nodes. Payloads should
+// be treated as immutable once sent: the simulator delivers the same value
+// it was handed (it does not serialize).
+type Message any
+
+// Handler is the behaviour of a node. The simulator invokes the handler
+// single-threaded, so implementations need no locking for state that only
+// the handler touches.
+type Handler interface {
+	// OnStart runs when the node boots, and again after each Restart.
+	OnStart(env Env)
+	// OnMessage delivers a message sent by node from.
+	OnMessage(env Env, from string, msg Message)
+	// OnTimer fires a timer previously set through the Env.
+	OnTimer(env Env, tag any)
+}
+
+// Env is the interface a running node uses to interact with the world. An
+// Env is only valid during the handler invocation it was passed to.
+type Env interface {
+	// ID returns the node's own identifier.
+	ID() string
+	// Now returns the current virtual time.
+	Now() time.Duration
+	// Send queues a message for delivery to node to, subject to the
+	// cluster's latency model and partitions. Sending to self is allowed
+	// and still traverses the (local) latency model.
+	Send(to string, msg Message)
+	// SetTimer schedules OnTimer(tag) after d. It returns a TimerID that
+	// can cancel the timer. Timers are discarded if the node crashes.
+	SetTimer(d time.Duration, tag any) TimerID
+	// Cancel stops a pending timer. Cancelling an already-fired or
+	// already-cancelled timer is a no-op.
+	Cancel(id TimerID)
+	// Rand returns the cluster's deterministic random source. Handlers
+	// must only use it synchronously inside the current invocation.
+	Rand() *rand.Rand
+}
+
+// TimerID identifies a pending timer for cancellation.
+type TimerID uint64
+
+// Config configures a Cluster.
+type Config struct {
+	// Seed seeds the cluster's single random source.
+	Seed int64
+	// Latency decides delivery delay and loss per transmission. If nil,
+	// DefaultLatency is used.
+	Latency LatencyModel
+	// SizeOf measures a message's wire size in bytes, for bandwidth
+	// accounting. If nil, messages that implement interface{ Size() int }
+	// are measured and all others count as 0.
+	SizeOf func(Message) int
+}
+
+// DefaultLatency is used when Config.Latency is nil: a uniform 1–5 ms LAN.
+var DefaultLatency = Uniform(time.Millisecond, 5*time.Millisecond)
+
+type eventKind uint8
+
+const (
+	evDeliver eventKind = iota
+	evTimer
+	evCall
+)
+
+type event struct {
+	at   time.Duration
+	seq  uint64 // ties broken by insertion order for determinism
+	kind eventKind
+
+	// evDeliver
+	from, to string
+	msg      Message
+
+	// evTimer
+	node  string
+	tag   any
+	timer TimerID
+	epoch uint64
+
+	// evCall
+	fn func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+type node struct {
+	id      string
+	handler Handler
+	up      bool
+	epoch   uint64 // bumped on crash so stale timers are discarded
+}
+
+// Stats accumulates network accounting for a run.
+type Stats struct {
+	MessagesSent      uint64
+	MessagesDelivered uint64
+	MessagesDropped   uint64 // lost by the latency model or a partition
+	BytesDelivered    uint64
+	TimersFired       uint64
+}
+
+// Cluster is a simulated distributed system. It is not safe for concurrent
+// use: drive it from one goroutine.
+type Cluster struct {
+	cfg    Config
+	rng    *rand.Rand
+	now    time.Duration
+	seq    uint64
+	queue  eventQueue
+	nodes  map[string]*node
+	order  []string // node ids in AddNode order, for deterministic iteration
+	cancel map[TimerID]bool
+	nextID TimerID
+
+	partition map[string]int // node -> partition group; absent means group 0
+
+	stats Stats
+}
+
+// New creates a cluster with the given configuration.
+func New(cfg Config) *Cluster {
+	if cfg.Latency == nil {
+		cfg.Latency = DefaultLatency
+	}
+	return &Cluster{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		nodes:     make(map[string]*node),
+		cancel:    make(map[TimerID]bool),
+		partition: make(map[string]int),
+	}
+}
+
+// AddNode registers a node. It panics if the id is already taken; node
+// topology is fixed per experiment, so a duplicate id is a programming
+// error. The node's OnStart runs at the current virtual time, before the
+// next Run step.
+func (c *Cluster) AddNode(id string, h Handler) {
+	if _, ok := c.nodes[id]; ok {
+		panic(fmt.Sprintf("sim: duplicate node id %q", id))
+	}
+	n := &node{id: id, handler: h, up: true}
+	c.nodes[id] = n
+	c.order = append(c.order, id)
+	c.At(0, func() {
+		if n.up {
+			h.OnStart(&env{c: c, n: n})
+		}
+	})
+}
+
+// Nodes returns node ids in registration order.
+func (c *Cluster) Nodes() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() time.Duration { return c.now }
+
+// Rand returns the cluster's random source, for workload generation that
+// must share the deterministic stream.
+func (c *Cluster) Rand() *rand.Rand { return c.rng }
+
+// Stats returns a snapshot of network accounting.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// At schedules fn to run at absolute virtual time at (or immediately next
+// if at is in the past). Use it to inject client operations and faults.
+func (c *Cluster) At(at time.Duration, fn func()) {
+	if at < c.now {
+		at = c.now
+	}
+	c.push(&event{at: at, kind: evCall, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (c *Cluster) After(d time.Duration, fn func()) { c.At(c.now+d, fn) }
+
+func (c *Cluster) push(e *event) {
+	e.seq = c.seq
+	c.seq++
+	heap.Push(&c.queue, e)
+}
+
+// Send injects a message from a pseudo-sender outside the cluster (for
+// example a test acting as a client). Delivery still traverses the latency
+// model, with from treated as colocated with to unless the model says
+// otherwise.
+func (c *Cluster) Send(from, to string, msg Message) {
+	c.send(from, to, msg)
+}
+
+func (c *Cluster) send(from, to string, msg Message) {
+	c.stats.MessagesSent++
+	if c.partitioned(from, to) {
+		c.stats.MessagesDropped++
+		return
+	}
+	d, ok := c.cfg.Latency.Sample(from, to, c.rng)
+	if !ok {
+		c.stats.MessagesDropped++
+		return
+	}
+	c.push(&event{at: c.now + d, kind: evDeliver, from: from, to: to, msg: msg})
+}
+
+func (c *Cluster) partitioned(from, to string) bool {
+	return c.partition[from] != c.partition[to]
+}
+
+// Partition splits the cluster into the given groups: messages between
+// different groups are dropped until Heal. Nodes not named in any group
+// join group 0 (together with the first group). Injected client messages
+// use the client id's group, which defaults to 0.
+func (c *Cluster) Partition(groups ...[]string) {
+	c.partition = make(map[string]int)
+	for gi, g := range groups {
+		for _, id := range g {
+			c.partition[id] = gi
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (c *Cluster) Heal() { c.partition = make(map[string]int) }
+
+// Reachable reports whether messages currently flow from a to b.
+func (c *Cluster) Reachable(a, b string) bool { return !c.partitioned(a, b) }
+
+// Crash takes a node down: pending and future messages and timers to it
+// are discarded until Restart.
+func (c *Cluster) Crash(id string) {
+	n, ok := c.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("sim: crash of unknown node %q", id))
+	}
+	n.up = false
+	n.epoch++
+}
+
+// Restart boots a crashed node again; its handler's OnStart runs at the
+// current virtual time. Handler state is whatever the handler kept — a
+// handler modelling loss of volatile state must reset itself in OnStart.
+func (c *Cluster) Restart(id string) {
+	n, ok := c.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("sim: restart of unknown node %q", id))
+	}
+	if n.up {
+		return
+	}
+	n.up = true
+	c.At(c.now, func() {
+		if n.up {
+			n.handler.OnStart(&env{c: c, n: n})
+		}
+	})
+}
+
+// Up reports whether the node is currently running.
+func (c *Cluster) Up(id string) bool {
+	n, ok := c.nodes[id]
+	return ok && n.up
+}
+
+// Step executes the next pending event. It returns false when the queue is
+// empty.
+func (c *Cluster) Step() bool {
+	for c.queue.Len() > 0 {
+		e := heap.Pop(&c.queue).(*event)
+		c.now = e.at
+		switch e.kind {
+		case evCall:
+			e.fn()
+			return true
+		case evDeliver:
+			n := c.nodes[e.to]
+			if n == nil || !n.up {
+				c.stats.MessagesDropped++
+				continue
+			}
+			c.stats.MessagesDelivered++
+			c.stats.BytesDelivered += uint64(c.sizeOf(e.msg))
+			n.handler.OnMessage(&env{c: c, n: n}, e.from, e.msg)
+			return true
+		case evTimer:
+			n := c.nodes[e.node]
+			if n == nil || !n.up || n.epoch != e.epoch || c.cancel[e.timer] {
+				delete(c.cancel, e.timer)
+				continue
+			}
+			delete(c.cancel, e.timer)
+			c.stats.TimersFired++
+			n.handler.OnTimer(&env{c: c, n: n}, e.tag)
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cluster) sizeOf(msg Message) int {
+	if c.cfg.SizeOf != nil {
+		return c.cfg.SizeOf(msg)
+	}
+	if s, ok := msg.(interface{ Size() int }); ok {
+		return s.Size()
+	}
+	return 0
+}
+
+// Run executes events until the queue is empty or virtual time would
+// exceed until. Events at exactly until still run.
+func (c *Cluster) Run(until time.Duration) {
+	for c.queue.Len() > 0 && c.queue[0].at <= until {
+		c.Step()
+	}
+	if c.now < until {
+		c.now = until
+	}
+}
+
+// RunAll executes events until the queue drains. Protocols with periodic
+// timers never drain; use Run with a horizon for those.
+func (c *Cluster) RunAll() {
+	for c.Step() {
+	}
+}
+
+// ClientEnv returns an Env for the client identified by id, used to
+// invoke protocol client methods from scheduled callbacks. If id is a
+// registered node (the usual case — clients are nodes so they can receive
+// responses), the env has full capability including timers; otherwise it
+// supports Send, Now, and Rand, and timers panic.
+func (c *Cluster) ClientEnv(id string) Env {
+	if n, ok := c.nodes[id]; ok {
+		return &env{c: c, n: n}
+	}
+	return &clientEnv{c: c, id: id}
+}
+
+type clientEnv struct {
+	c  *Cluster
+	id string
+}
+
+func (e *clientEnv) ID() string                  { return e.id }
+func (e *clientEnv) Now() time.Duration          { return e.c.now }
+func (e *clientEnv) Rand() *rand.Rand            { return e.c.rng }
+func (e *clientEnv) Send(to string, msg Message) { e.c.send(e.id, to, msg) }
+func (e *clientEnv) SetTimer(time.Duration, any) TimerID {
+	panic("sim: client env cannot set timers; schedule with Cluster.After")
+}
+func (e *clientEnv) Cancel(TimerID) {}
+
+// env implements Env for one handler invocation.
+type env struct {
+	c *Cluster
+	n *node
+}
+
+func (e *env) ID() string                  { return e.n.id }
+func (e *env) Now() time.Duration          { return e.c.now }
+func (e *env) Rand() *rand.Rand            { return e.c.rng }
+func (e *env) Send(to string, msg Message) { e.c.send(e.n.id, to, msg) }
+
+func (e *env) SetTimer(d time.Duration, tag any) TimerID {
+	e.c.nextID++
+	id := e.c.nextID
+	e.c.push(&event{
+		at:    e.c.now + d,
+		kind:  evTimer,
+		node:  e.n.id,
+		tag:   tag,
+		timer: id,
+		epoch: e.n.epoch,
+	})
+	return id
+}
+
+func (e *env) Cancel(id TimerID) {
+	if id != 0 {
+		e.c.cancel[id] = true
+	}
+}

@@ -1,0 +1,286 @@
+package sla
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ReadResult reports an SLA read: the value, which sub-SLA was actually
+// delivered, and the utility earned.
+type ReadResult struct {
+	Key     string
+	Value   []byte
+	OK      bool
+	Latency time.Duration
+	// SubIndex is the index of the delivered sub-SLA in the request's
+	// SLA, or -1 if none was met.
+	SubIndex int
+	Utility  float64
+	// Server is the replica that served the read.
+	Server string
+}
+
+// WriteResult reports a write's commit timestamp.
+type WriteResult struct {
+	Key string
+	TS  int64
+}
+
+// serverView is the client's belief about one replica.
+type serverView struct {
+	rtt    time.Duration // EWMA round-trip estimate
+	highTS int64         // last known completeness timestamp
+	hasRTT bool
+}
+
+// Client is the Pileus client library: it tracks per-server freshness and
+// latency, session state for read-my-writes and monotonic reads, and
+// routes each SLA read to the replica expected to maximize utility.
+// Register it as a simulator node.
+type Client struct {
+	id      string
+	primary string
+	servers []string
+
+	views map[string]*serverView
+
+	// Session state.
+	lastWriteTS map[string]int64 // per-key, for read-my-writes
+	lastReadTS  int64            // for monotonic reads
+
+	nextID uint64
+	reads  map[uint64]*pendingRead
+	writes map[uint64]*pendingWrite
+	probes map[uint64]probeState
+
+	// ProbeInterval refreshes server views (default 200ms).
+	ProbeInterval time.Duration
+}
+
+type pendingRead struct {
+	key    string
+	sla    SLA
+	server string
+	sent   time.Duration
+	cb     func(ReadResult)
+	// floors holds each sub-SLA's minimum acceptable timestamp, fixed at
+	// issue time: strong means "all writes committed before the read
+	// began", not before it returned.
+	floors []int64
+}
+
+type pendingWrite struct {
+	key  string
+	sent time.Duration
+	cb   func(WriteResult)
+}
+
+type probeState struct {
+	server string
+	sent   time.Duration
+}
+
+type probeTick struct{}
+
+// NewClient returns an SLA client over the given servers (primary must be
+// among them).
+func NewClient(id, primary string, servers []string) *Client {
+	c := &Client{
+		id:            id,
+		primary:       primary,
+		servers:       servers,
+		views:         make(map[string]*serverView),
+		lastWriteTS:   make(map[string]int64),
+		reads:         make(map[uint64]*pendingRead),
+		writes:        make(map[uint64]*pendingWrite),
+		probes:        make(map[uint64]probeState),
+		ProbeInterval: 200 * time.Millisecond,
+	}
+	for _, s := range servers {
+		c.views[s] = &serverView{}
+	}
+	return c
+}
+
+// OnStart implements sim.Handler.
+func (c *Client) OnStart(env sim.Env) {
+	c.probeAll(env)
+	env.SetTimer(c.ProbeInterval, probeTick{})
+}
+
+// OnTimer implements sim.Handler.
+func (c *Client) OnTimer(env sim.Env, tag any) {
+	if _, ok := tag.(probeTick); !ok {
+		return
+	}
+	c.probeAll(env)
+	env.SetTimer(c.ProbeInterval, probeTick{})
+}
+
+func (c *Client) probeAll(env sim.Env) {
+	for _, s := range c.servers {
+		c.nextID++
+		c.probes[c.nextID] = probeState{server: s, sent: env.Now()}
+		env.Send(s, probeReq{ID: c.nextID})
+	}
+}
+
+func (c *Client) observeRTT(server string, rtt time.Duration) {
+	v := c.views[server]
+	if !v.hasRTT {
+		v.rtt = rtt
+		v.hasRTT = true
+		return
+	}
+	v.rtt = (v.rtt*7 + rtt) / 8 // EWMA, alpha = 1/8
+}
+
+// OnMessage implements sim.Handler.
+func (c *Client) OnMessage(env sim.Env, from string, msg sim.Message) {
+	switch m := msg.(type) {
+	case probeResp:
+		p, ok := c.probes[m.ID]
+		if !ok {
+			return
+		}
+		delete(c.probes, m.ID)
+		c.observeRTT(p.server, env.Now()-p.sent)
+		if m.HighTS > c.views[p.server].highTS {
+			c.views[p.server].highTS = m.HighTS
+		}
+	case slaWriteResp:
+		w, ok := c.writes[m.ID]
+		if !ok {
+			return
+		}
+		delete(c.writes, m.ID)
+		c.observeRTT(c.primary, env.Now()-w.sent)
+		c.lastWriteTS[w.key] = m.TS
+		if m.TS > c.views[c.primary].highTS {
+			c.views[c.primary].highTS = m.TS
+		}
+		if w.cb != nil {
+			w.cb(WriteResult{Key: w.key, TS: m.TS})
+		}
+	case slaReadResp:
+		r, ok := c.reads[m.ID]
+		if !ok {
+			return
+		}
+		delete(c.reads, m.ID)
+		lat := env.Now() - r.sent
+		c.observeRTT(r.server, lat)
+		if m.HighTS > c.views[r.server].highTS {
+			c.views[r.server].highTS = m.HighTS
+		}
+		res := ReadResult{
+			Key: m.Key, Value: m.Val, OK: m.OK,
+			Latency: lat, Server: r.server, SubIndex: -1,
+		}
+		// Score the delivered consistency against the SLA, using the
+		// floors fixed at issue time.
+		for i, sub := range r.sla {
+			if lat <= sub.Latency && m.HighTS >= r.floors[i] {
+				res.SubIndex = i
+				res.Utility = sub.Utility
+				break
+			}
+		}
+		if m.OK && m.TS > c.lastReadTS {
+			c.lastReadTS = m.TS
+		}
+		if r.cb != nil {
+			r.cb(res)
+		}
+	}
+}
+
+// minTS maps a sub-SLA's consistency level to the minimum acceptable
+// server completeness timestamp (the Pileus condition).
+func (c *Client) minTS(env sim.Env, sub SubSLA, key string) int64 {
+	switch sub.Level {
+	case Strong:
+		// Must include every committed write; only a server as fresh as
+		// the primary qualifies.
+		return int64(env.Now() / time.Millisecond)
+	case ReadMyWrites:
+		return c.lastWriteTS[key]
+	case Monotonic:
+		return c.lastReadTS
+	case Bounded:
+		ts := int64((env.Now() - sub.Bound) / time.Millisecond)
+		if ts < 0 {
+			ts = 0
+		}
+		return ts
+	default: // Eventual
+		return 0
+	}
+}
+
+// chooseServer picks the (server, sub-SLA) pair with the highest expected
+// utility: scan sub-SLAs in order (they are sorted by decreasing utility)
+// and return the first with a server whose known freshness meets the
+// consistency floor and whose RTT estimate meets the latency target.
+func (c *Client) chooseServer(env sim.Env, sla SLA, key string) string {
+	for _, sub := range sla {
+		min := c.minTS(env, sub, key)
+		var best string
+		var bestRTT time.Duration
+		for _, s := range c.servers {
+			v := c.views[s]
+			fresh := v.highTS >= min || (s == c.primary && sub.Level != Bounded)
+			if sub.Level == Strong && s != c.primary {
+				fresh = false // only the primary is guaranteed complete
+			}
+			if !fresh {
+				continue
+			}
+			if v.hasRTT && v.rtt > sub.Latency {
+				continue
+			}
+			if best == "" || (v.hasRTT && v.rtt < bestRTT) {
+				best = s
+				bestRTT = v.rtt
+			}
+		}
+		if best != "" {
+			return best
+		}
+	}
+	// Nothing matches: serve the final sub-SLA's consistency from the
+	// primary (always correct, possibly slow).
+	return c.primary
+}
+
+func (c *Client) issueRead(env sim.Env, server, key string, sla SLA, cb func(ReadResult)) {
+	floors := make([]int64, len(sla))
+	for i, sub := range sla {
+		floors[i] = c.minTS(env, sub, key)
+	}
+	c.nextID++
+	c.reads[c.nextID] = &pendingRead{key: key, sla: sla, server: server, sent: env.Now(), cb: cb, floors: floors}
+	env.Send(server, slaRead{ID: c.nextID, Key: key})
+}
+
+// Read issues an SLA-driven read.
+func (c *Client) Read(env sim.Env, key string, sla SLA, cb func(ReadResult)) {
+	c.issueRead(env, c.chooseServer(env, sla, key), key, sla, cb)
+}
+
+// ReadAt bypasses server selection and reads from a fixed server —
+// the "fixed consistency" baseline experiment E10 compares against.
+func (c *Client) ReadAt(env sim.Env, server, key string, sla SLA, cb func(ReadResult)) {
+	c.issueRead(env, server, key, sla, cb)
+}
+
+// Write commits key=value at the primary.
+func (c *Client) Write(env sim.Env, key string, value []byte, cb func(WriteResult)) {
+	c.nextID++
+	c.writes[c.nextID] = &pendingWrite{key: key, sent: env.Now(), cb: cb}
+	env.Send(c.primary, slaWrite{ID: c.nextID, Key: key, Val: value})
+}
+
+// ID returns the client's simulator id.
+func (c *Client) ID() string { return c.id }

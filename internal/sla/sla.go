@@ -1,0 +1,234 @@
+// Package sla implements Pileus-style consistency-based SLAs (Terry et
+// al., SOSP 2013 — the endpoint of the tutorial's spectrum): an
+// application declares, per read, an ordered list of (consistency,
+// latency, utility) sub-SLAs, and the client library picks the replica
+// that maximizes delivered utility given what it knows about each
+// replica's freshness and round-trip time.
+//
+// The storage substrate is a primary plus asynchronous secondaries: all
+// writes commit at the primary with a monotonically increasing timestamp;
+// each secondary periodically pulls the primary's log and exposes a "high
+// timestamp" through which its state is complete. Consistency levels map
+// to minimum acceptable read timestamps exactly as in Pileus.
+package sla
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Level is a consistency guarantee a sub-SLA can request.
+type Level int
+
+// The consistency levels, strongest first.
+const (
+	// Strong reads observe every committed write.
+	Strong Level = iota
+	// ReadMyWrites reads observe at least this session's writes.
+	ReadMyWrites
+	// MonotonicReads never observe state older than a previous read.
+	Monotonic
+	// Bounded reads observe all writes older than the staleness bound.
+	Bounded
+	// Eventual accepts any replica state.
+	Eventual
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case Strong:
+		return "strong"
+	case ReadMyWrites:
+		return "read-my-writes"
+	case Monotonic:
+		return "monotonic"
+	case Bounded:
+		return "bounded"
+	case Eventual:
+		return "eventual"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// SubSLA is one acceptable (consistency, latency) point with its utility.
+type SubSLA struct {
+	Level Level
+	// Bound is the staleness bound for Bounded (ignored otherwise).
+	Bound time.Duration
+	// Latency is the response-time target.
+	Latency time.Duration
+	// Utility is the value delivered if this sub-SLA is met. Sub-SLAs
+	// must be listed in decreasing utility (Pileus convention).
+	Utility float64
+}
+
+// SLA is an ordered list of sub-SLAs, most preferred first.
+type SLA []SubSLA
+
+// Protocol messages.
+type (
+	slaWrite struct {
+		ID  uint64
+		Key string
+		Val []byte
+	}
+	slaWriteResp struct {
+		ID uint64
+		TS int64 // commit timestamp (virtual ms)
+	}
+	slaRead struct {
+		ID  uint64
+		Key string
+	}
+	slaReadResp struct {
+		ID     uint64
+		Key    string
+		Val    []byte
+		OK     bool
+		TS     int64 // the returned version's write timestamp
+		HighTS int64 // server completeness timestamp
+	}
+	syncReq struct {
+		Since int64
+	}
+	syncResp struct {
+		Writes []tsWrite
+		HighTS int64
+	}
+	probeReq struct {
+		ID uint64
+	}
+	probeResp struct {
+		ID     uint64
+		HighTS int64
+	}
+)
+
+type tsWrite struct {
+	Key string
+	Val []byte
+	TS  int64
+}
+
+// Size implements the sim bandwidth hook.
+func (m syncResp) Size() int {
+	n := 8
+	for _, w := range m.Writes {
+		n += len(w.Key) + len(w.Val) + 8
+	}
+	return n
+}
+
+// ServerConfig configures a Pileus storage server.
+type ServerConfig struct {
+	// Primary is the primary's node id.
+	Primary string
+	// SyncInterval is the secondary pull period (default 100ms).
+	SyncInterval time.Duration
+}
+
+// Server is a primary or secondary replica. It implements sim.Handler.
+type Server struct {
+	cfg ServerConfig
+	id  string
+
+	data   map[string]tsWrite
+	log    []tsWrite // primary: all writes in ts order
+	highTS int64
+	lastTS int64
+}
+
+type syncTick struct{}
+
+// NewServer returns a server; it is the primary iff id == cfg.Primary.
+func NewServer(id string, cfg ServerConfig) *Server {
+	if cfg.SyncInterval <= 0 {
+		cfg.SyncInterval = 100 * time.Millisecond
+	}
+	return &Server{cfg: cfg, id: id, data: make(map[string]tsWrite)}
+}
+
+func (s *Server) isPrimary() bool { return s.id == s.cfg.Primary }
+
+// OnStart implements sim.Handler.
+func (s *Server) OnStart(env sim.Env) {
+	if !s.isPrimary() {
+		env.SetTimer(s.cfg.SyncInterval, syncTick{})
+	}
+}
+
+// OnTimer implements sim.Handler.
+func (s *Server) OnTimer(env sim.Env, tag any) {
+	if _, ok := tag.(syncTick); !ok {
+		return
+	}
+	env.Send(s.cfg.Primary, syncReq{Since: s.highTS})
+	env.SetTimer(s.cfg.SyncInterval, syncTick{})
+}
+
+// OnMessage implements sim.Handler.
+func (s *Server) OnMessage(env sim.Env, from string, msg sim.Message) {
+	switch m := msg.(type) {
+	case slaWrite:
+		if !s.isPrimary() {
+			return // writes only at the primary
+		}
+		ts := int64(env.Now() / time.Millisecond)
+		if ts <= s.lastTS {
+			ts = s.lastTS + 1
+		}
+		s.lastTS = ts
+		w := tsWrite{Key: m.Key, Val: m.Val, TS: ts}
+		s.data[m.Key] = w
+		s.log = append(s.log, w)
+		s.highTS = ts
+		env.Send(from, slaWriteResp{ID: m.ID, TS: ts})
+	case slaRead:
+		w, ok := s.data[m.Key]
+		env.Send(from, slaReadResp{ID: m.ID, Key: m.Key, Val: w.Val, OK: ok, TS: w.TS, HighTS: s.effectiveHighTS(env)})
+	case syncReq:
+		if !s.isPrimary() {
+			return
+		}
+		var out []tsWrite
+		for _, w := range s.log {
+			if w.TS > m.Since {
+				out = append(out, w)
+			}
+		}
+		env.Send(from, syncResp{Writes: out, HighTS: s.effectiveHighTS(env)})
+	case syncResp:
+		for _, w := range m.Writes {
+			if cur, ok := s.data[w.Key]; !ok || cur.TS < w.TS {
+				s.data[w.Key] = w
+			}
+		}
+		if m.HighTS > s.highTS {
+			s.highTS = m.HighTS
+		}
+	case probeReq:
+		env.Send(from, probeResp{ID: m.ID, HighTS: s.effectiveHighTS(env)})
+	}
+}
+
+// effectiveHighTS: the primary is complete through "now"; a secondary is
+// complete through the primary high timestamp it last synced.
+func (s *Server) effectiveHighTS(env sim.Env) int64 {
+	if s.isPrimary() {
+		return int64(env.Now() / time.Millisecond)
+	}
+	return s.highTS
+}
+
+// HighTS exposes the server's completeness timestamp, for tests.
+func (s *Server) HighTS() int64 { return s.highTS }
+
+// Value exposes the server's current value for key, for tests.
+func (s *Server) Value(key string) ([]byte, bool) {
+	w, ok := s.data[key]
+	return w.Val, ok
+}

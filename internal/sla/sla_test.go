@@ -1,0 +1,219 @@
+package sla
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// buildGeo: primary in "us", one secondary in "us", one in "eu"; the
+// client lives in "eu". WAN one-way 50ms.
+func buildGeo(t *testing.T, seed int64) (*sim.Cluster, map[string]*Server, *Client, sim.Env) {
+	t.Helper()
+	geo := &sim.Geo{
+		DC: map[string]string{
+			"primary": "us", "sec-us": "us", "sec-eu": "eu", "client": "eu",
+		},
+		DefaultDC:  "us",
+		Local:      sim.Uniform(500*time.Microsecond, 2*time.Millisecond),
+		WAN:        map[[2]string]time.Duration{{"us", "eu"}: 50 * time.Millisecond},
+		DefaultWAN: 50 * time.Millisecond,
+	}
+	c := sim.New(sim.Config{Seed: seed, Latency: geo})
+	cfg := ServerConfig{Primary: "primary", SyncInterval: 100 * time.Millisecond}
+	servers := map[string]*Server{}
+	for _, id := range []string{"primary", "sec-us", "sec-eu"} {
+		servers[id] = NewServer(id, cfg)
+		c.AddNode(id, servers[id])
+	}
+	cl := NewClient("client", "primary", []string{"primary", "sec-us", "sec-eu"})
+	c.AddNode("client", cl)
+	return c, servers, cl, c.ClientEnv("client")
+}
+
+func TestWriteThenStrongRead(t *testing.T) {
+	c, _, cl, env := buildGeo(t, 1)
+	strongSLA := SLA{{Level: Strong, Latency: time.Second, Utility: 1}}
+	var got ReadResult
+	c.At(500*time.Millisecond, func() {
+		cl.Write(env, "k", []byte("v"), func(WriteResult) {
+			cl.Read(env, "k", strongSLA, func(r ReadResult) { got = r })
+		})
+	})
+	c.Run(5 * time.Second)
+	if !got.OK || string(got.Value) != "v" {
+		t.Fatalf("strong read = %+v", got)
+	}
+	if got.Server != "primary" {
+		t.Fatalf("strong read served by %s, want primary", got.Server)
+	}
+	if got.SubIndex != 0 || got.Utility != 1 {
+		t.Fatalf("strong SLA not credited: %+v", got)
+	}
+	// From the EU client, a strong read pays the WAN round trip.
+	if got.Latency < 90*time.Millisecond {
+		t.Fatalf("strong read latency %v, expected ≈100ms WAN round trip", got.Latency)
+	}
+}
+
+func TestEventualReadServedLocally(t *testing.T) {
+	c, _, cl, env := buildGeo(t, 2)
+	evSLA := SLA{{Level: Eventual, Latency: 20 * time.Millisecond, Utility: 1}}
+	var got ReadResult
+	c.At(time.Second, func() { // probes have warmed the RTT views
+		cl.Read(env, "k", evSLA, func(r ReadResult) { got = r })
+	})
+	c.Run(5 * time.Second)
+	if got.Server != "sec-eu" {
+		t.Fatalf("eventual read served by %s, want the local secondary", got.Server)
+	}
+	if got.Latency > 20*time.Millisecond {
+		t.Fatalf("eventual read latency %v, want local", got.Latency)
+	}
+	if got.SubIndex != 0 {
+		t.Fatalf("eventual SLA not credited: %+v", got)
+	}
+}
+
+func TestSecondariesCatchUp(t *testing.T) {
+	c, servers, cl, env := buildGeo(t, 3)
+	c.At(0, func() { cl.Write(env, "k", []byte("v"), nil) })
+	c.Run(3 * time.Second)
+	for id, s := range servers {
+		if v, ok := s.Value("k"); !ok || string(v) != "v" {
+			t.Fatalf("server %s never synced: %q ok=%v", id, v, ok)
+		}
+	}
+}
+
+func TestReadMyWritesRoutesToFreshServer(t *testing.T) {
+	c, _, cl, env := buildGeo(t, 4)
+	rmwSLA := SLA{
+		{Level: ReadMyWrites, Latency: 500 * time.Millisecond, Utility: 1},
+		{Level: Eventual, Latency: 500 * time.Millisecond, Utility: 0.1},
+	}
+	var got ReadResult
+	c.At(time.Second, func() {
+		cl.Write(env, "k", []byte("mine"), func(WriteResult) {
+			// Immediately after the write, only the primary is known to
+			// have it (secondaries sync every 100ms).
+			cl.Read(env, "k", rmwSLA, func(r ReadResult) { got = r })
+		})
+	})
+	c.Run(5 * time.Second)
+	if !got.OK || string(got.Value) != "mine" {
+		t.Fatalf("read = %+v", got)
+	}
+	if got.SubIndex != 0 {
+		t.Fatalf("read-my-writes not delivered: %+v (server %s)", got, got.Server)
+	}
+}
+
+func TestSLAFallsBackDownTheLadder(t *testing.T) {
+	// Ladder: strong within 5ms (impossible from EU), else eventual
+	// within 20ms (local). The client must pick the local secondary and
+	// earn the eventual utility.
+	c, _, cl, env := buildGeo(t, 5)
+	ladder := SLA{
+		{Level: Strong, Latency: 5 * time.Millisecond, Utility: 1},
+		{Level: Eventual, Latency: 20 * time.Millisecond, Utility: 0.3},
+	}
+	var got ReadResult
+	c.At(time.Second, func() {
+		cl.Read(env, "k", ladder, func(r ReadResult) { got = r })
+	})
+	c.Run(5 * time.Second)
+	if got.Server != "sec-eu" {
+		t.Fatalf("served by %s, want local secondary", got.Server)
+	}
+	if got.SubIndex != 1 || got.Utility != 0.3 {
+		t.Fatalf("delivered sub-SLA = %d (utility %v), want the eventual rung", got.SubIndex, got.Utility)
+	}
+}
+
+func TestBoundedStalenessSelectsFreshEnoughServer(t *testing.T) {
+	c, servers, cl, env := buildGeo(t, 6)
+	bounded := SLA{{Level: Bounded, Bound: 400 * time.Millisecond, Latency: time.Second, Utility: 1}}
+	var got ReadResult
+	c.At(2*time.Second, func() { cl.Write(env, "k", []byte("v"), nil) })
+	// Secondaries sync every 100ms, so by 2.7s every server is well
+	// within the 400ms bound; the client may pick the local one.
+	c.At(2700*time.Millisecond, func() {
+		cl.Read(env, "k", bounded, func(r ReadResult) { got = r })
+	})
+	c.Run(6 * time.Second)
+	if !got.OK || string(got.Value) != "v" {
+		t.Fatalf("bounded read = %+v", got)
+	}
+	if got.SubIndex != 0 {
+		t.Fatalf("bounded SLA not credited: %+v", got)
+	}
+	_ = servers
+}
+
+func TestMonotonicReadsAdvanceFloor(t *testing.T) {
+	c, _, cl, env := buildGeo(t, 7)
+	mono := SLA{
+		{Level: Monotonic, Latency: 500 * time.Millisecond, Utility: 1},
+	}
+	values := []string{}
+	c.At(time.Second, func() { cl.Write(env, "k", []byte("v1"), nil) })
+	c.At(1500*time.Millisecond, func() {
+		// Read strong once to raise the session's read floor.
+		cl.ReadAt(env, "primary", "k", mono, func(r ReadResult) {
+			values = append(values, string(r.Value))
+			// Now a monotonic read must not return missing/older state.
+			cl.Read(env, "k", mono, func(r2 ReadResult) {
+				values = append(values, string(r2.Value))
+			})
+		})
+	})
+	c.Run(6 * time.Second)
+	if len(values) != 2 {
+		t.Fatalf("reads incomplete: %v", values)
+	}
+	if values[1] != values[0] {
+		t.Fatalf("monotonic read regressed: %v", values)
+	}
+}
+
+func TestUtilityHigherWithSLARoutingThanFixedRemote(t *testing.T) {
+	// The E10 claim in miniature: SLA routing beats always-reading the
+	// primary for a latency-sensitive SLA.
+	ladder := SLA{
+		{Level: ReadMyWrites, Latency: 10 * time.Millisecond, Utility: 1},
+		{Level: Eventual, Latency: 10 * time.Millisecond, Utility: 0.5},
+	}
+	run := func(fixed bool) float64 {
+		c, _, cl, env := buildGeo(t, 8)
+		total, n := 0.0, 0
+		var loop func(i int)
+		loop = func(i int) {
+			if i >= 20 {
+				return
+			}
+			done := func(r ReadResult) {
+				total += r.Utility
+				n++
+				loop(i + 1)
+			}
+			if fixed {
+				cl.ReadAt(env, "primary", "k", ladder, done)
+			} else {
+				cl.Read(env, "k", ladder, done)
+			}
+		}
+		c.At(time.Second, func() { loop(0) })
+		c.Run(30 * time.Second)
+		if n != 20 {
+			t.Fatalf("completed %d/20 reads", n)
+		}
+		return total
+	}
+	slaUtil := run(false)
+	fixedUtil := run(true)
+	if slaUtil <= fixedUtil {
+		t.Fatalf("SLA routing utility %.1f not better than fixed-primary %.1f", slaUtil, fixedUtil)
+	}
+}

@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Entry is one record in an operation log. Index is 1-based and dense.
+type Entry struct {
+	Index uint64
+	Data  any
+}
+
+// Log is an append-only operation log with prefix truncation, used by
+// primary-copy log shipping and as the backing store for replicated state
+// machines. Log is safe for concurrent use.
+type Log struct {
+	mu      sync.RWMutex
+	first   uint64 // index of entries[0]; 1 when nothing truncated
+	entries []Entry
+}
+
+// NewLog returns an empty log whose first entry will have index 1.
+func NewLog() *Log {
+	return &Log{first: 1}
+}
+
+// Append adds data to the log and returns its index.
+func (l *Log) Append(data any) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	idx := l.first + uint64(len(l.entries))
+	l.entries = append(l.entries, Entry{Index: idx, Data: data})
+	return idx
+}
+
+// Get returns the entry at index.
+func (l *Log) Get(index uint64) (Entry, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if index < l.first || index >= l.first+uint64(len(l.entries)) {
+		return Entry{}, false
+	}
+	return l.entries[index-l.first], true
+}
+
+// LastIndex returns the index of the newest entry, or 0 if the log is
+// empty and nothing has been truncated.
+func (l *Log) LastIndex() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.first + uint64(len(l.entries)) - 1
+}
+
+// FirstIndex returns the index of the oldest retained entry, or
+// LastIndex+1 if all entries have been truncated.
+func (l *Log) FirstIndex() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.first
+}
+
+// Suffix returns a copy of all entries with index >= from, capped at max
+// entries (max <= 0 means all). It is the unit of log shipping.
+func (l *Log) Suffix(from uint64, max int) []Entry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if from < l.first {
+		from = l.first
+	}
+	end := l.first + uint64(len(l.entries))
+	if from >= end {
+		return nil
+	}
+	out := l.entries[from-l.first : end-l.first]
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	cp := make([]Entry, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// TruncatePrefix discards entries with index <= upTo, after they have been
+// applied everywhere they are needed.
+func (l *Log) TruncatePrefix(upTo uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if upTo < l.first {
+		return
+	}
+	end := l.first + uint64(len(l.entries))
+	if upTo >= end {
+		upTo = end - 1
+	}
+	n := upTo - l.first + 1
+	l.entries = append([]Entry(nil), l.entries[n:]...)
+	l.first = upTo + 1
+}
+
+// Len returns the number of retained entries.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// String implements fmt.Stringer.
+func (l *Log) String() string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return fmt.Sprintf("log[%d..%d]", l.first, l.first+uint64(len(l.entries))-1)
+}

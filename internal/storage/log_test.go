@@ -1,0 +1,82 @@
+package storage
+
+import "testing"
+
+func TestLogAppendGet(t *testing.T) {
+	l := NewLog()
+	if l.LastIndex() != 0 {
+		t.Fatalf("empty LastIndex = %d, want 0", l.LastIndex())
+	}
+	i1 := l.Append("a")
+	i2 := l.Append("b")
+	if i1 != 1 || i2 != 2 {
+		t.Fatalf("indexes = %d,%d, want 1,2", i1, i2)
+	}
+	e, ok := l.Get(2)
+	if !ok || e.Data != "b" || e.Index != 2 {
+		t.Fatalf("Get(2) = %+v ok=%v", e, ok)
+	}
+	if _, ok := l.Get(3); ok {
+		t.Fatal("Get past end succeeded")
+	}
+	if _, ok := l.Get(0); ok {
+		t.Fatal("Get(0) succeeded")
+	}
+}
+
+func TestLogSuffix(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 5; i++ {
+		l.Append(i)
+	}
+	s := l.Suffix(3, 0)
+	if len(s) != 3 || s[0].Index != 3 || s[2].Index != 5 {
+		t.Fatalf("Suffix(3) = %v", s)
+	}
+	if s := l.Suffix(1, 2); len(s) != 2 || s[1].Index != 2 {
+		t.Fatalf("capped Suffix = %v", s)
+	}
+	if s := l.Suffix(6, 0); s != nil {
+		t.Fatalf("Suffix past end = %v, want nil", s)
+	}
+	// Returned slice is a copy.
+	s = l.Suffix(1, 1)
+	s[0].Data = "mutated"
+	if e, _ := l.Get(1); e.Data == "mutated" {
+		t.Fatal("Suffix aliases internal storage")
+	}
+}
+
+func TestLogTruncatePrefix(t *testing.T) {
+	l := NewLog()
+	for i := 1; i <= 5; i++ {
+		l.Append(i)
+	}
+	l.TruncatePrefix(3)
+	if l.FirstIndex() != 4 || l.LastIndex() != 5 || l.Len() != 2 {
+		t.Fatalf("after truncate: first=%d last=%d len=%d", l.FirstIndex(), l.LastIndex(), l.Len())
+	}
+	if _, ok := l.Get(3); ok {
+		t.Fatal("truncated entry still readable")
+	}
+	if e, ok := l.Get(4); !ok || e.Data != 4 {
+		t.Fatalf("Get(4) after truncate = %+v ok=%v", e, ok)
+	}
+	// Appends continue with dense indexes.
+	if idx := l.Append(6); idx != 6 {
+		t.Fatalf("append after truncate = %d, want 6", idx)
+	}
+	// Truncating everything leaves an empty but appendable log.
+	l.TruncatePrefix(100)
+	if l.Len() != 0 {
+		t.Fatalf("Len after full truncate = %d", l.Len())
+	}
+	if idx := l.Append(7); idx != 7 {
+		t.Fatalf("append after full truncate = %d, want 7", idx)
+	}
+	// Truncate below first index is a no-op.
+	l.TruncatePrefix(2)
+	if e, ok := l.Get(7); !ok || e.Data != 7 {
+		t.Fatalf("no-op truncate damaged log: %+v ok=%v", e, ok)
+	}
+}

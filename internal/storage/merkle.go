@@ -1,0 +1,182 @@
+package storage
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// Merkle is a fixed-shape hash tree over a key space, used by anti-entropy
+// to find divergent key ranges between two replicas while exchanging only
+// O(log n) hashes (Dynamo/Cassandra style).
+//
+// Keys are mapped to one of 2^depth leaf buckets by key hash. Each leaf
+// holds the XOR of a per-(key, version) digest of every key in the bucket;
+// XOR accumulation makes updates incremental: re-adding a key first
+// removes its previous digest. Internal nodes mix their children. Two
+// trees are comparable only if built with equal depth.
+type Merkle struct {
+	mu    sync.RWMutex
+	depth int
+	nodes []uint64          // heap layout; len = 2^(depth+1) - 1
+	prev  map[string]uint64 // key -> last digest folded in
+}
+
+// NewMerkle returns a tree with 2^depth leaf buckets. Depth must be in
+// [1, 24]; typical anti-entropy configurations use 8–12.
+func NewMerkle(depth int) *Merkle {
+	if depth < 1 || depth > 24 {
+		panic("storage: merkle depth out of range [1,24]")
+	}
+	return &Merkle{
+		depth: depth,
+		nodes: make([]uint64, (1<<(depth+1))-1),
+		prev:  make(map[string]uint64),
+	}
+}
+
+// Depth returns the tree depth.
+func (m *Merkle) Depth() int { return m.depth }
+
+// Leaves returns the number of leaf buckets.
+func (m *Merkle) Leaves() int { return 1 << m.depth }
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+func digest(key string, versionHash uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(versionHash >> (8 * i))
+	}
+	h.Write(b[:])
+	d := h.Sum64()
+	if d == 0 {
+		d = 1 // zero would cancel against an absent key
+	}
+	return d
+}
+
+// Bucket returns the leaf bucket index for key, shared across replicas so
+// both sides can enumerate a divergent bucket's keys.
+func (m *Merkle) Bucket(key string) int {
+	return int(hashKey(key) >> (64 - uint(m.depth)))
+}
+
+// Update folds (key, versionHash) into the tree, replacing the key's
+// previous contribution if any. versionHash should change whenever the
+// key's replicated state changes (e.g. a hash of value bytes and clock).
+func (m *Merkle) Update(key string, versionHash uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := digest(key, versionHash)
+	if old, ok := m.prev[key]; ok {
+		if old == d {
+			return
+		}
+		m.fold(key, old) // XOR removes the old digest
+	}
+	m.prev[key] = d
+	m.fold(key, d)
+}
+
+// Remove deletes the key's contribution. Replicas that propagate deletes
+// as tombstones should Update with the tombstone's hash instead, so both
+// sides agree the key exists (as deleted).
+func (m *Merkle) Remove(key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if old, ok := m.prev[key]; ok {
+		m.fold(key, old)
+		delete(m.prev, key)
+	}
+}
+
+func (m *Merkle) fold(key string, d uint64) {
+	leaf := int(hashKey(key)>>(64-uint(m.depth))) + (1 << m.depth) - 1
+	for i := leaf; ; i = (i - 1) / 2 {
+		m.nodes[i] ^= d
+		if i == 0 {
+			break
+		}
+	}
+}
+
+// RootHash returns the root digest; equal roots mean (with overwhelming
+// probability) equal replicated state.
+func (m *Merkle) RootHash() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.nodes[0]
+}
+
+// LevelHashes returns the hashes of all nodes at the given level (0 =
+// root, depth = leaves), the unit exchanged during reconciliation.
+func (m *Merkle) LevelHashes(level int) []uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	start := (1 << level) - 1
+	n := 1 << level
+	out := make([]uint64, n)
+	copy(out, m.nodes[start:start+n])
+	return out
+}
+
+// DiffLeaves compares two equally shaped trees and returns the indices of
+// leaf buckets whose hashes differ, descending only into differing
+// subtrees (so the comparison cost is proportional to the divergence).
+func DiffLeaves(a, b *Merkle) []int {
+	if a.depth != b.depth {
+		panic("storage: merkle depth mismatch")
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []int
+	firstLeaf := (1 << a.depth) - 1
+	var walk func(i int)
+	walk = func(i int) {
+		if a.nodes[i] == b.nodes[i] {
+			return
+		}
+		if i >= firstLeaf {
+			out = append(out, i-firstLeaf)
+			return
+		}
+		walk(2*i + 1)
+		walk(2*i + 2)
+	}
+	walk(0)
+	return out
+}
+
+// HashesCompared returns how many node-hash comparisons DiffLeaves would
+// perform for the given trees — the anti-entropy bandwidth proxy used by
+// the A2 ablation.
+func HashesCompared(a, b *Merkle) int {
+	if a.depth != b.depth {
+		panic("storage: merkle depth mismatch")
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	firstLeaf := (1 << a.depth) - 1
+	count := 0
+	var walk func(i int)
+	walk = func(i int) {
+		count++
+		if a.nodes[i] == b.nodes[i] || i >= firstLeaf {
+			return
+		}
+		walk(2*i + 1)
+		walk(2*i + 2)
+	}
+	walk(0)
+	return count
+}

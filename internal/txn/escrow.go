@@ -1,0 +1,196 @@
+package txn
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Escrow implements escrow reservations: the total stock of a key is
+// partitioned into per-site shares; a site consumes from its own share
+// with no coordination (latency of a local call), and tops up by
+// requesting a transfer from a peer when it runs dry. The invariant —
+// total consumption never exceeds total stock — holds by construction
+// because shares are conserved.
+
+// escrowTransferReq asks a peer to cede up to Want units of key's share.
+type escrowTransferReq struct {
+	ID   uint64
+	Key  string
+	Want int64
+}
+
+// escrowTransferResp grants Granted units (possibly 0).
+type escrowTransferResp struct {
+	ID      uint64
+	Key     string
+	Granted int64
+}
+
+// EscrowResult reports a consume attempt.
+type EscrowResult struct {
+	Key string
+	// OK is false when the local share (plus anything a transfer could
+	// grant in time) was insufficient.
+	OK bool
+	// Transferred reports whether a peer transfer was needed.
+	Transferred bool
+}
+
+// EscrowConfig configures an escrow site.
+type EscrowConfig struct {
+	// Sites lists all site ids.
+	Sites []string
+	// TransferTimeout bounds a share-transfer round trip (default 500ms).
+	TransferTimeout time.Duration
+}
+
+// EscrowSite is one site holding escrow shares. It implements
+// sim.Handler.
+type EscrowSite struct {
+	cfg EscrowConfig
+	id  string
+
+	shares map[string]int64
+
+	nextReq uint64
+	waiting map[uint64]*escrowWait
+
+	// LocalConsumes counts coordination-free successes; Transfers counts
+	// share transfers performed.
+	LocalConsumes uint64
+	Transfers     uint64
+}
+
+type escrowWait struct {
+	key      string
+	amount   int64
+	cb       func(EscrowResult)
+	deadline time.Duration
+	asked    int // index of the next peer to ask
+}
+
+type escrowSweep struct{}
+
+// NewEscrowSite returns an escrow site.
+func NewEscrowSite(id string, cfg EscrowConfig) *EscrowSite {
+	if cfg.TransferTimeout <= 0 {
+		cfg.TransferTimeout = 500 * time.Millisecond
+	}
+	return &EscrowSite{
+		cfg:     cfg,
+		id:      id,
+		shares:  make(map[string]int64),
+		waiting: make(map[uint64]*escrowWait),
+	}
+}
+
+// Seed grants this site an initial share of key's stock. Call it on every
+// site before the run; the sum across sites is the global stock.
+func (s *EscrowSite) Seed(key string, amount int64) { s.shares[key] += amount }
+
+// OnStart implements sim.Handler.
+func (s *EscrowSite) OnStart(env sim.Env) {
+	env.SetTimer(s.cfg.TransferTimeout/4, escrowSweep{})
+}
+
+// OnTimer implements sim.Handler.
+func (s *EscrowSite) OnTimer(env sim.Env, tag any) {
+	if _, ok := tag.(escrowSweep); !ok {
+		return
+	}
+	for id, w := range s.waiting {
+		if env.Now() >= w.deadline {
+			delete(s.waiting, id)
+			if w.cb != nil {
+				w.cb(EscrowResult{Key: w.key, OK: false, Transferred: true})
+			}
+		}
+	}
+	env.SetTimer(s.cfg.TransferTimeout/4, escrowSweep{})
+}
+
+// OnMessage implements sim.Handler.
+func (s *EscrowSite) OnMessage(env sim.Env, from string, msg sim.Message) {
+	switch m := msg.(type) {
+	case escrowTransferReq:
+		// Grant up to half of the local share (keep working capital),
+		// or everything if the request exceeds it and we can cover it.
+		avail := s.shares[m.Key]
+		grant := avail / 2
+		if grant < m.Want && avail >= m.Want {
+			grant = m.Want
+		}
+		if grant > avail {
+			grant = avail
+		}
+		if grant < 0 {
+			grant = 0
+		}
+		s.shares[m.Key] -= grant
+		if grant > 0 {
+			s.Transfers++
+		}
+		env.Send(from, escrowTransferResp{ID: m.ID, Key: m.Key, Granted: grant})
+	case escrowTransferResp:
+		w, ok := s.waiting[m.ID]
+		if !ok {
+			s.shares[m.Key] += m.Granted // late grant: keep the share
+			return
+		}
+		s.shares[m.Key] += m.Granted
+		if s.shares[w.key] >= w.amount {
+			delete(s.waiting, m.ID)
+			s.shares[w.key] -= w.amount
+			if w.cb != nil {
+				w.cb(EscrowResult{Key: w.key, OK: true, Transferred: true})
+			}
+			return
+		}
+		// Still short: ask the next peer.
+		s.askNext(env, m.ID, w)
+	}
+}
+
+func (s *EscrowSite) askNext(env sim.Env, id uint64, w *escrowWait) {
+	for w.asked < len(s.cfg.Sites) {
+		peer := s.cfg.Sites[w.asked]
+		w.asked++
+		if peer == s.id {
+			continue
+		}
+		need := w.amount - s.shares[w.key]
+		env.Send(peer, escrowTransferReq{ID: id, Key: w.key, Want: need})
+		return
+	}
+	// No peers left to ask; fail when the sweep fires or now.
+	delete(s.waiting, id)
+	if w.cb != nil {
+		w.cb(EscrowResult{Key: w.key, OK: false, Transferred: true})
+	}
+}
+
+// Consume atomically takes amount units of key. If the local share
+// suffices, it completes immediately with no messages; otherwise it
+// requests transfers from peers and completes when enough share arrives
+// (or fails at the timeout).
+func (s *EscrowSite) Consume(env sim.Env, key string, amount int64, cb func(EscrowResult)) {
+	if amount <= 0 {
+		panic("txn: consume amount must be positive")
+	}
+	if s.shares[key] >= amount {
+		s.shares[key] -= amount
+		s.LocalConsumes++
+		if cb != nil {
+			cb(EscrowResult{Key: key, OK: true})
+		}
+		return
+	}
+	s.nextReq++
+	w := &escrowWait{key: key, amount: amount, cb: cb, deadline: env.Now() + s.cfg.TransferTimeout}
+	s.waiting[s.nextReq] = w
+	s.askNext(env, s.nextReq, w)
+}
+
+// Share returns the site's current share of key.
+func (s *EscrowSite) Share(key string) int64 { return s.shares[key] }

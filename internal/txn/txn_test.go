@@ -1,0 +1,252 @@
+package txn
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func buildSites(t *testing.T, n int, seed int64) (*sim.Cluster, []*Site) {
+	t.Helper()
+	c := sim.New(sim.Config{Seed: seed, Latency: sim.Uniform(time.Millisecond, 5*time.Millisecond)})
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("site%d", i)
+	}
+	sites := make([]*Site, n)
+	for i, id := range ids {
+		sites[i] = NewSite(id, Config{Sites: ids})
+		c.AddNode(id, sites[i])
+	}
+	return c, sites
+}
+
+func env(c *sim.Cluster, id string) sim.Env { return c.ClientEnv(id) }
+
+func TestBlueDepositsConvergeAcrossSites(t *testing.T) {
+	c, sites := buildSites(t, 3, 1)
+	c.At(0, func() {
+		sites[0].Deposit(env(c, "site0"), "acct", 100)
+		sites[1].Deposit(env(c, "site1"), "acct", 50)
+		sites[2].Deposit(env(c, "site2"), "acct", 25)
+	})
+	c.Run(3 * time.Second)
+	for i, s := range sites {
+		if got := s.Balance("acct"); got != 175 {
+			t.Fatalf("site %d balance = %d, want 175", i, got)
+		}
+	}
+}
+
+func TestBlueOpsAreImmediate(t *testing.T) {
+	c, sites := buildSites(t, 3, 2)
+	c.At(0, func() {
+		sites[0].Deposit(env(c, "site0"), "acct", 10)
+		// Applied locally before any network round trip.
+		if sites[0].Balance("acct") != 10 {
+			t.Error("blue op not applied locally immediately")
+		}
+	})
+	c.Run(time.Second)
+}
+
+func TestRedWithdrawRespectsInvariant(t *testing.T) {
+	c, sites := buildSites(t, 3, 3)
+	var ok1, ok2 RedResult
+	c.At(0, func() {
+		sites[0].Deposit(env(c, "site0"), "acct", 100)
+	})
+	c.At(200*time.Millisecond, func() {
+		sites[1].Withdraw(env(c, "site1"), "acct", 80, func(r RedResult) { ok1 = r })
+	})
+	c.At(400*time.Millisecond, func() {
+		sites[2].Withdraw(env(c, "site2"), "acct", 80, func(r RedResult) { ok2 = r })
+	})
+	c.Run(5 * time.Second)
+	if !ok1.OK {
+		t.Fatal("first withdraw (within funds) rejected")
+	}
+	if ok2.OK {
+		t.Fatal("second withdraw (would overdraw) accepted")
+	}
+	for i, s := range sites {
+		if got := s.Balance("acct"); got != 20 {
+			t.Fatalf("site %d balance = %d, want 20", i, got)
+		}
+	}
+}
+
+func TestConcurrentRedWithdrawalsNeverOverdraw(t *testing.T) {
+	c, sites := buildSites(t, 4, 4)
+	c.At(0, func() { sites[0].Deposit(env(c, "site0"), "acct", 100) })
+	accepted := 0
+	c.At(200*time.Millisecond, func() {
+		// All four sites race to withdraw 40 from a balance of 100: at
+		// most two may succeed.
+		for i, s := range sites {
+			s.Withdraw(env(c, fmt.Sprintf("site%d", i)), "acct", 40, func(r RedResult) {
+				if r.OK {
+					accepted++
+				}
+			})
+		}
+	})
+	c.Run(5 * time.Second)
+	if accepted > 2 {
+		t.Fatalf("%d withdrawals of 40 accepted from balance 100", accepted)
+	}
+	if accepted == 0 {
+		t.Fatal("no withdrawal accepted")
+	}
+	for i, s := range sites {
+		if got := s.Balance("acct"); got < 0 {
+			t.Fatalf("site %d balance negative: %d", i, got)
+		}
+		if got := s.Balance("acct"); got != 100-int64(accepted)*40 {
+			t.Fatalf("site %d final balance %d, want %d", i, got, 100-accepted*40)
+		}
+	}
+}
+
+func TestRedTimesOutWhenCoordinatorDown(t *testing.T) {
+	c, sites := buildSites(t, 3, 5)
+	var res RedResult
+	got := false
+	c.At(0, func() { sites[1].Deposit(env(c, "site1"), "acct", 100) })
+	c.At(100*time.Millisecond, func() {
+		c.Crash("site0") // the coordinator
+		sites[1].Withdraw(env(c, "site1"), "acct", 10, func(r RedResult) { res = r; got = true })
+	})
+	c.Run(5 * time.Second)
+	if !got {
+		t.Fatal("withdraw never resolved")
+	}
+	if res.OK || !res.TimedOut {
+		t.Fatalf("withdraw with dead coordinator = %+v, want timeout", res)
+	}
+}
+
+func TestBlueSurvivesMessageLoss(t *testing.T) {
+	// 30% loss: eager transmission may fail but periodic anti-entropy
+	// retransmits until applied.
+	c := sim.New(sim.Config{Seed: 6, Latency: sim.Lossy(sim.Uniform(time.Millisecond, 3*time.Millisecond), 0.3)})
+	ids := []string{"site0", "site1", "site2"}
+	sites := make([]*Site, 3)
+	for i, id := range ids {
+		sites[i] = NewSite(id, Config{Sites: ids})
+		c.AddNode(id, sites[i])
+	}
+	c.At(0, func() {
+		for i := 0; i < 10; i++ {
+			sites[0].Deposit(env(c, "site0"), "acct", 1)
+		}
+	})
+	c.Run(10 * time.Second)
+	for i, s := range sites {
+		if got := s.Balance("acct"); got != 10 {
+			t.Fatalf("site %d balance = %d, want 10 despite loss", i, got)
+		}
+	}
+}
+
+func buildEscrow(t *testing.T, n int, seed int64) (*sim.Cluster, []*EscrowSite) {
+	t.Helper()
+	c := sim.New(sim.Config{Seed: seed, Latency: sim.Uniform(time.Millisecond, 5*time.Millisecond)})
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("es%d", i)
+	}
+	sites := make([]*EscrowSite, n)
+	for i, id := range ids {
+		sites[i] = NewEscrowSite(id, EscrowConfig{Sites: ids})
+		c.AddNode(id, sites[i])
+	}
+	return c, sites
+}
+
+func TestEscrowLocalConsumeNoCoordination(t *testing.T) {
+	c, sites := buildEscrow(t, 3, 7)
+	for _, s := range sites {
+		s.Seed("stock", 100)
+	}
+	var res EscrowResult
+	c.At(0, func() {
+		sites[0].Consume(env(c, "es0"), "stock", 30, func(r EscrowResult) { res = r })
+	})
+	c.Run(time.Second)
+	if !res.OK || res.Transferred {
+		t.Fatalf("local consume = %+v, want immediate local success", res)
+	}
+	if sites[0].Share("stock") != 70 {
+		t.Fatalf("share = %d, want 70", sites[0].Share("stock"))
+	}
+	if c.Stats().MessagesSent != 0 {
+		t.Fatalf("local consume sent %d messages", c.Stats().MessagesSent)
+	}
+}
+
+func TestEscrowTransfersWhenShort(t *testing.T) {
+	c, sites := buildEscrow(t, 3, 8)
+	sites[0].Seed("stock", 10)
+	sites[1].Seed("stock", 100)
+	sites[2].Seed("stock", 100)
+	var res EscrowResult
+	c.At(0, func() {
+		sites[0].Consume(env(c, "es0"), "stock", 50, func(r EscrowResult) { res = r })
+	})
+	c.Run(5 * time.Second)
+	if !res.OK || !res.Transferred {
+		t.Fatalf("consume = %+v, want success via transfer", res)
+	}
+	total := sites[0].Share("stock") + sites[1].Share("stock") + sites[2].Share("stock")
+	if total != 160 {
+		t.Fatalf("total shares = %d, want 210-50=160 (conservation)", total)
+	}
+}
+
+func TestEscrowNeverOversells(t *testing.T) {
+	c, sites := buildEscrow(t, 3, 9)
+	for _, s := range sites {
+		s.Seed("stock", 10) // 30 total
+	}
+	sold := int64(0)
+	c.At(0, func() {
+		for i, s := range sites {
+			for j := 0; j < 5; j++ {
+				s.Consume(env(c, fmt.Sprintf("es%d", i)), "stock", 4, func(r EscrowResult) {
+					if r.OK {
+						sold += 4
+					}
+				})
+			}
+		}
+	})
+	c.Run(10 * time.Second)
+	if sold > 30 {
+		t.Fatalf("sold %d units of 30 in stock", sold)
+	}
+	remaining := sites[0].Share("stock") + sites[1].Share("stock") + sites[2].Share("stock")
+	if sold+remaining != 30 {
+		t.Fatalf("conservation violated: sold %d + remaining %d != 30", sold, remaining)
+	}
+}
+
+func TestEscrowFailsWhenGloballyExhausted(t *testing.T) {
+	c, sites := buildEscrow(t, 2, 10)
+	sites[0].Seed("stock", 5)
+	sites[1].Seed("stock", 5)
+	var res EscrowResult
+	got := false
+	c.At(0, func() {
+		sites[0].Consume(env(c, "es0"), "stock", 50, func(r EscrowResult) { res = r; got = true })
+	})
+	c.Run(5 * time.Second)
+	if !got {
+		t.Fatal("consume never resolved")
+	}
+	if res.OK {
+		t.Fatal("consumed more than global stock")
+	}
+}

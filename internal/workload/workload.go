@@ -1,0 +1,211 @@
+// Package workload generates the synthetic loads driving every experiment:
+// YCSB-style key distributions (uniform, zipfian, latest, sequential),
+// read/write operation mixes, and multi-session access patterns.
+//
+// Generators draw from a caller-supplied *rand.Rand so that runs sharing
+// the simulator's seeded source stay fully deterministic.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KeyChooser selects the key index for the next operation over a keyspace
+// of n items.
+type KeyChooser interface {
+	// Next returns a key index in [0, n).
+	Next(r *rand.Rand) int
+	// N returns the keyspace size.
+	N() int
+}
+
+// Uniform chooses keys uniformly.
+type Uniform struct{ n int }
+
+// NewUniform returns a uniform chooser over n keys.
+func NewUniform(n int) *Uniform {
+	if n <= 0 {
+		panic("workload: keyspace must be positive")
+	}
+	return &Uniform{n: n}
+}
+
+// Next implements KeyChooser.
+func (u *Uniform) Next(r *rand.Rand) int { return r.Intn(u.n) }
+
+// N implements KeyChooser.
+func (u *Uniform) N() int { return u.n }
+
+// Zipfian chooses keys with a zipfian popularity skew, the standard model
+// for hot-key behaviour in web workloads (YCSB's default is theta=0.99).
+// Item 0 is the most popular. Implementation follows Gray et al.'s
+// "Quickly generating billion-record synthetic databases" rejection-free
+// method, as used by YCSB.
+type Zipfian struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+// NewZipfian returns a zipfian chooser over n keys with skew theta in
+// (0, 1); larger theta is more skewed.
+func NewZipfian(n int, theta float64) *Zipfian {
+	if n <= 0 {
+		panic("workload: keyspace must be positive")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("workload: zipfian theta must be in (0,1)")
+	}
+	z := &Zipfian{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	var s float64
+	for i := 1; i <= n; i++ {
+		s += 1 / math.Pow(float64(i), theta)
+	}
+	return s
+}
+
+// Next implements KeyChooser.
+func (z *Zipfian) Next(r *rand.Rand) int {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// N implements KeyChooser.
+func (z *Zipfian) N() int { return z.n }
+
+// Latest skews towards recently inserted keys: the popularity order is the
+// reverse insertion order (YCSB's "latest" distribution), modelling feeds
+// and timelines.
+type Latest struct {
+	z *Zipfian
+}
+
+// NewLatest returns a latest-skewed chooser over n keys, where key n-1 is
+// the newest and most popular.
+func NewLatest(n int, theta float64) *Latest {
+	return &Latest{z: NewZipfian(n, theta)}
+}
+
+// Next implements KeyChooser.
+func (l *Latest) Next(r *rand.Rand) int {
+	return l.z.n - 1 - l.z.Next(r)
+}
+
+// N implements KeyChooser.
+func (l *Latest) N() int { return l.z.n }
+
+// Sequential cycles through the keyspace in order — the loading phase
+// distribution.
+type Sequential struct {
+	n, next int
+}
+
+// NewSequential returns a sequential chooser over n keys.
+func NewSequential(n int) *Sequential {
+	if n <= 0 {
+		panic("workload: keyspace must be positive")
+	}
+	return &Sequential{n: n}
+}
+
+// Next implements KeyChooser.
+func (s *Sequential) Next(_ *rand.Rand) int {
+	k := s.next
+	s.next = (s.next + 1) % s.n
+	return k
+}
+
+// N implements KeyChooser.
+func (s *Sequential) N() int { return s.n }
+
+// OpKind is the type of a generated operation.
+type OpKind uint8
+
+// The generated operation kinds.
+const (
+	OpRead OpKind = iota
+	OpWrite
+)
+
+// Op is one generated operation.
+type Op struct {
+	Kind    OpKind
+	Key     string
+	Value   []byte
+	Session int // issuing session, for session-guarantee workloads
+}
+
+// Mix generates a read/write operation stream over a key chooser.
+type Mix struct {
+	// ReadFraction is the probability an operation is a read.
+	ReadFraction float64
+	// Keys chooses the key for each operation.
+	Keys KeyChooser
+	// KeyPrefix prefixes generated key names (default "key-").
+	KeyPrefix string
+	// ValueSize is the size of generated write payloads (default 16).
+	ValueSize int
+	// Sessions is the number of client sessions round-robined over
+	// operations (default 1).
+	Sessions int
+
+	opCount int
+}
+
+// Next generates the next operation.
+func (m *Mix) Next(r *rand.Rand) Op {
+	prefix := m.KeyPrefix
+	if prefix == "" {
+		prefix = "key-"
+	}
+	sessions := m.Sessions
+	if sessions <= 0 {
+		sessions = 1
+	}
+	op := Op{
+		Key:     fmt.Sprintf("%s%d", prefix, m.Keys.Next(r)),
+		Session: m.opCount % sessions,
+	}
+	m.opCount++
+	if r.Float64() < m.ReadFraction {
+		op.Kind = OpRead
+		return op
+	}
+	op.Kind = OpWrite
+	size := m.ValueSize
+	if size <= 0 {
+		size = 16
+	}
+	op.Value = make([]byte, size)
+	r.Read(op.Value)
+	return op
+}
+
+// KeyName formats the canonical key name for index i, matching Mix's
+// naming, so experiments can preload the keyspace.
+func KeyName(prefix string, i int) string {
+	if prefix == "" {
+		prefix = "key-"
+	}
+	return fmt.Sprintf("%s%d", prefix, i)
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUniformInRangeAndRoughlyFlat(t *testing.T) {
+	u := NewUniform(10)
+	r := rand.New(rand.NewSource(1))
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		k := u.Next(r)
+		if k < 0 || k >= 10 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.08 || frac > 0.12 {
+			t.Fatalf("key %d frequency %.3f, want ≈0.1", i, frac)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	z := NewZipfian(1000, 0.99)
+	r := rand.New(rand.NewSource(1))
+	counts := make(map[int]int)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		k := z.Next(r)
+		if k < 0 || k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Item 0 must be by far the most popular.
+	if counts[0] < counts[500]*10 {
+		t.Fatalf("zipfian not skewed: counts[0]=%d counts[500]=%d", counts[0], counts[500])
+	}
+	// Top 10 items should hold a large share under theta=0.99.
+	top := 0
+	for i := 0; i < 10; i++ {
+		top += counts[i]
+	}
+	if frac := float64(top) / n; frac < 0.3 {
+		t.Fatalf("top-10 share %.3f, want > 0.3", frac)
+	}
+}
+
+func TestZipfianMonotoneDecreasingHead(t *testing.T) {
+	z := NewZipfian(100, 0.9)
+	r := rand.New(rand.NewSource(2))
+	counts := make([]int, 100)
+	for i := 0; i < 300000; i++ {
+		counts[z.Next(r)]++
+	}
+	if !(counts[0] > counts[3] && counts[3] > counts[30]) {
+		t.Fatalf("popularity not decreasing: c0=%d c3=%d c30=%d", counts[0], counts[3], counts[30])
+	}
+}
+
+func TestLatestFavorsNewestKeys(t *testing.T) {
+	l := NewLatest(1000, 0.99)
+	r := rand.New(rand.NewSource(1))
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		k := l.Next(r)
+		if k < 0 || k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	if counts[999] < counts[0]*5 {
+		t.Fatalf("latest should favor newest: newest=%d oldest=%d", counts[999], counts[0])
+	}
+}
+
+func TestSequentialCycles(t *testing.T) {
+	s := NewSequential(3)
+	r := rand.New(rand.NewSource(1))
+	var got []int
+	for i := 0; i < 7; i++ {
+		got = append(got, s.Next(r))
+	}
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequence %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMixReadFractionAndSessions(t *testing.T) {
+	m := &Mix{ReadFraction: 0.9, Keys: NewUniform(100), Sessions: 4, ValueSize: 8}
+	r := rand.New(rand.NewSource(1))
+	reads := 0
+	sessions := map[int]bool{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		op := m.Next(r)
+		if op.Kind == OpRead {
+			reads++
+			if op.Value != nil {
+				t.Fatal("read op carries a value")
+			}
+		} else if len(op.Value) != 8 {
+			t.Fatalf("write payload %d bytes, want 8", len(op.Value))
+		}
+		sessions[op.Session] = true
+		if op.Key == "" {
+			t.Fatal("empty key")
+		}
+	}
+	frac := float64(reads) / n
+	if frac < 0.88 || frac > 0.92 {
+		t.Fatalf("read fraction %.3f, want ≈0.9", frac)
+	}
+	if len(sessions) != 4 {
+		t.Fatalf("saw %d sessions, want 4", len(sessions))
+	}
+}
+
+func TestMixDefaults(t *testing.T) {
+	m := &Mix{ReadFraction: 0, Keys: NewUniform(1)}
+	r := rand.New(rand.NewSource(1))
+	op := m.Next(r)
+	if op.Key != "key-0" {
+		t.Fatalf("default prefix: key = %q", op.Key)
+	}
+	if len(op.Value) != 16 {
+		t.Fatalf("default value size = %d, want 16", len(op.Value))
+	}
+	if KeyName("", 7) != "key-7" {
+		t.Fatalf("KeyName mismatch: %q", KeyName("", 7))
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("NewUniform(0)", func() { NewUniform(0) })
+	mustPanic("NewZipfian theta=0", func() { NewZipfian(10, 0) })
+	mustPanic("NewZipfian theta=1", func() { NewZipfian(10, 1) })
+	mustPanic("NewSequential(0)", func() { NewSequential(0) })
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	gen := func() []int {
+		z := NewZipfian(100, 0.99)
+		r := rand.New(rand.NewSource(99))
+		out := make([]int, 50)
+		for i := range out {
+			out[i] = z.Next(r)
+		}
+		return out
+	}
+	a, b := gen(), gen()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different key streams")
+		}
+	}
+}
