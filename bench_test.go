@@ -74,6 +74,10 @@ func BenchmarkE10SLA(b *testing.B) {
 	benchExperiment(b, experiments.E10SLA)
 }
 
+func BenchmarkE11ChaosViolations(b *testing.B) {
+	benchExperiment(b, experiments.E11ChaosViolations)
+}
+
 // ── Micro-benchmarks ───────────────────────────────────────────────────
 //
 // CPU costs of the primitives the experiments lean on: CRDT merges (the
@@ -261,7 +265,7 @@ func BenchmarkHLCNow(b *testing.B) {
 // Guard against silent drift: the experiment list and the benchmark list
 // must stay in sync.
 func TestEveryExperimentHasABenchmark(t *testing.T) {
-	if len(experiments.All()) != 10 {
+	if len(experiments.All()) != 11 {
 		t.Fatalf("experiment count changed (%d); update bench_test.go", len(experiments.All()))
 	}
 }

@@ -1,4 +1,4 @@
-// Command ecbench runs the evaluation suite (experiments E1–E10 from
+// Command ecbench runs the evaluation suite (experiments E1–E11 from
 // DESIGN.md) and prints each experiment's tables and series.
 //
 // Usage:

@@ -1,0 +1,70 @@
+// Package examples_test smoke-tests every example binary: each must
+// build and run to completion with a zero exit status. The examples are
+// the repo's executable documentation; this keeps them from rotting as
+// internal APIs evolve.
+package examples_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// timeout bounds one example's wall-clock run; the examples are
+// simulations on a virtual clock, so even the long ones finish in well
+// under a minute of real time.
+const timeout = 2 * time.Minute
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building and running example binaries is not short")
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) < 6 {
+		t.Fatalf("expected at least 6 example dirs, found %d: %v", len(names), names)
+	}
+	binDir := t.TempDir()
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(binDir, name)
+			build := exec.Command("go", "build", "-o", bin, "./"+name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build ./examples/%s: %v\n%s", name, err, out)
+			}
+			done := make(chan struct{})
+			cmd := exec.Command(bin)
+			var out []byte
+			var runErr error
+			go func() {
+				out, runErr = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(timeout):
+				cmd.Process.Kill()
+				<-done
+				t.Fatalf("examples/%s did not finish within %v", name, timeout)
+			}
+			if runErr != nil {
+				t.Fatalf("examples/%s exited with error: %v\n%s", name, runErr, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("examples/%s produced no output", name)
+			}
+		})
+	}
+}

@@ -16,6 +16,7 @@ package causal
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"time"
 
 	"repro/internal/sim"
@@ -229,13 +230,26 @@ func (n *Node) OnTimer(env sim.Env, tag any) {
 	if _, ok := tag.(retransmitTick); !ok {
 		return
 	}
-	for dest, writes := range n.unacked {
-		for _, w := range writes {
+	// Retransmit in sorted destination/id order: ranging the maps
+	// directly would interleave the sends differently on every run.
+	dests := make([]string, 0, len(n.unacked))
+	for dest := range n.unacked {
+		dests = append(dests, dest)
+	}
+	sort.Strings(dests)
+	for _, dest := range dests {
+		for _, w := range n.unacked[dest] {
 			env.Send(dest, w)
 			n.Retransmits++
 		}
 	}
-	for id, oc := range n.checksOut {
+	ids := make([]uint64, 0, len(n.checksOut))
+	for id := range n.checksOut {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		oc := n.checksOut[id]
 		env.Send(oc.owner, depCheck{ID: id, Dep: oc.dep})
 		n.Retransmits++
 	}

@@ -1,6 +1,7 @@
 package causal
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/sim"
@@ -146,6 +147,7 @@ func (c *Client) currentDeps() []Dep {
 	for k, v := range c.deps {
 		out = append(out, Dep{Key: k, Ver: v})
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out
 }
 
@@ -217,7 +219,14 @@ func (c *Client) gtResponse(env sim.Env, id uint64, st *gtState, m cgetResp) {
 			}
 		}
 		st.round = 2
-		for k, v := range want {
+		// Sorted key order keeps the round-2 sends deterministic.
+		ks := make([]string, 0, len(want))
+		for k := range want {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		for _, k := range ks {
+			v := want[k]
 			if st.results[k].Ver.AtLeast(v) && st.results[k].OK {
 				continue
 			}

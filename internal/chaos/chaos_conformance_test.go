@@ -1,0 +1,147 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// conformanceSeeds is the seed set each (store, schedule) cell runs
+// under. Three seeds per cell keeps the matrix fast while giving the
+// nemesis enough rolls to hit interesting interleavings.
+var conformanceSeeds = []int64{1, 2, 3}
+
+// TestConformance is the cross-store conformance matrix: every core
+// store model under every nemesis schedule, asserting exactly the
+// consistency claims its taxonomy row makes. Strong and primary-backup
+// stores must stay linearizable through partitions, crashes, and
+// message pathologies; session and causal stores must keep their
+// per-client session guarantees; and everything must converge once the
+// nemesis stops.
+func TestConformance(t *testing.T) {
+	for _, spec := range CoreStores() {
+		spec := spec
+		for _, sched := range Schedules() {
+			sched := sched
+			t.Run(fmt.Sprintf("%s/%s", spec.Name, sched.Name), func(t *testing.T) {
+				t.Parallel()
+				for _, seed := range conformanceSeeds {
+					rep := Conformance(spec, sched, seed, RecordConfig{})
+					t.Logf("%s", rep.String())
+					if rep.Stats.Invoked == 0 {
+						t.Fatalf("seed %d: no operations invoked", seed)
+					}
+					if sched.Faults != nil && len(rep.Events) == 0 {
+						t.Errorf("seed %d: storm schedule produced no nemesis events", seed)
+					}
+					if !rep.Converged {
+						t.Errorf("seed %d: replicas did not converge after heal: %s",
+							seed, rep.Disagreement)
+					}
+					if spec.Linearizable && !rep.Linearizable {
+						t.Errorf("seed %d: store claims linearizability but history violates it",
+							seed)
+					}
+					if spec.Monotonic && !rep.Monotonic {
+						t.Errorf("seed %d: store claims session guarantees but a client saw "+
+							"non-monotonic reads", seed)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCheckerHasTeeth asserts the planted violation: the eventual
+// store makes no ordering promises, and under schedules that split or
+// degrade the network its recorded histories must actually violate
+// check.Linearizable on at least one seed. If this test fails, the
+// harness is vacuous — either the nemesis is not biting or the checker
+// is accepting everything. Crash-only storms are excluded: killing
+// replicas without splitting the network leaves anti-entropy intact,
+// so even the eventual store often looks clean there.
+func TestCheckerHasTeeth(t *testing.T) {
+	var spec StoreSpec
+	for _, s := range CoreStores() {
+		if s.ExpectNonLinearizable {
+			spec = s
+			break
+		}
+	}
+	if spec.Name == "" {
+		t.Fatal("no store is marked ExpectNonLinearizable")
+	}
+	for _, sched := range Schedules() {
+		if sched.Name == "crashes" {
+			continue
+		}
+		sched := sched
+		t.Run(fmt.Sprintf("%s/%s", spec.Name, sched.Name), func(t *testing.T) {
+			t.Parallel()
+			violations := 0
+			for _, seed := range conformanceSeeds {
+				rep := Conformance(spec, sched, seed, RecordConfig{})
+				t.Logf("%s", rep.String())
+				if !rep.Linearizable {
+					violations++
+				}
+			}
+			if violations == 0 {
+				t.Errorf("%s produced no linearizability violations under %s across seeds %v; "+
+					"the checker has lost its teeth", spec.Name, sched.Name, conformanceSeeds)
+			}
+		})
+	}
+}
+
+// TestConformanceCRDT asserts strong eventual consistency for both
+// crdtstore flavors under every schedule: replicas accept concurrent
+// Add/Remove/Inc traffic while the nemesis rages, and all five must
+// hold identical state after heal.
+func TestConformanceCRDT(t *testing.T) {
+	for _, opBased := range []bool{false, true} {
+		opBased := opBased
+		name := "crdt-state"
+		if opBased {
+			name = "crdt-op"
+		}
+		for _, sched := range Schedules() {
+			sched := sched
+			t.Run(fmt.Sprintf("%s/%s", name, sched.Name), func(t *testing.T) {
+				t.Parallel()
+				for _, seed := range conformanceSeeds {
+					rep := CRDTConformance(opBased, sched, seed, 60)
+					t.Logf("%s", rep.String())
+					if rep.Ops == 0 {
+						t.Fatalf("seed %d: no operations issued", seed)
+					}
+					if !rep.Converged {
+						t.Errorf("seed %d: replicas diverged after heal: %s",
+							seed, rep.Disagreement)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceDeterministic asserts a conformance run is a pure
+// function of its seed: same store, schedule, and seed must reproduce
+// the identical history, verdicts, and nemesis event log.
+func TestConformanceDeterministic(t *testing.T) {
+	spec := CoreStores()[0]
+	sched := Schedules()[3] // mixed: partitions + crashes + flaky ramps
+	a := Conformance(spec, sched, 42, RecordConfig{})
+	b := Conformance(spec, sched, 42, RecordConfig{})
+	if fmt.Sprintf("%+v", a.History) != fmt.Sprintf("%+v", b.History) {
+		t.Error("histories differ across identical runs")
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("stats differ: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if fmt.Sprintf("%v", a.Events) != fmt.Sprintf("%v", b.Events) {
+		t.Error("nemesis event logs differ across identical runs")
+	}
+	if a.Linearizable != b.Linearizable || a.Monotonic != b.Monotonic || a.Converged != b.Converged {
+		t.Error("verdicts differ across identical runs")
+	}
+}

@@ -1,0 +1,286 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Schedule is a named nemesis configuration: an optional constant
+// background of network pathologies plus a storm of structural faults.
+type Schedule struct {
+	Name string
+	// Background pathologies run from storm start to storm end.
+	Background FlakyConfig
+	// Faults builds the storm's fault menu; it may reference the run's
+	// Flaky decorator for ramped pathologies. Nil means no storm (the
+	// background alone is the nemesis).
+	Faults func(f *Flaky) []Fault
+	// Period and FaultDuration pace the storm's inject/recover cycles.
+	Period, FaultDuration time.Duration
+}
+
+// Schedules returns the standard nemesis menu every store must survive:
+// clean-network partition storms, crash storms, a flaky network (loss,
+// duplication, reordering) with no structural faults, and all of it at
+// once.
+func Schedules() []Schedule {
+	return []Schedule{
+		{
+			Name: "partitions",
+			Faults: func(*Flaky) []Fault {
+				return []Fault{PartitionHalves(), IsolateOne(), PartitionRing(), PartitionBridge()}
+			},
+			Period: 6 * time.Second, FaultDuration: 3500 * time.Millisecond,
+		},
+		{
+			Name: "crashes",
+			Faults: func(*Flaky) []Fault {
+				return []Fault{CrashOne(), CrashMinority()}
+			},
+			Period: 6 * time.Second, FaultDuration: 3500 * time.Millisecond,
+		},
+		{
+			Name:       "flaky",
+			Background: FlakyConfig{Loss: 0.10, Duplicate: 0.10, Reorder: 0.25},
+		},
+		{
+			Name:       "mixed",
+			Background: FlakyConfig{Loss: 0.05, Duplicate: 0.05, Reorder: 0.10},
+			Faults: func(f *Flaky) []Fault {
+				return []Fault{
+					PartitionHalves(), IsolateOne(), PartitionBridge(), CrashMinority(),
+					FlakyFault(f,
+						FlakyConfig{Loss: 0.25, Duplicate: 0.10, Reorder: 0.30},
+						FlakyConfig{Loss: 0.05, Duplicate: 0.05, Reorder: 0.10}),
+				}
+			},
+			Period: 6 * time.Second, FaultDuration: 3500 * time.Millisecond,
+		},
+	}
+}
+
+// StoreSpec names a store implementation, how to build it, and the
+// consistency claims its taxonomy row makes (what the conformance suite
+// asserts under every schedule).
+type StoreSpec struct {
+	Name  string
+	Build func(seed int64, latency sim.LatencyModel) System
+	// Linearizable asserts check.Linearizable on every recorded history.
+	Linearizable bool
+	// Monotonic asserts check.MonotonicPerClient (the session-guarantee
+	// floor: monotonic reads + read-your-writes per client).
+	Monotonic bool
+	// ExpectNonLinearizable marks stores whose histories must violate
+	// linearizability on at least one schedule — the planted violation
+	// proving the checker has teeth.
+	ExpectNonLinearizable bool
+}
+
+// coreSpec builds a StoreSpec over a core model with chaos-suite sizing.
+func coreSpec(m core.Model, claim func(*StoreSpec)) StoreSpec {
+	s := StoreSpec{
+		Name: m.String(),
+		Build: func(seed int64, latency sim.LatencyModel) System {
+			opts := core.Options{
+				Nodes:               5,
+				Seed:                seed,
+				Latency:             latency,
+				AntiEntropyInterval: 200 * time.Millisecond,
+				ReadRepair:          true,
+			}
+			if m == core.Causal {
+				opts.Nodes = 3 // DCs (×2 shards each)
+			}
+			return CoreSystem(m, opts)
+		},
+	}
+	claim(&s)
+	return s
+}
+
+// CoreStores returns the conformance registry for every core model,
+// with the consistency claim the tutorial's taxonomy assigns each one.
+func CoreStores() []StoreSpec {
+	return []StoreSpec{
+		coreSpec(core.Eventual, func(s *StoreSpec) { s.ExpectNonLinearizable = true }),
+		coreSpec(core.Session, func(s *StoreSpec) { s.Monotonic = true }),
+		coreSpec(core.Causal, func(s *StoreSpec) { s.Monotonic = true }),
+		coreSpec(core.Quorum, func(s *StoreSpec) {}),
+		coreSpec(core.PrimaryAsync, func(s *StoreSpec) { s.Linearizable = true; s.Monotonic = true }),
+		coreSpec(core.PrimarySync, func(s *StoreSpec) { s.Linearizable = true; s.Monotonic = true }),
+		coreSpec(core.Strong, func(s *StoreSpec) { s.Linearizable = true; s.Monotonic = true }),
+	}
+}
+
+// Report is the verdict of one store under one schedule.
+type Report struct {
+	Store    string
+	Schedule string
+	Seed     int64
+
+	History check.History
+	Stats   RecordStats
+	Events  []Event
+
+	// Linearizable and Monotonic are the checker verdicts on the
+	// recorded history (computed for every store, asserted per claim).
+	Linearizable bool
+	Monotonic    bool
+
+	// Converged reports whether, after Stop and settling, every replica
+	// viewpoint agreed on every key; Disagreement describes the first
+	// failure otherwise.
+	Converged    bool
+	Disagreement string
+}
+
+// String summarizes the report in one line.
+func (r Report) String() string {
+	return fmt.Sprintf("%s/%s seed=%d ops=%d(ok=%d failed=%d timeout=%d) lin=%v mono=%v converged=%v",
+		r.Store, r.Schedule, r.Seed, r.Stats.Invoked, r.Stats.OK, r.Stats.Failed, r.Stats.TimedOut,
+		r.Linearizable, r.Monotonic, r.Converged)
+}
+
+// Conformance timing: the storm rages while the workload runs, then the
+// nemesis stops and the store gets a quiet window to converge before
+// the final cross-replica reads.
+const (
+	stormStart    = 3 * time.Second
+	stormEnd      = 30 * time.Second
+	settleWindow  = 15 * time.Second
+	convergeTries = 3
+)
+
+// Conformance runs one store under one nemesis schedule: build the
+// system on a Flaky-wrapped network, let the storm rage while recording
+// a client history, stop the nemesis, wait for convergence, and check
+// the history against every model.
+func Conformance(spec StoreSpec, sched Schedule, seed int64, rc RecordConfig) Report {
+	flaky := NewFlaky(nil, FlakyConfig{})
+	sys := spec.Build(seed, flaky)
+	sc := sys.Sim()
+	flaky.Restrict(sys.StorageNodes())
+
+	nem := installNemesis(sc, sys.StorageNodes(), flaky, sched, seed)
+
+	rec := Record(sys, rc)
+	sc.Run(stormEnd + settleWindow)
+
+	rep := Report{Store: spec.Name, Schedule: sched.Name, Seed: seed}
+	rep.Converged, rep.Disagreement = awaitConvergence(sys, rec.History.Keys())
+
+	rep.History = rec.History
+	rep.Stats = rec.Stats
+	rep.Events = nem.Events
+	rep.Linearizable = check.Linearizable(rec.History)
+	rep.Monotonic = check.MonotonicPerClient(rec.History, VersionOf)
+	return rep
+}
+
+// installNemesis wires a schedule's background pathologies and storm
+// onto a cluster, deterministically from the seed and schedule name.
+func installNemesis(sc *sim.Cluster, nodes []string, flaky *Flaky, sched Schedule, seed int64) *Nemesis {
+	nem := NewNemesis(sc, nodes, seed*2654435761+int64(len(sched.Name)))
+	var faults []Fault
+	if sched.Faults != nil {
+		faults = sched.Faults(flaky)
+	}
+	if sched.Background.enabled() {
+		sc.At(stormStart, func() { flaky.SetConfig(sched.Background) })
+		sc.At(stormEnd, func() { flaky.SetConfig(FlakyConfig{}) })
+	}
+	nem.Schedule(Storm{
+		Start:         stormStart,
+		Period:        sched.Period,
+		FaultDuration: sched.FaultDuration,
+		End:           stormEnd,
+		Faults:        faults,
+	})
+	return nem
+}
+
+// awaitConvergence reads every key from every replica viewpoint,
+// retrying a few settle windows, until all viewpoints agree (reads that
+// error count as disagreement — a healed store must serve).
+func awaitConvergence(sys System, keys []string) (bool, string) {
+	sc := sys.Sim()
+	views := sys.Views()
+	for try := 0; try < convergeTries; try++ {
+		disagreement := convergenceRound(sc, views, keys)
+		if disagreement == "" {
+			return true, ""
+		}
+		if try == convergeTries-1 {
+			return false, disagreement
+		}
+		sc.Run(sc.Now() + settleWindow)
+	}
+	return false, "unreachable"
+}
+
+// convergenceRound issues one read per (view, key) and compares
+// observations; it returns "" on agreement.
+func convergenceRound(sc *sim.Cluster, views []Client, keys []string) string {
+	type obs struct {
+		value string
+		ok    bool
+		err   error
+		got   bool
+	}
+	results := make([][]obs, len(views))
+	for i := range results {
+		results[i] = make([]obs, len(keys))
+	}
+	start := sc.Now() + 10*time.Millisecond
+	for vi, v := range views {
+		vi, v := vi, v
+		sc.At(start, func() {
+			for ki, key := range keys {
+				ki, key := ki, key
+				v.Get(key, func(value string, ok bool, err error) {
+					results[vi][ki] = obs{value: value, ok: ok, err: err, got: true}
+				})
+			}
+		})
+	}
+	sc.Run(start + 10*time.Second)
+	for ki, key := range keys {
+		ref := results[0][ki]
+		for vi := range views {
+			o := results[vi][ki]
+			if !o.got {
+				return fmt.Sprintf("key %s: view %d read never completed", key, vi)
+			}
+			if o.err != nil {
+				return fmt.Sprintf("key %s: view %d read failed: %v", key, vi, o.err)
+			}
+			if o.ok != ref.ok || o.value != ref.value {
+				return fmt.Sprintf("key %s: view %d saw (%q,%v), view 0 saw (%q,%v)",
+					key, vi, o.value, o.ok, ref.value, ref.ok)
+			}
+		}
+	}
+	return ""
+}
+
+// canonical joins multi-value (sibling) reads into one deterministic
+// observation: a linearizable register never exposes two values, so a
+// joined observation both records the anomaly and compares stably.
+func canonical(values []string) (string, bool) {
+	switch len(values) {
+	case 0:
+		return "", false
+	case 1:
+		return values[0], true
+	default:
+		vs := append([]string(nil), values...)
+		sort.Strings(vs)
+		return strings.Join(vs, "|"), true
+	}
+}

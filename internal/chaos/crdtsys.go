@@ -1,0 +1,164 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/crdtstore"
+	"repro/internal/sim"
+)
+
+// CRDTReport is the verdict of a CRDT store under one schedule. CRDTs
+// make no register claims; their taxonomy row promises strong eventual
+// consistency, so the only verdict is convergence: after the nemesis
+// stops, every replica must hold identical state.
+type CRDTReport struct {
+	Store    string
+	Schedule string
+	Seed     int64
+
+	Ops    int // operations issued (some land on crashed replicas and are skipped)
+	Events []Event
+
+	Converged    bool
+	Disagreement string
+}
+
+// String summarizes the report in one line.
+func (r CRDTReport) String() string {
+	return fmt.Sprintf("%s/%s seed=%d ops=%d converged=%v",
+		r.Store, r.Schedule, r.Seed, r.Ops, r.Converged)
+}
+
+// crdtReplica abstracts the two crdtstore flavors for the harness.
+type crdtReplica interface {
+	Add(env sim.Env, v string)
+	Remove(env sim.Env, v string)
+	Inc(env sim.Env, d int64)
+	Elements() []string
+	Counter() int64
+	Pending() int
+}
+
+type stateReplica struct{ n *crdtstore.StateNode }
+
+func (r stateReplica) Add(_ sim.Env, v string)    { r.n.Add(v) }
+func (r stateReplica) Remove(_ sim.Env, v string) { r.n.Remove(v) }
+func (r stateReplica) Inc(_ sim.Env, d int64) {
+	if d >= 0 {
+		r.n.Inc(uint64(d))
+	} else {
+		r.n.Dec(uint64(-d))
+	}
+}
+func (r stateReplica) Elements() []string { return r.n.Elements() }
+func (r stateReplica) Counter() int64     { return r.n.Counter() }
+func (r stateReplica) Pending() int       { return 0 }
+
+type opReplica struct{ n *crdtstore.OpNode }
+
+func (r opReplica) Add(env sim.Env, v string)    { r.n.Add(env, v) }
+func (r opReplica) Remove(env sim.Env, v string) { r.n.Remove(env, v) }
+func (r opReplica) Inc(env sim.Env, d int64)     { r.n.Inc(env, d) }
+func (r opReplica) Elements() []string           { return r.n.Elements() }
+func (r opReplica) Counter() int64               { return r.n.Counter() }
+func (r opReplica) Pending() int                 { return r.n.Pending() }
+
+// CRDTConformance runs a replicated CRDT store (state-based if opBased
+// is false) under a nemesis schedule: random Add/Remove/Inc traffic at
+// every replica while faults rage, then a convergence verdict after
+// heal.
+func CRDTConformance(opBased bool, sched Schedule, seed int64, ops int) CRDTReport {
+	const nNodes = 5
+	flaky := NewFlaky(nil, FlakyConfig{})
+	sc := sim.New(sim.Config{Seed: seed, Latency: flaky})
+
+	ids := make([]string, nNodes)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("crdt%d", i)
+	}
+	name := "crdt-state"
+	if opBased {
+		name = "crdt-op"
+	}
+	replicas := make([]crdtReplica, nNodes)
+	for i, id := range ids {
+		peers := make([]string, 0, nNodes-1)
+		for _, p := range ids {
+			if p != id {
+				peers = append(peers, p)
+			}
+		}
+		if opBased {
+			n := crdtstore.NewOpNode(id, peers, 150*time.Millisecond)
+			replicas[i] = opReplica{n}
+			sc.AddNode(id, n)
+		} else {
+			n := crdtstore.NewStateNode(id, peers, 150*time.Millisecond)
+			replicas[i] = stateReplica{n}
+			sc.AddNode(id, n)
+		}
+	}
+	flaky.Restrict(ids)
+	nem := installNemesis(sc, ids, flaky, sched, seed)
+
+	rep := CRDTReport{Store: name, Schedule: sched.Name, Seed: seed}
+
+	// Random traffic at every replica while the storm rages. Ops against
+	// a crashed replica are skipped (a down node takes no requests).
+	elements := []string{"a", "b", "c", "d", "e", "f"}
+	for i := 0; i < ops; i++ {
+		i := i
+		at := 2*time.Second + time.Duration(i)*120*time.Millisecond
+		sc.At(at, func() {
+			r := sc.Rand()
+			ni := r.Intn(nNodes)
+			if !sc.Up(ids[ni]) {
+				return
+			}
+			env := sc.ClientEnv(ids[ni])
+			rep.Ops++
+			switch r.Intn(4) {
+			case 0, 1:
+				replicas[ni].Add(env, elements[r.Intn(len(elements))])
+			case 2:
+				replicas[ni].Remove(env, elements[r.Intn(len(elements))])
+			case 3:
+				replicas[ni].Inc(env, int64(1+r.Intn(5)))
+			}
+		})
+	}
+
+	sc.Run(stormEnd + settleWindow)
+	for try := 0; try < convergeTries; try++ {
+		rep.Disagreement = crdtDisagreement(replicas)
+		if rep.Disagreement == "" {
+			rep.Converged = true
+			break
+		}
+		sc.Run(sc.Now() + settleWindow)
+	}
+	rep.Events = nem.Events
+	return rep
+}
+
+// crdtDisagreement compares all replica states; "" means identical.
+func crdtDisagreement(replicas []crdtReplica) string {
+	view := func(r crdtReplica) string {
+		es := append([]string(nil), r.Elements()...)
+		sort.Strings(es)
+		return fmt.Sprintf("set={%s} counter=%d", strings.Join(es, ","), r.Counter())
+	}
+	ref := view(replicas[0])
+	for i, r := range replicas {
+		if v := view(r); v != ref {
+			return fmt.Sprintf("replica %d: %s, replica 0: %s", i, v, ref)
+		}
+		if p := r.Pending(); p != 0 {
+			return fmt.Sprintf("replica %d still has %d ops awaiting causal delivery", i, p)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,24 @@
+// Package chaos is the repository's Jepsen-in-a-box: a composable
+// nemesis that injects fault schedules into a simulated cluster, a
+// generic history-recording driver that runs any store implementation
+// under a workload mix, and a conformance harness that checks each
+// store's recorded histories against the consistency model its row in
+// the tutorial's taxonomy claims.
+//
+// The pieces compose the existing substrate rather than replace it:
+// faults are sim.Cluster primitives (Partition, BlockLink, Crash,
+// Restart, latency decorators), histories are check.History values, and
+// workloads come from workload.Mix. What the package adds is the
+// systematic composition — randomized-but-deterministic fault schedules
+// driven from the cluster seed, applied uniformly to every store — and
+// the verdicts: the Paxos store must stay linearizable through
+// partitions and crash storms, session and causal stores must keep
+// their per-client guarantees, CRDT replicas must converge to identical
+// state after Heal, and the eventual store must be *caught* violating
+// linearizability (a checker that never finds the planted violation is
+// vacuous).
+//
+// Entry points: Conformance (build → fault → record → check one store
+// under one schedule), Schedules (the standard nemesis menu), and
+// experiments.E11 (violation rate versus fault intensity).
+package chaos

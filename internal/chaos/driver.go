@@ -1,0 +1,311 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Client is the minimal register-store surface the driver needs: an
+// asynchronous single-key read/write client whose operations complete
+// through callbacks as the simulation runs.
+type Client interface {
+	ID() string
+	// Get reads key. ok=false means not found; err means the store
+	// reported failure.
+	Get(key string, cb func(value string, ok bool, err error))
+	// Put writes key=value; err means the store reported failure (the
+	// write may still have partially applied).
+	Put(key, value string, cb func(err error))
+}
+
+// System adapts one store implementation to the harness: it owns a
+// simulated cluster, names the storage nodes the nemesis may break, and
+// hands out clients.
+type System interface {
+	Name() string
+	Sim() *sim.Cluster
+	// StorageNodes are the nemesis targets.
+	StorageNodes() []string
+	// Client returns the i-th workload client, creating it on first use.
+	// Implementations spread clients across the topology (pinning or
+	// homing them to distinct replicas/DCs) so different i observe
+	// different views.
+	Client(i int) Client
+	// Views returns one client per distinct replica viewpoint, for
+	// convergence reads after heal.
+	Views() []Client
+}
+
+// coreClient adapts core.Client to the driver's Client interface.
+type coreClient struct {
+	id string
+	cl *core.Client
+}
+
+func (c *coreClient) ID() string { return c.id }
+
+func (c *coreClient) Get(key string, cb func(string, bool, error)) {
+	c.cl.Get(key, func(r core.GetResult) {
+		if r.Err != nil {
+			cb("", false, r.Err)
+			return
+		}
+		values := make([]string, len(r.Values))
+		for i, v := range r.Values {
+			values[i] = string(v)
+		}
+		v, ok := canonical(values)
+		cb(v, ok, nil)
+	})
+}
+
+func (c *coreClient) Put(key, value string, cb func(error)) {
+	c.cl.Put(key, []byte(value), func(r core.PutResult) { cb(r.Err) })
+}
+
+// coreSystem adapts a core.Cluster (any Model) to the harness.
+type coreSystem struct {
+	name    string
+	c       *core.Cluster
+	opts    core.Options
+	clients map[int]Client
+	views   []Client
+}
+
+// CoreSystem builds a core cluster with the given model and options and
+// wraps it for the harness. Workload clients are pinned round-robin to
+// storage nodes (or homed round-robin across DCs for the Causal model)
+// so the nemesis's splits put clients on different sides.
+func CoreSystem(m core.Model, opts core.Options) System {
+	opts.Model = m
+	c := core.New(opts)
+	return &coreSystem{
+		name:    m.String(),
+		c:       c,
+		opts:    opts,
+		clients: make(map[int]Client),
+	}
+}
+
+func (s *coreSystem) Name() string           { return s.name }
+func (s *coreSystem) Sim() *sim.Cluster      { return s.c.Sim() }
+func (s *coreSystem) StorageNodes() []string { return s.c.Nodes() }
+
+// newClient registers a client pinned/homed to viewpoint slot.
+func (s *coreSystem) newClient(id string, slot int) Client {
+	var cl *core.Client
+	if s.opts.Model == core.Causal {
+		// Nodes = number of DCs for Causal; home clients round-robin.
+		dcs := s.opts.Nodes
+		if dcs <= 0 {
+			dcs = 5
+		}
+		cl = s.c.NewClientIn(id, fmt.Sprintf("dc%d", slot%dcs))
+	} else {
+		cl = s.c.NewClient(id)
+		nodes := s.c.Nodes()
+		cl.Prefer(nodes[slot%len(nodes)])
+	}
+	return &coreClient{id: id, cl: cl}
+}
+
+func (s *coreSystem) Client(i int) Client {
+	if cl, ok := s.clients[i]; ok {
+		return cl
+	}
+	cl := s.newClient(fmt.Sprintf("chaos-cl%d", i), i)
+	s.clients[i] = cl
+	return cl
+}
+
+func (s *coreSystem) Views() []Client {
+	if s.views != nil {
+		return s.views
+	}
+	n := len(s.c.Nodes())
+	if s.opts.Model == core.Causal {
+		n = s.opts.Nodes // one view per DC
+	}
+	for i := 0; i < n; i++ {
+		s.views = append(s.views, s.newClient(fmt.Sprintf("chaos-view%d", i), i))
+	}
+	return s.views
+}
+
+// RecordConfig shapes the recorded workload.
+type RecordConfig struct {
+	// Clients and OpsPerClient size the history (keep per-key histories
+	// within the checker's search budget).
+	Clients      int
+	OpsPerClient int
+	// Mix chooses keys (for reads) and read/write kinds for each
+	// operation; write values are replaced by globally unique,
+	// monotonically numbered strings so the checkers can reconstruct
+	// version orders.
+	Mix func() *workload.Mix
+	// Start is when clients begin issuing (after elections settle).
+	Start time.Duration
+	// Gap paces successive operations of one client.
+	Gap time.Duration
+	// Stagger offsets client start times (client i begins at
+	// Start + i*Stagger). Small staggers interleave clients tightly —
+	// ops land within a replication round of each other, surfacing
+	// propagation-lag anomalies even on a clean network; staggers above
+	// the propagation delay isolate fault-induced anomalies instead.
+	Stagger time.Duration
+	// OpTimeout bounds one operation: on expiry a write is recorded as
+	// indeterminate (check.Op.Maybe) and a read is discarded, and the
+	// client moves on.
+	OpTimeout time.Duration
+}
+
+func (c RecordConfig) withDefaults() RecordConfig {
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.OpsPerClient <= 0 {
+		c.OpsPerClient = 7
+	}
+	if c.Mix == nil {
+		keys := c.Clients
+		c.Mix = func() *workload.Mix {
+			return &workload.Mix{ReadFraction: 0.6, Keys: workload.NewUniform(keys), KeyPrefix: "k"}
+		}
+	}
+	if c.Start <= 0 {
+		c.Start = 2 * time.Second
+	}
+	if c.Gap <= 0 {
+		c.Gap = 1200 * time.Millisecond
+	}
+	if c.Stagger <= 0 {
+		c.Stagger = 7 * time.Millisecond
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = 3 * time.Second
+	}
+	return c
+}
+
+// RecordStats counts operation outcomes during recording.
+type RecordStats struct {
+	Invoked  int
+	OK       int
+	Failed   int // store returned an error
+	TimedOut int // driver timeout fired (store never answered)
+}
+
+// Recorder drives clients through the workload and accumulates the
+// history. Schedule it with Start on a built system, run the cluster,
+// then read History.
+type Recorder struct {
+	History check.History
+	Stats   RecordStats
+	vseq    int
+}
+
+// Record wires cfg.Clients concurrent sessions to the system and
+// schedules their operation loops. Call before running the cluster; the
+// history is complete once the cluster has run past the workload.
+func Record(sys System, cfg RecordConfig) *Recorder {
+	cfg = cfg.withDefaults()
+	rec := &Recorder{}
+	sc := sys.Sim()
+	for i := 0; i < cfg.Clients; i++ {
+		cl := sys.Client(i)
+		mix := cfg.Mix()
+		var step func(j int)
+		step = func(j int) {
+			if j >= cfg.OpsPerClient {
+				return
+			}
+			op := mix.Next(sc.Rand())
+			start := sc.Now()
+			rec.Stats.Invoked++
+			done := false
+			var val string
+			if op.Kind == workload.OpWrite {
+				// Single-writer-per-key: client i owns key k<i>. Reads roam
+				// across all keys (per the mix), so every client observes
+				// every writer, but each key's version order is one
+				// client's program order — the only order under which
+				// MonotonicPerClient's numbered versions are sound.
+				op.Key = fmt.Sprintf("k%d", i)
+				rec.vseq++
+				val = strconv.Itoa(rec.vseq)
+			}
+			next := func() { sc.After(cfg.Gap, func() { step(j + 1) }) }
+			if op.Kind == workload.OpRead {
+				cl.Get(op.Key, func(v string, ok bool, err error) {
+					if done {
+						return
+					}
+					done = true
+					if err == nil {
+						rec.Stats.OK++
+						rec.History = append(rec.History, check.Op{
+							Kind: check.Read, Key: op.Key, Value: v, OK: ok,
+							Start: start, End: sc.Now(), Client: cl.ID(),
+						})
+					} else {
+						rec.Stats.Failed++
+					}
+					next()
+				})
+			} else {
+				cl.Put(op.Key, val, func(err error) {
+					if done {
+						return
+					}
+					done = true
+					w := check.Op{
+						Kind: check.Write, Key: op.Key, Value: val, OK: true,
+						Start: start, End: sc.Now(), Client: cl.ID(),
+					}
+					if err == nil {
+						rec.Stats.OK++
+					} else {
+						// The store refused, but the write may have reached
+						// some replicas: indeterminate.
+						rec.Stats.Failed++
+						w.Maybe = true
+					}
+					rec.History = append(rec.History, w)
+					next()
+				})
+			}
+			sc.After(cfg.OpTimeout, func() {
+				if done {
+					return
+				}
+				done = true
+				rec.Stats.TimedOut++
+				if op.Kind == workload.OpWrite {
+					rec.History = append(rec.History, check.Op{
+						Kind: check.Write, Key: op.Key, Value: val, OK: false,
+						Start: start, End: sc.Now(), Client: cl.ID(), Maybe: true,
+					})
+				}
+				step(j + 1)
+			})
+		}
+		sc.At(cfg.Start+time.Duration(i)*cfg.Stagger, func() { step(0) })
+	}
+	return rec
+}
+
+// VersionOf parses the driver's numbered write values for
+// check.MonotonicPerClient; unknown values map to 0.
+func VersionOf(value string) int {
+	v, err := strconv.Atoi(value)
+	if err != nil {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,138 @@
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// FlakyConfig sets the intensity of network pathologies injected by a
+// Flaky decorator. The zero value injects nothing.
+type FlakyConfig struct {
+	// Loss is the per-message drop probability.
+	Loss float64
+	// Duplicate is the per-message duplication probability; a duplicated
+	// message may itself be duplicated again (geometric, capped).
+	Duplicate float64
+	// Reorder is the probability a message is held back by an extra
+	// delay of up to ReorderDelay, letting later messages overtake it.
+	Reorder float64
+	// ReorderDelay bounds the extra hold-back delay (default 50ms).
+	ReorderDelay time.Duration
+}
+
+// enabled reports whether the config injects any pathology at all.
+func (c FlakyConfig) enabled() bool {
+	return c.Loss > 0 || c.Duplicate > 0 || c.Reorder > 0
+}
+
+// Flaky decorates a base latency model with message loss, duplication,
+// and reordering — the message pathologies a store must tolerate beyond
+// clean partitions. It implements both sim.LatencyModel and
+// sim.Duplicator, and its intensity can be changed mid-run (the nemesis
+// ramps it), so install it at cluster construction and drive it from
+// scheduled callbacks.
+type Flaky struct {
+	base sim.LatencyModel
+
+	mu    sync.Mutex
+	cfg   FlakyConfig
+	only  map[string]bool // restrict to links between these nodes; nil = all
+	drops uint64          // messages dropped by this decorator
+}
+
+// NewFlaky wraps base (nil means sim.DefaultLatency) with cfg.
+func NewFlaky(base sim.LatencyModel, cfg FlakyConfig) *Flaky {
+	if base == nil {
+		base = sim.DefaultLatency
+	}
+	if cfg.ReorderDelay <= 0 {
+		cfg.ReorderDelay = 50 * time.Millisecond
+	}
+	return &Flaky{base: base, cfg: cfg}
+}
+
+// Restrict limits the pathologies to links whose endpoints are both in
+// nodes (the replication paths); client links stay clean. Pass nil to
+// clear the restriction.
+func (f *Flaky) Restrict(nodes []string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if nodes == nil {
+		f.only = nil
+		return
+	}
+	f.only = make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		f.only[n] = true
+	}
+}
+
+// SetConfig swaps the injection intensity (0 disables).
+func (f *Flaky) SetConfig(cfg FlakyConfig) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if cfg.ReorderDelay <= 0 {
+		cfg.ReorderDelay = f.cfg.ReorderDelay
+	}
+	f.cfg = cfg
+}
+
+// Config returns the current injection intensity.
+func (f *Flaky) Config() FlakyConfig {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cfg
+}
+
+// Drops returns how many messages this decorator has dropped.
+func (f *Flaky) Drops() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.drops
+}
+
+// applies reports whether pathologies apply to the from->to link.
+func (f *Flaky) applies(from, to string) bool {
+	if !f.cfg.enabled() {
+		return false
+	}
+	if f.only == nil {
+		return true
+	}
+	return f.only[from] && f.only[to]
+}
+
+// Sample implements sim.LatencyModel.
+func (f *Flaky) Sample(from, to string, r *rand.Rand) (time.Duration, bool) {
+	d, ok := f.base.Sample(from, to, r)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !ok || !f.applies(from, to) {
+		return d, ok
+	}
+	if f.cfg.Loss > 0 && r.Float64() < f.cfg.Loss {
+		f.drops++
+		return 0, false
+	}
+	if f.cfg.Reorder > 0 && r.Float64() < f.cfg.Reorder {
+		d += time.Duration(r.Int63n(int64(f.cfg.ReorderDelay) + 1))
+	}
+	return d, true
+}
+
+// Copies implements sim.Duplicator.
+func (f *Flaky) Copies(from, to string, r *rand.Rand) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.applies(from, to) || f.cfg.Duplicate <= 0 {
+		return 1
+	}
+	n := 1
+	for n < 4 && r.Float64() < f.cfg.Duplicate {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,273 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Fault is one nemesis action: Inject breaks something, Recover undoes
+// it. Both run as scheduled simulator callbacks; random choices inside
+// them draw from the nemesis's seeded source, so a schedule is a pure
+// function of the cluster seed.
+type Fault struct {
+	Name string
+	// Inject applies the fault. It returns a description of what was
+	// chosen (which nodes, which split) for the event log.
+	Inject func(n *Nemesis) string
+	// Recover undoes the fault. Nil means Recover is the generic
+	// heal-and-restart.
+	Recover func(n *Nemesis)
+}
+
+// Event is one entry in the nemesis's fault log.
+type Event struct {
+	At     time.Duration
+	Action string
+}
+
+// Nemesis composes fault actions over a simulated cluster: Jepsen's
+// nemesis process, transplanted into the deterministic simulator. It
+// targets only the given storage nodes; clients fend for themselves
+// (they are partitioned with whichever side they land on).
+type Nemesis struct {
+	c     *sim.Cluster
+	nodes []string
+	rng   *rand.Rand
+
+	down   map[string]bool // nodes this nemesis crashed
+	active *Fault          // currently injected fault, if any
+
+	// Events logs every injection and recovery, for diagnostics and for
+	// asserting a schedule actually did something.
+	Events []Event
+}
+
+// NewNemesis builds a nemesis over the cluster's storage nodes. The
+// seed should derive from the cluster seed; the nemesis keeps its own
+// source so fault choices do not perturb workload randomness.
+func NewNemesis(c *sim.Cluster, nodes []string, seed int64) *Nemesis {
+	return &Nemesis{
+		c:     c,
+		nodes: append([]string(nil), nodes...),
+		rng:   rand.New(rand.NewSource(seed)),
+		down:  make(map[string]bool),
+	}
+}
+
+func (n *Nemesis) log(action string) {
+	n.Events = append(n.Events, Event{At: n.c.Now(), Action: action})
+}
+
+// shuffled returns the storage nodes in a fresh random order.
+func (n *Nemesis) shuffled() []string {
+	ids := append([]string(nil), n.nodes...)
+	n.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	return ids
+}
+
+// Inject applies f now (recovering any active fault first, so faults
+// never stack invisibly).
+func (n *Nemesis) Inject(f Fault) {
+	if n.active != nil {
+		n.Recover()
+	}
+	desc := f.Inject(n)
+	n.active = &f
+	n.log(fmt.Sprintf("inject %s: %s", f.Name, desc))
+}
+
+// Recover undoes the active fault (heal-and-restart unless the fault
+// brought its own recovery).
+func (n *Nemesis) Recover() {
+	if n.active == nil {
+		return
+	}
+	f := n.active
+	n.active = nil
+	if f.Recover != nil {
+		f.Recover(n)
+	} else {
+		n.healAndRestart()
+	}
+	n.log(fmt.Sprintf("recover %s", f.Name))
+}
+
+func (n *Nemesis) healAndRestart() {
+	n.c.Heal()
+	for id := range n.down {
+		n.c.Restart(id)
+		delete(n.down, id)
+	}
+}
+
+// Stop recovers any active fault and restores the cluster to full
+// health. Call it before checking convergence.
+func (n *Nemesis) Stop() {
+	n.Recover()
+	n.healAndRestart()
+	n.log("stop: healed")
+}
+
+// crash takes id down via the nemesis (tracked for later restart).
+func (n *Nemesis) crash(id string) {
+	if n.down[id] || !n.c.Up(id) {
+		return
+	}
+	n.c.Crash(id)
+	n.down[id] = true
+}
+
+// Storm schedules fault cycles: starting at Start, every Period a fault
+// drawn uniformly from Faults is injected and recovered FaultDuration
+// later, until End. A final Stop at End restores full health.
+type Storm struct {
+	Start         time.Duration
+	Period        time.Duration
+	FaultDuration time.Duration
+	End           time.Duration
+	Faults        []Fault
+}
+
+// Schedule installs the storm's callbacks on the cluster.
+func (n *Nemesis) Schedule(s Storm) {
+	if len(s.Faults) == 0 || s.Period <= 0 {
+		n.c.At(s.End, n.Stop)
+		return
+	}
+	for t := s.Start; t+s.FaultDuration <= s.End; t += s.Period {
+		n.c.At(t, func() {
+			n.Inject(s.Faults[n.rng.Intn(len(s.Faults))])
+		})
+		n.c.At(t+s.FaultDuration, n.Recover)
+	}
+	n.c.At(s.End, n.Stop)
+}
+
+// PartitionHalves splits the storage nodes into two random halves.
+// Unlisted nodes (clients) land with the first half.
+func PartitionHalves() Fault {
+	return Fault{
+		Name: "partition-halves",
+		Inject: func(n *Nemesis) string {
+			ids := n.shuffled()
+			half := len(ids) / 2
+			n.c.Partition(ids[half:], ids[:half])
+			return fmt.Sprintf("%v | %v", ids[half:], ids[:half])
+		},
+	}
+}
+
+// IsolateOne cuts one random node off from the rest of the cluster.
+func IsolateOne() Fault {
+	return Fault{
+		Name: "isolate-one",
+		Inject: func(n *Nemesis) string {
+			ids := n.shuffled()
+			victim := ids[0]
+			n.c.Partition(ids[1:], []string{victim})
+			return victim
+		},
+	}
+}
+
+// PartitionRing leaves each node able to talk only to its two ring
+// neighbours (in a random ring order): every node still reaches a
+// majority transitively, but no node sees a majority directly. Built
+// from directed link blocks, which disjoint partition groups cannot
+// express.
+func PartitionRing() Fault {
+	return Fault{
+		Name: "partition-ring",
+		Inject: func(n *Nemesis) string {
+			ids := n.shuffled()
+			k := len(ids)
+			adjacent := func(i, j int) bool {
+				d := (j - i + k) % k
+				return d == 1 || d == k-1
+			}
+			for i := 0; i < k; i++ {
+				for j := 0; j < k; j++ {
+					if i != j && !adjacent(i, j) {
+						n.c.BlockLink(ids[i], ids[j])
+					}
+				}
+			}
+			return fmt.Sprintf("ring %v", ids)
+		},
+	}
+}
+
+// PartitionBridge splits the nodes into two halves that can only
+// communicate through one bridge node which remains connected to both —
+// Jepsen's "bridge" topology, again needing link-level blocks.
+func PartitionBridge() Fault {
+	return Fault{
+		Name: "partition-bridge",
+		Inject: func(n *Nemesis) string {
+			ids := n.shuffled()
+			bridge := ids[0]
+			rest := ids[1:]
+			half := len(rest) / 2
+			a, b := rest[:half], rest[half:]
+			for _, x := range a {
+				for _, y := range b {
+					n.c.BlockLink(x, y)
+					n.c.BlockLink(y, x)
+				}
+			}
+			return fmt.Sprintf("%v =%s= %v", a, bridge, b)
+		},
+	}
+}
+
+// CrashMinority crashes a random minority of the storage nodes (at
+// least one, never a majority); recovery restarts them.
+func CrashMinority() Fault {
+	return Fault{
+		Name: "crash-minority",
+		Inject: func(n *Nemesis) string {
+			ids := n.shuffled()
+			max := (len(ids) - 1) / 2
+			if max < 1 {
+				max = 1
+			}
+			count := 1 + n.rng.Intn(max)
+			for _, id := range ids[:count] {
+				n.crash(id)
+			}
+			return fmt.Sprintf("%v", ids[:count])
+		},
+	}
+}
+
+// CrashOne crashes one random node; recovery restarts it.
+func CrashOne() Fault {
+	return Fault{
+		Name: "crash-one",
+		Inject: func(n *Nemesis) string {
+			victim := n.shuffled()[0]
+			n.crash(victim)
+			return victim
+		},
+	}
+}
+
+// FlakyFault ramps a Flaky decorator to cfg for the fault window and
+// back to after (the schedule's background intensity) on recovery. It
+// composes with the structural faults in the same storm.
+func FlakyFault(f *Flaky, cfg, after FlakyConfig) Fault {
+	return Fault{
+		Name: "flaky-net",
+		Inject: func(n *Nemesis) string {
+			f.SetConfig(cfg)
+			return fmt.Sprintf("loss=%.2f dup=%.2f reorder=%.2f", cfg.Loss, cfg.Duplicate, cfg.Reorder)
+		},
+		Recover: func(n *Nemesis) {
+			f.SetConfig(after)
+			n.healAndRestart()
+		},
+	}
+}

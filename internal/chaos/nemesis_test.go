@@ -1,0 +1,209 @@
+package chaos
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// inertNode is a Handler that does nothing; the nemesis tests exercise
+// cluster topology, not protocol behavior.
+type inertNode struct{}
+
+func (inertNode) OnStart(sim.Env)                        {}
+func (inertNode) OnMessage(sim.Env, string, sim.Message) {}
+func (inertNode) OnTimer(sim.Env, any)                   {}
+
+func testCluster(t *testing.T, n int) (*sim.Cluster, []string) {
+	t.Helper()
+	sc := sim.New(sim.Config{Seed: 1})
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = string(rune('a' + i))
+		sc.AddNode(ids[i], inertNode{})
+	}
+	return sc, ids
+}
+
+func TestPartitionRingTopology(t *testing.T) {
+	sc, ids := testCluster(t, 5)
+	nem := NewNemesis(sc, ids, 7)
+	nem.Inject(PartitionRing())
+
+	// Every node must reach exactly two others (its ring neighbours).
+	for _, a := range ids {
+		degree := 0
+		for _, b := range ids {
+			if a != b && sc.Reachable(a, b) {
+				degree++
+			}
+		}
+		if degree != 2 {
+			t.Errorf("node %s reaches %d nodes in ring, want 2", a, degree)
+		}
+	}
+	nem.Stop()
+	for _, a := range ids {
+		for _, b := range ids {
+			if !sc.Reachable(a, b) {
+				t.Fatalf("link %s->%s still blocked after Stop", a, b)
+			}
+		}
+	}
+}
+
+func TestPartitionBridgeTopology(t *testing.T) {
+	sc, ids := testCluster(t, 5)
+	nem := NewNemesis(sc, ids, 7)
+	nem.Inject(PartitionBridge())
+
+	// Exactly one node (the bridge) reaches everyone; every other node
+	// must have lost contact with at least one peer but still reach the
+	// bridge.
+	bridges := 0
+	for _, a := range ids {
+		reachesAll := true
+		for _, b := range ids {
+			if a != b && !sc.Reachable(a, b) {
+				reachesAll = false
+			}
+		}
+		if reachesAll {
+			bridges++
+		}
+	}
+	if bridges != 1 {
+		t.Errorf("bridge partition has %d fully-connected nodes, want exactly 1", bridges)
+	}
+}
+
+func TestCrashFaultsRestartOnRecover(t *testing.T) {
+	sc, ids := testCluster(t, 5)
+	nem := NewNemesis(sc, ids, 7)
+
+	nem.Inject(CrashMinority())
+	downed := 0
+	for _, id := range ids {
+		if !sc.Up(id) {
+			downed++
+		}
+	}
+	if downed < 1 || downed > 2 {
+		t.Errorf("crash-minority downed %d of 5 nodes, want 1..2", downed)
+	}
+	nem.Recover()
+	for _, id := range ids {
+		if !sc.Up(id) {
+			t.Errorf("node %s still down after Recover", id)
+		}
+	}
+}
+
+func TestInjectReplacesActiveFault(t *testing.T) {
+	sc, ids := testCluster(t, 5)
+	nem := NewNemesis(sc, ids, 7)
+
+	nem.Inject(CrashOne())
+	nem.Inject(PartitionHalves()) // must auto-recover the crash first
+	for _, id := range ids {
+		if !sc.Up(id) {
+			t.Errorf("node %s still down after a new fault was injected", id)
+		}
+	}
+	// inject, recover, inject — three log entries.
+	if len(nem.Events) != 3 {
+		t.Errorf("got %d nemesis events, want 3: %v", len(nem.Events), nem.Events)
+	}
+}
+
+func TestStormSchedulesAndStops(t *testing.T) {
+	sc, ids := testCluster(t, 5)
+	nem := NewNemesis(sc, ids, 7)
+	nem.Schedule(Storm{
+		Start:         1 * time.Second,
+		Period:        2 * time.Second,
+		FaultDuration: 1 * time.Second,
+		End:           10 * time.Second,
+		Faults:        []Fault{PartitionHalves(), CrashOne()},
+	})
+	sc.Run(12 * time.Second)
+
+	injects := 0
+	for _, e := range nem.Events {
+		if len(e.Action) >= 6 && e.Action[:6] == "inject" {
+			injects++
+		}
+	}
+	if injects < 4 {
+		t.Errorf("storm injected %d faults over 9s at 2s period, want >=4", injects)
+	}
+	for _, a := range ids {
+		if !sc.Up(a) {
+			t.Errorf("node %s down after storm end", a)
+		}
+		for _, b := range ids {
+			if !sc.Reachable(a, b) {
+				t.Errorf("link %s->%s blocked after storm end", a, b)
+			}
+		}
+	}
+}
+
+func TestFlakyLossAndDuplication(t *testing.T) {
+	f := NewFlaky(nil, FlakyConfig{Loss: 0.5, Duplicate: 0.5})
+	r := rand.New(rand.NewSource(1))
+
+	delivered, copies := 0, 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if _, ok := f.Sample("a", "b", r); ok {
+			delivered++
+		}
+		copies += f.Copies("a", "b", r)
+	}
+	if delivered < trials*35/100 || delivered > trials*65/100 {
+		t.Errorf("50%% loss delivered %d/%d", delivered, trials)
+	}
+	if copies <= trials {
+		t.Error("50% duplication produced no extra copies")
+	}
+	if f.Drops() == 0 {
+		t.Error("Drops counter not incremented")
+	}
+}
+
+func TestFlakyRestrict(t *testing.T) {
+	f := NewFlaky(nil, FlakyConfig{Loss: 1.0, Duplicate: 1.0})
+	f.Restrict([]string{"a", "b"})
+	r := rand.New(rand.NewSource(1))
+
+	// Client links bypass the pathologies entirely.
+	if _, ok := f.Sample("client", "a", r); !ok {
+		t.Error("restricted Flaky dropped a client message")
+	}
+	if n := f.Copies("a", "client", r); n != 1 {
+		t.Errorf("restricted Flaky duplicated a client message %d times", n)
+	}
+	// Storage links still suffer.
+	if _, ok := f.Sample("a", "b", r); ok {
+		t.Error("100% loss delivered a storage message")
+	}
+}
+
+func TestFlakySetConfig(t *testing.T) {
+	f := NewFlaky(nil, FlakyConfig{})
+	r := rand.New(rand.NewSource(1))
+	if _, ok := f.Sample("a", "b", r); !ok {
+		t.Error("zero-config Flaky dropped a message")
+	}
+	f.SetConfig(FlakyConfig{Loss: 1.0})
+	if _, ok := f.Sample("a", "b", r); ok {
+		t.Error("Loss=1 Flaky delivered a message")
+	}
+	f.SetConfig(FlakyConfig{})
+	if _, ok := f.Sample("a", "b", r); !ok {
+		t.Error("reset Flaky dropped a message")
+	}
+}

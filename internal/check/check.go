@@ -40,6 +40,14 @@ type Op struct {
 	Start, End time.Duration
 	// Client identifies the issuing client (informational).
 	Client string
+	// Maybe marks a write whose acknowledgement was never observed (the
+	// client timed out under faults): it may have taken effect at any
+	// point after Start — even after End, which records only when the
+	// client gave up — or never. The checkers may linearize such an op
+	// anywhere after its invocation or discard it entirely. Timed-out
+	// reads have no effect and should be omitted from histories rather
+	// than marked Maybe.
+	Maybe bool
 }
 
 // String implements fmt.Stringer.
@@ -139,9 +147,10 @@ func linearizableKey(h History) bool {
 
 		// An op may be linearized next only if no *unlinearized* op
 		// completed before it started (that op would have to come first).
+		// Maybe-ops never completed, so they impose no such bound.
 		var minEnd time.Duration = 1<<63 - 1
 		for i := 0; i < n; i++ {
-			if mask&(1<<i) == 0 && h[i].End < minEnd {
+			if mask&(1<<i) == 0 && !h[i].Maybe && h[i].End < minEnd {
 				minEnd = h[i].End
 			}
 		}
@@ -155,6 +164,11 @@ func linearizableKey(h History) bool {
 			switch h[i].Kind {
 			case Write:
 				if search(mask|(1<<i), i+1) {
+					return true
+				}
+				// An unacknowledged write may also never have happened:
+				// place it here as a no-op.
+				if h[i].Maybe && search(mask|(1<<i), last) {
 					return true
 				}
 			case Read:
@@ -252,6 +266,11 @@ func sequentialKey(h History) bool {
 				if search(mask|(1<<i), i+1) {
 					return true
 				}
+				// A timed-out write may never have taken effect: keep its
+				// slot in program order but apply nothing.
+				if h[i].Maybe && search(mask|(1<<i), last) {
+					return true
+				}
 			case Read:
 				if last == 0 {
 					if h[i].OK {
@@ -291,6 +310,9 @@ func MonotonicPerClient(h History, versionOf func(value string) int) bool {
 		k := ck{o.Client, o.Key}
 		switch o.Kind {
 		case Write:
+			if o.Maybe {
+				continue // may never have applied; later reads may miss it
+			}
 			v := versionOf(o.Value)
 			if v > last[k] {
 				last[k] = v

@@ -231,3 +231,83 @@ func TestMonotonicPerClient(t *testing.T) {
 		t.Fatal("cross-client staleness must be allowed by the per-client check")
 	}
 }
+
+func maybeW(key, val string, start, end int) Op {
+	op := w(key, val, start, end)
+	op.Maybe = true
+	return op
+}
+
+func TestMaybeWriteAsNoOp(t *testing.T) {
+	// A timed-out write that never took effect: later reads see the
+	// previous value. Without Maybe this history is non-linearizable
+	// (completed write invisible); with Maybe the checker may drop it.
+	h := History{
+		w("k", "a", 0, 1),
+		maybeW("k", "b", 2, 3),
+		r("k", "a", 4, 5),
+	}
+	if !Linearizable(h) {
+		t.Fatal("indeterminate write must be placeable as a no-op")
+	}
+	if !SequentiallyConsistent(h) {
+		t.Fatal("indeterminate write must be a no-op under sequential consistency too")
+	}
+	// The determinate version of the same history must still fail.
+	hBad := History{w("k", "a", 0, 1), w("k", "b", 2, 3), r("k", "a", 4, 5)}
+	if Linearizable(hBad) {
+		t.Fatal("determinate invisible write must violate linearizability")
+	}
+}
+
+func TestMaybeWriteTakingEffectLate(t *testing.T) {
+	// The indeterminate write applies long after its invocation window:
+	// a read issued after the timeout still observes it. Maybe ops may
+	// linearize at any point from invocation onward.
+	h := History{
+		w("k", "a", 0, 1),
+		maybeW("k", "b", 2, 3),
+		r("k", "b", 10, 11),
+	}
+	if !Linearizable(h) {
+		t.Fatal("indeterminate write must be placeable at its real (late) effect point")
+	}
+}
+
+func TestMaybeWriteCannotTakeEffectEarly(t *testing.T) {
+	// Even an indeterminate write cannot apply before it was invoked.
+	h := History{
+		w("k", "a", 0, 1),
+		r("k", "b", 2, 3), // reads a value whose write starts later
+		maybeW("k", "b", 5, 6),
+	}
+	if Linearizable(h) {
+		t.Fatal("indeterminate write must not linearize before its invocation")
+	}
+}
+
+func TestMonotonicSkipsMaybeWrites(t *testing.T) {
+	version := func(v string) int {
+		n, _ := strconv.Atoi(v)
+		return n
+	}
+	// Client writes 1, times out writing 2 (indeterminate), then reads 1:
+	// read-your-writes must not demand the maybe-write's version.
+	h := History{
+		Op{Kind: Write, Key: "k", Value: "1", OK: true, Start: ms(0), End: ms(1), Client: "c"},
+		Op{Kind: Write, Key: "k", Value: "2", OK: false, Start: ms(2), End: ms(3), Client: "c", Maybe: true},
+		Op{Kind: Read, Key: "k", Value: "1", OK: true, Start: ms(4), End: ms(5), Client: "c"},
+	}
+	if !MonotonicPerClient(h, version) {
+		t.Fatal("indeterminate writes must not raise the client's read floor")
+	}
+	// A determinate write of 2 must raise the floor and fail the read of 1.
+	hBad := History{
+		Op{Kind: Write, Key: "k", Value: "1", OK: true, Start: ms(0), End: ms(1), Client: "c"},
+		Op{Kind: Write, Key: "k", Value: "2", OK: true, Start: ms(2), End: ms(3), Client: "c"},
+		Op{Kind: Read, Key: "k", Value: "1", OK: true, Start: ms(4), End: ms(5), Client: "c"},
+	}
+	if MonotonicPerClient(hBad, version) {
+		t.Fatal("determinate write must raise the client's read floor")
+	}
+}

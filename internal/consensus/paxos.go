@@ -14,6 +14,7 @@ package consensus
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/sim"
@@ -257,7 +258,10 @@ func (n *Node) OnTimer(env sim.Env, tag any) {
 			// Retransmit accepts for slots still awaiting a majority, so
 			// lost messages cannot wedge a slot (and with it every later
 			// slot) forever. Acceptors and the vote map are idempotent.
-			for slot, p := range n.inFlight {
+			// Slot order is sorted: map-order sends would make the event
+			// interleaving differ between runs of the same seed.
+			for _, slot := range n.inFlightSlots() {
+				p := n.inFlight[slot]
 				for _, peer := range n.cfg.Peers {
 					if peer != n.id && !p.votes[peer] {
 						env.Send(peer, accept{B: n.ballot, Slot: slot, Cmd: p.cmd})
@@ -331,8 +335,13 @@ func (n *Node) OnMessage(env sim.Env, from string, msg sim.Message) {
 	case catchupReq:
 		n.onCatchupReq(env, from, m)
 	case catchupResp:
-		for s, cmd := range m.Entries {
-			n.learn(env, s, cmd)
+		slots := make([]uint64, 0, len(m.Entries))
+		for s := range m.Entries {
+			slots = append(slots, s)
+		}
+		sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+		for _, s := range slots {
+			n.learn(env, s, m.Entries[s])
 		}
 	case snapshotMsg:
 		n.installSnapshot(env, m)
@@ -378,7 +387,15 @@ func (n *Node) checkElected(env sim.Env) {
 	var last uint64
 	floor := n.committed
 	floorHolder := ""
-	for from, p := range n.promises {
+	// Sorted order keeps the floorHolder tie-break (and so the catch-up
+	// target) deterministic across runs.
+	froms := make([]string, 0, len(n.promises))
+	for from := range n.promises {
+		froms = append(froms, from)
+	}
+	sort.Strings(froms)
+	for _, from := range froms {
+		p := n.promises[from]
 		if p.LastSlot > last {
 			last = p.LastSlot
 		}
@@ -417,12 +434,24 @@ func (n *Node) stepDown(env sim.Env, leaderHint string) {
 	n.leaderHint = leaderHint
 	if wasLeader {
 		// Fail pending client commands so clients can retry at the new
-		// leader.
-		for s, p := range n.inFlight {
-			n.replyErr(env, p.cmd, "not leader", leaderHint)
+		// leader, in slot order so the replies interleave deterministically.
+		for _, s := range n.inFlightSlots() {
+			n.replyErr(env, n.inFlight[s].cmd, "not leader", leaderHint)
 			delete(n.inFlight, s)
 		}
 	}
+}
+
+// inFlightSlots returns the in-flight slot numbers in ascending order.
+// Every send or reply that walks inFlight must use it: ranging the map
+// directly would order messages differently on each run.
+func (n *Node) inFlightSlots() []uint64 {
+	slots := make([]uint64, 0, len(n.inFlight))
+	for s := range n.inFlight {
+		slots = append(slots, s)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	return slots
 }
 
 func (n *Node) propose(env sim.Env, slot uint64, cmd Command) {
@@ -505,6 +534,12 @@ func (n *Node) learn(env sim.Env, slot uint64, cmd Command) {
 	e.value = cmd
 	e.hasValue = true
 	e.chosen = true
+	// A leader must never propose fresh commands below a slot it has
+	// learned is chosen (possible when catch-up lands after election
+	// raised it above a stale floor).
+	if n.isLeader && slot >= n.nextSlot {
+		n.nextSlot = slot + 1
+	}
 	for {
 		next, ok := n.log[n.committed+1]
 		if !ok || !next.chosen {
@@ -631,6 +666,13 @@ func (n *Node) onHeartbeat(env sim.Env, from string, m heartbeat) {
 	n.leaderHint = from
 	if m.Committed > n.committed {
 		env.Send(from, catchupReq{From: n.committed + 1})
+	} else if m.Committed < n.committed {
+		// The leader is behind the chosen floor: its one-shot campaign
+		// catch-up was lost, and nothing else would ever tell it (it
+		// receives no heartbeats). Push our chosen tail at it as if it
+		// had asked; heartbeats recur, so this retries until it is
+		// caught up and the log can advance again.
+		n.onCatchupReq(env, from, catchupReq{From: m.Committed + 1})
 	}
 }
 
@@ -676,7 +718,8 @@ func (n *Node) onClientReq(env sim.Env, from string, m clientReq) {
 // unchosen one must keep being driven or it becomes a permanent log gap.
 // The retried client command dedups by sequence number at apply time.
 func (n *Node) sweepPending(env sim.Env) {
-	for _, p := range n.inFlight {
+	for _, s := range n.inFlightSlots() {
+		p := n.inFlight[s]
 		if !p.failed && env.Now()-p.since >= n.cfg.CommitTimeout {
 			p.failed = true
 			n.replyErr(env, p.cmd, "commit timeout", n.leaderHint)

@@ -292,8 +292,8 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("nope"); ok {
 		t.Fatal("Lookup(nope) succeeded")
 	}
-	if len(All()) != 10 {
-		t.Fatalf("All() = %d experiments, want 10", len(All()))
+	if len(All()) != 11 {
+		t.Fatalf("All() = %d experiments, want 11", len(All()))
 	}
 }
 
@@ -303,6 +303,38 @@ func TestResultString(t *testing.T) {
 	for _, want := range []string{"E6", "Claim:", "LWW"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("rendered result missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	res := E11ChaosViolations(1)
+	if res.ID != "E11" || len(res.Tables) != 1 || len(res.Series) != 2 {
+		t.Fatalf("unexpected result shape: id=%s tables=%d series=%d",
+			res.ID, len(res.Tables), len(res.Series))
+	}
+	eventual, strong := res.Series[0], res.Series[1]
+
+	// Clean network is the control: no fault-induced anomalies.
+	if eventual.Points[0].Y != 0 {
+		t.Errorf("eventual store violates linearizability on a clean network (rate %v)",
+			eventual.Points[0].Y)
+	}
+	// Faults must actually surface anomalies at the top of the sweep.
+	maxRate := 0.0
+	for _, p := range eventual.Points {
+		if p.Y > maxRate {
+			maxRate = p.Y
+		}
+	}
+	if maxRate < 0.1 {
+		t.Errorf("eventual store's violation rate never exceeded %v under faults", maxRate)
+	}
+	// The consensus-backed store is immune at every intensity.
+	for _, p := range strong.Points {
+		if p.Y != 0 {
+			t.Errorf("strong store violated linearizability at intensity %v (rate %v)",
+				p.X, p.Y)
 		}
 	}
 }

@@ -12,6 +12,7 @@ package gossip
 import (
 	"hash/fnv"
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/clock"
@@ -222,10 +223,15 @@ func (n *Node) writesInBuckets(buckets []int) []Write {
 	for _, b := range buckets {
 		want[b] = true
 	}
+	keys := make([]string, 0, len(n.data))
+	for k := range n.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var out []Write
-	for k, w := range n.data {
+	for _, k := range keys {
 		if want[n.merkle.Bucket(k)] {
-			out = append(out, w)
+			out = append(out, n.data[k])
 		}
 	}
 	return out

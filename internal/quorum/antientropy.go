@@ -2,6 +2,7 @@ package quorum
 
 import (
 	"hash/fnv"
+	"sort"
 
 	"repro/internal/clock"
 	"repro/internal/sim"
@@ -144,8 +145,13 @@ func (n *Node) entriesInBuckets(peer string, buckets []int) []aeEntry {
 	for _, b := range buckets {
 		want[b] = true
 	}
-	var out []aeEntry
+	keys := make([]string, 0, len(n.data))
 	for key := range n.data {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	var out []aeEntry
+	for _, key := range keys {
 		if !want[t.Bucket(key)] {
 			continue
 		}

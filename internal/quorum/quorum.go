@@ -17,6 +17,7 @@ package quorum
 
 import (
 	"hash/fnv"
+	"sort"
 	"time"
 
 	"repro/internal/clock"
@@ -609,7 +610,15 @@ func (n *Node) backgroundRepair(env sim.Env, id uint64, rs *repairState, from st
 // readRepair pushes the merged sibling set to every replica whose
 // response differed from it (A1 ablation switch).
 func (n *Node) readRepair(env sim.Env, pr *pendingRead, merged []clock.SiblingEntry[record]) {
-	for rep, entries := range pr.responses {
+	// Repair replicas in sorted order so the sends interleave
+	// deterministically across runs.
+	reps := make([]string, 0, len(pr.responses))
+	for rep := range pr.responses {
+		reps = append(reps, rep)
+	}
+	sort.Strings(reps)
+	for _, rep := range reps {
+		entries := pr.responses[rep]
 		if sameEntries(entries, merged) {
 			continue
 		}
@@ -659,9 +668,20 @@ func (n *Node) readTimeout(env sim.Env, id uint64) {
 // Hints are retained until the intended node acknowledges them, so
 // delivery survives the target staying down across attempts.
 func (n *Node) attemptHandoff(env sim.Env) {
-	for intended, keys := range n.hints {
-		for key, entries := range keys {
-			env.Send(intended, handoffDeliver{Key: key, Entries: entries})
+	intendeds := make([]string, 0, len(n.hints))
+	for intended := range n.hints {
+		intendeds = append(intendeds, intended)
+	}
+	sort.Strings(intendeds)
+	for _, intended := range intendeds {
+		keys := n.hints[intended]
+		hintKeys := make([]string, 0, len(keys))
+		for key := range keys {
+			hintKeys = append(hintKeys, key)
+		}
+		sort.Strings(hintKeys)
+		for _, key := range hintKeys {
+			env.Send(intended, handoffDeliver{Key: key, Entries: keys[key]})
 		}
 	}
 }

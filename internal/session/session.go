@@ -13,6 +13,7 @@
 package session
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/clock"
@@ -178,8 +179,16 @@ func (s *Server) OnTimer(env sim.Env, tag any) {
 func (s *Server) OnMessage(env sim.Env, from string, msg sim.Message) {
 	switch m := msg.(type) {
 	case aeReq:
+		// Walk origins in sorted order so the response payload (and any
+		// runs downstream of it) is identical for identical seeds.
+		origins := make([]string, 0, len(s.logs))
+		for origin := range s.logs {
+			origins = append(origins, origin)
+		}
+		sort.Strings(origins)
 		var missing []write
-		for origin, log := range s.logs {
+		for _, origin := range origins {
+			log := s.logs[origin]
 			have := int(m.V.Get(origin))
 			if have < len(log) {
 				missing = append(missing, log[have:]...)

@@ -14,6 +14,15 @@ type LatencyModel interface {
 	Sample(from, to string, r *rand.Rand) (d time.Duration, ok bool)
 }
 
+// Duplicator is an optional extension of LatencyModel. When the
+// cluster's model implements it, each transmission is delivered Copies
+// times (each copy sampling its own delay), modelling networks that
+// duplicate packets. Copies results below 1 mean a single copy; loss is
+// still expressed through Sample.
+type Duplicator interface {
+	Copies(from, to string, r *rand.Rand) int
+}
+
 // LatencyFunc adapts a function to the LatencyModel interface.
 type LatencyFunc func(from, to string, r *rand.Rand) (time.Duration, bool)
 

@@ -75,6 +75,11 @@ type Config struct {
 	// accounting. If nil, messages that implement interface{ Size() int }
 	// are measured and all others count as 0.
 	SizeOf func(Message) int
+	// Trace, if non-nil, receives one line per executed event (delivery,
+	// timer, call) in execution order. Because a run is a pure function of
+	// its seed, two runs with identical configuration must produce
+	// byte-identical traces — the determinism regression tests rely on it.
+	Trace func(line string)
 }
 
 // DefaultLatency is used when Config.Latency is nil: a uniform 1–5 ms LAN.
@@ -136,11 +141,12 @@ type node struct {
 
 // Stats accumulates network accounting for a run.
 type Stats struct {
-	MessagesSent      uint64
-	MessagesDelivered uint64
-	MessagesDropped   uint64 // lost by the latency model or a partition
-	BytesDelivered    uint64
-	TimersFired       uint64
+	MessagesSent       uint64
+	MessagesDelivered  uint64
+	MessagesDropped    uint64 // lost by the latency model, a partition, or a blocked link
+	MessagesDuplicated uint64 // extra copies injected by a Duplicator latency model
+	BytesDelivered     uint64
+	TimersFired        uint64
 }
 
 // Cluster is a simulated distributed system. It is not safe for concurrent
@@ -156,7 +162,8 @@ type Cluster struct {
 	cancel map[TimerID]bool
 	nextID TimerID
 
-	partition map[string]int // node -> partition group; absent means group 0
+	partition map[string]int    // node -> partition group; absent means group 0
+	blocked   map[[2]string]bool // directed links severed by BlockLink
 
 	stats Stats
 }
@@ -172,6 +179,7 @@ func New(cfg Config) *Cluster {
 		nodes:     make(map[string]*node),
 		cancel:    make(map[TimerID]bool),
 		partition: make(map[string]int),
+		blocked:   make(map[[2]string]bool),
 	}
 }
 
@@ -242,16 +250,25 @@ func (c *Cluster) send(from, to string, msg Message) {
 		c.stats.MessagesDropped++
 		return
 	}
-	d, ok := c.cfg.Latency.Sample(from, to, c.rng)
-	if !ok {
-		c.stats.MessagesDropped++
-		return
+	copies := 1
+	if dup, ok := c.cfg.Latency.(Duplicator); ok {
+		if n := dup.Copies(from, to, c.rng); n > 1 {
+			copies = n
+			c.stats.MessagesDuplicated += uint64(n - 1)
+		}
 	}
-	c.push(&event{at: c.now + d, kind: evDeliver, from: from, to: to, msg: msg})
+	for i := 0; i < copies; i++ {
+		d, ok := c.cfg.Latency.Sample(from, to, c.rng)
+		if !ok {
+			c.stats.MessagesDropped++
+			continue
+		}
+		c.push(&event{at: c.now + d, kind: evDeliver, from: from, to: to, msg: msg})
+	}
 }
 
 func (c *Cluster) partitioned(from, to string) bool {
-	return c.partition[from] != c.partition[to]
+	return c.partition[from] != c.partition[to] || c.blocked[[2]string{from, to}]
 }
 
 // Partition splits the cluster into the given groups: messages between
@@ -267,8 +284,20 @@ func (c *Cluster) Partition(groups ...[]string) {
 	}
 }
 
-// Heal removes all partitions.
-func (c *Cluster) Heal() { c.partition = make(map[string]int) }
+// BlockLink severs the directed link from -> to: messages in that
+// direction are dropped until UnblockLink or Heal. Unlike Partition's
+// disjoint groups, link blocking expresses asymmetric and non-transitive
+// failures (ring and bridge partitions, one-way losses).
+func (c *Cluster) BlockLink(from, to string) { c.blocked[[2]string{from, to}] = true }
+
+// UnblockLink restores the directed link from -> to.
+func (c *Cluster) UnblockLink(from, to string) { delete(c.blocked, [2]string{from, to}) }
+
+// Heal removes all partitions and blocked links.
+func (c *Cluster) Heal() {
+	c.partition = make(map[string]int)
+	c.blocked = make(map[[2]string]bool)
+}
 
 // Reachable reports whether messages currently flow from a to b.
 func (c *Cluster) Reachable(a, b string) bool { return !c.partitioned(a, b) }
@@ -317,6 +346,7 @@ func (c *Cluster) Step() bool {
 		c.now = e.at
 		switch e.kind {
 		case evCall:
+			c.trace("call", e)
 			e.fn()
 			return true
 		case evDeliver:
@@ -325,6 +355,7 @@ func (c *Cluster) Step() bool {
 				c.stats.MessagesDropped++
 				continue
 			}
+			c.trace("deliver", e)
 			c.stats.MessagesDelivered++
 			c.stats.BytesDelivered += uint64(c.sizeOf(e.msg))
 			n.handler.OnMessage(&env{c: c, n: n}, e.from, e.msg)
@@ -336,12 +367,31 @@ func (c *Cluster) Step() bool {
 				continue
 			}
 			delete(c.cancel, e.timer)
+			c.trace("timer", e)
 			c.stats.TimersFired++
 			n.handler.OnTimer(&env{c: c, n: n}, e.tag)
 			return true
 		}
 	}
 	return false
+}
+
+// trace emits one deterministic line per executed event. Message and tag
+// payloads are identified by type only: values may hold maps or pointers
+// whose formatting is either nondeterministic or address-dependent, while
+// type names are stable across runs.
+func (c *Cluster) trace(kind string, e *event) {
+	if c.cfg.Trace == nil {
+		return
+	}
+	switch e.kind {
+	case evDeliver:
+		c.cfg.Trace(fmt.Sprintf("%d %s %s->%s %T", e.at, kind, e.from, e.to, e.msg))
+	case evTimer:
+		c.cfg.Trace(fmt.Sprintf("%d %s %s %T", e.at, kind, e.node, e.tag))
+	default:
+		c.cfg.Trace(fmt.Sprintf("%d %s", e.at, kind))
+	}
 }
 
 func (c *Cluster) sizeOf(msg Message) int {
