@@ -78,6 +78,10 @@ func BenchmarkE11ChaosViolations(b *testing.B) {
 	benchExperiment(b, experiments.E11ChaosViolations)
 }
 
+func BenchmarkE12Resilience(b *testing.B) {
+	benchExperiment(b, experiments.E12Resilience)
+}
+
 // ── Micro-benchmarks ───────────────────────────────────────────────────
 //
 // CPU costs of the primitives the experiments lean on: CRDT merges (the
@@ -265,7 +269,7 @@ func BenchmarkHLCNow(b *testing.B) {
 // Guard against silent drift: the experiment list and the benchmark list
 // must stay in sync.
 func TestEveryExperimentHasABenchmark(t *testing.T) {
-	if len(experiments.All()) != 11 {
+	if len(experiments.All()) != 12 {
 		t.Fatalf("experiment count changed (%d); update bench_test.go", len(experiments.All()))
 	}
 }

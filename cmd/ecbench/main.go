@@ -1,5 +1,7 @@
-// Command ecbench runs the evaluation suite (experiments E1–E11 from
-// DESIGN.md) and prints each experiment's tables and series.
+// Command ecbench runs the evaluation suite (experiments E1–E12 from
+// DESIGN.md) and prints each experiment's tables and series. E12's
+// tables include the resilience layer's event counters (retries,
+// hedges, failovers, breaker trips) exported through internal/metrics.
 //
 // Usage:
 //
@@ -21,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("experiment", "", "experiment id (E1..E10) or name; empty = all")
+		exp  = flag.String("experiment", "", "experiment id (E1..E12) or name; empty = all")
 		seed = flag.Int64("seed", 1, "simulation seed")
 		list = flag.Bool("list", false, "list experiments and exit")
 	)

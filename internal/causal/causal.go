@@ -14,6 +14,7 @@
 package causal
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -60,6 +61,29 @@ type Topology struct {
 	DCs []string
 	// ShardsPerDC is how many shard nodes each DC runs.
 	ShardsPerDC int
+}
+
+// Validate checks the topology shape, returning an explicit error
+// instead of the division-by-zero or empty-replication misbehavior an
+// impossible layout would produce.
+func (t Topology) Validate() error {
+	if len(t.DCs) == 0 {
+		return errors.New("causal: topology needs at least one DC")
+	}
+	seen := make(map[string]bool, len(t.DCs))
+	for _, dc := range t.DCs {
+		if dc == "" {
+			return errors.New("causal: empty DC name")
+		}
+		if seen[dc] {
+			return fmt.Errorf("causal: duplicate DC %q", dc)
+		}
+		seen[dc] = true
+	}
+	if t.ShardsPerDC < 1 {
+		return fmt.Errorf("causal: ShardsPerDC=%d must be at least 1", t.ShardsPerDC)
+	}
+	return nil
 }
 
 // NodeID names the shard node for (dc, shard).
@@ -201,8 +225,12 @@ type outCheck struct {
 	dep   Dep
 }
 
-// NewNode returns the shard node for (dc, shard).
+// NewNode returns the shard node for (dc, shard). It panics on an
+// invalid topology (see Topology.Validate).
 func NewNode(topo Topology, dc string, shard int) *Node {
+	if err := topo.Validate(); err != nil {
+		panic(err.Error())
+	}
 	return &Node{
 		topo:          topo,
 		dc:            dc,

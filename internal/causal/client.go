@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/sim"
 )
 
@@ -34,6 +35,18 @@ type Client struct {
 	// RequestTimeout paces retransmission of unanswered requests
 	// (default 1s).
 	RequestTimeout time.Duration
+
+	// Policy, when non-nil, paces retransmission with the resilience
+	// backoff schedule and bounds it with the attempt budget instead of
+	// the fixed RequestTimeout forever. Retries always target the same
+	// owner shard: a different DC's replica could serve an older
+	// version, and the client's monotonic-read history must survive the
+	// retry.
+	Policy *resilience.Policy
+	// Counters receives resilience event counts. May be nil.
+	Counters *resilience.Counters
+
+	budgets map[uint64]*resilience.Budget
 }
 
 type clientRetry struct{ id uint64 }
@@ -73,8 +86,27 @@ func NewClient(topo Topology, dc, id string) *Client {
 		putCBs:         make(map[uint64]func(PutResult)),
 		gts:            make(map[uint64]*gtState),
 		outstanding:    make(map[uint64]sim.Message),
+		budgets:        make(map[uint64]*resilience.Budget),
 		RequestTimeout: time.Second,
 	}
+}
+
+// armRetry schedules the next retransmission attempt for op id: fixed
+// RequestTimeout pacing without a Policy, budget-bounded backoff with
+// one.
+func (c *Client) armRetry(env sim.Env, id uint64) {
+	if c.Policy == nil {
+		env.SetTimer(c.RequestTimeout, clientRetry{id: id})
+		return
+	}
+	c.Policy = c.Policy.Normalized()
+	b, ok := c.budgets[id]
+	if !ok {
+		b = resilience.NewBudget(c.Policy.MaxAttempts, true, c.Counters)
+		b.Attempt() // the initial send
+		c.budgets[id] = b
+	}
+	env.SetTimer(c.Policy.Backoff(b.Attempts()-1, env.Rand()), clientRetry{id: id})
 }
 
 // OnStart implements sim.Handler.
@@ -90,13 +122,22 @@ func (c *Client) OnTimer(env sim.Env, tag any) {
 	if !ok {
 		return
 	}
+	if c.Policy != nil {
+		if b := c.budgets[t.id]; b != nil && !b.Attempt() {
+			// Budget spent: stop retransmitting. The op stays
+			// outstanding so a very late response still completes it.
+			delete(c.budgets, t.id)
+			return
+		}
+		c.Counters.Retry()
+	}
 	switch m := msg.(type) {
 	case cput:
 		env.Send(c.topo.OwnerIn(c.dc, m.Key), m)
 	case cget:
 		env.Send(c.topo.OwnerIn(c.dc, m.Key), m)
 	}
-	env.SetTimer(c.RequestTimeout, clientRetry{id: t.id})
+	c.armRetry(env, t.id)
 }
 
 // OnMessage implements sim.Handler.
@@ -109,6 +150,7 @@ func (c *Client) OnMessage(env sim.Env, _ string, msg sim.Message) {
 		}
 		delete(c.putCBs, m.ID)
 		delete(c.outstanding, m.ID)
+		delete(c.budgets, m.ID)
 		// The new write subsumes all previous dependencies (transitivity
 		// of causal order): the context resets to just this write.
 		c.deps = map[string]Ver{m.Key: m.Ver}
@@ -126,6 +168,7 @@ func (c *Client) OnMessage(env sim.Env, _ string, msg sim.Message) {
 		}
 		delete(c.getCBs, m.ID)
 		delete(c.outstanding, m.ID)
+		delete(c.budgets, m.ID)
 		if m.OK {
 			c.observe(m.Key, m.Ver)
 		}
@@ -159,7 +202,7 @@ func (c *Client) Put(env sim.Env, key string, value []byte, cb func(PutResult)) 
 	c.putCBs[c.nextID] = cb
 	c.outstanding[c.nextID] = msg
 	env.Send(c.topo.OwnerIn(c.dc, key), msg)
-	env.SetTimer(c.RequestTimeout, clientRetry{id: c.nextID})
+	c.armRetry(env, c.nextID)
 }
 
 // Get reads key at the local DC.
@@ -169,7 +212,7 @@ func (c *Client) Get(env sim.Env, key string, cb func(GetResult)) {
 	c.getCBs[c.nextID] = cb
 	c.outstanding[c.nextID] = msg
 	env.Send(c.topo.OwnerIn(c.dc, key), msg)
-	env.SetTimer(c.RequestTimeout, clientRetry{id: c.nextID})
+	c.armRetry(env, c.nextID)
 }
 
 // GetTrans reads a set of keys as a causally consistent snapshot using

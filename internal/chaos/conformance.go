@@ -65,6 +65,29 @@ func Schedules() []Schedule {
 	}
 }
 
+// Halves is a partition-halves-only schedule: the cluster is repeatedly
+// split into two random halves at the standard storm cadence. Used by
+// the resilience experiment (E12) to sweep one fault shape at a fixed
+// intensity; not part of the default Schedules menu.
+func Halves() Schedule {
+	return Schedule{
+		Name: "halves",
+		Faults: func(*Flaky) []Fault {
+			return []Fault{PartitionHalves()}
+		},
+		Period: 6 * time.Second, FaultDuration: 3500 * time.Millisecond,
+	}
+}
+
+// FlakyOnly is the flaky-network schedule (loss, duplication,
+// reordering; no structural faults) as a standalone helper for sweeps.
+func FlakyOnly() Schedule {
+	return Schedule{
+		Name:       "flaky",
+		Background: FlakyConfig{Loss: 0.10, Duplicate: 0.10, Reorder: 0.25},
+	}
+}
+
 // StoreSpec names a store implementation, how to build it, and the
 // consistency claims its taxonomy row makes (what the conformance suite
 // asserts under every schedule).
@@ -138,6 +161,17 @@ type Report struct {
 	// failure otherwise.
 	Converged    bool
 	Disagreement string
+
+	// Resilience is the rendered resilience counter snapshot
+	// ("retries=N hedges=N ...") when the system runs with the
+	// resilience layer on; empty otherwise.
+	Resilience string
+}
+
+// resilienceReporter is implemented by systems that expose resilience
+// event counters (coreSystem when Options.Resilience is set).
+type resilienceReporter interface {
+	ResilienceReport() string
 }
 
 // String summarizes the report in one line.
@@ -180,6 +214,9 @@ func Conformance(spec StoreSpec, sched Schedule, seed int64, rc RecordConfig) Re
 	rep.Events = nem.Events
 	rep.Linearizable = check.Linearizable(rec.History)
 	rep.Monotonic = check.MonotonicPerClient(rec.History, VersionOf)
+	if rr, ok := sys.(resilienceReporter); ok {
+		rep.Resilience = rr.ResilienceReport()
+	}
 	return rep
 }
 

@@ -97,6 +97,15 @@ func (s *coreSystem) Name() string           { return s.name }
 func (s *coreSystem) Sim() *sim.Cluster      { return s.c.Sim() }
 func (s *coreSystem) StorageNodes() []string { return s.c.Nodes() }
 
+// ResilienceReport renders the cluster's resilience counters ("" when
+// the resilience layer is off), implementing resilienceReporter.
+func (s *coreSystem) ResilienceReport() string {
+	if c := s.c.ResilienceCounters(); c != nil {
+		return c.String()
+	}
+	return ""
+}
+
 // newClient registers a client pinned/homed to viewpoint slot.
 func (s *coreSystem) newClient(id string, slot int) Client {
 	var cl *core.Client

@@ -3,6 +3,7 @@ package consensus
 import (
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/sim"
 )
 
@@ -10,6 +11,13 @@ import (
 // leader redirects, timing out unreachable targets, and retrying with
 // backoff until the command commits or the retry budget is exhausted.
 // Register it as a simulator node.
+//
+// With a resilience Policy set, the client additionally pings the group
+// on the policy's heartbeat interval and consults the shared phi-accrual
+// failure detector: a pending command whose target becomes suspected
+// fails over immediately instead of waiting out the fixed
+// RequestTimeout — the detector-driven leader failover the fixed
+// timeout only approximates.
 type Client struct {
 	id    string
 	peers []string
@@ -21,16 +29,26 @@ type Client struct {
 	// target before trying the next peer (default 1s).
 	RequestTimeout time.Duration
 
-	nextSeq uint64
-	pending map[uint64]*pendingCmd
+	// Policy enables detector-driven failover when non-nil.
+	Policy *resilience.Policy
+	// Counters receives resilience event counts. May be nil.
+	Counters *resilience.Counters
+	// Directory is the shared phi-accrual failure detector.
+	Directory *resilience.Directory
+
+	nextSeq    uint64
+	pending    map[uint64]*pendingCmd
+	lastLeader string // latest leader hint from pongs/redirects
 }
 
 type pendingCmd struct {
-	cmd     Command
-	cb      func(Result)
-	target  int // index into peers currently tried
-	retries int
-	attempt uint64 // guards stale timeout timers
+	cmd      Command
+	cb       func(Result)
+	target   int // index into peers currently tried
+	retries  int
+	attempt  uint64        // guards stale timeout timers
+	sentAt   time.Duration // when the current attempt was sent
+	deferred bool          // a backoff-paced retry is already scheduled
 }
 
 type retryTag struct {
@@ -38,11 +56,18 @@ type retryTag struct {
 	attempt uint64
 }
 
+type csPingTick struct{}
+
 // DefaultRetries is the default per-command retry budget.
 const DefaultRetries = 20
 
 // NewClient returns a client that knows the consensus group membership.
+// It panics on empty membership — a client with nowhere to send is a
+// configuration bug, not a runtime condition.
 func NewClient(id string, peers []string) *Client {
+	if len(peers) == 0 {
+		panic("consensus: client needs at least one peer")
+	}
 	return &Client{
 		id:             id,
 		peers:          peers,
@@ -53,23 +78,119 @@ func NewClient(id string, peers []string) *Client {
 }
 
 // OnStart implements sim.Handler.
-func (c *Client) OnStart(sim.Env) {}
+func (c *Client) OnStart(env sim.Env) {
+	if c.Policy != nil {
+		c.Policy = c.Policy.Normalized()
+		hi := c.Policy.HeartbeatInterval
+		env.SetTimer(hi/2+time.Duration(env.Rand().Int63n(int64(hi))), csPingTick{})
+	}
+}
 
 // OnTimer implements sim.Handler.
 func (c *Client) OnTimer(env sim.Env, tag any) {
-	t, ok := tag.(retryTag)
-	if !ok {
+	switch t := tag.(type) {
+	case csPingTick:
+		for _, p := range c.peers {
+			env.Send(p, csPing{})
+		}
+		c.suspicionSweep(env)
+		env.SetTimer(c.Policy.HeartbeatInterval, csPingTick{})
+	case retryTag:
+		p, ok := c.pending[t.seq]
+		if !ok || p.attempt != t.attempt {
+			return // already answered or already retried
+		}
+		// No reply from the current target: rotate and retry.
+		c.retry(env, t.seq, p, c.nextTarget(env, p))
+	}
+}
+
+// suspicionSweep fails over every pending command whose current target
+// the failure detector suspects — without waiting for RequestTimeout.
+// Commands younger than one heartbeat interval are left alone so a
+// just-sent request is not double-issued on stale suspicion.
+func (c *Client) suspicionSweep(env sim.Env) {
+	if c.Directory == nil {
 		return
 	}
-	p, ok := c.pending[t.seq]
-	if !ok || p.attempt != t.attempt {
-		return // already answered or already retried
+	now := env.Now()
+	// Sorted iteration for determinism (seqs are the map keys).
+	seqs := make([]uint64, 0, len(c.pending))
+	for seq := range c.pending {
+		seqs = append(seqs, seq)
 	}
-	// No reply from the current target: rotate and retry.
-	c.retry(env, t.seq, p, (p.target+1)%len(c.peers))
+	sortUint64s(seqs)
+	for _, seq := range seqs {
+		p := c.pending[seq]
+		if now-p.sentAt < c.Policy.HeartbeatInterval {
+			continue
+		}
+		if !c.Directory.Suspects(c.id, c.peers[p.target], now) {
+			continue
+		}
+		nt := c.nextTarget(env, p)
+		if nt == p.target || c.Directory.Suspects(c.id, c.peers[nt], now) {
+			// Nowhere healthier to go (e.g. the client is cut off from
+			// everyone): let RequestTimeout pace retries instead of
+			// burning the budget at heartbeat cadence.
+			continue
+		}
+		if c.deferRetry(env, seq, p) {
+			c.Counters.Failover()
+		}
+	}
+}
+
+func sortUint64s(xs []uint64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// nextTarget picks where a retried command goes: the last known leader
+// if it is healthy, otherwise the next unsuspected peer in rotation,
+// otherwise plain rotation.
+func (c *Client) nextTarget(env sim.Env, p *pendingCmd) int {
+	now := env.Now()
+	healthy := func(i int) bool {
+		return c.Directory == nil || !c.Directory.Suspects(c.id, c.peers[i], now)
+	}
+	if c.lastLeader != "" && c.peers[p.target] != c.lastLeader {
+		for i, peer := range c.peers {
+			if peer == c.lastLeader && healthy(i) {
+				return i
+			}
+		}
+	}
+	for off := 1; off <= len(c.peers); off++ {
+		i := (p.target + off) % len(c.peers)
+		if healthy(i) {
+			return i
+		}
+	}
+	return (p.target + 1) % len(c.peers)
+}
+
+// deferRetry schedules the command's next attempt after the policy's
+// jittered backoff instead of resending immediately, so detector-driven
+// failovers and redirect chasing cannot burn the retry budget faster
+// than the baseline's RequestTimeout pacing. The attempt bump
+// invalidates the armed timeout timer; the deferred flag makes repeated
+// sweeps idempotent. Reports whether a retry was newly scheduled.
+func (c *Client) deferRetry(env sim.Env, seq uint64, p *pendingCmd) bool {
+	if p.deferred {
+		return false
+	}
+	p.deferred = true
+	p.attempt++
+	env.SetTimer(c.Policy.Backoff(p.retries, env.Rand()), retryTag{seq: seq, attempt: p.attempt})
+	return true
 }
 
 func (c *Client) retry(env sim.Env, seq uint64, p *pendingCmd, nextTarget int) {
+	p.deferred = false
 	p.retries++
 	if p.retries > c.Retries {
 		delete(c.pending, seq)
@@ -80,12 +201,20 @@ func (c *Client) retry(env sim.Env, seq uint64, p *pendingCmd, nextTarget int) {
 	}
 	p.target = nextTarget
 	p.attempt++
+	p.sentAt = env.Now()
+	c.Counters.Retry()
 	env.Send(c.peers[p.target], clientReq{Cmd: p.cmd})
 	env.SetTimer(c.RequestTimeout, retryTag{seq: seq, attempt: p.attempt})
 }
 
 // OnMessage implements sim.Handler.
 func (c *Client) OnMessage(env sim.Env, _ string, msg sim.Message) {
+	if pong, ok := msg.(csPong); ok {
+		if pong.Leader != "" {
+			c.lastLeader = pong.Leader
+		}
+		return
+	}
 	res, ok := msg.(Result)
 	if !ok {
 		return
@@ -102,6 +231,16 @@ func (c *Client) OnMessage(env sim.Env, _ string, msg sim.Message) {
 		return
 	}
 	// Follow the leader hint when one is given, otherwise rotate.
+	if c.Policy != nil {
+		// Capture the hint for nextTarget, then pace the retry with
+		// backoff: chasing redirects at wire speed through a partition
+		// exhausts the budget before the network heals.
+		if res.Leader != "" {
+			c.lastLeader = res.Leader
+		}
+		c.deferRetry(env, res.Seq, p)
+		return
+	}
 	next := (p.target + 1) % len(c.peers)
 	if res.Leader != "" {
 		for i, peer := range c.peers {
@@ -117,7 +256,7 @@ func (c *Client) OnMessage(env sim.Env, _ string, msg sim.Message) {
 func (c *Client) submit(env sim.Env, op, key string, value []byte, cb func(Result)) {
 	c.nextSeq++
 	cmd := Command{Seq: c.nextSeq, Op: op, Key: key, Value: value}
-	p := &pendingCmd{cmd: cmd, cb: cb, target: int(c.nextSeq) % len(c.peers)}
+	p := &pendingCmd{cmd: cmd, cb: cb, target: int(c.nextSeq) % len(c.peers), sentAt: env.Now()}
 	c.pending[c.nextSeq] = p
 	env.Send(c.peers[p.target], clientReq{Cmd: cmd})
 	env.SetTimer(c.RequestTimeout, retryTag{seq: c.nextSeq, attempt: 0})

@@ -13,6 +13,7 @@
 package consensus
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -124,6 +125,13 @@ type (
 	clientReq struct {
 		Cmd Command
 	}
+	// csPing/csPong are client-to-group liveness probes (resilient
+	// clients only). The pong carries the responder's current leader
+	// belief so clients keep a warm leader hint without submitting.
+	csPing struct{}
+	csPong struct {
+		Leader string
+	}
 )
 
 type acceptedSlot struct {
@@ -163,6 +171,30 @@ func (c Config) withDefaults() Config {
 		c.SnapshotEvery = 128
 	}
 	return c
+}
+
+// Validate checks the configuration shape, returning an explicit error
+// instead of silent misbehavior (a one-node "majority", a leader whose
+// heartbeats cannot outrun elections).
+func (c Config) Validate() error {
+	if len(c.Peers) == 0 {
+		return errors.New("consensus: Peers must not be empty")
+	}
+	seen := make(map[string]bool, len(c.Peers))
+	for _, p := range c.Peers {
+		if p == "" {
+			return errors.New("consensus: empty peer id")
+		}
+		if seen[p] {
+			return fmt.Errorf("consensus: duplicate peer %q", p)
+		}
+		seen[p] = true
+	}
+	d := c.withDefaults()
+	if d.ElectionTimeout <= d.HeartbeatInterval {
+		return fmt.Errorf("consensus: ElectionTimeout %v must exceed HeartbeatInterval %v or followers campaign against a live leader", d.ElectionTimeout, d.HeartbeatInterval)
+	}
+	return nil
 }
 
 type pendingSlot struct {
@@ -215,8 +247,12 @@ type electionTick struct{}
 type heartbeatTick struct{}
 type commitSweep struct{}
 
-// NewNode returns a consensus node.
+// NewNode returns a consensus node. It panics on an invalid
+// configuration (see Config.Validate).
 func NewNode(id string, cfg Config) *Node {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
 	return &Node{
 		cfg:      cfg.withDefaults(),
 		id:       id,
@@ -347,6 +383,12 @@ func (n *Node) OnMessage(env sim.Env, from string, msg sim.Message) {
 		n.installSnapshot(env, m)
 	case clientReq:
 		n.onClientReq(env, from, m)
+	case csPing:
+		hint := n.leaderHint
+		if n.isLeader {
+			hint = n.id
+		}
+		env.Send(from, csPong{Leader: hint})
 	}
 }
 

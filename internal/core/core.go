@@ -26,6 +26,7 @@ import (
 	"repro/internal/gossip"
 	"repro/internal/quorum"
 	"repro/internal/replication"
+	"repro/internal/resilience"
 	"repro/internal/session"
 	"repro/internal/sim"
 )
@@ -113,6 +114,14 @@ type Options struct {
 	// AntiEntropyInterval tunes Eventual and Session propagation
 	// (default 50ms).
 	AntiEntropyInterval time.Duration
+
+	// Resilience, when non-nil, turns on the fault-tolerance layer
+	// everywhere it is wired: store-side replica-RPC retries and sloppy
+	// fast fallback (Quorum), and client-side retry/failover/hedging
+	// for every model's client. A shared phi-accrual failure detector is
+	// fed by the simulator's delivery hook; all jitter draws from the
+	// simulation RNG, so runs stay deterministic per seed.
+	Resilience *resilience.Policy
 }
 
 func (o Options) withDefaults() Options {
@@ -179,6 +188,10 @@ type Cluster struct {
 	gossipNodes []*gossip.Node
 	causalTopo  causal.Topology
 
+	// Resilience plumbing (nil unless Options.Resilience is set).
+	resDir      *resilience.Directory
+	resCounters *resilience.Counters
+
 	clients int
 }
 
@@ -186,7 +199,15 @@ type Cluster struct {
 func New(opts Options) *Cluster {
 	opts = opts.withDefaults()
 	sc := sim.Config{Seed: opts.Seed, Latency: opts.Latency}
-	c := &Cluster{opts: opts, sim: sim.New(sc)}
+	c := &Cluster{opts: opts}
+	if opts.Resilience != nil {
+		c.opts.Resilience = opts.Resilience.Normalized()
+		c.resDir = resilience.NewDirectory(c.opts.Resilience)
+		c.resCounters = resilience.NewCounters()
+		// Every delivered message doubles as failure-detector evidence.
+		sc.OnDeliver = c.resDir.Observe
+	}
+	c.sim = sim.New(sc)
 	switch opts.Model {
 	case Eventual:
 		c.buildGossip()
@@ -274,6 +295,7 @@ func (c *Cluster) buildQuorum() {
 	cfg := quorum.Config{
 		Ring: ids, N: c.opts.N, R: c.opts.R, W: c.opts.W,
 		ReadRepair: c.opts.ReadRepair, SloppyQuorum: c.opts.SloppyQuorum,
+		Resilience: c.opts.Resilience, Directory: c.resDir, Counters: c.resCounters,
 	}
 	for _, id := range ids {
 		c.sim.AddNode(id, quorum.NewNode(id, cfg))
@@ -324,3 +346,11 @@ func (c *Cluster) Now() time.Duration { return c.sim.Now() }
 
 // Model returns the cluster's consistency model.
 func (c *Cluster) Model() Model { return c.opts.Model }
+
+// ResilienceCounters returns the cluster-wide resilience event counters,
+// or nil when the resilience layer is off.
+func (c *Cluster) ResilienceCounters() *resilience.Counters { return c.resCounters }
+
+// ResilienceDirectory returns the shared failure-detector directory, or
+// nil when the resilience layer is off.
+func (c *Cluster) ResilienceDirectory() *resilience.Directory { return c.resDir }

@@ -83,7 +83,7 @@ func E11ChaosViolations(seed int64) Result {
 		Notes: fmt.Sprintf(
 			"intensity x scales background loss/dup/reorder (0.5x/0.3x/x) and the partition-storm "+
 				"duty cycle; %d nemesis seeds per cell; 4 clients x 14 ops, 300ms client stagger; "+
-			"violations judged by "+
+				"violations judged by "+
 				"check.Linearizable / check.MonotonicPerClient on the recorded histories", runs),
 	}
 }

@@ -1,4 +1,4 @@
-// Package experiments implements the evaluation suite E1–E11 defined in
+// Package experiments implements the evaluation suite E1–E12 defined in
 // DESIGN.md. The tutorial this repository reproduces has no measured
 // evaluation of its own, so each experiment turns one of its qualitative
 // claims into a measured table or figure; EXPERIMENTS.md records the
@@ -76,6 +76,7 @@ func All() []Runner {
 		{"E9", "replication-throughput", E9ReplicationThroughput},
 		{"E10", "sla-utility", E10SLA},
 		{"E11", "chaos-violations", E11ChaosViolations},
+		{"E12", "resilience", E12Resilience},
 	}
 }
 

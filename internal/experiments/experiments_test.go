@@ -292,8 +292,8 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("nope"); ok {
 		t.Fatal("Lookup(nope) succeeded")
 	}
-	if len(All()) != 11 {
-		t.Fatalf("All() = %d experiments, want 11", len(All()))
+	if len(All()) != 12 {
+		t.Fatalf("All() = %d experiments, want 12", len(All()))
 	}
 }
 
@@ -336,5 +336,61 @@ func TestE11Shape(t *testing.T) {
 			t.Errorf("strong store violated linearizability at intensity %v (rate %v)",
 				p.X, p.Y)
 		}
+	}
+}
+
+func TestE12Shape(t *testing.T) {
+	res := E12Resilience(1)
+	if res.ID != "E12" || len(res.Tables) != 1 || len(res.Series) != 6 {
+		t.Fatalf("unexpected result shape: id=%s tables=%d series=%d",
+			res.ID, len(res.Tables), len(res.Series))
+	}
+
+	// Every series has exactly two points: x=0 resilience off, x=1 on.
+	// The layer must never cost availability, and must buy a material
+	// improvement where the baseline leaves room (quorum and session
+	// under partition storms, quorum under a flaky network).
+	for _, s := range res.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %q has %d points, want 2", s.Name, len(s.Points))
+		}
+		off, on := s.Points[0].Y, s.Points[1].Y
+		if on+1e-9 < off {
+			t.Errorf("%s: resilience lowered success rate %.3f -> %.3f", s.Name, off, on)
+		}
+	}
+	gain := func(i int) float64 { return res.Series[i].Points[1].Y - res.Series[i].Points[0].Y }
+	if gain(0) < 0.05 { // quorum under halves
+		t.Errorf("quorum under halves gained only %.3f, want a material improvement", gain(0))
+	}
+	if gain(1) < 0.05 { // session under halves
+		t.Errorf("session under halves gained only %.3f, want a material improvement", gain(1))
+	}
+	if gain(3) < 0.02 { // quorum under flaky
+		t.Errorf("quorum under flaky gained only %.3f, want an improvement", gain(3))
+	}
+
+	// Zero consistency violations and zero divergence in every cell: the
+	// availability mechanisms must not manufacture anomalies.
+	for _, row := range res.Tables[0].Rows {
+		if !strings.HasPrefix(row[10], "0/") {
+			t.Errorf("%s/%s resilience=%s: claim violations %s, want none",
+				row[0], row[1], row[2], row[10])
+		}
+		if !strings.HasPrefix(row[11], "0/") {
+			t.Errorf("%s/%s resilience=%s: diverged %s, want none",
+				row[0], row[1], row[2], row[11])
+		}
+	}
+
+	// The resilience-on cells must show the machinery actually firing.
+	fired := false
+	for _, row := range res.Tables[0].Rows {
+		if row[2] == "on" && row[6] != "0" {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Error("no resilience-on cell recorded any retries; the layer is not wired")
 	}
 }

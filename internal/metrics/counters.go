@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is a set of named monotonic event counters — the measurement
+// primitive for "how often did mechanism X engage" questions (retries,
+// hedges, breaker trips, failovers). Rendering is sorted by name so any
+// output derived from a Counters value is byte-deterministic.
+//
+// Counters is not safe for concurrent use; the simulator is
+// single-threaded, which is the only place these are written.
+type Counters struct {
+	vals map[string]uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{vals: make(map[string]uint64)}
+}
+
+// Add increments the named counter by n.
+func (c *Counters) Add(name string, n uint64) {
+	c.vals[name] += n
+}
+
+// Inc increments the named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the named counter's value (0 if never incremented).
+func (c *Counters) Get(name string) uint64 { return c.vals[name] }
+
+// Names returns the counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.vals))
+	for n := range c.vals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge folds other's counts into c.
+func (c *Counters) Merge(other *Counters) {
+	for _, n := range other.Names() {
+		c.Add(n, other.vals[n])
+	}
+}
+
+// String renders "name=value" pairs in sorted name order.
+func (c *Counters) String() string {
+	names := c.Names()
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", n, c.vals[n]))
+	}
+	return strings.Join(parts, " ")
+}

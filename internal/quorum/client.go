@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 )
 
@@ -13,6 +14,14 @@ import (
 // quorum responses arrive. A Client tracks the causal context per key so
 // sequential writes through the same client supersede each other (the
 // read-modify-write discipline DVVs expect).
+//
+// With a resilience Policy set, the client also tolerates coordinator
+// failure: an unresponsive coordinator is retried with backoff and then
+// failed over (the same request, verbatim, goes to another node — safe
+// at-most-once because the coordinator derives the write's dot from the
+// client id and request id), slow requests are hedged to a second
+// coordinator after a latency percentile, and a per-coordinator circuit
+// breaker steers load away from nodes that keep failing.
 type Client struct {
 	id      string
 	nextID  uint64
@@ -25,6 +34,37 @@ type Client struct {
 	// before failing the operation locally (for example when the chosen
 	// coordinator is dead). Default 2s.
 	RequestTimeout time.Duration
+
+	// Nodes lists the storage nodes usable as coordinators, in failover
+	// order. Required for retry/hedging (with Policy set).
+	Nodes []string
+	// Policy enables client-side resilience when non-nil.
+	Policy *resilience.Policy
+	// Counters receives resilience event counts. May be nil.
+	Counters *resilience.Counters
+	// Directory, when set, lets coordinator selection skip peers the
+	// failure detector suspects.
+	Directory *resilience.Directory
+
+	ops      map[uint64]*clientOp
+	breakers map[string]*resilience.Breaker
+	rtt      resilience.Latency
+	polNorm  bool
+}
+
+// clientOp is the in-flight state of one resilient request. The message
+// is stored verbatim: every retry and hedge resends the identical bytes
+// (same request id, same context), which is what makes them idempotent
+// end to end.
+type clientOp struct {
+	key    string
+	msg    sim.Message
+	coord  string
+	sent   time.Duration
+	budget *resilience.Budget
+	hedged bool
+	retry  sim.TimerID
+	hedge  sim.TimerID
 }
 
 // ErrNoResponse is returned when the coordinator never answered within
@@ -32,6 +72,10 @@ type Client struct {
 var ErrNoResponse = errors.New("quorum: no response from coordinator")
 
 type clientTimeout struct{ id uint64 }
+
+type clientRetryTag struct{ id uint64 }
+
+type clientHedgeTag struct{ id uint64 }
 
 // NewClient returns a client with the given simulator node id.
 func NewClient(id string) *Client {
@@ -41,6 +85,8 @@ func NewClient(id string) *Client {
 		putCBs:         make(map[uint64]func(PutResult)),
 		keys:           make(map[uint64]string),
 		context:        make(map[string]clock.Vector),
+		ops:            make(map[uint64]*clientOp),
+		breakers:       make(map[string]*resilience.Breaker),
 		RequestTimeout: 2 * time.Second,
 	}
 }
@@ -49,36 +95,132 @@ func NewClient(id string) *Client {
 func (c *Client) OnStart(sim.Env) {}
 
 // OnTimer implements sim.Handler.
-func (c *Client) OnTimer(_ sim.Env, tag any) {
-	t, ok := tag.(clientTimeout)
-	if !ok {
-		return
+func (c *Client) OnTimer(env sim.Env, tag any) {
+	switch t := tag.(type) {
+	case clientTimeout:
+		c.fail(t.id)
+	case clientRetryTag:
+		c.onRetryTimer(env, t.id)
+	case clientHedgeTag:
+		c.onHedgeTimer(env, t.id)
 	}
-	key := c.keys[t.id]
-	if cb, ok := c.putCBs[t.id]; ok {
-		delete(c.putCBs, t.id)
-		delete(c.keys, t.id)
+}
+
+func (c *Client) fail(id uint64) {
+	delete(c.ops, id)
+	key := c.keys[id]
+	if cb, ok := c.putCBs[id]; ok {
+		delete(c.putCBs, id)
+		delete(c.keys, id)
 		if cb != nil {
 			cb(PutResult{Key: key, Err: ErrNoResponse})
 		}
 	}
-	if cb, ok := c.getCBs[t.id]; ok {
-		delete(c.getCBs, t.id)
-		delete(c.keys, t.id)
+	if cb, ok := c.getCBs[id]; ok {
+		delete(c.getCBs, id)
+		delete(c.keys, id)
 		if cb != nil {
 			cb(GetResult{Key: key, Err: ErrNoResponse})
 		}
 	}
 }
 
+// onRetryTimer handles a silent coordinator: record the failure against
+// its breaker, then (budget permitting) resend the request — to a
+// different coordinator when one looks healthier.
+func (c *Client) onRetryTimer(env sim.Env, id uint64) {
+	o, ok := c.ops[id]
+	if !ok {
+		return
+	}
+	now := env.Now()
+	c.breaker(o.coord).Failure(now)
+	if !o.budget.Attempt() {
+		return // the RequestTimeout will deliver the failure
+	}
+	next := c.pickCoordinator(now, o.coord)
+	if next != o.coord {
+		o.coord = next
+		c.Counters.Failover()
+	}
+	c.Counters.Retry()
+	env.Send(o.coord, o.msg)
+	o.retry = env.SetTimer(c.Policy.Backoff(o.budget.Attempts()-1, env.Rand()), clientRetryTag{id: id})
+}
+
+// onHedgeTimer duplicates a slow request to a second coordinator without
+// abandoning the first — whichever answers first wins (both answers are
+// the same operation, so the loser is dropped by the callback dedup).
+func (c *Client) onHedgeTimer(env sim.Env, id uint64) {
+	o, ok := c.ops[id]
+	if !ok || o.hedged {
+		return
+	}
+	alt := c.pickCoordinator(env.Now(), o.coord)
+	if alt == o.coord {
+		return
+	}
+	o.hedged = true
+	c.Counters.Hedge()
+	env.Send(alt, o.msg)
+}
+
+// pickCoordinator returns the next coordinator after `avoid` in Nodes
+// order, skipping nodes whose breaker is open or that the failure
+// detector suspects; if every candidate is skipped, plain rotation wins
+// (some coordinator must be tried).
+func (c *Client) pickCoordinator(now time.Duration, avoid string) string {
+	if len(c.Nodes) == 0 {
+		return avoid
+	}
+	start := 0
+	for i, n := range c.Nodes {
+		if n == avoid {
+			start = i + 1
+			break
+		}
+	}
+	for i := 0; i < len(c.Nodes); i++ {
+		cand := c.Nodes[(start+i)%len(c.Nodes)]
+		if cand == avoid {
+			continue
+		}
+		if !c.breaker(cand).Allow(now) {
+			continue
+		}
+		if c.Directory != nil && c.Directory.Suspects(c.id, cand, now) {
+			continue
+		}
+		return cand
+	}
+	// All alternatives look unhealthy: rotate anyway.
+	for i := 0; i < len(c.Nodes); i++ {
+		cand := c.Nodes[(start+i)%len(c.Nodes)]
+		if cand != avoid {
+			return cand
+		}
+	}
+	return avoid
+}
+
+func (c *Client) breaker(node string) *resilience.Breaker {
+	b, ok := c.breakers[node]
+	if !ok {
+		b = resilience.NewBreaker(c.Policy, c.Counters)
+		c.breakers[node] = b
+	}
+	return b
+}
+
 // OnMessage implements sim.Handler.
-func (c *Client) OnMessage(_ sim.Env, _ string, msg sim.Message) {
+func (c *Client) OnMessage(env sim.Env, from string, msg sim.Message) {
 	switch m := msg.(type) {
 	case putResp:
 		cb, ok := c.putCBs[m.ID]
 		if !ok {
 			return
 		}
+		c.settle(env, m.ID, from)
 		delete(c.putCBs, m.ID)
 		key := c.keys[m.ID]
 		delete(c.keys, m.ID)
@@ -96,6 +238,7 @@ func (c *Client) OnMessage(_ sim.Env, _ string, msg sim.Message) {
 		if !ok {
 			return
 		}
+		c.settle(env, m.ID, from)
 		delete(c.getCBs, m.ID)
 		key := c.keys[m.ID]
 		delete(c.keys, m.ID)
@@ -111,6 +254,49 @@ func (c *Client) OnMessage(_ sim.Env, _ string, msg sim.Message) {
 	}
 }
 
+// settle closes out an op's resilience state on first response: feed the
+// latency estimator, credit the responder's breaker, stop the timers.
+func (c *Client) settle(env sim.Env, id uint64, from string) {
+	o, ok := c.ops[id]
+	if !ok {
+		return
+	}
+	delete(c.ops, id)
+	c.rtt.Observe(env.Now() - o.sent)
+	c.breaker(from).Success()
+	env.Cancel(o.retry)
+	env.Cancel(o.hedge)
+}
+
+// send dispatches a request, arming the resilience machinery when a
+// Policy is configured. All quorum requests are idempotent end to end
+// (reads trivially; writes because the dot is derived from the request
+// id), so every op gets the full retry budget.
+func (c *Client) send(env sim.Env, coordinator string, id uint64, key string, msg sim.Message) {
+	env.SetTimer(c.RequestTimeout, clientTimeout{id: id})
+	env.Send(coordinator, msg)
+	if c.Policy == nil {
+		return
+	}
+	if !c.polNorm {
+		c.Policy = c.Policy.Normalized()
+		c.polNorm = true
+	}
+	o := &clientOp{
+		key:    key,
+		msg:    msg,
+		coord:  coordinator,
+		sent:   env.Now(),
+		budget: resilience.NewBudget(c.Policy.MaxAttempts, true, c.Counters),
+	}
+	o.budget.Attempt()
+	c.ops[id] = o
+	o.retry = env.SetTimer(c.Policy.RetryTimeout, clientRetryTag{id: id})
+	if c.Policy.HedgeQuantile > 0 && len(c.Nodes) > 1 {
+		o.hedge = env.SetTimer(c.rtt.HedgeDelay(c.Policy), clientHedgeTag{id: id})
+	}
+}
+
 // Put writes key=value through coordinator (any store node), invoking cb
 // on completion. The client's stored context for the key is attached, so
 // this write supersedes everything the client has read or written before.
@@ -118,8 +304,7 @@ func (c *Client) Put(env sim.Env, coordinator, key string, value []byte, cb func
 	c.nextID++
 	c.putCBs[c.nextID] = cb
 	c.keys[c.nextID] = key
-	env.Send(coordinator, clientPut{ID: c.nextID, Key: key, Value: value, Context: c.context[key]})
-	env.SetTimer(c.RequestTimeout, clientTimeout{id: c.nextID})
+	c.send(env, coordinator, c.nextID, key, clientPut{ID: c.nextID, Key: key, Value: value, Context: c.context[key]})
 }
 
 // PutBlind writes without any causal context (a client that did not read
@@ -128,8 +313,7 @@ func (c *Client) PutBlind(env sim.Env, coordinator, key string, value []byte, cb
 	c.nextID++
 	c.putCBs[c.nextID] = cb
 	c.keys[c.nextID] = key
-	env.Send(coordinator, clientPut{ID: c.nextID, Key: key, Value: value})
-	env.SetTimer(c.RequestTimeout, clientTimeout{id: c.nextID})
+	c.send(env, coordinator, c.nextID, key, clientPut{ID: c.nextID, Key: key, Value: value})
 }
 
 // Delete tombstones key through coordinator.
@@ -137,8 +321,7 @@ func (c *Client) Delete(env sim.Env, coordinator, key string, cb func(PutResult)
 	c.nextID++
 	c.putCBs[c.nextID] = cb
 	c.keys[c.nextID] = key
-	env.Send(coordinator, clientPut{ID: c.nextID, Key: key, Deleted: true, Context: c.context[key]})
-	env.SetTimer(c.RequestTimeout, clientTimeout{id: c.nextID})
+	c.send(env, coordinator, c.nextID, key, clientPut{ID: c.nextID, Key: key, Deleted: true, Context: c.context[key]})
 }
 
 // Get reads key through coordinator, invoking cb with the merged sibling
@@ -147,8 +330,7 @@ func (c *Client) Get(env sim.Env, coordinator, key string, cb func(GetResult)) {
 	c.nextID++
 	c.getCBs[c.nextID] = cb
 	c.keys[c.nextID] = key
-	env.Send(coordinator, clientGet{ID: c.nextID, Key: key})
-	env.SetTimer(c.RequestTimeout, clientTimeout{id: c.nextID})
+	c.send(env, coordinator, c.nextID, key, clientGet{ID: c.nextID, Key: key})
 }
 
 // ID returns the client's node id.

@@ -16,11 +16,14 @@
 package quorum
 
 import (
+	"errors"
+	"fmt"
 	"hash/fnv"
 	"sort"
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -57,6 +60,20 @@ type Config struct {
 	AntiEntropyInterval time.Duration
 	// MerkleDepth sets the reconciliation tree depth (default 8).
 	MerkleDepth int
+	// Strict declares the deployment intends a strict quorum (R+W > N,
+	// no sloppy fallbacks), and Validate rejects configurations that
+	// silently void that claim.
+	Strict bool
+	// Resilience, when non-nil, enables the fault-tolerance layer on
+	// every node: replica-RPC retransmission with backoff, fast sloppy
+	// fallback for suspected replicas, and liveness heartbeats feeding
+	// the failure detector.
+	Resilience *resilience.Policy
+	// Directory is the shared phi-accrual failure detector (normally fed
+	// by the simulator's delivery hook). Used only when Resilience is set.
+	Directory *resilience.Directory
+	// Counters receives resilience event counts. May be nil.
+	Counters *resilience.Counters
 }
 
 func (c Config) withDefaults() Config {
@@ -72,7 +89,34 @@ func (c Config) withDefaults() Config {
 	if c.MerkleDepth <= 0 {
 		c.MerkleDepth = 8
 	}
+	if c.Resilience != nil {
+		c.Resilience = c.Resilience.Normalized()
+	}
 	return c
+}
+
+// Validate checks the configuration shape, returning an explicit error
+// instead of the silent misbehavior an impossible quorum would produce.
+func (c Config) Validate() error {
+	if len(c.Ring) == 0 {
+		return errors.New("quorum: Ring must not be empty")
+	}
+	if c.N <= 0 || c.N > len(c.Ring) {
+		return fmt.Errorf("quorum: N=%d must be in [1, len(Ring)=%d]", c.N, len(c.Ring))
+	}
+	if c.R < 1 || c.R > c.N {
+		return fmt.Errorf("quorum: R=%d must be in [1, N=%d]", c.R, c.N)
+	}
+	if c.W < 1 || c.W > c.N {
+		return fmt.Errorf("quorum: W=%d must be in [1, N=%d]", c.W, c.N)
+	}
+	if c.Strict && c.R+c.W <= c.N {
+		return fmt.Errorf("quorum: strict quorum claimed but R+W=%d <= N=%d, so read and write quorums need not intersect", c.R+c.W, c.N)
+	}
+	if c.Strict && c.SloppyQuorum {
+		return errors.New("quorum: strict quorum claimed but SloppyQuorum lets fallback acks void replica intersection")
+	}
+	return nil
 }
 
 // record is a replicated value (or tombstone).
@@ -169,6 +213,12 @@ type (
 	handoffAck struct {
 		Key string
 	}
+	// resPing/resPong are liveness heartbeats exchanged between ring
+	// nodes when resilience is enabled. They carry no payload: the
+	// simulator's delivery hook turns every arrival into failure-detector
+	// evidence, and the pong gives the pinger evidence about the pingee.
+	resPing struct{}
+	resPong struct{}
 )
 
 // Size implements the sim bandwidth hook.
@@ -197,6 +247,12 @@ type pendingWrite struct {
 	sloppy    bool
 	done      bool
 	timer     sim.TimerID
+
+	// Resilience state.
+	hinted  map[string]bool // prefs a fallback already stands in for
+	fi      int             // next unused fallback index
+	fbTried bool            // quorum-timeout fallback engagement done
+	attempt int             // retransmission rounds spent
 }
 
 type pendingRead struct {
@@ -208,6 +264,12 @@ type pendingRead struct {
 	replicas  []string
 	done      bool
 	timer     sim.TimerID
+
+	// Resilience state.
+	fallbacks []string
+	asked     map[string]bool // everyone this read has been sent to
+	fi        int
+	attempt   int
 }
 
 // Node is one storage node of the quorum store. It implements
@@ -247,14 +309,12 @@ type Node struct {
 	AESyncs         uint64
 }
 
-// NewNode returns a quorum node with the given shared configuration.
+// NewNode returns a quorum node with the given shared configuration. It
+// panics on an invalid configuration (see Config.Validate).
 func NewNode(id string, cfg Config) *Node {
 	cfg = cfg.withDefaults()
-	if cfg.N <= 0 || cfg.N > len(cfg.Ring) {
-		panic("quorum: N must be in [1, len(Ring)]")
-	}
-	if cfg.R <= 0 || cfg.R > cfg.N || cfg.W <= 0 || cfg.W > cfg.N {
-		panic("quorum: R and W must be in [1, N]")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	return &Node{
 		cfg:     cfg,
@@ -304,6 +364,15 @@ type timeoutTag struct {
 	write bool
 }
 
+// pingTag paces liveness heartbeats; rpcRetryTag paces replica-RPC
+// retransmission rounds for one pending operation.
+type pingTag struct{}
+
+type rpcRetryTag struct {
+	id    uint64
+	write bool
+}
+
 // OnStart implements sim.Handler.
 func (n *Node) OnStart(env sim.Env) {
 	if n.cfg.SloppyQuorum {
@@ -313,6 +382,11 @@ func (n *Node) OnStart(env sim.Env) {
 		// Jittered so replicas do not reconcile in lockstep.
 		d := n.cfg.AntiEntropyInterval/2 + time.Duration(env.Rand().Int63n(int64(n.cfg.AntiEntropyInterval)))
 		env.SetTimer(d, aeTick{})
+	}
+	if n.cfg.Resilience != nil {
+		// Jittered so heartbeats do not fire in lockstep across the ring.
+		hi := n.cfg.Resilience.HeartbeatInterval
+		env.SetTimer(hi/2+time.Duration(env.Rand().Int63n(int64(hi))), pingTag{})
 	}
 }
 
@@ -331,6 +405,19 @@ func (n *Node) OnTimer(env sim.Env, tag any) {
 		} else {
 			n.readTimeout(env, tg.id)
 		}
+	case pingTag:
+		for _, peer := range n.cfg.Ring {
+			if peer != n.id {
+				env.Send(peer, resPing{})
+			}
+		}
+		env.SetTimer(n.cfg.Resilience.HeartbeatInterval, pingTag{})
+	case rpcRetryTag:
+		if tg.write {
+			n.retryWrite(env, tg.id)
+		} else {
+			n.retryRead(env, tg.id)
+		}
 	}
 }
 
@@ -347,6 +434,12 @@ func (n *Node) OnMessage(env sim.Env, from string, msg sim.Message) {
 		n.onPutAck(env, from, m.ID)
 	case replicaGet:
 		entries := n.localEntries(m.Key)
+		if n.cfg.Resilience != nil {
+			// A fallback replica answers with the hinted writes it holds
+			// too — during a partition they are the freshest (often only)
+			// copies reachable from this side.
+			entries = append(entries, n.hintedEntries(m.Key)...)
+		}
 		env.Send(from, replicaGetResp{ID: m.ID, Key: m.Key, Entries: entries})
 	case replicaGetResp:
 		n.onGetResp(env, from, m)
@@ -365,6 +458,10 @@ func (n *Node) OnMessage(env sim.Env, from string, msg sim.Message) {
 				delete(n.hints, from)
 			}
 		}
+	case resPing:
+		env.Send(from, resPong{})
+	case resPong:
+		// The delivery itself was the evidence (observed by the sim hook).
 	case aeReq:
 		n.handleAEReq(env, from, m)
 	case aeResp:
@@ -390,6 +487,21 @@ func (n *Node) localEntries(key string) []clock.SiblingEntry[record] {
 	return nil
 }
 
+// hintedEntries returns every hinted write this node holds for key, in
+// sorted intended-node order so response contents are deterministic.
+func (n *Node) hintedEntries(key string) []clock.SiblingEntry[record] {
+	intendeds := make([]string, 0, len(n.hints))
+	for intended := range n.hints {
+		intendeds = append(intendeds, intended)
+	}
+	sort.Strings(intendeds)
+	var out []clock.SiblingEntry[record]
+	for _, intended := range intendeds {
+		out = append(out, n.hints[intended][key]...)
+	}
+	return out
+}
+
 // coordinatePut runs the write protocol at whichever node the client
 // contacted (Cassandra-style coordination): mint a new version, send it
 // to the key's N replicas, and acknowledge the client after W replica
@@ -400,10 +512,29 @@ func (n *Node) coordinatePut(env sim.Env, client string, m clientPut) {
 
 	// Mint the new version: the context is exactly what the client
 	// causally observed (a blind write must sibling with, not supersede,
-	// versions it never read); the dot sits beyond the context, with the
-	// per-key mint floor keeping dots unique.
-	dvv := clock.MintDVV(n.id, m.Context, n.minted[m.Key])
-	n.minted[m.Key] = dvv.Dot.Counter
+	// versions it never read); the dot sits beyond the context.
+	var dvv clock.DVV
+	if m.ID != 0 {
+		// Client-derived dot: (client, request id) names the write
+		// itself, not the coordination attempt — a retried request,
+		// even through a different coordinator, mints the identical dot
+		// and Siblings.Add applies it at most once. The request id is
+		// unique and increasing per client, so the dot always clears the
+		// client's own entry in the echoed context; the max guards
+		// against a malformed context anyway.
+		ctx := m.Context.Copy()
+		if ctx == nil {
+			ctx = clock.NewVector()
+		}
+		ctr := m.ID
+		if c := ctx.Get(client); c >= ctr {
+			ctr = c + 1
+		}
+		dvv = clock.DVV{Dot: clock.Dot{Node: client, Counter: ctr}, Context: ctx}
+	} else {
+		dvv = clock.MintDVV(n.id, m.Context, n.minted[m.Key])
+		n.minted[m.Key] = dvv.Dot.Counter
+	}
 	entry := clock.SiblingEntry[record]{DVV: dvv, Value: record{Value: m.Value, Deleted: m.Deleted}}
 
 	n.nextReq++
@@ -416,6 +547,7 @@ func (n *Node) coordinatePut(env sim.Env, client string, m clientPut) {
 		acked:    make(map[string]bool),
 		needed:   n.cfg.W,
 		replicas: prefs,
+		hinted:   make(map[string]bool),
 	}
 	if n.cfg.SloppyQuorum {
 		pw.fallbacks = n.fallbackList(m.Key)
@@ -424,8 +556,68 @@ func (n *Node) coordinatePut(env sim.Env, client string, m clientPut) {
 
 	for _, rep := range prefs {
 		env.Send(rep, replicaPut{ID: id, Key: m.Key, Entry: entry})
+		// A replica the failure detector already suspects gets a sloppy
+		// stand-in immediately instead of after the quorum timeout.
+		if n.cfg.Resilience != nil && n.cfg.SloppyQuorum && n.suspects(rep, env.Now()) {
+			n.engageFallback(env, id, pw, rep)
+		}
 	}
 	pw.timer = env.SetTimer(n.cfg.Timeout, timeoutTag{id: id, write: true})
+	if n.cfg.Resilience != nil {
+		env.SetTimer(n.cfg.Resilience.RetryTimeout, rpcRetryTag{id: id, write: true})
+	}
+}
+
+// suspects consults the shared failure detector for this node's view of
+// peer (false when no detector is wired).
+func (n *Node) suspects(peer string, now time.Duration) bool {
+	return n.cfg.Directory != nil && n.cfg.Directory.Suspects(n.id, peer, now)
+}
+
+// engageFallback sends the pending write to the next unused fallback as
+// a hinted stand-in for pref. Idempotent per pref.
+func (n *Node) engageFallback(env sim.Env, id uint64, pw *pendingWrite, pref string) bool {
+	if pw.hinted[pref] || pw.fi >= len(pw.fallbacks) {
+		return false
+	}
+	fb := pw.fallbacks[pw.fi]
+	pw.fi++
+	pw.hinted[pref] = true
+	pw.sloppy = true
+	env.Send(fb, replicaPut{ID: id, Key: pw.key, Entry: pw.entry, Hint: pref})
+	return true
+}
+
+// retryWrite is one retransmission round for a pending write: resend the
+// entry to every replica that has not acked, within the policy's attempt
+// budget, backing off between rounds.
+func (n *Node) retryWrite(env sim.Env, id uint64) {
+	pw, ok := n.writes[id]
+	if !ok || pw.done {
+		return
+	}
+	pol := n.cfg.Resilience
+	pw.attempt++
+	if pw.attempt >= pol.MaxAttempts {
+		if n.cfg.Counters != nil {
+			n.cfg.Counters.Suppressed()
+		}
+		return
+	}
+	now := env.Now()
+	for _, rep := range pw.replicas {
+		if pw.acked[rep] {
+			continue
+		}
+		env.Send(rep, replicaPut{ID: id, Key: pw.key, Entry: pw.entry})
+		if n.cfg.Counters != nil {
+			n.cfg.Counters.Retry()
+		}
+		if n.cfg.SloppyQuorum && n.suspects(rep, now) {
+			n.engageFallback(env, id, pw, rep)
+		}
+	}
+	env.SetTimer(pol.Backoff(pw.attempt, env.Rand()), rpcRetryTag{id: id, write: true})
 }
 
 func contains(xs []string, x string) bool {
@@ -439,12 +631,23 @@ func contains(xs []string, x string) bool {
 
 func (n *Node) applyReplicaPut(env sim.Env, from string, m replicaPut) {
 	if m.Hint != "" && m.Hint != n.id {
-		// Store on behalf of the unreachable intended replica.
+		// Store on behalf of the unreachable intended replica. Retried
+		// RPCs may re-deliver the same write: dedup by dot so the hint
+		// queue stays at-most-once like the sibling sets themselves.
 		if n.hints[m.Hint] == nil {
 			n.hints[m.Hint] = make(map[string][]clock.SiblingEntry[record])
 		}
-		n.hints[m.Hint][m.Key] = append(n.hints[m.Hint][m.Key], m.Entry)
-		n.HintsStored++
+		dup := false
+		for _, e := range n.hints[m.Hint][m.Key] {
+			if e.DVV.Dot == m.Entry.DVV.Dot {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			n.hints[m.Hint][m.Key] = append(n.hints[m.Hint][m.Key], m.Entry)
+			n.HintsStored++
+		}
 	} else {
 		n.siblings(m.Key).Add(m.Entry.DVV, m.Entry.Value)
 		n.noteKeyChanged(m.Key)
@@ -481,22 +684,26 @@ func (n *Node) writeTimeout(env sim.Env, id uint64) {
 	if !ok || pw.done {
 		return
 	}
-	if n.cfg.SloppyQuorum && !pw.sloppy && len(pw.fallbacks) > 0 {
+	if n.cfg.SloppyQuorum && !pw.fbTried && len(pw.fallbacks) > 0 {
 		// Engage one fallback per unacked preference replica, each
 		// carrying a hint naming the replica it stands in for. Fallback
 		// acks count toward W; hinted handoff later delivers the write
-		// to the intended replica.
-		pw.sloppy = true
-		fi := 0
+		// to the intended replica. (Replicas the failure detector
+		// suspected already have stand-ins; engageFallback skips them.)
+		pw.fbTried = true
+		engaged := pw.sloppy
 		for _, rep := range pw.replicas {
-			if pw.acked[rep] || fi >= len(pw.fallbacks) {
+			if pw.acked[rep] {
 				continue
 			}
-			env.Send(pw.fallbacks[fi], replicaPut{ID: id, Key: pw.key, Entry: pw.entry, Hint: rep})
-			fi++
+			if n.engageFallback(env, id, pw, rep) {
+				engaged = true
+			}
 		}
-		pw.timer = env.SetTimer(n.cfg.Timeout, timeoutTag{id: id, write: true})
-		return
+		if engaged {
+			pw.timer = env.SetTimer(n.cfg.Timeout, timeoutTag{id: id, write: true})
+			return
+		}
 	}
 	n.finishWrite(env, id, pw, string(ErrQuorumTimeout))
 }
@@ -518,12 +725,74 @@ func (n *Node) coordinateGet(env sim.Env, client string, m clientGet) {
 		responses: make(map[string][]clock.SiblingEntry[record]),
 		needed:    n.cfg.R,
 		replicas:  prefs,
+		asked:     make(map[string]bool),
+	}
+	if n.cfg.Resilience != nil && n.cfg.SloppyQuorum {
+		pr.fallbacks = n.fallbackList(m.Key)
 	}
 	n.reads[id] = pr
 	for _, rep := range prefs {
 		env.Send(rep, replicaGet{ID: id, Key: m.Key})
+		pr.asked[rep] = true
+		// Suspected replicas get a fallback reader immediately: under a
+		// sloppy quorum the fallback may hold the only reachable copy
+		// (a hinted write), and its response counts toward R.
+		if n.cfg.Resilience != nil && n.suspects(rep, env.Now()) {
+			n.askReadFallback(env, id, pr)
+		}
 	}
 	pr.timer = env.SetTimer(n.cfg.Timeout, timeoutTag{id: id, write: false})
+	if n.cfg.Resilience != nil {
+		env.SetTimer(n.cfg.Resilience.RetryTimeout, rpcRetryTag{id: id, write: false})
+	}
+}
+
+// askReadFallback queries the next unused fallback node for a pending
+// read (no-op when fallbacks are exhausted or disabled).
+func (n *Node) askReadFallback(env sim.Env, id uint64, pr *pendingRead) {
+	if pr.fi >= len(pr.fallbacks) {
+		return
+	}
+	fb := pr.fallbacks[pr.fi]
+	pr.fi++
+	pr.asked[fb] = true
+	env.Send(fb, replicaGet{ID: id, Key: pr.key})
+}
+
+// retryRead is one retransmission round for a pending read: re-ask every
+// node that has not responded, within the policy's attempt budget.
+func (n *Node) retryRead(env sim.Env, id uint64) {
+	pr, ok := n.reads[id]
+	if !ok || pr.done {
+		return
+	}
+	pol := n.cfg.Resilience
+	pr.attempt++
+	if pr.attempt >= pol.MaxAttempts {
+		if n.cfg.Counters != nil {
+			n.cfg.Counters.Suppressed()
+		}
+		return
+	}
+	now := env.Now()
+	targets := make([]string, 0, len(pr.asked))
+	for t := range pr.asked {
+		targets = append(targets, t)
+	}
+	sort.Strings(targets)
+	for _, t := range targets {
+		if _, responded := pr.responses[t]; responded {
+			continue
+		}
+		env.Send(t, replicaGet{ID: id, Key: pr.key})
+		if n.cfg.Counters != nil {
+			n.cfg.Counters.Retry()
+		}
+		if contains(pr.replicas, t) && n.suspects(t, now) {
+			n.askReadFallback(env, id, pr)
+		}
+	}
+	env.SetTimer(pol.Backoff(pr.attempt, env.Rand()), rpcRetryTag{id: id, write: false})
 }
 
 // repairState tracks a completed read whose remaining replica responses
@@ -567,7 +836,13 @@ func (n *Node) finishRead(env sim.Env, id uint64, pr *pendingRead, errStr string
 		n.readRepair(env, pr, mergedEntries)
 		// Late responses from the replicas that did not make the quorum
 		// drive background repair as they trickle in.
-		if remaining := len(pr.replicas) - len(pr.responses); remaining > 0 {
+		remaining := 0
+		for _, rep := range pr.replicas {
+			if _, ok := pr.responses[rep]; !ok {
+				remaining++
+			}
+		}
+		if remaining > 0 {
 			n.repairs[id] = &repairState{key: pr.key, merged: &merged, waiting: remaining}
 		}
 	}
@@ -618,6 +893,12 @@ func (n *Node) readRepair(env sim.Env, pr *pendingRead, merged []clock.SiblingEn
 	}
 	sort.Strings(reps)
 	for _, rep := range reps {
+		// Fallback responders (resilience reads) are not replicas of the
+		// key; pushing the merged set there would strand data on nodes
+		// the read path never consults again.
+		if !contains(pr.replicas, rep) {
+			continue
+		}
 		entries := pr.responses[rep]
 		if sameEntries(entries, merged) {
 			continue

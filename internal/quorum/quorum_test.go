@@ -389,3 +389,68 @@ func TestConfigValidation(t *testing.T) {
 	mustPanic("R>N", func() { NewNode("a", Config{Ring: ring, N: 2, R: 3, W: 1}) })
 	mustPanic("W=0", func() { NewNode("a", Config{Ring: ring, N: 2, R: 1, W: 0}) })
 }
+
+func TestHintedHandoffDrainsAfterPartitionHeal(t *testing.T) {
+	// A write while one intended replica is partitioned away must reach
+	// that replica after heal via hinted handoff — not anti-entropy,
+	// which is disabled here — and the hint queue must fully drain.
+	// W=N so the isolated replica's ack cannot be substituted by the
+	// remaining intendeds and the coordinator must engage a fallback.
+	h := newHarness(t, 6, Config{
+		N: 3, R: 2, W: 3,
+		Timeout:         100 * time.Millisecond,
+		SloppyQuorum:    true,
+		HandoffInterval: 100 * time.Millisecond,
+	}, 12)
+	key := "k"
+	byID := map[string]*Node{}
+	for _, n := range h.nodes {
+		byID[n.id] = n
+	}
+	prefs := h.nodes[0].PreferenceList(key)
+	victim := prefs[2]
+	var put PutResult
+	putDone := false
+	h.c.At(0, func() {
+		// Isolate one intended replica; the rest of the cluster (and the
+		// client) stays connected.
+		rest := make([]string, 0, len(h.nodes))
+		for _, n := range h.nodes {
+			if n.id != victim {
+				rest = append(rest, n.id)
+			}
+		}
+		h.c.Partition(append(rest, "client"), []string{victim})
+		h.client.Put(h.env, prefs[0], key, []byte("v"), func(pr PutResult) {
+			put = pr
+			putDone = true
+		})
+	})
+	h.c.At(2*time.Second, func() { h.c.Heal() })
+	h.c.Run(10 * time.Second)
+
+	if !putDone {
+		t.Fatal("put never completed")
+	}
+	if put.Err != nil {
+		t.Fatalf("sloppy quorum write failed during partition: %v", put.Err)
+	}
+	vals := byID[victim].LocalValues(key)
+	if len(vals) != 1 || string(vals[0]) != "v" {
+		t.Fatalf("isolated replica %s did not converge after heal: %q", victim, vals)
+	}
+	var delivered, pending uint64
+	for _, n := range h.nodes {
+		delivered += n.HintsDelivered
+		pending += uint64(n.PendingHints())
+		if n.AESyncs != 0 {
+			t.Fatalf("%s ran %d anti-entropy syncs; convergence must come from handoff", n.id, n.AESyncs)
+		}
+	}
+	if delivered == 0 {
+		t.Fatal("no hints were delivered; the value arrived some other way")
+	}
+	if pending != 0 {
+		t.Fatalf("%d hints still queued after heal; the queue must drain", pending)
+	}
+}

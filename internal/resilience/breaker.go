@@ -1,0 +1,92 @@
+package resilience
+
+import "time"
+
+// BreakerState is the classic three-state circuit breaker lifecycle.
+type BreakerState int
+
+const (
+	BreakerClosed   BreakerState = iota // normal: requests flow
+	BreakerOpen                         // tripped: requests shed until cooldown
+	BreakerHalfOpen                     // probing: one trial request in flight
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a per-peer circuit breaker: BreakerFailures consecutive
+// failures open it, shedding load to healthier peers; after
+// BreakerCooldown of virtual time it admits a single half-open probe
+// whose outcome closes or re-opens it. All time is the caller's
+// virtual clock.
+type Breaker struct {
+	policy   *Policy
+	counters *Counters
+
+	state    BreakerState
+	failures int
+	openedAt time.Duration
+}
+
+// NewBreaker returns a closed breaker governed by policy.
+func NewBreaker(policy *Policy, counters *Counters) *Breaker {
+	return &Breaker{policy: policy.Normalized(), counters: counters}
+}
+
+// Allow reports whether a request may be sent at virtual time now. An
+// open breaker past its cooldown transitions to half-open and admits
+// exactly one probe.
+func (b *Breaker) Allow(now time.Duration) bool {
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now-b.openedAt >= b.policy.BreakerCooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	case BreakerHalfOpen:
+		// One probe at a time; further requests wait for its verdict.
+		return false
+	}
+	return true
+}
+
+// Success records a successful response, closing the breaker.
+func (b *Breaker) Success() {
+	b.state = BreakerClosed
+	b.failures = 0
+}
+
+// Failure records a failed (or timed-out) request at virtual time now,
+// possibly tripping the breaker.
+func (b *Breaker) Failure(now time.Duration) {
+	if b.state == BreakerHalfOpen {
+		// Failed probe: straight back to open, restart cooldown.
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.counters.BreakerTrip()
+		return
+	}
+	b.failures++
+	if b.state == BreakerClosed && b.failures >= b.policy.BreakerFailures {
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.counters.BreakerTrip()
+	}
+}
+
+// State returns the current breaker state (open may still report open
+// briefly after cooldown; Allow performs the half-open transition).
+func (b *Breaker) State() BreakerState { return b.state }

@@ -1,0 +1,130 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzBudget drives the retry-budget state machine with arbitrary
+// parameters and attempt streams, checking the two invariants the
+// resilience layer's correctness rests on: the attempt count never
+// exceeds the budget, and a non-idempotent operation is never granted
+// a second attempt (ops is how many times the caller asks).
+func FuzzBudget(f *testing.F) {
+	f.Add(4, true, 10)
+	f.Add(1, false, 5)
+	f.Add(0, true, 3)
+	f.Add(-7, false, 100)
+	f.Add(1000, true, 2000)
+	f.Fuzz(func(t *testing.T, max int, idempotent bool, ops int) {
+		if ops < 0 {
+			ops = -ops
+		}
+		if ops > 10000 {
+			ops = ops % 10000
+		}
+		b := NewBudget(max, idempotent, nil)
+		granted := 0
+		for i := 0; i < ops; i++ {
+			if b.Attempt() {
+				granted++
+			}
+		}
+		effMax := max
+		if effMax < 1 {
+			effMax = 1
+		}
+		if granted > effMax {
+			t.Fatalf("granted %d attempts, budget %d", granted, effMax)
+		}
+		if !idempotent && granted > 1 {
+			t.Fatalf("non-idempotent op granted %d attempts", granted)
+		}
+		if b.Attempts() != granted {
+			t.Fatalf("Attempts() = %d, granted = %d", b.Attempts(), granted)
+		}
+		if ops > 0 && granted == 0 {
+			t.Fatal("first attempt must always be granted")
+		}
+	})
+}
+
+// FuzzBackoffCeiling checks the backoff schedule is monotone in the
+// attempt index and always within [min(base,max), max], for arbitrary
+// (including hostile) base/max/attempt values.
+func FuzzBackoffCeiling(f *testing.F) {
+	f.Add(int64(60_000_000), int64(1_000_000_000), 3)
+	f.Add(int64(0), int64(0), 0)
+	f.Add(int64(-5), int64(10), 100)
+	f.Add(int64(1<<62), int64(1<<62), 64)
+	f.Fuzz(func(t *testing.T, baseNs, maxNs int64, attempt int) {
+		if attempt < 0 {
+			attempt = -attempt
+		}
+		if attempt > 128 {
+			attempt %= 128
+		}
+		base, max := time.Duration(baseNs), time.Duration(maxNs)
+		got := BackoffCeiling(base, max, attempt)
+
+		// Effective bounds after input sanitation.
+		effBase := base
+		if effBase <= 0 {
+			effBase = time.Millisecond
+		}
+		effMax := max
+		if effMax < effBase {
+			effMax = effBase
+		}
+		if got < effBase || got > effMax {
+			t.Fatalf("ceiling(%v,%v,%d) = %v outside [%v,%v]", base, max, attempt, got, effBase, effMax)
+		}
+		if attempt > 0 {
+			prev := BackoffCeiling(base, max, attempt-1)
+			if got < prev {
+				t.Fatalf("ceiling not monotone: attempt %d -> %v, attempt %d -> %v", attempt-1, prev, attempt, got)
+			}
+		}
+	})
+}
+
+// FuzzBreaker feeds a breaker an arbitrary event stream and checks the
+// structural invariants: requests are never admitted while open inside
+// the cooldown window, and at most one half-open probe is outstanding.
+func FuzzBreaker(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 1, 2, 0, 1})
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, events []byte) {
+		if len(events) > 4096 {
+			events = events[:4096]
+		}
+		p := DefaultPolicy()
+		b := NewBreaker(p, nil)
+		now := time.Duration(0)
+		inProbe := false
+		for _, e := range events {
+			switch e % 3 {
+			case 0: // request
+				wasOpen := b.State() == BreakerOpen
+				within := now-b.openedAt < p.BreakerCooldown
+				allowed := b.Allow(now)
+				if allowed && wasOpen && within {
+					t.Fatalf("open breaker admitted request %v into cooldown", now-b.openedAt)
+				}
+				if allowed && b.State() == BreakerHalfOpen {
+					if inProbe {
+						t.Fatal("second concurrent half-open probe admitted")
+					}
+					inProbe = true
+				}
+			case 1: // failure
+				b.Failure(now)
+				inProbe = false
+			case 2: // success
+				b.Success()
+				inProbe = false
+			}
+			now += 100 * time.Millisecond
+		}
+	})
+}

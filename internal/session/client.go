@@ -2,6 +2,7 @@ package session
 
 import (
 	"repro/internal/clock"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 )
 
@@ -36,6 +37,12 @@ type WriteResult struct {
 // Client is a session client: it tracks the session's read and write
 // vectors and stamps each operation with the minimum server state the
 // selected guarantees demand. Register it as a simulator node.
+//
+// With a resilience Policy set, an unresponsive (or guarantee-blocked
+// and timed-out) server is retried with backoff and failed over: the
+// stored request is resent verbatim, so the MinVec floor travels with
+// it and the guarantees hold at whichever server finally serves it,
+// while the request id lets servers apply a retried write at most once.
 type Client struct {
 	id string
 	g  Guarantees
@@ -46,7 +53,33 @@ type Client struct {
 	nextID   uint64
 	readCBs  map[uint64]func(ReadResult)
 	writeCBs map[uint64]func(WriteResult)
+
+	// Servers lists the session servers in failover order. Required for
+	// retries (with Policy set).
+	Servers []string
+	// Policy enables client-side resilience when non-nil.
+	Policy *resilience.Policy
+	// Counters receives resilience event counts. May be nil.
+	Counters *resilience.Counters
+	// Directory, when set, lets failover skip servers the failure
+	// detector suspects.
+	Directory *resilience.Directory
+
+	ops map[uint64]*sessionOp
 }
+
+// sessionOp is one in-flight resilient request; msg is stored verbatim
+// so retries carry identical id and MinVec floor.
+type sessionOp struct {
+	key    string
+	msg    sim.Message
+	isRead bool
+	server string
+	budget *resilience.Budget
+	retry  sim.TimerID
+}
+
+type sRetryTag struct{ id uint64 }
 
 // NewClient returns a session client with the given guarantees.
 func NewClient(id string, g Guarantees) *Client {
@@ -57,6 +90,7 @@ func NewClient(id string, g Guarantees) *Client {
 		writeVec: clock.NewVector(),
 		readCBs:  make(map[uint64]func(ReadResult)),
 		writeCBs: make(map[uint64]func(WriteResult)),
+		ops:      make(map[uint64]*sessionOp),
 	}
 }
 
@@ -64,12 +98,103 @@ func NewClient(id string, g Guarantees) *Client {
 func (c *Client) OnStart(sim.Env) {}
 
 // OnTimer implements sim.Handler.
-func (c *Client) OnTimer(sim.Env, any) {}
+func (c *Client) OnTimer(env sim.Env, tag any) {
+	t, ok := tag.(sRetryTag)
+	if !ok {
+		return
+	}
+	o, ok := c.ops[t.id]
+	if !ok {
+		return
+	}
+	if !c.resend(env, t.id, o) {
+		c.giveUp(t.id, o)
+	}
+}
+
+// resend retries an op against the next healthy server, within budget.
+func (c *Client) resend(env sim.Env, id uint64, o *sessionOp) bool {
+	if !o.budget.Attempt() {
+		return false
+	}
+	next := c.pickServer(env, o.server)
+	if next != o.server {
+		o.server = next
+		c.Counters.Failover()
+	}
+	c.Counters.Retry()
+	env.Send(o.server, o.msg)
+	o.retry = env.SetTimer(c.Policy.Backoff(o.budget.Attempts()-1, env.Rand()), sRetryTag{id: id})
+	return true
+}
+
+// giveUp delivers a local timeout after the budget is exhausted.
+func (c *Client) giveUp(id uint64, o *sessionOp) {
+	delete(c.ops, id)
+	if o.isRead {
+		if cb := c.readCBs[id]; cb != nil {
+			delete(c.readCBs, id)
+			cb(ReadResult{Key: o.key, TimedOut: true})
+		}
+		delete(c.readCBs, id)
+		return
+	}
+	if cb := c.writeCBs[id]; cb != nil {
+		delete(c.writeCBs, id)
+		cb(WriteResult{Key: o.key, TimedOut: true})
+		return
+	}
+	delete(c.writeCBs, id)
+}
+
+// pickServer rotates to the server after `avoid`, skipping suspects;
+// plain rotation when every alternative is suspected.
+func (c *Client) pickServer(env sim.Env, avoid string) string {
+	if len(c.Servers) == 0 {
+		return avoid
+	}
+	now := env.Now()
+	start := 0
+	for i, s := range c.Servers {
+		if s == avoid {
+			start = i + 1
+			break
+		}
+	}
+	for i := 0; i < len(c.Servers); i++ {
+		cand := c.Servers[(start+i)%len(c.Servers)]
+		if cand == avoid {
+			continue
+		}
+		if c.Directory != nil && c.Directory.Suspects(c.id, cand, now) {
+			continue
+		}
+		return cand
+	}
+	for i := 0; i < len(c.Servers); i++ {
+		cand := c.Servers[(start+i)%len(c.Servers)]
+		if cand != avoid {
+			return cand
+		}
+	}
+	return avoid
+}
 
 // OnMessage implements sim.Handler.
-func (c *Client) OnMessage(_ sim.Env, _ string, msg sim.Message) {
+func (c *Client) OnMessage(env sim.Env, _ string, msg sim.Message) {
 	switch m := msg.(type) {
 	case sreadResp:
+		if o, ok := c.ops[m.ID]; ok {
+			old := o.retry
+			if m.TimedOut && c.resend(env, m.ID, o) {
+				// The server gave up waiting for its guarantees; another
+				// replica may already be caught up.
+				env.Cancel(old)
+				return
+			}
+			delete(c.ops, m.ID)
+			env.Cancel(o.retry)
+		}
 		cb := c.readCBs[m.ID]
 		delete(c.readCBs, m.ID)
 		if !m.TimedOut {
@@ -82,6 +207,15 @@ func (c *Client) OnMessage(_ sim.Env, _ string, msg sim.Message) {
 			cb(ReadResult{Key: m.Key, Value: m.Val, OK: m.OK, TimedOut: m.TimedOut})
 		}
 	case swriteResp:
+		if o, ok := c.ops[m.ID]; ok {
+			old := o.retry
+			if m.TimedOut && c.resend(env, m.ID, o) {
+				env.Cancel(old)
+				return
+			}
+			delete(c.ops, m.ID)
+			env.Cancel(o.retry)
+		}
 		cb := c.writeCBs[m.ID]
 		delete(c.writeCBs, m.ID)
 		if !m.TimedOut {
@@ -117,12 +251,31 @@ func (c *Client) writeFloor() clock.Vector {
 	return floor
 }
 
+// send dispatches a request, arming retry state when a Policy is set.
+func (c *Client) send(env sim.Env, server, key string, id uint64, msg sim.Message, isRead bool) {
+	env.Send(server, msg)
+	if c.Policy == nil {
+		return
+	}
+	c.Policy = c.Policy.Normalized()
+	o := &sessionOp{
+		key:    key,
+		msg:    msg,
+		isRead: isRead,
+		server: server,
+		budget: resilience.NewBudget(c.Policy.MaxAttempts, true, c.Counters),
+	}
+	o.budget.Attempt()
+	c.ops[id] = o
+	o.retry = env.SetTimer(c.Policy.RetryTimeout, sRetryTag{id: id})
+}
+
 // Read reads key at server, blocking there until the selected guarantees
 // hold.
 func (c *Client) Read(env sim.Env, server, key string, cb func(ReadResult)) {
 	c.nextID++
 	c.readCBs[c.nextID] = cb
-	env.Send(server, sread{ID: c.nextID, Key: key, MinVec: c.readFloor()})
+	c.send(env, server, key, c.nextID, sread{ID: c.nextID, Key: key, MinVec: c.readFloor()}, true)
 }
 
 // Write writes key=value at server, blocking there until the selected
@@ -130,15 +283,22 @@ func (c *Client) Read(env sim.Env, server, key string, cb func(ReadResult)) {
 func (c *Client) Write(env sim.Env, server, key string, value []byte, cb func(WriteResult)) {
 	c.nextID++
 	c.writeCBs[c.nextID] = cb
-	env.Send(server, swrite{ID: c.nextID, Key: key, Val: value, MinVec: c.writeFloor()})
+	c.send(env, server, key, c.nextID, swrite{ID: c.nextID, Key: key, Val: value, MinVec: c.writeFloor()}, false)
 }
 
 // Delete tombstones key at server under the same write guarantees.
 func (c *Client) Delete(env sim.Env, server, key string, cb func(WriteResult)) {
 	c.nextID++
 	c.writeCBs[c.nextID] = cb
-	env.Send(server, swrite{ID: c.nextID, Key: key, Deleted: true, MinVec: c.writeFloor()})
+	c.send(env, server, key, c.nextID, swrite{ID: c.nextID, Key: key, Deleted: true, MinVec: c.writeFloor()}, false)
 }
 
 // ID returns the client's simulator id.
 func (c *Client) ID() string { return c.id }
+
+// RetryBudgetExhausted reports whether op id is no longer tracked
+// (completed or abandoned) — exposed for tests.
+func (c *Client) RetryBudgetExhausted(id uint64) bool {
+	_, ok := c.ops[id]
+	return !ok
+}

@@ -38,6 +38,12 @@ type write struct {
 		Time uint64
 		Node string
 	}
+	// Client/CliSeq name the client request that produced this write, so
+	// every replica — not just the accepting server — can recognize a
+	// retried request it has already seen applied (the at-most-once
+	// token; zero values on writes from non-resilient clients).
+	Client string
+	CliSeq uint64
 }
 
 func tsLess(a, b write) bool {
@@ -136,6 +142,13 @@ type Server struct {
 
 	blocked []blockedReq
 
+	// cliSeq is the highest client request id seen applied per client
+	// (locally or via anti-entropy); lastWID is the WriteID that request
+	// produced. Together they answer a retried write without re-applying
+	// it.
+	cliSeq  map[string]uint64
+	lastWID map[string]WriteID
+
 	// BlockedServed counts requests that had to wait for anti-entropy.
 	BlockedServed uint64
 }
@@ -146,11 +159,13 @@ type blockSweep struct{}
 // NewServer returns a session server.
 func NewServer(id string, cfg ServerConfig) *Server {
 	return &Server{
-		cfg:  cfg.withDefaults(),
-		id:   id,
-		logs: make(map[string][]write),
-		vec:  clock.NewVector(),
-		data: make(map[string]write),
+		cfg:     cfg.withDefaults(),
+		id:      id,
+		logs:    make(map[string][]write),
+		vec:     clock.NewVector(),
+		data:    make(map[string]write),
+		cliSeq:  make(map[string]uint64),
+		lastWID: make(map[string]WriteID),
 	}
 }
 
@@ -239,17 +254,29 @@ func (s *Server) serveWrite(env sim.Env, from string, m swrite, wasBlocked bool)
 	if wasBlocked {
 		s.BlockedServed++
 	}
+	// At-most-once: a request this replica knows to be applied already
+	// (here or — learned via anti-entropy — at another server) is
+	// acknowledged without re-applying, so a client retrying through a
+	// different server cannot double-write.
+	if m.ID <= s.cliSeq[from] {
+		env.Send(from, swriteResp{ID: m.ID, WID: s.lastWID[from], V: s.vec.Copy()})
+		return
+	}
 	s.lamport++
 	w := write{
 		ID:      WriteID{Origin: s.id, Seq: uint64(len(s.logs[s.id])) + 1},
 		Key:     m.Key,
 		Val:     m.Val,
 		Deleted: m.Deleted,
+		Client:  from,
+		CliSeq:  m.ID,
 	}
 	w.TS.Time = s.lamport
 	w.TS.Node = s.id
 	s.logs[s.id] = append(s.logs[s.id], w)
 	s.vec[s.id] = uint64(len(s.logs[s.id]))
+	s.cliSeq[from] = m.ID
+	s.lastWID[from] = w.ID
 	s.resolve(w)
 	env.Send(from, swriteResp{ID: m.ID, WID: w.ID, V: s.vec.Copy()})
 }
@@ -265,6 +292,10 @@ func (s *Server) applyRemote(w write) bool {
 	s.vec[w.ID.Origin] = w.ID.Seq
 	if w.TS.Time > s.lamport {
 		s.lamport = w.TS.Time
+	}
+	if w.Client != "" && w.CliSeq > s.cliSeq[w.Client] {
+		s.cliSeq[w.Client] = w.CliSeq
+		s.lastWID[w.Client] = w.ID
 	}
 	s.resolve(w)
 	return true

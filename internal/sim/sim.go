@@ -80,6 +80,12 @@ type Config struct {
 	// its seed, two runs with identical configuration must produce
 	// byte-identical traces — the determinism regression tests rely on it.
 	Trace func(line string)
+	// OnDeliver, if non-nil, observes every successful message delivery:
+	// (from, to, virtual delivery time). It runs before the recipient's
+	// handler. Failure detectors hook here — a delivered message is
+	// evidence, at the recipient, that the sender is alive. The hook must
+	// be deterministic (no wall clock, no private randomness).
+	OnDeliver func(from, to string, at time.Duration)
 }
 
 // DefaultLatency is used when Config.Latency is nil: a uniform 1–5 ms LAN.
@@ -162,7 +168,7 @@ type Cluster struct {
 	cancel map[TimerID]bool
 	nextID TimerID
 
-	partition map[string]int    // node -> partition group; absent means group 0
+	partition map[string]int     // node -> partition group; absent means group 0
 	blocked   map[[2]string]bool // directed links severed by BlockLink
 
 	stats Stats
@@ -358,6 +364,9 @@ func (c *Cluster) Step() bool {
 			c.trace("deliver", e)
 			c.stats.MessagesDelivered++
 			c.stats.BytesDelivered += uint64(c.sizeOf(e.msg))
+			if c.cfg.OnDeliver != nil {
+				c.cfg.OnDeliver(e.from, e.to, e.at)
+			}
 			n.handler.OnMessage(&env{c: c, n: n}, e.from, e.msg)
 			return true
 		case evTimer:
