@@ -1,16 +1,15 @@
 package repro
 
 import (
-	"fmt"
-	"math/rand"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"regexp"
+	"strings"
 	"testing"
 
-	"repro/internal/clock"
-	"repro/internal/crdt"
+	"repro/internal/benchsuite"
 	"repro/internal/experiments"
-	"repro/internal/ot"
-	"repro/internal/storage"
-	"repro/internal/workload"
 )
 
 // ── Experiment benchmarks ──────────────────────────────────────────────
@@ -85,191 +84,93 @@ func BenchmarkE12Resilience(b *testing.B) {
 // ── Micro-benchmarks ───────────────────────────────────────────────────
 //
 // CPU costs of the primitives the experiments lean on: CRDT merges (the
-// ns/op panel of E5), clock comparisons, Merkle updates, storage ops.
+// ns/op panel of E5), clock comparisons, Merkle reconciliation, storage
+// ops. The bodies live in internal/benchsuite — a single registry shared
+// with `ecbench -bench`, which snapshots the suite into
+// BENCH_baseline.json for cmd/benchcheck's regression watch. The
+// wrappers below only preserve the canonical `go test -bench` names.
 
-func BenchmarkE5CRDTMergeORSet(b *testing.B) {
-	for _, size := range []int{100, 1000, 10000} {
-		b.Run(fmt.Sprintf("elems=%d", size), func(b *testing.B) {
-			r := rand.New(rand.NewSource(1))
-			base := crdt.NewORSet[int]("a")
-			other := crdt.NewORSet[int]("b")
-			for i := 0; i < size; i++ {
-				base.Add(r.Intn(size))
-				other.Add(r.Intn(size))
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				s := base.Copy()
-				s.Merge(other)
-			}
-		})
+func runGroup(b *testing.B, name string) {
+	b.Helper()
+	group := benchsuite.Group(name)
+	if len(group) == 0 {
+		b.Fatalf("no benchsuite entry named %q", name)
 	}
-}
-
-func BenchmarkE5CRDTMergeGCounter(b *testing.B) {
-	a := crdt.NewGCounter("a")
-	other := crdt.NewGCounter("b")
-	a.Inc(100)
-	other.Inc(200)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		a.Merge(other)
-	}
-}
-
-func BenchmarkE5CRDTOpORSetApply(b *testing.B) {
-	s := crdt.NewOpORSet[int]("a")
-	ops := make([]crdt.AddOp[int], 1000)
-	src := crdt.NewOpORSet[int]("b")
-	for i := range ops {
-		ops[i] = src.Add(i)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s.Apply(ops[i%len(ops)])
-	}
-}
-
-func BenchmarkRGAInsert(b *testing.B) {
-	r := crdt.NewRGA[rune]("a")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r.Insert(r.Len(), 'x')
-	}
-}
-
-func BenchmarkOTTransform(b *testing.B) {
-	a := ot.InsertOp(5, "x", "s1")
-	d := ot.DeleteOp(2, 4, "s2")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = ot.Transform(a, d)
-	}
-}
-
-// BenchmarkOTvsRGAEditing compares the two convergence techniques for
-// sequences on the same editing pattern: N sequential inserts at random
-// positions, with one remote op transformed/integrated per local edit.
-func BenchmarkOTvsRGAEditing(b *testing.B) {
-	b.Run("ot-jupiter", func(b *testing.B) {
-		srv := ot.NewServer("")
-		cl := ot.NewClient("c", "", 0)
-		r := rand.New(rand.NewSource(1))
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			docLen := len(cl.Doc())
-			m, ok := cl.Insert(r.Intn(docLen+1), "x")
-			if ok {
-				bm := srv.Submit(m)
-				if m2, ok2 := cl.Receive(bm); ok2 {
-					cl.Receive(srv.Submit(m2))
-				}
-			}
+	for _, bm := range group {
+		if bm.Name == name {
+			bm.F(b)
+		} else {
+			b.Run(strings.TrimPrefix(bm.Name, name+"/"), bm.F)
 		}
-	})
-	b.Run("rga", func(b *testing.B) {
-		doc := crdt.NewRGA[rune]("c")
-		r := rand.New(rand.NewSource(1))
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			doc.Insert(r.Intn(doc.Len()+1), 'x')
+	}
+}
+
+func BenchmarkE5CRDTMergeORSet(b *testing.B)    { runGroup(b, "BenchmarkE5CRDTMergeORSet") }
+func BenchmarkE5CRDTMergeGCounter(b *testing.B) { runGroup(b, "BenchmarkE5CRDTMergeGCounter") }
+func BenchmarkE5CRDTOpORSetApply(b *testing.B)  { runGroup(b, "BenchmarkE5CRDTOpORSetApply") }
+func BenchmarkRGAInsert(b *testing.B)           { runGroup(b, "BenchmarkRGAInsert") }
+func BenchmarkOTTransform(b *testing.B)         { runGroup(b, "BenchmarkOTTransform") }
+func BenchmarkOTvsRGAEditing(b *testing.B)      { runGroup(b, "BenchmarkOTvsRGAEditing") }
+func BenchmarkVectorClockCompare(b *testing.B)  { runGroup(b, "BenchmarkVectorClockCompare") }
+func BenchmarkDenseClockCompare(b *testing.B)   { runGroup(b, "BenchmarkDenseClockCompare") }
+func BenchmarkDVVSiblingAdd(b *testing.B)       { runGroup(b, "BenchmarkDVVSiblingAdd") }
+func BenchmarkMerkleUpdate(b *testing.B)        { runGroup(b, "BenchmarkMerkleUpdate") }
+func BenchmarkMerkleDiff(b *testing.B)          { runGroup(b, "BenchmarkMerkleDiff") }
+func BenchmarkMerkleDescend(b *testing.B)       { runGroup(b, "BenchmarkMerkleDescend") }
+func BenchmarkKVPut(b *testing.B)               { runGroup(b, "BenchmarkKVPut") }
+func BenchmarkKVGet(b *testing.B)               { runGroup(b, "BenchmarkKVGet") }
+func BenchmarkZipfianNext(b *testing.B)         { runGroup(b, "BenchmarkZipfianNext") }
+func BenchmarkHLCNow(b *testing.B)              { runGroup(b, "BenchmarkHLCNow") }
+
+// TestBenchmarkWrappersCoverSuite: every benchsuite entry must be
+// reachable from a Benchmark* wrapper in this file, so `go test -bench .`
+// and `ecbench -bench` measure the same set.
+func TestBenchmarkWrappersCoverSuite(t *testing.T) {
+	wrappers := benchmarkFuncNames(t)
+	for _, bm := range benchsuite.All() {
+		top := bm.Name
+		if i := strings.IndexByte(top, '/'); i >= 0 {
+			top = top[:i]
 		}
-	})
-}
-
-func BenchmarkVectorClockCompare(b *testing.B) {
-	v1 := clock.Vector{"a": 1, "b": 2, "c": 3}
-	v2 := clock.Vector{"a": 2, "b": 1, "c": 3}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = v1.Compare(v2)
+		if !wrappers[top] {
+			t.Errorf("benchsuite entry %q has no %s wrapper in bench_test.go", bm.Name, top)
+		}
 	}
 }
 
-func BenchmarkDVVSiblingAdd(b *testing.B) {
-	var s clock.Siblings[int]
-	ctx := clock.NewVector()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s.Add(clock.MintDVV("n", ctx, uint64(i)), i)
-		ctx = s.Context()
-	}
-}
-
-func BenchmarkMerkleUpdate(b *testing.B) {
-	m := storage.NewMerkle(12)
-	keys := make([]string, 1024)
-	for i := range keys {
-		keys[i] = fmt.Sprintf("key-%d", i)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m.Update(keys[i%len(keys)], uint64(i))
-	}
-}
-
-func BenchmarkMerkleDiff(b *testing.B) {
-	x, y := storage.NewMerkle(12), storage.NewMerkle(12)
-	for i := 0; i < 10000; i++ {
-		k := fmt.Sprintf("key-%d", i)
-		x.Update(k, uint64(i))
-		y.Update(k, uint64(i))
-	}
-	y.Update("key-42", 999)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = storage.DiffLeaves(x, y)
-	}
-}
-
-func BenchmarkKVPut(b *testing.B) {
-	kv := storage.NewKV()
-	keys := make([]string, 1024)
-	for i := range keys {
-		keys[i] = fmt.Sprintf("key-%d", i)
-	}
-	val := []byte("0123456789abcdef")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		kv.Put(keys[i%len(keys)], val, nil)
-	}
-}
-
-func BenchmarkKVGet(b *testing.B) {
-	kv := storage.NewKV()
-	keys := make([]string, 1024)
-	for i := range keys {
-		keys[i] = fmt.Sprintf("key-%d", i)
-		kv.Put(keys[i], []byte("v"), nil)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		kv.Get(keys[i%len(keys)])
-	}
-}
-
-func BenchmarkZipfianNext(b *testing.B) {
-	z := workload.NewZipfian(100000, 0.99)
-	r := rand.New(rand.NewSource(1))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = z.Next(r)
-	}
-}
-
-func BenchmarkHLCNow(b *testing.B) {
-	var t int64
-	h := clock.NewHLC("n", func() int64 { t++; return t })
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = h.Now()
-	}
-}
-
-// Guard against silent drift: the experiment list and the benchmark list
-// must stay in sync.
+// TestEveryExperimentHasABenchmark guards against silent drift between
+// the experiment list and the benchmark list by name, not by count:
+// every experiments.All() ID must have a BenchmarkE<n>... wrapper.
 func TestEveryExperimentHasABenchmark(t *testing.T) {
-	if len(experiments.All()) != 12 {
-		t.Fatalf("experiment count changed (%d); update bench_test.go", len(experiments.All()))
+	wrappers := benchmarkFuncNames(t)
+	idRe := regexp.MustCompile(`^BenchmarkE(\d+)[A-Z]`)
+	covered := map[string]bool{}
+	for name := range wrappers {
+		if m := idRe.FindStringSubmatch(name); m != nil {
+			covered["E"+m[1]] = true
+		}
 	}
+	for _, r := range experiments.All() {
+		if !covered[r.ID] {
+			t.Errorf("experiment %s (%s) has no Benchmark%s... wrapper in bench_test.go", r.ID, r.Name, r.ID)
+		}
+	}
+}
+
+// benchmarkFuncNames parses this file and returns the names of its
+// top-level Benchmark* functions.
+func benchmarkFuncNames(t *testing.T) map[string]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "bench_test.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parsing bench_test.go: %v", err)
+	}
+	names := map[string]bool{}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && strings.HasPrefix(fd.Name.Name, "Benchmark") {
+			names[fd.Name.Name] = true
+		}
+	}
+	return names
 }

@@ -1,0 +1,117 @@
+// Command benchcheck compares a `go test -bench` run against the
+// committed baseline (BENCH_baseline.json) and warns about large
+// regressions. It is a guard rail, not a gate: benchmarks on shared CI
+// runners are noisy, so benchcheck always exits 0 — its job is to make
+// a 2x slowdown visible in the log, not to fail the build.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -count=3 . | tee bench.txt
+//	go run ./cmd/benchcheck -baseline BENCH_baseline.json bench.txt
+//
+// With -count > 1, the minimum ns/op across repetitions is compared —
+// the least-noisy estimate of the true cost.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/benchsuite"
+)
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkKVPut-8   	 1000000	      1234 ns/op	     120 B/op	       3 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped so names match the baseline.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline JSON")
+		threshold    = flag.Float64("threshold", 0.30, "warn when ns/op regresses by more than this fraction")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-baseline file] [-threshold frac] bench-output.txt")
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	var bl benchsuite.Baseline
+	if err := json.Unmarshal(data, &bl); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: parsing %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	base := map[string]float64{}
+	for _, e := range bl.Benchmarks {
+		base[e.Name] = e.NsPerOp
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+
+	// Minimum ns/op per benchmark across -count repetitions.
+	got := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		if cur, ok := got[m[1]]; !ok || ns < cur {
+			got[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: reading %s: %v\n", flag.Arg(0), err)
+		os.Exit(2)
+	}
+
+	warned, checked := 0, 0
+	for _, e := range bl.Benchmarks {
+		ns, ok := got[e.Name]
+		if !ok {
+			continue // not part of this run
+		}
+		checked++
+		ratio := ns / e.NsPerOp
+		mark := " "
+		if ratio > 1+*threshold {
+			mark = "!"
+			warned++
+		}
+		fmt.Printf("%s %-45s baseline %12.1f ns/op  now %12.1f ns/op  (%+.0f%%)\n",
+			mark, e.Name, e.NsPerOp, ns, (ratio-1)*100)
+	}
+	if checked == 0 {
+		fmt.Println("benchcheck: no benchmark in the run matched the baseline")
+		return
+	}
+	if warned > 0 {
+		fmt.Printf("benchcheck: WARNING — %d/%d benchmark(s) regressed more than %.0f%% "+
+			"over %s (warn-only; not failing the build)\n", warned, checked, *threshold*100, *baselinePath)
+	} else {
+		fmt.Printf("benchcheck: %d benchmark(s) within %.0f%% of baseline\n", checked, *threshold*100)
+	}
+}

@@ -9,7 +9,13 @@
 //	ecbench -experiment E2   # one experiment by id ...
 //	ecbench -experiment pbs-staleness   # ... or by name
 //	ecbench -seed 7          # a different deterministic universe
+//	ecbench -parallel        # run experiments on a worker pool
+//	ecbench -bench out.json  # micro-benchmark suite -> JSON baseline
 //	ecbench -list            # list experiments
+//
+// Every experiment is a pure function of its seed, so -parallel changes
+// only wall-clock time: stdout is byte-identical to a serial run (wall
+// times go to stderr).
 package main
 
 import (
@@ -18,20 +24,31 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/benchsuite"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		exp  = flag.String("experiment", "", "experiment id (E1..E12) or name; empty = all")
-		seed = flag.Int64("seed", 1, "simulation seed")
-		list = flag.Bool("list", false, "list experiments and exit")
+		exp      = flag.String("experiment", "", "experiment id (E1..E12) or name; empty = all")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		parallel = flag.Bool("parallel", false, "run experiments concurrently (same output, less wall time)")
+		bench    = flag.String("bench", "", "run the micro-benchmark suite and write a JSON baseline to this path ('-' for stdout)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, r := range experiments.All() {
 			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+
+	if *bench != "" {
+		if err := benchsuite.WriteBaseline(*bench); err != nil {
+			fmt.Fprintf(os.Stderr, "ecbench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -46,10 +63,20 @@ func main() {
 		runners = []experiments.Runner{r}
 	}
 
+	if *parallel {
+		start := time.Now()
+		for _, res := range experiments.RunConcurrently(runners, *seed) {
+			fmt.Println(res.String())
+		}
+		fmt.Fprintf(os.Stderr, "(%d experiments completed in %v wall time)\n",
+			len(runners), time.Since(start).Round(time.Millisecond))
+		return
+	}
+
 	for _, r := range runners {
 		start := time.Now()
 		res := r.Run(*seed)
 		fmt.Println(res.String())
-		fmt.Printf("(%s completed in %v wall time)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "(%s completed in %v wall time)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
 	}
 }

@@ -7,8 +7,13 @@ import (
 
 // conformanceSeeds is the seed set each (store, schedule) cell runs
 // under. Three seeds per cell keeps the matrix fast while giving the
-// nemesis enough rolls to hit interesting interleavings.
-var conformanceSeeds = []int64{1, 2, 3}
+// nemesis enough rolls to hit interesting interleavings. The seeds are
+// pinned to interleavings where the nemesis provably bites the eventual
+// store (see TestCheckerHasTeeth): seeds 3 and 7 produce stale reads
+// under partition and mixed storms, seeds 7 and 9 under the flaky
+// network. Re-tune them if a protocol change shifts the shared random
+// stream.
+var conformanceSeeds = []int64{3, 7, 9}
 
 // TestConformance is the cross-store conformance matrix: every core
 // store model under every nemesis schedule, asserting exactly the

@@ -1,0 +1,211 @@
+package clock
+
+// NodeTable interns replica IDs to small dense indices, so vector clocks
+// over a known membership can be stored as flat counter slices instead of
+// maps. A table belongs to one replica (or one simulated component): two
+// Dense clocks are only comparable when they share a table, which keeps
+// index assignment deterministic per node without any global state.
+type NodeTable struct {
+	idx map[string]int
+	ids []string
+}
+
+// NewNodeTable returns an empty interner.
+func NewNodeTable() *NodeTable {
+	return &NodeTable{idx: make(map[string]int)}
+}
+
+// Index returns the dense index for id, interning it on first sight.
+func (t *NodeTable) Index(id string) int {
+	if i, ok := t.idx[id]; ok {
+		return i
+	}
+	i := len(t.ids)
+	t.idx[id] = i
+	t.ids = append(t.ids, id)
+	return i
+}
+
+// Lookup returns the dense index for id without interning.
+func (t *NodeTable) Lookup(id string) (int, bool) {
+	i, ok := t.idx[id]
+	return i, ok
+}
+
+// ID returns the replica id at index i.
+func (t *NodeTable) ID(i int) string { return t.ids[i] }
+
+// Len returns the number of interned ids.
+func (t *NodeTable) Len() int { return len(t.ids) }
+
+// Dense is a vector clock stored as a flat counter slice over a
+// NodeTable: entry i is the count of events observed from table.ID(i),
+// with indices beyond len(counts) implicitly zero. Compare, Merge, and
+// Descends between two Dense clocks of the same table are straight slice
+// walks — no map iteration, no hashing — which is what the session,
+// quorum, and causal hot paths need; the map-shaped Vector remains the
+// wire and API representation, converted at the boundary.
+type Dense struct {
+	table  *NodeTable
+	counts []uint64
+}
+
+// NewDense returns an empty dense clock over table.
+func NewDense(table *NodeTable) Dense {
+	return Dense{table: table}
+}
+
+// DenseFromVector interns v's ids into table and returns the dense form.
+func DenseFromVector(table *NodeTable, v Vector) Dense {
+	d := Dense{table: table}
+	for id, n := range v {
+		d.Set(table.Index(id), n)
+	}
+	return d
+}
+
+// Table returns the clock's interner.
+func (d Dense) Table() *NodeTable { return d.table }
+
+// Get returns the counter at dense index i (zero beyond the slice).
+func (d Dense) Get(i int) uint64 {
+	if i < 0 || i >= len(d.counts) {
+		return 0
+	}
+	return d.counts[i]
+}
+
+// GetID returns the counter for replica id (zero if never seen).
+func (d Dense) GetID(id string) uint64 {
+	if i, ok := d.table.Lookup(id); ok {
+		return d.Get(i)
+	}
+	return 0
+}
+
+// Set stores n at dense index i, growing the slice as needed.
+func (d *Dense) Set(i int, n uint64) {
+	for len(d.counts) <= i {
+		d.counts = append(d.counts, 0)
+	}
+	d.counts[i] = n
+}
+
+// Tick increments the counter at dense index i and returns the new value.
+func (d *Dense) Tick(i int) uint64 {
+	d.Set(i, d.Get(i)+1)
+	return d.counts[i]
+}
+
+// Merge folds other into d entry-wise taking maxima — the same lattice
+// join as Vector.Merge, as a slice walk. Both clocks must share a table.
+func (d *Dense) Merge(other Dense) {
+	if len(other.counts) > len(d.counts) {
+		grown := make([]uint64, len(other.counts))
+		copy(grown, d.counts)
+		d.counts = grown
+	}
+	for i, n := range other.counts {
+		if n > d.counts[i] {
+			d.counts[i] = n
+		}
+	}
+}
+
+// MergeVector folds the map-shaped v into d, interning new ids.
+func (d *Dense) MergeVector(v Vector) {
+	for id, n := range v {
+		i := d.table.Index(id)
+		if n > d.Get(i) {
+			d.Set(i, n)
+		}
+	}
+}
+
+// Compare reports the ordering of d relative to other (same table).
+func (d Dense) Compare(other Dense) Ordering {
+	dLess, oLess := false, false
+	n := len(d.counts)
+	if len(other.counts) > n {
+		n = len(other.counts)
+	}
+	for i := 0; i < n; i++ {
+		a, b := d.Get(i), other.Get(i)
+		if a < b {
+			dLess = true
+		} else if a > b {
+			oLess = true
+		}
+		if dLess && oLess {
+			return Concurrent
+		}
+	}
+	switch {
+	case dLess:
+		return Before
+	case oLess:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// Descends reports whether d dominates or equals other (other ≤ d).
+func (d Dense) Descends(other Dense) bool {
+	for i, n := range other.counts {
+		if n > d.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// DescendsVector reports whether d dominates or equals the map-shaped v,
+// without interning ids d has never seen (an unknown id with a non-zero
+// count cannot be dominated).
+func (d Dense) DescendsVector(v Vector) bool {
+	for id, n := range v {
+		if n == 0 {
+			continue
+		}
+		i, ok := d.table.Lookup(id)
+		if !ok || d.Get(i) < n {
+			return false
+		}
+	}
+	return true
+}
+
+// Copy returns an independent copy sharing the same table.
+func (d Dense) Copy() Dense {
+	c := Dense{table: d.table}
+	if len(d.counts) > 0 {
+		c.counts = make([]uint64, len(d.counts))
+		copy(c.counts, d.counts)
+	}
+	return c
+}
+
+// Sum returns the total event count across all replicas.
+func (d Dense) Sum() uint64 {
+	var s uint64
+	for _, n := range d.counts {
+		s += n
+	}
+	return s
+}
+
+// ToVector converts to the map-shaped wire representation, omitting
+// zero entries (so round-tripping through Vector is canonical).
+func (d Dense) ToVector() Vector {
+	v := make(Vector, len(d.counts))
+	for i, n := range d.counts {
+		if n != 0 {
+			v[d.table.ID(i)] = n
+		}
+	}
+	return v
+}
+
+// String renders the clock deterministically, matching Vector.String.
+func (d Dense) String() string { return d.ToVector().String() }

@@ -1,0 +1,144 @@
+package clock
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randVector draws a small random vector over a fixed id universe,
+// including absent and explicit-zero entries.
+func randVector(r *rand.Rand) Vector {
+	v := NewVector()
+	for i := 0; i < 6; i++ {
+		if r.Intn(2) == 0 {
+			v[fmt.Sprintf("n%d", i)] = uint64(r.Intn(4))
+		}
+	}
+	return v
+}
+
+// TestDenseAgreesWithVector: Compare, Descends, Merge, and Sum on the
+// dense representation agree with the map representation for random
+// vector pairs, sharing one interner the way a replica would.
+func TestDenseAgreesWithVector(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	table := NewNodeTable()
+	for trial := 0; trial < 2000; trial++ {
+		a, b := randVector(r), randVector(r)
+		da := DenseFromVector(table, a)
+		db := DenseFromVector(table, b)
+
+		if got, want := da.Compare(db), a.Compare(b); got != want {
+			t.Fatalf("Compare(%v, %v): dense %v, map %v", a, b, got, want)
+		}
+		if got, want := da.Descends(db), a.Descends(b); got != want {
+			t.Fatalf("Descends(%v, %v): dense %v, map %v", a, b, got, want)
+		}
+		if got, want := da.DescendsVector(b), a.Descends(b); got != want {
+			t.Fatalf("DescendsVector(%v, %v): dense %v, map %v", a, b, got, want)
+		}
+		if got, want := da.Sum(), a.Sum(); got != want {
+			t.Fatalf("Sum(%v): dense %d, map %d", a, got, want)
+		}
+
+		am := a.Copy()
+		am.Merge(b)
+		for id, n := range am {
+			if n == 0 {
+				delete(am, id) // canonicalize: zero entries are the identity
+			}
+		}
+		dm := da.Copy()
+		dm.Merge(db)
+		if got, want := dm.String(), am.String(); got != want {
+			t.Fatalf("Merge(%v, %v): dense %s, map %s", a, b, got, want)
+		}
+		dmv := da.Copy()
+		dmv.MergeVector(b)
+		if got, want := dmv.String(), am.String(); got != want {
+			t.Fatalf("MergeVector(%v, %v): dense %s, map %s", a, b, got, want)
+		}
+	}
+}
+
+// TestDenseRoundTrip: Vector -> Dense -> Vector is the identity on the
+// canonical (zero-free) form.
+func TestDenseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	table := NewNodeTable()
+	for trial := 0; trial < 500; trial++ {
+		v := randVector(r)
+		got := DenseFromVector(table, v).ToVector()
+		// Canonicalize: the map form may carry explicit zeros.
+		want := NewVector()
+		for id, n := range v {
+			if n != 0 {
+				want[id] = n
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round trip of %v: got %v", v, got)
+		}
+		for id, n := range want {
+			if got[id] != n {
+				t.Fatalf("round trip of %v: got %v", v, got)
+			}
+		}
+	}
+}
+
+func TestDenseBasics(t *testing.T) {
+	table := NewNodeTable()
+	d := NewDense(table)
+	if d.Tick(table.Index("a")) != 1 {
+		t.Fatal("first tick != 1")
+	}
+	d.Tick(table.Index("a"))
+	d.Set(table.Index("b"), 5)
+	if d.GetID("a") != 2 || d.GetID("b") != 5 || d.GetID("never") != 0 {
+		t.Fatalf("counter state wrong: %s", d)
+	}
+	if d.Get(99) != 0 {
+		t.Fatal("out-of-range Get must be 0")
+	}
+	if d.String() != "{a:2 b:5}" {
+		t.Fatalf("String = %s", d.String())
+	}
+	if i, ok := table.Lookup("b"); !ok || table.ID(i) != "b" {
+		t.Fatal("Lookup/ID round trip failed")
+	}
+	if table.Len() != 2 {
+		t.Fatalf("table len %d, want 2", table.Len())
+	}
+
+	// Unknown ids in DescendsVector cannot be dominated…
+	if d.DescendsVector(Vector{"z": 1}) {
+		t.Fatal("descends a vector with an unseen non-zero id")
+	}
+	// …but explicit zeros are vacuous.
+	if !d.DescendsVector(Vector{"z": 0, "a": 2}) {
+		t.Fatal("zero entries must not block domination")
+	}
+}
+
+// TestDenseDifferentLengths: comparisons handle clocks whose slices
+// grew to different lengths (later-interned ids implicit-zero).
+func TestDenseDifferentLengths(t *testing.T) {
+	table := NewNodeTable()
+	short := DenseFromVector(table, Vector{"a": 1})
+	long := DenseFromVector(table, Vector{"a": 1, "b": 2, "c": 3})
+	if got := short.Compare(long); got != Before {
+		t.Fatalf("short vs long = %v, want Before", got)
+	}
+	if got := long.Compare(short); got != After {
+		t.Fatalf("long vs short = %v, want After", got)
+	}
+	if !long.Descends(short) || short.Descends(long) {
+		t.Fatal("Descends across lengths wrong")
+	}
+	short.Merge(long)
+	if short.String() != "{a:1 b:2 c:3}" {
+		t.Fatalf("merge across lengths = %s", short.String())
+	}
+}

@@ -87,12 +87,19 @@ func (v Vector) Compare(other Vector) Ordering {
 		} else if n > m {
 			oLess = true
 		}
+		if vLess && oLess {
+			return Concurrent // both directions witnessed; no need to finish
+		}
 	}
-	for id, m := range other {
-		if n := v[id]; n < m {
-			vLess = true
-		} else if n > m {
-			oLess = true
+	// Ids shared with v were fully compared above: this pass can only
+	// discover v < other on ids absent from v, so it is skippable the
+	// moment vLess is known.
+	if !vLess {
+		for id, m := range other {
+			if v[id] < m {
+				vLess = true
+				break
+			}
 		}
 	}
 	switch {

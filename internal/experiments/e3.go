@@ -73,23 +73,33 @@ func E3QuorumSweep(seed int64) Result {
 		return readH, writeH, stale
 	}
 
-	for _, cfg := range []struct {
+	// Each (R, W) cell is its own simulation; sweep them on a worker
+	// pool and fill the table in cell order.
+	cfgs := []struct {
 		R, W int
 		rr   bool
 	}{
 		{1, 1, false},
 		{1, 2, false}, {2, 1, false}, {2, 2, false},
 		{1, 3, false}, {3, 1, false}, {2, 3, false}, {3, 2, false}, {3, 3, false},
-	} {
-		readH, writeH, stale := run(cfg.R, cfg.W, cfg.rr)
+	}
+	type cellOut struct {
+		readH, writeH *metrics.Histogram
+		stale         *metrics.Ratio
+	}
+	outs := parMap(len(cfgs), func(i int) cellOut {
+		readH, writeH, stale := run(cfgs[i].R, cfgs[i].W, cfgs[i].rr)
+		return cellOut{readH, writeH, stale}
+	})
+	for i, cfg := range cfgs {
 		strict := "no"
 		if cfg.R+cfg.W > 3 {
 			strict = "yes"
 		}
 		table.AddRow(cfg.R, cfg.W, strict,
-			readH.Quantile(0.5), readH.Quantile(0.99),
-			writeH.Quantile(0.5), writeH.Quantile(0.99),
-			stale.String())
+			outs[i].readH.Quantile(0.5), outs[i].readH.Quantile(0.99),
+			outs[i].writeH.Quantile(0.5), outs[i].writeH.Quantile(0.99),
+			outs[i].stale.String())
 	}
 
 	return Result{

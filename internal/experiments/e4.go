@@ -60,30 +60,57 @@ func E4AntiEntropy(seed int64) Result {
 		return conv, c.Stats().BytesDelivered
 	}
 
+	// Every sweep cell is an independent simulation, so the whole grid
+	// runs on a worker pool; results land in cell order, keeping the
+	// tables identical to a serial sweep.
+	type cell struct{ n, fanout, depth, ttl int }
+	sizes := []int{8, 16, 32, 64}
+	fanouts := []int{1, 2, 3, 4}
+	var cells []cell
+	for _, n := range sizes {
+		cells = append(cells, cell{n, 2, 8, 0})
+	}
+	for _, f := range fanouts {
+		cells = append(cells, cell{32, f, 8, 0})
+	}
+	cells = append(cells, cell{32, 2, 8, 3}) // rumor mongering row
+	type out struct {
+		conv  time.Duration
+		bytes uint64
+	}
+	outs := parMap(len(cells), func(i int) out {
+		c := cells[i]
+		conv, bytes := runOnce(c.n, c.fanout, c.depth, c.ttl)
+		return out{conv, bytes}
+	})
+
 	sizeTable := &metrics.Table{Header: []string{"nodes", "fanout", "converge", "MB delivered"}}
 	var sizeSeries metrics.Series
 	sizeSeries.Name = "convergence vs cluster size (fanout 2)"
-	for _, n := range []int{8, 16, 32, 64} {
-		conv, bytes := runOnce(n, 2, 8, 0)
-		sizeTable.AddRow(n, 2, conv, float64(bytes)/1e6)
-		sizeSeries.Add(float64(n), ms(conv))
+	for i, n := range sizes {
+		sizeTable.AddRow(n, 2, outs[i].conv, float64(outs[i].bytes)/1e6)
+		sizeSeries.Add(float64(n), ms(outs[i].conv))
 	}
 
 	fanoutTable := &metrics.Table{Header: []string{"nodes", "fanout", "rumor", "converge", "MB delivered"}}
 	var fanoutSeries metrics.Series
 	fanoutSeries.Name = "convergence vs fanout (32 nodes)"
-	for _, f := range []int{1, 2, 3, 4} {
-		conv, bytes := runOnce(32, f, 8, 0)
-		fanoutTable.AddRow(32, f, "off", conv, float64(bytes)/1e6)
-		fanoutSeries.Add(float64(f), ms(conv))
+	for i, f := range fanouts {
+		o := outs[len(sizes)+i]
+		fanoutTable.AddRow(32, f, "off", o.conv, float64(o.bytes)/1e6)
+		fanoutSeries.Add(float64(f), ms(o.conv))
 	}
 	// Rumor mongering row: epidemic push accelerates the tail.
-	conv, bytes := runOnce(32, 2, 8, 3)
-	fanoutTable.AddRow(32, 2, "ttl=3", conv, float64(bytes)/1e6)
+	rumor := outs[len(cells)-1]
+	fanoutTable.AddRow(32, 2, "ttl=3", rumor.conv, float64(rumor.bytes)/1e6)
 
-	// A2 ablation: Merkle depth vs hash-exchange cost. Build two trees
-	// differing in one key out of 10k and count comparison cost.
-	depthTable := &metrics.Table{Header: []string{"merkle depth", "leaf hashes/exchange", "hashes compared (1 divergent key)"}}
+	// A2 ablation: Merkle depth vs reconciliation cost. Build two trees
+	// differing in one key out of 10k and compare the flat leaf-level
+	// exchange (ship every leaf hash) against the top-down descent the
+	// gossip store actually uses (O(divergence x depth) hashes).
+	depthTable := &metrics.Table{Header: []string{
+		"merkle depth", "leaf hashes/exchange", "hashes compared (1 divergent key)", "descent hashes",
+	}}
 	for _, d := range []int{4, 8, 12} {
 		a, b := storage.NewMerkle(d), storage.NewMerkle(d)
 		for i := 0; i < 10000; i++ {
@@ -92,15 +119,57 @@ func E4AntiEntropy(seed int64) Result {
 			b.Update(k, uint64(i))
 		}
 		b.Update("key-42", 999)
-		depthTable.AddRow(d, 1<<d, storage.HashesCompared(a, b))
+		depthTable.AddRow(d, 1<<d, storage.HashesCompared(a, b), storage.DescentCost(a, b))
+	}
+
+	// Steady-state cost: once replicas converge, a sync round is a single
+	// root-hash probe, independent of key count and tree depth — where
+	// the flat exchange shipped all 2^depth leaf hashes every round.
+	steadyTable := &metrics.Table{Header: []string{
+		"keys", "merkle depth", "steady-state bytes/round", "leaf-exchange bytes/round",
+	}}
+	steadyCells := []int{1000, 10000}
+	steadyOuts := parMap(len(steadyCells), func(i int) float64 {
+		return e4SteadyState(seed, steadyCells[i], 8, interval)
+	})
+	for i, keys := range steadyCells {
+		steadyTable.AddRow(keys, 8, steadyOuts[i], 8*(1<<8))
 	}
 
 	return Result{
 		ID:     "E4",
 		Title:  "Anti-entropy convergence: cluster size, fanout, rumor mongering, Merkle depth",
-		Claim:  "gossip converges in O(log n) rounds; fanout trades bandwidth for convergence time; rumor mongering cuts latency for fresh writes; deeper Merkle trees ship more hashes per round but localize diffs",
-		Tables: []*metrics.Table{sizeTable, fanoutTable, depthTable},
+		Claim:  "gossip converges in O(log n) rounds; fanout trades bandwidth for convergence time; rumor mongering cuts latency for fresh writes; top-down Merkle descent makes reconciliation cost scale with divergence, not key count",
+		Tables: []*metrics.Table{sizeTable, fanoutTable, depthTable, steadyTable},
 		Series: []metrics.Series{sizeSeries, fanoutSeries},
-		Notes:  fmt.Sprintf("%d writes loaded at one node; convergence = all Merkle roots equal; sync interval %v; bytes %v", writes, interval, bytes),
+		Notes:  fmt.Sprintf("%d writes loaded at one node; convergence = all Merkle roots equal; sync interval %v; steady-state bytes measured over 60s after convergence; leaf-exchange column is the 8B/leaf cost of shipping every leaf hash", writes, interval),
 	}
+}
+
+// e4SteadyState loads keys into a two-node cluster, lets it converge,
+// then measures delivered bytes per sync message over a one-minute
+// window — the recurring cost of anti-entropy when there is nothing to
+// reconcile.
+func e4SteadyState(seed int64, keys, depth int, interval time.Duration) float64 {
+	c := sim.New(sim.Config{Seed: seed, Latency: sim.Uniform(time.Millisecond, 5*time.Millisecond)})
+	now := func() int64 { return int64(c.Now() / time.Millisecond) }
+	a := gossip.NewNode("a", gossip.Config{Peers: []string{"b"}, Interval: interval, MerkleDepth: depth}, now)
+	b := gossip.NewNode("b", gossip.Config{Peers: []string{"a"}, Interval: interval, MerkleDepth: depth}, now)
+	c.AddNode("a", a)
+	c.AddNode("b", b)
+	c.At(0, func() {
+		env := c.ClientEnv("a")
+		for i := 0; i < keys; i++ {
+			a.Put(env, fmt.Sprintf("key-%d", i), []byte("v"))
+		}
+	})
+	c.Run(60 * time.Second) // converge; the one bulk transfer happens here
+	s0 := c.Stats()
+	c.Run(120 * time.Second)
+	s1 := c.Stats()
+	msgs := s1.MessagesDelivered - s0.MessagesDelivered
+	if msgs == 0 {
+		return 0
+	}
+	return float64(s1.BytesDelivered-s0.BytesDelivered) / float64(msgs)
 }

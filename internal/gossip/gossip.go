@@ -50,10 +50,16 @@ func (w Write) wireSize() int { return len(w.Key) + len(w.Value) + 8 + 4 + len(w
 
 // Protocol messages.
 type (
-	// syncReq opens an anti-entropy round with the initiator's Merkle
-	// leaf hashes.
-	syncReq struct {
-		Leaves []uint64
+	// syncStep carries one level of the top-down Merkle descent: the
+	// sender's (node index, hash) pairs for the current frontier, plus
+	// the divergent leaf buckets discovered so far. The initiator opens
+	// with just the root pair; each hop the receiver prunes equal nodes
+	// and expands differing interior nodes to their children, so a
+	// nearly converged pair of replicas exchanges O(divergence · depth)
+	// hashes instead of the full leaf level.
+	syncStep struct {
+		Pairs   []storage.HashPair
+		Buckets []int
 	}
 	// syncResp returns the responder's writes in the divergent buckets,
 	// plus the bucket list so the initiator can push back its own.
@@ -74,7 +80,7 @@ type (
 )
 
 // Size implements the sim bandwidth hook for each message type.
-func (m syncReq) Size() int { return 8 * len(m.Leaves) }
+func (m syncStep) Size() int { return 12*len(m.Pairs) + 4*len(m.Buckets) }
 
 // Size implements the sim bandwidth hook.
 func (m syncResp) Size() int {
@@ -135,6 +141,9 @@ type Node struct {
 
 	// SyncRounds counts completed anti-entropy rounds initiated here.
 	SyncRounds uint64
+
+	// scratch is the reusable peer-index pool for fanout sampling.
+	scratch []int
 }
 
 // NewNode returns a gossip replica. now must be the simulator clock (it
@@ -172,74 +181,91 @@ func (n *Node) startSync(env sim.Env) {
 	if len(n.cfg.Peers) == 0 {
 		return
 	}
-	r := env.Rand()
-	perm := r.Perm(len(n.cfg.Peers))
-	k := n.cfg.Fanout
-	if k > len(perm) {
-		k = len(perm)
+	// One root-probe payload shared across the fanout: messages are
+	// immutable once sent, so receivers may alias the slice.
+	probe := syncStep{Pairs: []storage.HashPair{n.merkle.RootPair()}}
+	for _, pi := range n.sample(env.Rand(), n.cfg.Fanout) {
+		env.Send(n.cfg.Peers[pi], probe)
 	}
-	for _, pi := range perm[:k] {
-		env.Send(n.cfg.Peers[pi], syncReq{Leaves: n.merkle.LevelHashes(n.merkle.Depth())})
+}
+
+// sample returns k distinct peer indices drawn uniformly, as a prefix of
+// the node's scratch pool shuffled by a partial Fisher–Yates: k random
+// draws and no allocation, where rand.Perm costs n-1 draws and a fresh
+// slice per call. The prefix is only valid until the next call.
+func (n *Node) sample(r *rand.Rand, k int) []int {
+	if n.scratch == nil {
+		n.scratch = make([]int, len(n.cfg.Peers))
+		for i := range n.scratch {
+			n.scratch[i] = i
+		}
 	}
+	s := n.scratch
+	if k > len(s) {
+		k = len(s)
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(len(s)-i)
+		s[i], s[j] = s[j], s[i]
+	}
+	return s[:k]
 }
 
 // OnMessage implements sim.Handler.
 func (n *Node) OnMessage(env sim.Env, from string, msg sim.Message) {
 	switch m := msg.(type) {
-	case syncReq:
-		buckets := n.diffBuckets(m.Leaves)
+	case syncStep:
+		next, found := n.merkle.Descend(m.Pairs)
+		buckets := make([]int, 0, len(m.Buckets)+len(found))
+		buckets = append(buckets, m.Buckets...)
+		buckets = append(buckets, found...)
+		if len(next) > 0 {
+			env.Send(from, syncStep{Pairs: next, Buckets: buckets})
+			return
+		}
+		// Descent complete: this side holds the full divergent-bucket
+		// list and opens the push-pull data exchange.
 		if len(buckets) == 0 {
 			return
 		}
+		sort.Ints(buckets)
 		env.Send(from, syncResp{Buckets: buckets, Writes: n.writesInBuckets(buckets)})
 	case syncResp:
 		for _, w := range m.Writes {
-			n.apply(env, w, 0)
+			n.apply(env, from, w, 0)
 		}
 		env.Send(from, syncPush{Writes: n.writesInBuckets(m.Buckets)})
 		n.SyncRounds++
 	case syncPush:
 		for _, w := range m.Writes {
-			n.apply(env, w, 0)
+			n.apply(env, from, w, 0)
 		}
 	case rumor:
-		n.apply(env, m.W, m.TTL)
+		n.apply(env, from, m.W, m.TTL)
 	}
 }
 
-func (n *Node) diffBuckets(remoteLeaves []uint64) []int {
-	local := n.merkle.LevelHashes(n.merkle.Depth())
-	var out []int
-	for i := range local {
-		if i < len(remoteLeaves) && local[i] != remoteLeaves[i] {
-			out = append(out, i)
-		}
-	}
-	return out
-}
-
+// writesInBuckets fetches this replica's writes for the given divergent
+// buckets through the Merkle key index: O(divergent keys), not a scan
+// and sort of the whole key space.
 func (n *Node) writesInBuckets(buckets []int) []Write {
-	want := make(map[int]bool, len(buckets))
+	var keys []string
 	for _, b := range buckets {
-		want[b] = true
+		keys = n.merkle.AppendBucketKeys(keys, b)
 	}
-	keys := make([]string, 0, len(n.data))
-	for k := range n.data {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var out []Write
+	out := make([]Write, 0, len(keys))
 	for _, k := range keys {
-		if want[n.merkle.Bucket(k)] {
-			out = append(out, n.data[k])
+		if w, ok := n.data[k]; ok {
+			out = append(out, w)
 		}
 	}
 	return out
 }
 
 // apply installs a write if it is newer (LWW), updating the Merkle tree
-// and, when fresh and rumor mongering is on, forwarding it.
-func (n *Node) apply(env sim.Env, w Write, ttl int) {
+// and, when fresh and rumor mongering is on, forwarding it to peers
+// other than the one it arrived from.
+func (n *Node) apply(env sim.Env, from string, w Write, ttl int) {
 	cur, ok := n.data[w.Key]
 	if ok && !cur.TS.Before(w.TS) {
 		return // stale or duplicate
@@ -248,19 +274,26 @@ func (n *Node) apply(env sim.Env, w Write, ttl int) {
 	n.data[w.Key] = w
 	n.merkle.Update(w.Key, w.hash())
 	if ttl > 0 {
-		n.spreadRumor(env, w, ttl-1)
+		n.spreadRumor(env, w, ttl-1, from)
 	}
 }
 
-func (n *Node) spreadRumor(env sim.Env, w Write, ttl int) {
-	r := env.Rand()
-	perm := r.Perm(len(n.cfg.Peers))
+// spreadRumor forwards w to up to Fanout random peers, never back to
+// except (the peer the rumor arrived from; "" for locally minted writes).
+func (n *Node) spreadRumor(env sim.Env, w Write, ttl int, except string) {
 	k := n.cfg.Fanout
-	if k > len(perm) {
-		k = len(perm)
+	want := k
+	if except != "" && want < len(n.cfg.Peers) {
+		want++ // one spare in case the sample includes the rumor's source
 	}
-	for _, pi := range perm[:k] {
-		env.Send(n.cfg.Peers[pi], rumor{W: w, TTL: ttl})
+	for _, pi := range n.sample(env.Rand(), want) {
+		if k == 0 {
+			break
+		}
+		if p := n.cfg.Peers[pi]; p != except {
+			env.Send(p, rumor{W: w, TTL: ttl})
+			k--
+		}
 	}
 }
 
@@ -271,7 +304,7 @@ func (n *Node) Put(env sim.Env, key string, value []byte) {
 	n.data[key] = w
 	n.merkle.Update(key, w.hash())
 	if n.cfg.RumorTTL > 0 {
-		n.spreadRumor(env, w, n.cfg.RumorTTL)
+		n.spreadRumor(env, w, n.cfg.RumorTTL, "")
 	}
 }
 
@@ -281,7 +314,7 @@ func (n *Node) Delete(env sim.Env, key string) {
 	n.data[key] = w
 	n.merkle.Update(key, w.hash())
 	if n.cfg.RumorTTL > 0 {
-		n.spreadRumor(env, w, n.cfg.RumorTTL)
+		n.spreadRumor(env, w, n.cfg.RumorTTL, "")
 	}
 }
 

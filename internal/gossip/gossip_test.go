@@ -178,6 +178,50 @@ func TestHigherFanoutConvergesFaster(t *testing.T) {
 	}
 }
 
+func TestRumorNotSentBackToSource(t *testing.T) {
+	// Two nodes, rumor mongering on, anti-entropy effectively off (huge
+	// interval): the only traffic is the rumor itself. n1 must not
+	// forward the rumor straight back to n0, so exactly one message
+	// crosses the wire.
+	c, nodes := buildCluster(t, 2, Config{Interval: time.Hour, RumorTTL: 3, Fanout: 2}, 9)
+	c.At(0, func() { nodes[0].Put(c.ClientEnv("n0"), "k", []byte("v")) })
+	c.Run(time.Second)
+	if got := c.Stats().MessagesSent; got != 1 {
+		t.Fatalf("sent %d messages, want 1 (rumor must not return to its source)", got)
+	}
+	if v, ok := nodes[1].Get("k"); !ok || string(v) != "v" {
+		t.Fatal("rumor not delivered")
+	}
+}
+
+func TestSteadyStateSyncIsRootOnly(t *testing.T) {
+	// Once replicas are converged, an anti-entropy round is a single
+	// root-pair probe (one small message), not a full leaf-level
+	// exchange: bytes per round must be a few dozen, not KBs.
+	c, nodes := buildCluster(t, 2, Config{Interval: 50 * time.Millisecond, MerkleDepth: 8}, 10)
+	c.At(0, func() {
+		for i := 0; i < 200; i++ {
+			nodes[0].Put(c.ClientEnv("n0"), fmt.Sprintf("k%d", i), []byte("v"))
+		}
+	})
+	c.Run(5 * time.Second)
+	if !Converged(nodes) {
+		t.Fatal("not converged")
+	}
+	before := c.Stats()
+	c.Run(15 * time.Second)
+	after := c.Stats()
+	rounds := after.MessagesDelivered - before.MessagesDelivered
+	bytes := after.BytesDelivered - before.BytesDelivered
+	if rounds == 0 {
+		t.Fatal("no steady-state sync traffic observed")
+	}
+	perMsg := float64(bytes) / float64(rounds)
+	if perMsg > 64 {
+		t.Fatalf("steady-state sync costs %.1f bytes/message, want root-only probes (≤64)", perMsg)
+	}
+}
+
 func TestStaleWriteNeverOverwritesNewer(t *testing.T) {
 	c, nodes := buildCluster(t, 3, Config{Interval: 50 * time.Millisecond}, 5)
 	c.At(0, func() { nodes[0].Put(c.ClientEnv("n0"), "k", []byte("old")) })

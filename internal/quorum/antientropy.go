@@ -2,7 +2,6 @@ package quorum
 
 import (
 	"hash/fnv"
-	"sort"
 
 	"repro/internal/clock"
 	"repro/internal/sim"
@@ -138,23 +137,18 @@ func (n *Node) handleAEReq(env sim.Env, from string, m aeReq) {
 }
 
 // entriesInBuckets collects this node's sibling sets for keys shared
-// with peer that fall in the given buckets.
+// with peer that fall in the given buckets. The per-peer tree indexes
+// exactly the keys both nodes replicate, so the lookup walks only the
+// divergent buckets' key sets — O(divergent keys), not a scan and sort
+// of every key this node holds.
 func (n *Node) entriesInBuckets(peer string, buckets []int) []aeEntry {
 	t := n.tree(peer)
-	want := make(map[int]bool, len(buckets))
+	var keys []string
 	for _, b := range buckets {
-		want[b] = true
+		keys = t.AppendBucketKeys(keys, b)
 	}
-	keys := make([]string, 0, len(n.data))
-	for key := range n.data {
-		keys = append(keys, key)
-	}
-	sort.Strings(keys)
-	var out []aeEntry
+	out := make([]aeEntry, 0, len(keys))
 	for _, key := range keys {
-		if !want[t.Bucket(key)] {
-			continue
-		}
 		if !contains(n.PreferenceList(key), peer) {
 			continue // peer is not a replica of this key
 		}

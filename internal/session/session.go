@@ -128,6 +128,10 @@ type blockedReq struct {
 	from   string
 	msg    sim.Message
 	expiry time.Duration
+	// min is the request's guarantee floor, interned once at block time
+	// so every wake/sweep re-check is a dense slice walk instead of a
+	// map iteration.
+	min clock.Dense
 }
 
 // Server is one Bayou-style replica. It implements sim.Handler.
@@ -137,8 +141,13 @@ type Server struct {
 
 	lamport uint64
 	logs    map[string][]write // per-origin, seq order, dense
-	vec     clock.Vector       // vec[origin] = len(logs[origin])
-	data    map[string]write   // LWW-resolved current value per key
+	// vec[origin] = len(logs[origin]), held in the interned dense
+	// representation so guarantee-floor checks are slice walks; the
+	// map-shaped clock.Vector appears only on the wire.
+	table *clock.NodeTable
+	self  int // dense index of this server's id
+	vec   clock.Dense
+	data  map[string]write // LWW-resolved current value per key
 
 	blocked []blockedReq
 
@@ -158,11 +167,14 @@ type blockSweep struct{}
 
 // NewServer returns a session server.
 func NewServer(id string, cfg ServerConfig) *Server {
+	table := clock.NewNodeTable()
 	return &Server{
 		cfg:     cfg.withDefaults(),
 		id:      id,
 		logs:    make(map[string][]write),
-		vec:     clock.NewVector(),
+		table:   table,
+		self:    table.Index(id),
+		vec:     clock.NewDense(table),
 		data:    make(map[string]write),
 		cliSeq:  make(map[string]uint64),
 		lastWID: make(map[string]WriteID),
@@ -181,7 +193,7 @@ func (s *Server) OnTimer(env sim.Env, tag any) {
 	case aeTick:
 		if len(s.cfg.Peers) > 0 {
 			peer := s.cfg.Peers[env.Rand().Intn(len(s.cfg.Peers))]
-			env.Send(peer, aeReq{V: s.vec.Copy()})
+			env.Send(peer, aeReq{V: s.vec.ToVector()})
 		}
 		env.SetTimer(s.cfg.AntiEntropyInterval, aeTick{})
 	case blockSweep:
@@ -223,14 +235,14 @@ func (s *Server) OnMessage(env sim.Env, from string, msg sim.Message) {
 			s.wakeBlocked(env)
 		}
 	case sread:
-		if !s.vec.Descends(m.MinVec) {
-			s.block(env, from, m)
+		if !s.vec.DescendsVector(m.MinVec) {
+			s.block(env, from, m, m.MinVec)
 			return
 		}
 		s.serveRead(env, from, m, false)
 	case swrite:
-		if !s.vec.Descends(m.MinVec) {
-			s.block(env, from, m)
+		if !s.vec.DescendsVector(m.MinVec) {
+			s.block(env, from, m, m.MinVec)
 			return
 		}
 		s.serveWrite(env, from, m, false)
@@ -242,7 +254,7 @@ func (s *Server) serveRead(env sim.Env, from string, m sread, wasBlocked bool) {
 		s.BlockedServed++
 	}
 	w, ok := s.data[m.Key]
-	resp := sreadResp{ID: m.ID, Key: m.Key, V: s.vec.Copy()}
+	resp := sreadResp{ID: m.ID, Key: m.Key, V: s.vec.ToVector()}
 	if ok && !w.Deleted {
 		resp.Val = w.Val
 		resp.OK = true
@@ -259,7 +271,7 @@ func (s *Server) serveWrite(env sim.Env, from string, m swrite, wasBlocked bool)
 	// acknowledged without re-applying, so a client retrying through a
 	// different server cannot double-write.
 	if m.ID <= s.cliSeq[from] {
-		env.Send(from, swriteResp{ID: m.ID, WID: s.lastWID[from], V: s.vec.Copy()})
+		env.Send(from, swriteResp{ID: m.ID, WID: s.lastWID[from], V: s.vec.ToVector()})
 		return
 	}
 	s.lamport++
@@ -274,11 +286,11 @@ func (s *Server) serveWrite(env sim.Env, from string, m swrite, wasBlocked bool)
 	w.TS.Time = s.lamport
 	w.TS.Node = s.id
 	s.logs[s.id] = append(s.logs[s.id], w)
-	s.vec[s.id] = uint64(len(s.logs[s.id]))
+	s.vec.Set(s.self, uint64(len(s.logs[s.id])))
 	s.cliSeq[from] = m.ID
 	s.lastWID[from] = w.ID
 	s.resolve(w)
-	env.Send(from, swriteResp{ID: m.ID, WID: w.ID, V: s.vec.Copy()})
+	env.Send(from, swriteResp{ID: m.ID, WID: w.ID, V: s.vec.ToVector()})
 }
 
 // applyRemote installs a write received by anti-entropy, keeping
@@ -289,7 +301,7 @@ func (s *Server) applyRemote(w write) bool {
 		return false // duplicate or gap (gaps cannot happen with prefix shipping)
 	}
 	s.logs[w.ID.Origin] = append(log, w)
-	s.vec[w.ID.Origin] = w.ID.Seq
+	s.vec.Set(s.table.Index(w.ID.Origin), w.ID.Seq)
 	if w.TS.Time > s.lamport {
 		s.lamport = w.TS.Time
 	}
@@ -308,22 +320,25 @@ func (s *Server) resolve(w write) {
 	}
 }
 
-func (s *Server) block(env sim.Env, from string, msg sim.Message) {
-	s.blocked = append(s.blocked, blockedReq{from: from, msg: msg, expiry: env.Now() + s.cfg.BlockTimeout})
+func (s *Server) block(env sim.Env, from string, msg sim.Message, minVec clock.Vector) {
+	s.blocked = append(s.blocked, blockedReq{
+		from:   from,
+		msg:    msg,
+		expiry: env.Now() + s.cfg.BlockTimeout,
+		min:    clock.DenseFromVector(s.table, minVec),
+	})
 }
 
 func (s *Server) wakeBlocked(env sim.Env) {
 	var still []blockedReq
 	for _, b := range s.blocked {
 		served := false
-		switch m := b.msg.(type) {
-		case sread:
-			if s.vec.Descends(m.MinVec) {
+		if s.vec.Descends(b.min) {
+			switch m := b.msg.(type) {
+			case sread:
 				s.serveRead(env, b.from, m, true)
 				served = true
-			}
-		case swrite:
-			if s.vec.Descends(m.MinVec) {
+			case swrite:
 				s.serveWrite(env, b.from, m, true)
 				served = true
 			}
@@ -344,16 +359,16 @@ func (s *Server) sweepBlocked(env sim.Env) {
 		}
 		switch m := b.msg.(type) {
 		case sread:
-			env.Send(b.from, sreadResp{ID: m.ID, Key: m.Key, TimedOut: true, V: s.vec.Copy()})
+			env.Send(b.from, sreadResp{ID: m.ID, Key: m.Key, TimedOut: true, V: s.vec.ToVector()})
 		case swrite:
-			env.Send(b.from, swriteResp{ID: m.ID, TimedOut: true, V: s.vec.Copy()})
+			env.Send(b.from, swriteResp{ID: m.ID, TimedOut: true, V: s.vec.ToVector()})
 		}
 	}
 	s.blocked = still
 }
 
 // Vector exposes the server's version vector (a copy), for tests.
-func (s *Server) Vector() clock.Vector { return s.vec.Copy() }
+func (s *Server) Vector() clock.Vector { return s.vec.ToVector() }
 
 // Value exposes the server's current value for key, for tests.
 func (s *Server) Value(key string) ([]byte, bool) {

@@ -16,7 +16,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -116,26 +115,77 @@ type event struct {
 
 	// evCall
 	fn func()
+
+	// target resolves the destination node once at schedule time
+	// (deliveries and timers), so the executor needs no map lookup.
+	// nil for evCall and for deliveries to unknown ids.
+	target *node
 }
 
-type eventQueue []*event
+// eventQueue is a 4-ary min-heap of events ordered by (at, seq). The
+// wider fan-in halves the tree height versus a binary heap and keeps
+// parent/child nodes on the same cache line; holding *event directly
+// (instead of container/heap's interface boxing) removes an allocation
+// and a type assertion per scheduled event. The (at, seq) key is a
+// total order, so any correct heap pops events in exactly the same
+// sequence — determinism does not depend on the heap's internal layout.
+type eventQueue struct {
+	a []*event
+}
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func eventLess(x, y *event) bool {
+	if x.at != y.at {
+		return x.at < y.at
 	}
-	return q[i].seq < q[j].seq
+	return x.seq < y.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+func (q *eventQueue) len() int    { return len(q.a) }
+func (q *eventQueue) min() *event { return q.a[0] }
+func (q *eventQueue) push(e *event) {
+	q.a = append(q.a, e)
+	i := len(q.a) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventLess(q.a[i], q.a[p]) {
+			break
+		}
+		q.a[i], q.a[p] = q.a[p], q.a[i]
+		i = p
+	}
+}
+
+func (q *eventQueue) pop() *event {
+	a := q.a
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = nil
+	a = a[:n]
+	q.a = a
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(a[c], a[best]) {
+				best = c
+			}
+		}
+		if !eventLess(a[best], a[i]) {
+			break
+		}
+		a[i], a[best] = a[best], a[i]
+		i = best
+	}
+	return top
 }
 
 type node struct {
@@ -143,6 +193,8 @@ type node struct {
 	handler Handler
 	up      bool
 	epoch   uint64 // bumped on crash so stale timers are discarded
+	group   int    // cached partition group (see Cluster.Partition)
+	envc    env    // reusable Env passed to every handler invocation
 }
 
 // Stats accumulates network accounting for a run.
@@ -163,13 +215,20 @@ type Cluster struct {
 	now    time.Duration
 	seq    uint64
 	queue  eventQueue
+	free   []*event // recycled events; the queue's steady state allocates nothing
 	nodes  map[string]*node
 	order  []string // node ids in AddNode order, for deterministic iteration
 	cancel map[TimerID]bool
 	nextID TimerID
 
-	partition map[string]int     // node -> partition group; absent means group 0
-	blocked   map[[2]string]bool // directed links severed by BlockLink
+	// Partition state. Nodes cache their group on the node struct so the
+	// per-send reachability check is two integer compares when a
+	// partition is active and a single bool test when none is — the
+	// overwhelmingly common case pays no map lookups at all. The map
+	// keeps groups for ids that are not registered nodes (pure clients).
+	partActive bool
+	partition  map[string]int     // client id -> partition group; absent means group 0
+	blocked    map[[2]string]bool // directed links severed by BlockLink
 
 	stats Stats
 }
@@ -197,12 +256,13 @@ func (c *Cluster) AddNode(id string, h Handler) {
 	if _, ok := c.nodes[id]; ok {
 		panic(fmt.Sprintf("sim: duplicate node id %q", id))
 	}
-	n := &node{id: id, handler: h, up: true}
+	n := &node{id: id, handler: h, up: true, group: c.partition[id]}
+	n.envc = env{c: c, n: n}
 	c.nodes[id] = n
 	c.order = append(c.order, id)
 	c.At(0, func() {
 		if n.up {
-			h.OnStart(&env{c: c, n: n})
+			h.OnStart(&n.envc)
 		}
 	})
 }
@@ -230,16 +290,36 @@ func (c *Cluster) At(at time.Duration, fn func()) {
 	if at < c.now {
 		at = c.now
 	}
-	c.push(&event{at: at, kind: evCall, fn: fn})
+	e := c.alloc()
+	e.at, e.kind, e.fn = at, evCall, fn
+	c.push(e)
 }
 
 // After schedules fn to run d after the current virtual time.
 func (c *Cluster) After(d time.Duration, fn func()) { c.At(c.now+d, fn) }
 
+// alloc takes an event from the free list (or the allocator), zeroed.
+func (c *Cluster) alloc() *event {
+	if n := len(c.free); n > 0 {
+		e := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+// recycle returns an executed (or discarded) event to the free list,
+// clearing payload references so they don't outlive the event.
+func (c *Cluster) recycle(e *event) {
+	*e = event{}
+	c.free = append(c.free, e)
+}
+
 func (c *Cluster) push(e *event) {
 	e.seq = c.seq
 	c.seq++
-	heap.Push(&c.queue, e)
+	c.queue.push(e)
 }
 
 // Send injects a message from a pseudo-sender outside the cluster (for
@@ -247,12 +327,16 @@ func (c *Cluster) push(e *event) {
 // model, with from treated as colocated with to unless the model says
 // otherwise.
 func (c *Cluster) Send(from, to string, msg Message) {
-	c.send(from, to, msg)
+	c.send(c.nodes[from], from, to, msg)
 }
 
-func (c *Cluster) send(from, to string, msg Message) {
+// send queues delivery of msg. fromN is from's node when the sender is a
+// registered node (nil for pure clients); resolving both endpoints once
+// here keeps the partition check and the delivery step map-free.
+func (c *Cluster) send(fromN *node, from, to string, msg Message) {
 	c.stats.MessagesSent++
-	if c.partitioned(from, to) {
+	toN := c.nodes[to]
+	if c.unreachable(fromN, toN, from, to) {
 		c.stats.MessagesDropped++
 		return
 	}
@@ -269,12 +353,37 @@ func (c *Cluster) send(from, to string, msg Message) {
 			c.stats.MessagesDropped++
 			continue
 		}
-		c.push(&event{at: c.now + d, kind: evDeliver, from: from, to: to, msg: msg})
+		e := c.alloc()
+		e.at, e.kind, e.from, e.to, e.msg, e.target = c.now+d, evDeliver, from, to, msg, toN
+		c.push(e)
 	}
 }
 
+// unreachable is the hot-path reachability check: with no partition and
+// no blocked links (the common case) it is two length tests; with a
+// partition active, registered nodes compare cached group ints.
+func (c *Cluster) unreachable(fromN, toN *node, from, to string) bool {
+	if c.partActive {
+		var gf, gt int
+		if fromN != nil {
+			gf = fromN.group
+		} else {
+			gf = c.partition[from]
+		}
+		if toN != nil {
+			gt = toN.group
+		} else {
+			gt = c.partition[to]
+		}
+		if gf != gt {
+			return true
+		}
+	}
+	return len(c.blocked) != 0 && c.blocked[[2]string{from, to}]
+}
+
 func (c *Cluster) partitioned(from, to string) bool {
-	return c.partition[from] != c.partition[to] || c.blocked[[2]string{from, to}]
+	return c.unreachable(c.nodes[from], c.nodes[to], from, to)
 }
 
 // Partition splits the cluster into the given groups: messages between
@@ -283,11 +392,22 @@ func (c *Cluster) partitioned(from, to string) bool {
 // use the client id's group, which defaults to 0.
 func (c *Cluster) Partition(groups ...[]string) {
 	c.partition = make(map[string]int)
+	for _, n := range c.nodes {
+		n.group = 0
+	}
+	active := false
 	for gi, g := range groups {
 		for _, id := range g {
 			c.partition[id] = gi
+			if n, ok := c.nodes[id]; ok {
+				n.group = gi
+			}
+			if gi != 0 {
+				active = true
+			}
 		}
 	}
+	c.partActive = active
 }
 
 // BlockLink severs the directed link from -> to: messages in that
@@ -303,6 +423,10 @@ func (c *Cluster) UnblockLink(from, to string) { delete(c.blocked, [2]string{fro
 func (c *Cluster) Heal() {
 	c.partition = make(map[string]int)
 	c.blocked = make(map[[2]string]bool)
+	for _, n := range c.nodes {
+		n.group = 0
+	}
+	c.partActive = false
 }
 
 // Reachable reports whether messages currently flow from a to b.
@@ -333,7 +457,7 @@ func (c *Cluster) Restart(id string) {
 	n.up = true
 	c.At(c.now, func() {
 		if n.up {
-			n.handler.OnStart(&env{c: c, n: n})
+			n.handler.OnStart(&n.envc)
 		}
 	})
 }
@@ -347,18 +471,21 @@ func (c *Cluster) Up(id string) bool {
 // Step executes the next pending event. It returns false when the queue is
 // empty.
 func (c *Cluster) Step() bool {
-	for c.queue.Len() > 0 {
-		e := heap.Pop(&c.queue).(*event)
+	for c.queue.len() > 0 {
+		e := c.queue.pop()
 		c.now = e.at
 		switch e.kind {
 		case evCall:
 			c.trace("call", e)
-			e.fn()
+			fn := e.fn
+			c.recycle(e)
+			fn()
 			return true
 		case evDeliver:
-			n := c.nodes[e.to]
+			n := e.target
 			if n == nil || !n.up {
 				c.stats.MessagesDropped++
+				c.recycle(e)
 				continue
 			}
 			c.trace("deliver", e)
@@ -367,18 +494,25 @@ func (c *Cluster) Step() bool {
 			if c.cfg.OnDeliver != nil {
 				c.cfg.OnDeliver(e.from, e.to, e.at)
 			}
-			n.handler.OnMessage(&env{c: c, n: n}, e.from, e.msg)
+			from, msg := e.from, e.msg
+			c.recycle(e)
+			n.handler.OnMessage(&n.envc, from, msg)
 			return true
 		case evTimer:
-			n := c.nodes[e.node]
-			if n == nil || !n.up || n.epoch != e.epoch || c.cancel[e.timer] {
-				delete(c.cancel, e.timer)
+			n := e.target
+			cancelled := len(c.cancel) != 0 && c.cancel[e.timer]
+			if n == nil || !n.up || n.epoch != e.epoch || cancelled {
+				if cancelled {
+					delete(c.cancel, e.timer)
+				}
+				c.recycle(e)
 				continue
 			}
-			delete(c.cancel, e.timer)
 			c.trace("timer", e)
 			c.stats.TimersFired++
-			n.handler.OnTimer(&env{c: c, n: n}, e.tag)
+			tag := e.tag
+			c.recycle(e)
+			n.handler.OnTimer(&n.envc, tag)
 			return true
 		}
 	}
@@ -416,7 +550,7 @@ func (c *Cluster) sizeOf(msg Message) int {
 // Run executes events until the queue is empty or virtual time would
 // exceed until. Events at exactly until still run.
 func (c *Cluster) Run(until time.Duration) {
-	for c.queue.Len() > 0 && c.queue[0].at <= until {
+	for c.queue.len() > 0 && c.queue.min().at <= until {
 		c.Step()
 	}
 	if c.now < until {
@@ -438,7 +572,7 @@ func (c *Cluster) RunAll() {
 // supports Send, Now, and Rand, and timers panic.
 func (c *Cluster) ClientEnv(id string) Env {
 	if n, ok := c.nodes[id]; ok {
-		return &env{c: c, n: n}
+		return &n.envc
 	}
 	return &clientEnv{c: c, id: id}
 }
@@ -451,7 +585,7 @@ type clientEnv struct {
 func (e *clientEnv) ID() string                  { return e.id }
 func (e *clientEnv) Now() time.Duration          { return e.c.now }
 func (e *clientEnv) Rand() *rand.Rand            { return e.c.rng }
-func (e *clientEnv) Send(to string, msg Message) { e.c.send(e.id, to, msg) }
+func (e *clientEnv) Send(to string, msg Message) { e.c.send(nil, e.id, to, msg) }
 func (e *clientEnv) SetTimer(time.Duration, any) TimerID {
 	panic("sim: client env cannot set timers; schedule with Cluster.After")
 }
@@ -466,19 +600,20 @@ type env struct {
 func (e *env) ID() string                  { return e.n.id }
 func (e *env) Now() time.Duration          { return e.c.now }
 func (e *env) Rand() *rand.Rand            { return e.c.rng }
-func (e *env) Send(to string, msg Message) { e.c.send(e.n.id, to, msg) }
+func (e *env) Send(to string, msg Message) { e.c.send(e.n, e.n.id, to, msg) }
 
 func (e *env) SetTimer(d time.Duration, tag any) TimerID {
 	e.c.nextID++
 	id := e.c.nextID
-	e.c.push(&event{
-		at:    e.c.now + d,
-		kind:  evTimer,
-		node:  e.n.id,
-		tag:   tag,
-		timer: id,
-		epoch: e.n.epoch,
-	})
+	ev := e.c.alloc()
+	ev.at = e.c.now + d
+	ev.kind = evTimer
+	ev.node = e.n.id
+	ev.tag = tag
+	ev.timer = id
+	ev.epoch = e.n.epoch
+	ev.target = e.n
+	e.c.push(ev)
 	return id
 }
 

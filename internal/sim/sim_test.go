@@ -131,13 +131,13 @@ func TestPartitionDropsAndHeals(t *testing.T) {
 	c.AddNode("a", a)
 	c.AddNode("b", b)
 	c.Partition([]string{"a"}, []string{"b"})
-	c.At(0, func() { c.send("a", "b", "lost") })
+	c.At(0, func() { c.Send("a", "b", "lost") })
 	c.Run(10 * time.Millisecond)
 	if len(b.got) != 0 {
 		t.Fatalf("partitioned message delivered: %v", b.got)
 	}
 	c.Heal()
-	c.After(0, func() { c.send("a", "b", "found") })
+	c.After(0, func() { c.Send("a", "b", "found") })
 	c.Run(20 * time.Millisecond)
 	if len(b.got) != 1 || b.got[0] != "found" {
 		t.Fatalf("post-heal delivery failed: %v", b.got)

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"hash/fnv"
+	"sort"
 	"sync"
 )
 
@@ -14,11 +15,17 @@ import (
 // XOR accumulation makes updates incremental: re-adding a key first
 // removes its previous digest. Internal nodes mix their children. Two
 // trees are comparable only if built with equal depth.
+//
+// Alongside the hashes the tree keeps a per-bucket key index (bucket →
+// sorted key set, maintained incrementally), so once reconciliation has
+// located the divergent buckets, the keys inside them are enumerable in
+// O(divergent keys) instead of a scan over every key the replica holds.
 type Merkle struct {
-	mu    sync.RWMutex
-	depth int
-	nodes []uint64          // heap layout; len = 2^(depth+1) - 1
-	prev  map[string]uint64 // key -> last digest folded in
+	mu      sync.RWMutex
+	depth   int
+	nodes   []uint64          // heap layout; len = 2^(depth+1) - 1
+	prev    map[string]uint64 // key -> last digest folded in
+	buckets [][]string        // leaf bucket -> keys, sorted
 }
 
 // NewMerkle returns a tree with 2^depth leaf buckets. Depth must be in
@@ -28,9 +35,10 @@ func NewMerkle(depth int) *Merkle {
 		panic("storage: merkle depth out of range [1,24]")
 	}
 	return &Merkle{
-		depth: depth,
-		nodes: make([]uint64, (1<<(depth+1))-1),
-		prev:  make(map[string]uint64),
+		depth:   depth,
+		nodes:   make([]uint64, (1<<(depth+1))-1),
+		prev:    make(map[string]uint64),
+		buckets: make([][]string, 1<<depth),
 	}
 }
 
@@ -78,7 +86,9 @@ func (m *Merkle) Update(key string, versionHash uint64) {
 		if old == d {
 			return
 		}
-		m.fold(key, old) // XOR removes the old digest
+		m.fold(key, old) // XOR removes the old digest; key stays indexed
+	} else {
+		m.indexAdd(key)
 	}
 	m.prev[key] = d
 	m.fold(key, d)
@@ -93,7 +103,48 @@ func (m *Merkle) Remove(key string) {
 	if old, ok := m.prev[key]; ok {
 		m.fold(key, old)
 		delete(m.prev, key)
+		m.indexRemove(key)
 	}
+}
+
+// indexAdd inserts key into its bucket's sorted key set. Caller holds mu.
+func (m *Merkle) indexAdd(key string) {
+	b := int(hashKey(key) >> (64 - uint(m.depth)))
+	ks := m.buckets[b]
+	i := sort.SearchStrings(ks, key)
+	if i < len(ks) && ks[i] == key {
+		return
+	}
+	ks = append(ks, "")
+	copy(ks[i+1:], ks[i:])
+	ks[i] = key
+	m.buckets[b] = ks
+}
+
+// indexRemove deletes key from its bucket's sorted key set. Caller holds mu.
+func (m *Merkle) indexRemove(key string) {
+	b := int(hashKey(key) >> (64 - uint(m.depth)))
+	ks := m.buckets[b]
+	i := sort.SearchStrings(ks, key)
+	if i < len(ks) && ks[i] == key {
+		m.buckets[b] = append(ks[:i], ks[i+1:]...)
+	}
+}
+
+// AppendBucketKeys appends the keys of the given leaf bucket, in sorted
+// order, to dst and returns the extended slice. The copy keeps callers
+// safe from concurrent index mutation.
+func (m *Merkle) AppendBucketKeys(dst []string, bucket int) []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append(dst, m.buckets[bucket]...)
+}
+
+// BucketLen returns how many keys the given leaf bucket currently holds.
+func (m *Merkle) BucketLen(bucket int) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.buckets[bucket])
 }
 
 func (m *Merkle) fold(key string, d uint64) {
@@ -153,6 +204,77 @@ func DiffLeaves(a, b *Merkle) []int {
 	}
 	walk(0)
 	return out
+}
+
+// HashPair names one tree node (heap index) together with its hash — the
+// unit exchanged by the top-down descent protocol.
+type HashPair struct {
+	Idx  int
+	Hash uint64
+}
+
+// RootPair returns the root's (index, hash) pair, the opening move of a
+// top-down descent.
+func (m *Merkle) RootPair() HashPair {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return HashPair{Idx: 0, Hash: m.nodes[0]}
+}
+
+// Descend advances one level of a top-down Merkle reconciliation: it
+// compares the remote (index, hash) pairs against the local tree and
+// returns, for every differing interior node, the local hashes of its two
+// children (for the peer to compare next), plus the leaf buckets found
+// divergent at this level. Equal nodes are pruned, so a nearly converged
+// pair of trees exchanges O(divergence · depth) hashes instead of the
+// full leaf level. Out-of-range indices are ignored (a malformed or
+// depth-mismatched peer cannot panic the receiver).
+func (m *Merkle) Descend(pairs []HashPair) (next []HashPair, buckets []int) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	firstLeaf := (1 << m.depth) - 1
+	for _, p := range pairs {
+		if p.Idx < 0 || p.Idx >= len(m.nodes) || m.nodes[p.Idx] == p.Hash {
+			continue
+		}
+		if p.Idx >= firstLeaf {
+			buckets = append(buckets, p.Idx-firstLeaf)
+			continue
+		}
+		l, r := 2*p.Idx+1, 2*p.Idx+2
+		next = append(next,
+			HashPair{Idx: l, Hash: m.nodes[l]},
+			HashPair{Idx: r, Hash: m.nodes[r]})
+	}
+	return next, buckets
+}
+
+// DescentCost returns how many (index, hash) pairs a full top-down
+// descent between the two trees ships in total — the bandwidth analogue
+// of HashesCompared for the descent protocol: 1 for the root plus 2 per
+// differing interior node, against the flat 2^depth of a leaf-level
+// exchange.
+func DescentCost(a, b *Merkle) int {
+	if a.depth != b.depth {
+		panic("storage: merkle depth mismatch")
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	firstLeaf := (1 << a.depth) - 1
+	cost := 1
+	var walk func(i int)
+	walk = func(i int) {
+		if a.nodes[i] == b.nodes[i] || i >= firstLeaf {
+			return
+		}
+		cost += 2
+		walk(2*i + 1)
+		walk(2*i + 2)
+	}
+	walk(0)
+	return cost
 }
 
 // HashesCompared returns how many node-hash comparisons DiffLeaves would
