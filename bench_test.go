@@ -122,6 +122,15 @@ func BenchmarkKVGet(b *testing.B)               { runGroup(b, "BenchmarkKVGet") 
 func BenchmarkZipfianNext(b *testing.B)         { runGroup(b, "BenchmarkZipfianNext") }
 func BenchmarkHLCNow(b *testing.B)              { runGroup(b, "BenchmarkHLCNow") }
 
+// Networked-runtime primitives: the per-message framing cost of the TCP
+// transport and the per-request placement cost of the consistent-hash
+// ring (internal/transport, internal/ring).
+func BenchmarkTransportFrameEncode(b *testing.B) { runGroup(b, "BenchmarkTransportFrameEncode") }
+func BenchmarkTransportFrameDecode(b *testing.B) { runGroup(b, "BenchmarkTransportFrameDecode") }
+func BenchmarkRingOwner(b *testing.B)            { runGroup(b, "BenchmarkRingOwner") }
+func BenchmarkRingReplicas(b *testing.B)         { runGroup(b, "BenchmarkRingReplicas") }
+func BenchmarkRingJoinDiff(b *testing.B)         { runGroup(b, "BenchmarkRingJoinDiff") }
+
 // TestBenchmarkWrappersCoverSuite: every benchsuite entry must be
 // reachable from a Benchmark* wrapper in this file, so `go test -bench .`
 // and `ecbench -bench` measure the same set.

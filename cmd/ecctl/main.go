@@ -1,0 +1,544 @@
+// Command ecctl bootstraps and drives a local cluster of ecserver
+// nodes. It is the paper's evaluation harness made operational: the
+// same models the simulator runs now answer over real sockets.
+//
+// Usage:
+//
+//	ecctl up -n 3 -model quorum   # spawn a 3-node cluster
+//	ecctl status                  # per-node health, incl. suspected peers
+//	ecctl ring [key]              # placement: ownership share, or a key's replicas
+//	ecctl put <key> <value>       # write through a node
+//	ecctl get <key>               # read (carries a session token if model=session)
+//	ecctl del <key>               # delete
+//	ecctl smoke                   # end-to-end check incl. session guarantees
+//	ecctl kill <node>             # SIGKILL one node
+//	ecctl down                    # stop everything, remove state
+//
+// Cluster state (node ids, addresses, pids) lives in .ecctl/cluster.json
+// under the current directory (-dir overrides), so subcommands find the
+// cluster without flags. The ecserver binary is located via $ECSERVER,
+// next to ecctl itself, then $PATH.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/server"
+	"repro/internal/session"
+)
+
+// clusterState is what `up` persists and every other subcommand reads.
+type clusterState struct {
+	Model string            `json:"model"`
+	Peers map[string]string `json:"peers"` // id -> peer-link addr
+	HTTP  map[string]string `json:"http"`  // id -> http addr
+	PIDs  map[string]int    `json:"pids"`  // id -> process id
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "up":
+		err = cmdUp(args)
+	case "down":
+		err = cmdDown(args)
+	case "kill":
+		err = cmdKill(args)
+	case "status":
+		err = cmdStatus(args)
+	case "ring":
+		err = cmdRing(args)
+	case "put", "get", "del":
+		err = cmdKV(cmd, args)
+	case "smoke":
+		err = cmdSmoke(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ecctl %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ecctl {up|down|kill|status|ring|put|get|del|smoke} [args]")
+	os.Exit(2)
+}
+
+// stateDir resolves the cluster state directory from -dir or default.
+func stateDir(fs *flag.FlagSet) *string {
+	return fs.String("dir", ".ecctl", "cluster state directory")
+}
+
+func statePath(dir string) string { return filepath.Join(dir, "cluster.json") }
+
+func loadState(dir string) (*clusterState, error) {
+	b, err := os.ReadFile(statePath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("no cluster (run `ecctl up` first): %w", err)
+	}
+	var st clusterState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func saveState(dir string, st *clusterState) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, _ := json.MarshalIndent(st, "", "  ")
+	return os.WriteFile(statePath(dir), append(b, '\n'), 0o644)
+}
+
+// findEcserver locates the node binary: $ECSERVER, beside ecctl, PATH.
+func findEcserver() (string, error) {
+	if p := os.Getenv("ECSERVER"); p != "" {
+		return p, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		cand := filepath.Join(filepath.Dir(self), "ecserver")
+		if _, err := os.Stat(cand); err == nil {
+			return cand, nil
+		}
+	}
+	if p, err := exec.LookPath("ecserver"); err == nil {
+		return p, nil
+	}
+	return "", fmt.Errorf("ecserver binary not found (set $ECSERVER, place it next to ecctl, or add it to $PATH)")
+}
+
+// freePorts reserves n+n loopback ports (peer + http per node).
+func freePorts(n int) ([]string, error) {
+	addrs := make([]string, 0, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, nil
+}
+
+func cmdUp(args []string) error {
+	fs := flag.NewFlagSet("up", flag.ExitOnError)
+	n := fs.Int("n", 3, "cluster size")
+	model := fs.String("model", "quorum", "consistency model: gossip, quorum, or session")
+	seed := fs.Int64("seed", 1, "base randomness seed")
+	dir := stateDir(fs)
+	fs.Parse(args)
+	if *n < 1 {
+		return fmt.Errorf("need at least one node")
+	}
+	if _, err := os.Stat(statePath(*dir)); err == nil {
+		return fmt.Errorf("cluster already up (state at %s; `ecctl down` first)", statePath(*dir))
+	}
+	bin, err := findEcserver()
+	if err != nil {
+		return err
+	}
+	ports, err := freePorts(2 * *n)
+	if err != nil {
+		return err
+	}
+
+	st := &clusterState{
+		Model: *model,
+		Peers: map[string]string{},
+		HTTP:  map[string]string{},
+		PIDs:  map[string]int{},
+	}
+	ids := make([]string, *n)
+	for i := 0; i < *n; i++ {
+		ids[i] = fmt.Sprintf("node%d", i)
+		st.Peers[ids[i]] = ports[i]
+		st.HTTP[ids[i]] = ports[*n+i]
+	}
+	var peerList []string
+	for _, id := range ids {
+		peerList = append(peerList, id+"="+st.Peers[id])
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+
+	for i, id := range ids {
+		logf, err := os.Create(filepath.Join(*dir, id+".log"))
+		if err != nil {
+			return err
+		}
+		cmd := exec.Command(bin,
+			"-id", id,
+			"-model", *model,
+			"-peers", strings.Join(peerList, ","),
+			"-http", st.HTTP[id],
+			"-seed", fmt.Sprint(*seed+int64(i)),
+		)
+		cmd.Stdout = logf
+		cmd.Stderr = logf
+		if err := cmd.Start(); err != nil {
+			logf.Close()
+			return fmt.Errorf("start %s: %w", id, err)
+		}
+		logf.Close()
+		st.PIDs[id] = cmd.Process.Pid
+		// The parent never waits; nodes outlive ecctl. Release avoids a
+		// zombie if ecctl itself lingers.
+		cmd.Process.Release()
+	}
+	if err := saveState(*dir, st); err != nil {
+		return err
+	}
+
+	// Wait for every node to answer a status round trip.
+	for _, id := range ids {
+		if err := waitReady(st.Peers[id], 10*time.Second); err != nil {
+			return fmt.Errorf("%s did not come up: %w (see %s)", id, err, filepath.Join(*dir, id+".log"))
+		}
+	}
+	fmt.Printf("cluster up: %d nodes, model=%s\n", *n, *model)
+	for _, id := range ids {
+		fmt.Printf("  %s  peer=%s  http=%s  pid=%d\n", id, st.Peers[id], st.HTTP[id], st.PIDs[id])
+	}
+	return nil
+}
+
+func waitReady(addr string, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		c, err := server.Dial(addr, "ecctl-ready")
+		if err == nil {
+			_, _, err = c.Status()
+			c.Close()
+			if err == nil {
+				return nil
+			}
+		}
+		lastErr = err
+		time.Sleep(100 * time.Millisecond)
+	}
+	return lastErr
+}
+
+func cmdDown(args []string) error {
+	fs := flag.NewFlagSet("down", flag.ExitOnError)
+	dir := stateDir(fs)
+	fs.Parse(args)
+	st, err := loadState(*dir)
+	if err != nil {
+		return err
+	}
+	for id, pid := range st.PIDs {
+		if p, err := os.FindProcess(pid); err == nil {
+			p.Signal(syscall.SIGTERM)
+			fmt.Printf("stopped %s (pid %d)\n", id, pid)
+		}
+	}
+	return os.Remove(statePath(*dir))
+}
+
+func cmdKill(args []string) error {
+	fs := flag.NewFlagSet("kill", flag.ExitOnError)
+	dir := stateDir(fs)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: ecctl kill <node>")
+	}
+	st, err := loadState(*dir)
+	if err != nil {
+		return err
+	}
+	id := fs.Arg(0)
+	pid, ok := st.PIDs[id]
+	if !ok {
+		return fmt.Errorf("unknown node %q", id)
+	}
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return err
+	}
+	if err := p.Kill(); err != nil {
+		return err
+	}
+	fmt.Printf("killed %s (pid %d)\n", id, pid)
+	return nil
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	dir := stateDir(fs)
+	fs.Parse(args)
+	st, err := loadState(*dir)
+	if err != nil {
+		return err
+	}
+	for _, id := range sortedIDs(st) {
+		resp, err := http.Get("http://" + st.HTTP[id] + "/healthz")
+		if err != nil {
+			fmt.Printf("%-8s DOWN (%v)\n", id, err)
+			continue
+		}
+		var h struct {
+			Model   string   `json:"model"`
+			Uptime  string   `json:"uptime"`
+			Suspect []string `json:"suspected_peers"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if err != nil {
+			fmt.Printf("%-8s ERROR (%v)\n", id, err)
+			continue
+		}
+		line := fmt.Sprintf("%-8s UP model=%s uptime=%s", id, h.Model, h.Uptime)
+		if len(h.Suspect) > 0 {
+			line += " suspects=" + strings.Join(h.Suspect, ",")
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+// cmdRing prints placement. Because vnode hashing is deterministic,
+// ecctl rebuilds the exact ring the servers use from the member list
+// alone — no network round trip needed to answer "who owns this key".
+func cmdRing(args []string) error {
+	fs := flag.NewFlagSet("ring", flag.ExitOnError)
+	dir := stateDir(fs)
+	fs.Parse(args)
+	st, err := loadState(*dir)
+	if err != nil {
+		return err
+	}
+	r := ring.New(sortedIDs(st), ring.DefaultVirtualNodes)
+	if fs.NArg() >= 1 {
+		key := fs.Arg(0)
+		fmt.Printf("%s -> owner=%s replicas=%s\n", key, r.Owner(key), strings.Join(r.Replicas(key, 3), ","))
+		return nil
+	}
+	load := r.Load()
+	for _, id := range sortedIDs(st) {
+		fmt.Printf("%-8s %5.1f%% of keyspace\n", id, 100*load[id])
+	}
+	return nil
+}
+
+// dialAny connects to the first reachable node.
+func dialAny(st *clusterState) (*server.Client, string, error) {
+	var lastErr error
+	for _, id := range sortedIDs(st) {
+		c, err := server.Dial(st.Peers[id], "ecctl")
+		if err == nil {
+			return c, id, nil
+		}
+		lastErr = err
+	}
+	return nil, "", fmt.Errorf("no node reachable: %w", lastErr)
+}
+
+// tokenPath is where ecctl persists its session token between
+// invocations: each `ecctl get/put` is a fresh process and possibly a
+// different node, yet the session guarantees hold across them because
+// the token carries the session's read/write vectors.
+func tokenPath(dir string) string { return filepath.Join(dir, "session-token.json") }
+
+func loadToken(dir string) session.Token {
+	var t session.Token
+	if b, err := os.ReadFile(tokenPath(dir)); err == nil {
+		json.Unmarshal(b, &t)
+	}
+	return t
+}
+
+func saveToken(dir string, t session.Token) {
+	if t.Read == nil && t.Write == nil {
+		return
+	}
+	b, _ := json.Marshal(t)
+	os.WriteFile(tokenPath(dir), b, 0o644)
+}
+
+func cmdKV(op string, args []string) error {
+	fs := flag.NewFlagSet(op, flag.ExitOnError)
+	dir := stateDir(fs)
+	node := fs.String("node", "", "target node (default: any reachable)")
+	fs.Parse(args)
+	st, err := loadState(*dir)
+	if err != nil {
+		return err
+	}
+
+	var c *server.Client
+	if *node != "" {
+		addr, ok := st.Peers[*node]
+		if !ok {
+			return fmt.Errorf("unknown node %q", *node)
+		}
+		c, err = server.Dial(addr, "ecctl")
+	} else {
+		c, _, err = dialAny(st)
+	}
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if st.Model == "session" {
+		c.SetToken(loadToken(*dir))
+		defer func() { saveToken(*dir, c.Token()) }()
+	}
+
+	switch op {
+	case "put":
+		if fs.NArg() != 2 {
+			return fmt.Errorf("usage: ecctl put <key> <value>")
+		}
+		return c.Put(fs.Arg(0), []byte(fs.Arg(1)))
+	case "get":
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: ecctl get <key>")
+		}
+		v, found, err := c.Get(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		if !found {
+			return fmt.Errorf("key %q not found", fs.Arg(0))
+		}
+		fmt.Println(string(v))
+		return nil
+	case "del":
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: ecctl del <key>")
+		}
+		return c.Delete(fs.Arg(0))
+	}
+	return nil
+}
+
+// cmdSmoke is the CI acceptance check: writes land, reads see them from
+// every node, and (model=session) read-your-writes survives a reconnect
+// to a different node via the session token.
+func cmdSmoke(args []string) error {
+	fs := flag.NewFlagSet("smoke", flag.ExitOnError)
+	dir := stateDir(fs)
+	fs.Parse(args)
+	st, err := loadState(*dir)
+	if err != nil {
+		return err
+	}
+	ids := sortedIDs(st)
+
+	// Reach every live node; at least one must answer.
+	clients := map[string]*server.Client{}
+	for _, id := range ids {
+		if c, err := server.Dial(st.Peers[id], "smoke-"+id); err == nil {
+			clients[id] = c
+			defer c.Close()
+		}
+	}
+	if len(clients) == 0 {
+		return fmt.Errorf("no node reachable")
+	}
+	first := ""
+	for _, id := range ids {
+		if _, ok := clients[id]; ok {
+			first = id
+			break
+		}
+	}
+
+	key := fmt.Sprintf("smoke-%d", os.Getpid())
+	if err := clients[first].Put(key, []byte("alive")); err != nil {
+		return fmt.Errorf("put via %s: %w", first, err)
+	}
+
+	// Every reachable node must serve the value (gossip: eventually).
+	for id, c := range clients {
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			v, found, err := c.Get(key)
+			if err == nil && found && string(v) == "alive" {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("node %s never served the write: %q/%v/%v", id, v, found, err)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	fmt.Printf("smoke: put/get ok on %d/%d nodes\n", len(clients), len(ids))
+
+	if st.Model == "session" {
+		// RYW across a reconnect to a different node: write at one node,
+		// carry the token, read at another immediately.
+		var otherID string
+		for _, id := range ids {
+			if id != first {
+				if _, ok := clients[id]; ok {
+					otherID = id
+					break
+				}
+			}
+		}
+		if otherID != "" {
+			w, err := server.Dial(st.Peers[first], "smoke-ryw")
+			if err != nil {
+				return err
+			}
+			if err := w.Put(key, []byte("rewritten")); err != nil {
+				w.Close()
+				return err
+			}
+			token := w.Token()
+			w.Close()
+			r, err := server.Dial(st.Peers[otherID], "smoke-ryw")
+			if err != nil {
+				return err
+			}
+			defer r.Close()
+			r.SetToken(token)
+			v, found, err := r.Get(key)
+			if err != nil || !found || string(v) != "rewritten" {
+				return fmt.Errorf("read-your-writes violated across %s->%s: %q/%v/%v", first, otherID, v, found, err)
+			}
+			fmt.Printf("smoke: read-your-writes held across reconnect %s -> %s\n", first, otherID)
+		}
+	}
+	fmt.Println("smoke: ok")
+	return nil
+}
+
+func sortedIDs(st *clusterState) []string {
+	ids := make([]string, 0, len(st.Peers))
+	for id := range st.Peers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

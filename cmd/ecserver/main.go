@@ -1,0 +1,110 @@
+// Command ecserver runs one cluster node: a TCP transport hosting a
+// consistency model (gossip, quorum, or session), the client protocol
+// on the same port, and an HTTP sidecar serving /metrics and /healthz.
+//
+// Usage:
+//
+//	ecserver -id node0 -model quorum \
+//	  -peers node0=127.0.0.1:7000,node1=127.0.0.1:7001,node2=127.0.0.1:7002 \
+//	  -http 127.0.0.1:7100
+//
+// Every node in a cluster must be started with the same -peers map and
+// the same -model. The node listens on its own entry in the map (or
+// -listen to override, e.g. to bind 0.0.0.0 behind NAT). SIGINT/SIGTERM
+// shut the node down cleanly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		id     = flag.String("id", "", "this node's id (must appear in -peers)")
+		model  = flag.String("model", "quorum", "consistency model: gossip, quorum, or session")
+		peers  = flag.String("peers", "", "comma-separated id=host:port for every node, this one included")
+		listen = flag.String("listen", "", "peer-link bind address (default: own entry in -peers)")
+		httpAd = flag.String("http", "", "metrics/health listen address (empty disables)")
+		n      = flag.Int("n", 0, "quorum replication factor (0 = default)")
+		r      = flag.Int("r", 0, "quorum read size (0 = default)")
+		w      = flag.Int("w", 0, "quorum write size (0 = default)")
+		seed   = flag.Int64("seed", 1, "randomness seed")
+		quiet  = flag.Bool("quiet", false, "suppress diagnostics")
+	)
+	flag.Parse()
+
+	peerMap, err := parsePeers(*peers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ecserver: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+
+	s, err := server.New(server.Config{
+		ID:         *id,
+		Model:      *model,
+		Peers:      peerMap,
+		ListenPeer: *listen,
+		ListenHTTP: *httpAd,
+		N:          *n,
+		R:          *r,
+		W:          *w,
+		Seed:       *seed,
+		Logf:       logf,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	members := make([]string, 0, len(peerMap))
+	for m := range peerMap {
+		members = append(members, m)
+	}
+	sort.Strings(members)
+	fmt.Printf("ecserver %s: model=%s peers=%s listening on %s", *id, *model, strings.Join(members, ","), s.Addr())
+	if s.HTTPAddr() != "" {
+		fmt.Printf(" http=%s", s.HTTPAddr())
+	}
+	fmt.Println()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	s.Close()
+}
+
+// parsePeers parses "id=addr,id=addr,..." into the cluster peer map.
+func parsePeers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-peers is required (id=host:port,...)")
+	}
+	m := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=host:port)", part)
+		}
+		if _, dup := m[id]; dup {
+			return nil, fmt.Errorf("duplicate peer id %q", id)
+		}
+		m[id] = addr
+	}
+	return m, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ecserver: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -60,6 +60,33 @@ func All() []Benchmark {
 		Benchmark{"BenchmarkZipfianNext", zipfianNext},
 		Benchmark{"BenchmarkHLCNow", hlcNow},
 	)
+	for _, size := range []int{64, 1024, 16384} {
+		size := size
+		out = append(out,
+			Benchmark{
+				Name: fmt.Sprintf("BenchmarkTransportFrameEncode/bytes=%d", size),
+				F:    func(b *testing.B) { frameEncode(b, size) },
+			},
+			Benchmark{
+				Name: fmt.Sprintf("BenchmarkTransportFrameDecode/bytes=%d", size),
+				F:    func(b *testing.B) { frameDecode(b, size) },
+			},
+		)
+	}
+	for _, members := range []int{4, 16, 64} {
+		members := members
+		out = append(out,
+			Benchmark{
+				Name: fmt.Sprintf("BenchmarkRingOwner/members=%d", members),
+				F:    func(b *testing.B) { ringOwner(b, members) },
+			},
+			Benchmark{
+				Name: fmt.Sprintf("BenchmarkRingReplicas/members=%d", members),
+				F:    func(b *testing.B) { ringReplicas(b, members) },
+			},
+		)
+	}
+	out = append(out, Benchmark{"BenchmarkRingJoinDiff", ringJoinDiff})
 	return out
 }
 

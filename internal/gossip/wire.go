@@ -1,0 +1,12 @@
+package gossip
+
+import "repro/internal/transport"
+
+// Wire registration: the anti-entropy and rumor messages, so gossip
+// nodes converse unchanged over the TCP transport. storage.HashPair and
+// Write travel inside them by value; gob encodes their exported fields.
+func init() {
+	transport.Register(
+		syncStep{}, syncResp{}, syncPush{}, rumor{},
+	)
+}

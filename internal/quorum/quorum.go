@@ -74,6 +74,20 @@ type Config struct {
 	Directory *resilience.Directory
 	// Counters receives resilience event counts. May be nil.
 	Counters *resilience.Counters
+	// Placement, when non-nil, overrides Ring-order placement: a key's
+	// preference list is Sequence(key)[:N] and its sloppy fallbacks the
+	// remainder of the sequence. internal/ring's consistent-hash ring
+	// implements this; Ring must still list every node (it drives
+	// heartbeats and shared-key anti-entropy).
+	Placement Placement
+}
+
+// Placement maps a key to an ordered walk of distinct storage nodes —
+// replicas first, then fallbacks. Every node must resolve the identical
+// sequence for a key (the same vnode layout), which consistent hashing
+// gives for free.
+type Placement interface {
+	Sequence(key string) []string
 }
 
 func (c Config) withDefaults() Config {
@@ -214,11 +228,12 @@ type (
 		Key string
 	}
 	// resPing/resPong are liveness heartbeats exchanged between ring
-	// nodes when resilience is enabled. They carry no payload: the
-	// simulator's delivery hook turns every arrival into failure-detector
-	// evidence, and the pong gives the pinger evidence about the pingee.
-	resPing struct{}
-	resPong struct{}
+	// nodes when resilience is enabled. Their only payload is a pad
+	// byte (gob refuses a struct with no exported fields): the arrival
+	// itself is the failure-detector evidence, and the pong gives the
+	// pinger evidence about the pingee.
+	resPing struct{ Pad byte }
+	resPong struct{ Pad byte }
 )
 
 // Size implements the sim bandwidth hook.
@@ -330,6 +345,12 @@ func NewNode(id string, cfg Config) *Node {
 
 // PreferenceList returns the N replicas for key, in priority order.
 func (n *Node) PreferenceList(key string) []string {
+	if n.cfg.Placement != nil {
+		seq := n.cfg.Placement.Sequence(key)
+		if len(seq) >= n.cfg.N {
+			return seq[:n.cfg.N:n.cfg.N]
+		}
+	}
 	return preferenceList(n.cfg.Ring, key, n.cfg.N)
 }
 
@@ -347,6 +368,12 @@ func preferenceList(ring []string, key string, n int) []string {
 // fallbackList returns the ring nodes after the preference list, used for
 // sloppy quorums.
 func (n *Node) fallbackList(key string) []string {
+	if n.cfg.Placement != nil {
+		seq := n.cfg.Placement.Sequence(key)
+		if len(seq) >= n.cfg.N {
+			return seq[n.cfg.N:]
+		}
+	}
 	h := fnv.New64a()
 	h.Write([]byte(key))
 	start := int(h.Sum64() % uint64(len(n.cfg.Ring)))

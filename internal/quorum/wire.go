@@ -1,0 +1,15 @@
+package quorum
+
+import "repro/internal/transport"
+
+// Wire registration: every message a quorum node or client exchanges,
+// so the protocol runs unchanged over the TCP transport.
+func init() {
+	transport.Register(
+		clientPut{}, clientGet{}, putResp{}, getResp{},
+		replicaPut{}, replicaPutAck{}, replicaGet{}, replicaGetResp{},
+		handoffDeliver{}, handoffAck{},
+		resPing{}, resPong{},
+		aeReq{}, aeResp{}, aePush{},
+	)
+}

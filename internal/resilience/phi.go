@@ -3,6 +3,7 @@ package resilience
 import (
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -96,7 +97,12 @@ func (d *Detector) Phi(now time.Duration) float64 {
 // `to` is evidence, at `to`, that `from` is alive. The key is the
 // (observer, peer) pair so each node's view is independent — exactly
 // the per-link knowledge a real process has.
+//
+// Directory is safe for concurrent use: on the simulator everything runs
+// single-threaded, but the TCP transport feeds it from one reader
+// goroutine per peer connection while HTTP handlers query phi.
 type Directory struct {
+	mu        sync.Mutex
 	policy    *Policy
 	detectors map[[2]string]*Detector
 }
@@ -114,9 +120,12 @@ func NewDirectory(policy *Policy) *Directory {
 // virtual time at. The signature matches sim.Cluster's OnDeliver hook
 // (from, to, time): dir.Observe is wired directly as the callback.
 func (d *Directory) Observe(from, to string, at time.Duration) {
+	d.mu.Lock()
 	d.detector(to, from).Observe(at)
+	d.mu.Unlock()
 }
 
+// detector must be called with mu held.
 func (d *Directory) detector(observer, peer string) *Detector {
 	k := [2]string{observer, peer}
 	det := d.detectors[k]
@@ -133,6 +142,8 @@ func (d *Directory) detector(observer, peer string) *Detector {
 // (0 if observer has never heard from peer).
 func (d *Directory) Phi(observer, peer string, now time.Duration) float64 {
 	k := [2]string{observer, peer}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	det := d.detectors[k]
 	if det == nil {
 		return 0

@@ -1,0 +1,313 @@
+// Package ring implements consistent hashing with virtual nodes — the
+// partitioning layer under the networked cluster. Each physical node
+// projects VirtualNodes points onto a 64-bit hash circle; a key is owned
+// by the first point clockwise of its hash, and its N replicas are the
+// next N distinct physical nodes along the circle (Dynamo's preference
+// list). Virtual nodes smooth the load distribution and, crucially for
+// elasticity, make membership changes local: when a node joins or
+// leaves, only ~K/n of the keyspace changes hands, and the Diff helpers
+// name exactly which ranges moved so Merkle anti-entropy can be pointed
+// at the churn instead of the whole keyspace.
+//
+// Placement is a pure function of the member set: every process that
+// knows the same members computes the identical ring, so there is no
+// placement metadata to replicate. Ring implements quorum.Placement.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVirtualNodes is the vnode count per physical node. 128 keeps
+// the max/mean load ratio near 1.1 for small clusters while the full
+// ring (n·128 points) still sorts and searches in microseconds.
+const DefaultVirtualNodes = 128
+
+// point is one virtual node: a position on the circle owned by a node.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over a member set. Build
+// one with New; derive changed rings with Join/Leave (the receiver is
+// never mutated, so a Ring can be shared without locking and old
+// placements stay queryable for rebalancing diffs).
+type Ring struct {
+	vnodes  int
+	members []string // sorted, deduped
+	points  []point  // sorted by hash
+}
+
+// New builds a ring over members with vnodes virtual nodes each
+// (DefaultVirtualNodes if vnodes <= 0). Member order does not matter:
+// the ring is a pure function of the member set.
+func New(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	ms := append([]string(nil), members...)
+	sort.Strings(ms)
+	ms = dedupe(ms)
+	r := &Ring{vnodes: vnodes, members: ms}
+	r.points = make([]point, 0, len(ms)*vnodes)
+	for _, m := range ms {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: vnodeHash(m, i), node: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.node < b.node // total order even on (astronomically rare) hash ties
+	})
+	return r
+}
+
+// vnodeHash positions virtual node i of member m on the circle. The
+// preimage ("m#" + i as 4 LE bytes, fnv64a, mix64 finalizer) is stable
+// across processes and releases — placement agreement depends on it —
+// so it is part of the wire contract.
+func vnodeHash(m string, i int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(m))
+	h.Write([]byte{'#'})
+	var buf [4]byte
+	buf[0] = byte(i)
+	buf[1] = byte(i >> 8)
+	buf[2] = byte(i >> 16)
+	buf[3] = byte(i >> 24)
+	h.Write(buf[:])
+	return mix64(h.Sum64())
+}
+
+// KeyHash positions a key on the circle.
+func KeyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the MurmurHash3/SplitMix64 finalizer. Raw FNV-1a output
+// clusters visibly on the circle for short similar preimages (measured:
+// a 28%/2% ownership split at 128 vnodes); the finalizer's avalanche
+// restores uniformity. Like the preimage, it is part of the placement
+// contract.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func dedupe(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Members returns the member set (sorted; do not mutate).
+func (r *Ring) Members() []string { return r.members }
+
+// Size returns the number of physical members.
+func (r *Ring) Size() int { return len(r.members) }
+
+// VirtualNodes returns the vnode count per member.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// successorIdx returns the index of the first point at or clockwise of
+// hash (wrapping).
+func (r *Ring) successorIdx(hash uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= hash })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// Owner returns the member owning key (the first vnode clockwise of its
+// hash). Empty string on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.successorIdx(KeyHash(key))].node
+}
+
+// Sequence returns the full ordered walk of distinct members starting
+// at key's position: the first N entries are the key's replicas, the
+// rest its sloppy-quorum fallbacks. It satisfies quorum.Placement.
+func (r *Ring) Sequence(key string) []string {
+	return r.walk(KeyHash(key), len(r.members))
+}
+
+// Replicas returns the n distinct members responsible for key, in
+// preference order (all members if n exceeds the ring size).
+func (r *Ring) Replicas(key string, n int) []string {
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	return r.walk(KeyHash(key), n)
+}
+
+// walk collects up to n distinct members clockwise from hash.
+func (r *Ring) walk(hash uint64, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	start := r.successorIdx(hash)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// Join returns a new ring with member added (the receiver is unchanged;
+// adding an existing member returns an equivalent ring).
+func (r *Ring) Join(member string) *Ring {
+	return New(append(append([]string(nil), r.members...), member), r.vnodes)
+}
+
+// Leave returns a new ring with member removed (the receiver is
+// unchanged; removing an absent member returns an equivalent ring).
+func (r *Ring) Leave(member string) *Ring {
+	ms := make([]string, 0, len(r.members))
+	for _, m := range r.members {
+		if m != member {
+			ms = append(ms, m)
+		}
+	}
+	return New(ms, r.vnodes)
+}
+
+// Range is one arc of the circle, (Start, End] clockwise (wrapping when
+// End < Start), whose ownership changed between two rings.
+type Range struct {
+	Start, End uint64
+	// From/To are the owners before and after the membership change.
+	From, To string
+}
+
+// Contains reports whether hash falls in the arc (Start, End].
+func (g Range) Contains(hash uint64) bool {
+	if g.Start < g.End {
+		return hash > g.Start && hash <= g.End
+	}
+	// Wrapping arc.
+	return hash > g.Start || hash <= g.End
+}
+
+// Diff returns the arcs whose owner differs between old and new rings —
+// the exact key ranges a membership change moves. A joining node's
+// inbound transfer list is Diff(before, after) filtered To == node;
+// pointing Merkle anti-entropy at these ranges (instead of full-keyspace
+// sync) is what makes rebalancing O(K/n).
+func Diff(before, after *Ring) []Range {
+	// Collect the union of cut points; each arc between consecutive cuts
+	// has a single owner in both rings.
+	cuts := make([]uint64, 0, len(before.points)+len(after.points))
+	for _, p := range before.points {
+		cuts = append(cuts, p.hash)
+	}
+	for _, p := range after.points {
+		cuts = append(cuts, p.hash)
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	cuts = dedupeU64(cuts)
+	if len(cuts) == 0 {
+		return nil
+	}
+	var out []Range
+	prev := cuts[len(cuts)-1] // the wrapping arc ends at the first cut
+	for _, c := range cuts {
+		ob := before.ownerAt(c)
+		oa := after.ownerAt(c)
+		if ob != oa {
+			out = append(out, Range{Start: prev, End: c, From: ob, To: oa})
+		}
+		prev = c
+	}
+	return mergeAdjacent(out)
+}
+
+// ownerAt returns the member owning position hash (hash is a point
+// position, owned by the point at exactly hash or the next clockwise).
+func (r *Ring) ownerAt(hash uint64) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.successorIdx(hash)].node
+}
+
+// mergeAdjacent coalesces consecutive ranges with identical From/To.
+func mergeAdjacent(rs []Range) []Range {
+	if len(rs) < 2 {
+		return rs
+	}
+	out := rs[:1]
+	for _, g := range rs[1:] {
+		last := &out[len(out)-1]
+		if last.End == g.Start && last.From == g.From && last.To == g.To {
+			last.End = g.End
+			continue
+		}
+		out = append(out, g)
+	}
+	// The list is circle-ordered; the last and first ranges may abut
+	// across the wrap point.
+	if len(out) > 1 {
+		first, last := out[0], out[len(out)-1]
+		if last.End == first.Start && last.From == first.From && last.To == first.To {
+			out[0].Start = last.Start
+			out = out[:len(out)-1]
+		}
+	}
+	return out
+}
+
+func dedupeU64(sorted []uint64) []uint64 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Load returns, per member, the fraction of the circle it owns —
+// diagnostic for vnode balance (1/n each is perfect).
+func (r *Ring) Load() map[string]float64 {
+	out := make(map[string]float64, len(r.members))
+	if len(r.points) == 0 {
+		return out
+	}
+	prev := r.points[len(r.points)-1].hash
+	for _, p := range r.points {
+		arc := p.hash - prev // uint64 wrap-around gives the circular distance
+		out[p.node] += float64(arc) / (1 << 64)
+		prev = p.hash
+	}
+	return out
+}
+
+// String renders a compact summary.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring{%d members, %d vnodes each}", len(r.members), r.vnodes)
+}

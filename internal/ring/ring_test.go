@@ -1,0 +1,229 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node%d", i)
+	}
+	return out
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%d", i)
+	}
+	return out
+}
+
+// Placement must be a pure function of the member SET: any process that
+// knows the same members — in any order — computes identical replicas.
+// Cross-process agreement is the whole design (no placement metadata is
+// replicated), so this is the contract test.
+func TestPlacementDeterministicAcrossConstruction(t *testing.T) {
+	ms := members(7)
+	a := New(ms, 64)
+	shuffled := append([]string(nil), ms...)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		b := New(shuffled, 64)
+		for _, k := range keys(200) {
+			if got, want := b.Sequence(k), a.Sequence(k); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: Sequence(%q) = %v, want %v", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// Golden placements: the vnode hash preimage ("m#i", fnv64a) is part of
+// the wire contract — two binaries disagreeing on it would silently
+// split the keyspace. A change that breaks this test breaks rolling
+// upgrades and must be versioned, not shipped.
+func TestPlacementGolden(t *testing.T) {
+	r := New([]string{"node0", "node1", "node2", "node3", "node4"}, 128)
+	golden := map[string][]string{
+		"alpha":     {"node4", "node2", "node3"},
+		"beta":      {"node1", "node4", "node0"},
+		"gamma":     {"node4", "node1", "node0"},
+		"delta":     {"node4", "node1", "node2"},
+		"cart:7f3a": {"node0", "node3", "node2"},
+	}
+	for k, want := range golden {
+		if got := r.Replicas(k, 3); !reflect.DeepEqual(got, want) {
+			t.Errorf("Replicas(%q, 3) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestReplicasDistinctAndComplete(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 9} {
+		r := New(members(n), 32)
+		for _, k := range keys(300) {
+			for _, want := range []int{1, 2, 3, n, n + 2} {
+				got := r.Replicas(k, want)
+				exp := want
+				if exp > n {
+					exp = n
+				}
+				if len(got) != exp {
+					t.Fatalf("n=%d: Replicas(%q, %d) returned %d members", n, k, want, len(got))
+				}
+				seen := map[string]bool{}
+				for _, m := range got {
+					if seen[m] {
+						t.Fatalf("n=%d: duplicate member %q in replica set %v for %q", n, m, got, k)
+					}
+					seen[m] = true
+				}
+			}
+			// The full sequence enumerates every member exactly once.
+			seq := r.Sequence(k)
+			if len(seq) != n {
+				t.Fatalf("n=%d: Sequence(%q) has %d members", n, k, len(seq))
+			}
+		}
+	}
+}
+
+// A join moves ~K/n of the keys and never reshuffles keys between two
+// nodes that were both already present — the consistent-hashing
+// property that makes elasticity affordable.
+func TestJoinMovesAboutKOverN(t *testing.T) {
+	const K = 20000
+	before := New(members(9), DefaultVirtualNodes)
+	after := before.Join("node9")
+
+	moved := 0
+	for _, k := range keys(K) {
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if oa != "node9" {
+			t.Fatalf("key %q moved %s -> %s; only the joiner may gain keys", k, ob, oa)
+		}
+	}
+	want := float64(K) / 10 // the new node's fair share
+	if f := float64(moved); f < 0.5*want || f > 1.5*want {
+		t.Fatalf("join moved %d of %d keys; want about %.0f (K/n)", moved, K, want)
+	}
+}
+
+func TestLeaveMovesOnlyDepartedKeys(t *testing.T) {
+	const K = 20000
+	before := New(members(10), DefaultVirtualNodes)
+	after := before.Leave("node3")
+
+	moved := 0
+	for _, k := range keys(K) {
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if ob != "node3" {
+			t.Fatalf("key %q moved %s -> %s; only the leaver's keys may move", k, ob, oa)
+		}
+	}
+	want := float64(K) / 10
+	if f := float64(moved); f < 0.5*want || f > 1.5*want {
+		t.Fatalf("leave moved %d of %d keys; want about %.0f (K/n)", moved, K, want)
+	}
+}
+
+// Diff must name exactly the arcs whose owner changed: every moved key
+// falls in a reported range with matching From/To, and no unmoved key
+// falls in any range.
+func TestDiffCoversExactlyTheMovedKeys(t *testing.T) {
+	before := New(members(6), 48)
+	after := before.Join("node6")
+	diff := Diff(before, after)
+	if len(diff) == 0 {
+		t.Fatal("join produced an empty diff")
+	}
+	for _, g := range diff {
+		if g.To != "node6" && g.From != g.To {
+			// On a pure join every changed arc flows to the joiner.
+			t.Fatalf("range %+v: join diff flows to %q, want node6", g, g.To)
+		}
+	}
+	find := func(h uint64) *Range {
+		for i := range diff {
+			if diff[i].Contains(h) {
+				return &diff[i]
+			}
+		}
+		return nil
+	}
+	for _, k := range keys(5000) {
+		h := KeyHash(k)
+		ob, oa := before.Owner(k), after.Owner(k)
+		g := find(h)
+		if ob == oa {
+			if g != nil {
+				t.Fatalf("unmoved key %q (owner %s) falls in diff range %+v", k, ob, *g)
+			}
+			continue
+		}
+		if g == nil {
+			t.Fatalf("moved key %q (%s -> %s) not covered by any diff range", k, ob, oa)
+		}
+		if g.From != ob || g.To != oa {
+			t.Fatalf("key %q moved %s -> %s but its range says %s -> %s", k, ob, oa, g.From, g.To)
+		}
+	}
+}
+
+func TestLoadBalance(t *testing.T) {
+	r := New(members(8), DefaultVirtualNodes)
+	load := r.Load()
+	var sum float64
+	for m, f := range load {
+		sum += f
+		if f < 0.04 || f > 0.25 { // fair share 0.125; vnodes keep it in band
+			t.Errorf("member %s owns %.3f of the circle; badly unbalanced", m, f)
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("circle ownership sums to %.4f, want 1", sum)
+	}
+}
+
+func TestJoinLeaveRoundTrip(t *testing.T) {
+	r := New(members(5), 32)
+	same := r.Join("node7").Leave("node7")
+	for _, k := range keys(500) {
+		if got, want := same.Sequence(k), r.Sequence(k); !reflect.DeepEqual(got, want) {
+			t.Fatalf("join+leave changed Sequence(%q): %v != %v", k, got, want)
+		}
+	}
+	if d := Diff(r, same); len(d) != 0 {
+		t.Fatalf("join+leave left a non-empty diff: %v", d)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	empty := New(nil, 8)
+	if o := empty.Owner("k"); o != "" {
+		t.Fatalf("empty ring owner = %q", o)
+	}
+	if s := empty.Sequence("k"); s != nil {
+		t.Fatalf("empty ring sequence = %v", s)
+	}
+	one := New([]string{"solo"}, 8)
+	if o := one.Owner("k"); o != "solo" {
+		t.Fatalf("singleton owner = %q", o)
+	}
+	if got := one.Replicas("k", 3); len(got) != 1 || got[0] != "solo" {
+		t.Fatalf("singleton replicas = %v", got)
+	}
+}

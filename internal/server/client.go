@@ -1,0 +1,147 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/session"
+	"repro/internal/transport"
+)
+
+// Client speaks the client protocol to one node. It is safe for
+// concurrent use (requests serialize on the connection). The client
+// carries the session token across operations — and, via Token/
+// SetToken, across reconnects to different nodes — which is what keeps
+// read-your-writes and the other session guarantees intact when the
+// node it was talking to dies.
+type Client struct {
+	mu    sync.Mutex
+	conn  net.Conn
+	id    string
+	token session.Token
+	// Timeout bounds each round trip (default 10s).
+	Timeout time.Duration
+}
+
+// Dial connects to a node's peer-link address and handshakes as a
+// client. id names the client in handshakes (any unique string).
+func Dial(addr, id string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, id: id, Timeout: 10 * time.Second}
+	if err := c.writeFrame(transport.Envelope{From: id, Msg: transport.ClientHello(id)}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Token returns the client's current session token (zero for
+// non-session models). Persist it and hand it to a future client with
+// SetToken to continue the session elsewhere.
+func (c *Client) Token() session.Token {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.token
+}
+
+// SetToken resumes a session: the token travels with every subsequent
+// request, raising the serving session's guarantee floor.
+func (c *Client) SetToken(t session.Token) {
+	c.mu.Lock()
+	c.token = t
+	c.mu.Unlock()
+}
+
+func (c *Client) writeFrame(e transport.Envelope) error {
+	c.conn.SetWriteDeadline(time.Now().Add(c.timeout()))
+	_, err := transport.WriteFrame(c.conn, e)
+	return err
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 10 * time.Second
+}
+
+// do runs one request/response round trip.
+func (c *Client) do(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	req.Token = c.token
+	if err := c.writeFrame(transport.Envelope{From: c.id, Msg: req}); err != nil {
+		return Response{}, err
+	}
+	c.conn.SetReadDeadline(time.Now().Add(c.timeout()))
+	e, _, err := transport.ReadFrame(c.conn)
+	if err != nil {
+		return Response{}, err
+	}
+	resp, ok := e.Msg.(Response)
+	if !ok {
+		return Response{}, fmt.Errorf("server: unexpected frame %T", e.Msg)
+	}
+	if resp.Token.Read != nil || resp.Token.Write != nil {
+		c.token = resp.Token
+	}
+	if resp.Err != "" {
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// Put writes key = value.
+func (c *Client) Put(key string, value []byte) error {
+	_, err := c.do(Request{Op: "put", Key: key, Value: value})
+	return err
+}
+
+// Get reads key. found is false when the key is absent (or deleted).
+func (c *Client) Get(key string) (value []byte, found bool, err error) {
+	resp, err := c.do(Request{Op: "get", Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Value, resp.Found, nil
+}
+
+// GetSiblings reads key and returns every concurrent version the store
+// holds (quorum model; other models return at most one value).
+func (c *Client) GetSiblings(key string) ([][]byte, error) {
+	resp, err := c.do(Request{Op: "get", Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Values) > 0 {
+		return resp.Values, nil
+	}
+	if resp.Found {
+		return [][]byte{resp.Value}, nil
+	}
+	return nil, nil
+}
+
+// Delete removes key.
+func (c *Client) Delete(key string) error {
+	_, err := c.do(Request{Op: "del", Key: key})
+	return err
+}
+
+// Status asks the node which model it runs.
+func (c *Client) Status() (node, model string, err error) {
+	resp, err := c.do(Request{Op: "status"})
+	if err != nil {
+		return "", "", err
+	}
+	return resp.Node, resp.Model, nil
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// startHTTP binds the metrics/health listener and serves in the
+// background until Close.
+func (s *Server) startHTTP(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: http listen %s: %w", addr, err)
+	}
+	s.httpLn = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/healthz", s.serveHealthz)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return nil
+}
+
+// peerHealth is one peer's entry in the /healthz view: this node's
+// failure-detector opinion plus measured round-trip latency.
+type peerHealth struct {
+	ID       string  `json:"id"`
+	Phi      float64 `json:"phi"`
+	Suspect  bool    `json:"suspect"`
+	RTTp50Ms float64 `json:"rtt_p50_ms"`
+	RTTp99Ms float64 `json:"rtt_p99_ms"`
+}
+
+// healthz is the /healthz response body.
+type healthz struct {
+	ID      string       `json:"id"`
+	Model   string       `json:"model"`
+	OK      bool         `json:"ok"`
+	Uptime  string       `json:"uptime"`
+	Peers   []peerHealth `json:"peers"`
+	Suspect []string     `json:"suspected_peers"`
+}
+
+// serveHealthz reports this node's view of the cluster: its own
+// liveness (trivially true if it answered) and the phi-accrual verdict
+// on every peer. Killing a node shows up here on the survivors within a
+// few heartbeat intervals.
+func (s *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	now := s.tcp.Now()
+	h := healthz{ID: s.cfg.ID, Model: s.cfg.Model, OK: true, Uptime: now.Round(time.Millisecond).String()}
+	for _, peer := range s.ring.Members() {
+		if peer == s.cfg.ID {
+			continue
+		}
+		ph := peerHealth{
+			ID:       peer,
+			Phi:      s.dir.Phi(s.cfg.ID, peer, now),
+			Suspect:  s.dir.Suspects(s.cfg.ID, peer, now),
+			RTTp50Ms: float64(s.tcp.RTTQuantile(peer, 0.50)) / float64(time.Millisecond),
+			RTTp99Ms: float64(s.tcp.RTTQuantile(peer, 0.99)) / float64(time.Millisecond),
+		}
+		h.Peers = append(h.Peers, ph)
+		if ph.Suspect {
+			h.Suspect = append(h.Suspect, peer)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(h)
+}
+
+// serveMetrics renders Prometheus text exposition format from the
+// transport stats, request counters/latency, and failure-detector
+// gauges. Hand-rendered — the repo deliberately has no dependencies —
+// but the format is the standard one, so any Prometheus scrapes it.
+func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	now := s.tcp.Now()
+	st := s.tcp.Stats()
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("ec_transport_messages_sent_total", "Protocol messages sent by local actors.", st.MessagesSent)
+	counter("ec_transport_messages_delivered_total", "Protocol messages delivered to local actors.", st.MessagesDelivered)
+	counter("ec_transport_messages_dropped_total", "Messages dropped (unknown destination, crashed node, full peer queue).", st.MessagesDropped)
+	counter("ec_transport_frames_sent_total", "Frames written to peer links.", st.FramesSent)
+	counter("ec_transport_frames_received_total", "Frames read from peer links.", st.FramesReceived)
+	counter("ec_transport_bytes_sent_total", "Bytes written to peer links.", st.BytesSent)
+	counter("ec_transport_bytes_received_total", "Bytes read from peer links.", st.BytesReceived)
+	counter("ec_transport_reconnects_total", "Peer links re-established after failure.", st.Reconnects)
+
+	s.statMu.Lock()
+	fmt.Fprintf(&b, "# HELP ec_requests_total Client requests served, by operation.\n# TYPE ec_requests_total counter\n")
+	for _, name := range s.reqCount.Names() {
+		if op, ok := strings.CutPrefix(name, "server.requests."); ok {
+			fmt.Fprintf(&b, "ec_requests_total{op=%q} %d\n", op, s.reqCount.Get(name))
+		}
+	}
+	errs := s.reqCount.Get("server.request_errors")
+	cnt := s.reqLat.Count()
+	var p50, p99 time.Duration
+	if cnt > 0 {
+		p50, p99 = s.reqLat.Quantile(0.50), s.reqLat.Quantile(0.99)
+	}
+	s.statMu.Unlock()
+	counter("ec_request_errors_total", "Client requests that failed.", errs)
+	fmt.Fprintf(&b, "# HELP ec_request_seconds Client request latency quantiles.\n# TYPE ec_request_seconds summary\n")
+	fmt.Fprintf(&b, "ec_request_seconds{quantile=\"0.5\"} %g\n", p50.Seconds())
+	fmt.Fprintf(&b, "ec_request_seconds{quantile=\"0.99\"} %g\n", p99.Seconds())
+	fmt.Fprintf(&b, "ec_request_seconds_count %d\n", cnt)
+
+	peers := make([]string, 0, s.ring.Size())
+	for _, p := range s.ring.Members() {
+		if p != s.cfg.ID {
+			peers = append(peers, p)
+		}
+	}
+	sort.Strings(peers)
+	fmt.Fprintf(&b, "# HELP ec_peer_phi Phi-accrual suspicion of each peer (threshold %g).\n# TYPE ec_peer_phi gauge\n", s.policy.PhiThreshold)
+	for _, p := range peers {
+		fmt.Fprintf(&b, "ec_peer_phi{peer=%q} %g\n", p, s.dir.Phi(s.cfg.ID, p, now))
+	}
+	fmt.Fprintf(&b, "# HELP ec_peer_suspect Whether phi exceeds the threshold.\n# TYPE ec_peer_suspect gauge\n")
+	for _, p := range peers {
+		v := 0
+		if s.dir.Suspects(s.cfg.ID, p, now) {
+			v = 1
+		}
+		fmt.Fprintf(&b, "ec_peer_suspect{peer=%q} %d\n", p, v)
+	}
+	fmt.Fprintf(&b, "# HELP ec_peer_rtt_seconds Heartbeat round-trip p99 per peer.\n# TYPE ec_peer_rtt_seconds gauge\n")
+	for _, p := range peers {
+		fmt.Fprintf(&b, "ec_peer_rtt_seconds{peer=%q} %g\n", p, s.tcp.RTTQuantile(p, 0.99).Seconds())
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Write([]byte(b.String()))
+}

@@ -1,0 +1,55 @@
+// Package server hosts a consistency model behind the TCP transport as
+// a networked node: the storage node itself (gossip, quorum, or session
+// — unchanged protocol code), a gateway that turns client connections
+// into protocol operations on the actor runtime, and an HTTP sidecar
+// exposing Prometheus-style /metrics and a /healthz view of the
+// phi-accrual failure detector. cmd/ecserver wraps it as a daemon and
+// cmd/ecctl drives local clusters of them.
+package server
+
+import (
+	"repro/internal/session"
+	"repro/internal/transport"
+)
+
+// The client protocol rides the same length-prefixed gob framing as the
+// peer transport: a connection handshakes with hello{Kind:"client"},
+// then alternates Request/Response frames, strictly serial per
+// connection. Serial-per-connection keeps the client trivial; open more
+// connections for pipelining.
+
+// Request is one client operation.
+type Request struct {
+	// Op is "put", "get", "del", or "status".
+	Op    string
+	Key   string
+	Value []byte
+	// Token carries the client's session state (session model only).
+	// The server merges it into the serving session before the
+	// operation, so the guarantees hold even if the previous operations
+	// happened over another connection to another node — this is how
+	// read-your-writes survives reconnects.
+	Token session.Token
+}
+
+// Response completes one client operation.
+type Response struct {
+	OK  bool
+	Err string
+	// Value/Found answer a get (Values carries quorum siblings when
+	// concurrent writes left more than one).
+	Value  []byte
+	Found  bool
+	Values [][]byte
+	// Token returns the serving session's updated state; the client
+	// echoes it on its next request (possibly elsewhere).
+	Token session.Token
+	// Node is the id of the node that served the operation; Model its
+	// consistency model (set on "status").
+	Node  string
+	Model string
+}
+
+func init() {
+	transport.Register(Request{}, Response{})
+}

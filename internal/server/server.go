@@ -1,0 +1,431 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/gossip"
+	"repro/internal/metrics"
+	"repro/internal/quorum"
+	"repro/internal/resilience"
+	"repro/internal/ring"
+	"repro/internal/session"
+	"repro/internal/transport"
+)
+
+// Config configures one node daemon.
+type Config struct {
+	// ID is this node's name; it must appear in Peers.
+	ID string
+	// Model selects the consistency model: "gossip", "quorum", or
+	// "session".
+	Model string
+	// Peers maps every node id (including this one) to its peer-link
+	// listen address. All nodes must agree on this map.
+	Peers map[string]string
+	// ListenPeer is this node's peer-link listen address (normally
+	// Peers[ID]; separate so tests can bind ":0").
+	ListenPeer string
+	// ListenHTTP is the metrics/health listen address ("" disables).
+	ListenHTTP string
+	// N/R/W are the quorum parameters (quorum model; default 3/2/2
+	// capped at the cluster size).
+	N, R, W int
+	// Policy tunes resilience; nil uses defaults.
+	Policy *resilience.Policy
+	// Seed derives all node randomness.
+	Seed int64
+	// Logf receives diagnostics (nil discards).
+	Logf func(format string, args ...any)
+}
+
+// Server is one running node: a TCP transport hosting the model's
+// protocol node, a client-protocol gateway, and the HTTP sidecar.
+type Server struct {
+	cfg    Config
+	tcp    *transport.TCP
+	ring   *ring.Ring
+	dir    *resilience.Directory
+	policy *resilience.Policy
+
+	gwQuorum  *quorum.Client // quorum model: shared gateway actor's client
+	gwID      string
+	gossipN   *gossip.Node // gossip model: ops run on the storage actor itself
+	httpLn    net.Listener
+	statMu    sync.Mutex // guards reqCount and reqLat
+	reqCount  *metrics.Counters
+	reqLat    *metrics.Histogram
+	connSeq   uint64
+	connMu    sync.Mutex
+	closeOnce sync.Once
+}
+
+// requestTimeout bounds how long a gateway waits for the protocol to
+// complete one client operation before answering with an error. Long
+// enough for quorum retries and session guarantee-blocking to resolve.
+const requestTimeout = 6 * time.Second
+
+func (c Config) validate() error {
+	if c.ID == "" {
+		return errors.New("server: Config.ID required")
+	}
+	if _, ok := c.Peers[c.ID]; !ok {
+		return fmt.Errorf("server: Config.Peers must contain own id %q", c.ID)
+	}
+	switch c.Model {
+	case "gossip", "quorum", "session":
+		return nil
+	}
+	return fmt.Errorf("server: unknown model %q (want gossip, quorum, or session)", c.Model)
+}
+
+// New starts a node: binds the transport, boots the protocol node and
+// gateway, and serves HTTP if configured.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ListenPeer == "" {
+		cfg.ListenPeer = cfg.Peers[cfg.ID]
+	}
+	policy := cfg.Policy.Normalized()
+
+	members := make([]string, 0, len(cfg.Peers))
+	for id := range cfg.Peers {
+		members = append(members, id)
+	}
+	sort.Strings(members)
+
+	s := &Server{
+		cfg:      cfg,
+		ring:     ring.New(members, ring.DefaultVirtualNodes),
+		dir:      resilience.NewDirectory(policy),
+		policy:   policy,
+		reqCount: metrics.NewCounters(),
+		reqLat:   metrics.NewHistogram(),
+	}
+
+	tcp, err := transport.NewTCP(transport.TCPConfig{
+		LocalID:      cfg.ID,
+		Listen:       cfg.ListenPeer,
+		Peers:        cfg.Peers,
+		Policy:       policy,
+		Directory:    s.dir,
+		Seed:         cfg.Seed,
+		Logf:         cfg.Logf,
+		OnClientConn: func(id string, conn net.Conn) { go s.serveClient(id, conn) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.tcp = tcp
+
+	others := make([]string, 0, len(members)-1)
+	for _, m := range members {
+		if m != cfg.ID {
+			others = append(others, m)
+		}
+	}
+
+	switch cfg.Model {
+	case "gossip":
+		s.gossipN = gossip.NewNode(cfg.ID, gossip.Config{Peers: others, RumorTTL: 2},
+			func() int64 { return time.Now().UnixNano() })
+		tcp.AddNode(cfg.ID, s.gossipN)
+	case "quorum":
+		n, r, w := quorumParams(cfg, len(members))
+		qcfg := quorum.Config{
+			Ring:         members,
+			N:            n,
+			R:            r,
+			W:            w,
+			ReadRepair:   true,
+			SloppyQuorum: true,
+			AntiEntropy:  true,
+			Resilience:   policy,
+			Directory:    s.dir,
+			Placement:    s.ring,
+		}
+		tcp.AddNode(cfg.ID, quorum.NewNode(cfg.ID, qcfg))
+		// One shared gateway actor hosts the protocol client; connection
+		// handlers funnel operations onto its loop with Invoke.
+		s.gwID = cfg.ID + "#gw"
+		s.gwQuorum = quorum.NewClient(s.gwID)
+		s.gwQuorum.Nodes = members
+		s.gwQuorum.Policy = policy
+		s.gwQuorum.Directory = s.dir
+		tcp.AddNode(s.gwID, s.gwQuorum)
+	case "session":
+		tcp.AddNode(cfg.ID, session.NewServer(cfg.ID, session.ServerConfig{Peers: others}))
+	}
+
+	if cfg.ListenHTTP != "" {
+		if err := s.startHTTP(cfg.ListenHTTP); err != nil {
+			tcp.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func quorumParams(cfg Config, size int) (n, r, w int) {
+	n, r, w = cfg.N, cfg.R, cfg.W
+	if n <= 0 {
+		n = 3
+	}
+	if n > size {
+		n = size
+	}
+	if r <= 0 {
+		r = (n + 1) / 2
+	}
+	if w <= 0 {
+		w = n/2 + 1
+	}
+	if r > n {
+		r = n
+	}
+	if w > n {
+		w = n
+	}
+	return
+}
+
+// Addr returns the bound peer-link address.
+func (s *Server) Addr() string { return s.tcp.Addr() }
+
+// HTTPAddr returns the bound HTTP address ("" if disabled).
+func (s *Server) HTTPAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// ID returns the node id.
+func (s *Server) ID() string { return s.cfg.ID }
+
+// Ring returns the placement ring (immutable).
+func (s *Server) Ring() *ring.Ring { return s.ring }
+
+// Close shuts the node down.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.httpLn != nil {
+			s.httpLn.Close()
+		}
+		s.tcp.Close()
+	})
+}
+
+// serveClient handles one client connection: serial Request/Response
+// frames until the connection drops. Session-model connections get a
+// private session actor; quorum goes through the shared gateway; gossip
+// operations run on the storage actor itself.
+func (s *Server) serveClient(clientID string, conn net.Conn) {
+	defer conn.Close()
+
+	var sess *session.Client
+	var sessID string
+	if s.cfg.Model == "session" {
+		s.connMu.Lock()
+		s.connSeq++
+		sessID = fmt.Sprintf("%s#s%d", s.cfg.ID, s.connSeq)
+		s.connMu.Unlock()
+		sess = session.NewClient(sessID, session.All())
+		sess.Servers = s.ring.Members()
+		sess.Policy = s.policy
+		sess.Directory = s.dir
+		s.tcp.AddNode(sessID, sess)
+		defer s.tcp.RemoveNode(sessID)
+	}
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(5 * time.Minute))
+		e, _, err := transport.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		req, ok := e.Msg.(Request)
+		if !ok {
+			s.logf("server %s: client %s sent %T, want Request", s.cfg.ID, clientID, e.Msg)
+			return
+		}
+		resp := s.handle(req, sess, sessID)
+		resp.Node = s.cfg.ID
+		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		if _, err := transport.WriteFrame(conn, transport.Envelope{From: s.cfg.ID, To: clientID, Msg: resp}); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// handle executes one request against the hosted model.
+func (s *Server) handle(req Request, sess *session.Client, sessID string) Response {
+	start := time.Now()
+	s.statMu.Lock()
+	s.reqCount.Inc("server.requests." + req.Op)
+	s.statMu.Unlock()
+	resp := s.dispatch(req, sess, sessID)
+	s.statMu.Lock()
+	if !resp.OK {
+		s.reqCount.Inc("server.request_errors")
+	}
+	s.reqLat.Observe(time.Since(start))
+	s.statMu.Unlock()
+	return resp
+}
+
+func (s *Server) dispatch(req Request, sess *session.Client, sessID string) Response {
+	switch req.Op {
+	case "status":
+		return Response{OK: true, Model: s.cfg.Model}
+	case "put", "get", "del":
+	default:
+		return Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+	switch s.cfg.Model {
+	case "gossip":
+		return s.handleGossip(req)
+	case "quorum":
+		return s.handleQuorum(req)
+	case "session":
+		return s.handleSession(req, sess, sessID)
+	}
+	return Response{Err: "no model"}
+}
+
+// handleGossip runs the operation on the storage actor's own loop:
+// gossip reads and writes are local by design, anti-entropy spreads
+// them.
+func (s *Server) handleGossip(req Request) Response {
+	done := make(chan Response, 1)
+	ok := s.tcp.Invoke(s.cfg.ID, func(env transport.Env) {
+		switch req.Op {
+		case "put":
+			s.gossipN.Put(env, req.Key, req.Value)
+			done <- Response{OK: true}
+		case "del":
+			s.gossipN.Delete(env, req.Key)
+			done <- Response{OK: true}
+		case "get":
+			v, found := s.gossipN.Get(req.Key)
+			done <- Response{OK: true, Value: v, Found: found}
+		}
+	})
+	if !ok {
+		return Response{Err: "node stopped"}
+	}
+	return await(done)
+}
+
+// handleQuorum funnels the operation through the shared gateway actor's
+// quorum client. The coordinator is the key's ring owner — requests for
+// a key land on its primary replica, and the client's resilience layer
+// fails over if that node is down.
+func (s *Server) handleQuorum(req Request) Response {
+	coord := s.ring.Owner(req.Key)
+	if coord == "" {
+		coord = s.cfg.ID
+	}
+	done := make(chan Response, 1)
+	ok := s.tcp.Invoke(s.gwID, func(env transport.Env) {
+		switch req.Op {
+		case "put":
+			s.gwQuorum.Put(env, coord, req.Key, req.Value, func(r quorum.PutResult) {
+				done <- putResponse(r.Err)
+			})
+		case "del":
+			s.gwQuorum.Delete(env, coord, req.Key, func(r quorum.PutResult) {
+				done <- putResponse(r.Err)
+			})
+		case "get":
+			s.gwQuorum.Get(env, coord, req.Key, func(r quorum.GetResult) {
+				if r.Err != nil {
+					done <- Response{Err: r.Err.Error()}
+					return
+				}
+				resp := Response{OK: true, Found: len(r.Values) > 0, Values: r.Values}
+				if len(r.Values) > 0 {
+					resp.Value = r.Values[0]
+				}
+				done <- resp
+			})
+		}
+	})
+	if !ok {
+		return Response{Err: "gateway stopped"}
+	}
+	return await(done)
+}
+
+func putResponse(err error) Response {
+	if err != nil {
+		return Response{Err: err.Error()}
+	}
+	return Response{OK: true}
+}
+
+// handleSession merges the request's token into the connection's
+// session, runs the operation against the local replica (failover takes
+// it elsewhere if needed), and returns the updated token.
+func (s *Server) handleSession(req Request, sess *session.Client, sessID string) Response {
+	if sess == nil {
+		return Response{Err: "no session"}
+	}
+	done := make(chan Response, 1)
+	ok := s.tcp.Invoke(sessID, func(env transport.Env) {
+		sess.MergeToken(req.Token)
+		switch req.Op {
+		case "put":
+			sess.Write(env, s.cfg.ID, req.Key, req.Value, func(r session.WriteResult) {
+				done <- sessionWriteResponse(sess, r)
+			})
+		case "del":
+			sess.Delete(env, s.cfg.ID, req.Key, func(r session.WriteResult) {
+				done <- sessionWriteResponse(sess, r)
+			})
+		case "get":
+			sess.Read(env, s.cfg.ID, req.Key, func(r session.ReadResult) {
+				if r.TimedOut {
+					done <- Response{Err: "session read timed out", Token: sess.Token()}
+					return
+				}
+				done <- Response{OK: true, Value: r.Value, Found: r.OK, Token: sess.Token()}
+			})
+		}
+	})
+	if !ok {
+		return Response{Err: "session stopped"}
+	}
+	return await(done)
+}
+
+func sessionWriteResponse(sess *session.Client, r session.WriteResult) Response {
+	if r.TimedOut {
+		return Response{Err: "session write timed out", Token: sess.Token()}
+	}
+	return Response{OK: true, Token: sess.Token()}
+}
+
+// await bounds the wait for a protocol completion. The channel is
+// buffered, so a late callback after timeout completes without leaking
+// a goroutine.
+func await(done chan Response) Response {
+	select {
+	case r := <-done:
+		return r
+	case <-time.After(requestTimeout):
+		return Response{Err: "request timed out"}
+	}
+}

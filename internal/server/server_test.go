@@ -1,0 +1,270 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// reservePorts grabs n distinct loopback addresses by binding and
+// releasing ephemeral listeners. The tiny rebind window is the standard
+// trade for a cluster whose members must agree on the peer map before
+// any of them starts.
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// startCluster boots n nodes of the given model on loopback TCP and
+// registers cleanup. withHTTP also binds each node's metrics listener.
+func startCluster(t *testing.T, model string, n int, withHTTP bool) []*Server {
+	t.Helper()
+	addrs := reservePorts(t, n)
+	peers := make(map[string]string, n)
+	for i, a := range addrs {
+		peers[fmt.Sprintf("node%d", i)] = a
+	}
+	policy := &resilience.Policy{HeartbeatInterval: 20 * time.Millisecond}
+	srvs := make([]*Server, n)
+	for i := range srvs {
+		cfg := Config{
+			ID:     fmt.Sprintf("node%d", i),
+			Model:  model,
+			Peers:  peers,
+			Policy: policy,
+			Seed:   int64(1000 + i),
+		}
+		if withHTTP {
+			cfg.ListenHTTP = "127.0.0.1:0"
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("start %s: %v", cfg.ID, err)
+		}
+		srvs[i] = s
+		t.Cleanup(s.Close)
+	}
+	return srvs
+}
+
+func dialNode(t *testing.T, s *Server, id string) *Client {
+	t.Helper()
+	c, err := Dial(s.Addr(), id)
+	if err != nil {
+		t.Fatalf("dial %s: %v", s.ID(), err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClusterGossipPutGetOverTCP(t *testing.T) {
+	srvs := startCluster(t, "gossip", 3, false)
+	c0 := dialNode(t, srvs[0], "cli0")
+
+	if node, model, err := c0.Status(); err != nil || model != "gossip" || node != "node0" {
+		t.Fatalf("status = %s/%s, %v", node, model, err)
+	}
+	if err := c0.Put("fruit", []byte("mango")); err != nil {
+		t.Fatal(err)
+	}
+	// Local read is immediate.
+	if v, found, err := c0.Get("fruit"); err != nil || !found || string(v) != "mango" {
+		t.Fatalf("local get = %q/%v/%v", v, found, err)
+	}
+	// A different replica sees it after anti-entropy.
+	c1 := dialNode(t, srvs[1], "cli1")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, found, err := c1.Get("fruit")
+		if err == nil && found && string(v) == "mango" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never converged: %q/%v/%v", v, found, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := c0.Delete("fruit"); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, err := c0.Get("fruit"); err != nil || found {
+		t.Fatalf("deleted key still found (err %v)", err)
+	}
+}
+
+func TestClusterQuorumPutGetOverTCP(t *testing.T) {
+	srvs := startCluster(t, "quorum", 3, false)
+	c0 := dialNode(t, srvs[0], "cli0")
+
+	for i := 0; i < 5; i++ {
+		key, val := fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)
+		if err := c0.Put(key, []byte(val)); err != nil {
+			t.Fatalf("put %s: %v", key, err)
+		}
+	}
+	// Quorum reads are immediate from any node: R+W > N.
+	c2 := dialNode(t, srvs[2], "cli2")
+	for i := 0; i < 5; i++ {
+		key, want := fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)
+		v, found, err := c2.Get(key)
+		if err != nil || !found || string(v) != want {
+			t.Fatalf("get %s via node2 = %q/%v/%v, want %q", key, v, found, err, want)
+		}
+	}
+	if err := c2.Delete("k0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, err := c0.Get("k0"); err != nil || found {
+		t.Fatalf("deleted key still found via node0 (err %v)", err)
+	}
+}
+
+// TestClusterSessionRYWAcrossReconnect is the acceptance scenario: a
+// session client writes at one node, disconnects, reconnects to a
+// DIFFERENT node carrying its token, and must read its own write —
+// the server blocks the read until anti-entropy delivers it rather than
+// answering stale.
+func TestClusterSessionRYWAcrossReconnect(t *testing.T) {
+	srvs := startCluster(t, "session", 3, false)
+
+	c0 := dialNode(t, srvs[0], "alice")
+	for i := 1; i <= 3; i++ {
+		if err := c0.Put("profile", []byte(fmt.Sprintf("rev%d", i))); err != nil {
+			t.Fatalf("put rev%d: %v", i, err)
+		}
+	}
+	token := c0.Token()
+	if token.Write == nil {
+		t.Fatal("session token not round-tripped on writes")
+	}
+	c0.Close()
+
+	// Reconnect to another node with the token: read-your-writes must
+	// hold even though that replica may not have the write yet.
+	c1 := dialNode(t, srvs[1], "alice")
+	c1.SetToken(token)
+	v, found, err := c1.Get("profile")
+	if err != nil || !found || string(v) != "rev3" {
+		t.Fatalf("RYW across reconnect = %q/%v/%v, want rev3", v, found, err)
+	}
+
+	// Without the token a fresh session has no floor: any answer is
+	// legal, but the connection must still serve.
+	c2 := dialNode(t, srvs[2], "mallory")
+	if _, _, err := c2.Get("profile"); err != nil {
+		t.Fatalf("tokenless read failed: %v", err)
+	}
+}
+
+// TestClusterSurvivesNodeKill kills one node and checks (a) the
+// survivors keep serving and (b) /healthz on a survivor reports the
+// dead peer as suspected, straight from the phi-accrual detector fed by
+// real TCP heartbeats.
+func TestClusterSurvivesNodeKill(t *testing.T) {
+	srvs := startCluster(t, "gossip", 3, true)
+	c0 := dialNode(t, srvs[0], "cli0")
+	if err := c0.Put("before", []byte("kill")); err != nil {
+		t.Fatal(err)
+	}
+
+	srvs[2].Close()
+
+	// Survivor keeps serving.
+	if err := c0.Put("after", []byte("kill")); err != nil {
+		t.Fatalf("survivor stopped serving: %v", err)
+	}
+	if v, found, err := c0.Get("after"); err != nil || !found || string(v) != "kill" {
+		t.Fatalf("survivor get = %q/%v/%v", v, found, err)
+	}
+
+	// /healthz on node0 flips node2 to suspected within a few heartbeats.
+	url := "http://" + srvs[0].HTTPAddr() + "/healthz"
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var h struct {
+			ID      string   `json:"id"`
+			OK      bool     `json:"ok"`
+			Suspect []string `json:"suspected_peers"`
+		}
+		resp, err := http.Get(url)
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+		}
+		if err == nil && h.OK && h.ID == "node0" {
+			dead := false
+			for _, p := range h.Suspect {
+				if p == "node2" {
+					dead = true
+				}
+			}
+			if dead {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never suspected the killed node: %+v (err %v)", h, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestMetricsEndpointRenders(t *testing.T) {
+	srvs := startCluster(t, "quorum", 3, true)
+	c0 := dialNode(t, srvs[0], "cli0")
+	if err := c0.Put("m", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srvs[0].HTTPAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ec_transport_frames_sent_total",
+		`ec_requests_total{op="put"} 1`,
+		"ec_request_seconds{quantile=\"0.99\"}",
+		`ec_peer_phi{peer="node1"}`,
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{ID: "x", Model: "gossip", Peers: map[string]string{"y": "127.0.0.1:1"}}); err == nil {
+		t.Fatal("missing own id accepted")
+	}
+	if _, err := New(Config{ID: "x", Model: "strongest", Peers: map[string]string{"x": "127.0.0.1:1"}}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}

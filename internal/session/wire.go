@@ -1,0 +1,47 @@
+package session
+
+import (
+	"repro/internal/clock"
+	"repro/internal/transport"
+)
+
+// Wire registration: every message a session server or client exchanges,
+// so the protocol runs unchanged over the TCP transport. Unexported
+// message types are fine — gob registers by name and both ends run this
+// same package — but every field that must travel is exported.
+func init() {
+	transport.Register(
+		aeReq{}, aeResp{},
+		sread{}, sreadResp{},
+		swrite{}, swriteResp{},
+	)
+}
+
+// Token is the portable form of a session: the read and write vectors
+// that define its guarantee floors. A client hands its token to the
+// application on disconnect and merges it back after reconnecting — to
+// any server — and read-your-writes, monotonic reads, writes-follow-
+// reads, and monotonic writes keep holding across the gap, because the
+// floors are vectors, not server identities.
+type Token struct {
+	Read  clock.Vector
+	Write clock.Vector
+}
+
+// Token snapshots the session state (copies; later operations don't
+// mutate the returned vectors).
+func (c *Client) Token() Token {
+	return Token{Read: c.readVec.Copy(), Write: c.writeVec.Copy()}
+}
+
+// MergeToken folds a previously issued token into this session. Merging
+// is a vector join — monotone and idempotent — so replaying a stale or
+// duplicate token is harmless; the session floor only ever rises.
+func (c *Client) MergeToken(t Token) {
+	if t.Read != nil {
+		c.readVec.Merge(t.Read)
+	}
+	if t.Write != nil {
+		c.writeVec.Merge(t.Write)
+	}
+}

@@ -19,49 +19,35 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"repro/internal/transport"
 )
+
+// The actor contract — Message, Handler, Env, TimerID — is shared with
+// internal/transport: the simulator and the real transports implement
+// the same surface, so a protocol node written against sim.Env runs
+// unmodified on a deterministic virtual cluster, an in-process loopback,
+// or real TCP. The aliases keep sim the canonical name protocols import
+// while transport owns the single definition.
 
 // Message is any protocol payload exchanged between nodes. Payloads should
 // be treated as immutable once sent: the simulator delivers the same value
 // it was handed (it does not serialize).
-type Message any
+type Message = transport.Message
 
 // Handler is the behaviour of a node. The simulator invokes the handler
 // single-threaded, so implementations need no locking for state that only
 // the handler touches.
-type Handler interface {
-	// OnStart runs when the node boots, and again after each Restart.
-	OnStart(env Env)
-	// OnMessage delivers a message sent by node from.
-	OnMessage(env Env, from string, msg Message)
-	// OnTimer fires a timer previously set through the Env.
-	OnTimer(env Env, tag any)
-}
+type Handler = transport.Handler
 
 // Env is the interface a running node uses to interact with the world. An
-// Env is only valid during the handler invocation it was passed to.
-type Env interface {
-	// ID returns the node's own identifier.
-	ID() string
-	// Now returns the current virtual time.
-	Now() time.Duration
-	// Send queues a message for delivery to node to, subject to the
-	// cluster's latency model and partitions. Sending to self is allowed
-	// and still traverses the (local) latency model.
-	Send(to string, msg Message)
-	// SetTimer schedules OnTimer(tag) after d. It returns a TimerID that
-	// can cancel the timer. Timers are discarded if the node crashes.
-	SetTimer(d time.Duration, tag any) TimerID
-	// Cancel stops a pending timer. Cancelling an already-fired or
-	// already-cancelled timer is a no-op.
-	Cancel(id TimerID)
-	// Rand returns the cluster's deterministic random source. Handlers
-	// must only use it synchronously inside the current invocation.
-	Rand() *rand.Rand
-}
+// Env is only valid during the handler invocation it was passed to. Under
+// the simulator, Now is virtual time, Send traverses the cluster's latency
+// model and partitions, and Rand is the cluster's seeded source.
+type Env = transport.Env
 
 // TimerID identifies a pending timer for cancellation.
-type TimerID uint64
+type TimerID = transport.TimerID
 
 // Config configures a Cluster.
 type Config struct {

@@ -1,0 +1,261 @@
+package transport_test
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/gossip"
+	"repro/internal/resilience"
+	"repro/internal/session"
+	"repro/internal/transport"
+)
+
+// Off-sim conformance: the chaos harness's methodology — drive a
+// workload, inject faults, record a history, run the consistency
+// checkers — applied to protocol nodes hosted on the real transport
+// runtime instead of the simulator. The sim-based suite (internal/
+// chaos) proves the protocols under deterministic virtual time; this
+// one proves the same code keeps its guarantees on the concurrent actor
+// runtime the TCP transport uses, where scheduling is real and
+// adversarial. Loopback keeps it socket-free and CI-stable.
+
+// recorder accumulates a check.History from concurrent clients.
+type recorder struct {
+	mu sync.Mutex
+	h  check.History
+}
+
+func (r *recorder) add(op check.Op) {
+	r.mu.Lock()
+	r.h = append(r.h, op)
+	r.mu.Unlock()
+}
+
+func (r *recorder) history() check.History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append(check.History(nil), r.h...)
+}
+
+// sessionDo runs one session operation to completion on the client's
+// actor loop, returning when the protocol callback fires.
+func sessionDo(t *testing.T, l *transport.Loopback, cli *session.Client, id string, write bool, key, val string) (session.ReadResult, session.WriteResult, bool) {
+	t.Helper()
+	type outcome struct {
+		r session.ReadResult
+		w session.WriteResult
+	}
+	done := make(chan outcome, 1)
+	ok := l.Invoke(id, func(env transport.Env) {
+		if write {
+			cli.Write(env, cli.Servers[0], key, []byte(val), func(r session.WriteResult) {
+				done <- outcome{w: r}
+			})
+		} else {
+			cli.Read(env, cli.Servers[0], key, func(r session.ReadResult) {
+				done <- outcome{r: r}
+			})
+		}
+	})
+	if !ok {
+		t.Fatalf("invoke %s failed", id)
+	}
+	select {
+	case o := <-done:
+		return o.r, o.w, true
+	case <-time.After(10 * time.Second):
+		t.Fatalf("session op on %s timed out", id)
+		return session.ReadResult{}, session.WriteResult{}, false
+	}
+}
+
+// TestConformanceSessionGuaranteesOverLoopback runs session clients
+// with all four guarantees against replicas on the loopback transport
+// while links fail, then checks the recorded history for per-client
+// monotonicity (the observable core of RYW + monotonic reads).
+func TestConformanceSessionGuaranteesOverLoopback(t *testing.T) {
+	l := transport.NewLoopback(transport.LoopbackConfig{Seed: 11, MinLatency: 500 * time.Microsecond, MaxLatency: 2 * time.Millisecond})
+	defer l.Close()
+
+	servers := []string{"s0", "s1", "s2"}
+	for _, id := range servers {
+		peers := make([]string, 0, 2)
+		for _, p := range servers {
+			if p != id {
+				peers = append(peers, p)
+			}
+		}
+		l.AddNode(id, session.NewServer(id, session.ServerConfig{
+			Peers:               peers,
+			AntiEntropyInterval: 5 * time.Millisecond,
+			BlockTimeout:        2 * time.Second,
+		}))
+	}
+
+	rec := &recorder{}
+	const clients = 3
+	const opsPerClient = 30
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		c := c
+		id := fmt.Sprintf("c%d", c)
+		cli := session.NewClient(id, session.All())
+		// Each client homes on a different server (failover order is a
+		// rotation) and writes its own key; reads must stay monotone even
+		// when anti-entropy or failover is what carries its writes around.
+		for j := 0; j < len(servers); j++ {
+			cli.Servers = append(cli.Servers, servers[(c+j)%len(servers)])
+		}
+		cli.Policy = &resilience.Policy{
+			MaxAttempts:  8,
+			RetryTimeout: 60 * time.Millisecond,
+			BaseBackoff:  10 * time.Millisecond,
+			MaxBackoff:   40 * time.Millisecond,
+		}
+		l.AddNode(id, cli)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", c)
+			for i := 1; i <= opsPerClient; i++ {
+				val := fmt.Sprintf("v%d", i)
+				start := l.Now()
+				_, w, _ := sessionDo(t, l, cli, id, true, key, val)
+				rec.add(check.Op{Kind: check.Write, Key: key, Value: val, OK: true,
+					Start: start, End: l.Now(), Client: id, Maybe: w.TimedOut})
+
+				start = l.Now()
+				r, _, _ := sessionDo(t, l, cli, id, false, key, "")
+				if !r.TimedOut {
+					rec.add(check.Op{Kind: check.Read, Key: key, Value: string(r.Value), OK: r.OK,
+						Start: start, End: l.Now(), Client: id})
+				}
+			}
+		}()
+	}
+
+	// Nemesis: repeatedly isolate one server, then heal.
+	stop := make(chan struct{})
+	var nem sync.WaitGroup
+	nem.Add(1)
+	go func() {
+		defer nem.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				l.Heal()
+				return
+			case <-time.After(20 * time.Millisecond):
+			}
+			victim := servers[i%len(servers)]
+			rest := make([]string, 0, len(servers)-1)
+			for _, s := range servers {
+				if s != victim {
+					rest = append(rest, s)
+				}
+			}
+			// Clients stay with the majority side; a client whose home
+			// server is the victim must fail over mid-session — the
+			// interesting case for the guarantees.
+			groups := [][]string{append(rest, "c0", "c1", "c2"), {victim}}
+			l.Partition(groups...)
+			select {
+			case <-stop:
+				l.Heal()
+				return
+			case <-time.After(15 * time.Millisecond):
+			}
+			l.Heal()
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	nem.Wait()
+
+	h := rec.history()
+	if len(h) < clients*opsPerClient {
+		t.Fatalf("history too small: %d ops", len(h))
+	}
+	versionOf := func(v string) int {
+		n, _ := strconv.Atoi(strings.TrimPrefix(v, "v"))
+		return n
+	}
+	if !check.MonotonicPerClient(h, versionOf) {
+		t.Fatalf("session guarantees violated: history not monotone per client\n%v", h)
+	}
+}
+
+// TestConformanceGossipConvergesAfterPartition writes on both sides of
+// a partition and checks the replicas converge (identical Merkle roots)
+// after healing — eventual delivery on the real runtime.
+func TestConformanceGossipConvergesAfterPartition(t *testing.T) {
+	l := transport.NewLoopback(transport.LoopbackConfig{Seed: 12})
+	defer l.Close()
+
+	ids := []string{"g0", "g1", "g2"}
+	nodes := make([]*gossip.Node, len(ids))
+	for i, id := range ids {
+		peers := make([]string, 0, 2)
+		for _, p := range ids {
+			if p != id {
+				peers = append(peers, p)
+			}
+		}
+		nodes[i] = gossip.NewNode(id, gossip.Config{Peers: peers, Interval: 5 * time.Millisecond, RumorTTL: 2},
+			func() int64 { return int64(l.Now()) })
+		l.AddNode(id, nodes[i])
+	}
+
+	putBytes := func(node int, key string, val []byte) {
+		done := make(chan struct{})
+		l.Invoke(ids[node], func(env transport.Env) {
+			nodes[node].Put(env, key, val)
+			close(done)
+		})
+		<-done
+	}
+
+	// Converged state before faults.
+	for i := 0; i < 10; i++ {
+		putBytes(i%3, fmt.Sprintf("pre%d", i), []byte{byte(i)})
+	}
+
+	// Partition {g0} | {g1,g2} and write on both sides.
+	l.Partition([]string{"g0"}, []string{"g1", "g2"})
+	for i := 0; i < 10; i++ {
+		putBytes(0, fmt.Sprintf("left%d", i), []byte{1, byte(i)})
+		putBytes(1, fmt.Sprintf("right%d", i), []byte{2, byte(i)})
+	}
+	l.Heal()
+
+	roots := func() []uint64 {
+		out := make([]uint64, len(nodes))
+		var wg sync.WaitGroup
+		for i := range nodes {
+			i := i
+			wg.Add(1)
+			l.Invoke(ids[i], func(env transport.Env) {
+				out[i] = nodes[i].RootHash()
+				wg.Done()
+			})
+		}
+		wg.Wait()
+		return out
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		r := roots()
+		if r[0] == r[1] && r[1] == r[2] {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("gossip replicas did not converge after heal: roots %v", roots())
+}

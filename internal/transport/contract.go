@@ -1,0 +1,74 @@
+// Package transport is the message-passing substrate the replication
+// protocols run on when they leave the simulator. It has three layers:
+//
+//   - contract.go defines the actor contract — Handler, Env, Message,
+//     TimerID — that every protocol node is written against. The
+//     simulator (internal/sim) aliases these types, so the exact same
+//     protocol code runs on the deterministic virtual cluster and on a
+//     real network without modification: the contract is the seam the
+//     ISSUE's "simulator to wire" transition pivots on.
+//
+//   - Runtime (runtime.go) hosts protocol nodes off-sim: each node is a
+//     goroutine-confined actor with an unbounded FIFO mailbox, real
+//     timers, and a deterministic per-node random source, preserving the
+//     single-threaded handler discipline the protocols assume.
+//
+//   - Loopback (loopback.go) connects runtimes in-process — every
+//     transport test runs without opening a socket — while TCP (tcp.go)
+//     connects them over real connections with length-prefixed gob
+//     framing, per-peer send queues, reconnection backoff from
+//     internal/resilience, and transport-level heartbeats that feed the
+//     phi-accrual failure detector with real arrival times.
+package transport
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Message is any protocol payload exchanged between nodes. Payloads must
+// be treated as immutable once sent: in-process transports deliver the
+// same value they were handed, the TCP transport delivers a gob copy.
+// Types that cross a real wire must be registered with Register.
+type Message any
+
+// TimerID identifies a pending timer for cancellation.
+type TimerID uint64
+
+// Handler is the behaviour of a node. Implementations are invoked
+// single-threaded by whichever substrate hosts them (the simulator's
+// event loop or a Runtime's actor goroutine), so state touched only by
+// the handler needs no locking.
+type Handler interface {
+	// OnStart runs when the node boots, and again after each restart.
+	OnStart(env Env)
+	// OnMessage delivers a message sent by node from.
+	OnMessage(env Env, from string, msg Message)
+	// OnTimer fires a timer previously set through the Env.
+	OnTimer(env Env, tag any)
+}
+
+// Env is the interface a running node uses to interact with the world.
+// An Env is only valid during the handler invocation it was passed to.
+type Env interface {
+	// ID returns the node's own identifier.
+	ID() string
+	// Now returns the current time on the substrate's clock: virtual
+	// time under the simulator, time since runtime start on a real
+	// transport. Either way it is monotone and starts near zero, which
+	// is all the protocols (and the failure detectors) rely on.
+	Now() time.Duration
+	// Send queues a message for delivery to node to. Delivery is
+	// asynchronous and may fail silently (network loss, partitions,
+	// crashed peers); protocols own their retries.
+	Send(to string, msg Message)
+	// SetTimer schedules OnTimer(tag) after d. It returns a TimerID that
+	// can cancel the timer. Timers are discarded if the node crashes.
+	SetTimer(d time.Duration, tag any) TimerID
+	// Cancel stops a pending timer. Cancelling an already-fired or
+	// already-cancelled timer is a no-op.
+	Cancel(id TimerID)
+	// Rand returns the node's deterministic random source. Handlers
+	// must only use it synchronously inside the current invocation.
+	Rand() *rand.Rand
+}

@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Wire format: every frame is
+//
+//	| length: uint32 big-endian | payload: gob(Envelope) |
+//
+// The length prefix (rather than gob's own stream framing) keeps frame
+// boundaries explicit — a reader can size-check, skip, or hand off a
+// frame without decoding it, and a partially written frame never
+// desynchronizes the stream past the next boundary. Each payload is a
+// self-contained gob encoding (a fresh encoder per frame): slightly
+// larger on the wire than a stateful stream, but stateless frames
+// survive reconnects, can be hedged or re-sent verbatim, and decode
+// independently of arrival order. The framing micro-benchmark in
+// internal/benchsuite tracks the cost.
+
+// MaxFrameSize bounds a single frame (16 MiB). A peer announcing a
+// larger frame is protocol-corrupt and the connection is dropped —
+// the standard defense against length-prefix poisoning.
+const MaxFrameSize = 16 << 20
+
+// Envelope is the unit every frame carries: a routed protocol message.
+// From is the sending node id, To the destination node id on the
+// receiving runtime.
+type Envelope struct {
+	From, To string
+	Msg      Message
+}
+
+// Register makes concrete message types encodable inside an Envelope
+// (gob needs the concrete type of an interface value registered on both
+// sides). Protocol packages register their wire messages from an init
+// so hosting them on TCP needs no extra wiring.
+func Register(msgs ...Message) {
+	for _, m := range msgs {
+		gob.Register(m)
+	}
+}
+
+// encBuf pools encode scratch buffers: steady-state framing allocates
+// only what gob itself needs.
+var encBuf = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// AppendFrame encodes e as one frame appended to dst and returns the
+// extended slice.
+func AppendFrame(dst []byte, e Envelope) ([]byte, error) {
+	buf := encBuf.Get().(*bytes.Buffer)
+	defer encBuf.Put(buf)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(&e); err != nil {
+		return dst, fmt.Errorf("transport: encode %T: %w", e.Msg, err)
+	}
+	if buf.Len() > MaxFrameSize {
+		return dst, fmt.Errorf("transport: frame %T exceeds %d bytes", e.Msg, MaxFrameSize)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	dst = append(dst, hdr[:]...)
+	return append(dst, buf.Bytes()...), nil
+}
+
+// WriteFrame encodes e and writes one frame to w.
+func WriteFrame(w io.Writer, e Envelope) (int, error) {
+	b, err := AppendFrame(nil, e)
+	if err != nil {
+		return 0, err
+	}
+	return w.Write(b)
+}
+
+// ReadFrame reads one frame from r and decodes its envelope.
+func ReadFrame(r io.Reader) (Envelope, int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Envelope{}, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return Envelope{}, 0, fmt.Errorf("transport: frame length %d exceeds %d", n, MaxFrameSize)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Envelope{}, 0, err
+	}
+	var e Envelope
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
+		return Envelope{}, 0, fmt.Errorf("transport: decode frame: %w", err)
+	}
+	return e, int(n) + 4, nil
+}
+
+// DecodeFrame decodes one frame from b (length prefix included),
+// returning the envelope and bytes consumed. Exposed for benchmarks and
+// tests that frame into memory.
+func DecodeFrame(b []byte) (Envelope, int, error) {
+	return ReadFrame(bytes.NewReader(b))
+}
+
+// hello is the first frame on every dialed connection, identifying the
+// dialer. Kind is "peer" for transport links and "client" for the
+// server's client protocol (internal/server).
+type hello struct {
+	Kind string
+	ID   string
+}
+
+// heartbeat is the transport-level liveness ping. T is the sender's
+// clock (Runtime.Now) at send time; the echo carries it back unchanged
+// so the pinger measures a true round trip on its own clock.
+type heartbeat struct {
+	T    int64 // sender clock, nanoseconds
+	Echo bool
+}
+
+// ClientHello returns the handshake message a client-protocol
+// connection opens with; the transport's accept loop hands such
+// connections to TCPConfig.OnClientConn.
+func ClientHello(id string) Message { return hello{Kind: "client", ID: id} }
+
+func init() {
+	Register(hello{}, heartbeat{})
+}

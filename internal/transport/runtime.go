@@ -1,0 +1,414 @@
+package transport
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// mailbox is an unbounded FIFO queue feeding one node's actor loop.
+// Senders never block (protocol handlers may fan out many sends while
+// another node's loop is busy; a bounded channel there would deadlock
+// two nodes sending to each other under load), and the loop blocks on
+// recv until an event or close arrives.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []procEvent
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// put enqueues an event; it reports false if the mailbox is closed.
+func (m *mailbox) put(ev procEvent) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.queue = append(m.queue, ev)
+	m.cond.Signal()
+	return true
+}
+
+// take blocks for the next event; ok=false means the mailbox closed and
+// drained.
+func (m *mailbox) take() (procEvent, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return procEvent{}, false
+	}
+	ev := m.queue[0]
+	m.queue[0] = procEvent{}
+	m.queue = m.queue[1:]
+	return ev, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+type procEventKind uint8
+
+const (
+	pevStart procEventKind = iota
+	pevMessage
+	pevTimer
+	pevCall
+	pevCrash
+)
+
+// procEvent is one unit of work for a node's actor loop.
+type procEvent struct {
+	kind  procEventKind
+	from  string
+	msg   Message
+	tag   any
+	timer TimerID
+	epoch uint64
+	fn    func(Env)
+}
+
+// proc is one hosted node: a Handler plus the actor goroutine that
+// invokes it single-threaded, mirroring the simulator's discipline.
+type proc struct {
+	id  string
+	h   Handler
+	rt  *Runtime
+	box *mailbox
+	rng *rand.Rand
+
+	// Loop-confined state (the actor goroutine is the only toucher).
+	up     bool
+	epoch  uint64
+	timers map[TimerID]*time.Timer
+
+	done chan struct{}
+}
+
+// penv implements Env for one proc. It is reused across invocations;
+// the contract only promises validity during an invocation.
+type penv struct{ p *proc }
+
+func (e penv) ID() string          { return e.p.id }
+func (e penv) Now() time.Duration  { return e.p.rt.Now() }
+func (e penv) Rand() *rand.Rand    { return e.p.rng }
+func (e penv) Send(to string, msg Message) {
+	e.p.rt.send(e.p.id, to, msg)
+}
+
+func (e penv) SetTimer(d time.Duration, tag any) TimerID {
+	p := e.p
+	id := TimerID(p.rt.timerSeq.Add(1))
+	epoch := p.epoch
+	t := time.AfterFunc(d, func() {
+		p.box.put(procEvent{kind: pevTimer, tag: tag, timer: id, epoch: epoch})
+	})
+	p.timers[id] = t
+	return id
+}
+
+func (e penv) Cancel(id TimerID) {
+	if id == 0 {
+		return
+	}
+	if t, ok := e.p.timers[id]; ok {
+		t.Stop()
+		delete(e.p.timers, id)
+	}
+}
+
+// loop is the actor goroutine: strictly one handler invocation at a
+// time, events in mailbox order.
+func (p *proc) loop() {
+	defer close(p.done)
+	env := penv{p: p}
+	for {
+		ev, ok := p.box.take()
+		if !ok {
+			return
+		}
+		switch ev.kind {
+		case pevStart:
+			p.up = true
+			p.h.OnStart(env)
+		case pevCrash:
+			p.up = false
+			p.epoch++
+			for id, t := range p.timers {
+				t.Stop()
+				delete(p.timers, id)
+			}
+		case pevMessage:
+			if p.up {
+				p.h.OnMessage(env, ev.from, ev.msg)
+			}
+		case pevTimer:
+			delete(p.timers, ev.timer)
+			if p.up && ev.epoch == p.epoch {
+				p.h.OnTimer(env, ev.tag)
+			}
+		case pevCall:
+			if p.up {
+				ev.fn(env)
+			}
+		}
+	}
+}
+
+// Stats counts transport-level events. All fields are monotonic; read a
+// snapshot with Runtime.Stats / TCP.Stats.
+type Stats struct {
+	MessagesSent      uint64
+	MessagesDelivered uint64
+	MessagesDropped   uint64 // unknown destination, crashed node, severed link, or full peer queue
+	TimersFired       uint64
+
+	// Wire accounting (TCP only).
+	FramesSent     uint64
+	FramesReceived uint64
+	BytesSent      uint64
+	BytesReceived  uint64
+	Reconnects     uint64
+}
+
+// Runtime hosts protocol nodes off-sim: each AddNode spawns an actor
+// goroutine that drives the Handler through the same OnStart/OnMessage/
+// OnTimer surface the simulator uses. Runtime alone only routes between
+// its own nodes; Loopback and TCP extend routing across runtimes.
+type Runtime struct {
+	mu      sync.Mutex
+	procs   map[string]*proc
+	start   time.Time
+	seed    int64
+	closed  bool
+	forward func(from, to string, msg Message) bool // non-local routing hook
+	cut     func(from, to string) bool              // fault hook: true drops the send
+	delay   func(from, to string) time.Duration     // fault hook: artificial link latency
+
+	timerSeq atomic.Uint64
+	stats    statsCell
+}
+
+// NewRuntime returns an empty runtime. seed derives each node's random
+// source (per-node streams are independent and stable per id).
+func NewRuntime(seed int64) *Runtime {
+	return &Runtime{
+		procs: make(map[string]*proc),
+		start: time.Now(),
+		seed:  seed,
+	}
+}
+
+// Now returns the runtime clock: time since the runtime started. It is
+// the off-sim analogue of virtual time — monotone and starting at zero —
+// so failure-detector arithmetic carries over unchanged.
+func (r *Runtime) Now() time.Duration { return time.Since(r.start) }
+
+// AddNode registers and boots a node. It panics on a duplicate id, like
+// the simulator: topology bugs should be loud.
+func (r *Runtime) AddNode(id string, h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	if _, ok := r.procs[id]; ok {
+		panic(fmt.Sprintf("transport: duplicate node id %q", id))
+	}
+	p := &proc{
+		id:     id,
+		h:      h,
+		rt:     r,
+		box:    newMailbox(),
+		rng:    rand.New(rand.NewSource(r.seed ^ int64(idHash(id)))),
+		timers: make(map[TimerID]*time.Timer),
+		done:   make(chan struct{}),
+	}
+	r.procs[id] = p
+	p.box.put(procEvent{kind: pevStart})
+	go p.loop()
+}
+
+// RemoveNode stops a node's loop and forgets it. Pending mailbox events
+// are discarded; in-flight timers fire into a closed mailbox and vanish.
+func (r *Runtime) RemoveNode(id string) {
+	r.mu.Lock()
+	p := r.procs[id]
+	delete(r.procs, id)
+	r.mu.Unlock()
+	if p != nil {
+		p.box.close()
+		<-p.done
+	}
+}
+
+// Invoke runs fn on the node's actor loop — the off-sim analogue of
+// scheduling a client callback with sim.Cluster.At. It is how code
+// outside the actor (a client connection handler, a test) safely calls
+// protocol methods that expect to run single-threaded with an Env.
+// Returns false if the node is unknown or stopped.
+func (r *Runtime) Invoke(id string, fn func(Env)) bool {
+	r.mu.Lock()
+	p := r.procs[id]
+	r.mu.Unlock()
+	if p == nil {
+		return false
+	}
+	return p.box.put(procEvent{kind: pevCall, fn: fn})
+}
+
+// send routes a message: local node → mailbox, else the forward hook.
+// The cut and delay hooks (set by Loopback) inject link faults the way
+// the simulator's partition check does, at send time.
+func (r *Runtime) send(from, to string, msg Message) {
+	r.stats.add(func(s *Stats) { s.MessagesSent++ })
+	r.mu.Lock()
+	p := r.procs[to]
+	fwd := r.forward
+	cut := r.cut
+	delay := r.delay
+	r.mu.Unlock()
+	if cut != nil && cut(from, to) {
+		r.stats.add(func(s *Stats) { s.MessagesDropped++ })
+		return
+	}
+	if p != nil {
+		if delay != nil {
+			if d := delay(from, to); d > 0 {
+				time.AfterFunc(d, func() { r.deliver(from, to, msg) })
+				return
+			}
+		}
+		if p.box.put(procEvent{kind: pevMessage, from: from, msg: msg}) {
+			r.stats.add(func(s *Stats) { s.MessagesDelivered++ })
+		} else {
+			r.stats.add(func(s *Stats) { s.MessagesDropped++ })
+		}
+		return
+	}
+	if fwd != nil && fwd(from, to, msg) {
+		return
+	}
+	r.stats.add(func(s *Stats) { s.MessagesDropped++ })
+}
+
+// deliver injects a message that arrived from another runtime (loopback
+// peer or decoded TCP frame) into the local destination node.
+func (r *Runtime) deliver(from, to string, msg Message) bool {
+	r.mu.Lock()
+	p := r.procs[to]
+	r.mu.Unlock()
+	if p == nil || !p.box.put(procEvent{kind: pevMessage, from: from, msg: msg}) {
+		r.stats.add(func(s *Stats) { s.MessagesDropped++ })
+		return false
+	}
+	r.stats.add(func(s *Stats) { s.MessagesDelivered++ })
+	return true
+}
+
+// Nodes returns the ids of currently hosted nodes (unordered).
+func (r *Runtime) Nodes() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.procs))
+	for id := range r.procs {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Has reports whether id is hosted here.
+func (r *Runtime) Has(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.procs[id]
+	return ok
+}
+
+// Stats returns a snapshot of transport accounting.
+func (r *Runtime) Stats() Stats { return r.stats.snapshot() }
+
+// Close stops every node loop. Idempotent.
+func (r *Runtime) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	procs := make([]*proc, 0, len(r.procs))
+	for _, p := range r.procs {
+		procs = append(procs, p)
+	}
+	r.procs = make(map[string]*proc)
+	r.mu.Unlock()
+	for _, p := range procs {
+		p.box.close()
+	}
+	for _, p := range procs {
+		<-p.done
+	}
+}
+
+// crash / restart support (used by Loopback for fault injection).
+
+func (r *Runtime) crash(id string) {
+	r.mu.Lock()
+	p := r.procs[id]
+	r.mu.Unlock()
+	if p != nil {
+		p.box.put(procEvent{kind: pevCrash})
+	}
+}
+
+func (r *Runtime) restart(id string) {
+	r.mu.Lock()
+	p := r.procs[id]
+	r.mu.Unlock()
+	if p != nil {
+		p.box.put(procEvent{kind: pevStart})
+	}
+}
+
+// idHash gives each node id a stable 64-bit fingerprint for seeding.
+func idHash(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64()
+}
+
+// statsCell guards a Stats value; one mutex keeps the counter updates
+// simple and the snapshot consistent.
+type statsCell struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+func (c *statsCell) add(fn func(*Stats)) {
+	c.mu.Lock()
+	fn(&c.s)
+	c.mu.Unlock()
+}
+
+func (c *statsCell) snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.s
+}
+

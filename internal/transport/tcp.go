@@ -1,0 +1,497 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// TCPConfig configures a TCP transport: one per process, hosting that
+// process's node(s) and linking to every peer process.
+type TCPConfig struct {
+	// LocalID identifies this runtime in handshakes and as the
+	// failure-detector observer (normally the storage node id).
+	LocalID string
+	// Listen is the peer-link listen address ("127.0.0.1:0" for an
+	// ephemeral port; read the bound address back with Addr).
+	Listen string
+	// Peers maps node ids to peer listen addresses. An entry for
+	// LocalID is ignored. Ids containing '#' route to the prefix owner
+	// (gateway actors live on their storage node's runtime).
+	Peers map[string]string
+	// Policy supplies reconnect backoff, heartbeat pacing, and I/O
+	// deadlines. Nil uses resilience.DefaultPolicy.
+	Policy *resilience.Policy
+	// Directory, when set, receives one observation per arriving frame —
+	// the phi-accrual detector fed by real arrival times instead of the
+	// simulator's OnDeliver hook.
+	Directory *resilience.Directory
+	// OnClientConn, when set, receives accepted connections whose
+	// handshake declares Kind "client" (the server's client protocol
+	// shares the peer port). The callback owns the connection.
+	OnClientConn func(clientID string, conn net.Conn)
+	// Seed derives node and jitter randomness.
+	Seed int64
+	// Logf, when set, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// TCP is the real transport: a Runtime whose non-local sends travel as
+// length-prefixed gob frames over pooled TCP connections, one ordered
+// send queue per peer, with automatic reconnection under the resilience
+// policy's jittered backoff and transport-level heartbeats feeding the
+// failure detector with real RTTs.
+type TCP struct {
+	*Runtime
+	cfg    TCPConfig
+	policy *resilience.Policy
+	ln     net.Listener
+
+	mu      sync.Mutex
+	addrs   map[string]string // peer id -> listen addr (mutable via SetPeers)
+	peers   map[string]*tcpPeer
+	rtts    map[string]*resilience.Latency
+	inbound map[net.Conn]bool // accepted peer conns, closed on shutdown
+	closed  bool
+
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// outQueueLen bounds each peer's send queue. A full queue sheds the
+// newest frame (the protocols all retry); blocking an actor loop on a
+// dead peer's queue would be worse.
+const outQueueLen = 4096
+
+// NewTCP starts a TCP transport: binds the listener, spawns the accept
+// loop, and prepares (lazy) outbound links to every configured peer.
+func NewTCP(cfg TCPConfig) (*TCP, error) {
+	if cfg.LocalID == "" {
+		return nil, errors.New("transport: TCPConfig.LocalID required")
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
+	}
+	t := &TCP{
+		Runtime: NewRuntime(cfg.Seed),
+		cfg:     cfg,
+		policy:  cfg.Policy.Normalized(),
+		ln:      ln,
+		addrs:   make(map[string]string, len(cfg.Peers)),
+		peers:   make(map[string]*tcpPeer),
+		rtts:    make(map[string]*resilience.Latency),
+		inbound: make(map[net.Conn]bool),
+		done:    make(chan struct{}),
+	}
+	for id, addr := range cfg.Peers {
+		t.addrs[id] = addr
+	}
+	t.Runtime.forward = t.forward
+	t.wg.Add(1)
+	go t.acceptLoop()
+	t.connectAll()
+	return t, nil
+}
+
+// connectAll eagerly establishes the outbound link to every known peer
+// so transport heartbeats (and thus failure detection) run from boot,
+// not from first traffic.
+func (t *TCP) connectAll() {
+	t.mu.Lock()
+	peers := make(map[string]string, len(t.addrs))
+	for id, addr := range t.addrs {
+		if id != t.cfg.LocalID {
+			peers[id] = addr
+		}
+	}
+	t.mu.Unlock()
+	for id, addr := range peers {
+		t.peer(id, addr)
+	}
+}
+
+// Addr returns the bound peer-link address.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// SetPeers replaces the peer address map (used when addresses are only
+// known after every node has bound its listener). Existing links keep
+// their old address until they next reconnect.
+func (t *TCP) SetPeers(peers map[string]string) {
+	t.mu.Lock()
+	t.addrs = make(map[string]string, len(peers))
+	for id, addr := range peers {
+		t.addrs[id] = addr
+	}
+	t.mu.Unlock()
+	t.connectAll()
+}
+
+func (t *TCP) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
+
+// ownerOf resolves which peer runtime hosts node id: an exact peer
+// entry, else the '#'-prefix owner (gateway actors ride their node).
+func (t *TCP) ownerOf(id string) (string, string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if addr, ok := t.addrs[id]; ok {
+		return id, addr, true
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] == '#' {
+			owner := id[:i]
+			if addr, ok := t.addrs[owner]; ok {
+				return owner, addr, true
+			}
+			break
+		}
+	}
+	return "", "", false
+}
+
+// forward implements Runtime's non-local routing: enqueue on the owning
+// peer's ordered send queue.
+func (t *TCP) forward(from, to string, msg Message) bool {
+	owner, addr, ok := t.ownerOf(to)
+	if !ok || owner == t.cfg.LocalID {
+		return false
+	}
+	p := t.peer(owner, addr)
+	if p == nil {
+		return false
+	}
+	select {
+	case p.out <- Envelope{From: from, To: to, Msg: msg}:
+		return true
+	default:
+		t.stats.add(func(s *Stats) { s.MessagesDropped++ })
+		return true // counted as dropped, not unroutable
+	}
+}
+
+// peer returns the live send queue for a peer runtime, creating it on
+// first use.
+func (t *TCP) peer(id, addr string) *tcpPeer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	if p, ok := t.peers[id]; ok {
+		return p
+	}
+	p := &tcpPeer{
+		id:   id,
+		addr: addr,
+		t:    t,
+		out:  make(chan Envelope, outQueueLen),
+		rng:  rand.New(rand.NewSource(t.cfg.Seed ^ int64(idHash(id)) ^ 0x7c9)),
+	}
+	t.peers[id] = p
+	// Seed the failure detector at link creation: silence accrues from
+	// here, so a configured peer that never answers still becomes
+	// suspect instead of scoring phi = 0 forever as "never seen".
+	if t.cfg.Directory != nil {
+		t.cfg.Directory.Observe(id, t.cfg.LocalID, t.Now())
+	}
+	t.wg.Add(1)
+	go p.run()
+	return p
+}
+
+// observe feeds the failure detector and RTT reservoir for peer.
+func (t *TCP) observe(peer string) {
+	if t.cfg.Directory != nil {
+		t.cfg.Directory.Observe(peer, t.cfg.LocalID, t.Now())
+	}
+}
+
+func (t *TCP) observeRTT(peer string, rtt time.Duration) {
+	t.mu.Lock()
+	l := t.rtts[peer]
+	if l == nil {
+		l = &resilience.Latency{}
+		t.rtts[peer] = l
+	}
+	l.Observe(rtt)
+	t.mu.Unlock()
+}
+
+// RTTQuantile returns the q-quantile of observed heartbeat round trips
+// to peer (0 if none yet) — the real-network input to hedging delays
+// and the /metrics latency gauges.
+func (t *TCP) RTTQuantile(peer string, q float64) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if l := t.rtts[peer]; l != nil {
+		return l.Quantile(q)
+	}
+	return 0
+}
+
+// acceptLoop owns the listener: every inbound connection handshakes,
+// then serves as a peer frame source or is handed to the client hook.
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+			t.logf("transport %s: accept: %v", t.cfg.LocalID, err)
+			return
+		}
+		t.wg.Add(1)
+		go t.handleConn(conn)
+	}
+}
+
+func (t *TCP) handleConn(conn net.Conn) {
+	defer t.wg.Done()
+	conn.SetReadDeadline(time.Now().Add(t.handshakeTimeout()))
+	e, _, err := ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	h, ok := e.Msg.(hello)
+	if !ok {
+		t.logf("transport %s: conn %s: first frame %T, want hello", t.cfg.LocalID, conn.RemoteAddr(), e.Msg)
+		conn.Close()
+		return
+	}
+	switch h.Kind {
+	case "client":
+		if t.cfg.OnClientConn != nil {
+			conn.SetReadDeadline(time.Time{})
+			t.cfg.OnClientConn(h.ID, conn)
+			return
+		}
+		conn.Close()
+	case "peer":
+		t.servePeer(h.ID, conn)
+	default:
+		conn.Close()
+	}
+}
+
+// servePeer reads frames from an established inbound peer connection
+// until it errors; the dialer side owns reconnection. The connection is
+// registered so Close can unblock the read.
+func (t *TCP) servePeer(peerID string, conn net.Conn) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return
+	}
+	t.inbound[conn] = true
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+		conn.Close()
+	}()
+	idle := t.idleTimeout()
+	for {
+		conn.SetReadDeadline(time.Now().Add(idle))
+		e, n, err := ReadFrame(conn)
+		if err != nil {
+			select {
+			case <-t.done:
+			default:
+				t.logf("transport %s: peer %s read: %v", t.cfg.LocalID, peerID, err)
+			}
+			return
+		}
+		t.stats.add(func(s *Stats) { s.FramesReceived++; s.BytesReceived += uint64(n) })
+		t.observe(peerID)
+		switch m := e.Msg.(type) {
+		case heartbeat:
+			if m.Echo {
+				// Round trip complete on our clock.
+				t.observeRTT(peerID, t.Now()-time.Duration(m.T))
+			} else if owner, addr, ok := t.ownerOf(peerID); ok {
+				// Echo through the ordered outbound queue; piggybacks as
+				// liveness evidence for the other side too.
+				if p := t.peer(owner, addr); p != nil {
+					select {
+					case p.out <- Envelope{From: t.cfg.LocalID, To: peerID, Msg: heartbeat{T: m.T, Echo: true}}:
+					default:
+					}
+				}
+			}
+		default:
+			t.deliver(e.From, e.To, e.Msg)
+		}
+	}
+}
+
+func (t *TCP) handshakeTimeout() time.Duration {
+	d := 2 * t.policy.RetryTimeout
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// idleTimeout is how long a peer connection may stay silent before the
+// reader declares it dead: several heartbeat intervals, floored so slow
+// CI machines don't flap.
+func (t *TCP) idleTimeout() time.Duration {
+	d := 20 * t.policy.HeartbeatInterval
+	if d < 3*time.Second {
+		d = 3 * time.Second
+	}
+	return d
+}
+
+// Close shuts the transport down: listener, peer links, node loops.
+func (t *TCP) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	peers := make([]*tcpPeer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	conns := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	close(t.done)
+	t.ln.Close()
+	for _, p := range peers {
+		p.close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	t.Runtime.Close()
+	t.wg.Wait()
+}
+
+// tcpPeer is one outbound link: an ordered send queue drained by a
+// writer goroutine that dials lazily, heartbeats, and reconnects with
+// jittered backoff.
+type tcpPeer struct {
+	id, addr string
+	t        *TCP
+	out      chan Envelope
+	rng      *rand.Rand
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	initOnce  sync.Once
+}
+
+func (p *tcpPeer) init() {
+	p.initOnce.Do(func() { p.closed = make(chan struct{}) })
+}
+
+func (p *tcpPeer) close() {
+	p.init()
+	p.closeOnce.Do(func() { close(p.closed) })
+}
+
+// run is the peer writer loop: connect (with backoff), drain the queue,
+// heartbeat, reconnect on error. Frame writes carry a deadline so a
+// stalled peer cannot wedge the queue forever.
+func (p *tcpPeer) run() {
+	defer p.t.wg.Done()
+	p.init()
+	t := p.t
+	attempt := 0
+	for {
+		select {
+		case <-p.closed:
+			return
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", p.addr, t.handshakeTimeout())
+		if err == nil {
+			err = p.writeFrame(conn, Envelope{From: t.cfg.LocalID, To: p.id, Msg: hello{Kind: "peer", ID: t.cfg.LocalID}})
+		}
+		if err != nil {
+			t.logf("transport %s: dial %s (%s): %v", t.cfg.LocalID, p.id, p.addr, err)
+			attempt++
+			if !p.sleep(t.policy.Backoff(attempt-1, p.rng)) {
+				return
+			}
+			continue
+		}
+		if attempt > 0 {
+			t.stats.add(func(s *Stats) { s.Reconnects++ })
+		}
+		attempt = 0
+		if !p.drain(conn) {
+			conn.Close()
+			return
+		}
+		conn.Close()
+		attempt = 1
+		if !p.sleep(t.policy.Backoff(0, p.rng)) {
+			return
+		}
+	}
+}
+
+// drain writes queued frames and paced heartbeats until the connection
+// errors (false return means the peer is closing for good).
+func (p *tcpPeer) drain(conn net.Conn) bool {
+	t := p.t
+	hb := time.NewTicker(t.policy.HeartbeatInterval)
+	defer hb.Stop()
+	for {
+		select {
+		case <-p.closed:
+			return false
+		case e := <-p.out:
+			if err := p.writeFrame(conn, e); err != nil {
+				t.logf("transport %s: write to %s: %v", t.cfg.LocalID, p.id, err)
+				return true
+			}
+		case <-hb.C:
+			e := Envelope{From: t.cfg.LocalID, To: p.id, Msg: heartbeat{T: int64(t.Now())}}
+			if err := p.writeFrame(conn, e); err != nil {
+				return true
+			}
+		}
+	}
+}
+
+func (p *tcpPeer) writeFrame(conn net.Conn, e Envelope) error {
+	conn.SetWriteDeadline(time.Now().Add(p.t.policy.RetryTimeout * 2))
+	n, err := WriteFrame(conn, e)
+	if err == nil {
+		p.t.stats.add(func(s *Stats) { s.FramesSent++; s.BytesSent += uint64(n) })
+	}
+	return err
+}
+
+// sleep waits d or until the peer closes; false means closing.
+func (p *tcpPeer) sleep(d time.Duration) bool {
+	select {
+	case <-p.closed:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}

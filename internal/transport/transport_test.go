@@ -1,0 +1,330 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// echoMsg / echoReply are the test protocol.
+type echoMsg struct {
+	N int
+}
+type echoReply struct {
+	N int
+}
+
+func init() { Register(echoMsg{}, echoReply{}) }
+
+// echoNode replies to every echoMsg and records replies it receives.
+type echoNode struct {
+	mu       sync.Mutex
+	got      []int
+	starts   int
+	timerTag any
+}
+
+func (e *echoNode) OnStart(env Env) {
+	e.mu.Lock()
+	e.starts++
+	e.mu.Unlock()
+}
+
+func (e *echoNode) OnMessage(env Env, from string, msg Message) {
+	switch m := msg.(type) {
+	case echoMsg:
+		env.Send(from, echoReply{N: m.N})
+	case echoReply:
+		e.mu.Lock()
+		e.got = append(e.got, m.N)
+		e.mu.Unlock()
+	}
+}
+
+func (e *echoNode) OnTimer(env Env, tag any) {
+	e.mu.Lock()
+	e.timerTag = tag
+	e.mu.Unlock()
+}
+
+func (e *echoNode) received() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]int(nil), e.got...)
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestLoopbackEchoAndOrdering(t *testing.T) {
+	l := NewLoopback(LoopbackConfig{Seed: 1})
+	defer l.Close()
+	a, b := &echoNode{}, &echoNode{}
+	l.AddNode("a", a)
+	l.AddNode("b", b)
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		i := i
+		l.Invoke("a", func(env Env) { env.Send("b", echoMsg{N: i}) })
+	}
+	waitFor(t, 2*time.Second, func() bool { return len(a.received()) == n }, "all echo replies")
+	got := a.received()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("reply %d = %d; per-pair ordering violated", i, v)
+		}
+	}
+}
+
+func TestLoopbackPartitionAndHeal(t *testing.T) {
+	l := NewLoopback(LoopbackConfig{Seed: 2})
+	defer l.Close()
+	a, b := &echoNode{}, &echoNode{}
+	l.AddNode("a", a)
+	l.AddNode("b", b)
+
+	l.Partition([]string{"a"}, []string{"b"})
+	l.Invoke("a", func(env Env) { env.Send("b", echoMsg{N: 1}) })
+	time.Sleep(50 * time.Millisecond)
+	if got := a.received(); len(got) != 0 {
+		t.Fatalf("received %v across a partition", got)
+	}
+	l.Heal()
+	l.Invoke("a", func(env Env) { env.Send("b", echoMsg{N: 2}) })
+	waitFor(t, time.Second, func() bool { return len(a.received()) == 1 }, "reply after heal")
+}
+
+func TestLoopbackCrashRestart(t *testing.T) {
+	l := NewLoopback(LoopbackConfig{Seed: 3})
+	defer l.Close()
+	a, b := &echoNode{}, &echoNode{}
+	l.AddNode("a", a)
+	l.AddNode("b", b)
+
+	l.Crash("b")
+	l.Invoke("a", func(env Env) { env.Send("b", echoMsg{N: 1}) })
+	time.Sleep(30 * time.Millisecond)
+	if got := a.received(); len(got) != 0 {
+		t.Fatalf("crashed node replied: %v", got)
+	}
+	l.Restart("b")
+	waitFor(t, time.Second, func() bool {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return b.starts == 2
+	}, "OnStart after restart")
+	l.Invoke("a", func(env Env) { env.Send("b", echoMsg{N: 2}) })
+	waitFor(t, time.Second, func() bool { return len(a.received()) == 1 }, "reply after restart")
+}
+
+func TestTimersFireAndCancel(t *testing.T) {
+	l := NewLoopback(LoopbackConfig{Seed: 4})
+	defer l.Close()
+	a := &echoNode{}
+	l.AddNode("a", a)
+
+	l.Invoke("a", func(env Env) { env.SetTimer(10*time.Millisecond, "fired") })
+	waitFor(t, time.Second, func() bool {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return a.timerTag == "fired"
+	}, "timer to fire")
+
+	var id TimerID
+	l.Invoke("a", func(env Env) { id = env.SetTimer(20*time.Millisecond, "cancelled") })
+	l.Invoke("a", func(env Env) { env.Cancel(id) })
+	time.Sleep(60 * time.Millisecond)
+	a.mu.Lock()
+	tag := a.timerTag
+	a.mu.Unlock()
+	if tag == "cancelled" {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+// startTCPPair boots two single-node TCP runtimes wired to each other.
+func startTCPPair(t *testing.T, dir *resilience.Directory, policy *resilience.Policy) (ta, tb *TCP, a, b *echoNode) {
+	t.Helper()
+	// Bind ephemeral listeners first so each side knows the other's addr.
+	var err error
+	ta, err = NewTCP(TCPConfig{LocalID: "a", Listen: "127.0.0.1:0", Policy: policy, Directory: dir, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err = NewTCP(TCPConfig{LocalID: "b", Listen: "127.0.0.1:0", Policy: policy, Directory: dir, Seed: 2})
+	if err != nil {
+		ta.Close()
+		t.Fatal(err)
+	}
+	peers := map[string]string{"a": ta.Addr(), "b": tb.Addr()}
+	ta.SetPeers(peers)
+	tb.SetPeers(peers)
+	a, b = &echoNode{}, &echoNode{}
+	ta.AddNode("a", a)
+	tb.AddNode("b", b)
+	t.Cleanup(func() { ta.Close(); tb.Close() })
+	return
+}
+
+func TestTCPEchoAndOrdering(t *testing.T) {
+	ta, _, a, _ := startTCPPair(t, nil, nil)
+	const n = 200
+	for i := 0; i < n; i++ {
+		i := i
+		ta.Invoke("a", func(env Env) { env.Send("b", echoMsg{N: i}) })
+	}
+	waitFor(t, 5*time.Second, func() bool { return len(a.received()) == n }, "all TCP echo replies")
+	for i, v := range a.received() {
+		if v != i {
+			t.Fatalf("reply %d = %d; per-peer FIFO violated over TCP", i, v)
+		}
+	}
+	st := ta.Stats()
+	if st.FramesSent == 0 || st.BytesSent == 0 {
+		t.Fatalf("stats not accounting frames: %+v", st)
+	}
+}
+
+func TestTCPGatewayRouting(t *testing.T) {
+	ta, tb, _, _ := startTCPPair(t, nil, nil)
+	// A gateway actor "a#gw" on runtime a: replies from b must route back
+	// to runtime a by the '#'-prefix rule.
+	gw := &echoNode{}
+	ta.AddNode("a#gw", gw)
+	_ = tb
+	ta.Invoke("a#gw", func(env Env) { env.Send("b", echoMsg{N: 7}) })
+	waitFor(t, 2*time.Second, func() bool { return len(gw.received()) == 1 }, "gateway reply routing")
+}
+
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	policy := &resilience.Policy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+	ta, tb, a, _ := startTCPPair(t, nil, policy)
+
+	ta.Invoke("a", func(env Env) { env.Send("b", echoMsg{N: 1}) })
+	waitFor(t, 2*time.Second, func() bool { return len(a.received()) == 1 }, "first reply")
+
+	// Kill b's whole runtime and bring a new one up on the same address.
+	addr := tb.Addr()
+	tb.Close()
+	time.Sleep(50 * time.Millisecond)
+	tb2, err := NewTCP(TCPConfig{LocalID: "b", Listen: addr, Policy: policy, Seed: 3})
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer tb2.Close()
+	tb2.SetPeers(map[string]string{"a": ta.Addr(), "b": addr})
+	tb2.AddNode("b", &echoNode{})
+
+	// The link redials with backoff; sends during the outage may drop
+	// (the transport is at-most-once) so keep sending until one lands.
+	waitFor(t, 10*time.Second, func() bool {
+		ta.Invoke("a", func(env Env) { env.Send("b", echoMsg{N: 2}) })
+		return len(a.received()) >= 2
+	}, "reply after peer restart")
+}
+
+func TestTCPFeedsFailureDetector(t *testing.T) {
+	policy := &resilience.Policy{HeartbeatInterval: 20 * time.Millisecond}
+	dir := resilience.NewDirectory(policy)
+	ta, tb, _, _ := startTCPPair(t, dir, policy)
+
+	// Heartbeats flow both ways; each side should observe the other.
+	waitFor(t, 5*time.Second, func() bool {
+		return dir.Phi("a", "b", ta.Now()) >= 0 && !dir.Suspects("a", "b", ta.Now()) &&
+			ta.RTTQuantile("b", 0.5) > 0
+	}, "detector fed by heartbeats and RTT measured")
+
+	// Silence b: suspicion must accrue on a's side.
+	tb.Close()
+	waitFor(t, 5*time.Second, func() bool {
+		return dir.Suspects("a", "b", ta.Now())
+	}, "phi to accrue after peer death")
+}
+
+func TestFrameRoundTripAndLimit(t *testing.T) {
+	e := Envelope{From: "x", To: "y", Msg: echoMsg{N: 42}}
+	b, err := AppendFrame(nil, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) {
+		t.Fatalf("consumed %d of %d bytes", n, len(b))
+	}
+	if got.From != "x" || got.To != "y" || got.Msg.(echoMsg).N != 42 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+
+	// Frames above the size cap must be rejected on both paths.
+	huge := Envelope{From: "x", To: "y", Msg: bigMsg{B: make([]byte, MaxFrameSize+1)}}
+	if _, err := AppendFrame(nil, huge); err == nil {
+		t.Fatal("oversized frame encoded")
+	}
+}
+
+type bigMsg struct{ B []byte }
+
+func init() { Register(bigMsg{}) }
+
+func TestRuntimeDuplicateNodePanics(t *testing.T) {
+	r := NewRuntime(0)
+	defer r.Close()
+	r.AddNode("x", &echoNode{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddNode did not panic")
+		}
+	}()
+	r.AddNode("x", &echoNode{})
+}
+
+func TestInvokeOnUnknownNode(t *testing.T) {
+	r := NewRuntime(0)
+	defer r.Close()
+	if r.Invoke("ghost", func(Env) {}) {
+		t.Fatal("Invoke on unknown node returned true")
+	}
+}
+
+func TestLoopbackManyNodesConcurrentTraffic(t *testing.T) {
+	l := NewLoopback(LoopbackConfig{Seed: 9, MinLatency: time.Millisecond, MaxLatency: 3 * time.Millisecond})
+	defer l.Close()
+	const nodes = 8
+	ns := make([]*echoNode, nodes)
+	for i := range ns {
+		ns[i] = &echoNode{}
+		l.AddNode(fmt.Sprintf("n%d", i), ns[i])
+	}
+	const per = 25
+	for i := 0; i < nodes; i++ {
+		for j := 0; j < per; j++ {
+			src, dst, k := i, (i+1+j%(nodes-1))%nodes, j
+			l.Invoke(fmt.Sprintf("n%d", src), func(env Env) {
+				env.Send(fmt.Sprintf("n%d", dst), echoMsg{N: k})
+			})
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		total := 0
+		for _, n := range ns {
+			total += len(n.received())
+		}
+		return total == nodes*per
+	}, "all cross-node replies")
+}
