@@ -131,6 +131,12 @@ func BenchmarkRingOwner(b *testing.B)            { runGroup(b, "BenchmarkRingOwn
 func BenchmarkRingReplicas(b *testing.B)         { runGroup(b, "BenchmarkRingReplicas") }
 func BenchmarkRingJoinDiff(b *testing.B)         { runGroup(b, "BenchmarkRingJoinDiff") }
 
+// Durability primitives: the per-write cost of journaling under each
+// fsync policy and the cold-start cost of crash recovery
+// (internal/wal).
+func BenchmarkWALAppend(b *testing.B)   { runGroup(b, "BenchmarkWALAppend") }
+func BenchmarkWALRecovery(b *testing.B) { runGroup(b, "BenchmarkWALRecovery") }
+
 // TestBenchmarkWrappersCoverSuite: every benchsuite entry must be
 // reachable from a Benchmark* wrapper in this file, so `go test -bench .`
 // and `ecbench -bench` measure the same set.

@@ -12,6 +12,7 @@
 //	ecctl del <key>               # delete
 //	ecctl smoke                   # end-to-end check incl. session guarantees
 //	ecctl kill <node>             # SIGKILL one node
+//	ecctl restart <node>          # respawn it from its data dir (WAL recovery)
 //	ecctl down                    # stop everything, remove state
 //
 // Cluster state (node ids, addresses, pids) lives in .ecctl/cluster.json
@@ -24,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -45,6 +47,9 @@ type clusterState struct {
 	Peers map[string]string `json:"peers"` // id -> peer-link addr
 	HTTP  map[string]string `json:"http"`  // id -> http addr
 	PIDs  map[string]int    `json:"pids"`  // id -> process id
+	Data  map[string]string `json:"data"`  // id -> durable state dir ("" = memory-only)
+	Fsync string            `json:"fsync"` // WAL fsync policy nodes were started with
+	Seeds map[string]int64  `json:"seeds"` // id -> randomness seed (restart reuses it)
 }
 
 func main() {
@@ -60,6 +65,8 @@ func main() {
 		err = cmdDown(args)
 	case "kill":
 		err = cmdKill(args)
+	case "restart":
+		err = cmdRestart(args)
 	case "status":
 		err = cmdStatus(args)
 	case "ring":
@@ -78,7 +85,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ecctl {up|down|kill|status|ring|put|get|del|smoke} [args]")
+	fmt.Fprintln(os.Stderr, "usage: ecctl {up|down|kill|restart|status|ring|put|get|del|smoke} [args]")
 	os.Exit(2)
 }
 
@@ -151,6 +158,8 @@ func cmdUp(args []string) error {
 	n := fs.Int("n", 3, "cluster size")
 	model := fs.String("model", "quorum", "consistency model: gossip, quorum, or session")
 	seed := fs.Int64("seed", 1, "base randomness seed")
+	fsync := fs.String("fsync", "sync", "WAL fsync policy: sync, batch, or none")
+	noData := fs.Bool("no-data", false, "run memory-only (no WAL, no crash recovery)")
 	dir := stateDir(fs)
 	fs.Parse(args)
 	if *n < 1 {
@@ -173,44 +182,28 @@ func cmdUp(args []string) error {
 		Peers: map[string]string{},
 		HTTP:  map[string]string{},
 		PIDs:  map[string]int{},
+		Data:  map[string]string{},
+		Fsync: *fsync,
+		Seeds: map[string]int64{},
 	}
 	ids := make([]string, *n)
 	for i := 0; i < *n; i++ {
 		ids[i] = fmt.Sprintf("node%d", i)
 		st.Peers[ids[i]] = ports[i]
 		st.HTTP[ids[i]] = ports[*n+i]
-	}
-	var peerList []string
-	for _, id := range ids {
-		peerList = append(peerList, id+"="+st.Peers[id])
+		st.Seeds[ids[i]] = *seed + int64(i)
+		if !*noData {
+			st.Data[ids[i]] = filepath.Join(*dir, "data", ids[i])
+		}
 	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
 
-	for i, id := range ids {
-		logf, err := os.Create(filepath.Join(*dir, id+".log"))
-		if err != nil {
+	for _, id := range ids {
+		if err := spawnNode(*dir, bin, st, id); err != nil {
 			return err
 		}
-		cmd := exec.Command(bin,
-			"-id", id,
-			"-model", *model,
-			"-peers", strings.Join(peerList, ","),
-			"-http", st.HTTP[id],
-			"-seed", fmt.Sprint(*seed+int64(i)),
-		)
-		cmd.Stdout = logf
-		cmd.Stderr = logf
-		if err := cmd.Start(); err != nil {
-			logf.Close()
-			return fmt.Errorf("start %s: %w", id, err)
-		}
-		logf.Close()
-		st.PIDs[id] = cmd.Process.Pid
-		// The parent never waits; nodes outlive ecctl. Release avoids a
-		// zombie if ecctl itself lingers.
-		cmd.Process.Release()
 	}
 	if err := saveState(*dir, st); err != nil {
 		return err
@@ -224,8 +217,53 @@ func cmdUp(args []string) error {
 	}
 	fmt.Printf("cluster up: %d nodes, model=%s\n", *n, *model)
 	for _, id := range ids {
-		fmt.Printf("  %s  peer=%s  http=%s  pid=%d\n", id, st.Peers[id], st.HTTP[id], st.PIDs[id])
+		fmt.Printf("  %s  peer=%s  http=%s  pid=%d", id, st.Peers[id], st.HTTP[id], st.PIDs[id])
+		if st.Data[id] != "" {
+			fmt.Printf("  data=%s", st.Data[id])
+		}
+		fmt.Println()
 	}
+	return nil
+}
+
+// spawnNode starts one ecserver process for id with the cluster's
+// recorded configuration and stores its pid in st. Used by `up` and by
+// `restart` — a restarted node gets the same flags, and crucially the
+// same data dir, so it recovers its pre-crash state from the WAL.
+func spawnNode(dir, bin string, st *clusterState, id string) error {
+	var peerList []string
+	for _, pid := range sortedIDs(st) {
+		peerList = append(peerList, pid+"="+st.Peers[pid])
+	}
+	logf, err := os.OpenFile(filepath.Join(dir, id+".log"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	cargs := []string{
+		"-id", id,
+		"-model", st.Model,
+		"-peers", strings.Join(peerList, ","),
+		"-http", st.HTTP[id],
+		"-seed", fmt.Sprint(st.Seeds[id]),
+	}
+	if st.Data[id] != "" {
+		cargs = append(cargs, "-data-dir", st.Data[id])
+		if st.Fsync != "" {
+			cargs = append(cargs, "-fsync", st.Fsync)
+		}
+	}
+	cmd := exec.Command(bin, cargs...)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return fmt.Errorf("start %s: %w", id, err)
+	}
+	logf.Close()
+	st.PIDs[id] = cmd.Process.Pid
+	// The parent never waits; nodes outlive ecctl. Release avoids a
+	// zombie if ecctl itself lingers.
+	cmd.Process.Release()
 	return nil
 }
 
@@ -261,6 +299,9 @@ func cmdDown(args []string) error {
 			fmt.Printf("stopped %s (pid %d)\n", id, pid)
 		}
 	}
+	// Durable state dies with the cluster: `down` is teardown, not a
+	// crash. (Use `kill` + `restart` to exercise recovery.)
+	os.RemoveAll(filepath.Join(*dir, "data"))
 	return os.Remove(statePath(*dir))
 }
 
@@ -288,6 +329,51 @@ func cmdKill(args []string) error {
 		return err
 	}
 	fmt.Printf("killed %s (pid %d)\n", id, pid)
+	return nil
+}
+
+// cmdRestart respawns a node with the exact flags `up` gave it —
+// including its data dir, so it replays its WAL (and latest checkpoint)
+// and rejoins with everything it had acknowledged before the crash.
+func cmdRestart(args []string) error {
+	fs := flag.NewFlagSet("restart", flag.ExitOnError)
+	dir := stateDir(fs)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: ecctl restart <node>")
+	}
+	st, err := loadState(*dir)
+	if err != nil {
+		return err
+	}
+	id := fs.Arg(0)
+	if _, ok := st.Peers[id]; !ok {
+		return fmt.Errorf("unknown node %q", id)
+	}
+	// Make sure the old process is gone. Signal(0) lies for zombies, so
+	// probe the peer port instead — a live node still owns it.
+	if conn, err := net.DialTimeout("tcp", st.Peers[id], 250*time.Millisecond); err == nil {
+		conn.Close()
+		return fmt.Errorf("%s is still running on %s (`ecctl kill %s` first)", id, st.Peers[id], id)
+	}
+	bin, err := findEcserver()
+	if err != nil {
+		return err
+	}
+	if err := spawnNode(*dir, bin, st, id); err != nil {
+		return err
+	}
+	if err := saveState(*dir, st); err != nil {
+		return err
+	}
+	if err := waitReady(st.Peers[id], 10*time.Second); err != nil {
+		return fmt.Errorf("%s did not come back: %w (see %s)", id, err, filepath.Join(*dir, id+".log"))
+	}
+	from := "memory-only (no data dir)"
+	if st.Data[id] != "" {
+		from = "recovered from " + st.Data[id]
+	}
+	fmt.Printf("restarted %s (pid %d), %s\n", id, st.PIDs[id], from)
 	return nil
 }
 
@@ -320,9 +406,58 @@ func cmdStatus(args []string) error {
 		if len(h.Suspect) > 0 {
 			line += " suspects=" + strings.Join(h.Suspect, ",")
 		}
+		if m, err := scrapeMetrics(st.HTTP[id]); err == nil {
+			if _, durable := m["ec_wal_last_seq"]; durable {
+				line += fmt.Sprintf(" ckpt=%d wal=%s", uint64(m["ec_wal_checkpoint_seq"]), fmtBytes(m["ec_wal_disk_bytes"]))
+				if r := m["ec_wal_records_replayed_total"]; r > 0 {
+					line += fmt.Sprintf(" replayed=%d", uint64(r))
+				}
+			}
+		}
 		fmt.Println(line)
 	}
 	return nil
+}
+
+// scrapeMetrics fetches a node's /metrics and returns the un-labelled
+// series as name -> value. Enough of the Prometheus text format for
+// ecctl's own gauges; not a general parser.
+func scrapeMetrics(httpAddr string) (map[string]float64, error) {
+	resp, err := http.Get("http://" + httpAddr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, ln := range strings.Split(string(b), "\n") {
+		if ln == "" || strings.HasPrefix(ln, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(ln, " ")
+		if !ok || strings.Contains(name, "{") {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(val, "%g", &v); err == nil {
+			out[name] = v
+		}
+	}
+	return out, nil
+}
+
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", uint64(v))
+	}
 }
 
 // cmdRing prints placement. Because vnode hashing is deterministic,

@@ -6,12 +6,17 @@
 //
 //	ecserver -id node0 -model quorum \
 //	  -peers node0=127.0.0.1:7000,node1=127.0.0.1:7001,node2=127.0.0.1:7002 \
-//	  -http 127.0.0.1:7100
+//	  -http 127.0.0.1:7100 -data-dir /var/lib/ec/node0
 //
 // Every node in a cluster must be started with the same -peers map and
 // the same -model. The node listens on its own entry in the map (or
 // -listen to override, e.g. to bind 0.0.0.0 behind NAT). SIGINT/SIGTERM
 // shut the node down cleanly.
+//
+// With -data-dir the node journals every accepted write to a segmented
+// WAL before acknowledging it (-fsync sync), checkpoints periodically,
+// and on restart replays the log so a kill -9 loses nothing that was
+// acked. Without it the node is memory-only, as before.
 package main
 
 import (
@@ -24,24 +29,32 @@ import (
 	"syscall"
 
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
 	var (
-		id     = flag.String("id", "", "this node's id (must appear in -peers)")
-		model  = flag.String("model", "quorum", "consistency model: gossip, quorum, or session")
-		peers  = flag.String("peers", "", "comma-separated id=host:port for every node, this one included")
-		listen = flag.String("listen", "", "peer-link bind address (default: own entry in -peers)")
-		httpAd = flag.String("http", "", "metrics/health listen address (empty disables)")
-		n      = flag.Int("n", 0, "quorum replication factor (0 = default)")
-		r      = flag.Int("r", 0, "quorum read size (0 = default)")
-		w      = flag.Int("w", 0, "quorum write size (0 = default)")
-		seed   = flag.Int64("seed", 1, "randomness seed")
-		quiet  = flag.Bool("quiet", false, "suppress diagnostics")
+		id      = flag.String("id", "", "this node's id (must appear in -peers)")
+		model   = flag.String("model", "quorum", "consistency model: gossip, quorum, or session")
+		peers   = flag.String("peers", "", "comma-separated id=host:port for every node, this one included")
+		listen  = flag.String("listen", "", "peer-link bind address (default: own entry in -peers)")
+		httpAd  = flag.String("http", "", "metrics/health listen address (empty disables)")
+		n       = flag.Int("n", 0, "quorum replication factor (0 = default)")
+		r       = flag.Int("r", 0, "quorum read size (0 = default)")
+		w       = flag.Int("w", 0, "quorum write size (0 = default)")
+		seed    = flag.Int64("seed", 1, "randomness seed")
+		quiet   = flag.Bool("quiet", false, "suppress diagnostics")
+		dataDir = flag.String("data-dir", "", "durable state directory: WAL + checkpoints (empty = in-memory only)")
+		fsync   = flag.String("fsync", "sync", "WAL fsync policy: sync (fsync before ack), batch, or none")
+		ckpt    = flag.Duration("checkpoint-interval", 0, "checkpoint snapshot interval (0 = default 5s, negative disables)")
 	)
 	flag.Parse()
 
 	peerMap, err := parsePeers(*peers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	policy, err := wal.ParsePolicy(*fsync)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -63,6 +76,10 @@ func main() {
 		W:          *w,
 		Seed:       *seed,
 		Logf:       logf,
+
+		DataDir:            *dataDir,
+		Fsync:              policy,
+		CheckpointInterval: *ckpt,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -76,6 +93,9 @@ func main() {
 	fmt.Printf("ecserver %s: model=%s peers=%s listening on %s", *id, *model, strings.Join(members, ","), s.Addr())
 	if s.HTTPAddr() != "" {
 		fmt.Printf(" http=%s", s.HTTPAddr())
+	}
+	if *dataDir != "" {
+		fmt.Printf(" data=%s fsync=%s", *dataDir, policy)
 	}
 	fmt.Println()
 

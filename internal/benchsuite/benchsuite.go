@@ -87,6 +87,7 @@ func All() []Benchmark {
 		)
 	}
 	out = append(out, Benchmark{"BenchmarkRingJoinDiff", ringJoinDiff})
+	out = append(out, walBenchmarks()...)
 	return out
 }
 

@@ -1,0 +1,118 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/transport"
+)
+
+// RestartNemesis drives crash-RESTART cycles with real recovery over an
+// in-process transport.Loopback cluster. Loopback.Crash deliberately
+// preserves a node's in-memory state (it models a network-dead process);
+// this nemesis instead kills the process: RemoveNode discards the actor
+// and everything it held, and Restart rebuilds the handler from durable
+// storage through the Rebuild hook — open the WAL, restore the latest
+// checkpoint, replay the suffix — before re-adding it to the cluster.
+// What survives a cycle is exactly what the persistence layer saved.
+type RestartNemesis struct {
+	lb    *transport.Loopback
+	nodes []string
+	rng   *rand.Rand
+
+	// Rebuild constructs a recovered handler for id from its durable
+	// state. It runs before the node rejoins, off any actor loop.
+	Rebuild func(id string) transport.Handler
+
+	down map[string]bool
+
+	// Events logs every kill and recovery, for diagnostics and for
+	// asserting a schedule actually did something.
+	Events []Event
+}
+
+// NewRestartNemesis builds a crash-restart nemesis over the given
+// storage nodes. rebuild recovers a node's handler from its durable
+// state (a WAL directory, typically).
+func NewRestartNemesis(lb *transport.Loopback, nodes []string, seed int64, rebuild func(id string) transport.Handler) *RestartNemesis {
+	return &RestartNemesis{
+		lb:      lb,
+		nodes:   append([]string(nil), nodes...),
+		rng:     rand.New(rand.NewSource(seed)),
+		Rebuild: rebuild,
+		down:    make(map[string]bool),
+	}
+}
+
+func (n *RestartNemesis) log(action string) {
+	n.Events = append(n.Events, Event{At: n.lb.Now(), Action: action})
+}
+
+// Crash kills id: the actor is removed and its in-memory state is gone
+// for good. No-op if already down.
+func (n *RestartNemesis) Crash(id string) {
+	if n.down[id] {
+		return
+	}
+	n.lb.RemoveNode(id)
+	n.down[id] = true
+	n.log(fmt.Sprintf("kill -9 %s (memory lost)", id))
+}
+
+// CrashOne kills one randomly chosen up node, keeping at least one node
+// alive, and returns its id ("" when no node can be killed).
+func (n *RestartNemesis) CrashOne() string {
+	up := make([]string, 0, len(n.nodes))
+	for _, id := range n.nodes {
+		if !n.down[id] {
+			up = append(up, id)
+		}
+	}
+	if len(up) <= 1 {
+		return ""
+	}
+	id := up[n.rng.Intn(len(up))]
+	n.Crash(id)
+	return id
+}
+
+// Restart recovers id through Rebuild and rejoins it. No-op if not down.
+func (n *RestartNemesis) Restart(id string) {
+	if !n.down[id] {
+		return
+	}
+	h := n.Rebuild(id)
+	n.lb.AddNode(id, h)
+	delete(n.down, id)
+	n.log(fmt.Sprintf("restart %s (recovered from durable state)", id))
+}
+
+// RestartOne recovers one randomly chosen down node and returns its id
+// ("" when none is down).
+func (n *RestartNemesis) RestartOne() string {
+	down := n.Down()
+	if len(down) == 0 {
+		return ""
+	}
+	id := down[n.rng.Intn(len(down))]
+	n.Restart(id)
+	return id
+}
+
+// RestartAll recovers every down node.
+func (n *RestartNemesis) RestartAll() {
+	for _, id := range n.Down() {
+		n.Restart(id)
+	}
+}
+
+// Down returns the currently killed nodes, sorted.
+func (n *RestartNemesis) Down() []string {
+	out := make([]string, 0, len(n.down))
+	for id := range n.down {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -116,6 +116,10 @@ type Config struct {
 	// RumorTTL > 0 enables rumor mongering: fresh writes are forwarded to
 	// Fanout random peers with the given hop budget.
 	RumorTTL int
+	// Persist, when set, journals every installed write before any
+	// acknowledgement leaves the node (the durability hook the server
+	// wires to its WAL). It runs on the node's actor loop.
+	Persist func(rec []byte)
 }
 
 func (c Config) withDefaults() Config {
@@ -266,16 +270,27 @@ func (n *Node) writesInBuckets(buckets []int) []Write {
 // and, when fresh and rumor mongering is on, forwarding it to peers
 // other than the one it arrived from.
 func (n *Node) apply(env sim.Env, from string, w Write, ttl int) {
+	if !n.install(w) {
+		return // stale or duplicate
+	}
+	n.persist(w)
+	if ttl > 0 {
+		n.spreadRumor(env, w, ttl-1, from)
+	}
+}
+
+// install is the one place replicated state changes: LWW-check w, and if
+// it wins, update the write map, HLC, and Merkle tree. Shared by the
+// live message path and WAL replay (which must not re-journal).
+func (n *Node) install(w Write) bool {
 	cur, ok := n.data[w.Key]
 	if ok && !cur.TS.Before(w.TS) {
-		return // stale or duplicate
+		return false
 	}
 	n.hlc.Observe(w.TS)
 	n.data[w.Key] = w
 	n.merkle.Update(w.Key, w.hash())
-	if ttl > 0 {
-		n.spreadRumor(env, w, ttl-1, from)
-	}
+	return true
 }
 
 // spreadRumor forwards w to up to Fanout random peers, never back to
@@ -303,6 +318,7 @@ func (n *Node) Put(env sim.Env, key string, value []byte) {
 	w := Write{Key: key, Value: value, TS: n.hlc.Now()}
 	n.data[key] = w
 	n.merkle.Update(key, w.hash())
+	n.persist(w)
 	if n.cfg.RumorTTL > 0 {
 		n.spreadRumor(env, w, n.cfg.RumorTTL, "")
 	}
@@ -313,6 +329,7 @@ func (n *Node) Delete(env sim.Env, key string) {
 	w := Write{Key: key, TS: n.hlc.Now(), Deleted: true}
 	n.data[key] = w
 	n.merkle.Update(key, w.hash())
+	n.persist(w)
 	if n.cfg.RumorTTL > 0 {
 		n.spreadRumor(env, w, n.cfg.RumorTTL, "")
 	}

@@ -1,0 +1,76 @@
+package gossip
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// Durability hooks. A gossip node's entire replicated state is its LWW
+// write map: journaling every installed Write (and snapshotting the map)
+// is enough to rebuild the node — the Merkle tree and HLC are derived.
+// Replay is naturally idempotent: re-installing an already-held write
+// loses the LWW comparison and is a no-op.
+
+// gossipImage is the checkpoint payload: every held write (tombstones
+// included), sorted by key for deterministic snapshots.
+type gossipImage struct {
+	Writes []Write
+}
+
+// persist journals one installed write through cfg.Persist, if set. The
+// callback runs on the node's actor loop before any acknowledgement is
+// sent, so a SyncEach WAL makes acked writes durable.
+func (n *Node) persist(w Write) {
+	if n.cfg.Persist == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		panic(fmt.Sprintf("gossip: encode WAL record: %v", err))
+	}
+	n.cfg.Persist(buf.Bytes())
+}
+
+// ReplayRecord re-installs one journaled write during crash recovery.
+// Must be called before the node starts exchanging messages.
+func (n *Node) ReplayRecord(rec []byte) error {
+	var w Write
+	if err := gob.NewDecoder(bytes.NewReader(rec)).Decode(&w); err != nil {
+		return fmt.Errorf("gossip: decode WAL record: %w", err)
+	}
+	n.install(w)
+	return nil
+}
+
+// StateSnapshot serializes the node's replicated state for a checkpoint.
+func (n *Node) StateSnapshot() ([]byte, error) {
+	img := gossipImage{Writes: make([]Write, 0, len(n.data))}
+	keys := make([]string, 0, len(n.data))
+	for k := range n.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		img.Writes = append(img.Writes, n.data[k])
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return nil, fmt.Errorf("gossip: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState loads a checkpoint written by StateSnapshot. Must be
+// called before ReplayRecord replays the log suffix.
+func (n *Node) RestoreState(state []byte) error {
+	var img gossipImage
+	if err := gob.NewDecoder(bytes.NewReader(state)).Decode(&img); err != nil {
+		return fmt.Errorf("gossip: decode snapshot: %w", err)
+	}
+	for _, w := range img.Writes {
+		n.install(w)
+	}
+	return nil
+}

@@ -168,12 +168,9 @@ func (n *Node) applyAEEntries(entries []aeEntry) {
 		if !contains(n.PreferenceList(e.Key), n.id) {
 			continue // not a replica of this key; ignore
 		}
-		sib := n.siblings(e.Key)
-		before := sib.Len()
 		for _, s := range e.Entries {
-			sib.Add(s.DVV, s.Value)
+			n.installEntry(e.Key, s)
 		}
-		_ = before
 		n.noteKeyChanged(e.Key)
 	}
 }

@@ -1,0 +1,216 @@
+package quorum
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"repro/internal/clock"
+)
+
+// Durability hooks. A quorum node's durable state is three maps: the
+// per-key sibling sets, the per-key dot counters it has minted (they
+// must survive a crash or reissued dots would collide), and the hinted
+// handoff queues (a hint is an acked write whose only copy may be
+// here). Each mutation journals one walRecord; coordination state
+// (pending reads/writes, AE trees) is transient and rebuilt from
+// traffic.
+//
+// Replay idempotence: entry installs dedup by dot inside Siblings.Add,
+// hint stores dedup by dot in storeHint, hint acks and mints are
+// monotone deletes/maxes.
+
+// walRecord is one journaled mutation; exactly one field is set.
+type walRecord struct {
+	Entry   *entryRec
+	Hint    *hintRec
+	HintAck *hintAckRec
+	Mint    *mintRec
+}
+
+// entryRec installs one version into a key's sibling set.
+type entryRec struct {
+	Key   string
+	Entry clock.SiblingEntry[record]
+}
+
+// hintRec queues one version for an unreachable intended replica.
+type hintRec struct {
+	Intended string
+	Key      string
+	Entry    clock.SiblingEntry[record]
+}
+
+// hintAckRec records the intended replica acknowledging a key's hints.
+type hintAckRec struct {
+	Intended string
+	Key      string
+}
+
+// mintRec advances the node's issued-dot counter for a key.
+type mintRec struct {
+	Key     string
+	Counter uint64
+}
+
+// quorumImage is the checkpoint payload, keys sorted for deterministic
+// iteration on restore.
+type quorumImage struct {
+	Keys   []string
+	Sets   [][]clock.SiblingEntry[record]
+	Minted map[string]uint64
+	Hints  []hintRec
+}
+
+func (n *Node) persistRecord(r walRecord) {
+	if n.cfg.Persist == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		panic(fmt.Sprintf("quorum: encode WAL record: %v", err))
+	}
+	n.cfg.Persist(buf.Bytes())
+}
+
+// installEntry adds one version to key's sibling set, reporting whether
+// the set changed; a change is journaled. This is the single install
+// path shared by replica puts, handoff delivery, read repair, active
+// anti-entropy, and WAL replay (which calls it with journaling off).
+func (n *Node) installEntry(key string, e clock.SiblingEntry[record]) bool {
+	sib := n.siblings(key)
+	if n.cfg.Persist == nil {
+		sib.Add(e.DVV, e.Value)
+		return true
+	}
+	before := sib.Entries()
+	sib.Add(e.DVV, e.Value)
+	if sameEntries(before, sib.Entries()) {
+		return false // duplicate or obsolete: nothing to journal
+	}
+	n.persistRecord(walRecord{Entry: &entryRec{Key: key, Entry: e}})
+	return true
+}
+
+// storeHint queues a version for intended, deduplicating by dot so
+// retried RPCs and WAL replay keep the queue at-most-once. Reports
+// whether the hint was new.
+func (n *Node) storeHint(intended, key string, e clock.SiblingEntry[record]) bool {
+	if n.hints[intended] == nil {
+		n.hints[intended] = make(map[string][]clock.SiblingEntry[record])
+	}
+	for _, have := range n.hints[intended][key] {
+		if have.DVV.Dot == e.DVV.Dot {
+			return false
+		}
+	}
+	n.hints[intended][key] = append(n.hints[intended][key], e)
+	return true
+}
+
+// dropHints discards the hints queued for intended under key (they were
+// acknowledged delivered), reporting how many were dropped.
+func (n *Node) dropHints(intended, key string) int {
+	keys, ok := n.hints[intended]
+	if !ok {
+		return 0
+	}
+	dropped := len(keys[key])
+	delete(keys, key)
+	if len(keys) == 0 {
+		delete(n.hints, intended)
+	}
+	return dropped
+}
+
+// ReplayRecord re-applies one journaled mutation during crash recovery.
+// Must run before the node starts exchanging messages, with Persist
+// still unset (the server wires Persist only after replay) so replay
+// does not re-journal.
+func (n *Node) ReplayRecord(rec []byte) error {
+	var r walRecord
+	if err := gob.NewDecoder(bytes.NewReader(rec)).Decode(&r); err != nil {
+		return fmt.Errorf("quorum: decode WAL record: %w", err)
+	}
+	switch {
+	case r.Entry != nil:
+		n.installEntry(r.Entry.Key, r.Entry.Entry)
+		n.noteKeyChanged(r.Entry.Key)
+	case r.Hint != nil:
+		n.storeHint(r.Hint.Intended, r.Hint.Key, r.Hint.Entry)
+	case r.HintAck != nil:
+		n.dropHints(r.HintAck.Intended, r.HintAck.Key)
+	case r.Mint != nil:
+		if r.Mint.Counter > n.minted[r.Mint.Key] {
+			n.minted[r.Mint.Key] = r.Mint.Counter
+		}
+	default:
+		return fmt.Errorf("quorum: empty WAL record")
+	}
+	return nil
+}
+
+// StateSnapshot serializes the node's durable state for a checkpoint.
+func (n *Node) StateSnapshot() ([]byte, error) {
+	img := quorumImage{Minted: make(map[string]uint64, len(n.minted))}
+	for k := range n.data {
+		img.Keys = append(img.Keys, k)
+	}
+	sort.Strings(img.Keys)
+	for _, k := range img.Keys {
+		img.Sets = append(img.Sets, n.data[k].Entries())
+	}
+	for k, c := range n.minted {
+		img.Minted[k] = c
+	}
+	intendeds := make([]string, 0, len(n.hints))
+	for intended := range n.hints {
+		intendeds = append(intendeds, intended)
+	}
+	sort.Strings(intendeds)
+	for _, intended := range intendeds {
+		keys := make([]string, 0, len(n.hints[intended]))
+		for key := range n.hints[intended] {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			for _, e := range n.hints[intended][key] {
+				img.Hints = append(img.Hints, hintRec{Intended: intended, Key: key, Entry: e})
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return nil, fmt.Errorf("quorum: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState loads a checkpoint written by StateSnapshot. Call before
+// ReplayRecord replays the log suffix.
+func (n *Node) RestoreState(state []byte) error {
+	var img quorumImage
+	if err := gob.NewDecoder(bytes.NewReader(state)).Decode(&img); err != nil {
+		return fmt.Errorf("quorum: decode snapshot: %w", err)
+	}
+	if len(img.Keys) != len(img.Sets) {
+		return fmt.Errorf("quorum: malformed snapshot: %d keys, %d sets", len(img.Keys), len(img.Sets))
+	}
+	for i, key := range img.Keys {
+		for _, e := range img.Sets[i] {
+			n.installEntry(key, e)
+		}
+		n.noteKeyChanged(key)
+	}
+	for k, c := range img.Minted {
+		if c > n.minted[k] {
+			n.minted[k] = c
+		}
+	}
+	for _, h := range img.Hints {
+		n.storeHint(h.Intended, h.Key, h.Entry)
+	}
+	return nil
+}

@@ -74,6 +74,11 @@ type Config struct {
 	Directory *resilience.Directory
 	// Counters receives resilience event counts. May be nil.
 	Counters *resilience.Counters
+	// Persist, when set, journals every durable-state mutation (sibling
+	// installs, hint stores/acks, minted dot counters) before any
+	// acknowledgement leaves the node — the hook the server runtime
+	// wires to its WAL. It runs on the node's actor loop.
+	Persist func(rec []byte)
 	// Placement, when non-nil, overrides Ring-order placement: a key's
 	// preference list is Sequence(key)[:N] and its sloppy fallbacks the
 	// remainder of the sequence. internal/ring's consistent-hash ring
@@ -471,19 +476,15 @@ func (n *Node) OnMessage(env sim.Env, from string, msg sim.Message) {
 	case replicaGetResp:
 		n.onGetResp(env, from, m)
 	case handoffDeliver:
-		sib := n.siblings(m.Key)
 		for _, e := range m.Entries {
-			sib.Add(e.DVV, e.Value)
+			n.installEntry(m.Key, e)
 		}
 		n.noteKeyChanged(m.Key)
 		env.Send(from, handoffAck{Key: m.Key})
 	case handoffAck:
-		if keys, ok := n.hints[from]; ok {
-			n.HintsDelivered += uint64(len(keys[m.Key]))
-			delete(keys, m.Key)
-			if len(keys) == 0 {
-				delete(n.hints, from)
-			}
+		if dropped := n.dropHints(from, m.Key); dropped > 0 {
+			n.HintsDelivered += uint64(dropped)
+			n.persistRecord(walRecord{HintAck: &hintAckRec{Intended: from, Key: m.Key}})
 		}
 	case resPing:
 		env.Send(from, resPong{})
@@ -561,6 +562,9 @@ func (n *Node) coordinatePut(env sim.Env, client string, m clientPut) {
 	} else {
 		dvv = clock.MintDVV(n.id, m.Context, n.minted[m.Key])
 		n.minted[m.Key] = dvv.Dot.Counter
+		// Journal the counter: reissuing a dot after a crash would let
+		// two distinct writes silently supersede each other.
+		n.persistRecord(walRecord{Mint: &mintRec{Key: m.Key, Counter: dvv.Dot.Counter}})
 	}
 	entry := clock.SiblingEntry[record]{DVV: dvv, Value: record{Value: m.Value, Deleted: m.Deleted}}
 
@@ -659,24 +663,14 @@ func contains(xs []string, x string) bool {
 func (n *Node) applyReplicaPut(env sim.Env, from string, m replicaPut) {
 	if m.Hint != "" && m.Hint != n.id {
 		// Store on behalf of the unreachable intended replica. Retried
-		// RPCs may re-deliver the same write: dedup by dot so the hint
-		// queue stays at-most-once like the sibling sets themselves.
-		if n.hints[m.Hint] == nil {
-			n.hints[m.Hint] = make(map[string][]clock.SiblingEntry[record])
-		}
-		dup := false
-		for _, e := range n.hints[m.Hint][m.Key] {
-			if e.DVV.Dot == m.Entry.DVV.Dot {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			n.hints[m.Hint][m.Key] = append(n.hints[m.Hint][m.Key], m.Entry)
+		// RPCs may re-deliver the same write: storeHint dedups by dot so
+		// the queue stays at-most-once like the sibling sets themselves.
+		if n.storeHint(m.Hint, m.Key, m.Entry) {
 			n.HintsStored++
+			n.persistRecord(walRecord{Hint: &hintRec{Intended: m.Hint, Key: m.Key, Entry: m.Entry}})
 		}
 	} else {
-		n.siblings(m.Key).Add(m.Entry.DVV, m.Entry.Value)
+		n.installEntry(m.Key, m.Entry)
 		n.noteKeyChanged(m.Key)
 	}
 	if !m.Repair {
@@ -931,9 +925,8 @@ func (n *Node) readRepair(env sim.Env, pr *pendingRead, merged []clock.SiblingEn
 			continue
 		}
 		if rep == n.id {
-			sib := n.siblings(pr.key)
 			for _, e := range merged {
-				sib.Add(e.DVV, e.Value)
+				n.installEntry(pr.key, e)
 			}
 			n.noteKeyChanged(pr.key)
 			continue

@@ -1,0 +1,366 @@
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/resilience"
+	"repro/internal/wal"
+)
+
+// durableConfigs builds an n-node peer map with per-node data dirs under
+// root, SyncEach fsync, and the given checkpoint interval (negative
+// disables checkpointing). Configs are returned so tests can restart a
+// node from its data dir.
+func durableConfigs(t *testing.T, model string, n int, ckpt time.Duration) []Config {
+	t.Helper()
+	addrs := reservePorts(t, n)
+	peers := make(map[string]string, n)
+	for i, a := range addrs {
+		peers[fmt.Sprintf("node%d", i)] = a
+	}
+	root := t.TempDir()
+	policy := &resilience.Policy{HeartbeatInterval: 20 * time.Millisecond}
+	cfgs := make([]Config, n)
+	for i := range cfgs {
+		id := fmt.Sprintf("node%d", i)
+		cfgs[i] = Config{
+			ID:                 id,
+			Model:              model,
+			Peers:              peers,
+			Policy:             policy,
+			Seed:               int64(2000 + i),
+			DataDir:            filepath.Join(root, id),
+			Fsync:              wal.SyncEach,
+			CheckpointInterval: ckpt,
+		}
+	}
+	return cfgs
+}
+
+// TestSingleNodeRecoveryPerModel proves disk-only recovery for every
+// model: a one-node cluster (no peer can re-seed it) is written to,
+// shut down, and restarted from its data dir — the keys must be served
+// straight from WAL replay.
+func TestSingleNodeRecoveryPerModel(t *testing.T) {
+	for _, model := range []string{"gossip", "quorum", "session"} {
+		t.Run(model, func(t *testing.T) {
+			cfg := durableConfigs(t, model, 1, -1)[0]
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := dialNode(t, s, "cli")
+			for i := 0; i < 10; i++ {
+				if err := c.Put(fmt.Sprintf("key%d", i), []byte(fmt.Sprintf("val%d", i))); err != nil {
+					t.Fatalf("put key%d: %v", i, err)
+				}
+			}
+			if err := c.Delete("key3"); err != nil {
+				t.Fatal(err)
+			}
+			c.Close()
+			s.Close()
+
+			s2, err := New(cfg)
+			if err != nil {
+				t.Fatalf("restart from %s: %v", cfg.DataDir, err)
+			}
+			t.Cleanup(s2.Close)
+			if got := s2.dur.Replayed(); got == 0 {
+				t.Fatal("restarted node replayed no WAL records")
+			}
+			c2 := dialNode(t, s2, "cli2")
+			for i := 0; i < 10; i++ {
+				key, want := fmt.Sprintf("key%d", i), fmt.Sprintf("val%d", i)
+				v, found, err := c2.Get(key)
+				if i == 3 {
+					if err != nil || found {
+						t.Fatalf("deleted %s resurrected after recovery: %q/%v/%v", key, v, found, err)
+					}
+					continue
+				}
+				if err != nil || !found || string(v) != want {
+					t.Fatalf("recovered get %s = %q/%v/%v, want %q", key, v, found, err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointBoundsReplay lets the background checkpointer run, then
+// restarts the node: recovery must come mostly from the snapshot, with
+// only the post-checkpoint log suffix replayed.
+func TestCheckpointBoundsReplay(t *testing.T) {
+	cfg := durableConfigs(t, "gossip", 1, 50*time.Millisecond)[0]
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dialNode(t, s, "cli")
+	const total = 60
+	for i := 0; i < total; i++ {
+		if err := c.Put(fmt.Sprintf("ck%02d", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.dur.CheckpointSeq() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background checkpointer never ran")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// A handful of post-checkpoint writes form the replay suffix.
+	for i := 0; i < 5; i++ {
+		if err := c.Put(fmt.Sprintf("suffix%d", i), []byte("y")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	s.Close()
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s2.Close)
+	if replayed := s2.dur.Replayed(); replayed >= total {
+		t.Fatalf("replayed %d records — checkpoint did not bound recovery", replayed)
+	}
+	if s2.dur.CheckpointSeq() == 0 {
+		t.Fatal("checkpoint seq not recovered from snapshot")
+	}
+	c2 := dialNode(t, s2, "cli2")
+	for _, key := range []string{"ck00", "ck59", "suffix4"} {
+		if _, found, err := c2.Get(key); err != nil || !found {
+			t.Fatalf("key %s lost across checkpointed recovery (%v)", key, err)
+		}
+	}
+}
+
+// recorder collects a check.History from concurrent clients.
+type recorder struct {
+	mu    sync.Mutex
+	h     check.History
+	start time.Time
+}
+
+func (r *recorder) add(op check.Op) {
+	r.mu.Lock()
+	r.h = append(r.h, op)
+	r.mu.Unlock()
+}
+
+func (r *recorder) now() time.Duration { return time.Since(r.start) }
+
+// TestQuorumCrashRestartZeroLostAckedWrites is the acceptance scenario:
+// a 3-node quorum cluster over real TCP, SyncEach fsync, a workload in
+// flight; one node is killed mid-workload, the survivors keep serving,
+// and the node is restarted from its data dir. The recovered cluster
+// must hold every acknowledged write, the recovered node must actually
+// replay from disk, every node must serve every key (convergence), and
+// the recorded history must stay per-client monotonic.
+func TestQuorumCrashRestartZeroLostAckedWrites(t *testing.T) {
+	cfgs := durableConfigs(t, "quorum", 3, 200*time.Millisecond)
+	srvs := make([]*Server, len(cfgs))
+	for i, cfg := range cfgs {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs[i] = s
+	}
+	defer func() {
+		for _, s := range srvs {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}()
+
+	rec := &recorder{start: time.Now()}
+	versionOf := func(v string) int {
+		n, _ := strconv.Atoi(strings.TrimPrefix(v, "v"))
+		return n
+	}
+	acked := make(map[string]string) // key -> acked value
+
+	put := func(c *Client, client, key, val string) {
+		start := rec.now()
+		err := c.Put(key, []byte(val))
+		op := check.Op{Kind: check.Write, Key: key, Value: val, OK: err == nil, Client: client, Start: start, End: rec.now()}
+		if err != nil {
+			op.Maybe = true // timed out: may or may not have applied
+		} else {
+			acked[key] = val
+		}
+		rec.add(op)
+	}
+	get := func(c *Client, client, key string) {
+		start := rec.now()
+		v, found, err := c.Get(key)
+		if err != nil {
+			return // timed-out reads are omitted from histories
+		}
+		rec.add(check.Op{Kind: check.Read, Key: key, Value: string(v), OK: found, Client: client, Start: start, End: rec.now()})
+	}
+
+	c0 := dialNode(t, srvs[0], "alice")
+	c1 := dialNode(t, srvs[1], "bob")
+
+	// Phase 1: both clients write and read with all nodes up.
+	for i := 0; i < 14; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		put(c0, "alice", key, fmt.Sprintf("v%d", i+1))
+		get(c1, "bob", key)
+	}
+
+	// Kill node2 mid-workload: its memory is gone; only its WAL remains.
+	srvs[2].Close()
+	srvs[2] = nil
+
+	// Phase 2: the cluster keeps taking acknowledged writes (sloppy
+	// quorum: fallbacks + hinted handoff cover the dead replica).
+	for i := 14; i < 28; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		put(c1, "bob", key, fmt.Sprintf("v%d", i+1))
+		get(c0, "alice", key)
+	}
+
+	// Restart node2 from its data dir, same identity and address.
+	s2, err := New(cfgs[2])
+	if err != nil {
+		t.Fatalf("restart node2: %v", err)
+	}
+	srvs[2] = s2
+	if s2.dur.Replayed() == 0 && s2.dur.CheckpointSeq() == 0 {
+		t.Fatal("restarted node recovered nothing from disk")
+	}
+
+	// Phase 3: workload continues, now through the recovered node too.
+	c2 := dialNode(t, srvs[2], "carol")
+	for i := 28; i < 36; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		put(c2, "carol", key, fmt.Sprintf("v%d", i+1))
+		get(c2, "carol", key)
+	}
+
+	// Zero lost acknowledged writes: every acked (key, value) must be
+	// readable — through the recovered node.
+	for key, want := range acked {
+		v, found, err := c2.Get(key)
+		if err != nil || !found || string(v) != want {
+			t.Fatalf("acked write lost after crash-restart: %s = %q/%v/%v, want %q", key, v, found, err, want)
+		}
+		rec.add(check.Op{Kind: check.Read, Key: key, Value: string(v), OK: found, Client: "carol", Start: rec.now(), End: rec.now()})
+	}
+	// Convergence: every node serves every acked key.
+	deadline := time.Now().Add(20 * time.Second)
+	for i, c := range []*Client{c0, c1, c2} {
+		for key, want := range acked {
+			for {
+				v, found, err := c.Get(key)
+				if err == nil && found && string(v) == want {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("node%d never converged on %s: %q/%v/%v", i, key, v, found, err)
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+		}
+	}
+
+	if !check.MonotonicPerClient(rec.h, versionOf) {
+		t.Fatalf("history violates per-client monotonicity across crash-restart:\n%v", rec.h)
+	}
+}
+
+// TestGossipRestartServesPreKillKeysThenSyncsDelta checks the recovery
+// split for the gossip model: keys written before the kill come back
+// from the node's own WAL immediately (local reads, no anti-entropy
+// needed), while the delta written during the outage arrives via Merkle
+// sync afterward.
+func TestGossipRestartServesPreKillKeysThenSyncsDelta(t *testing.T) {
+	cfgs := durableConfigs(t, "gossip", 3, -1)
+	srvs := make([]*Server, len(cfgs))
+	for i, cfg := range cfgs {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs[i] = s
+	}
+	defer func() {
+		for _, s := range srvs {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}()
+
+	c0 := dialNode(t, srvs[0], "cli0")
+	for i := 0; i < 8; i++ {
+		if err := c0.Put(fmt.Sprintf("pre%d", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait until node2 has the pre-kill keys (anti-entropy), so its WAL
+	// journals them.
+	c2 := dialNode(t, srvs[2], "cli2")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, found, err := c2.Get("pre7")
+		if err == nil && found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("node2 never received pre-kill keys")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	c2.Close()
+	srvs[2].Close()
+	srvs[2] = nil
+
+	// The delta node2 misses while down.
+	if err := c0.Put("delta", []byte("missed")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(cfgs[2])
+	if err != nil {
+		t.Fatalf("restart node2: %v", err)
+	}
+	srvs[2] = s2
+	if s2.dur.Replayed() == 0 {
+		t.Fatal("restarted gossip node replayed no WAL records")
+	}
+	// Pre-kill keys are local reads straight from recovery — no waiting.
+	c2b := dialNode(t, srvs[2], "cli2b")
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("pre%d", i)
+		if v, found, err := c2b.Get(key); err != nil || !found || string(v) != "x" {
+			t.Fatalf("recovered node lost pre-kill key %s: %q/%v/%v", key, v, found, err)
+		}
+	}
+	// The missed delta arrives by Merkle sync.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		v, found, err := c2b.Get("delta")
+		if err == nil && found && string(v) == "missed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered node never Merkle-synced the missed delta: %q/%v/%v", v, found, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

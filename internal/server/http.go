@@ -116,6 +116,20 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&b, "ec_request_seconds{quantile=\"0.99\"} %g\n", p99.Seconds())
 	fmt.Fprintf(&b, "ec_request_seconds_count %d\n", cnt)
 
+	if s.dur != nil {
+		st := s.dur.log.Stats()
+		counter("ec_wal_appends_total", "Records journaled to the write-ahead log.", st.Appends)
+		counter("ec_wal_fsyncs_total", "fsync calls issued by the write-ahead log.", st.Syncs)
+		counter("ec_wal_records_replayed_total", "WAL records replayed during crash recovery at boot.", s.dur.Replayed())
+		counter("ec_wal_persist_failures_total", "Journal appends that failed (durability guarantee void).", s.dur.Failures())
+		gauge := func(name, help string, v uint64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+		}
+		gauge("ec_wal_last_seq", "Sequence number of the newest journaled record.", s.dur.log.LastSeq())
+		gauge("ec_wal_checkpoint_seq", "WAL sequence covered by the latest checkpoint snapshot.", s.dur.CheckpointSeq())
+		gauge("ec_wal_disk_bytes", "On-disk footprint of the WAL segments.", uint64(s.dur.log.DiskBytes()))
+	}
+
 	peers := make([]string, 0, s.ring.Size())
 	for _, p := range s.ring.Members() {
 		if p != s.cfg.ID {

@@ -15,6 +15,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/session"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // Config configures one node daemon.
@@ -41,6 +42,18 @@ type Config struct {
 	Seed int64
 	// Logf receives diagnostics (nil discards).
 	Logf func(format string, args ...any)
+	// DataDir, when non-empty, enables durable persistence: every
+	// protocol state mutation is journaled to a write-ahead log under
+	// this directory, recovered (checkpoint + log replay) before the
+	// node joins the ring, and checkpointed in the background. A node
+	// restarted from its DataDir holds every write it acknowledged.
+	DataDir string
+	// Fsync is the WAL fsync policy (default wal.SyncEach: fsync before
+	// every ack). Only meaningful with DataDir set.
+	Fsync wal.SyncPolicy
+	// CheckpointInterval paces background snapshots that bound WAL
+	// growth (default 5s; negative disables checkpointing).
+	CheckpointInterval time.Duration
 }
 
 // Server is one running node: a TCP transport hosting the model's
@@ -55,6 +68,7 @@ type Server struct {
 	gwQuorum  *quorum.Client // quorum model: shared gateway actor's client
 	gwID      string
 	gossipN   *gossip.Node // gossip model: ops run on the storage actor itself
+	dur       *durability  // nil unless Config.DataDir set
 	httpLn    net.Listener
 	statMu    sync.Mutex // guards reqCount and reqLat
 	reqCount  *metrics.Counters
@@ -131,11 +145,27 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 
+	// With a DataDir the node journals through a WAL; the Persist hook
+	// is handed to the protocol config and runs on the storage actor's
+	// loop before acks, so wal.SyncEach means durable-before-ack.
+	var persist func(rec []byte)
+	if cfg.DataDir != "" {
+		d, err := openDurability(cfg.DataDir, cfg.Fsync, cfg.Logf)
+		if err != nil {
+			tcp.Close()
+			return nil, fmt.Errorf("server %s: %w", cfg.ID, err)
+		}
+		s.dur = d
+		persist = d.persist
+	}
+
+	var node durableNode // the storage actor, before it joins the ring
+	var handler transport.Handler
 	switch cfg.Model {
 	case "gossip":
-		s.gossipN = gossip.NewNode(cfg.ID, gossip.Config{Peers: others, RumorTTL: 2},
+		s.gossipN = gossip.NewNode(cfg.ID, gossip.Config{Peers: others, RumorTTL: 2, Persist: persist},
 			func() int64 { return time.Now().UnixNano() })
-		tcp.AddNode(cfg.ID, s.gossipN)
+		node, handler = s.gossipN, s.gossipN
 	case "quorum":
 		n, r, w := quorumParams(cfg, len(members))
 		qcfg := quorum.Config{
@@ -149,8 +179,27 @@ func New(cfg Config) (*Server, error) {
 			Resilience:   policy,
 			Directory:    s.dir,
 			Placement:    s.ring,
+			Persist:      persist,
 		}
-		tcp.AddNode(cfg.ID, quorum.NewNode(cfg.ID, qcfg))
+		qn := quorum.NewNode(cfg.ID, qcfg)
+		node, handler = qn, qn
+	case "session":
+		sn := session.NewServer(cfg.ID, session.ServerConfig{Peers: others, Persist: persist})
+		node, handler = sn, sn
+	}
+
+	// Recover from disk BEFORE the actor boots: replay runs
+	// single-threaded on this goroutine, and the node rejoins the ring
+	// already holding every write it ever acknowledged.
+	if s.dur != nil {
+		if err := s.dur.recover(node); err != nil {
+			s.dur.Close()
+			tcp.Close()
+			return nil, fmt.Errorf("server %s: recovery from %s: %w", cfg.ID, cfg.DataDir, err)
+		}
+	}
+	tcp.AddNode(cfg.ID, handler)
+	if cfg.Model == "quorum" {
 		// One shared gateway actor hosts the protocol client; connection
 		// handlers funnel operations onto its loop with Invoke.
 		s.gwID = cfg.ID + "#gw"
@@ -159,8 +208,34 @@ func New(cfg Config) (*Server, error) {
 		s.gwQuorum.Policy = policy
 		s.gwQuorum.Directory = s.dir
 		tcp.AddNode(s.gwID, s.gwQuorum)
-	case "session":
-		tcp.AddNode(cfg.ID, session.NewServer(cfg.ID, session.ServerConfig{Peers: others}))
+	}
+	if s.dur != nil && cfg.CheckpointInterval >= 0 {
+		interval := cfg.CheckpointInterval
+		if interval == 0 {
+			interval = 5 * time.Second
+		}
+		// Capture (state, WAL seq) atomically on the storage actor's
+		// loop — every persist happens there, so the pair is a
+		// consistent cut. The snapshot write itself runs off-loop.
+		s.dur.startCheckpointer(interval, func() ([]byte, uint64, bool) {
+			var state []byte
+			var seq uint64
+			var serr error
+			captured := make(chan struct{})
+			if !s.tcp.Invoke(cfg.ID, func(transport.Env) {
+				state, serr = node.StateSnapshot()
+				seq = s.dur.log.LastSeq()
+				close(captured)
+			}) {
+				return nil, 0, false
+			}
+			<-captured
+			if serr != nil {
+				s.logf("server %s: state snapshot failed: %v", cfg.ID, serr)
+				return nil, 0, false
+			}
+			return state, seq, true
+		})
 	}
 
 	if cfg.ListenHTTP != "" {
@@ -219,6 +294,11 @@ func (s *Server) Close() {
 			s.httpLn.Close()
 		}
 		s.tcp.Close()
+		if s.dur != nil {
+			// After tcp.Close the actor loops are stopped, so no persist
+			// call can race the log close.
+			s.dur.Close()
+		}
 	})
 }
 

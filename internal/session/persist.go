@@ -1,0 +1,82 @@
+package session
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// Durability hooks. A session server's durable state is exactly its
+// per-origin write logs: the version vector, Lamport clock, LWW-resolved
+// data map, and at-most-once client table are all replayed out of them.
+// WAL records are single writes; replay goes through applyRemote, whose
+// dense-sequence check makes re-application a no-op, so a record that
+// was both journaled and later re-learned via anti-entropy is harmless.
+
+// sessionImage is the checkpoint payload: every origin's full log,
+// origins sorted for deterministic snapshots.
+type sessionImage struct {
+	Origins []string
+	Logs    [][]write
+}
+
+// persistWrite journals one appended write through cfg.Persist, if set.
+// Runs on the server's actor loop before the client ack is sent.
+func (s *Server) persistWrite(w write) {
+	if s.cfg.Persist == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		panic(fmt.Sprintf("session: encode WAL record: %v", err))
+	}
+	s.cfg.Persist(buf.Bytes())
+}
+
+// ReplayRecord re-applies one journaled write during crash recovery.
+// Must be called before the server starts exchanging messages.
+func (s *Server) ReplayRecord(rec []byte) error {
+	var w write
+	if err := gob.NewDecoder(bytes.NewReader(rec)).Decode(&w); err != nil {
+		return fmt.Errorf("session: decode WAL record: %w", err)
+	}
+	s.applyRemote(w)
+	return nil
+}
+
+// StateSnapshot serializes the server's durable state for a checkpoint.
+func (s *Server) StateSnapshot() ([]byte, error) {
+	img := sessionImage{}
+	for origin := range s.logs {
+		img.Origins = append(img.Origins, origin)
+	}
+	sort.Strings(img.Origins)
+	for _, origin := range img.Origins {
+		img.Logs = append(img.Logs, s.logs[origin])
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return nil, fmt.Errorf("session: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState loads a checkpoint written by StateSnapshot, rebuilding
+// the version vector, Lamport clock, resolved values, and at-most-once
+// client table from the logs. Call before ReplayRecord.
+func (s *Server) RestoreState(state []byte) error {
+	var img sessionImage
+	if err := gob.NewDecoder(bytes.NewReader(state)).Decode(&img); err != nil {
+		return fmt.Errorf("session: decode snapshot: %w", err)
+	}
+	if len(img.Origins) != len(img.Logs) {
+		return fmt.Errorf("session: malformed snapshot: %d origins, %d logs", len(img.Origins), len(img.Logs))
+	}
+	for i := range img.Origins {
+		for _, w := range img.Logs[i] {
+			s.applyRemote(w)
+		}
+	}
+	return nil
+}

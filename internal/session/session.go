@@ -112,6 +112,10 @@ type ServerConfig struct {
 	// BlockTimeout bounds how long a guarantee-blocked request waits
 	// before failing (default 2s).
 	BlockTimeout time.Duration
+	// Persist, when set, journals every appended write before its ack is
+	// sent (the durability hook the server runtime wires to its WAL). It
+	// runs on the server's actor loop.
+	Persist func(rec []byte)
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -228,6 +232,7 @@ func (s *Server) OnMessage(env sim.Env, from string, msg sim.Message) {
 		applied := false
 		for _, w := range m.Writes {
 			if s.applyRemote(w) {
+				s.persistWrite(w)
 				applied = true
 			}
 		}
@@ -290,6 +295,7 @@ func (s *Server) serveWrite(env sim.Env, from string, m swrite, wasBlocked bool)
 	s.cliSeq[from] = m.ID
 	s.lastWID[from] = w.ID
 	s.resolve(w)
+	s.persistWrite(w)
 	env.Send(from, swriteResp{ID: m.ID, WID: w.ID, V: s.vec.ToVector()})
 }
 

@@ -155,6 +155,50 @@ func TestKVCompactPreservesSnapshotPoint(t *testing.T) {
 	}
 }
 
+// TestKVCompactKeepsOpenSnapshotView pins the contract the durability
+// layer's checkpointer relies on: it captures kv.Seq() while writers
+// are paused, later calls Compact(thatSeq), and any snapshot taken at
+// or after that seq must keep reading its full anchored view — no
+// version visible to an open snapshot may be dropped.
+func TestKVCompactKeepsOpenSnapshotView(t *testing.T) {
+	kv := NewKV()
+	kv.Put("a", []byte("a1"), nil)
+	kv.Put("b", []byte("b1"), nil)
+	kv.Put("a", []byte("a2"), nil)
+	kv.Delete("b", nil)
+	snap := kv.Snapshot()
+	ckptSeq := snap.Seq() // the seq a checkpoint would record
+
+	// Writes after the checkpoint cut, then compaction at the cut.
+	kv.Put("a", []byte("a3"), nil)
+	kv.Put("b", []byte("b2"), nil)
+	kv.Compact(ckptSeq)
+
+	if v, ok := snap.Get("a"); !ok || string(v.Value) != "a2" {
+		t.Fatalf("snapshot lost a@%d after Compact(%d): %+v ok=%v", ckptSeq, ckptSeq, v, ok)
+	}
+	if _, ok := snap.Get("b"); ok {
+		t.Fatalf("snapshot sees b, but it was deleted at the snapshot point")
+	}
+	if got := snap.Scan("", "", 0); len(got) != 1 || got[0].Key != "a" || string(got[0].Version.Value) != "a2" {
+		t.Fatalf("snapshot scan after compact = %v, want only a=a2", got)
+	}
+	// The post-checkpoint state is untouched.
+	if v, ok := kv.Get("a"); !ok || string(v.Value) != "a3" {
+		t.Fatalf("head version of a lost: %+v ok=%v", v, ok)
+	}
+	if v, ok := kv.Get("b"); !ok || string(v.Value) != "b2" {
+		t.Fatalf("head version of b lost: %+v ok=%v", v, ok)
+	}
+	// Exactly what the cut needs survives: a2 and b's tombstone (each
+	// the newest version at ckptSeq — the tombstone is what lets the
+	// snapshot keep seeing b as deleted) plus the a3/b2 heads. a1 is
+	// gone.
+	if kv.VersionCount() != 4 {
+		t.Fatalf("VersionCount = %d, want 4 (a2 + b-tombstone at the cut, a3+b2 heads)", kv.VersionCount())
+	}
+}
+
 // TestKVQuickLatestWins: after any interleaving of puts and deletes per
 // key, Get returns exactly the last non-delete operation's value (or
 // nothing if the last op was a delete).

@@ -1,0 +1,250 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Store journals a storage.KV plus a bag of protocol metadata blobs
+// (session tokens, hinted-handoff queues, vector clocks — anything the
+// caller serializes with its existing gob wire types) through a Log,
+// and checkpoints both into snapshots so the log stays bounded.
+//
+// Every mutation is appended to the WAL before it is applied in memory:
+// under SyncEach, when Put returns the write is on stable storage.
+// OpenStore recovers by restoring the latest snapshot and replaying the
+// log suffix past it.
+
+// RegisterMeta registers a concrete type carried in Version.Meta so the
+// Store can gob-encode it into WAL records and snapshots.
+func RegisterMeta(v any) { gob.Register(v) }
+
+// storeRecord is the WAL record for a Store mutation: exactly one of
+// the pointer fields is set.
+type storeRecord struct {
+	Put  *putRec
+	Del  *delRec
+	Meta *metaRec
+}
+
+type putRec struct {
+	Key   string
+	Value []byte
+	Meta  any
+}
+
+type delRec struct {
+	Key  string
+	Meta any
+}
+
+// metaRec sets (or, with nil Blob, deletes) one named metadata blob.
+type metaRec struct {
+	Name string
+	Blob []byte
+}
+
+// storeImage is the snapshot payload: the latest visible version of
+// every key (tombstones included — they still gate replication) plus
+// the metadata bag.
+type storeImage struct {
+	Pairs []imagePair
+	Meta  map[string][]byte
+}
+
+type imagePair struct {
+	Key       string
+	Value     []byte
+	Tombstone bool
+	Meta      any
+}
+
+// Store is safe for concurrent use.
+type Store struct {
+	log *Log
+	dir string
+
+	mu       sync.Mutex
+	kv       *storage.KV
+	meta     map[string][]byte
+	ckptSeq  uint64 // WAL seq covered by the latest checkpoint
+	replayed int
+}
+
+// OpenStore opens the WAL in dir and recovers the store: latest intact
+// snapshot first, then replay of every log record past it.
+func OpenStore(dir string, opt Options) (*Store, error) {
+	log, err := Open(dir, opt)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{log: log, dir: dir, kv: storage.NewKV(), meta: make(map[string][]byte)}
+
+	ckpt, state, found, err := LatestSnapshot(dir)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	if found {
+		var img storeImage
+		if err := gob.NewDecoder(bytes.NewReader(state)).Decode(&img); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("wal: decode snapshot: %w", err)
+		}
+		for _, p := range img.Pairs {
+			if p.Tombstone {
+				s.kv.Delete(p.Key, p.Meta)
+			} else {
+				s.kv.Put(p.Key, p.Value, p.Meta)
+			}
+		}
+		if img.Meta != nil {
+			s.meta = img.Meta
+		}
+		s.ckptSeq = ckpt
+	}
+	err = log.Replay(ckpt+1, func(_ uint64, rec []byte) error {
+		var r storeRecord
+		if err := gob.NewDecoder(bytes.NewReader(rec)).Decode(&r); err != nil {
+			return fmt.Errorf("wal: decode record: %w", err)
+		}
+		s.applyLocked(r)
+		s.replayed++
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) applyLocked(r storeRecord) {
+	switch {
+	case r.Put != nil:
+		s.kv.Put(r.Put.Key, r.Put.Value, r.Put.Meta)
+	case r.Del != nil:
+		s.kv.Delete(r.Del.Key, r.Del.Meta)
+	case r.Meta != nil:
+		if r.Meta.Blob == nil {
+			delete(s.meta, r.Meta.Name)
+		} else {
+			s.meta[r.Meta.Name] = r.Meta.Blob
+		}
+	}
+}
+
+// journal appends the record, then applies it; write-ahead order means
+// a crash between the two replays the mutation at recovery.
+func (s *Store) journal(r storeRecord) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return fmt.Errorf("wal: encode record: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.log.Append(buf.Bytes()); err != nil {
+		return err
+	}
+	s.applyLocked(r)
+	return nil
+}
+
+// Put durably commits a new version of key.
+func (s *Store) Put(key string, value []byte, meta any) error {
+	return s.journal(storeRecord{Put: &putRec{Key: key, Value: value, Meta: meta}})
+}
+
+// Delete durably commits a tombstone for key.
+func (s *Store) Delete(key string, meta any) error {
+	return s.journal(storeRecord{Del: &delRec{Key: key, Meta: meta}})
+}
+
+// SetMeta durably stores one named metadata blob (a session token, a
+// hinted-handoff queue, a vector clock — encoded by the caller).
+func (s *Store) SetMeta(name string, blob []byte) error {
+	if blob == nil {
+		blob = []byte{}
+	}
+	return s.journal(storeRecord{Meta: &metaRec{Name: name, Blob: blob}})
+}
+
+// DeleteMeta durably removes a named metadata blob.
+func (s *Store) DeleteMeta(name string) error {
+	return s.journal(storeRecord{Meta: &metaRec{Name: name}})
+}
+
+// Meta returns a named metadata blob.
+func (s *Store) Meta(name string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.meta[name]
+	return b, ok
+}
+
+// KV exposes the recovered store for reads. Mutate only through the
+// Store, or the changes won't survive a crash.
+func (s *Store) KV() *storage.KV { return s.kv }
+
+// Log exposes the underlying WAL (stats, disk usage).
+func (s *Store) Log() *Log { return s.log }
+
+// Replayed returns how many WAL records recovery replayed at open.
+func (s *Store) Replayed() int { return s.replayed }
+
+// CheckpointSeq returns the WAL sequence covered by the latest
+// checkpoint.
+func (s *Store) CheckpointSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ckptSeq
+}
+
+// Checkpoint snapshots the store, deletes WAL segments the snapshot
+// covers, and compacts KV versions no open storage.Snapshot needs.
+// Returns the WAL sequence the checkpoint covers.
+func (s *Store) Checkpoint() (uint64, error) {
+	// Capture a consistent cut under the store lock: the WAL seq and
+	// the state it produced.
+	s.mu.Lock()
+	walSeq := s.log.LastSeq()
+	kvSeq := s.kv.Seq()
+	img := storeImage{Meta: make(map[string][]byte, len(s.meta))}
+	for k, v := range s.meta {
+		img.Meta[k] = v
+	}
+	for _, p := range s.kv.ScanAll("", "", 0) {
+		img.Pairs = append(img.Pairs, imagePair{
+			Key:       p.Key,
+			Value:     p.Version.Value,
+			Tombstone: p.Version.Tombstone,
+			Meta:      p.Version.Meta,
+		})
+	}
+	s.mu.Unlock()
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		return 0, fmt.Errorf("wal: encode snapshot: %w", err)
+	}
+	if err := WriteSnapshot(s.dir, walSeq, buf.Bytes()); err != nil {
+		return 0, err
+	}
+	if err := s.log.TruncateThrough(walSeq); err != nil {
+		return 0, err
+	}
+	s.kv.Compact(kvSeq)
+	s.mu.Lock()
+	if walSeq > s.ckptSeq {
+		s.ckptSeq = walSeq
+	}
+	s.mu.Unlock()
+	return walSeq, nil
+}
+
+// Close syncs and closes the underlying log.
+func (s *Store) Close() error { return s.log.Close() }

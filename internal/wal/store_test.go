@@ -1,0 +1,160 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestStoreRecoversFromLogAlone(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", []byte("1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte("2"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetMeta("token", []byte("tok-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := OpenStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Replayed() != 4 {
+		t.Fatalf("replayed %d records, want 4", s2.Replayed())
+	}
+	if _, ok := s2.KV().Get("a"); ok {
+		t.Fatal("deleted key a resurrected")
+	}
+	if v, ok := s2.KV().Get("b"); !ok || !bytes.Equal(v.Value, []byte("2")) {
+		t.Fatalf("b = %v %v, want 2", v, ok)
+	}
+	if blob, ok := s2.Meta("token"); !ok || string(blob) != "tok-bytes" {
+		t.Fatalf("meta token = %q %v", blob, ok)
+	}
+}
+
+func TestStoreCheckpointThenRecover(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, Options{SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Put("k"+string(rune('a'+i)), []byte{byte(i)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetMeta("hints", []byte("queued"))
+	before := s.Log().DiskBytes()
+	ckpt, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt == 0 || s.CheckpointSeq() != ckpt {
+		t.Fatalf("checkpoint seq = %d (stored %d)", ckpt, s.CheckpointSeq())
+	}
+	if s.Log().DiskBytes() >= before {
+		t.Fatalf("checkpoint reclaimed no WAL space (%d -> %d)", before, s.Log().DiskBytes())
+	}
+	// Post-checkpoint writes land in the log suffix.
+	s.Put("post", []byte("suffix"), nil)
+	s.DeleteMeta("hints")
+	s.Close()
+
+	s2, err := OpenStore(dir, Options{SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	// Only the two post-checkpoint records replay; the rest restore
+	// from the snapshot image.
+	if s2.Replayed() != 2 {
+		t.Fatalf("replayed %d records, want 2", s2.Replayed())
+	}
+	if s2.KV().Len() != 21 {
+		t.Fatalf("recovered %d live keys, want 21", s2.KV().Len())
+	}
+	if v, ok := s2.KV().Get("post"); !ok || string(v.Value) != "suffix" {
+		t.Fatalf("post = %v %v", v, ok)
+	}
+	if _, ok := s2.Meta("hints"); ok {
+		t.Fatal("deleted meta blob resurrected")
+	}
+	if s2.CheckpointSeq() != ckpt {
+		t.Fatalf("recovered checkpoint seq = %d, want %d", s2.CheckpointSeq(), ckpt)
+	}
+}
+
+type versionMeta struct{ Clock map[string]uint64 }
+
+func TestStoreRoundTripsVersionMeta(t *testing.T) {
+	RegisterMeta(versionMeta{})
+	dir := t.TempDir()
+	s, err := OpenStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := versionMeta{Clock: map[string]uint64{"n1": 3, "n2": 7}}
+	if err := s.Put("vc", []byte("x"), meta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Put("vc2", []byte("y"), meta) // meta through the log path too
+	s.Close()
+
+	s2, err := OpenStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, key := range []string{"vc", "vc2"} {
+		v, ok := s2.KV().Get(key)
+		if !ok {
+			t.Fatalf("%s lost", key)
+		}
+		m, ok := v.Meta.(versionMeta)
+		if !ok || m.Clock["n2"] != 7 {
+			t.Fatalf("%s meta = %#v, want clock round-trip", key, v.Meta)
+		}
+	}
+}
+
+func TestStoreTombstoneSurvivesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("gone", []byte("v"), nil)
+	s.Delete("gone", nil)
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := OpenStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.KV().Get("gone"); ok {
+		t.Fatal("tombstone dropped by checkpoint: key resurrected")
+	}
+	// The tombstone itself must still be visible to replication layers.
+	if v, ok := s2.KV().GetAny("gone"); !ok || !v.Tombstone {
+		t.Fatalf("GetAny(gone) = %v %v, want tombstone", v, ok)
+	}
+}

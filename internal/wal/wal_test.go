@@ -1,0 +1,290 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func appendN(t *testing.T, l *Log, n int, tag string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("%s-%04d", tag, i))); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+}
+
+func collect(t *testing.T, l *Log, from uint64) map[uint64]string {
+	t.Helper()
+	got := make(map[uint64]string)
+	err := l.Replay(from, func(seq uint64, rec []byte) error {
+		got[seq] = string(rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 50, "rec")
+	if l.LastSeq() != 50 {
+		t.Fatalf("LastSeq = %d, want 50", l.LastSeq())
+	}
+	got := collect(t, l, 1)
+	if len(got) != 50 || got[1] != "rec-0000" || got[50] != "rec-0049" {
+		t.Fatalf("replay mismatch: %d records, got[1]=%q got[50]=%q", len(got), got[1], got[50])
+	}
+	if got := collect(t, l, 48); len(got) != 3 {
+		t.Fatalf("partial replay from 48: %d records, want 3", len(got))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: sequence numbering and contents must survive.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastSeq() != 50 {
+		t.Fatalf("reopened LastSeq = %d, want 50", l2.LastSeq())
+	}
+	seq, err := l2.Append([]byte("after"))
+	if err != nil || seq != 51 {
+		t.Fatalf("append after reopen: seq=%d err=%v, want 51", seq, err)
+	}
+}
+
+func TestSegmentRotationAndTruncateThrough(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 40, "rotate") // ~24B per record -> many segments
+	if l.Segments() < 3 {
+		t.Fatalf("expected rotation, got %d segments", l.Segments())
+	}
+	if got := collect(t, l, 1); len(got) != 40 {
+		t.Fatalf("replay across segments: %d records, want 40", len(got))
+	}
+
+	// Drop everything a checkpoint at seq 20 covers: only whole sealed
+	// segments at or below it go; records > 20 must all survive.
+	before := l.DiskBytes()
+	if err := l.TruncateThrough(20); err != nil {
+		t.Fatal(err)
+	}
+	if l.DiskBytes() >= before {
+		t.Fatalf("TruncateThrough freed nothing (%d -> %d bytes)", before, l.DiskBytes())
+	}
+	got := collect(t, l, 21)
+	for seq := uint64(21); seq <= 40; seq++ {
+		if _, ok := got[seq]; !ok {
+			t.Fatalf("record %d lost by TruncateThrough", seq)
+		}
+	}
+	l.Close()
+
+	// Reopen after truncation: appends continue from seq 40.
+	l2, err := Open(dir, Options{SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastSeq() != 40 {
+		t.Fatalf("LastSeq after reopen = %d, want 40", l2.LastSeq())
+	}
+}
+
+func TestTornTailTruncatedAtFirstCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 10, "torn")
+	l.Close()
+
+	// Corrupt record 7 in place: flip a payload byte.
+	segs, err := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("glob: %v (%d segments)", err, len(segs))
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := bytes.Index(data, []byte("torn-0006"))
+	if idx < 0 {
+		t.Fatal("record 7 not found in segment")
+	}
+	data[idx] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastSeq() != 6 {
+		t.Fatalf("LastSeq after corruption = %d, want 6", l2.LastSeq())
+	}
+	got := collect(t, l2, 1)
+	if len(got) != 6 {
+		t.Fatalf("replay returned %d records, want 6 (nothing past the corruption)", len(got))
+	}
+	// The log must accept appends again, reusing the truncated sequence.
+	seq, err := l2.Append([]byte("fresh"))
+	if err != nil || seq != 7 {
+		t.Fatalf("append after recovery: seq=%d err=%v, want 7", seq, err)
+	}
+}
+
+func TestCorruptionDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 30, "multi")
+	if l.Segments() < 3 {
+		t.Fatalf("need >=3 segments, got %d", l.Segments())
+	}
+	l.Close()
+
+	// Corrupt a byte in the FIRST segment: recovery must stop there and
+	// delete every later segment, even though they are intact.
+	segs, _ := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	os.WriteFile(segs[0], data, 0o644)
+
+	l2, err := Open(dir, Options{SegmentSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	after, _ := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
+	if len(after) != 1 {
+		t.Fatalf("later segments not dropped: %d files remain", len(after))
+	}
+	if l2.LastSeq() >= 30 {
+		t.Fatalf("LastSeq = %d, corruption in segment 1 must lose the tail", l2.LastSeq())
+	}
+	got := collect(t, l2, 1)
+	for seq := range got {
+		if seq > l2.LastSeq() {
+			t.Fatalf("replay resurrected seq %d past recovered tail %d", seq, l2.LastSeq())
+		}
+	}
+}
+
+func TestBatchPolicyFlushes(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: SyncBatch, BatchInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 5, "batch")
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Syncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch flusher never fsynced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("x")); err == nil {
+		t.Fatal("append after close must fail")
+	}
+}
+
+func TestSnapshotRoundTripAndAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, found, err := LatestSnapshot(dir); err != nil || found {
+		t.Fatalf("empty dir: found=%v err=%v", found, err)
+	}
+	if err := WriteSnapshot(dir, 10, []byte("state-ten")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(dir, 25, []byte("state-twentyfive")); err != nil {
+		t.Fatal(err)
+	}
+	seq, state, found, err := LatestSnapshot(dir)
+	if err != nil || !found || seq != 25 || string(state) != "state-twentyfive" {
+		t.Fatalf("latest = (%d, %q, %v, %v)", seq, state, found, err)
+	}
+
+	// Corrupt the newest snapshot: recovery must fall back to seq 10.
+	data, err := os.ReadFile(filepath.Join(dir, snapshotName(25)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[snapHeader+2] ^= 0xff
+	os.WriteFile(filepath.Join(dir, snapshotName(25)), data, 0o644)
+	seq, state, found, err = LatestSnapshot(dir)
+	if err != nil || !found || seq != 10 || string(state) != "state-ten" {
+		t.Fatalf("fallback = (%d, %q, %v, %v), want (10, state-ten)", seq, state, found, err)
+	}
+
+	// A stray temp file (crash mid-write) is ignored.
+	os.WriteFile(filepath.Join(dir, "snap-xyz.tmp"), []byte("garbage"), 0o644)
+	if _, _, found, err = LatestSnapshot(dir); err != nil || !found {
+		t.Fatalf("temp file broke recovery: found=%v err=%v", found, err)
+	}
+}
+
+func TestSnapshotPruneKeepsFallback(t *testing.T) {
+	dir := t.TempDir()
+	for _, seq := range []uint64{5, 10, 15, 20} {
+		if err := WriteSnapshot(dir, seq, []byte("s")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs, err := snapshotSeqs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 || seqs[0] != 15 || seqs[1] != 20 {
+		t.Fatalf("prune kept %v, want [15 20]", seqs)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]SyncPolicy{"sync": SyncEach, "": SyncEach, "batch": SyncBatch, "none": SyncNone} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("ParsePolicy must reject unknown policies")
+	}
+	if SyncEach.String() != "sync" || SyncBatch.String() != "batch" || SyncNone.String() != "none" {
+		t.Fatal("SyncPolicy.String mismatch")
+	}
+}
