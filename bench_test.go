@@ -137,6 +137,17 @@ func BenchmarkRingJoinDiff(b *testing.B)         { runGroup(b, "BenchmarkRingJoi
 func BenchmarkWALAppend(b *testing.B)   { runGroup(b, "BenchmarkWALAppend") }
 func BenchmarkWALRecovery(b *testing.B) { runGroup(b, "BenchmarkWALRecovery") }
 
+// BenchmarkWALAppendConcurrent measures SyncEach appends with many
+// goroutines in flight — the group-commit path (one committer fsync per
+// batch of concurrent acked writes).
+func BenchmarkWALAppendConcurrent(b *testing.B) { runGroup(b, "BenchmarkWALAppendConcurrent") }
+
+// BenchmarkSaturation boots a 3-node cluster in-process and drives it
+// open-loop at a fixed offered rate; the reported ops/s metric is the
+// cluster's capacity through the full client fast path (pipelining,
+// batched frames, concurrent dispatch, WAL group commit).
+func BenchmarkSaturation(b *testing.B) { runGroup(b, "BenchmarkSaturation") }
+
 // TestBenchmarkWrappersCoverSuite: every benchsuite entry must be
 // reachable from a Benchmark* wrapper in this file, so `go test -bench .`
 // and `ecbench -bench` measure the same set.

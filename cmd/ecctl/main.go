@@ -11,6 +11,7 @@
 //	ecctl get <key>               # read (carries a session token if model=session)
 //	ecctl del <key>               # delete
 //	ecctl smoke                   # end-to-end check incl. session guarantees
+//	ecctl bench -clients 32       # closed-loop load: pipelined puts/gets, ops/s + latency
 //	ecctl kill <node>             # SIGKILL one node
 //	ecctl restart <node>          # respawn it from its data dir (WAL recovery)
 //	ecctl down                    # stop everything, remove state
@@ -26,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -33,6 +35,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -75,6 +78,8 @@ func main() {
 		err = cmdKV(cmd, args)
 	case "smoke":
 		err = cmdSmoke(args)
+	case "bench":
+		err = cmdBench(args)
 	default:
 		usage()
 	}
@@ -85,7 +90,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ecctl {up|down|kill|restart|status|ring|put|get|del|smoke} [args]")
+	fmt.Fprintln(os.Stderr, "usage: ecctl {up|down|kill|restart|status|ring|put|get|del|smoke|bench} [args]")
 	os.Exit(2)
 }
 
@@ -666,6 +671,123 @@ func cmdSmoke(args []string) error {
 		}
 	}
 	fmt.Println("smoke: ok")
+	return nil
+}
+
+// cmdBench drives closed-loop load against the cluster: -clients
+// worker goroutines issue puts/gets back-to-back over -conns shared
+// connections. Workers sharing a connection pipeline — each request is
+// tagged with a sequence number and the responses demultiplex — which
+// is exactly the fast path this binary exists to exercise: batched
+// frames on the wire, concurrent dispatch on the server, and WAL
+// group commit across the in-flight writes.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	dir := stateDir(fs)
+	workers := fs.Int("clients", 32, "concurrent worker goroutines")
+	conns := fs.Int("conns", 4, "connections the workers share")
+	dur := fs.Duration("duration", 5*time.Second, "measurement length")
+	valSize := fs.Int("value", 128, "value size in bytes")
+	keys := fs.Int("keys", 1000, "distinct keys")
+	getFrac := fs.Float64("get", 0.5, "fraction of operations that are reads")
+	node := fs.String("node", "", "target node (default: any reachable)")
+	fs.Parse(args)
+	st, err := loadState(*dir)
+	if err != nil {
+		return err
+	}
+	if *workers < 1 || *conns < 1 || *conns > *workers {
+		return fmt.Errorf("need clients >= conns >= 1")
+	}
+
+	addr := ""
+	if *node != "" {
+		var ok bool
+		if addr, ok = st.Peers[*node]; !ok {
+			return fmt.Errorf("unknown node %q", *node)
+		}
+	} else {
+		c, id, err := dialAny(st)
+		if err != nil {
+			return err
+		}
+		c.Close()
+		addr = st.Peers[id]
+	}
+
+	clients := make([]*server.Client, *conns)
+	for i := range clients {
+		c, err := server.Dial(addr, fmt.Sprintf("bench-%d-%d", os.Getpid(), i))
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	value := make([]byte, *valSize)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+
+	type result struct {
+		ops, errs int
+		lat       []time.Duration
+	}
+	results := make([]result, *workers)
+	deadline := time.Now().Add(*dur)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := clients[w%len(clients)]
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			r := &results[w]
+			for time.Now().Before(deadline) {
+				key := fmt.Sprintf("bench-%d", rng.Intn(*keys))
+				start := time.Now()
+				var err error
+				if rng.Float64() < *getFrac {
+					_, _, err = c.Get(key)
+				} else {
+					err = c.Put(key, value)
+				}
+				r.lat = append(r.lat, time.Since(start))
+				r.ops++
+				if err != nil {
+					r.errs++
+				}
+			}
+		}(w)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var ops, errs int
+	var all []time.Duration
+	for _, r := range results {
+		ops += r.ops
+		errs += r.errs
+		all = append(all, r.lat...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	q := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i].Round(10 * time.Microsecond)
+	}
+	fmt.Printf("bench: model=%s node=%s clients=%d conns=%d value=%dB mix=%.0f%%get\n",
+		st.Model, addr, *workers, *conns, *valSize, 100**getFrac)
+	fmt.Printf("bench: %d ops in %s = %.0f ops/sec (%d errors)\n",
+		ops, elapsed.Round(time.Millisecond), float64(ops)/elapsed.Seconds(), errs)
+	fmt.Printf("bench: latency p50=%s p99=%s\n", q(0.50), q(0.99))
+	if errs > 0 {
+		return fmt.Errorf("%d/%d operations failed", errs, ops)
+	}
 	return nil
 }
 

@@ -88,6 +88,7 @@ func All() []Benchmark {
 	}
 	out = append(out, Benchmark{"BenchmarkRingJoinDiff", ringJoinDiff})
 	out = append(out, walBenchmarks()...)
+	out = append(out, satBenchmarks()...)
 	return out
 }
 

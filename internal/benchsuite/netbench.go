@@ -7,18 +7,57 @@ import (
 
 	"repro/internal/ring"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // benchPayload is the wire message the framing benchmarks ship: the
 // shape (a key, a value, a small vector-clock-like map) mirrors what
-// the protocols actually put in envelopes.
+// the protocols actually put in envelopes. It carries both codecs so
+// the framing benchmarks measure the binary fast path the protocols
+// use (wire id 60; see transport.BinaryMessage).
 type benchPayload struct {
 	Key string
 	Val []byte
 	Vec map[string]uint64
 }
 
-func init() { transport.Register(benchPayload{}) }
+func (benchPayload) WireID() uint16 { return 60 }
+
+func (m benchPayload) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendString(dst, m.Key)
+	dst = wire.AppendBytes(dst, m.Val)
+	if m.Vec == nil {
+		return append(dst, 0)
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(m.Vec))+1)
+	for id, c := range m.Vec {
+		dst = wire.AppendString(dst, id)
+		dst = wire.AppendUvarint(dst, c)
+	}
+	return dst
+}
+
+func init() {
+	transport.Register(benchPayload{})
+	transport.RegisterBinary(60, func(r *wire.Reader) transport.Message {
+		m := benchPayload{Key: r.String(), Val: r.Bytes()}
+		n := r.Uvarint()
+		if n == 0 || r.Err() != nil {
+			return m
+		}
+		n--
+		if n > uint64(r.Len()) {
+			r.Poison()
+			return m
+		}
+		m.Vec = make(map[string]uint64, n)
+		for i := uint64(0); i < n; i++ {
+			id := r.String()
+			m.Vec[id] = r.Uvarint()
+		}
+		return m
+	})
+}
 
 func framePayload(size int) transport.Envelope {
 	val := make([]byte, size)

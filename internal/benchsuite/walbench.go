@@ -38,6 +38,35 @@ func walAppend(b *testing.B, policy wal.SyncPolicy) {
 	}
 }
 
+// walAppendConcurrent measures SyncEach Append with many goroutines in
+// flight — the group-commit win. Serial SyncEach pays one fsync per
+// record; with workers appending concurrently one committer fsync
+// covers the whole group, so per-record cost approaches fsync/workers.
+func walAppendConcurrent(b *testing.B, workers int) {
+	log, err := wal.Open(b.TempDir(), wal.Options{Policy: wal.SyncEach})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer log.Close()
+	rec := walRecord(256)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(rec) + 8))
+	b.SetParallelism(workers) // workers × GOMAXPROCS goroutines
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := log.Append(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	st := log.Stats()
+	if st.GroupCommits > 0 {
+		b.ReportMetric(float64(st.GroupedAppends)/float64(st.GroupCommits), "appends/fsync")
+	}
+}
+
 // walRecovery measures cold-start crash recovery: Open scanning every
 // segment (CRC-checking each record, finding the torn tail) plus a full
 // Replay — what a restarted node pays before it can serve.
@@ -84,6 +113,13 @@ func walBenchmarks() []Benchmark {
 		out = append(out, Benchmark{
 			Name: fmt.Sprintf("BenchmarkWALAppend/policy=%s", p),
 			F:    func(b *testing.B) { walAppend(b, p) },
+		})
+	}
+	for _, workers := range []int{4, 16} {
+		workers := workers
+		out = append(out, Benchmark{
+			Name: fmt.Sprintf("BenchmarkWALAppendConcurrent/workers=%d", workers),
+			F:    func(b *testing.B) { walAppendConcurrent(b, workers) },
 		})
 	}
 	for _, records := range []int{1000, 10000} {

@@ -1,9 +1,217 @@
 package quorum
 
-import "repro/internal/transport"
+import (
+	"repro/internal/clock"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
 
-// Wire registration: every message a quorum node or client exchanges,
-// so the protocol runs unchanged over the TCP transport.
+// Wire codecs: every message a quorum node or client exchanges, so the
+// protocol runs unchanged over the TCP transport. Each type carries a
+// hand-rolled binary encoding (the hot path — no reflection, decode
+// aliases the frame buffer) plus the gob registration the codec
+// equivalence tests diff it against.
+//
+// Wire ids 20–39 belong to this package (see transport.BinaryMessage).
+const (
+	widClientPut uint16 = 20 + iota
+	widClientGet
+	widPutResp
+	widGetResp
+	widReplicaPut
+	widReplicaPutAck
+	widReplicaGet
+	widReplicaGetResp
+	widHandoffDeliver
+	widHandoffAck
+	widResPing
+	widResPong
+	widAEReq
+	widAEResp
+	widAEPush
+)
+
+// appendEntry / readEntry encode one sibling version: its DVV and the
+// replicated record (value bytes or tombstone).
+func appendEntry(dst []byte, e clock.SiblingEntry[record]) []byte {
+	dst = wire.AppendDVV(dst, e.DVV)
+	dst = wire.AppendBytes(dst, e.Value.Value)
+	return wire.AppendBool(dst, e.Value.Deleted)
+}
+
+func readEntry(r *wire.Reader) clock.SiblingEntry[record] {
+	var e clock.SiblingEntry[record]
+	e.DVV = r.DVV()
+	e.Value.Value = r.Bytes()
+	e.Value.Deleted = r.Bool()
+	return e
+}
+
+func appendEntries(dst []byte, es []clock.SiblingEntry[record]) []byte {
+	if es == nil {
+		return append(dst, 0)
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(es))+1)
+	for _, e := range es {
+		dst = appendEntry(dst, e)
+	}
+	return dst
+}
+
+func readEntries(r *wire.Reader) []clock.SiblingEntry[record] {
+	n := r.Uvarint()
+	if n == 0 || r.Err() != nil {
+		return nil
+	}
+	n--
+	if n > uint64(r.Len()) { // every entry costs ≥1 byte
+		return readFail[[]clock.SiblingEntry[record]](r)
+	}
+	out := make([]clock.SiblingEntry[record], 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, readEntry(r))
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return out
+}
+
+// readFail poisons the reader (a declared length exceeded the bytes
+// remaining) and returns a typed zero value.
+func readFail[T any](r *wire.Reader) T {
+	r.Poison()
+	var zero T
+	return zero
+}
+
+func appendAEEntries(dst []byte, es []aeEntry) []byte {
+	if es == nil {
+		return append(dst, 0)
+	}
+	dst = wire.AppendUvarint(dst, uint64(len(es))+1)
+	for _, e := range es {
+		dst = wire.AppendString(dst, e.Key)
+		dst = appendEntries(dst, e.Entries)
+	}
+	return dst
+}
+
+func readAEEntries(r *wire.Reader) []aeEntry {
+	n := r.Uvarint()
+	if n == 0 || r.Err() != nil {
+		return nil
+	}
+	n--
+	if n > uint64(r.Len()) {
+		return readFail[[]aeEntry](r)
+	}
+	out := make([]aeEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, aeEntry{Key: r.String(), Entries: readEntries(r)})
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return out
+}
+
+func (clientPut) WireID() uint16 { return widClientPut }
+func (m clientPut) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, m.ID)
+	dst = wire.AppendString(dst, m.Key)
+	dst = wire.AppendBytes(dst, m.Value)
+	dst = wire.AppendBool(dst, m.Deleted)
+	return wire.AppendVector(dst, m.Context)
+}
+
+func (clientGet) WireID() uint16 { return widClientGet }
+func (m clientGet) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, m.ID)
+	return wire.AppendString(dst, m.Key)
+}
+
+func (putResp) WireID() uint16 { return widPutResp }
+func (m putResp) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, m.ID)
+	dst = wire.AppendVector(dst, m.Context)
+	dst = wire.AppendString(dst, m.Err)
+	return wire.AppendBool(dst, m.Sloppy)
+}
+
+func (getResp) WireID() uint16 { return widGetResp }
+func (m getResp) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, m.ID)
+	dst = wire.AppendByteSlices(dst, m.Values)
+	dst = wire.AppendVector(dst, m.Context)
+	dst = wire.AppendString(dst, m.Err)
+	return wire.AppendVarint(dst, int64(m.Replicas))
+}
+
+func (replicaPut) WireID() uint16 { return widReplicaPut }
+func (m replicaPut) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, m.ID)
+	dst = wire.AppendString(dst, m.Key)
+	dst = appendEntry(dst, m.Entry)
+	dst = wire.AppendString(dst, m.Hint)
+	return wire.AppendBool(dst, m.Repair)
+}
+
+func (replicaPutAck) WireID() uint16 { return widReplicaPutAck }
+func (m replicaPutAck) AppendBinary(dst []byte) []byte {
+	return wire.AppendUvarint(dst, m.ID)
+}
+
+func (replicaGet) WireID() uint16 { return widReplicaGet }
+func (m replicaGet) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, m.ID)
+	return wire.AppendString(dst, m.Key)
+}
+
+func (replicaGetResp) WireID() uint16 { return widReplicaGetResp }
+func (m replicaGetResp) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, m.ID)
+	dst = wire.AppendString(dst, m.Key)
+	return appendEntries(dst, m.Entries)
+}
+
+func (handoffDeliver) WireID() uint16 { return widHandoffDeliver }
+func (m handoffDeliver) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendString(dst, m.Key)
+	return appendEntries(dst, m.Entries)
+}
+
+func (handoffAck) WireID() uint16 { return widHandoffAck }
+func (m handoffAck) AppendBinary(dst []byte) []byte {
+	return wire.AppendString(dst, m.Key)
+}
+
+func (resPing) WireID() uint16 { return widResPing }
+func (m resPing) AppendBinary(dst []byte) []byte {
+	return wire.AppendUvarint(dst, uint64(m.Pad))
+}
+
+func (resPong) WireID() uint16 { return widResPong }
+func (m resPong) AppendBinary(dst []byte) []byte {
+	return wire.AppendUvarint(dst, uint64(m.Pad))
+}
+
+func (aeReq) WireID() uint16 { return widAEReq }
+func (m aeReq) AppendBinary(dst []byte) []byte {
+	return wire.AppendUint64s(dst, m.Leaves)
+}
+
+func (aeResp) WireID() uint16 { return widAEResp }
+func (m aeResp) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendInts(dst, m.Buckets)
+	return appendAEEntries(dst, m.Entries)
+}
+
+func (aePush) WireID() uint16 { return widAEPush }
+func (m aePush) AppendBinary(dst []byte) []byte {
+	return appendAEEntries(dst, m.Entries)
+}
+
 func init() {
 	transport.Register(
 		clientPut{}, clientGet{}, putResp{}, getResp{},
@@ -12,4 +220,49 @@ func init() {
 		resPing{}, resPong{},
 		aeReq{}, aeResp{}, aePush{},
 	)
+	transport.RegisterBinary(widClientPut, func(r *wire.Reader) transport.Message {
+		return clientPut{ID: r.Uvarint(), Key: r.String(), Value: r.Bytes(), Deleted: r.Bool(), Context: r.Vector()}
+	})
+	transport.RegisterBinary(widClientGet, func(r *wire.Reader) transport.Message {
+		return clientGet{ID: r.Uvarint(), Key: r.String()}
+	})
+	transport.RegisterBinary(widPutResp, func(r *wire.Reader) transport.Message {
+		return putResp{ID: r.Uvarint(), Context: r.Vector(), Err: r.String(), Sloppy: r.Bool()}
+	})
+	transport.RegisterBinary(widGetResp, func(r *wire.Reader) transport.Message {
+		return getResp{ID: r.Uvarint(), Values: r.ByteSlices(), Context: r.Vector(), Err: r.String(), Replicas: int(r.Varint())}
+	})
+	transport.RegisterBinary(widReplicaPut, func(r *wire.Reader) transport.Message {
+		return replicaPut{ID: r.Uvarint(), Key: r.String(), Entry: readEntry(r), Hint: r.String(), Repair: r.Bool()}
+	})
+	transport.RegisterBinary(widReplicaPutAck, func(r *wire.Reader) transport.Message {
+		return replicaPutAck{ID: r.Uvarint()}
+	})
+	transport.RegisterBinary(widReplicaGet, func(r *wire.Reader) transport.Message {
+		return replicaGet{ID: r.Uvarint(), Key: r.String()}
+	})
+	transport.RegisterBinary(widReplicaGetResp, func(r *wire.Reader) transport.Message {
+		return replicaGetResp{ID: r.Uvarint(), Key: r.String(), Entries: readEntries(r)}
+	})
+	transport.RegisterBinary(widHandoffDeliver, func(r *wire.Reader) transport.Message {
+		return handoffDeliver{Key: r.String(), Entries: readEntries(r)}
+	})
+	transport.RegisterBinary(widHandoffAck, func(r *wire.Reader) transport.Message {
+		return handoffAck{Key: r.String()}
+	})
+	transport.RegisterBinary(widResPing, func(r *wire.Reader) transport.Message {
+		return resPing{Pad: byte(r.Uvarint())}
+	})
+	transport.RegisterBinary(widResPong, func(r *wire.Reader) transport.Message {
+		return resPong{Pad: byte(r.Uvarint())}
+	})
+	transport.RegisterBinary(widAEReq, func(r *wire.Reader) transport.Message {
+		return aeReq{Leaves: r.Uint64s()}
+	})
+	transport.RegisterBinary(widAEResp, func(r *wire.Reader) transport.Message {
+		return aeResp{Buckets: r.Ints(), Entries: readAEEntries(r)}
+	})
+	transport.RegisterBinary(widAEPush, func(r *wire.Reader) transport.Message {
+		return aePush{Entries: readAEEntries(r)}
+	})
 }

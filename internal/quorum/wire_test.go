@@ -1,0 +1,81 @@
+package quorum
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/transport"
+	"repro/internal/wiretest"
+)
+
+// Codec pinning for every quorum wire type: the binary round trip must
+// be exact and must agree with the gob codec (see internal/wiretest).
+
+func genEntry(g *wiretest.Gen) clock.SiblingEntry[record] {
+	return clock.SiblingEntry[record]{
+		DVV:   g.DVV(),
+		Value: record{Value: g.Bytes(), Deleted: g.Bool()},
+	}
+}
+
+func genEntries(g *wiretest.Gen) []clock.SiblingEntry[record] {
+	if g.R.Intn(4) == 0 {
+		return nil
+	}
+	out := make([]clock.SiblingEntry[record], 1+g.R.Intn(4))
+	for i := range out {
+		out[i] = genEntry(g)
+	}
+	return out
+}
+
+func genAEEntries(g *wiretest.Gen) []aeEntry {
+	if g.R.Intn(4) == 0 {
+		return nil
+	}
+	out := make([]aeEntry, 1+g.R.Intn(4))
+	for i := range out {
+		out[i] = aeEntry{Key: g.Str(), Entries: genEntries(g)}
+	}
+	return out
+}
+
+func genMsgs(g *wiretest.Gen) []transport.Message {
+	return []transport.Message{
+		clientPut{ID: g.Uint64(), Key: g.Str(), Value: g.Bytes(), Deleted: g.Bool(), Context: g.Vector()},
+		clientGet{ID: g.Uint64(), Key: g.Str()},
+		putResp{ID: g.Uint64(), Context: g.Vector(), Err: g.Str(), Sloppy: g.Bool()},
+		getResp{ID: g.Uint64(), Values: g.ByteSlices(), Context: g.Vector(), Err: g.Str(), Replicas: int(g.Int64())},
+		replicaPut{ID: g.Uint64(), Key: g.Str(), Entry: genEntry(g), Hint: g.Str(), Repair: g.Bool()},
+		replicaPutAck{ID: g.Uint64()},
+		replicaGet{ID: g.Uint64(), Key: g.Str()},
+		replicaGetResp{ID: g.Uint64(), Key: g.Str(), Entries: genEntries(g)},
+		handoffDeliver{Key: g.Str(), Entries: genEntries(g)},
+		handoffAck{Key: g.Str()},
+		resPing{Pad: g.Byte()},
+		resPong{Pad: g.Byte()},
+		aeReq{Leaves: g.Uint64s()},
+		aeResp{Buckets: g.Ints(), Entries: genAEEntries(g)},
+		aePush{Entries: genAEEntries(g)},
+	}
+}
+
+func checkAll(t testing.TB, seed int64) {
+	g := wiretest.NewGen(seed)
+	for _, m := range genMsgs(g) {
+		wiretest.Check(t, m)
+	}
+}
+
+func TestCodecGobAgreement(t *testing.T) {
+	for seed := int64(0); seed < 256; seed++ {
+		checkAll(t, seed)
+	}
+}
+
+func FuzzCodecRoundTrip(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) { checkAll(t, seed) })
+}

@@ -12,18 +12,29 @@ import (
 )
 
 // Client speaks the client protocol to one node. It is safe for
-// concurrent use (requests serialize on the connection). The client
-// carries the session token across operations — and, via Token/
-// SetToken, across reconnects to different nodes — which is what keeps
-// read-your-writes and the other session guarantees intact when the
-// node it was talking to dies.
+// concurrent use and pipelines: every request carries a sequence
+// number, a background reader demultiplexes responses by Seq, so N
+// goroutines sharing one Client keep N requests on the wire at once
+// instead of serializing on the round trip. A single goroutine using
+// the Client degenerates to the classic one-request-deep case.
+//
+// The client carries the session token across operations — and, via
+// Token/SetToken, across reconnects to different nodes — which is what
+// keeps read-your-writes and the other session guarantees intact when
+// the node it was talking to dies.
 type Client struct {
-	mu    sync.Mutex
-	conn  net.Conn
-	id    string
-	token session.Token
+	conn net.Conn
+	id   string
 	// Timeout bounds each round trip (default 10s).
 	Timeout time.Duration
+
+	wmu sync.Mutex // serializes request frames onto the connection
+
+	mu      sync.Mutex // guards the fields below
+	token   session.Token
+	seq     uint64
+	waiters map[uint64]chan Response
+	err     error // sticky: the transport error that ended the connection
 }
 
 // Dial connects to a node's peer-link address and handshakes as a
@@ -33,15 +44,17 @@ func Dial(addr, id string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
 	}
-	c := &Client{conn: conn, id: id, Timeout: 10 * time.Second}
-	if err := c.writeFrame(transport.Envelope{From: id, Msg: transport.ClientHello(id)}); err != nil {
+	c := &Client{conn: conn, id: id, Timeout: 10 * time.Second, waiters: make(map[uint64]chan Response)}
+	c.conn.SetWriteDeadline(time.Now().Add(c.timeout()))
+	if _, err := transport.WriteFrame(conn, transport.Envelope{From: id, Msg: transport.ClientHello(id)}); err != nil {
 		conn.Close()
 		return nil, err
 	}
+	go c.reader()
 	return c, nil
 }
 
-// Close closes the connection.
+// Close closes the connection. In-flight requests fail.
 func (c *Client) Close() error { return c.conn.Close() }
 
 // Token returns the client's current session token (zero for
@@ -61,12 +74,6 @@ func (c *Client) SetToken(t session.Token) {
 	c.mu.Unlock()
 }
 
-func (c *Client) writeFrame(e transport.Envelope) error {
-	c.conn.SetWriteDeadline(time.Now().Add(c.timeout()))
-	_, err := transport.WriteFrame(c.conn, e)
-	return err
-}
-
 func (c *Client) timeout() time.Duration {
 	if c.Timeout > 0 {
 		return c.Timeout
@@ -74,30 +81,98 @@ func (c *Client) timeout() time.Duration {
 	return 10 * time.Second
 }
 
-// do runs one request/response round trip.
-func (c *Client) do(req Request) (Response, error) {
+// reader demultiplexes response frames to the waiting requests. It owns
+// the receive side of the connection for the client's whole life; batch
+// frames (the server coalesces responses that are ready together) fan
+// back out here.
+func (c *Client) reader() {
+	var envs []transport.Envelope
+	for {
+		var err error
+		envs, _, err = transport.ReadBatch(c.conn, envs[:0])
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		for _, e := range envs {
+			resp, ok := e.Msg.(Response)
+			if !ok {
+				c.fail(fmt.Errorf("server: unexpected frame %T", e.Msg))
+				return
+			}
+			c.mu.Lock()
+			if resp.Token.Read != nil || resp.Token.Write != nil {
+				c.token = resp.Token
+			}
+			ch := c.waiters[resp.Seq]
+			delete(c.waiters, resp.Seq)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- resp
+			}
+		}
+	}
+}
+
+// fail records the terminal error and wakes every in-flight request.
+func (c *Client) fail(err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = fmt.Errorf("server: connection failed: %w", err)
+	}
+	for seq, ch := range c.waiters {
+		delete(c.waiters, seq)
+		close(ch)
+	}
+	c.mu.Unlock()
+}
+
+// do runs one request/response exchange. Concurrent callers pipeline:
+// the request goes out immediately and this goroutine parks until the
+// reader delivers the response matching its sequence number.
+func (c *Client) do(req Request) (Response, error) {
+	ch := make(chan Response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return Response{}, err
+	}
+	c.seq++
+	req.Seq = c.seq
 	req.Token = c.token
-	if err := c.writeFrame(transport.Envelope{From: c.id, Msg: req}); err != nil {
-		return Response{}, err
-	}
-	c.conn.SetReadDeadline(time.Now().Add(c.timeout()))
-	e, _, err := transport.ReadFrame(c.conn)
+	c.waiters[req.Seq] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	c.conn.SetWriteDeadline(time.Now().Add(c.timeout()))
+	_, err := transport.WriteFrame(c.conn, transport.Envelope{From: c.id, Msg: req})
+	c.wmu.Unlock()
 	if err != nil {
+		c.mu.Lock()
+		delete(c.waiters, req.Seq)
+		c.mu.Unlock()
 		return Response{}, err
 	}
-	resp, ok := e.Msg.(Response)
-	if !ok {
-		return Response{}, fmt.Errorf("server: unexpected frame %T", e.Msg)
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			return Response{}, err
+		}
+		if resp.Err != "" {
+			return resp, errors.New(resp.Err)
+		}
+		return resp, nil
+	case <-time.After(c.timeout()):
+		c.mu.Lock()
+		delete(c.waiters, req.Seq)
+		c.mu.Unlock()
+		return Response{}, fmt.Errorf("server: request timed out after %s", c.timeout())
 	}
-	if resp.Token.Read != nil || resp.Token.Write != nil {
-		c.token = resp.Token
-	}
-	if resp.Err != "" {
-		return resp, errors.New(resp.Err)
-	}
-	return resp, nil
 }
 
 // Put writes key = value.

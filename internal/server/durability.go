@@ -32,6 +32,11 @@ type durability struct {
 	failures   uint64
 	recovering bool
 
+	// pending holds the durability waits of the appends journaled since
+	// the last takePending. Only the storage actor's goroutine touches
+	// it (persist and takePending both run there), so it needs no lock.
+	pending []<-chan error
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -45,22 +50,56 @@ func openDurability(dir string, policy wal.SyncPolicy, logf func(string, ...any)
 }
 
 // persist journals one protocol record. It is the Persist hook handed
-// to the protocol config: it runs on the node's actor loop before any
-// ack is sent, so under wal.SyncEach an acknowledged write is on disk.
-// During recovery replay it is a no-op (replay must not re-journal).
+// to the protocol config, and it runs on the node's actor loop — but
+// it does NOT wait for the fsync. The record's durability wait lands
+// in pending; the ack barrier (ackBarrier, or handleGossip for
+// client-direct acks) holds the handler's outgoing acks until every
+// pending wait resolves. Durable-before-ack still holds, yet the actor
+// loop keeps processing during the disk wait — which is exactly what
+// lets the WAL committer group many appends under one fsync. During
+// recovery replay persist is a no-op (replay must not re-journal).
 func (d *durability) persist(rec []byte) {
 	if d.recovering {
 		return
 	}
-	if _, err := d.log.Append(rec); err != nil {
-		// The guarantee is void for this record; say so loudly and count
-		// it where metrics can see it.
-		d.mu.Lock()
-		d.failures++
-		d.mu.Unlock()
-		if d.logf != nil {
-			d.logf("wal append failed (write NOT durable): %v", err)
+	_, done, err := d.log.AppendAsync(rec)
+	if err != nil {
+		d.fail(err)
+		return
+	}
+	if done != nil {
+		d.pending = append(d.pending, done)
+	}
+}
+
+// takePending returns and clears the durability waits accumulated by
+// persist since the last take. Must run on the storage actor's
+// goroutine, right after the handler invocation whose acks they gate.
+func (d *durability) takePending() []<-chan error {
+	p := d.pending
+	d.pending = nil
+	return p
+}
+
+// await blocks until every wait resolves. Failures are counted and
+// logged but do not block the ack — matching the synchronous path's
+// semantics: the guarantee is void for those records and the metrics
+// say so loudly.
+func (d *durability) await(waits []<-chan error) {
+	for _, w := range waits {
+		if err := <-w; err != nil {
+			d.fail(err)
 		}
+	}
+}
+
+// fail records one record whose durability guarantee is void.
+func (d *durability) fail(err error) {
+	d.mu.Lock()
+	d.failures++
+	d.mu.Unlock()
+	if d.logf != nil {
+		d.logf("wal append failed (write NOT durable): %v", err)
 	}
 }
 

@@ -92,9 +92,17 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("ec_transport_messages_dropped_total", "Messages dropped (unknown destination, crashed node, full peer queue).", st.MessagesDropped)
 	counter("ec_transport_frames_sent_total", "Frames written to peer links.", st.FramesSent)
 	counter("ec_transport_frames_received_total", "Frames read from peer links.", st.FramesReceived)
+	counter("ec_transport_envelopes_sent_total", "Protocol envelopes written to peer links (several may share a frame).", st.EnvelopesSent)
+	counter("ec_transport_envelopes_received_total", "Protocol envelopes read from peer links.", st.EnvelopesReceived)
 	counter("ec_transport_bytes_sent_total", "Bytes written to peer links.", st.BytesSent)
 	counter("ec_transport_bytes_received_total", "Bytes read from peer links.", st.BytesReceived)
 	counter("ec_transport_reconnects_total", "Peer links re-established after failure.", st.Reconnects)
+	framesSent := st.FramesSent
+	if framesSent == 0 {
+		framesSent = 1
+	}
+	fmt.Fprintf(&b, "# HELP ec_net_batch_size Mean envelopes per sent frame (fan-out batching efficiency).\n# TYPE ec_net_batch_size gauge\nec_net_batch_size %g\n",
+		float64(st.EnvelopesSent)/float64(framesSent))
 
 	s.statMu.Lock()
 	fmt.Fprintf(&b, "# HELP ec_requests_total Client requests served, by operation.\n# TYPE ec_requests_total counter\n")
@@ -125,6 +133,12 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		gauge := func(name, help string, v uint64) {
 			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 		}
+		commits := st.GroupCommits
+		if commits == 0 {
+			commits = 1
+		}
+		fmt.Fprintf(&b, "# HELP ec_wal_group_commit_size Mean appends per committer fsync (group-commit efficiency).\n# TYPE ec_wal_group_commit_size gauge\nec_wal_group_commit_size %g\n",
+			float64(st.GroupedAppends)/float64(commits))
 		gauge("ec_wal_last_seq", "Sequence number of the newest journaled record.", s.dur.log.LastSeq())
 		gauge("ec_wal_checkpoint_seq", "WAL sequence covered by the latest checkpoint snapshot.", s.dur.CheckpointSeq())
 		gauge("ec_wal_disk_bytes", "On-disk footprint of the WAL segments.", uint64(s.dur.log.DiskBytes()))

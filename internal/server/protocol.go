@@ -10,16 +10,32 @@ package server
 import (
 	"repro/internal/session"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
-// The client protocol rides the same length-prefixed gob framing as the
-// peer transport: a connection handshakes with hello{Kind:"client"},
-// then alternates Request/Response frames, strictly serial per
-// connection. Serial-per-connection keeps the client trivial; open more
-// connections for pipelining.
+// The client protocol rides the same length-prefixed binary framing as
+// the peer transport: a connection handshakes with
+// hello{Kind:"client"}, then exchanges Request/Response frames. Each
+// request carries a connection-local sequence number and each response
+// echoes it, so a client may pipeline: keep many requests in flight and
+// match completions by Seq rather than by position. The server executes
+// gossip and quorum requests concurrently per connection (they are
+// independently keyed); session requests stay serial per connection so
+// the session guarantees keep their program order. A serial client —
+// one outstanding request, like the v0 protocol — is just the one-deep
+// special case and needs no changes.
+
+// Wire ids 10–19 belong to this package (see transport.BinaryMessage).
+const (
+	widRequest uint16 = 10 + iota
+	widResponse
+)
 
 // Request is one client operation.
 type Request struct {
+	// Seq is the connection-local sequence number; the matching Response
+	// echoes it. A serial client can leave it zero.
+	Seq uint64
 	// Op is "put", "get", "del", or "status".
 	Op    string
 	Key   string
@@ -34,6 +50,8 @@ type Request struct {
 
 // Response completes one client operation.
 type Response struct {
+	// Seq echoes the request's sequence number.
+	Seq uint64
 	OK  bool
 	Err string
 	// Value/Found answer a get (Values carries quorum siblings when
@@ -50,6 +68,52 @@ type Response struct {
 	Model string
 }
 
+func (Request) WireID() uint16 { return widRequest }
+func (m Request) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, m.Seq)
+	dst = wire.AppendString(dst, m.Op)
+	dst = wire.AppendString(dst, m.Key)
+	dst = wire.AppendBytes(dst, m.Value)
+	dst = wire.AppendVector(dst, m.Token.Read)
+	return wire.AppendVector(dst, m.Token.Write)
+}
+
+func (Response) WireID() uint16 { return widResponse }
+func (m Response) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, m.Seq)
+	dst = wire.AppendBool(dst, m.OK)
+	dst = wire.AppendString(dst, m.Err)
+	dst = wire.AppendBytes(dst, m.Value)
+	dst = wire.AppendBool(dst, m.Found)
+	dst = wire.AppendByteSlices(dst, m.Values)
+	dst = wire.AppendVector(dst, m.Token.Read)
+	dst = wire.AppendVector(dst, m.Token.Write)
+	dst = wire.AppendString(dst, m.Node)
+	return wire.AppendString(dst, m.Model)
+}
+
 func init() {
 	transport.Register(Request{}, Response{})
+	transport.RegisterBinary(widRequest, func(r *wire.Reader) transport.Message {
+		return Request{
+			Seq:   r.Uvarint(),
+			Op:    r.String(),
+			Key:   r.String(),
+			Value: r.Bytes(),
+			Token: session.Token{Read: r.Vector(), Write: r.Vector()},
+		}
+	})
+	transport.RegisterBinary(widResponse, func(r *wire.Reader) transport.Message {
+		return Response{
+			Seq:    r.Uvarint(),
+			OK:     r.Bool(),
+			Err:    r.String(),
+			Value:  r.Bytes(),
+			Found:  r.Bool(),
+			Values: r.ByteSlices(),
+			Token:  session.Token{Read: r.Vector(), Write: r.Vector()},
+			Node:   r.String(),
+			Model:  r.String(),
+		}
+	})
 }

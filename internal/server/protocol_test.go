@@ -1,0 +1,55 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/session"
+	"repro/internal/transport"
+	"repro/internal/wiretest"
+)
+
+// Codec pinning for the client protocol: the binary round trip must be
+// exact and must agree with the gob codec (see internal/wiretest).
+
+func genMsgs(g *wiretest.Gen) []transport.Message {
+	return []transport.Message{
+		Request{
+			Seq:   g.Uint64(),
+			Op:    g.Str(),
+			Key:   g.Str(),
+			Value: g.Bytes(),
+			Token: session.Token{Read: g.Vector(), Write: g.Vector()},
+		},
+		Response{
+			Seq:    g.Uint64(),
+			OK:     g.Bool(),
+			Err:    g.Str(),
+			Value:  g.Bytes(),
+			Found:  g.Bool(),
+			Values: g.ByteSlices(),
+			Token:  session.Token{Read: g.Vector(), Write: g.Vector()},
+			Node:   g.Str(),
+			Model:  g.Str(),
+		},
+	}
+}
+
+func checkAll(t testing.TB, seed int64) {
+	g := wiretest.NewGen(seed)
+	for _, m := range genMsgs(g) {
+		wiretest.Check(t, m)
+	}
+}
+
+func TestCodecGobAgreement(t *testing.T) {
+	for seed := int64(0); seed < 256; seed++ {
+		checkAll(t, seed)
+	}
+}
+
+func FuzzCodecRoundTrip(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) { checkAll(t, seed) })
+}

@@ -69,6 +69,7 @@ type Server struct {
 	gwID      string
 	gossipN   *gossip.Node // gossip model: ops run on the storage actor itself
 	dur       *durability  // nil unless Config.DataDir set
+	ackB      *ackBarrier  // nil unless durable: holds acks until fsync
 	httpLn    net.Listener
 	statMu    sync.Mutex // guards reqCount and reqLat
 	reqCount  *metrics.Counters
@@ -198,6 +199,16 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server %s: recovery from %s: %w", cfg.ID, cfg.DataDir, err)
 		}
 	}
+	// A durable node's acks wait for the WAL, not the WAL for the node:
+	// the barrier defers the storage actor's outgoing messages until
+	// their records' group commit lands, so the loop keeps appending
+	// while the disk works.
+	if s.dur != nil {
+		s.ackB = newAckBarrier(handler, s.dur, func(to string, msg transport.Message) {
+			tcp.Post(cfg.ID, to, msg)
+		})
+		handler = s.ackB
+	}
 	tcp.AddNode(cfg.ID, handler)
 	if cfg.Model == "quorum" {
 		// One shared gateway actor hosts the protocol client; connection
@@ -294,6 +305,12 @@ func (s *Server) Close() {
 			s.httpLn.Close()
 		}
 		s.tcp.Close()
+		if s.ackB != nil {
+			// Actors are stopped, so the release queue only drains: every
+			// parked ack waits out its commit (the WAL is still open) and
+			// posts into the closed transport, which discards it.
+			s.ackB.Close()
+		}
 		if s.dur != nil {
 			// After tcp.Close the actor loops are stopped, so no persist
 			// call can race the log close.
@@ -302,10 +319,21 @@ func (s *Server) Close() {
 	})
 }
 
-// serveClient handles one client connection: serial Request/Response
-// frames until the connection drops. Session-model connections get a
-// private session actor; quorum goes through the shared gateway; gossip
-// operations run on the storage actor itself.
+// maxClientInflight caps concurrently executing requests per client
+// connection. When the cap is reached the read loop stops pulling
+// frames, so an over-eager pipelining client sees TCP backpressure
+// rather than unbounded server memory.
+const maxClientInflight = 128
+
+// serveClient handles one client connection. Requests are pipelined:
+// the client tags each with a sequence number and may send the next
+// before the previous answered. Gossip and quorum requests execute
+// concurrently (each op is independent; the protocol actors serialize
+// what must serialize), so a pipelining client overlaps quorum round
+// trips and lets the WAL group-commit its writes. Session requests run
+// in arrival order — the guarantees are defined over the session's own
+// operation sequence. Responses carry the request's Seq back and are
+// batch-framed when several complete together.
 func (s *Server) serveClient(clientID string, conn net.Conn) {
 	defer conn.Close()
 
@@ -324,22 +352,100 @@ func (s *Server) serveClient(clientID string, conn net.Conn) {
 		defer s.tcp.RemoveNode(sessID)
 	}
 
+	// Responses funnel through respCh to a writer goroutine that
+	// coalesces replies completing together into one batch frame. The
+	// buffer covers every possible in-flight handler, so no handler
+	// blocks on a stalled writer.
+	respCh := make(chan Response, maxClientInflight)
+	writerDone := make(chan struct{})
+	go s.writeResponses(clientID, conn, respCh, writerDone)
+	var wg sync.WaitGroup
+	defer func() {
+		wg.Wait()     // every handler has parked its response
+		close(respCh) // writer flushes and exits
+		<-writerDone
+	}()
+
+	sem := make(chan struct{}, maxClientInflight)
+	var envs []transport.Envelope
 	for {
 		conn.SetReadDeadline(time.Now().Add(5 * time.Minute))
-		e, _, err := transport.ReadFrame(conn)
+		var err error
+		envs, _, err = transport.ReadBatch(conn, envs[:0])
 		if err != nil {
 			return
 		}
-		req, ok := e.Msg.(Request)
-		if !ok {
-			s.logf("server %s: client %s sent %T, want Request", s.cfg.ID, clientID, e.Msg)
-			return
+		for _, e := range envs {
+			req, ok := e.Msg.(Request)
+			if !ok {
+				s.logf("server %s: client %s sent %T, want Request", s.cfg.ID, clientID, e.Msg)
+				return
+			}
+			if sess != nil {
+				resp := s.handle(req, sess, sessID)
+				resp.Seq, resp.Node = req.Seq, s.cfg.ID
+				respCh <- resp
+				continue
+			}
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(req Request) {
+				defer wg.Done()
+				resp := s.handle(req, nil, "")
+				resp.Seq, resp.Node = req.Seq, s.cfg.ID
+				respCh <- resp
+				<-sem
+			}(req)
 		}
-		resp := s.handle(req, sess, sessID)
-		resp.Node = s.cfg.ID
+	}
+}
+
+// writeResponses drains respCh onto the connection, packing every
+// response ready at the same moment into one batch frame. On a write
+// error it closes the connection (which ends the read loop) but keeps
+// draining until the channel closes, so in-flight handlers never block.
+func (s *Server) writeResponses(clientID string, conn net.Conn, respCh chan Response, done chan struct{}) {
+	defer close(done)
+	var buf []byte
+	envs := make([]transport.Envelope, 0, 16)
+	broken := false
+	for resp := range respCh {
+		envs = append(envs[:0], transport.Envelope{From: s.cfg.ID, To: clientID, Msg: resp})
+	drain:
+		for len(envs) < maxClientInflight {
+			select {
+			case r, ok := <-respCh:
+				if !ok {
+					break drain
+				}
+				envs = append(envs, transport.Envelope{From: s.cfg.ID, To: clientID, Msg: r})
+			default:
+				break drain
+			}
+		}
+		if broken {
+			continue
+		}
+		var err error
+		buf, err = transport.AppendBatch(buf[:0], envs)
+		if err != nil {
+			// The batch overflowed the frame limit: send each response in
+			// its own frame so only a genuinely oversized one fails.
+			for _, e := range envs {
+				conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+				if _, werr := transport.WriteFrame(conn, e); werr != nil {
+					s.logf("server %s: client %s write: %v", s.cfg.ID, clientID, werr)
+					broken = true
+					conn.Close()
+					break
+				}
+			}
+			continue
+		}
 		conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
-		if _, err := transport.WriteFrame(conn, transport.Envelope{From: s.cfg.ID, To: clientID, Msg: resp}); err != nil {
-			return
+		if _, err := conn.Write(buf); err != nil {
+			broken = true
+			conn.Close()
 		}
 	}
 }
@@ -387,26 +493,47 @@ func (s *Server) dispatch(req Request, sess *session.Client, sessID string) Resp
 
 // handleGossip runs the operation on the storage actor's own loop:
 // gossip reads and writes are local by design, anti-entropy spreads
-// them.
+// them. The client's ack bypasses the protocol's message path (it
+// travels the done channel, not Env.Send), so the durability wait
+// happens here: the actor hands back the write's WAL waits and this
+// request goroutine — not the actor loop — parks on them before
+// acking. Concurrent client writes thus share committer fsyncs.
 func (s *Server) handleGossip(req Request) Response {
-	done := make(chan Response, 1)
+	type out struct {
+		resp  Response
+		waits []<-chan error
+	}
+	done := make(chan out, 1)
 	ok := s.tcp.Invoke(s.cfg.ID, func(env transport.Env) {
+		var o out
 		switch req.Op {
 		case "put":
 			s.gossipN.Put(env, req.Key, req.Value)
-			done <- Response{OK: true}
+			o.resp = Response{OK: true}
 		case "del":
 			s.gossipN.Delete(env, req.Key)
-			done <- Response{OK: true}
+			o.resp = Response{OK: true}
 		case "get":
 			v, found := s.gossipN.Get(req.Key)
-			done <- Response{OK: true, Value: v, Found: found}
+			o.resp = Response{OK: true, Value: v, Found: found}
 		}
+		if s.dur != nil {
+			o.waits = s.dur.takePending()
+		}
+		done <- o
 	})
 	if !ok {
 		return Response{Err: "node stopped"}
 	}
-	return await(done)
+	select {
+	case o := <-done:
+		if len(o.waits) > 0 {
+			s.dur.await(o.waits)
+		}
+		return o.resp
+	case <-time.After(requestTimeout):
+		return Response{Err: "request timed out"}
+	}
 }
 
 // handleQuorum funnels the operation through the shared gateway actor's

@@ -1,0 +1,227 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// gobCodecMsg has no binary codec, so it rides the codecGob fallback —
+// the coverage that unregistered types still travel.
+type gobCodecMsg struct {
+	A string
+	B []byte
+}
+
+func init() { Register(gobCodecMsg{}) }
+
+// roundTrip frames e, decodes it, and checks the result is identical —
+// and that the gob codec agrees on the same envelope.
+func roundTrip(t testing.TB, e Envelope) {
+	t.Helper()
+	frame, err := AppendFrame(nil, e)
+	if err != nil {
+		t.Fatalf("encode %T: %v", e.Msg, err)
+	}
+	got, n, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatalf("decode %T: %v", e.Msg, err)
+	}
+	if n != len(frame) {
+		t.Fatalf("decode consumed %d of %d bytes", n, len(frame))
+	}
+	if !reflect.DeepEqual(got, e) {
+		t.Fatalf("binary round trip:\n got  %#v\n want %#v", got, e)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&e); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	var viaGob Envelope
+	if err := gob.NewDecoder(&buf).Decode(&viaGob); err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+	if !reflect.DeepEqual(got.Msg, viaGob.Msg) {
+		t.Fatalf("codec disagreement:\n binary %#v\n gob    %#v", got.Msg, viaGob.Msg)
+	}
+}
+
+func genEnvs(seed int64) []Envelope {
+	rng := rand.New(rand.NewSource(seed))
+	str := func() string {
+		b := make([]byte, rng.Intn(12))
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return string(b)
+	}
+	val := func() []byte {
+		if rng.Intn(4) == 0 {
+			return nil
+		}
+		b := make([]byte, 1+rng.Intn(24))
+		rng.Read(b)
+		return b
+	}
+	return []Envelope{
+		{From: str(), To: str(), Msg: hello{Kind: str(), ID: str()}},
+		{From: str(), To: str(), Msg: heartbeat{T: rng.Int63() - rng.Int63(), Echo: rng.Intn(2) == 1}},
+		{From: str(), To: str(), Msg: gobCodecMsg{A: str(), B: val()}},
+	}
+}
+
+func TestCodecGobAgreement(t *testing.T) {
+	for seed := int64(0); seed < 256; seed++ {
+		for _, e := range genEnvs(seed) {
+			roundTrip(t, e)
+		}
+	}
+}
+
+func FuzzCodecRoundTrip(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		for _, e := range genEnvs(seed) {
+			roundTrip(t, e)
+		}
+	})
+}
+
+// TestBatchRoundTrip pins the batch frame format: several envelopes —
+// binary and gob bodies mixed — behind one length prefix, recovered in
+// order by ReadBatch.
+func TestBatchRoundTrip(t *testing.T) {
+	envs := genEnvs(7)
+	envs = append(envs, genEnvs(8)...)
+	frame, err := AppendBatch(nil, envs)
+	if err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if frame[4] != codecBatch {
+		t.Fatalf("multi-envelope frame has codec %d, want batch", frame[4])
+	}
+	got, n, err := ReadBatch(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatalf("ReadBatch: %v", err)
+	}
+	if n != len(frame) {
+		t.Fatalf("ReadBatch consumed %d of %d bytes", n, len(frame))
+	}
+	if !reflect.DeepEqual(got, envs) {
+		t.Fatalf("batch round trip:\n got  %#v\n want %#v", got, envs)
+	}
+
+	// A single envelope must not pay the batch header…
+	single, err := AppendBatch(nil, envs[:1])
+	if err != nil {
+		t.Fatalf("AppendBatch(1): %v", err)
+	}
+	if single[4] == codecBatch {
+		t.Fatal("single-envelope batch framed as batch")
+	}
+	// …and ReadBatch must accept the plain frame it produced.
+	got, _, err = ReadBatch(bytes.NewReader(single), nil)
+	if err != nil || len(got) != 1 || !reflect.DeepEqual(got[0], envs[0]) {
+		t.Fatalf("ReadBatch(plain frame) = %#v, %v", got, err)
+	}
+}
+
+// frameFor builds a raw frame around body (length prefix included).
+func frameFor(body []byte) []byte {
+	f := make([]byte, 4, 4+len(body))
+	binary.BigEndian.PutUint32(f, uint32(len(body)))
+	return append(f, body...)
+}
+
+// binaryBody builds a codecBinary body by hand.
+func binaryBody(from, to string, id uint64, payload []byte) []byte {
+	b := []byte{codecBinary}
+	b = wire.AppendString(b, from)
+	b = wire.AppendString(b, to)
+	b = binary.AppendUvarint(b, id)
+	return append(b, payload...)
+}
+
+// TestMalformedFrames throws every corruption class at the frame reader
+// and requires a clean error — never a panic, never a huge allocation.
+func TestMalformedFrames(t *testing.T) {
+	helloPayload := wire.AppendString(wire.AppendString(nil, "peer"), "n1")
+	oversized := make([]byte, 4)
+	binary.BigEndian.PutUint32(oversized, MaxFrameSize+1)
+
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"truncated header", []byte{0, 0}},
+		{"oversized length prefix", oversized},
+		{"mid-message EOF", frameFor(make([]byte, 100))[:20]},
+		{"empty body", frameFor(nil)},
+		{"unknown codec version", frameFor([]byte{0x7f, 1, 2, 3})},
+		{"binary body truncated header", frameFor([]byte{codecBinary, 0x05, 'a'})},
+		{"unknown wire id", frameFor(binaryBody("a", "b", 9999, nil))},
+		{"wire id out of range", frameFor(binaryBody("a", "b", 1 << 20, nil))},
+		{"payload truncated", frameFor(binaryBody("a", "b", 1, helloPayload[:1]))},
+		{"trailing bytes", frameFor(append(binaryBody("a", "b", 1, helloPayload), 0xff))},
+		{"length overrun in payload", frameFor(binaryBody("a", "b", 1, []byte{0xff, 0xff, 0x03}))},
+		{"gob body garbage", frameFor([]byte{codecGob, 0xde, 0xad, 0xbe, 0xef})},
+		{"bare batch byte", frameFor([]byte{codecBatch})},
+		{"batch count overruns frame", frameFor([]byte{codecBatch, 0xc8})},
+		{"batch member truncated", frameFor([]byte{codecBatch, 1, 10, 1, 2, 3})},
+		{"batch trailing bytes", func() []byte {
+			b, _ := appendBody(nil, Envelope{From: "a", To: "b", Msg: heartbeat{T: 1}})
+			raw := []byte{codecBatch, 1}
+			raw = binary.AppendUvarint(raw, uint64(len(b)))
+			raw = append(raw, b...)
+			return frameFor(append(raw, 0xee))
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := ReadFrame(bytes.NewReader(tc.raw)); err == nil {
+				t.Error("ReadFrame accepted malformed input")
+			}
+			if _, _, err := ReadBatch(bytes.NewReader(tc.raw), nil); err == nil {
+				t.Error("ReadBatch accepted malformed input")
+			}
+		})
+	}
+
+	// A batch frame is well-formed for ReadBatch but must be rejected by
+	// ReadFrame (handshake reader).
+	batch, err := AppendBatch(nil, genEnvs(1)[:2])
+	if err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if _, _, err := ReadFrame(bytes.NewReader(batch)); err == nil {
+		t.Error("ReadFrame accepted a batch frame")
+	}
+}
+
+// FuzzDecodeFrame drives raw attacker-controlled bytes through both
+// frame readers: any outcome but a panic or an over-read is fine.
+func FuzzDecodeFrame(f *testing.F) {
+	for seed := int64(0); seed < 4; seed++ {
+		for _, e := range genEnvs(seed) {
+			frame, err := AppendFrame(nil, e)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(frame)
+		}
+	}
+	if batch, err := AppendBatch(nil, genEnvs(5)); err == nil {
+		f.Add(batch)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		DecodeFrame(raw)
+		ReadBatch(bytes.NewReader(raw), nil)
+	})
+}

@@ -7,21 +7,26 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"repro/internal/wire"
 )
 
 // Wire format: every frame is
 //
-//	| length: uint32 big-endian | payload: gob(Envelope) |
+//	| length: uint32 big-endian | body |
+//	body := | codec version: byte | version-specific payload |
 //
-// The length prefix (rather than gob's own stream framing) keeps frame
-// boundaries explicit — a reader can size-check, skip, or hand off a
-// frame without decoding it, and a partially written frame never
-// desynchronizes the stream past the next boundary. Each payload is a
-// self-contained gob encoding (a fresh encoder per frame): slightly
-// larger on the wire than a stateful stream, but stateless frames
-// survive reconnects, can be hedged or re-sent verbatim, and decode
-// independently of arrival order. The framing micro-benchmark in
-// internal/benchsuite tracks the cost.
+// The length prefix (rather than any codec's own stream framing) keeps
+// frame boundaries explicit — a reader can size-check, skip, or hand
+// off a frame without decoding it, and a partially written frame never
+// desynchronizes the stream past the next boundary. The version byte
+// dispatches the body decoder (see codec.go): hand-rolled binary for
+// the registered wire types, gob for everything else, and batch frames
+// that pack a whole flush tick of envelopes behind one prefix. Each
+// body is self-contained — stateless frames survive reconnects, can be
+// hedged or re-sent verbatim, and decode independently of arrival
+// order. The framing micro-benchmarks in internal/benchsuite track the
+// cost.
 
 // MaxFrameSize bounds a single frame (16 MiB). A peer announcing a
 // larger frame is protocol-corrupt and the connection is dropped —
@@ -36,36 +41,88 @@ type Envelope struct {
 	Msg      Message
 }
 
-// Register makes concrete message types encodable inside an Envelope
-// (gob needs the concrete type of an interface value registered on both
-// sides). Protocol packages register their wire messages from an init
-// so hosting them on TCP needs no extra wiring.
+// Register makes concrete message types encodable inside a gob-codec
+// envelope (gob needs the concrete type of an interface value
+// registered on both sides). Protocol packages register their wire
+// messages from an init so hosting them on TCP needs no extra wiring;
+// types that also implement BinaryMessage use the binary codec instead
+// and keep the gob registration only for the codec equivalence tests.
 func Register(msgs ...Message) {
 	for _, m := range msgs {
 		gob.Register(m)
 	}
 }
 
-// encBuf pools encode scratch buffers: steady-state framing allocates
-// only what gob itself needs.
+// encBuf pools gob encode scratch buffers.
 var encBuf = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
-// AppendFrame encodes e as one frame appended to dst and returns the
-// extended slice.
-func AppendFrame(dst []byte, e Envelope) ([]byte, error) {
+// appendGobBody appends the gob fallback body (minus the version byte,
+// which the caller has written).
+func appendGobBody(dst []byte, e Envelope) ([]byte, error) {
+	dst = append(dst, codecGob)
 	buf := encBuf.Get().(*bytes.Buffer)
 	defer encBuf.Put(buf)
 	buf.Reset()
 	if err := gob.NewEncoder(buf).Encode(&e); err != nil {
 		return dst, fmt.Errorf("transport: encode %T: %w", e.Msg, err)
 	}
-	if buf.Len() > MaxFrameSize {
-		return dst, fmt.Errorf("transport: frame %T exceeds %d bytes", e.Msg, MaxFrameSize)
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
-	dst = append(dst, hdr[:]...)
 	return append(dst, buf.Bytes()...), nil
+}
+
+func decodeGobBody(b []byte) (Envelope, error) {
+	var e Envelope
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&e); err != nil {
+		return Envelope{}, fmt.Errorf("transport: decode gob frame: %w", err)
+	}
+	return e, nil
+}
+
+// finishFrame fills in the length prefix reserved at mark.
+func finishFrame(dst []byte, mark int) ([]byte, error) {
+	n := len(dst) - mark - 4
+	if n > MaxFrameSize {
+		return dst[:mark], fmt.Errorf("transport: frame of %d bytes exceeds %d", n, MaxFrameSize)
+	}
+	binary.BigEndian.PutUint32(dst[mark:mark+4], uint32(n))
+	return dst, nil
+}
+
+// AppendFrame encodes e as one frame appended to dst and returns the
+// extended slice.
+func AppendFrame(dst []byte, e Envelope) ([]byte, error) {
+	mark := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	body, err := appendBody(dst, e)
+	if err != nil {
+		return dst[:mark], err
+	}
+	return finishFrame(body, mark)
+}
+
+// AppendBatch encodes envelopes as a single batch frame appended to
+// dst: one length prefix, one version byte, then each envelope's body
+// behind its own uvarint length. This is the coordinator fan-out
+// optimization — every op queued for a peer at flush time travels in
+// one frame and one write. A single envelope is framed plain, so
+// batching is free when there is nothing to batch.
+func AppendBatch(dst []byte, envs []Envelope) ([]byte, error) {
+	if len(envs) == 1 {
+		return AppendFrame(dst, envs[0])
+	}
+	mark := len(dst)
+	dst = append(dst, 0, 0, 0, 0, codecBatch)
+	dst = wire.AppendUvarint(dst, uint64(len(envs)))
+	var scratch []byte
+	for _, e := range envs {
+		body, err := appendBody(scratch[:0], e)
+		if err != nil {
+			return dst[:mark], err
+		}
+		scratch = body
+		dst = wire.AppendUvarint(dst, uint64(len(body)))
+		dst = append(dst, body...)
+	}
+	return finishFrame(dst, mark)
 }
 
 // WriteFrame encodes e and writes one frame to w.
@@ -77,25 +134,91 @@ func WriteFrame(w io.Writer, e Envelope) (int, error) {
 	return w.Write(b)
 }
 
-// ReadFrame reads one frame from r and decodes its envelope.
-func ReadFrame(r io.Reader) (Envelope, int, error) {
+// readFrameBody reads one length-prefixed frame body from r into a
+// fresh buffer (decoded messages may alias it).
+func readFrameBody(r io.Reader) ([]byte, int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return Envelope{}, 0, err
+		return nil, 0, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrameSize {
-		return Envelope{}, 0, fmt.Errorf("transport: frame length %d exceeds %d", n, MaxFrameSize)
+		return nil, 0, fmt.Errorf("transport: frame length %d exceeds %d", n, MaxFrameSize)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, 0, err
+	}
+	return body, int(n) + 4, nil
+}
+
+// ReadFrame reads one single-envelope frame from r and decodes it. A
+// batch frame is an error here — handshakes and other strictly
+// one-at-a-time exchanges use ReadFrame; stream readers that must
+// accept batches use ReadBatch.
+func ReadFrame(r io.Reader) (Envelope, int, error) {
+	body, n, err := readFrameBody(r)
+	if err != nil {
 		return Envelope{}, 0, err
 	}
-	var e Envelope
-	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
-		return Envelope{}, 0, fmt.Errorf("transport: decode frame: %w", err)
+	e, err := decodeBody(body)
+	if err != nil {
+		return Envelope{}, 0, err
 	}
-	return e, int(n) + 4, nil
+	return e, n, nil
+}
+
+// ReadBatch reads one frame and returns every envelope it carries: a
+// one-element slice for a plain frame, all members for a batch frame.
+// envs is appended to (pass a reused slice to avoid the allocation).
+func ReadBatch(r io.Reader, envs []Envelope) ([]Envelope, int, error) {
+	body, n, err := readFrameBody(r)
+	if err != nil {
+		return envs, 0, err
+	}
+	envs, err = decodeBodies(body, envs)
+	if err != nil {
+		return envs, 0, err
+	}
+	return envs, n, nil
+}
+
+// decodeBodies decodes a frame body into its envelopes, appending to
+// envs.
+func decodeBodies(body []byte, envs []Envelope) ([]Envelope, error) {
+	if len(body) == 0 {
+		return envs, fmt.Errorf("transport: empty frame body")
+	}
+	if body[0] != codecBatch {
+		e, err := decodeBody(body)
+		if err != nil {
+			return envs, err
+		}
+		return append(envs, e), nil
+	}
+	rd := wire.NewReader(body[1:])
+	count := rd.Uvarint()
+	if rd.Err() != nil || count > uint64(rd.Len()) {
+		return envs, fmt.Errorf("transport: malformed batch header")
+	}
+	for i := uint64(0); i < count; i++ {
+		sub := rd.Raw()
+		if rd.Err() != nil {
+			return envs, fmt.Errorf("transport: truncated batch member %d/%d", i, count)
+		}
+		e, err := decodeBody(sub)
+		if err != nil {
+			return envs, err
+		}
+		envs = append(envs, e)
+	}
+	if err := rd.Close(); err != nil {
+		return envs, fmt.Errorf("transport: trailing bytes after batch")
+	}
+	return envs, nil
 }
 
 // DecodeFrame decodes one frame from b (length prefix included),
@@ -113,12 +236,26 @@ type hello struct {
 	ID   string
 }
 
+func (hello) WireID() uint16 { return 1 }
+
+func (m hello) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendString(dst, m.Kind)
+	return wire.AppendString(dst, m.ID)
+}
+
 // heartbeat is the transport-level liveness ping. T is the sender's
 // clock (Runtime.Now) at send time; the echo carries it back unchanged
 // so the pinger measures a true round trip on its own clock.
 type heartbeat struct {
 	T    int64 // sender clock, nanoseconds
 	Echo bool
+}
+
+func (heartbeat) WireID() uint16 { return 2 }
+
+func (m heartbeat) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendVarint(dst, m.T)
+	return wire.AppendBool(dst, m.Echo)
 }
 
 // ClientHello returns the handshake message a client-protocol
@@ -128,4 +265,10 @@ func ClientHello(id string) Message { return hello{Kind: "client", ID: id} }
 
 func init() {
 	Register(hello{}, heartbeat{})
+	RegisterBinary(1, func(r *wire.Reader) Message {
+		return hello{Kind: r.String(), ID: r.String()}
+	})
+	RegisterBinary(2, func(r *wire.Reader) Message {
+		return heartbeat{T: r.Varint(), Echo: r.Bool()}
+	})
 }

@@ -179,12 +179,16 @@ type Stats struct {
 	MessagesDropped   uint64 // unknown destination, crashed node, severed link, or full peer queue
 	TimersFired       uint64
 
-	// Wire accounting (TCP only).
-	FramesSent     uint64
-	FramesReceived uint64
-	BytesSent      uint64
-	BytesReceived  uint64
-	Reconnects     uint64
+	// Wire accounting (TCP only). Envelopes count protocol messages;
+	// frames count wire writes — EnvelopesSent/FramesSent is the mean
+	// fan-out batch size (exported as ec_net_batch_size).
+	FramesSent        uint64
+	FramesReceived    uint64
+	EnvelopesSent     uint64
+	EnvelopesReceived uint64
+	BytesSent         uint64
+	BytesReceived     uint64
+	Reconnects        uint64
 }
 
 // Runtime hosts protocol nodes off-sim: each AddNode spawns an actor
@@ -271,6 +275,14 @@ func (r *Runtime) Invoke(id string, fn func(Env)) bool {
 		return false
 	}
 	return p.box.put(procEvent{kind: pevCall, fn: fn})
+}
+
+// Post sends a message on behalf of node from, outside any handler
+// invocation, with the same routing as Env.Send. It is how deferred
+// senders (the server's durability ack barrier) release messages a
+// handler produced once their preconditions — a WAL fsync — hold.
+func (r *Runtime) Post(from, to string, msg Message) {
+	r.send(from, to, msg)
 }
 
 // send routes a message: local node → mailbox, else the forward hook.

@@ -37,6 +37,10 @@ type SyncPolicy int
 const (
 	// SyncEach fsyncs before Append returns: an acknowledged record is
 	// on disk. The policy the zero-lost-writes guarantee needs.
+	// Concurrent appenders group-commit: their records are written under
+	// the log mutex, then a single committer fsync covers every record
+	// written since the previous fsync and wakes all of their Append
+	// calls at once — N concurrent acked writes cost one fsync, not N.
 	SyncEach SyncPolicy = iota
 	// SyncBatch fsyncs at most every Options.BatchInterval from a
 	// background flusher — group commit: a crash loses at most one
@@ -122,6 +126,12 @@ type segment struct {
 type Stats struct {
 	Appends uint64
 	Syncs   uint64
+	// GroupCommits counts committer fsyncs that acknowledged waiting
+	// Append calls (SyncEach only); GroupedAppends counts the appends
+	// they covered. GroupedAppends/GroupCommits is the mean group size
+	// (exported as ec_wal_group_commit_size).
+	GroupCommits   uint64
+	GroupedAppends uint64
 }
 
 // Log is a segmented append-only record log. Append/Sync/TruncateThrough
@@ -137,12 +147,24 @@ type Log struct {
 	size   int64     // bytes in the active segment
 	seq    uint64    // last appended (or recovered) sequence number
 	sealed []segment // sealed segments, ascending by base
-	dirty  bool      // unsynced bytes pending (SyncBatch)
+	dirty  bool      // unsynced bytes pending
 	closed bool
 	stats  Stats
+	// rotations counts segment rotations; the committer uses it to
+	// recognize that the file handle it synced outside the lock was
+	// sealed (durably, by rotateLocked) while the fsync was in flight.
+	rotations uint64
+
+	// waiters are Append calls blocked on the next committer fsync
+	// (SyncEach group commit). Each receives exactly one error.
+	waiters []chan error
 
 	stopFlush chan struct{}
 	doneFlush chan struct{}
+
+	commitKick chan struct{} // buffered(1): wakes the committer
+	stopCommit chan struct{}
+	doneCommit chan struct{}
 }
 
 // Open opens (creating if needed) the log in dir, scans every segment
@@ -207,10 +229,16 @@ func Open(dir string, opt Options) (*Log, error) {
 		}
 	}
 
-	if opt.Policy == SyncBatch {
+	switch opt.Policy {
+	case SyncBatch:
 		l.stopFlush = make(chan struct{})
 		l.doneFlush = make(chan struct{})
 		go l.flushLoop()
+	case SyncEach:
+		l.commitKick = make(chan struct{}, 1)
+		l.stopCommit = make(chan struct{})
+		l.doneCommit = make(chan struct{})
+		go l.commitLoop()
 	}
 	return l, nil
 }
@@ -290,43 +318,136 @@ func (l *Log) openSegmentLocked(base uint64) error {
 }
 
 // Append journals one record and returns its sequence number. Under
-// SyncEach the record is on stable storage when Append returns.
+// SyncEach the record is on stable storage when Append returns — but
+// the fsync that makes it so is shared: the record is written under the
+// log mutex, Append joins the waiter list, and the committer's next
+// fsync (which covers every record written while the previous fsync
+// was in flight) wakes the whole group. Concurrency is what creates
+// batching — a lone appender still pays one fsync per record.
 func (l *Log) Append(rec []byte) (uint64, error) {
+	seq, done, err := l.AppendAsync(rec)
+	if err != nil {
+		return 0, err
+	}
+	if done != nil {
+		if err := <-done; err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// AppendAsync journals rec and returns without waiting for durability.
+// done is nil when the record is already as durable as the policy
+// promises (non-SyncEach policies; or the append triggered a rotation,
+// whose sealing fsync covered it). Otherwise exactly one error arrives
+// on done when a committer fsync covers the record; nil means durable.
+// A single-threaded caller that appends again before reading done is
+// what forms commit groups: the records pile up behind one in-flight
+// fsync and the next commit covers them all.
+func (l *Log) AppendAsync(rec []byte) (seq uint64, done <-chan error, err error) {
 	if len(rec) == 0 || len(rec) > MaxRecord {
-		return 0, fmt.Errorf("wal: record size %d out of range (0, %d]", len(rec), MaxRecord)
+		return 0, nil, fmt.Errorf("wal: record size %d out of range (0, %d]", len(rec), MaxRecord)
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
-		return 0, fmt.Errorf("wal: log closed")
+		l.mu.Unlock()
+		return 0, nil, fmt.Errorf("wal: log closed")
 	}
 	var h [recHeader]byte
 	binary.LittleEndian.PutUint32(h[0:4], uint32(len(rec)))
 	binary.LittleEndian.PutUint32(h[4:8], crc32.Checksum(rec, castagnoli))
 	if _, err := l.f.Write(h[:]); err != nil {
-		return 0, fmt.Errorf("wal: %w", err)
+		l.mu.Unlock()
+		return 0, nil, fmt.Errorf("wal: %w", err)
 	}
 	if _, err := l.f.Write(rec); err != nil {
-		return 0, fmt.Errorf("wal: %w", err)
+		l.mu.Unlock()
+		return 0, nil, fmt.Errorf("wal: %w", err)
 	}
 	l.seq++
 	l.size += recHeader + int64(len(rec))
 	l.stats.Appends++
-	switch l.opt.Policy {
-	case SyncEach:
-		if err := l.f.Sync(); err != nil {
-			return 0, fmt.Errorf("wal: fsync: %w", err)
-		}
-		l.stats.Syncs++
-	default:
-		l.dirty = true
-	}
+	l.dirty = true
+	seq = l.seq
 	if l.size >= l.opt.SegmentSize {
-		if err := l.rotateLocked(); err != nil {
-			return 0, err
+		// Sealing fsyncs the segment, so the record is already durable
+		// under every policy; no need to join a commit group.
+		err := l.rotateLocked()
+		l.mu.Unlock()
+		if err != nil {
+			return 0, nil, err
+		}
+		return seq, nil, nil
+	}
+	if l.opt.Policy != SyncEach {
+		l.mu.Unlock()
+		return seq, nil, nil
+	}
+	ch := make(chan error, 1)
+	l.waiters = append(l.waiters, ch)
+	l.mu.Unlock()
+	select {
+	case l.commitKick <- struct{}{}:
+	default: // a kick is already pending; the committer will see us
+	}
+	return seq, ch, nil
+}
+
+// commitLoop is the SyncEach group committer: on each kick it takes the
+// current waiter list, issues one fsync covering all of their records,
+// and completes every Append in the group. Appenders that arrive while
+// the fsync is in flight queue behind the mutex and form the next
+// group.
+func (l *Log) commitLoop() {
+	defer close(l.doneCommit)
+	for {
+		select {
+		case <-l.stopCommit:
+			l.commitOnce()
+			return
+		case <-l.commitKick:
+			l.commitOnce()
 		}
 	}
-	return l.seq, nil
+}
+
+// commitOnce syncs on behalf of the currently queued waiters (if any)
+// and wakes them. The fsync runs outside the log mutex — that is what
+// makes groups: while the disk is busy, appenders keep acquiring the
+// mutex, writing records, and queueing as the next group, so the group
+// size tracks the arrival rate during one fsync instead of the few
+// appends that squeeze between two mutex holds.
+func (l *Log) commitOnce() {
+	l.mu.Lock()
+	ws := l.waiters
+	l.waiters = nil
+	f := l.f
+	rot := l.rotations
+	l.mu.Unlock()
+	if len(ws) == 0 {
+		return
+	}
+	err := f.Sync()
+	if err != nil {
+		err = fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.mu.Lock()
+	if err != nil && rot != l.rotations {
+		// The segment sealed mid-commit: rotateLocked fsynced it before
+		// closing the handle we were holding, so the group's records are
+		// durable and the stale-handle error is moot.
+		err = nil
+	}
+	if err == nil {
+		l.stats.Syncs++
+		l.stats.GroupCommits++
+		l.stats.GroupedAppends += uint64(len(ws))
+	}
+	l.mu.Unlock()
+	for _, ch := range ws {
+		ch <- err
+	}
 }
 
 // rotateLocked seals the active segment and opens the next one.
@@ -347,6 +468,7 @@ func (l *Log) rotateLocked() error {
 		size: l.size,
 		last: l.seq,
 	})
+	l.rotations++
 	return l.openSegmentLocked(l.seq + 1)
 }
 
@@ -357,8 +479,12 @@ func (l *Log) Sync() error {
 	return l.syncLocked()
 }
 
+// syncLocked fsyncs pending bytes. It deliberately does not check
+// closed: Close sets closed before stopping the flusher and committer,
+// and both must still be able to issue the final fsync — the file
+// handle stays open until they have drained.
 func (l *Log) syncLocked() error {
-	if l.closed || !l.dirty {
+	if !l.dirty {
 		return nil
 	}
 	if err := l.f.Sync(); err != nil {
@@ -474,21 +600,34 @@ func (l *Log) Stats() Stats {
 	return l.stats
 }
 
-// Close syncs and closes the log. Idempotent.
+// Close syncs and closes the log. Idempotent. Ordering matters: closed
+// is set first (no new appends), then the flusher and committer drain —
+// the committer's final pass syncs and wakes any in-flight group — and
+// only then is the final sync issued and the file handle closed.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		return nil
 	}
-	err := l.syncLocked()
 	l.closed = true
-	cerr := l.f.Close()
-	stop, done := l.stopFlush, l.doneFlush
 	l.mu.Unlock()
-	if stop != nil {
-		close(stop)
-		<-done
+	if l.stopFlush != nil {
+		close(l.stopFlush)
+		<-l.doneFlush
+	}
+	if l.stopCommit != nil {
+		close(l.stopCommit)
+		<-l.doneCommit
+	}
+	l.mu.Lock()
+	err := l.syncLocked()
+	cerr := l.f.Close()
+	ws := l.waiters // the committer drained; belt and suspenders
+	l.waiters = nil
+	l.mu.Unlock()
+	for _, ch := range ws {
+		ch <- err
 	}
 	if err != nil {
 		return err

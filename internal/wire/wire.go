@@ -1,0 +1,352 @@
+// Package wire holds the append/read primitives the hand-rolled binary
+// wire codec is built from. Every protocol package encodes its message
+// types with these helpers instead of reflection-driven gob: an
+// encoder is a chain of Append* calls growing one []byte, a decoder is
+// a Reader consuming the same bytes with sticky-error reads, so the
+// per-message hot path is straight-line code with no allocation beyond
+// the output buffer (and, on decode, the strings Go forces us to copy).
+//
+// Layout conventions, shared by every codec in the repository:
+//
+//   - Integers are unsigned varints (zig-zag for signed), except dense
+//     counter slices which are fixed 8-byte little-endian so they can
+//     be encoded and decoded with a single bounds check each — the
+//     clocks are flat []uint64 precisely to make this cheap.
+//   - Collections (byte slices, string maps, entry lists) carry a
+//     uvarint length header of n+1, with 0 meaning nil. Nil-ness
+//     survives a round trip, which the codec equivalence tests against
+//     gob rely on.
+//   - Decoded byte slices alias the Reader's buffer — zero-copy. The
+//     transport hands each inbound frame its own buffer and messages
+//     are immutable once sent, so aliasing is safe; a decoder that
+//     needs to retain bytes past the frame's lifetime must copy.
+//
+// Reader is sticky-error: after the first malformed field every read
+// returns a zero value and Err() reports the failure, so decoders are
+// written without per-field error checks and cannot panic or
+// over-allocate on hostile input (lengths are validated against the
+// bytes actually remaining before any allocation).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/bits"
+
+	"repro/internal/clock"
+)
+
+// ErrMalformed is the sticky Reader error: a field's bytes were absent,
+// truncated, or inconsistent with the declared length.
+var ErrMalformed = errors.New("wire: malformed message")
+
+// ── Append side ───────────────────────────────────────────────────────
+
+// AppendUvarint appends v as an unsigned varint.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendVarint appends v zig-zag encoded.
+func AppendVarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+// AppendBool appends one byte, 1 for true.
+func AppendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendBytes appends a nil-aware length header (0 = nil, else len+1)
+// and the raw bytes.
+func AppendBytes(dst, b []byte) []byte {
+	if b == nil {
+		return append(dst, 0)
+	}
+	dst = AppendUvarint(dst, uint64(len(b))+1)
+	return append(dst, b...)
+}
+
+// AppendString appends a uvarint length and the string bytes. Strings
+// have no nil state, so the length is not shifted.
+func AppendString(dst []byte, s string) []byte {
+	dst = AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendByteSlices appends a nil-aware list of byte slices.
+func AppendByteSlices(dst []byte, bs [][]byte) []byte {
+	if bs == nil {
+		return append(dst, 0)
+	}
+	dst = AppendUvarint(dst, uint64(len(bs))+1)
+	for _, b := range bs {
+		dst = AppendBytes(dst, b)
+	}
+	return dst
+}
+
+// AppendUint64s appends a nil-aware dense counter slice: length header
+// then fixed 8-byte little-endian words (the flat clock representation
+// encodes and decodes with one bounds check each way).
+func AppendUint64s(dst []byte, vs []uint64) []byte {
+	if vs == nil {
+		return append(dst, 0)
+	}
+	dst = AppendUvarint(dst, uint64(len(vs))+1)
+	for _, v := range vs {
+		dst = binary.LittleEndian.AppendUint64(dst, v)
+	}
+	return dst
+}
+
+// AppendInts appends a nil-aware []int as varints.
+func AppendInts(dst []byte, vs []int) []byte {
+	if vs == nil {
+		return append(dst, 0)
+	}
+	dst = AppendUvarint(dst, uint64(len(vs))+1)
+	for _, v := range vs {
+		dst = AppendVarint(dst, int64(v))
+	}
+	return dst
+}
+
+// AppendVector appends a nil-aware clock.Vector as (id, counter) pairs.
+// Map iteration order does not matter to any consumer (vectors are
+// merged or compared entrywise), so no sort is paid on the hot path.
+func AppendVector(dst []byte, v clock.Vector) []byte {
+	if v == nil {
+		return append(dst, 0)
+	}
+	dst = AppendUvarint(dst, uint64(len(v))+1)
+	for id, c := range v {
+		dst = AppendString(dst, id)
+		dst = AppendUvarint(dst, c)
+	}
+	return dst
+}
+
+// AppendDVV appends a dotted version vector: dot node, dot counter,
+// causal context.
+func AppendDVV(dst []byte, d clock.DVV) []byte {
+	dst = AppendString(dst, d.Dot.Node)
+	dst = AppendUvarint(dst, d.Dot.Counter)
+	return AppendVector(dst, d.Context)
+}
+
+// ── Read side ─────────────────────────────────────────────────────────
+
+// Reader consumes a message payload with sticky-error reads.
+type Reader struct {
+	b   []byte
+	err error
+}
+
+// NewReader returns a Reader over b. The Reader aliases b; returned
+// byte slices alias it too.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decode failure (nil while healthy).
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the unconsumed byte count.
+func (r *Reader) Len() int { return len(r.b) }
+
+// Close verifies the payload was fully consumed. Trailing garbage is a
+// framing bug or an attack, not slack to ignore.
+func (r *Reader) Close() error {
+	if r.err == nil && len(r.b) != 0 {
+		r.err = ErrMalformed
+	}
+	return r.err
+}
+
+func (r *Reader) fail() { r.err = ErrMalformed }
+
+// Poison marks the reader malformed. Decoders call it when a declared
+// element count exceeds the bytes that could possibly hold it, instead
+// of allocating on the attacker-controlled length.
+func (r *Reader) Poison() { r.fail() }
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+// Varint reads a zig-zag varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+// Bool reads one byte as a bool.
+func (r *Reader) Bool() bool {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail()
+		return false
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v != 0
+}
+
+// take consumes exactly n bytes, failing (without allocating) when
+// fewer remain.
+func (r *Reader) take(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)) {
+		r.fail()
+		return nil
+	}
+	b := r.b[:n:n]
+	r.b = r.b[n:]
+	return b
+}
+
+// Bytes reads a nil-aware byte slice. The result aliases the buffer.
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	return r.take(n - 1)
+}
+
+// Raw reads a plain uvarint-length-prefixed byte slice (no nil state;
+// zero length is an empty slice). The result aliases the buffer.
+func (r *Reader) Raw() []byte {
+	return r.take(r.Uvarint())
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	return string(r.take(r.Uvarint()))
+}
+
+// ByteSlices reads a nil-aware list of byte slices.
+func (r *Reader) ByteSlices() [][]byte {
+	n := r.Uvarint()
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	n--
+	// Each element costs at least one header byte; a declared count
+	// beyond the remaining bytes is corrupt, not a huge allocation.
+	if n > uint64(len(r.b)) {
+		r.fail()
+		return nil
+	}
+	out := make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.Bytes())
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Uint64s reads a nil-aware dense counter slice.
+func (r *Reader) Uint64s() []uint64 {
+	n := r.Uvarint()
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	n--
+	raw := r.take(n * 8)
+	if raw == nil && n > 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(raw[i*8:])
+	}
+	return out
+}
+
+// Ints reads a nil-aware []int.
+func (r *Reader) Ints() []int {
+	n := r.Uvarint()
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	n--
+	if n > uint64(len(r.b)) {
+		r.fail()
+		return nil
+	}
+	out := make([]int, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v := r.Varint()
+		if int64(int(v)) != v {
+			r.fail()
+			return nil
+		}
+		out = append(out, int(v))
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Vector reads a nil-aware clock.Vector.
+func (r *Reader) Vector() clock.Vector {
+	n := r.Uvarint()
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	n--
+	if n > uint64(len(r.b)) {
+		r.fail()
+		return nil
+	}
+	v := make(clock.Vector, n)
+	for i := uint64(0); i < n; i++ {
+		id := r.String()
+		c := r.Uvarint()
+		if r.err != nil {
+			return nil
+		}
+		v[id] = c
+	}
+	return v
+}
+
+// DVV reads a dotted version vector.
+func (r *Reader) DVV() clock.DVV {
+	var d clock.DVV
+	d.Dot.Node = r.String()
+	d.Dot.Counter = r.Uvarint()
+	d.Context = r.Vector()
+	return d
+}
+
+// UvarintLen returns the encoded size of v, for callers presizing
+// buffers.
+func UvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}

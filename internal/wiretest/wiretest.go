@@ -1,0 +1,174 @@
+// Package wiretest is the shared harness behind every protocol
+// package's codec tests: a deterministic message generator and a
+// checker asserting the two codec properties the wire format promises —
+// decode(encode(x)) == x through the binary codec, and agreement with
+// the gob codec on the same message (the v0 format both ends can still
+// speak). Each protocol package owns generators for its (unexported)
+// wire types and feeds them through Check from its FuzzCodecRoundTrip
+// target and gob-agreement property test.
+//
+// Generator discipline: gob collapses empty-but-non-nil maps and slices
+// to nil on a round trip, so generators emit collections that are
+// either nil or non-empty — the only shapes the protocols produce —
+// keeping DeepEqual agreement exact. The binary codec itself preserves
+// emptiness (nil-aware length headers); only the gob comparison forces
+// the restriction.
+package wiretest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/transport"
+)
+
+// Check frames msg inside an envelope through the binary codec and
+// through gob, decodes both, and fails t unless both round trips
+// reproduce the original exactly.
+func Check(t testing.TB, msg transport.Message) {
+	t.Helper()
+	env := transport.Envelope{From: "nodeA", To: "nodeB", Msg: msg}
+
+	frame, err := transport.AppendFrame(nil, env)
+	if err != nil {
+		t.Fatalf("encode %T: %v", msg, err)
+	}
+	got, n, err := transport.DecodeFrame(frame)
+	if err != nil {
+		t.Fatalf("decode %T: %v", msg, err)
+	}
+	if n != len(frame) {
+		t.Fatalf("decode %T consumed %d of %d bytes", msg, n, len(frame))
+	}
+	if !reflect.DeepEqual(got, env) {
+		t.Fatalf("binary round trip of %T:\n got  %#v\n want %#v", msg, got.Msg, env.Msg)
+	}
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&env); err != nil {
+		t.Fatalf("gob encode %T: %v", msg, err)
+	}
+	var viaGob transport.Envelope
+	if err := gob.NewDecoder(&buf).Decode(&viaGob); err != nil {
+		t.Fatalf("gob decode %T: %v", msg, err)
+	}
+	if !reflect.DeepEqual(got.Msg, viaGob.Msg) {
+		t.Fatalf("codec disagreement on %T:\n binary %#v\n gob    %#v", msg, got.Msg, viaGob.Msg)
+	}
+}
+
+// Gen is a deterministic random generator for wire-type fields.
+type Gen struct{ R *rand.Rand }
+
+// NewGen returns a generator seeded with seed.
+func NewGen(seed int64) *Gen {
+	return &Gen{R: rand.New(rand.NewSource(seed))}
+}
+
+const strAlphabet = "abcdefghijklmnopqrstuvwxyz0123456789:#/-"
+
+// Str returns a string of length 0..16.
+func (g *Gen) Str() string {
+	n := g.R.Intn(17)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = strAlphabet[g.R.Intn(len(strAlphabet))]
+	}
+	return string(b)
+}
+
+// Bool returns a random bool.
+func (g *Gen) Bool() bool { return g.R.Intn(2) == 1 }
+
+// Uint64 returns a full-width random uint64 (half the time small, to
+// exercise both short and long varints).
+func (g *Gen) Uint64() uint64 {
+	if g.Bool() {
+		return uint64(g.R.Intn(128))
+	}
+	return g.R.Uint64()
+}
+
+// Int64 returns a signed value spanning both zig-zag halves.
+func (g *Gen) Int64() int64 {
+	v := int64(g.Uint64())
+	if g.Bool() {
+		return -v
+	}
+	return v
+}
+
+// Byte returns one random byte.
+func (g *Gen) Byte() byte { return byte(g.R.Intn(256)) }
+
+// Bytes returns nil a quarter of the time, else 1..32 random bytes —
+// never empty-but-non-nil (see the package comment).
+func (g *Gen) Bytes() []byte {
+	if g.R.Intn(4) == 0 {
+		return nil
+	}
+	b := make([]byte, 1+g.R.Intn(32))
+	g.R.Read(b)
+	return b
+}
+
+// ByteSlices returns nil or 1..4 elements of Bytes.
+func (g *Gen) ByteSlices() [][]byte {
+	if g.R.Intn(4) == 0 {
+		return nil
+	}
+	out := make([][]byte, 1+g.R.Intn(4))
+	for i := range out {
+		out[i] = g.Bytes()
+	}
+	return out
+}
+
+// Uint64s returns nil or 1..8 random counters.
+func (g *Gen) Uint64s() []uint64 {
+	if g.R.Intn(4) == 0 {
+		return nil
+	}
+	out := make([]uint64, 1+g.R.Intn(8))
+	for i := range out {
+		out[i] = g.Uint64()
+	}
+	return out
+}
+
+// Ints returns nil or 1..8 random ints.
+func (g *Gen) Ints() []int {
+	if g.R.Intn(4) == 0 {
+		return nil
+	}
+	out := make([]int, 1+g.R.Intn(8))
+	for i := range out {
+		out[i] = int(g.Int64())
+	}
+	return out
+}
+
+// Vector returns nil or a clock.Vector of 1..4 entries.
+func (g *Gen) Vector() clock.Vector {
+	if g.R.Intn(4) == 0 {
+		return nil
+	}
+	n := 1 + g.R.Intn(4)
+	v := make(clock.Vector, n)
+	for i := 0; i < n; i++ {
+		v["node"+g.Str()] = g.Uint64()
+	}
+	return v
+}
+
+// DVV returns a random dotted version vector.
+func (g *Gen) DVV() clock.DVV {
+	return clock.DVV{
+		Dot:     clock.Dot{Node: g.Str(), Counter: g.Uint64()},
+		Context: g.Vector(),
+	}
+}

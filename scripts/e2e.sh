@@ -33,6 +33,31 @@ for model in gossip quorum session; do
   echo
 done
 
+echo "== fast path: quorum load must batch frames and group-commit the WAL"
+./ecctl up -n 3 -model quorum -fsync sync
+./ecctl bench -clients 32 -conns 4 -duration 3s
+# Under concurrent load the coordinator's fan-out must pack several
+# envelopes per frame and the WAL committer must cover several appends
+# per fsync — both gauges sit at 1.0 when their machinery is dead.
+httpb=$(awk '/"http"/{f=1} f && /"node0"/{gsub(/[",]/,""); print $2; exit}' .ecctl/cluster.json)
+if [ -n "$httpb" ] && command -v curl >/dev/null; then
+  for gauge in ec_net_batch_size ec_wal_group_commit_size; do
+    v=$(curl -fsS "http://$httpb/metrics" | awk -v g="$gauge" '$1 == g {print $2}')
+    if [ -z "$v" ]; then
+      echo "FAIL: $gauge not exported" >&2
+      exit 1
+    fi
+    if ! awk -v v="$v" 'BEGIN{exit !(v > 1.05)}'; then
+      echo "FAIL: $gauge = $v, want > 1.05 under concurrent quorum load" >&2
+      exit 1
+    fi
+    echo "$gauge = $v"
+  done
+fi
+./ecctl down
+rm -rf .ecctl
+
+echo
 echo "== kill-a-node: cluster keeps serving, /healthz flags the corpse"
 ./ecctl up -n 3 -model quorum
 ./ecctl put durable yes
@@ -110,4 +135,4 @@ done
 rm -rf .ecctl
 
 echo
-echo "e2e: all models served over real TCP; session guarantees held; node kill tolerated; crash recovery replayed the WAL"
+echo "e2e: all models served over real TCP; session guarantees held; fast path batched frames and group-committed the WAL; node kill tolerated; crash recovery replayed the WAL"
