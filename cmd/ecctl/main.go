@@ -14,6 +14,8 @@
 //	ecctl bench -clients 32       # closed-loop load: pipelined puts/gets, ops/s + latency
 //	ecctl kill <node>             # SIGKILL one node
 //	ecctl restart <node>          # respawn it from its data dir (WAL recovery)
+//	ecctl add-node                # scale out: admit a new node, stream its arcs live
+//	ecctl decommission <node>     # scale in: drain, hand off arcs, stop the node
 //	ecctl down                    # stop everything, remove state
 //
 // Cluster state (node ids, addresses, pids) lives in .ecctl/cluster.json
@@ -53,6 +55,11 @@ type clusterState struct {
 	Data  map[string]string `json:"data"`  // id -> durable state dir ("" = memory-only)
 	Fsync string            `json:"fsync"` // WAL fsync policy nodes were started with
 	Seeds map[string]int64  `json:"seeds"` // id -> randomness seed (restart reuses it)
+	// XferRate/XferBatch throttle elasticity arc transfers (0 = server
+	// defaults); every node is spawned with them so sources pace
+	// streams consistently.
+	XferRate  int `json:"transfer_rate,omitempty"`
+	XferBatch int `json:"transfer_batch,omitempty"`
 }
 
 func main() {
@@ -70,6 +77,10 @@ func main() {
 		err = cmdKill(args)
 	case "restart":
 		err = cmdRestart(args)
+	case "add-node":
+		err = cmdAddNode(args)
+	case "decommission":
+		err = cmdDecommission(args)
 	case "status":
 		err = cmdStatus(args)
 	case "ring":
@@ -90,7 +101,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ecctl {up|down|kill|restart|status|ring|put|get|del|smoke|bench} [args]")
+	fmt.Fprintln(os.Stderr, "usage: ecctl {up|down|kill|restart|add-node|decommission|status|ring|put|get|del|smoke|bench} [args]")
 	os.Exit(2)
 }
 
@@ -165,6 +176,8 @@ func cmdUp(args []string) error {
 	seed := fs.Int64("seed", 1, "base randomness seed")
 	fsync := fs.String("fsync", "sync", "WAL fsync policy: sync, batch, or none")
 	noData := fs.Bool("no-data", false, "run memory-only (no WAL, no crash recovery)")
+	xferRate := fs.Int("transfer-rate", 0, "elasticity transfer throttle, bytes/sec per source (0 = default)")
+	xferBatch := fs.Int("transfer-batch", 0, "elasticity transfer batch payload bytes (0 = default)")
 	dir := stateDir(fs)
 	fs.Parse(args)
 	if *n < 1 {
@@ -183,13 +196,15 @@ func cmdUp(args []string) error {
 	}
 
 	st := &clusterState{
-		Model: *model,
-		Peers: map[string]string{},
-		HTTP:  map[string]string{},
-		PIDs:  map[string]int{},
-		Data:  map[string]string{},
-		Fsync: *fsync,
-		Seeds: map[string]int64{},
+		Model:     *model,
+		Peers:     map[string]string{},
+		HTTP:      map[string]string{},
+		PIDs:      map[string]int{},
+		Data:      map[string]string{},
+		Fsync:     *fsync,
+		Seeds:     map[string]int64{},
+		XferRate:  *xferRate,
+		XferBatch: *xferBatch,
 	}
 	ids := make([]string, *n)
 	for i := 0; i < *n; i++ {
@@ -235,7 +250,7 @@ func cmdUp(args []string) error {
 // recorded configuration and stores its pid in st. Used by `up` and by
 // `restart` — a restarted node gets the same flags, and crucially the
 // same data dir, so it recovers its pre-crash state from the WAL.
-func spawnNode(dir, bin string, st *clusterState, id string) error {
+func spawnNode(dir, bin string, st *clusterState, id string, extra ...string) error {
 	var peerList []string
 	for _, pid := range sortedIDs(st) {
 		peerList = append(peerList, pid+"="+st.Peers[pid])
@@ -257,6 +272,13 @@ func spawnNode(dir, bin string, st *clusterState, id string) error {
 			cargs = append(cargs, "-fsync", st.Fsync)
 		}
 	}
+	if st.XferRate > 0 {
+		cargs = append(cargs, "-transfer-rate", fmt.Sprint(st.XferRate))
+	}
+	if st.XferBatch > 0 {
+		cargs = append(cargs, "-transfer-batch", fmt.Sprint(st.XferBatch))
+	}
+	cargs = append(cargs, extra...)
 	cmd := exec.Command(bin, cargs...)
 	cmd.Stdout = logf
 	cmd.Stderr = logf
@@ -382,6 +404,192 @@ func cmdRestart(args []string) error {
 	return nil
 }
 
+// nextNodeID picks the first nodeN name not already in the cluster.
+func nextNodeID(st *clusterState) string {
+	for i := 0; ; i++ {
+		id := fmt.Sprintf("node%d", i)
+		if _, ok := st.Peers[id]; !ok {
+			return id
+		}
+	}
+}
+
+// cmdAddNode scales the cluster out by one node, live: spawn a joiner
+// that owns nothing, ask an existing member to coordinate the new
+// membership epoch, then watch the joiner stream exactly its gained
+// arcs until it reports "ok". The cluster serves throughout. The
+// updated cluster.json is written before the join starts, so a crash
+// anywhere leaves a restartable configuration.
+func cmdAddNode(args []string) error {
+	fs := flag.NewFlagSet("add-node", flag.ExitOnError)
+	dir := stateDir(fs)
+	timeout := fs.Duration("timeout", 2*time.Minute, "how long to wait for catch-up")
+	fs.Parse(args)
+	st, err := loadState(*dir)
+	if err != nil {
+		return err
+	}
+	if st.Model != "quorum" {
+		return fmt.Errorf("add-node requires model=quorum (cluster runs %s)", st.Model)
+	}
+	bin, err := findEcserver()
+	if err != nil {
+		return err
+	}
+	ports, err := freePorts(2)
+	if err != nil {
+		return err
+	}
+
+	id := nextNodeID(st)
+	var maxSeed int64
+	for _, s := range st.Seeds {
+		if s > maxSeed {
+			maxSeed = s
+		}
+	}
+	st.Peers[id] = ports[0]
+	st.HTTP[id] = ports[1]
+	st.Seeds[id] = maxSeed + 1
+	if len(st.Data) > 0 {
+		st.Data[id] = filepath.Join(*dir, "data", id)
+	}
+	// Persist the member before any process knows about it: if ecctl
+	// dies here, `down` still reaps the node and a joiner restart still
+	// finds the full peer map.
+	if err := saveState(*dir, st); err != nil {
+		return err
+	}
+	if err := spawnNode(*dir, bin, st, id, "-join"); err != nil {
+		return err
+	}
+	if err := saveState(*dir, st); err != nil {
+		return err
+	}
+	if err := waitReady(st.Peers[id], 10*time.Second); err != nil {
+		return fmt.Errorf("joiner %s did not come up: %w (see %s)", id, err, filepath.Join(*dir, id+".log"))
+	}
+	fmt.Printf("add-node: %s up (peer=%s http=%s pid=%d), joining...\n", id, st.Peers[id], st.HTTP[id], st.PIDs[id])
+
+	// Any existing member coordinates the epoch.
+	var coord *server.Client
+	var coordID string
+	for _, cid := range sortedIDs(st) {
+		if cid == id {
+			continue
+		}
+		if c, err := server.Dial(st.Peers[cid], "ecctl-join"); err == nil {
+			coord, coordID = c, cid
+			break
+		}
+	}
+	if coord == nil {
+		return fmt.Errorf("no existing member reachable to coordinate the join")
+	}
+	err = coord.AddNode(id, st.Peers[id])
+	coord.Close()
+	if err != nil {
+		return fmt.Errorf("coordinator %s: %w", coordID, err)
+	}
+
+	// Watch the joiner pull its arcs.
+	jc, err := server.Dial(st.Peers[id], "ecctl-join")
+	if err != nil {
+		return err
+	}
+	defer jc.Close()
+	deadline := time.Now().Add(*timeout)
+	lastDone := -1
+	for {
+		rs, err := jc.RingStatus()
+		if err == nil {
+			if rs.State == "ok" {
+				fmt.Printf("add-node: %s caught up at epoch %d; cluster is %d nodes\n", id, rs.Epoch, len(rs.Members))
+				return nil
+			}
+			if rs.TransferDone != lastDone {
+				lastDone = rs.TransferDone
+				fmt.Printf("add-node: %s %s, ranges %d/%d\n", id, rs.State, rs.TransferDone, rs.TransferTotal)
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s still catching up after %s", id, *timeout)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// cmdDecommission scales the cluster in by one node, gracefully: the
+// node drains (stops minting write ids, flushes hinted handoff), hands
+// each of its arcs to the survivor that now owns it, and only once
+// every gainer acknowledged its last range does it report "left" and
+// get stopped and removed from the cluster state.
+func cmdDecommission(args []string) error {
+	fs := flag.NewFlagSet("decommission", flag.ExitOnError)
+	dir := stateDir(fs)
+	timeout := fs.Duration("timeout", 2*time.Minute, "how long to wait for handoff")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: ecctl decommission <node>")
+	}
+	st, err := loadState(*dir)
+	if err != nil {
+		return err
+	}
+	if st.Model != "quorum" {
+		return fmt.Errorf("decommission requires model=quorum (cluster runs %s)", st.Model)
+	}
+	id := fs.Arg(0)
+	if _, ok := st.Peers[id]; !ok {
+		return fmt.Errorf("unknown node %q", id)
+	}
+	c, err := server.Dial(st.Peers[id], "ecctl-decom")
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", id, err)
+	}
+	defer c.Close()
+	if err := c.Decommission(); err != nil {
+		return err
+	}
+	fmt.Printf("decommission: %s draining...\n", id)
+
+	deadline := time.Now().Add(*timeout)
+	lastState := ""
+	for {
+		rs, err := c.RingStatus()
+		if err == nil {
+			if rs.State == "left" {
+				fmt.Printf("decommission: %s left at epoch %d; survivors hold every arc\n", id, rs.Epoch)
+				break
+			}
+			if rs.State != lastState {
+				lastState = rs.State
+				fmt.Printf("decommission: %s %s (pending hints %d)\n", id, rs.State, rs.PendingHints)
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s still %s after %s", id, lastState, *timeout)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	if pid, ok := st.PIDs[id]; ok {
+		if p, err := os.FindProcess(pid); err == nil {
+			p.Signal(syscall.SIGTERM)
+			fmt.Printf("decommission: stopped %s (pid %d)\n", id, pid)
+		}
+	}
+	if st.Data[id] != "" {
+		os.RemoveAll(st.Data[id])
+	}
+	delete(st.Peers, id)
+	delete(st.HTTP, id)
+	delete(st.PIDs, id)
+	delete(st.Data, id)
+	delete(st.Seeds, id)
+	return saveState(*dir, st)
+}
+
 func cmdStatus(args []string) error {
 	fs := flag.NewFlagSet("status", flag.ExitOnError)
 	dir := stateDir(fs)
@@ -398,6 +606,8 @@ func cmdStatus(args []string) error {
 		}
 		var h struct {
 			Model   string   `json:"model"`
+			State   string   `json:"state"`
+			Epoch   uint64   `json:"epoch"`
 			Uptime  string   `json:"uptime"`
 			Suspect []string `json:"suspected_peers"`
 		}
@@ -408,6 +618,9 @@ func cmdStatus(args []string) error {
 			continue
 		}
 		line := fmt.Sprintf("%-8s UP model=%s uptime=%s", id, h.Model, h.Uptime)
+		if h.State != "" {
+			line += fmt.Sprintf(" state=%s epoch=%d", h.State, h.Epoch)
+		}
 		if len(h.Suspect) > 0 {
 			line += " suspects=" + strings.Join(h.Suspect, ",")
 		}
@@ -417,6 +630,12 @@ func cmdStatus(args []string) error {
 				if r := m["ec_wal_records_replayed_total"]; r > 0 {
 					line += fmt.Sprintf(" replayed=%d", uint64(r))
 				}
+			}
+			if p := m["ec_transfer_ranges_pending"]; p > 0 {
+				line += fmt.Sprintf(" transfer-pending=%d", uint64(p))
+			}
+			if r := m["ec_transfer_ranges_total"]; r > 0 {
+				line += fmt.Sprintf(" transferred-ranges=%d", uint64(r))
 			}
 		}
 		fmt.Println(line)
@@ -471,12 +690,42 @@ func fmtBytes(v float64) string {
 func cmdRing(args []string) error {
 	fs := flag.NewFlagSet("ring", flag.ExitOnError)
 	dir := stateDir(fs)
+	diff := fs.String("diff", "", "keyspace fraction whose primary owner changes if a node joins (+id) or leaves (-id)")
 	fs.Parse(args)
 	st, err := loadState(*dir)
 	if err != nil {
 		return err
 	}
 	r := ring.New(sortedIDs(st), ring.DefaultVirtualNodes)
+	if *diff != "" {
+		if len(*diff) < 2 {
+			return fmt.Errorf("-diff wants +id or -id, got %q", *diff)
+		}
+		op, id := (*diff)[0], (*diff)[1:]
+		var alt *ring.Ring
+		switch op {
+		case '+':
+			alt = r.Join(id)
+		case '-':
+			alt = r.Leave(id)
+		default:
+			return fmt.Errorf("-diff wants +id or -id, got %q", *diff)
+		}
+		// Consistent hashing's promise is that a single membership change
+		// moves ~1/n of primary ownership; sample it.
+		const samples = 20000
+		moved := 0
+		for i := 0; i < samples; i++ {
+			k := fmt.Sprintf("ring-sample-%d", i)
+			if r.Owner(k) != alt.Owner(k) {
+				moved++
+			}
+		}
+		frac := float64(moved) / samples
+		fmt.Printf("%s: %.1f%% of primary ownership moves (ideal for %d->%d nodes: %.1f%%)\n",
+			*diff, 100*frac, r.Size(), alt.Size(), 100/float64(max(r.Size(), alt.Size())))
+		return nil
+	}
 	if fs.NArg() >= 1 {
 		key := fs.Arg(0)
 		fmt.Printf("%s -> owner=%s replicas=%s\n", key, r.Owner(key), strings.Join(r.Replicas(key, 3), ","))

@@ -350,6 +350,16 @@ func (n *Node) RootHash() uint64 { return n.merkle.RootHash() }
 // Keys returns the number of keys (including tombstones) held.
 func (n *Node) Keys() int { return len(n.data) }
 
+// SetPeers replaces the peer set — live membership change. The scratch
+// sampling pool is rebuilt lazily at the next fanout. Gossip replicates
+// every key everywhere, so a joiner needs no range transfer: its first
+// completed sync rounds pull the full state, and the caller can treat
+// SyncRounds advancing as catch-up.
+func (n *Node) SetPeers(peers []string) {
+	n.cfg.Peers = append([]string(nil), peers...)
+	n.scratch = nil
+}
+
 // Converged reports whether all nodes hold identical replicated state.
 func Converged(nodes []*Node) bool {
 	for _, n := range nodes[1:] {

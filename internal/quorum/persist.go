@@ -23,10 +23,11 @@ import (
 
 // walRecord is one journaled mutation; exactly one field is set.
 type walRecord struct {
-	Entry   *entryRec
-	Hint    *hintRec
-	HintAck *hintAckRec
-	Mint    *mintRec
+	Entry        *entryRec
+	Hint         *hintRec
+	HintAck      *hintAckRec
+	Mint         *mintRec
+	TransferDone *transferDoneRec
 }
 
 // entryRec installs one version into a key's sibling set.
@@ -54,13 +55,25 @@ type mintRec struct {
 	Counter uint64
 }
 
+// transferDoneRec marks one inbound transfer range complete for a
+// membership epoch, so a restarted node resumes catch-up from the next
+// range instead of re-pulling finished arcs (the range bounds are
+// recorded for the audit trail; resume matches on Seq+Idx, both sides
+// of which derive deterministically from ring.DiffN).
+type transferDoneRec struct {
+	Seq        uint64
+	Idx        int
+	Start, End uint64
+}
+
 // quorumImage is the checkpoint payload, keys sorted for deterministic
 // iteration on restore.
 type quorumImage struct {
-	Keys   []string
-	Sets   [][]clock.SiblingEntry[record]
-	Minted map[string]uint64
-	Hints  []hintRec
+	Keys      []string
+	Sets      [][]clock.SiblingEntry[record]
+	Minted    map[string]uint64
+	Hints     []hintRec
+	Transfers []transferDoneRec
 }
 
 func (n *Node) persistRecord(r walRecord) {
@@ -145,6 +158,8 @@ func (n *Node) ReplayRecord(rec []byte) error {
 		if r.Mint.Counter > n.minted[r.Mint.Key] {
 			n.minted[r.Mint.Key] = r.Mint.Counter
 		}
+	case r.TransferDone != nil:
+		n.markTransferDone(r.TransferDone.Seq, r.TransferDone.Idx)
 	default:
 		return fmt.Errorf("quorum: empty WAL record")
 	}
@@ -181,6 +196,21 @@ func (n *Node) StateSnapshot() ([]byte, error) {
 			}
 		}
 	}
+	seqs := make([]uint64, 0, len(n.xferDone))
+	for seq := range n.xferDone {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		idxs := make([]int, 0, len(n.xferDone[seq]))
+		for idx := range n.xferDone[seq] {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			img.Transfers = append(img.Transfers, transferDoneRec{Seq: seq, Idx: idx})
+		}
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
 		return nil, fmt.Errorf("quorum: encode snapshot: %w", err)
@@ -211,6 +241,9 @@ func (n *Node) RestoreState(state []byte) error {
 	}
 	for _, h := range img.Hints {
 		n.storeHint(h.Intended, h.Key, h.Entry)
+	}
+	for _, t := range img.Transfers {
+		n.markTransferDone(t.Seq, t.Idx)
 	}
 	return nil
 }

@@ -85,6 +85,18 @@ type Config struct {
 	// implements this; Ring must still list every node (it drives
 	// heartbeats and shared-key anti-entropy).
 	Placement Placement
+	// Elastic, when non-nil, enables the elasticity paths (see
+	// transfer.go): the ownership guard on replica writes, dual-apply to
+	// the previous epoch's owners during transfer windows, and read
+	// gating on catching-up replicas.
+	Elastic Elasticity
+	// OnStaleRing is invoked (on the actor loop) when a peer's refusal
+	// reveals this node's membership epoch is behind the cluster's.
+	OnStaleRing func(seq uint64)
+	// TransferRate bounds outbound transfer streaming in bytes/sec
+	// (default ~8MiB/s); TransferBatch bounds one batch (default 64KiB).
+	TransferRate  int
+	TransferBatch int
 }
 
 // Placement maps a key to an ordered walk of distinct storage nodes —
@@ -224,6 +236,9 @@ type (
 		ID      uint64
 		Key     string
 		Entries []clock.SiblingEntry[record]
+		// NotReady marks a catching-up replica's refusal: it must not be
+		// counted toward R (the key's arc has not finished transferring).
+		NotReady bool
 	}
 	handoffDeliver struct {
 		Key     string
@@ -322,11 +337,30 @@ type Node struct {
 	// both nodes replicate (see antientropy.go).
 	aeTrees map[string]*storage.Merkle
 
+	// Elasticity state (see transfer.go). inbound is the open catch-up
+	// window (nil when settled); xferDone remembers journaled range
+	// completions per epoch so a restart resumes instead of re-pulling;
+	// xferCursor tracks per-range pull cursors for retry; xferOut stashes
+	// throttled outbound batches.
+	inbound    *catchUp
+	xferDone   map[uint64]map[int]bool
+	xferCursor map[xferKey]cursorPos
+	xferOut    map[xferKey]stashedBatch
+	draining   bool
+	onDrained  func()
+	// Token bucket pacing outbound transfer batches.
+	tbTokens float64
+	tbLast   time.Duration
+	tbInit   bool
+
 	// Stats.
 	ReadRepairsSent uint64
 	HintsStored     uint64
 	HintsDelivered  uint64
 	AESyncs         uint64
+	// Transfer counts elasticity activity (atomic: read off-loop by the
+	// metrics endpoint).
+	Transfer TransferStats
 }
 
 // NewNode returns a quorum node with the given shared configuration. It
@@ -337,14 +371,16 @@ func NewNode(id string, cfg Config) *Node {
 		panic(err.Error())
 	}
 	return &Node{
-		cfg:     cfg,
-		id:      id,
-		data:    make(map[string]*clock.Siblings[record]),
-		minted:  make(map[string]uint64),
-		hints:   make(map[string]map[string][]clock.SiblingEntry[record]),
-		writes:  make(map[uint64]*pendingWrite),
-		reads:   make(map[uint64]*pendingRead),
-		repairs: make(map[uint64]*repairState),
+		cfg:        cfg,
+		id:         id,
+		data:       make(map[string]*clock.Siblings[record]),
+		minted:     make(map[string]uint64),
+		hints:      make(map[string]map[string][]clock.SiblingEntry[record]),
+		writes:     make(map[uint64]*pendingWrite),
+		reads:      make(map[uint64]*pendingRead),
+		repairs:    make(map[uint64]*repairState),
+		xferDone:   make(map[uint64]map[int]bool),
+		xferCursor: make(map[xferKey]cursorPos),
 	}
 }
 
@@ -450,6 +486,12 @@ func (n *Node) OnTimer(env sim.Env, tag any) {
 		} else {
 			n.retryRead(env, tg.id)
 		}
+	case xferRetryTag:
+		n.retryTransfer(env, tg)
+	case xferFlushTag:
+		n.flushThrottled(env, tg)
+	case drainTag:
+		n.drainTick(env)
 	}
 }
 
@@ -465,6 +507,15 @@ func (n *Node) OnMessage(env sim.Env, from string, msg sim.Message) {
 	case replicaPutAck:
 		n.onPutAck(env, from, m.ID)
 	case replicaGet:
+		if n.gatedKey(m.Key) {
+			// This replica is still pulling the key's arc: answering from
+			// a partial copy could serve a gap. NotReady tells the
+			// coordinator to count someone else — the old owners are in
+			// the new ring's fallback walk.
+			n.Transfer.GatedReads.Add(1)
+			env.Send(from, replicaGetResp{ID: m.ID, Key: m.Key, NotReady: true})
+			return
+		}
 		entries := n.localEntries(m.Key)
 		if n.cfg.Resilience != nil {
 			// A fallback replica answers with the hinted writes it holds
@@ -496,6 +547,12 @@ func (n *Node) OnMessage(env sim.Env, from string, msg sim.Message) {
 		n.handleAEResp(env, from, m)
 	case aePush:
 		n.applyAEEntries(m.Entries)
+	case transferReq:
+		n.handleTransferReq(env, from, m)
+	case transferBatch:
+		n.handleTransferBatch(env, m)
+	case replicaNotOwner:
+		n.onNotOwner(m)
 	}
 }
 
@@ -536,6 +593,14 @@ func (n *Node) hintedEntries(key string) []clock.SiblingEntry[record] {
 // acks. The coordinator's own replica (when it is one) acks through the
 // same message path, so acks race realistically.
 func (n *Node) coordinatePut(env sim.Env, client string, m clientPut) {
+	if n.draining && m.ID == 0 {
+		// Decommission invariant: once draining begins this node mints no
+		// new dots. (Client-minted dots carry their own identity and may
+		// still coordinate; the hosting runtime redirects clients away
+		// anyway.)
+		env.Send(client, putResp{ID: m.ID, Err: "quorum: node draining"})
+		return
+	}
 	prefs := n.PreferenceList(m.Key)
 
 	// Mint the new version: the context is exactly what the client
@@ -591,6 +656,30 @@ func (n *Node) coordinatePut(env sim.Env, client string, m clientPut) {
 		// stand-in immediately instead of after the quorum timeout.
 		if n.cfg.Resilience != nil && n.cfg.SloppyQuorum && n.suspects(rep, env.Now()) {
 			n.engageFallback(env, id, pw, rep)
+		}
+	}
+	// Dual-apply: while a transfer window is open, the write also lands
+	// on the previous epoch's owners that fell out of the preference
+	// list, so reads falling back to them (catch-up gating) stay fresh
+	// and an aborted transfer leaves no gap. Unacked repair writes: the
+	// quorum is still counted against the current epoch's replicas.
+	if n.cfg.Elastic != nil {
+		if prev := n.cfg.Elastic.PrevSequence(m.Key); prev != nil {
+			lim := n.cfg.N
+			if lim > len(prev) {
+				lim = len(prev)
+			}
+			for _, old := range prev[:lim] {
+				if contains(prefs, old) {
+					continue
+				}
+				if old == n.id {
+					n.installEntry(m.Key, entry)
+					n.noteKeyChanged(m.Key)
+					continue
+				}
+				env.Send(old, replicaPut{Key: m.Key, Entry: entry, Repair: true})
+			}
 		}
 	}
 	pw.timer = env.SetTimer(n.cfg.Timeout, timeoutTag{id: id, write: true})
@@ -661,6 +750,16 @@ func contains(xs []string, x string) bool {
 }
 
 func (n *Node) applyReplicaPut(env sim.Env, from string, m replicaPut) {
+	// Ownership guard: a direct replica write for a key outside this
+	// node's current arcs (and outside any open dual-apply window) means
+	// the coordinator placed it with a stale ring. Refuse with our epoch
+	// instead of silently absorbing a write the read path will never
+	// find here. Hinted stand-ins and repair/dual-apply pushes are
+	// exempt — they are intentionally addressed off the preference list.
+	if n.cfg.Elastic != nil && m.Hint == "" && !m.Repair && !n.ownsKey(m.Key) {
+		env.Send(from, replicaNotOwner{ID: m.ID, Seq: n.cfg.Elastic.EpochSeq()})
+		return
+	}
 	if m.Hint != "" && m.Hint != n.id {
 		// Store on behalf of the unreachable intended replica. Retried
 		// RPCs may re-deliver the same write: storeHint dedups by dot so
@@ -748,7 +847,10 @@ func (n *Node) coordinateGet(env sim.Env, client string, m clientGet) {
 		replicas:  prefs,
 		asked:     make(map[string]bool),
 	}
-	if n.cfg.Resilience != nil && n.cfg.SloppyQuorum {
+	if (n.cfg.Resilience != nil && n.cfg.SloppyQuorum) || n.cfg.Elastic != nil {
+		// Under elasticity the fallback walk matters even without sloppy
+		// quorums: a catching-up replica answers NotReady and the read
+		// must reach the old owners further along the new ring's walk.
 		pr.fallbacks = n.fallbackList(m.Key)
 	}
 	n.reads[id] = pr
@@ -825,6 +927,15 @@ type repairState struct {
 }
 
 func (n *Node) onGetResp(env sim.Env, from string, m replicaGetResp) {
+	if m.NotReady {
+		// A catching-up replica refused to answer: it does not count
+		// toward R. Ask the next fallback — the old owners sit in the
+		// new ring's walk right after the replicas.
+		if pr, ok := n.reads[m.ID]; ok && !pr.done {
+			n.askReadFallback(env, m.ID, pr)
+		}
+		return
+	}
 	pr, ok := n.reads[m.ID]
 	if !ok || pr.done {
 		// Late response after the quorum returned: background repair.

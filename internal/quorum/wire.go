@@ -29,6 +29,9 @@ const (
 	widAEReq
 	widAEResp
 	widAEPush
+	widTransferReq
+	widTransferBatch
+	widReplicaNotOwner
 )
 
 // appendEntry / readEntry encode one sibling version: its DVV and the
@@ -172,7 +175,8 @@ func (replicaGetResp) WireID() uint16 { return widReplicaGetResp }
 func (m replicaGetResp) AppendBinary(dst []byte) []byte {
 	dst = wire.AppendUvarint(dst, m.ID)
 	dst = wire.AppendString(dst, m.Key)
-	return appendEntries(dst, m.Entries)
+	dst = appendEntries(dst, m.Entries)
+	return wire.AppendBool(dst, m.NotReady)
 }
 
 func (handoffDeliver) WireID() uint16 { return widHandoffDeliver }
@@ -212,6 +216,35 @@ func (m aePush) AppendBinary(dst []byte) []byte {
 	return appendAEEntries(dst, m.Entries)
 }
 
+func (transferReq) WireID() uint16 { return widTransferReq }
+func (m transferReq) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, m.Seq)
+	dst = wire.AppendVarint(dst, int64(m.Idx))
+	dst = wire.AppendUvarint(dst, m.Nonce)
+	dst = wire.AppendUvarint(dst, m.Start)
+	dst = wire.AppendUvarint(dst, m.End)
+	dst = wire.AppendUvarint(dst, m.CurHash)
+	dst = wire.AppendString(dst, m.CurKey)
+	return wire.AppendVarint(dst, int64(m.Max))
+}
+
+func (transferBatch) WireID() uint16 { return widTransferBatch }
+func (m transferBatch) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, m.Seq)
+	dst = wire.AppendVarint(dst, int64(m.Idx))
+	dst = wire.AppendUvarint(dst, m.Nonce)
+	dst = appendAEEntries(dst, m.Entries)
+	dst = wire.AppendUvarint(dst, m.CurHash)
+	dst = wire.AppendString(dst, m.CurKey)
+	return wire.AppendBool(dst, m.Done)
+}
+
+func (replicaNotOwner) WireID() uint16 { return widReplicaNotOwner }
+func (m replicaNotOwner) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, m.ID)
+	return wire.AppendUvarint(dst, m.Seq)
+}
+
 func init() {
 	transport.Register(
 		clientPut{}, clientGet{}, putResp{}, getResp{},
@@ -219,6 +252,7 @@ func init() {
 		handoffDeliver{}, handoffAck{},
 		resPing{}, resPong{},
 		aeReq{}, aeResp{}, aePush{},
+		transferReq{}, transferBatch{}, replicaNotOwner{},
 	)
 	transport.RegisterBinary(widClientPut, func(r *wire.Reader) transport.Message {
 		return clientPut{ID: r.Uvarint(), Key: r.String(), Value: r.Bytes(), Deleted: r.Bool(), Context: r.Vector()}
@@ -242,7 +276,7 @@ func init() {
 		return replicaGet{ID: r.Uvarint(), Key: r.String()}
 	})
 	transport.RegisterBinary(widReplicaGetResp, func(r *wire.Reader) transport.Message {
-		return replicaGetResp{ID: r.Uvarint(), Key: r.String(), Entries: readEntries(r)}
+		return replicaGetResp{ID: r.Uvarint(), Key: r.String(), Entries: readEntries(r), NotReady: r.Bool()}
 	})
 	transport.RegisterBinary(widHandoffDeliver, func(r *wire.Reader) transport.Message {
 		return handoffDeliver{Key: r.String(), Entries: readEntries(r)}
@@ -264,5 +298,22 @@ func init() {
 	})
 	transport.RegisterBinary(widAEPush, func(r *wire.Reader) transport.Message {
 		return aePush{Entries: readAEEntries(r)}
+	})
+	transport.RegisterBinary(widTransferReq, func(r *wire.Reader) transport.Message {
+		return transferReq{
+			Seq: r.Uvarint(), Idx: int(r.Varint()), Nonce: r.Uvarint(),
+			Start: r.Uvarint(), End: r.Uvarint(),
+			CurHash: r.Uvarint(), CurKey: r.String(), Max: int(r.Varint()),
+		}
+	})
+	transport.RegisterBinary(widTransferBatch, func(r *wire.Reader) transport.Message {
+		return transferBatch{
+			Seq: r.Uvarint(), Idx: int(r.Varint()), Nonce: r.Uvarint(),
+			Entries: readAEEntries(r),
+			CurHash: r.Uvarint(), CurKey: r.String(), Done: r.Bool(),
+		}
+	})
+	transport.RegisterBinary(widReplicaNotOwner, func(r *wire.Reader) transport.Message {
+		return replicaNotOwner{ID: r.Uvarint(), Seq: r.Uvarint()}
 	})
 }

@@ -49,7 +49,7 @@ func genMsgs(g *wiretest.Gen) []transport.Message {
 		replicaPut{ID: g.Uint64(), Key: g.Str(), Entry: genEntry(g), Hint: g.Str(), Repair: g.Bool()},
 		replicaPutAck{ID: g.Uint64()},
 		replicaGet{ID: g.Uint64(), Key: g.Str()},
-		replicaGetResp{ID: g.Uint64(), Key: g.Str(), Entries: genEntries(g)},
+		replicaGetResp{ID: g.Uint64(), Key: g.Str(), Entries: genEntries(g), NotReady: g.Bool()},
 		handoffDeliver{Key: g.Str(), Entries: genEntries(g)},
 		handoffAck{Key: g.Str()},
 		resPing{Pad: g.Byte()},
@@ -57,6 +57,17 @@ func genMsgs(g *wiretest.Gen) []transport.Message {
 		aeReq{Leaves: g.Uint64s()},
 		aeResp{Buckets: g.Ints(), Entries: genAEEntries(g)},
 		aePush{Entries: genAEEntries(g)},
+		transferReq{
+			Seq: g.Uint64(), Idx: int(g.Int64()), Nonce: g.Uint64(),
+			Start: g.Uint64(), End: g.Uint64(),
+			CurHash: g.Uint64(), CurKey: g.Str(), Max: int(g.Int64()),
+		},
+		transferBatch{
+			Seq: g.Uint64(), Idx: int(g.Int64()), Nonce: g.Uint64(),
+			Entries: genAEEntries(g),
+			CurHash: g.Uint64(), CurKey: g.Str(), Done: g.Bool(),
+		},
+		replicaNotOwner{ID: g.Uint64(), Seq: g.Uint64()},
 	}
 }
 

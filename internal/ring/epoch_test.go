@@ -1,0 +1,130 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Sequential Join/Leave epochs must never leave a key with zero owners:
+// at every epoch along a random membership walk, every key has a full
+// min(n, size) replica set with distinct members. This is the safety
+// property elasticity leans on — placement is always total, even while
+// the member set churns.
+func TestEpochWalkNeverLeavesKeyUnowned(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 3
+	ep := Epoch{Seq: 0, Ring: New(members(3), 32)}
+	ks := keys(300)
+	next := 3
+	for step := 0; step < 40; step++ {
+		if ep.Ring.Size() > 2 && rng.Intn(2) == 0 {
+			ms := ep.Ring.Members()
+			ep = ep.Leave(ms[rng.Intn(len(ms))])
+		} else {
+			ep = ep.Join(fmt.Sprintf("node%d", next))
+			next++
+		}
+		if ep.Seq != uint64(step+1) {
+			t.Fatalf("step %d: epoch seq = %d, want %d", step, ep.Seq, step+1)
+		}
+		want := n
+		if ep.Ring.Size() < want {
+			want = ep.Ring.Size()
+		}
+		for _, k := range ks {
+			owners := ep.Ring.Replicas(k, n)
+			if len(owners) != want {
+				t.Fatalf("step %d (size %d): key %q has %d owners %v, want %d",
+					step, ep.Ring.Size(), k, len(owners), owners, want)
+			}
+			seen := map[string]bool{}
+			for _, o := range owners {
+				if o == "" || seen[o] {
+					t.Fatalf("step %d: key %q owners %v not distinct/non-empty", step, k, owners)
+				}
+				seen[o] = true
+			}
+		}
+	}
+}
+
+// DiffN must cover exactly the keys whose n-replica set changed: every
+// key is either inside a returned range with Old/New matching the two
+// rings' walks, or outside all ranges with an unchanged replica set.
+func TestDiffNCoversExactlyChangedReplicaSets(t *testing.T) {
+	const n = 3
+	before := New(members(4), 64)
+	after := before.Join("node9")
+	diffs := DiffN(before, after, n)
+	if len(diffs) == 0 {
+		t.Fatal("join produced no replica-set diffs")
+	}
+	for _, k := range keys(2000) {
+		h := KeyHash(k)
+		var hit *RangeN
+		for i := range diffs {
+			if diffs[i].Contains(h) {
+				if hit != nil {
+					t.Fatalf("key %q in two ranges", k)
+				}
+				hit = &diffs[i]
+			}
+		}
+		ob, oa := before.Replicas(k, n), after.Replicas(k, n)
+		if hit == nil {
+			if !reflect.DeepEqual(ob, oa) {
+				t.Fatalf("key %q changed %v -> %v but no range covers it", k, ob, oa)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(hit.Old, ob) || !reflect.DeepEqual(hit.New, oa) {
+			t.Fatalf("key %q: range owners old=%v new=%v, ring says old=%v new=%v",
+				k, hit.Old, hit.New, ob, oa)
+		}
+	}
+}
+
+// On a join, only the joiner gains ranges (inserting a member can only
+// push existing members down or out of a preference walk, never into
+// one), and the joiner's gained share of keys is ~K/n of the keyspace.
+// On a leave, every changed range's Old set contains the leaver, so
+// pull sources for scale-in are always well defined.
+func TestDiffNGainInvariants(t *testing.T) {
+	const n = 3
+	base := New(members(5), 64)
+
+	joined := base.Join("node9")
+	gained := 0
+	for _, k := range keys(4000) {
+		h := KeyHash(k)
+		for _, g := range DiffN(base, joined, n) {
+			if !g.Contains(h) {
+				continue
+			}
+			for _, m := range g.New {
+				if m != "node9" && !containsStr(g.Old, m) {
+					t.Fatalf("join: member %q gained range %v -> %v", m, g.Old, g.New)
+				}
+			}
+			if g.Gained("node9") {
+				gained++
+			}
+		}
+	}
+	// The joiner holds n/(size+1) of replica slots: 3/6 = 0.5 of keys
+	// gain it here. Pin loosely — the property is "about K·n/size, not
+	// everything and not nothing".
+	frac := float64(gained) / 4000
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("joiner gained %.2f of keys, want ~0.5", frac)
+	}
+
+	left := base.Leave("node2")
+	for _, g := range DiffN(base, left, n) {
+		if !containsStr(g.Old, "node2") {
+			t.Fatalf("leave: changed range %v -> %v does not involve the leaver", g.Old, g.New)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -164,6 +165,9 @@ func (c *Client) do(req Request) (Response, error) {
 			return Response{}, err
 		}
 		if resp.Err != "" {
+			if resp.NotOwner {
+				return resp, &NotOwnerError{Node: resp.Node, Epoch: resp.Epoch, State: resp.State}
+			}
 			return resp, errors.New(resp.Err)
 		}
 		return resp, nil
@@ -219,4 +223,50 @@ func (c *Client) Status() (node, model string, err error) {
 		return "", "", err
 	}
 	return resp.Node, resp.Model, nil
+}
+
+// NotOwnerError is the typed refusal a node returns once it no longer
+// owns client traffic: it has left the ring, or is draining of writes.
+// Callers redirect to a node still in the membership (see RingStatus).
+type NotOwnerError struct {
+	Node  string
+	Epoch uint64
+	State string
+}
+
+func (e *NotOwnerError) Error() string {
+	return fmt.Sprintf("server: node %s is %s at membership epoch %d; retry against a current member",
+		e.Node, e.State, e.Epoch)
+}
+
+// RingStatus fetches the node's membership view: epoch, state, member
+// list, and transfer progress (quorum model only).
+func (c *Client) RingStatus() (RingStatus, error) {
+	resp, err := c.do(Request{Op: "ring-status"})
+	if err != nil {
+		return RingStatus{}, err
+	}
+	var st RingStatus
+	if err := json.Unmarshal(resp.Value, &st); err != nil {
+		return RingStatus{}, fmt.Errorf("server: ring-status payload: %w", err)
+	}
+	return st, nil
+}
+
+// AddNode asks this node to coordinate a live join: admit id (listening
+// on addr) into the membership and start streaming its arcs. Returns
+// once every member has acked the new epoch; catch-up progress is
+// observed via RingStatus on the joiner.
+func (c *Client) AddNode(id, addr string) error {
+	_, err := c.do(Request{Op: "add-node", Key: id, Value: []byte(addr)})
+	return err
+}
+
+// Decommission starts this node's graceful exit: drain hints, stop
+// minting, hand every owned arc to the survivors. Returns once the
+// drain is underway; poll RingStatus until State is "left" before
+// stopping the process.
+func (c *Client) Decommission() error {
+	_, err := c.do(Request{Op: "decommission"})
+	return err
 }

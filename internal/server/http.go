@@ -36,11 +36,16 @@ type peerHealth struct {
 	RTTp99Ms float64 `json:"rtt_p99_ms"`
 }
 
-// healthz is the /healthz response body.
+// healthz is the /healthz response body. State distinguishes a node
+// that answers but is not yet (or no longer) serving its full share:
+// "catching-up" while a joiner streams its arcs in, "draining"/"left"
+// through a decommission, "ok" otherwise.
 type healthz struct {
 	ID      string       `json:"id"`
 	Model   string       `json:"model"`
 	OK      bool         `json:"ok"`
+	State   string       `json:"state,omitempty"`
+	Epoch   uint64       `json:"epoch,omitempty"`
 	Uptime  string       `json:"uptime"`
 	Peers   []peerHealth `json:"peers"`
 	Suspect []string     `json:"suspected_peers"`
@@ -53,7 +58,12 @@ type healthz struct {
 func (s *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 	now := s.tcp.Now()
 	h := healthz{ID: s.cfg.ID, Model: s.cfg.Model, OK: true, Uptime: now.Round(time.Millisecond).String()}
-	for _, peer := range s.ring.Members() {
+	if s.el != nil {
+		seq, mode, _, _, _ := s.el.snapshot()
+		h.State, h.Epoch = mode, seq
+		h.OK = mode == stateOK
+	}
+	for _, peer := range s.curRing().Members() {
 		if peer == s.cfg.ID {
 			continue
 		}
@@ -144,8 +154,28 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		gauge("ec_wal_disk_bytes", "On-disk footprint of the WAL segments.", uint64(s.dur.log.DiskBytes()))
 	}
 
-	peers := make([]string, 0, s.ring.Size())
-	for _, p := range s.ring.Members() {
+	if s.el != nil {
+		seq, mode, _, done, total := s.el.snapshot()
+		t := &s.qnode.Transfer
+		fmt.Fprintf(&b, "# HELP ec_transfer_bytes_total Bytes moved by elasticity arc transfers, by direction.\n# TYPE ec_transfer_bytes_total counter\n")
+		fmt.Fprintf(&b, "ec_transfer_bytes_total{direction=\"in\"} %d\n", t.BytesIn.Load())
+		fmt.Fprintf(&b, "ec_transfer_bytes_total{direction=\"out\"} %d\n", t.BytesOut.Load())
+		counter("ec_transfer_ranges_total", "Arc ranges this node finished pulling.", t.RangesDone.Load())
+		counter("ec_transfer_throttle_waits_total", "Transfer batches delayed by the source's token bucket.", t.ThrottleWaits.Load())
+		counter("ec_transfer_gated_reads_total", "Replica reads refused because the key's range was still in flight.", t.GatedReads.Load())
+		counter("ec_transfer_not_owner_total", "Replica writes refused for stale epoch ownership.", t.NotOwnerSeen.Load())
+		fmt.Fprintf(&b, "# HELP ec_ring_epoch Membership epoch this node has installed.\n# TYPE ec_ring_epoch gauge\nec_ring_epoch %d\n", seq)
+		stateVal := 0
+		if mode == stateOK {
+			stateVal = 1
+		}
+		fmt.Fprintf(&b, "# HELP ec_ring_ok Whether the node is a fully serving member (0 while catching-up, draining, or left).\n# TYPE ec_ring_ok gauge\nec_ring_ok %d\n", stateVal)
+		fmt.Fprintf(&b, "# HELP ec_transfer_ranges_pending Arc ranges still in flight for the open epoch.\n# TYPE ec_transfer_ranges_pending gauge\nec_transfer_ranges_pending %d\n", total-done)
+	}
+
+	cur := s.curRing()
+	peers := make([]string, 0, cur.Size())
+	for _, p := range cur.Members() {
 		if p != s.cfg.ID {
 			peers = append(peers, p)
 		}

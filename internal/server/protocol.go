@@ -66,6 +66,14 @@ type Response struct {
 	// consistency model (set on "status").
 	Node  string
 	Model string
+	// NotOwner marks a typed ownership refusal: this node has left the
+	// ring (or is draining of writes) under membership epoch Epoch, and
+	// the client should retry against a current member. State is the
+	// node's elasticity state ("ok", "catching-up", "draining", "left");
+	// it also rides on "status"/"ring-status" answers.
+	NotOwner bool
+	Epoch    uint64
+	State    string
 }
 
 func (Request) WireID() uint16 { return widRequest }
@@ -89,7 +97,10 @@ func (m Response) AppendBinary(dst []byte) []byte {
 	dst = wire.AppendVector(dst, m.Token.Read)
 	dst = wire.AppendVector(dst, m.Token.Write)
 	dst = wire.AppendString(dst, m.Node)
-	return wire.AppendString(dst, m.Model)
+	dst = wire.AppendString(dst, m.Model)
+	dst = wire.AppendBool(dst, m.NotOwner)
+	dst = wire.AppendUvarint(dst, m.Epoch)
+	return wire.AppendString(dst, m.State)
 }
 
 func init() {
@@ -105,15 +116,18 @@ func init() {
 	})
 	transport.RegisterBinary(widResponse, func(r *wire.Reader) transport.Message {
 		return Response{
-			Seq:    r.Uvarint(),
-			OK:     r.Bool(),
-			Err:    r.String(),
-			Value:  r.Bytes(),
-			Found:  r.Bool(),
-			Values: r.ByteSlices(),
-			Token:  session.Token{Read: r.Vector(), Write: r.Vector()},
-			Node:   r.String(),
-			Model:  r.String(),
+			Seq:      r.Uvarint(),
+			OK:       r.Bool(),
+			Err:      r.String(),
+			Value:    r.Bytes(),
+			Found:    r.Bool(),
+			Values:   r.ByteSlices(),
+			Token:    session.Token{Read: r.Vector(), Write: r.Vector()},
+			Node:     r.String(),
+			Model:    r.String(),
+			NotOwner: r.Bool(),
+			Epoch:    r.Uvarint(),
+			State:    r.String(),
 		}
 	})
 }

@@ -11,6 +11,17 @@ import (
 // Codec pinning for the client protocol: the binary round trip must be
 // exact and must agree with the gob codec (see internal/wiretest).
 
+func genStrs(g *wiretest.Gen) []string {
+	if g.R.Intn(4) == 0 {
+		return nil
+	}
+	out := make([]string, 1+g.R.Intn(4))
+	for i := range out {
+		out[i] = g.Str()
+	}
+	return out
+}
+
 func genMsgs(g *wiretest.Gen) []transport.Message {
 	return []transport.Message{
 		Request{
@@ -21,16 +32,33 @@ func genMsgs(g *wiretest.Gen) []transport.Message {
 			Token: session.Token{Read: g.Vector(), Write: g.Vector()},
 		},
 		Response{
-			Seq:    g.Uint64(),
-			OK:     g.Bool(),
-			Err:    g.Str(),
-			Value:  g.Bytes(),
-			Found:  g.Bool(),
-			Values: g.ByteSlices(),
-			Token:  session.Token{Read: g.Vector(), Write: g.Vector()},
-			Node:   g.Str(),
-			Model:  g.Str(),
+			Seq:      g.Uint64(),
+			OK:       g.Bool(),
+			Err:      g.Str(),
+			Value:    g.Bytes(),
+			Found:    g.Bool(),
+			Values:   g.ByteSlices(),
+			Token:    session.Token{Read: g.Vector(), Write: g.Vector()},
+			Node:     g.Str(),
+			Model:    g.Str(),
+			NotOwner: g.Bool(),
+			Epoch:    g.Uint64(),
+			State:    g.Str(),
 		},
+		ringUpdate{
+			Seq:     g.Uint64(),
+			Joining: g.Str(),
+			Leaving: g.Str(),
+			Members: genStrs(g),
+			Addrs:   genStrs(g),
+			Settled: g.Bool(),
+			Reply:   g.Bool(),
+		},
+		ringAck{Seq: g.Uint64()},
+		beginTransfer{Seq: g.Uint64()},
+		transferComplete{Seq: g.Uint64()},
+		epochSettled{Seq: g.Uint64()},
+		ringPull{Pad: g.Byte()},
 	}
 }
 

@@ -54,6 +54,18 @@ type Config struct {
 	// CheckpointInterval paces background snapshots that bound WAL
 	// growth (default 5s; negative disables checkpointing).
 	CheckpointInterval time.Duration
+	// Joining marks this node as a live joiner (quorum model only): it
+	// boots owning nothing — the placement ring excludes it — and stays
+	// in the "catching-up" state until the cluster installs its join
+	// epoch and streams its arcs over (see `ecctl add-node`). Peers must
+	// still include this node's own id/address.
+	Joining bool
+	// TransferRate caps elasticity arc streaming at this many bytes per
+	// second per source node (0 = protocol default). Quorum model only.
+	TransferRate int
+	// TransferBatch bounds one transfer batch's payload bytes (0 =
+	// protocol default). Quorum model only.
+	TransferBatch int
 }
 
 // Server is one running node: a TCP transport hosting the model's
@@ -68,6 +80,9 @@ type Server struct {
 	gwQuorum  *quorum.Client // quorum model: shared gateway actor's client
 	gwID      string
 	gossipN   *gossip.Node // gossip model: ops run on the storage actor itself
+	qnode     *quorum.Node // quorum model: the storage actor's protocol node
+	qN        int          // quorum model: replication factor
+	el        *elastic     // quorum model: live membership state
 	dur       *durability  // nil unless Config.DataDir set
 	ackB      *ackBarrier  // nil unless durable: holds acks until fsync
 	httpLn    net.Listener
@@ -90,6 +105,12 @@ func (c Config) validate() error {
 	}
 	if _, ok := c.Peers[c.ID]; !ok {
 		return fmt.Errorf("server: Config.Peers must contain own id %q", c.ID)
+	}
+	if c.Joining && c.Model != "quorum" {
+		return fmt.Errorf("server: Joining requires the quorum model, not %q", c.Model)
+	}
+	if c.Joining && len(c.Peers) < 2 {
+		return errors.New("server: a joining node needs at least one existing peer")
 	}
 	switch c.Model {
 	case "gossip", "quorum", "session":
@@ -115,9 +136,21 @@ func New(cfg Config) (*Server, error) {
 	}
 	sort.Strings(members)
 
+	// A joiner owns nothing at boot: its placement ring is the cluster
+	// WITHOUT itself until the join epoch arrives and its arcs stream in.
+	ringMembers := members
+	if cfg.Joining {
+		ringMembers = make([]string, 0, len(members)-1)
+		for _, m := range members {
+			if m != cfg.ID {
+				ringMembers = append(ringMembers, m)
+			}
+		}
+	}
+
 	s := &Server{
 		cfg:      cfg,
-		ring:     ring.New(members, ring.DefaultVirtualNodes),
+		ring:     ring.New(ringMembers, ring.DefaultVirtualNodes),
 		dir:      resilience.NewDirectory(policy),
 		policy:   policy,
 		reqCount: metrics.NewCounters(),
@@ -168,21 +201,40 @@ func New(cfg Config) (*Server, error) {
 			func() int64 { return time.Now().UnixNano() })
 		node, handler = s.gossipN, s.gossipN
 	case "quorum":
-		n, r, w := quorumParams(cfg, len(members))
+		n, r, w := quorumParams(cfg, len(ringMembers))
+		s.qN = n
+		mode := stateOK
+		if cfg.Joining {
+			mode = stateCatchingUp
+		}
+		addrs := make(map[string]string, len(cfg.Peers))
+		for id, a := range cfg.Peers {
+			addrs[id] = a
+		}
+		s.el = &elastic{
+			cur:   s.ring,
+			mode:  mode,
+			addrs: addrs,
+		}
 		qcfg := quorum.Config{
-			Ring:         members,
-			N:            n,
-			R:            r,
-			W:            w,
-			ReadRepair:   true,
-			SloppyQuorum: true,
-			AntiEntropy:  true,
-			Resilience:   policy,
-			Directory:    s.dir,
-			Placement:    s.ring,
-			Persist:      persist,
+			Ring:          ringMembers,
+			N:             n,
+			R:             r,
+			W:             w,
+			ReadRepair:    true,
+			SloppyQuorum:  true,
+			AntiEntropy:   true,
+			Resilience:    policy,
+			Directory:     s.dir,
+			Placement:     livePlacement{s},
+			Elastic:       serverElastic{s},
+			OnStaleRing:   s.onStaleRing,
+			TransferRate:  cfg.TransferRate,
+			TransferBatch: cfg.TransferBatch,
+			Persist:       persist,
 		}
 		qn := quorum.NewNode(cfg.ID, qcfg)
+		s.qnode = qn
 		node, handler = qn, qn
 	case "session":
 		sn := session.NewServer(cfg.ID, session.ServerConfig{Peers: others, Persist: persist})
@@ -198,6 +250,12 @@ func New(cfg Config) (*Server, error) {
 			tcp.Close()
 			return nil, fmt.Errorf("server %s: recovery from %s: %w", cfg.ID, cfg.DataDir, err)
 		}
+	}
+	// Membership traffic shares the storage actor's loop (and, below,
+	// its durability ack barrier): epoch installs serialize with the
+	// protocol work they re-route.
+	if s.el != nil {
+		handler = &elasticHandler{s: s, inner: handler}
 	}
 	// A durable node's acks wait for the WAL, not the WAL for the node:
 	// the barrier defers the storage actor's outgoing messages until
@@ -215,7 +273,7 @@ func New(cfg Config) (*Server, error) {
 		// handlers funnel operations onto its loop with Invoke.
 		s.gwID = cfg.ID + "#gw"
 		s.gwQuorum = quorum.NewClient(s.gwID)
-		s.gwQuorum.Nodes = members
+		s.gwQuorum.Nodes = ringMembers
 		s.gwQuorum.Policy = policy
 		s.gwQuorum.Directory = s.dir
 		tcp.AddNode(s.gwID, s.gwQuorum)
@@ -295,8 +353,20 @@ func (s *Server) HTTPAddr() string {
 // ID returns the node id.
 func (s *Server) ID() string { return s.cfg.ID }
 
-// Ring returns the placement ring (immutable).
-func (s *Server) Ring() *ring.Ring { return s.ring }
+// Ring returns the current placement ring (immutable; a new ring is
+// swapped in when a membership epoch installs).
+func (s *Server) Ring() *ring.Ring { return s.curRing() }
+
+// curRing returns the ring of the node's current membership epoch (the
+// boot ring for models without elasticity).
+func (s *Server) curRing() *ring.Ring {
+	if s.el == nil {
+		return s.ring
+	}
+	s.el.mu.Lock()
+	defer s.el.mu.Unlock()
+	return s.el.cur
+}
 
 // Close shuts the node down.
 func (s *Server) Close() {
@@ -475,10 +545,37 @@ func (s *Server) handle(req Request, sess *session.Client, sessID string) Respon
 func (s *Server) dispatch(req Request, sess *session.Client, sessID string) Response {
 	switch req.Op {
 	case "status":
-		return Response{OK: true, Model: s.cfg.Model}
+		resp := Response{OK: true, Model: s.cfg.Model}
+		if s.el != nil {
+			seq, mode, _, _, _ := s.el.snapshot()
+			resp.Epoch, resp.State = seq, mode
+		}
+		return resp
+	case "ring-status":
+		return s.handleRingStatus()
+	case "add-node":
+		return s.handleAddNode(req)
+	case "decommission":
+		return s.handleDecommission()
 	case "put", "get", "del":
 	default:
 		return Response{Err: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+	// A node that left the ring — or is draining, for writes — redirects
+	// the client with a typed refusal instead of silently serving (or
+	// coordinating) against stale ownership.
+	if s.el != nil {
+		s.el.mu.Lock()
+		mode, seq := s.el.mode, s.el.seq
+		s.el.mu.Unlock()
+		if mode == stateLeft || (mode == stateDraining && req.Op != "get") {
+			return Response{
+				Err:      fmt.Sprintf("node %s is %s; retry against a current member", s.cfg.ID, mode),
+				NotOwner: true,
+				Epoch:    seq,
+				State:    mode,
+			}
+		}
 	}
 	switch s.cfg.Model {
 	case "gossip":
@@ -541,7 +638,7 @@ func (s *Server) handleGossip(req Request) Response {
 // a key land on its primary replica, and the client's resilience layer
 // fails over if that node is down.
 func (s *Server) handleQuorum(req Request) Response {
-	coord := s.ring.Owner(req.Key)
+	coord := s.curRing().Owner(req.Key)
 	if coord == "" {
 		coord = s.cfg.ID
 	}
