@@ -119,6 +119,8 @@ func BenchmarkMerkleDiff(b *testing.B)          { runGroup(b, "BenchmarkMerkleDi
 func BenchmarkMerkleDescend(b *testing.B)       { runGroup(b, "BenchmarkMerkleDescend") }
 func BenchmarkKVPut(b *testing.B)               { runGroup(b, "BenchmarkKVPut") }
 func BenchmarkKVGet(b *testing.B)               { runGroup(b, "BenchmarkKVGet") }
+func BenchmarkKVPutParallel(b *testing.B)       { runGroup(b, "BenchmarkKVPutParallel") }
+func BenchmarkKVGetParallel(b *testing.B)       { runGroup(b, "BenchmarkKVGetParallel") }
 func BenchmarkZipfianNext(b *testing.B)         { runGroup(b, "BenchmarkZipfianNext") }
 func BenchmarkHLCNow(b *testing.B)              { runGroup(b, "BenchmarkHLCNow") }
 
@@ -136,6 +138,11 @@ func BenchmarkRingJoinDiff(b *testing.B)         { runGroup(b, "BenchmarkRingJoi
 // (internal/wal).
 func BenchmarkWALAppend(b *testing.B)   { runGroup(b, "BenchmarkWALAppend") }
 func BenchmarkWALRecovery(b *testing.B) { runGroup(b, "BenchmarkWALRecovery") }
+
+// BenchmarkWALRecoveryParallel replays the same journal through
+// ReplaySharded with 2/4/8 lanes — the parallel crash-recovery path a
+// sharded quorum node boots through.
+func BenchmarkWALRecoveryParallel(b *testing.B) { runGroup(b, "BenchmarkWALRecoveryParallel") }
 
 // BenchmarkWALAppendConcurrent measures SyncEach appends with many
 // goroutines in flight — the group-commit path (one committer fsync per

@@ -11,7 +11,7 @@
 //	ecctl get <key>               # read (carries a session token if model=session)
 //	ecctl del <key>               # delete
 //	ecctl smoke                   # end-to-end check incl. session guarantees
-//	ecctl bench -clients 32       # closed-loop load: pipelined puts/gets, ops/s + latency
+//	ecctl bench -clients 32       # closed-loop load: ops/s, latency, server cpu
 //	ecctl kill <node>             # SIGKILL one node
 //	ecctl restart <node>          # respawn it from its data dir (WAL recovery)
 //	ecctl add-node                # scale out: admit a new node, stream its arcs live
@@ -36,6 +36,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -55,6 +56,9 @@ type clusterState struct {
 	Data  map[string]string `json:"data"`  // id -> durable state dir ("" = memory-only)
 	Fsync string            `json:"fsync"` // WAL fsync policy nodes were started with
 	Seeds map[string]int64  `json:"seeds"` // id -> randomness seed (restart reuses it)
+	// Shards is the per-node execution shard count every node was
+	// spawned with (0 = server default: GOMAXPROCS).
+	Shards int `json:"shards,omitempty"`
 	// XferRate/XferBatch throttle elasticity arc transfers (0 = server
 	// defaults); every node is spawned with them so sources pace
 	// streams consistently.
@@ -176,6 +180,7 @@ func cmdUp(args []string) error {
 	seed := fs.Int64("seed", 1, "base randomness seed")
 	fsync := fs.String("fsync", "sync", "WAL fsync policy: sync, batch, or none")
 	noData := fs.Bool("no-data", false, "run memory-only (no WAL, no crash recovery)")
+	shards := fs.Int("shards", 0, "execution shards per node (0 = GOMAXPROCS, 1 = serial; quorum model)")
 	xferRate := fs.Int("transfer-rate", 0, "elasticity transfer throttle, bytes/sec per source (0 = default)")
 	xferBatch := fs.Int("transfer-batch", 0, "elasticity transfer batch payload bytes (0 = default)")
 	dir := stateDir(fs)
@@ -203,6 +208,7 @@ func cmdUp(args []string) error {
 		Data:      map[string]string{},
 		Fsync:     *fsync,
 		Seeds:     map[string]int64{},
+		Shards:    *shards,
 		XferRate:  *xferRate,
 		XferBatch: *xferBatch,
 	}
@@ -271,6 +277,9 @@ func spawnNode(dir, bin string, st *clusterState, id string, extra ...string) er
 		if st.Fsync != "" {
 			cargs = append(cargs, "-fsync", st.Fsync)
 		}
+	}
+	if st.Shards > 0 {
+		cargs = append(cargs, "-shards", fmt.Sprint(st.Shards))
 	}
 	if st.XferRate > 0 {
 		cargs = append(cargs, "-transfer-rate", fmt.Sprint(st.XferRate))
@@ -638,6 +647,27 @@ func cmdStatus(args []string) error {
 				line += fmt.Sprintf(" transferred-ranges=%d", uint64(r))
 			}
 		}
+		if c, err := server.Dial(st.Peers[id], "ecctl-status"); err == nil {
+			if rs, err := c.RingStatus(); err == nil {
+				if rs.Shards > 1 {
+					line += fmt.Sprintf(" shards=%d", rs.Shards)
+				}
+				// Lane 0 is the serial control loop; lanes 1..S are the
+				// execution shards that replayed keyed records in parallel.
+				var replayed uint64
+				for _, n := range rs.ReplayedByLane {
+					replayed += n
+				}
+				if replayed > 0 && len(rs.ReplayedByLane) > 1 {
+					parts := make([]string, len(rs.ReplayedByLane))
+					for i, n := range rs.ReplayedByLane {
+						parts[i] = fmt.Sprintf("%d", n)
+					}
+					line += fmt.Sprintf(" replayed-by-lane=%s", strings.Join(parts, "/"))
+				}
+			}
+			c.Close()
+		}
 		fmt.Println(line)
 	}
 	return nil
@@ -985,6 +1015,7 @@ func cmdBench(args []string) error {
 	}
 	results := make([]result, *workers)
 	deadline := time.Now().Add(*dur)
+	cpu0, cpuOK := serverCPU(st)
 	var wg sync.WaitGroup
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
@@ -1034,10 +1065,52 @@ func cmdBench(args []string) error {
 	fmt.Printf("bench: %d ops in %s = %.0f ops/sec (%d errors)\n",
 		ops, elapsed.Round(time.Millisecond), float64(ops)/elapsed.Seconds(), errs)
 	fmt.Printf("bench: latency p50=%s p99=%s\n", q(0.50), q(0.99))
+	if cpu1, ok := serverCPU(st); ok && cpuOK {
+		busy := (cpu1 - cpu0).Seconds()
+		fmt.Printf("bench: server cpu %.2fs user+sys over %s = %.2f cores busy\n",
+			busy, elapsed.Round(time.Millisecond), busy/elapsed.Seconds())
+	}
 	if errs > 0 {
 		return fmt.Errorf("%d/%d operations failed", errs, ops)
 	}
 	return nil
+}
+
+// serverCPU sums user+sys CPU time consumed so far by the cluster's
+// server processes, read from /proc/<pid>/stat. Sampled before and
+// after a bench run, the delta says how many cores the servers kept
+// busy — the number the shard sweep is supposed to move. Returns
+// ok=false when no pid could be read (stopped cluster, or a platform
+// without procfs), and bench just omits the utilization line.
+func serverCPU(st *clusterState) (time.Duration, bool) {
+	const userHZ = 100 // kernel USER_HZ: stat ticks per second
+	var ticks uint64
+	ok := false
+	for _, pid := range st.PIDs {
+		b, err := os.ReadFile(fmt.Sprintf("/proc/%d/stat", pid))
+		if err != nil {
+			continue
+		}
+		// Fields after the parenthesised comm (which may itself contain
+		// spaces): state is field 3, utime field 14, stime field 15.
+		s := string(b)
+		i := strings.LastIndexByte(s, ')')
+		if i < 0 {
+			continue
+		}
+		f := strings.Fields(s[i+1:])
+		if len(f) < 13 {
+			continue
+		}
+		utime, err1 := strconv.ParseUint(f[11], 10, 64)
+		stime, err2 := strconv.ParseUint(f[12], 10, 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		ticks += utime + stime
+		ok = true
+	}
+	return time.Duration(ticks) * time.Second / userHZ, ok
 }
 
 func sortedIDs(st *clusterState) []string {

@@ -18,16 +18,18 @@ import (
 // SaturationConfig parameterizes one open-loop run against a fresh
 // in-process cluster.
 type SaturationConfig struct {
-	Nodes     int           // cluster size (default 3)
-	Model     string        // consistency model (default "quorum")
-	Durable   bool          // journal to a WAL, fsync-before-ack
-	Dir       string        // scratch dir for WALs (required when Durable)
-	Target    int           // offered load in ops/sec (default 6000)
-	Duration  time.Duration // measurement window (default 1.5s)
-	Conns     int           // pipelined client connections (default 4)
-	ValueSize int           // put payload bytes (default 128)
-	Keys      int           // distinct keys (default 1000)
-	GetFrac   float64       // fraction of gets (default 0.5)
+	Nodes     int            // cluster size (default 3)
+	Model     string         // consistency model (default "quorum")
+	Durable   bool           // journal to a WAL before acking
+	Fsync     wal.SyncPolicy // WAL fsync policy when Durable (zero = SyncEach)
+	Dir       string         // scratch dir for WALs (required when Durable)
+	Target    int            // offered load in ops/sec (default 6000)
+	Duration  time.Duration  // measurement window (default 1.5s)
+	Conns     int            // pipelined client connections (default 4)
+	ValueSize int            // put payload bytes (default 128)
+	Keys      int            // distinct keys (default 1000)
+	GetFrac   float64        // fraction of gets (default 0.5)
+	Shards    int            // execution shards per node (0 = GOMAXPROCS; quorum model)
 }
 
 // SaturationResult is what one run measured.
@@ -100,13 +102,14 @@ func RunSaturation(cfg SaturationConfig) (SaturationResult, error) {
 			Peers:  peers,
 			Policy: policy,
 			Seed:   int64(1000 + i),
+			Shards: cfg.Shards,
 		}
 		if cfg.Durable {
 			if cfg.Dir == "" {
 				return res, fmt.Errorf("satbench: Durable requires Dir")
 			}
 			scfg.DataDir = filepath.Join(cfg.Dir, scfg.ID)
-			scfg.Fsync = wal.SyncEach
+			scfg.Fsync = cfg.Fsync
 		}
 		s, err := server.New(scfg)
 		if err != nil {
@@ -224,13 +227,16 @@ func reserveAddrs(n int) ([]string, error) {
 
 // saturation runs RunSaturation once per iteration and reports
 // capacity, not time-per-op: achieved ops/s at the fixed offered load,
-// tail latency, and the shed count under overload.
-func saturation(b *testing.B, model string, durable bool) {
+// tail latency, and the shed count under overload. shards 0 leaves the
+// server default (GOMAXPROCS execution shards for the quorum model).
+func saturation(b *testing.B, model string, durable bool, fsync wal.SyncPolicy, shards int) {
 	for i := 0; i < b.N; i++ {
 		res, err := RunSaturation(SaturationConfig{
 			Model:   model,
 			Durable: durable,
+			Fsync:   fsync,
 			Dir:     b.TempDir(),
+			Shards:  shards,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -248,20 +254,30 @@ func saturation(b *testing.B, model string, durable bool) {
 }
 
 // satBenchmarks registers the cluster saturation benchmarks: the
-// in-memory capacity of each model, plus quorum with the full
-// durable-before-ack path (the WAL group-commit case).
+// in-memory capacity of each model, quorum with the full
+// durable-before-ack path (the WAL group-commit case), and the quorum
+// shard-scaling sweep — durable at fsync=batch, shards=1 the classic
+// single actor loop, 4 and 8 multi-core replica execution (the sweep
+// only separates when GOMAXPROCS gives the shards real cores).
 func satBenchmarks() []Benchmark {
 	var out []Benchmark
 	for _, model := range []string{"gossip", "quorum"} {
 		model := model
 		out = append(out, Benchmark{
 			Name: fmt.Sprintf("BenchmarkSaturation/model=%s", model),
-			F:    func(b *testing.B) { saturation(b, model, false) },
+			F:    func(b *testing.B) { saturation(b, model, false, wal.SyncEach, 0) },
 		})
 	}
 	out = append(out, Benchmark{
 		Name: "BenchmarkSaturation/model=quorum-durable",
-		F:    func(b *testing.B) { saturation(b, "quorum", true) },
+		F:    func(b *testing.B) { saturation(b, "quorum", true, wal.SyncEach, 0) },
 	})
+	for _, shards := range []int{1, 4, 8} {
+		shards := shards
+		out = append(out, Benchmark{
+			Name: fmt.Sprintf("BenchmarkSaturation/model=quorum/shards=%d", shards),
+			F:    func(b *testing.B) { saturation(b, "quorum", true, wal.SyncBatch, shards) },
+		})
+	}
 	return out
 }

@@ -93,6 +93,12 @@ type Options struct {
 	Nodes int
 	// Shards is the per-DC shard count for Causal (default 2).
 	Shards int
+	// QuorumShards is the execution shard count for the Quorum model's
+	// nodes (default 1 — the classic single actor loop). Under the
+	// deterministic simulator sharding changes the protocol surface
+	// (per-shard request-id minting and state partitioning) without
+	// introducing real concurrency, so seeded runs stay reproducible.
+	QuorumShards int
 	// Seed drives all randomness.
 	Seed int64
 	// Latency overrides the network model (default: uniform 1–5ms LAN).
@@ -296,6 +302,7 @@ func (c *Cluster) buildQuorum() {
 		Ring: ids, N: c.opts.N, R: c.opts.R, W: c.opts.W,
 		ReadRepair: c.opts.ReadRepair, SloppyQuorum: c.opts.SloppyQuorum,
 		Resilience: c.opts.Resilience, Directory: c.resDir, Counters: c.resCounters,
+		Shards: c.opts.QuorumShards,
 	}
 	for _, id := range ids {
 		c.sim.AddNode(id, quorum.NewNode(id, cfg))

@@ -2,6 +2,7 @@ package quorum
 
 import (
 	"hash/fnv"
+	"sync/atomic"
 
 	"repro/internal/clock"
 	"repro/internal/sim"
@@ -59,8 +60,12 @@ func (m aePush) Size() int { return aeResp{Entries: m.Entries}.Size() }
 type aeTick struct{}
 
 // tree returns (creating lazily) the Merkle tree tracking keys shared
-// with peer.
+// with peer. aeMu guards only the map — each tree synchronizes itself —
+// because noteKeyChanged runs on shard goroutines while the AE exchange
+// runs on the serial loop.
 func (n *Node) tree(peer string) *storage.Merkle {
+	n.aeMu.Lock()
+	defer n.aeMu.Unlock()
 	if n.aeTrees == nil {
 		n.aeTrees = make(map[string]*storage.Merkle)
 	}
@@ -107,12 +112,13 @@ func (n *Node) noteKeyChanged(key string) {
 
 // startAntiEntropy exchanges with one random peer.
 func (n *Node) startAntiEntropy(env sim.Env) {
-	if len(n.cfg.Ring) < 2 {
+	ring := n.ring()
+	if len(ring) < 2 {
 		return
 	}
 	var peer string
 	for {
-		peer = n.cfg.Ring[env.Rand().Intn(len(n.cfg.Ring))]
+		peer = ring[env.Rand().Intn(len(ring))]
 		if peer != n.id {
 			break
 		}
@@ -158,18 +164,18 @@ func (n *Node) entriesInBuckets(peer string, buckets []int) []aeEntry {
 }
 
 func (n *Node) handleAEResp(env sim.Env, from string, m aeResp) {
-	n.applyAEEntries(m.Entries)
+	n.applyAEEntries(execDomain(env), m.Entries)
 	env.Send(from, aePush{Entries: n.entriesInBuckets(from, m.Buckets)})
-	n.AESyncs++
+	atomic.AddUint64(&n.AESyncs, 1)
 }
 
-func (n *Node) applyAEEntries(entries []aeEntry) {
+func (n *Node) applyAEEntries(domain int, entries []aeEntry) {
 	for _, e := range entries {
 		if !contains(n.PreferenceList(e.Key), n.id) {
 			continue // not a replica of this key; ignore
 		}
 		for _, s := range e.Entries {
-			n.installEntry(e.Key, s)
+			n.installEntry(domain, e.Key, s)
 		}
 		n.noteKeyChanged(e.Key)
 	}

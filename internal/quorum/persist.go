@@ -2,11 +2,14 @@ package quorum
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/clock"
+	"repro/internal/storage"
 )
 
 // Durability hooks. A quorum node's durable state is three maps: the
@@ -76,13 +79,76 @@ type quorumImage struct {
 	Transfers []transferDoneRec
 }
 
-func (n *Node) persistRecord(r walRecord) {
-	if n.cfg.Persist == nil {
+// Record framing. With the plain Persist hook records are bare gob, as
+// they always were. With PersistAt, every record gains a one-byte magic
+// plus, for key-addressed records, the key's 64-bit shard hash — so
+// parallel replay can route a raw record to its shard in O(1) without
+// decoding it (see ReplayDomain). The magic bytes sit in a range a gob
+// stream's leading length byte can never occupy, letting replay fall
+// back to bare-gob decoding for journals written before sharding.
+const (
+	recMagicKeyed  = 0xEC // [magic][8-byte LE key hash][gob]
+	recMagicSerial = 0xED // [magic][gob]
+)
+
+// frameRecord wraps an encoded record with its replay-routing header.
+func frameRecord(keyed bool, hash uint64, gobBytes []byte) []byte {
+	if !keyed {
+		return append([]byte{recMagicSerial}, gobBytes...)
+	}
+	out := make([]byte, 9, 9+len(gobBytes))
+	out[0] = recMagicKeyed
+	binary.LittleEndian.PutUint64(out[1:9], hash)
+	return append(out, gobBytes...)
+}
+
+// recordKey returns the routing key of a record, or "" for records bound
+// to the serial domain (transfer completions are epoch-, not key-scoped).
+func (r walRecord) recordKey() (string, bool) {
+	switch {
+	case r.Entry != nil:
+		return r.Entry.Key, true
+	case r.Hint != nil:
+		return r.Hint.Key, true
+	case r.HintAck != nil:
+		return r.HintAck.Key, true
+	case r.Mint != nil:
+		return r.Mint.Key, true
+	}
+	return "", false
+}
+
+// ReplayDomain routes a raw journaled record for parallel replay: the
+// owning shard index for key-addressed records, -1 for records that must
+// replay on the serial lane (transfer completions and legacy bare-gob
+// records, whose ordering against everything else is then preserved by
+// the single serial lane).
+func (n *Node) ReplayDomain(rec []byte) int {
+	if len(rec) >= 9 && rec[0] == recMagicKeyed {
+		return n.router.ShardOfHash(binary.LittleEndian.Uint64(rec[1:9]))
+	}
+	return -1
+}
+
+func (n *Node) persistEnabled() bool {
+	return n.cfg.Persist != nil || n.cfg.PersistAt != nil
+}
+
+// persistRecord journals one mutation. domain names the execution domain
+// the mutation ran on (0 = serial loop, 1+i = shard i) so the hosting
+// server can account the pending fsync to the right ack barrier.
+func (n *Node) persistRecord(domain int, r walRecord) {
+	if !n.persistEnabled() {
 		return
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
 		panic(fmt.Sprintf("quorum: encode WAL record: %v", err))
+	}
+	if n.cfg.PersistAt != nil {
+		key, keyed := r.recordKey()
+		n.cfg.PersistAt(domain, frameRecord(keyed, storage.KeyHash(key), buf.Bytes()))
+		return
 	}
 	n.cfg.Persist(buf.Bytes())
 }
@@ -91,18 +157,31 @@ func (n *Node) persistRecord(r walRecord) {
 // the set changed; a change is journaled. This is the single install
 // path shared by replica puts, handoff delivery, read repair, active
 // anti-entropy, and WAL replay (which calls it with journaling off).
-func (n *Node) installEntry(key string, e clock.SiblingEntry[record]) bool {
-	sib := n.siblings(key)
-	if n.cfg.Persist == nil {
+// domain is the executing durability domain (see persistRecord).
+func (n *Node) installEntry(domain int, key string, e clock.SiblingEntry[record]) bool {
+	sh := n.shardFor(key)
+	sh.mu.Lock()
+	sib, ok := sh.data[key]
+	if !ok {
+		sib = &clock.Siblings[record]{}
+		sh.data[key] = sib
+	}
+	if !n.persistEnabled() {
 		sib.Add(e.DVV, e.Value)
+		sh.mu.Unlock()
 		return true
 	}
 	before := sib.Entries()
 	sib.Add(e.DVV, e.Value)
-	if sameEntries(before, sib.Entries()) {
+	changed := !sameEntries(before, sib.Entries())
+	sh.mu.Unlock()
+	if !changed {
 		return false // duplicate or obsolete: nothing to journal
 	}
-	n.persistRecord(walRecord{Entry: &entryRec{Key: key, Entry: e}})
+	// Journaled outside the lock: concurrent installs of the same key are
+	// causally unordered, and replaying their records in either order
+	// joins to the same sibling set (Siblings.Add is a semilattice merge).
+	n.persistRecord(domain, walRecord{Entry: &entryRec{Key: key, Entry: e}})
 	return true
 }
 
@@ -110,6 +189,8 @@ func (n *Node) installEntry(key string, e clock.SiblingEntry[record]) bool {
 // retried RPCs and WAL replay keep the queue at-most-once. Reports
 // whether the hint was new.
 func (n *Node) storeHint(intended, key string, e clock.SiblingEntry[record]) bool {
+	n.hintsMu.Lock()
+	defer n.hintsMu.Unlock()
 	if n.hints[intended] == nil {
 		n.hints[intended] = make(map[string][]clock.SiblingEntry[record])
 	}
@@ -125,6 +206,8 @@ func (n *Node) storeHint(intended, key string, e clock.SiblingEntry[record]) boo
 // dropHints discards the hints queued for intended under key (they were
 // acknowledged delivered), reporting how many were dropped.
 func (n *Node) dropHints(intended, key string) int {
+	n.hintsMu.Lock()
+	defer n.hintsMu.Unlock()
 	keys, ok := n.hints[intended]
 	if !ok {
 		return 0
@@ -140,24 +223,43 @@ func (n *Node) dropHints(intended, key string) int {
 // ReplayRecord re-applies one journaled mutation during crash recovery.
 // Must run before the node starts exchanging messages, with Persist
 // still unset (the server wires Persist only after replay) so replay
-// does not re-journal.
+// does not re-journal. Records for different keys may be replayed
+// concurrently (the parallel recovery path partitions the journal with
+// ReplayDomain); per-key structures are lock-guarded, and TransferDone
+// records must stay on the single serial replay lane.
 func (n *Node) ReplayRecord(rec []byte) error {
+	// Strip the replay-routing header; journals written through the
+	// plain Persist hook are bare gob (see frameRecord).
+	if len(rec) > 0 {
+		switch rec[0] {
+		case recMagicKeyed:
+			if len(rec) < 9 {
+				return fmt.Errorf("quorum: truncated keyed WAL record")
+			}
+			rec = rec[9:]
+		case recMagicSerial:
+			rec = rec[1:]
+		}
+	}
 	var r walRecord
 	if err := gob.NewDecoder(bytes.NewReader(rec)).Decode(&r); err != nil {
 		return fmt.Errorf("quorum: decode WAL record: %w", err)
 	}
 	switch {
 	case r.Entry != nil:
-		n.installEntry(r.Entry.Key, r.Entry.Entry)
+		n.installEntry(0, r.Entry.Key, r.Entry.Entry)
 		n.noteKeyChanged(r.Entry.Key)
 	case r.Hint != nil:
 		n.storeHint(r.Hint.Intended, r.Hint.Key, r.Hint.Entry)
 	case r.HintAck != nil:
 		n.dropHints(r.HintAck.Intended, r.HintAck.Key)
 	case r.Mint != nil:
-		if r.Mint.Counter > n.minted[r.Mint.Key] {
-			n.minted[r.Mint.Key] = r.Mint.Counter
+		sh := n.shardFor(r.Mint.Key)
+		sh.mu.Lock()
+		if r.Mint.Counter > sh.minted[r.Mint.Key] {
+			sh.minted[r.Mint.Key] = r.Mint.Counter
 		}
+		sh.mu.Unlock()
 	case r.TransferDone != nil:
 		n.markTransferDone(r.TransferDone.Seq, r.TransferDone.Idx)
 	default:
@@ -167,18 +269,53 @@ func (n *Node) ReplayRecord(rec []byte) error {
 }
 
 // StateSnapshot serializes the node's durable state for a checkpoint.
+// Shards are captured concurrently (each under its own lock); the
+// resulting image is byte-identical to the unsharded layout. The caller
+// fixes the WAL sequence the checkpoint covers before invoking this, so
+// any mutation the capture races is also in the replayed suffix and
+// re-applies idempotently.
 func (n *Node) StateSnapshot() ([]byte, error) {
-	img := quorumImage{Minted: make(map[string]uint64, len(n.minted))}
-	for k := range n.data {
-		img.Keys = append(img.Keys, k)
+	type shardImage struct {
+		keys   []string
+		sets   map[string][]clock.SiblingEntry[record]
+		minted map[string]uint64
+	}
+	images := make([]shardImage, len(n.shards))
+	var wg sync.WaitGroup
+	for i, sh := range n.shards {
+		wg.Add(1)
+		go func(i int, sh *nodeShard) {
+			defer wg.Done()
+			sh.mu.RLock()
+			defer sh.mu.RUnlock()
+			im := shardImage{
+				sets:   make(map[string][]clock.SiblingEntry[record], len(sh.data)),
+				minted: make(map[string]uint64, len(sh.minted)),
+			}
+			for k, s := range sh.data {
+				im.keys = append(im.keys, k)
+				im.sets[k] = s.Entries()
+			}
+			for k, c := range sh.minted {
+				im.minted[k] = c
+			}
+			images[i] = im
+		}(i, sh)
+	}
+	wg.Wait()
+
+	img := quorumImage{Minted: make(map[string]uint64)}
+	for _, im := range images {
+		img.Keys = append(img.Keys, im.keys...)
+		for k, c := range im.minted {
+			img.Minted[k] = c
+		}
 	}
 	sort.Strings(img.Keys)
 	for _, k := range img.Keys {
-		img.Sets = append(img.Sets, n.data[k].Entries())
+		img.Sets = append(img.Sets, images[n.router.Shard(k)].sets[k])
 	}
-	for k, c := range n.minted {
-		img.Minted[k] = c
-	}
+	n.hintsMu.Lock()
 	intendeds := make([]string, 0, len(n.hints))
 	for intended := range n.hints {
 		intendeds = append(intendeds, intended)
@@ -196,6 +333,7 @@ func (n *Node) StateSnapshot() ([]byte, error) {
 			}
 		}
 	}
+	n.hintsMu.Unlock()
 	seqs := make([]uint64, 0, len(n.xferDone))
 	for seq := range n.xferDone {
 		seqs = append(seqs, seq)
@@ -230,14 +368,17 @@ func (n *Node) RestoreState(state []byte) error {
 	}
 	for i, key := range img.Keys {
 		for _, e := range img.Sets[i] {
-			n.installEntry(key, e)
+			n.installEntry(0, key, e)
 		}
 		n.noteKeyChanged(key)
 	}
 	for k, c := range img.Minted {
-		if c > n.minted[k] {
-			n.minted[k] = c
+		sh := n.shardFor(k)
+		sh.mu.Lock()
+		if c > sh.minted[k] {
+			sh.minted[k] = c
 		}
+		sh.mu.Unlock()
 	}
 	for _, h := range img.Hints {
 		n.storeHint(h.Intended, h.Key, h.Entry)

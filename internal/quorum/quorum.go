@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -79,6 +81,16 @@ type Config struct {
 	// acknowledgement leaves the node — the hook the server runtime
 	// wires to its WAL. It runs on the node's actor loop.
 	Persist func(rec []byte)
+	// PersistAt is the sharded variant of Persist: domain 0 is the
+	// serial actor loop, domain 1+i is shard i's goroutine, and the
+	// record carries a routing header so replay can repartition it (see
+	// ReplayDomain). When both are set PersistAt wins. It may be invoked
+	// concurrently from different domains, never concurrently within one.
+	PersistAt func(domain int, rec []byte)
+	// Shards splits the node's replica state into this many key-range
+	// execution domains (rounded up to a power of two; default 1, fully
+	// serial). See shard.go.
+	Shards int
 	// Placement, when non-nil, overrides Ring-order placement: a key's
 	// preference list is Sequence(key)[:N] and its sloppy fallbacks the
 	// remainder of the sequence. internal/ring's consistent-hash ring
@@ -315,45 +327,47 @@ type Node struct {
 	cfg Config
 	id  string
 
-	data map[string]*clock.Siblings[record]
+	// members is the live membership list: shard goroutines walk it for
+	// placement while SetMembers swaps it on the serial loop.
+	members atomic.Pointer[[]string]
 
-	// minted tracks the highest dot counter this node has issued per key,
-	// so dots stay unique even when the local replica apply races the
-	// next coordinated write (or this node is not a replica of the key).
-	minted map[string]uint64
+	// Replica state lives in key-range shards (one with Shards <= 1);
+	// router maps keys to them. See shard.go for the locking story.
+	router storage.ShardRouter
+	shards []*nodeShard
 
 	// hints holds writes accepted on behalf of unreachable nodes:
-	// intended node -> key -> entries.
-	hints map[string]map[string][]clock.SiblingEntry[record]
-
-	nextReq uint64
-	writes  map[uint64]*pendingWrite
-	reads   map[uint64]*pendingRead
-	// repairs holds completed reads still awaiting late replica
-	// responses for background read repair.
-	repairs map[uint64]*repairState
+	// intended node -> key -> entries. Guarded by hintsMu: stored on the
+	// key's shard goroutine, delivered and acked on the serial loop.
+	hintsMu sync.Mutex
+	hints   map[string]map[string][]clock.SiblingEntry[record]
 
 	// aeTrees holds one Merkle tree per peer, covering exactly the keys
-	// both nodes replicate (see antientropy.go).
+	// both nodes replicate (see antientropy.go). aeMu guards the map;
+	// each tree is internally synchronized.
+	aeMu    sync.Mutex
 	aeTrees map[string]*storage.Merkle
 
-	// Elasticity state (see transfer.go). inbound is the open catch-up
-	// window (nil when settled); xferDone remembers journaled range
-	// completions per epoch so a restart resumes instead of re-pulling;
-	// xferCursor tracks per-range pull cursors for retry; xferOut stashes
-	// throttled outbound batches.
+	// Elasticity state (see transfer.go). elMu guards inbound and its
+	// completion flags — the read path consults them from shard
+	// goroutines (gatedKey) while the serial loop advances the transfer.
+	// xferDone remembers journaled range completions per epoch so a
+	// restart resumes instead of re-pulling; xferCursor tracks per-range
+	// pull cursors for retry; xferOut stashes throttled outbound batches
+	// (all three serial-loop-confined).
+	elMu       sync.RWMutex
 	inbound    *catchUp
 	xferDone   map[uint64]map[int]bool
 	xferCursor map[xferKey]cursorPos
 	xferOut    map[xferKey]stashedBatch
-	draining   bool
+	draining   atomic.Bool
 	onDrained  func()
 	// Token bucket pacing outbound transfer batches.
 	tbTokens float64
 	tbLast   time.Duration
 	tbInit   bool
 
-	// Stats.
+	// Stats (written with atomic adds: shard goroutines race each other).
 	ReadRepairsSent uint64
 	HintsStored     uint64
 	HintsDelivered  uint64
@@ -370,18 +384,23 @@ func NewNode(id string, cfg Config) *Node {
 	if err := cfg.Validate(); err != nil {
 		panic(err.Error())
 	}
-	return &Node{
+	router := storage.NewShardRouter(cfg.Shards)
+	shards := make([]*nodeShard, router.Shards())
+	for i := range shards {
+		shards[i] = newNodeShard()
+	}
+	n := &Node{
 		cfg:        cfg,
 		id:         id,
-		data:       make(map[string]*clock.Siblings[record]),
-		minted:     make(map[string]uint64),
+		router:     router,
+		shards:     shards,
 		hints:      make(map[string]map[string][]clock.SiblingEntry[record]),
-		writes:     make(map[uint64]*pendingWrite),
-		reads:      make(map[uint64]*pendingRead),
-		repairs:    make(map[uint64]*repairState),
 		xferDone:   make(map[uint64]map[int]bool),
 		xferCursor: make(map[xferKey]cursorPos),
 	}
+	members := append([]string(nil), cfg.Ring...)
+	n.members.Store(&members)
+	return n
 }
 
 // PreferenceList returns the N replicas for key, in priority order.
@@ -392,7 +411,7 @@ func (n *Node) PreferenceList(key string) []string {
 			return seq[:n.cfg.N:n.cfg.N]
 		}
 	}
-	return preferenceList(n.cfg.Ring, key, n.cfg.N)
+	return preferenceList(n.ring(), key, n.cfg.N)
 }
 
 func preferenceList(ring []string, key string, n int) []string {
@@ -415,12 +434,13 @@ func (n *Node) fallbackList(key string) []string {
 			return seq[n.cfg.N:]
 		}
 	}
+	ring := n.ring()
 	h := fnv.New64a()
 	h.Write([]byte(key))
-	start := int(h.Sum64() % uint64(len(n.cfg.Ring)))
+	start := int(h.Sum64() % uint64(len(ring)))
 	var out []string
-	for i := n.cfg.N; i < len(n.cfg.Ring); i++ {
-		out = append(out, n.cfg.Ring[(start+i)%len(n.cfg.Ring)])
+	for i := n.cfg.N; i < len(ring); i++ {
+		out = append(out, ring[(start+i)%len(ring)])
 	}
 	return out
 }
@@ -474,7 +494,7 @@ func (n *Node) OnTimer(env sim.Env, tag any) {
 			n.readTimeout(env, tg.id)
 		}
 	case pingTag:
-		for _, peer := range n.cfg.Ring {
+		for _, peer := range n.ring() {
 			if peer != n.id {
 				env.Send(peer, resPing{})
 			}
@@ -507,35 +527,20 @@ func (n *Node) OnMessage(env sim.Env, from string, msg sim.Message) {
 	case replicaPutAck:
 		n.onPutAck(env, from, m.ID)
 	case replicaGet:
-		if n.gatedKey(m.Key) {
-			// This replica is still pulling the key's arc: answering from
-			// a partial copy could serve a gap. NotReady tells the
-			// coordinator to count someone else — the old owners are in
-			// the new ring's fallback walk.
-			n.Transfer.GatedReads.Add(1)
-			env.Send(from, replicaGetResp{ID: m.ID, Key: m.Key, NotReady: true})
-			return
-		}
-		entries := n.localEntries(m.Key)
-		if n.cfg.Resilience != nil {
-			// A fallback replica answers with the hinted writes it holds
-			// too — during a partition they are the freshest (often only)
-			// copies reachable from this side.
-			entries = append(entries, n.hintedEntries(m.Key)...)
-		}
-		env.Send(from, replicaGetResp{ID: m.ID, Key: m.Key, Entries: entries})
+		n.answerReplicaGet(env, from, m)
 	case replicaGetResp:
 		n.onGetResp(env, from, m)
 	case handoffDeliver:
+		dom := execDomain(env)
 		for _, e := range m.Entries {
-			n.installEntry(m.Key, e)
+			n.installEntry(dom, m.Key, e)
 		}
 		n.noteKeyChanged(m.Key)
 		env.Send(from, handoffAck{Key: m.Key})
 	case handoffAck:
 		if dropped := n.dropHints(from, m.Key); dropped > 0 {
-			n.HintsDelivered += uint64(dropped)
-			n.persistRecord(walRecord{HintAck: &hintAckRec{Intended: from, Key: m.Key}})
+			atomic.AddUint64(&n.HintsDelivered, uint64(dropped))
+			n.persistRecord(execDomain(env), walRecord{HintAck: &hintAckRec{Intended: from, Key: m.Key}})
 		}
 	case resPing:
 		env.Send(from, resPong{})
@@ -546,7 +551,7 @@ func (n *Node) OnMessage(env sim.Env, from string, msg sim.Message) {
 	case aeResp:
 		n.handleAEResp(env, from, m)
 	case aePush:
-		n.applyAEEntries(m.Entries)
+		n.applyAEEntries(execDomain(env), m.Entries)
 	case transferReq:
 		n.handleTransferReq(env, from, m)
 	case transferBatch:
@@ -556,18 +561,12 @@ func (n *Node) OnMessage(env sim.Env, from string, msg sim.Message) {
 	}
 }
 
-func (n *Node) siblings(key string) *clock.Siblings[record] {
-	s, ok := n.data[key]
-	if !ok {
-		s = &clock.Siblings[record]{}
-		n.data[key] = s
-	}
-	return s
-}
-
 func (n *Node) localEntries(key string) []clock.SiblingEntry[record] {
-	if s, ok := n.data[key]; ok {
-		return s.Entries()
+	sh := n.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if s, ok := sh.data[key]; ok {
+		return s.Entries() // Entries copies; safe past the unlock
 	}
 	return nil
 }
@@ -575,6 +574,8 @@ func (n *Node) localEntries(key string) []clock.SiblingEntry[record] {
 // hintedEntries returns every hinted write this node holds for key, in
 // sorted intended-node order so response contents are deterministic.
 func (n *Node) hintedEntries(key string) []clock.SiblingEntry[record] {
+	n.hintsMu.Lock()
+	defer n.hintsMu.Unlock()
 	intendeds := make([]string, 0, len(n.hints))
 	for intended := range n.hints {
 		intendeds = append(intendeds, intended)
@@ -593,7 +594,7 @@ func (n *Node) hintedEntries(key string) []clock.SiblingEntry[record] {
 // acks. The coordinator's own replica (when it is one) acks through the
 // same message path, so acks race realistically.
 func (n *Node) coordinatePut(env sim.Env, client string, m clientPut) {
-	if n.draining && m.ID == 0 {
+	if n.draining.Load() && m.ID == 0 {
 		// Decommission invariant: once draining begins this node mints no
 		// new dots. (Client-minted dots carry their own identity and may
 		// still coordinate; the hosting runtime redirects clients away
@@ -625,16 +626,19 @@ func (n *Node) coordinatePut(env sim.Env, client string, m clientPut) {
 		}
 		dvv = clock.DVV{Dot: clock.Dot{Node: client, Counter: ctr}, Context: ctx}
 	} else {
-		dvv = clock.MintDVV(n.id, m.Context, n.minted[m.Key])
-		n.minted[m.Key] = dvv.Dot.Counter
+		sh := n.shardFor(m.Key)
+		sh.mu.Lock()
+		dvv = clock.MintDVV(n.id, m.Context, sh.minted[m.Key])
+		sh.minted[m.Key] = dvv.Dot.Counter
+		sh.mu.Unlock()
 		// Journal the counter: reissuing a dot after a crash would let
 		// two distinct writes silently supersede each other.
-		n.persistRecord(walRecord{Mint: &mintRec{Key: m.Key, Counter: dvv.Dot.Counter}})
+		n.persistRecord(execDomain(env), walRecord{Mint: &mintRec{Key: m.Key, Counter: dvv.Dot.Counter}})
 	}
 	entry := clock.SiblingEntry[record]{DVV: dvv, Value: record{Value: m.Value, Deleted: m.Deleted}}
 
-	n.nextReq++
-	id := n.nextReq
+	shardIdx := n.router.Shard(m.Key)
+	id := n.mintReq(shardIdx)
 	pw := &pendingWrite{
 		client:   client,
 		id:       m.ID,
@@ -648,7 +652,7 @@ func (n *Node) coordinatePut(env sim.Env, client string, m clientPut) {
 	if n.cfg.SloppyQuorum {
 		pw.fallbacks = n.fallbackList(m.Key)
 	}
-	n.writes[id] = pw
+	n.shards[shardIdx].writes[id] = pw
 
 	for _, rep := range prefs {
 		env.Send(rep, replicaPut{ID: id, Key: m.Key, Entry: entry})
@@ -674,7 +678,7 @@ func (n *Node) coordinatePut(env sim.Env, client string, m clientPut) {
 					continue
 				}
 				if old == n.id {
-					n.installEntry(m.Key, entry)
+					n.installEntry(execDomain(env), m.Key, entry)
 					n.noteKeyChanged(m.Key)
 					continue
 				}
@@ -712,7 +716,7 @@ func (n *Node) engageFallback(env sim.Env, id uint64, pw *pendingWrite, pref str
 // entry to every replica that has not acked, within the policy's attempt
 // budget, backing off between rounds.
 func (n *Node) retryWrite(env sim.Env, id uint64) {
-	pw, ok := n.writes[id]
+	pw, ok := n.reqShard(id).writes[id]
 	if !ok || pw.done {
 		return
 	}
@@ -765,11 +769,11 @@ func (n *Node) applyReplicaPut(env sim.Env, from string, m replicaPut) {
 		// RPCs may re-deliver the same write: storeHint dedups by dot so
 		// the queue stays at-most-once like the sibling sets themselves.
 		if n.storeHint(m.Hint, m.Key, m.Entry) {
-			n.HintsStored++
-			n.persistRecord(walRecord{Hint: &hintRec{Intended: m.Hint, Key: m.Key, Entry: m.Entry}})
+			atomic.AddUint64(&n.HintsStored, 1)
+			n.persistRecord(execDomain(env), walRecord{Hint: &hintRec{Intended: m.Hint, Key: m.Key, Entry: m.Entry}})
 		}
 	} else {
-		n.installEntry(m.Key, m.Entry)
+		n.installEntry(execDomain(env), m.Key, m.Entry)
 		n.noteKeyChanged(m.Key)
 	}
 	if !m.Repair {
@@ -778,7 +782,7 @@ func (n *Node) applyReplicaPut(env sim.Env, from string, m replicaPut) {
 }
 
 func (n *Node) onPutAck(env sim.Env, from string, id uint64) {
-	pw, ok := n.writes[id]
+	pw, ok := n.reqShard(id).writes[id]
 	if !ok || pw.done {
 		return
 	}
@@ -790,7 +794,7 @@ func (n *Node) onPutAck(env sim.Env, from string, id uint64) {
 
 func (n *Node) finishWrite(env sim.Env, id uint64, pw *pendingWrite, errStr string) {
 	pw.done = true
-	delete(n.writes, id)
+	delete(n.reqShard(id).writes, id)
 	env.Cancel(pw.timer)
 	ctx := pw.entry.DVV.Context.Copy()
 	if ctx.Get(pw.entry.DVV.Dot.Node) < pw.entry.DVV.Dot.Counter {
@@ -800,7 +804,7 @@ func (n *Node) finishWrite(env sim.Env, id uint64, pw *pendingWrite, errStr stri
 }
 
 func (n *Node) writeTimeout(env sim.Env, id uint64) {
-	pw, ok := n.writes[id]
+	pw, ok := n.reqShard(id).writes[id]
 	if !ok || pw.done {
 		return
 	}
@@ -836,8 +840,8 @@ func (n *Node) writeTimeout(env sim.Env, id uint64) {
 // the race probabilistically-bounded staleness quantifies.
 func (n *Node) coordinateGet(env sim.Env, client string, m clientGet) {
 	prefs := n.PreferenceList(m.Key)
-	n.nextReq++
-	id := n.nextReq
+	shardIdx := n.router.Shard(m.Key)
+	id := n.mintReq(shardIdx)
 	pr := &pendingRead{
 		client:    client,
 		id:        m.ID,
@@ -853,7 +857,7 @@ func (n *Node) coordinateGet(env sim.Env, client string, m clientGet) {
 		// must reach the old owners further along the new ring's walk.
 		pr.fallbacks = n.fallbackList(m.Key)
 	}
-	n.reads[id] = pr
+	n.shards[shardIdx].reads[id] = pr
 	for _, rep := range prefs {
 		env.Send(rep, replicaGet{ID: id, Key: m.Key})
 		pr.asked[rep] = true
@@ -885,7 +889,7 @@ func (n *Node) askReadFallback(env sim.Env, id uint64, pr *pendingRead) {
 // retryRead is one retransmission round for a pending read: re-ask every
 // node that has not responded, within the policy's attempt budget.
 func (n *Node) retryRead(env sim.Env, id uint64) {
-	pr, ok := n.reads[id]
+	pr, ok := n.reqShard(id).reads[id]
 	if !ok || pr.done {
 		return
 	}
@@ -931,15 +935,15 @@ func (n *Node) onGetResp(env sim.Env, from string, m replicaGetResp) {
 		// A catching-up replica refused to answer: it does not count
 		// toward R. Ask the next fallback — the old owners sit in the
 		// new ring's walk right after the replicas.
-		if pr, ok := n.reads[m.ID]; ok && !pr.done {
+		if pr, ok := n.reqShard(m.ID).reads[m.ID]; ok && !pr.done {
 			n.askReadFallback(env, m.ID, pr)
 		}
 		return
 	}
-	pr, ok := n.reads[m.ID]
+	pr, ok := n.reqShard(m.ID).reads[m.ID]
 	if !ok || pr.done {
 		// Late response after the quorum returned: background repair.
-		if rs, ok := n.repairs[m.ID]; ok {
+		if rs, ok := n.reqShard(m.ID).repairs[m.ID]; ok {
 			n.backgroundRepair(env, m.ID, rs, from, m.Entries)
 		}
 		return
@@ -952,7 +956,7 @@ func (n *Node) onGetResp(env sim.Env, from string, m replicaGetResp) {
 
 func (n *Node) finishRead(env sim.Env, id uint64, pr *pendingRead, errStr string) {
 	pr.done = true
-	delete(n.reads, id)
+	delete(n.reqShard(id).reads, id)
 	env.Cancel(pr.timer)
 
 	// Merge all sibling sets under DVV supersession.
@@ -975,7 +979,7 @@ func (n *Node) finishRead(env sim.Env, id uint64, pr *pendingRead, errStr string
 			}
 		}
 		if remaining > 0 {
-			n.repairs[id] = &repairState{key: pr.key, merged: &merged, waiting: remaining}
+			n.reqShard(id).repairs[id] = &repairState{key: pr.key, merged: &merged, waiting: remaining}
 		}
 	}
 
@@ -1005,12 +1009,12 @@ func (n *Node) backgroundRepair(env sim.Env, id uint64, rs *repairState, from st
 	if !sameEntries(entries, before) {
 		for _, e := range rs.merged.Entries() {
 			env.Send(from, replicaPut{Key: rs.key, Entry: e, Repair: true})
-			n.ReadRepairsSent++
+			atomic.AddUint64(&n.ReadRepairsSent, 1)
 		}
 	}
 	rs.waiting--
 	if rs.waiting <= 0 {
-		delete(n.repairs, id)
+		delete(n.reqShard(id).repairs, id)
 	}
 }
 
@@ -1037,14 +1041,14 @@ func (n *Node) readRepair(env sim.Env, pr *pendingRead, merged []clock.SiblingEn
 		}
 		if rep == n.id {
 			for _, e := range merged {
-				n.installEntry(pr.key, e)
+				n.installEntry(execDomain(env), pr.key, e)
 			}
 			n.noteKeyChanged(pr.key)
 			continue
 		}
 		for _, e := range merged {
 			env.Send(rep, replicaPut{Key: pr.key, Entry: e, Repair: true})
-			n.ReadRepairsSent++
+			atomic.AddUint64(&n.ReadRepairsSent, 1)
 		}
 	}
 }
@@ -1069,7 +1073,7 @@ func sameEntries(a, b []clock.SiblingEntry[record]) bool {
 }
 
 func (n *Node) readTimeout(env sim.Env, id uint64) {
-	pr, ok := n.reads[id]
+	pr, ok := n.reqShard(id).reads[id]
 	if !ok || pr.done {
 		return
 	}
@@ -1080,6 +1084,14 @@ func (n *Node) readTimeout(env sim.Env, id uint64) {
 // Hints are retained until the intended node acknowledges them, so
 // delivery survives the target staying down across attempts.
 func (n *Node) attemptHandoff(env sim.Env) {
+	// Snapshot under the lock (copying each entry slice — the store path
+	// may append concurrently from a shard goroutine), then send.
+	type delivery struct {
+		intended string
+		msg      handoffDeliver
+	}
+	var out []delivery
+	n.hintsMu.Lock()
 	intendeds := make([]string, 0, len(n.hints))
 	for intended := range n.hints {
 		intendeds = append(intendeds, intended)
@@ -1093,8 +1105,13 @@ func (n *Node) attemptHandoff(env sim.Env) {
 		}
 		sort.Strings(hintKeys)
 		for _, key := range hintKeys {
-			env.Send(intended, handoffDeliver{Key: key, Entries: keys[key]})
+			entries := append([]clock.SiblingEntry[record](nil), keys[key]...)
+			out = append(out, delivery{intended, handoffDeliver{Key: key, Entries: entries}})
 		}
+	}
+	n.hintsMu.Unlock()
+	for _, d := range out {
+		env.Send(d.intended, d.msg)
 	}
 }
 
@@ -1113,6 +1130,8 @@ func (n *Node) LocalValues(key string) [][]byte {
 
 // PendingHints returns how many hinted writes are queued here.
 func (n *Node) PendingHints() int {
+	n.hintsMu.Lock()
+	defer n.hintsMu.Unlock()
 	c := 0
 	for _, keys := range n.hints {
 		for _, entries := range keys {

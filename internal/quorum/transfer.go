@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/ring"
 	"repro/internal/sim"
 )
@@ -192,7 +193,9 @@ func (n *Node) BeginCatchUp(env sim.Env, seq uint64, pulls []TransferPull, onPro
 		}
 		cu.remaining++
 	}
+	n.elMu.Lock()
 	n.inbound = cu
+	n.elMu.Unlock()
 	if cu.remaining == 0 {
 		n.finishCatchUp(env)
 		return
@@ -208,7 +211,11 @@ func (n *Node) BeginCatchUp(env sim.Env, seq uint64, pulls []TransferPull, onPro
 }
 
 // CatchingUp reports whether an inbound transfer window is open.
-func (n *Node) CatchingUp() bool { return n.inbound != nil }
+func (n *Node) CatchingUp() bool {
+	n.elMu.RLock()
+	defer n.elMu.RUnlock()
+	return n.inbound != nil
+}
 
 func (n *Node) sendTransferReq(env sim.Env, cu *catchUp, i int, curHash uint64, curKey string) {
 	cu.nonce[i]++
@@ -253,10 +260,11 @@ func (n *Node) handleTransferBatch(env sim.Env, m transferBatch) {
 	if m.Nonce != cu.nonce[m.Idx] {
 		return // stale batch from a superseded request
 	}
+	dom := execDomain(env)
 	size := 0
 	for _, e := range m.Entries {
 		for _, s := range e.Entries {
-			n.installEntry(e.Key, s)
+			n.installEntry(dom, e.Key, s)
 			size += len(e.Key) + len(s.Value.Value) + 16*len(s.DVV.Context) + 16
 		}
 		n.noteKeyChanged(e.Key)
@@ -267,7 +275,9 @@ func (n *Node) handleTransferBatch(env sim.Env, m transferBatch) {
 		n.sendTransferReq(env, cu, m.Idx, m.CurHash, m.CurKey)
 		return
 	}
+	n.elMu.Lock()
 	cu.done[m.Idx] = true
+	n.elMu.Unlock()
 	cu.remaining--
 	env.Cancel(cu.retry[m.Idx])
 	delete(n.xferCursor, xferKey{m.Seq, m.Idx})
@@ -275,7 +285,7 @@ func (n *Node) handleTransferBatch(env sim.Env, m transferBatch) {
 	// Journal completion so a restarted node does not re-pull the range.
 	p := cu.pulls[m.Idx]
 	n.markTransferDone(m.Seq, m.Idx)
-	n.persistRecord(walRecord{TransferDone: &transferDoneRec{Seq: m.Seq, Idx: m.Idx, Start: p.Start, End: p.End}})
+	n.persistRecord(dom, walRecord{TransferDone: &transferDoneRec{Seq: m.Seq, Idx: m.Idx, Start: p.Start, End: p.End}})
 	if cu.onProgress != nil {
 		cu.onProgress(len(cu.pulls)-cu.remaining, len(cu.pulls))
 	}
@@ -296,7 +306,9 @@ func (n *Node) markTransferDone(seq uint64, idx int) {
 
 func (n *Node) finishCatchUp(env sim.Env) {
 	cu := n.inbound
+	n.elMu.Lock()
 	n.inbound = nil
+	n.elMu.Unlock()
 	// Old epochs' completion records are no longer needed for gating.
 	for seq := range n.xferDone {
 		if seq < cu.seq {
@@ -312,8 +324,11 @@ func (n *Node) finishCatchUp(env sim.Env) {
 }
 
 // gatedKey reports whether key sits in a still-incomplete inbound range:
-// this replica must not serve reads for it yet.
+// this replica must not serve reads for it yet. Called from shard
+// goroutines and the read fast path, hence the lock.
 func (n *Node) gatedKey(key string) bool {
+	n.elMu.RLock()
+	defer n.elMu.RUnlock()
 	cu := n.inbound
 	if cu == nil {
 		return false
@@ -335,16 +350,23 @@ func (n *Node) handleTransferReq(env sim.Env, from string, m transferReq) {
 		key  string
 	}
 	// Collect and order the keys in the arc; the cursor is exclusive.
+	// Each shard is scanned under its own read lock — the arc only
+	// overlaps the shards whose hash range it intersects, but scanning
+	// all of them keeps the (serial-loop) source path simple.
 	var keys []kh
-	for key := range n.data {
-		h := ring.KeyHash(key)
-		if !rangeContains(m.Start, m.End, h) {
-			continue
+	for _, sh := range n.shards {
+		sh.mu.RLock()
+		for key := range sh.data {
+			h := ring.KeyHash(key)
+			if !rangeContains(m.Start, m.End, h) {
+				continue
+			}
+			if h < m.CurHash || (h == m.CurHash && key <= m.CurKey) {
+				continue
+			}
+			keys = append(keys, kh{hash: h, key: key})
 		}
-		if h < m.CurHash || (h == m.CurHash && key <= m.CurKey) {
-			continue
-		}
-		keys = append(keys, kh{hash: h, key: key})
+		sh.mu.RUnlock()
 	}
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].hash != keys[j].hash {
@@ -418,13 +440,13 @@ func (n *Node) flushThrottled(env sim.Env, tg xferFlushTag) {
 // hints remain. Replica-level traffic continues — the node is still an
 // owner until its arcs transfer.
 func (n *Node) BeginDrain(env sim.Env, onDrained func()) {
-	n.draining = true
+	n.draining.Store(true)
 	n.onDrained = onDrained
 	n.drainTick(env)
 }
 
 func (n *Node) drainTick(env sim.Env) {
-	if !n.draining {
+	if !n.draining.Load() {
 		return
 	}
 	if n.PendingHints() == 0 {
@@ -440,14 +462,18 @@ func (n *Node) drainTick(env sim.Env) {
 }
 
 // Draining reports whether BeginDrain has been called.
-func (n *Node) Draining() bool { return n.draining }
+func (n *Node) Draining() bool { return n.draining.Load() }
 
 // MintedDots returns the total dot counters this node has issued —
 // frozen once draining begins (the decommission invariant).
 func (n *Node) MintedDots() uint64 {
 	var total uint64
-	for _, c := range n.minted {
-		total += c
+	for _, sh := range n.shards {
+		sh.mu.RLock()
+		for _, c := range sh.minted {
+			total += c
+		}
+		sh.mu.RUnlock()
 	}
 	return total
 }
@@ -460,12 +486,22 @@ func (n *Node) MintedDots() uint64 {
 func (n *Node) SetMembers(members []string) {
 	ms := append([]string(nil), members...)
 	sort.Strings(ms)
-	n.cfg.Ring = ms
+	n.members.Store(&ms)
+	n.aeMu.Lock()
 	for peer := range n.aeTrees {
 		if peer != n.id && !contains(ms, peer) {
 			delete(n.aeTrees, peer)
 		}
 	}
+	n.aeMu.Unlock()
+	// Snapshot the departed members' hints, then dissolve them (the
+	// install and drop paths take the hints lock themselves).
+	type orphan struct {
+		intended, key string
+		entries       []clock.SiblingEntry[record]
+	}
+	var orphans []orphan
+	n.hintsMu.Lock()
 	for intended := range n.hints {
 		if contains(ms, intended) {
 			continue
@@ -476,13 +512,18 @@ func (n *Node) SetMembers(members []string) {
 		}
 		sort.Strings(hintKeys)
 		for _, key := range hintKeys {
-			for _, e := range n.hints[intended][key] {
-				n.installEntry(key, e)
-			}
-			n.noteKeyChanged(key)
-			n.dropHints(intended, key)
-			n.persistRecord(walRecord{HintAck: &hintAckRec{Intended: intended, Key: key}})
+			entries := append([]clock.SiblingEntry[record](nil), n.hints[intended][key]...)
+			orphans = append(orphans, orphan{intended: intended, key: key, entries: entries})
 		}
+	}
+	n.hintsMu.Unlock()
+	for _, o := range orphans {
+		for _, e := range o.entries {
+			n.installEntry(0, o.key, e)
+		}
+		n.noteKeyChanged(o.key)
+		n.dropHints(o.intended, o.key)
+		n.persistRecord(0, walRecord{HintAck: &hintAckRec{Intended: o.intended, Key: o.key}})
 	}
 }
 

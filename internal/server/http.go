@@ -173,6 +173,17 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "# HELP ec_transfer_ranges_pending Arc ranges still in flight for the open epoch.\n# TYPE ec_transfer_ranges_pending gauge\nec_transfer_ranges_pending %d\n", total-done)
 	}
 
+	if sts := s.tcp.ShardStats(s.cfg.ID); len(sts) > 0 {
+		fmt.Fprintf(&b, "# HELP ec_shard_queue_depth Events waiting in each execution shard's mailbox.\n# TYPE ec_shard_queue_depth gauge\n")
+		for i, st := range sts {
+			fmt.Fprintf(&b, "ec_shard_queue_depth{shard=\"%d\"} %d\n", i, st.Depth)
+		}
+		fmt.Fprintf(&b, "# HELP ec_shard_ops_total Messages processed by (or fast-handled for) each execution shard.\n# TYPE ec_shard_ops_total counter\n")
+		for i, st := range sts {
+			fmt.Fprintf(&b, "ec_shard_ops_total{shard=\"%d\"} %d\n", i, st.Ops)
+		}
+	}
+
 	cur := s.curRing()
 	peers := make([]string, 0, cur.Size())
 	for _, p := range cur.Members() {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -66,6 +67,13 @@ type Config struct {
 	// TransferBatch bounds one transfer batch's payload bytes (0 =
 	// protocol default). Quorum model only.
 	TransferBatch int
+	// Shards splits the quorum node's replica state into this many
+	// key-range execution shards, each drained by its own goroutine, so
+	// requests for disjoint key ranges execute on separate cores (the
+	// protocol rounds the count up to a power of two). 0 defaults to
+	// GOMAXPROCS; 1 disables sharding and restores the classic single
+	// actor loop. Quorum model only.
+	Shards int
 }
 
 // Server is one running node: a TCP transport hosting the model's
@@ -77,8 +85,8 @@ type Server struct {
 	dir    *resilience.Directory
 	policy *resilience.Policy
 
-	gwQuorum  *quorum.Client // quorum model: shared gateway actor's client
-	gwID      string
+	gwQuorum  []*quorum.Client // quorum model: gateway actors' clients (one per shard)
+	gwIDs     []string
 	gossipN   *gossip.Node // gossip model: ops run on the storage actor itself
 	qnode     *quorum.Node // quorum model: the storage actor's protocol node
 	qN        int          // quorum model: replication factor
@@ -216,6 +224,13 @@ func New(cfg Config) (*Server, error) {
 			mode:  mode,
 			addrs: addrs,
 		}
+		shards := cfg.Shards
+		if shards == 0 {
+			shards = runtime.GOMAXPROCS(0)
+		}
+		if shards < 1 {
+			shards = 1
+		}
 		qcfg := quorum.Config{
 			Ring:          ringMembers,
 			N:             n,
@@ -231,21 +246,36 @@ func New(cfg Config) (*Server, error) {
 			OnStaleRing:   s.onStaleRing,
 			TransferRate:  cfg.TransferRate,
 			TransferBatch: cfg.TransferBatch,
-			Persist:       persist,
+			Shards:        shards,
+		}
+		if s.dur != nil {
+			// The sharded persist hook: each execution domain's records
+			// land in that domain's pending table, so every shard's ack
+			// barrier gates on exactly its own appends.
+			qcfg.PersistAt = s.dur.persistAt
 		}
 		qn := quorum.NewNode(cfg.ID, qcfg)
 		s.qnode = qn
+		if s.dur != nil {
+			s.dur.setDomains(qn.Shards() + 1)
+		}
 		node, handler = qn, qn
 	case "session":
 		sn := session.NewServer(cfg.ID, session.ServerConfig{Peers: others, Persist: persist})
 		node, handler = sn, sn
 	}
 
-	// Recover from disk BEFORE the actor boots: replay runs
-	// single-threaded on this goroutine, and the node rejoins the ring
-	// already holding every write it ever acknowledged.
+	// Recover from disk BEFORE the actor boots: a sharded quorum node
+	// replays in parallel — each key's records on the owning shard's
+	// lane, cross-cutting records on the serial lane — and the node
+	// rejoins the ring already holding every write it ever acknowledged.
 	if s.dur != nil {
-		if err := s.dur.recover(node); err != nil {
+		lanes, route := 1, (func(rec []byte) int)(nil)
+		if qn := s.qnode; qn != nil && qn.Shards() > 1 {
+			lanes = qn.Shards() + 1
+			route = func(rec []byte) int { return qn.ReplayDomain(rec) + 1 }
+		}
+		if err := s.dur.recover(node, lanes, route); err != nil {
 			s.dur.Close()
 			tcp.Close()
 			return nil, fmt.Errorf("server %s: recovery from %s: %w", cfg.ID, cfg.DataDir, err)
@@ -262,38 +292,56 @@ func New(cfg Config) (*Server, error) {
 	// their records' group commit lands, so the loop keeps appending
 	// while the disk works.
 	if s.dur != nil {
-		s.ackB = newAckBarrier(handler, s.dur, func(to string, msg transport.Message) {
+		domains := 1
+		if s.qnode != nil {
+			domains = s.qnode.Shards() + 1
+		}
+		s.ackB = newAckBarrier(handler, s.dur, domains, func(to string, msg transport.Message) {
 			tcp.Post(cfg.ID, to, msg)
 		})
 		handler = s.ackB
 	}
 	tcp.AddNode(cfg.ID, handler)
 	if cfg.Model == "quorum" {
-		// One shared gateway actor hosts the protocol client; connection
-		// handlers funnel operations onto its loop with Invoke.
-		s.gwID = cfg.ID + "#gw"
-		s.gwQuorum = quorum.NewClient(s.gwID)
-		s.gwQuorum.Nodes = ringMembers
-		s.gwQuorum.Policy = policy
-		s.gwQuorum.Directory = s.dir
-		tcp.AddNode(s.gwID, s.gwQuorum)
+		// Gateway actors host the protocol clients; connection handlers
+		// funnel operations onto their loops with Invoke. A sharded node
+		// runs one gateway per shard — keyed the same way as the replica
+		// shards — so client-side coordination fans across cores too
+		// instead of serializing on a single gateway loop.
+		ng := s.qnode.Shards()
+		s.gwIDs = make([]string, ng)
+		s.gwQuorum = make([]*quorum.Client, ng)
+		for i := range s.gwIDs {
+			id := fmt.Sprintf("%s#gw%d", cfg.ID, i)
+			c := quorum.NewClient(id)
+			c.Nodes = ringMembers
+			c.Policy = policy
+			c.Directory = s.dir
+			s.gwIDs[i], s.gwQuorum[i] = id, c
+			tcp.AddNode(id, c)
+		}
 	}
 	if s.dur != nil && cfg.CheckpointInterval >= 0 {
 		interval := cfg.CheckpointInterval
 		if interval == 0 {
 			interval = 5 * time.Second
 		}
-		// Capture (state, WAL seq) atomically on the storage actor's
-		// loop — every persist happens there, so the pair is a
-		// consistent cut. The snapshot write itself runs off-loop.
+		// Capture (state, WAL seq) on the storage actor's loop. The seq
+		// is read BEFORE the snapshot: a record journaled by seq-read
+		// time had its mutation applied first (same goroutine), so the
+		// snapshot — which locks each shard after that — contains every
+		// mutation the covered prefix holds. Shard goroutines may append
+		// past seq while the capture runs; those mutations land in the
+		// snapshot early, and their records survive truncation and
+		// re-apply idempotently. The snapshot write itself runs off-loop.
 		s.dur.startCheckpointer(interval, func() ([]byte, uint64, bool) {
 			var state []byte
 			var seq uint64
 			var serr error
 			captured := make(chan struct{})
 			if !s.tcp.Invoke(cfg.ID, func(transport.Env) {
-				state, serr = node.StateSnapshot()
 				seq = s.dur.log.LastSeq()
+				state, serr = node.StateSnapshot()
 				close(captured)
 			}) {
 				return nil, 0, false
@@ -615,7 +663,7 @@ func (s *Server) handleGossip(req Request) Response {
 			o.resp = Response{OK: true, Value: v, Found: found}
 		}
 		if s.dur != nil {
-			o.waits = s.dur.takePending()
+			o.waits = s.dur.takePending(0)
 		}
 		done <- o
 	})
@@ -633,28 +681,34 @@ func (s *Server) handleGossip(req Request) Response {
 	}
 }
 
-// handleQuorum funnels the operation through the shared gateway actor's
-// quorum client. The coordinator is the key's ring owner — requests for
-// a key land on its primary replica, and the client's resilience layer
-// fails over if that node is down.
+// handleQuorum funnels the operation through a gateway actor's quorum
+// client — the key's shard picks the gateway, so disjoint key ranges
+// use disjoint gateway loops. The coordinator is the key's ring owner —
+// requests for a key land on its primary replica, and the client's
+// resilience layer fails over if that node is down.
 func (s *Server) handleQuorum(req Request) Response {
 	coord := s.curRing().Owner(req.Key)
 	if coord == "" {
 		coord = s.cfg.ID
 	}
+	gi := 0
+	if len(s.gwIDs) > 1 {
+		gi = s.qnode.Router().Shard(req.Key)
+	}
+	gwID, gw := s.gwIDs[gi], s.gwQuorum[gi]
 	done := make(chan Response, 1)
-	ok := s.tcp.Invoke(s.gwID, func(env transport.Env) {
+	ok := s.tcp.Invoke(gwID, func(env transport.Env) {
 		switch req.Op {
 		case "put":
-			s.gwQuorum.Put(env, coord, req.Key, req.Value, func(r quorum.PutResult) {
+			gw.Put(env, coord, req.Key, req.Value, func(r quorum.PutResult) {
 				done <- putResponse(r.Err)
 			})
 		case "del":
-			s.gwQuorum.Delete(env, coord, req.Key, func(r quorum.PutResult) {
+			gw.Delete(env, coord, req.Key, func(r quorum.PutResult) {
 				done <- putResponse(r.Err)
 			})
 		case "get":
-			s.gwQuorum.Get(env, coord, req.Key, func(r quorum.GetResult) {
+			gw.Get(env, coord, req.Key, func(r quorum.GetResult) {
 				if r.Err != nil {
 					done <- Response{Err: r.Err.Error()}
 					return

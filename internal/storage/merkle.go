@@ -51,7 +51,19 @@ func (m *Merkle) Leaves() int { return 1 << m.depth }
 func hashKey(key string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(key))
-	return h.Sum64()
+	v := h.Sum64()
+	// Both Merkle bucketing and shard routing take the TOP bits of this
+	// hash, but FNV-1a's final multiply barely disturbs them for short
+	// keys — sequential keys like "user-1..n" land in a handful of
+	// buckets and starve whole shards. Finish with a full 64-bit
+	// avalanche (the murmur3 fmix64 constants) so every output bit
+	// depends on every input byte.
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
 }
 
 func digest(key string, versionHash uint64) uint64 {

@@ -1,0 +1,117 @@
+package storage
+
+// Key-range sharding for multi-core replica execution. A ShardRouter
+// partitions the keyspace by the top bits of the same FNV-64a hash the
+// Merkle tree buckets by, so a shard always owns a contiguous range of
+// Merkle buckets (shard s of S covers buckets [s*B/S, (s+1)*B/S) for a
+// tree of B buckets whenever S <= B and both are powers of two). That
+// alignment is what lets per-shard execution and per-peer anti-entropy
+// trees coexist without cross-shard bucket traffic.
+
+// ShardRouter maps keys to one of a power-of-two number of shards by
+// the top bits of the key's FNV-64a hash.
+type ShardRouter struct {
+	n     int
+	shift uint
+}
+
+// NewShardRouter returns a router over n shards. n is rounded up to the
+// next power of two (minimum 1) so shard ranges align with Merkle
+// bucket boundaries.
+func NewShardRouter(n int) ShardRouter {
+	if n < 1 {
+		n = 1
+	}
+	p := 1
+	shift := uint(64)
+	for p < n {
+		p <<= 1
+		shift--
+	}
+	return ShardRouter{n: p, shift: shift}
+}
+
+// Shards returns the (power-of-two) shard count.
+func (r ShardRouter) Shards() int { return r.n }
+
+// Shard returns the shard owning key. For a single-shard router this is
+// always 0 (a uint64 shifted by 64 is 0 in Go).
+func (r ShardRouter) Shard(key string) int {
+	return int(hashKey(key) >> r.shift)
+}
+
+// ShardOfHash routes a precomputed KeyHash value. Because the shard is
+// the hash's top bits, a hash recorded under one shard count routes
+// correctly under any other.
+func (r ShardRouter) ShardOfHash(h uint64) int {
+	return int(h >> r.shift)
+}
+
+// KeyHash exposes the FNV-64a key hash the router and the Merkle tree
+// share, for callers that persist it (WAL record headers) or check
+// bucket alignment.
+func KeyHash(key string) uint64 { return hashKey(key) }
+
+// ShardedKV partitions a multi-version store into independently locked
+// KV shards. Each shard is a full *KV with its own sequence domain;
+// cross-shard operations (checkpoint, transfer iteration) visit shards
+// via ForEach.
+type ShardedKV struct {
+	router ShardRouter
+	shards []*KV
+}
+
+// NewShardedKV returns a store with n shards (rounded up to a power of
+// two, minimum 1).
+func NewShardedKV(n int) *ShardedKV {
+	r := NewShardRouter(n)
+	shards := make([]*KV, r.Shards())
+	for i := range shards {
+		shards[i] = NewKV()
+	}
+	return &ShardedKV{router: r, shards: shards}
+}
+
+// Router returns the key → shard mapping.
+func (s *ShardedKV) Router() ShardRouter { return s.router }
+
+// Shards returns the shard count.
+func (s *ShardedKV) Shards() int { return len(s.shards) }
+
+// Shard returns shard i's KV for direct (per-shard) access.
+func (s *ShardedKV) Shard(i int) *KV { return s.shards[i] }
+
+// For returns the KV owning key.
+func (s *ShardedKV) For(key string) *KV { return s.shards[s.router.Shard(key)] }
+
+// ForEach visits every shard in index order.
+func (s *ShardedKV) ForEach(fn func(i int, kv *KV)) {
+	for i, kv := range s.shards {
+		fn(i, kv)
+	}
+}
+
+// Put commits a new version of key on its owning shard.
+func (s *ShardedKV) Put(key string, value []byte, meta any) uint64 {
+	return s.For(key).Put(key, value, meta)
+}
+
+// Delete commits a tombstone for key on its owning shard.
+func (s *ShardedKV) Delete(key string, meta any) uint64 {
+	return s.For(key).Delete(key, meta)
+}
+
+// Get returns the latest live version of key.
+func (s *ShardedKV) Get(key string) (Version, bool) { return s.For(key).Get(key) }
+
+// GetAny is Get including tombstones.
+func (s *ShardedKV) GetAny(key string) (Version, bool) { return s.For(key).GetAny(key) }
+
+// Len returns the number of live keys across all shards.
+func (s *ShardedKV) Len() int {
+	n := 0
+	for _, kv := range s.shards {
+		n += kv.Len()
+	}
+	return n
+}

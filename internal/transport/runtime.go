@@ -93,6 +93,15 @@ type proc struct {
 	box *mailbox
 	rng *rand.Rand
 
+	// Sharded dispatch (sharded.go). sh/fast are the handler's optional
+	// capabilities, detected once at AddNode; shards holds the per-shard
+	// execution domains; upFast gates the lock-free fast path from
+	// delivering goroutines (the serial loop is its only writer).
+	sh     ShardedHandler
+	fast   FastHandler
+	shards []*shardLoop
+	upFast atomic.Bool
+
 	// Loop-confined state (the actor goroutine is the only toucher).
 	up     bool
 	epoch  uint64
@@ -146,9 +155,11 @@ func (p *proc) loop() {
 		switch ev.kind {
 		case pevStart:
 			p.up = true
+			p.upFast.Store(true)
 			p.h.OnStart(env)
 		case pevCrash:
 			p.up = false
+			p.upFast.Store(false)
 			p.epoch++
 			for id, t := range p.timers {
 				t.Stop()
@@ -244,8 +255,19 @@ func (r *Runtime) AddNode(id string, h Handler) {
 		timers: make(map[TimerID]*time.Timer),
 		done:   make(chan struct{}),
 	}
+	if sh, ok := h.(ShardedHandler); ok && sh.Shards() > 1 {
+		p.sh = sh
+		p.shards = newShardLoops(p, sh.Shards())
+		if f, ok := h.(FastHandler); ok {
+			p.fast = f
+		}
+	}
 	r.procs[id] = p
 	p.box.put(procEvent{kind: pevStart})
+	for _, sl := range p.shards {
+		sl.box.put(procEvent{kind: pevStart})
+		go sl.loop()
+	}
 	go p.loop()
 }
 
@@ -258,7 +280,13 @@ func (r *Runtime) RemoveNode(id string) {
 	r.mu.Unlock()
 	if p != nil {
 		p.box.close()
+		for _, sl := range p.shards {
+			sl.box.close()
+		}
 		<-p.done
+		for _, sl := range p.shards {
+			<-sl.done
+		}
 	}
 }
 
@@ -307,7 +335,7 @@ func (r *Runtime) send(from, to string, msg Message) {
 				return
 			}
 		}
-		if p.box.put(procEvent{kind: pevMessage, from: from, msg: msg}) {
+		if r.dispatch(p, from, msg) {
 			r.stats.add(func(s *Stats) { s.MessagesDelivered++ })
 		} else {
 			r.stats.add(func(s *Stats) { s.MessagesDropped++ })
@@ -326,7 +354,7 @@ func (r *Runtime) deliver(from, to string, msg Message) bool {
 	r.mu.Lock()
 	p := r.procs[to]
 	r.mu.Unlock()
-	if p == nil || !p.box.put(procEvent{kind: pevMessage, from: from, msg: msg}) {
+	if p == nil || !r.dispatch(p, from, msg) {
 		r.stats.add(func(s *Stats) { s.MessagesDropped++ })
 		return false
 	}
@@ -372,9 +400,15 @@ func (r *Runtime) Close() {
 	r.mu.Unlock()
 	for _, p := range procs {
 		p.box.close()
+		for _, sl := range p.shards {
+			sl.box.close()
+		}
 	}
 	for _, p := range procs {
 		<-p.done
+		for _, sl := range p.shards {
+			<-sl.done
+		}
 	}
 }
 
@@ -386,6 +420,9 @@ func (r *Runtime) crash(id string) {
 	r.mu.Unlock()
 	if p != nil {
 		p.box.put(procEvent{kind: pevCrash})
+		for _, sl := range p.shards {
+			sl.box.put(procEvent{kind: pevCrash})
+		}
 	}
 }
 
@@ -395,6 +432,9 @@ func (r *Runtime) restart(id string) {
 	r.mu.Unlock()
 	if p != nil {
 		p.box.put(procEvent{kind: pevStart})
+		for _, sl := range p.shards {
+			sl.box.put(procEvent{kind: pevStart})
+		}
 	}
 }
 

@@ -1,0 +1,109 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestReplayShardedPartitionsAndOrders(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const lanes, per = 4, 100
+	for i := 0; i < lanes*per; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("%d:%d", i%lanes, i/lanes))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var mu sync.Mutex
+	seen := make(map[int][]uint64)
+	err = l.ReplaySharded(1, lanes,
+		func(seq uint64, rec []byte) int { return int(rec[0] - '0') },
+		func(lane int, seq uint64, rec []byte) error {
+			if got := int(rec[0] - '0'); got != lane {
+				return fmt.Errorf("record for lane %d applied on lane %d", got, lane)
+			}
+			mu.Lock()
+			seen[lane] = append(seen[lane], seq)
+			mu.Unlock()
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for lane, seqs := range seen {
+		total += len(seqs)
+		for i := 1; i < len(seqs); i++ {
+			if seqs[i] <= seqs[i-1] {
+				t.Fatalf("lane %d replayed out of order: %d after %d", lane, seqs[i], seqs[i-1])
+			}
+		}
+	}
+	if total != lanes*per {
+		t.Fatalf("replayed %d records, want %d", total, lanes*per)
+	}
+}
+
+func TestReplayShardedPropagatesApplyError(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 50; i++ {
+		if _, err := l.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boom := errors.New("boom")
+	err = l.ReplaySharded(1, 4,
+		func(seq uint64, rec []byte) int { return int(rec[0]) % 4 },
+		func(lane int, seq uint64, rec []byte) error {
+			if seq == 25 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want %v", err, boom)
+	}
+}
+
+func TestReplayShardedSingleLaneMatchesReplay(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	err = l.ReplaySharded(1, 1,
+		func(seq uint64, rec []byte) int { return 3 }, // ignored: one lane
+		func(lane int, seq uint64, rec []byte) error {
+			if lane != 0 {
+				return fmt.Errorf("lane = %d, want 0", lane)
+			}
+			got = append(got, seq)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seq := range got {
+		if seq != uint64(i+1) {
+			t.Fatalf("position %d replayed seq %d", i, seq)
+		}
+	}
+	if len(got) != 20 {
+		t.Fatalf("replayed %d, want 20", len(got))
+	}
+}
