@@ -97,10 +97,15 @@ func runGroup(b *testing.B, name string) {
 		b.Fatalf("no benchsuite entry named %q", name)
 	}
 	for _, bm := range group {
+		f := bm.F
+		if bm.Skip != "" {
+			reason := bm.Skip
+			f = func(b *testing.B) { b.Skip(reason) }
+		}
 		if bm.Name == name {
-			bm.F(b)
+			f(b)
 		} else {
-			b.Run(strings.TrimPrefix(bm.Name, name+"/"), bm.F)
+			b.Run(strings.TrimPrefix(bm.Name, name+"/"), f)
 		}
 	}
 }
@@ -148,6 +153,13 @@ func BenchmarkWALRecoveryParallel(b *testing.B) { runGroup(b, "BenchmarkWALRecov
 // goroutines in flight — the group-commit path (one committer fsync per
 // batch of concurrent acked writes).
 func BenchmarkWALAppendConcurrent(b *testing.B) { runGroup(b, "BenchmarkWALAppendConcurrent") }
+
+// Disk-resident storage engine (internal/lsm): a scrambled-zipfian
+// put/get mix whose working set spills far past the memtable (the bloom
+// filters must keep negative lookups off the data blocks), and the cost
+// of a full overwrite-flush-compact reclaim cycle.
+func BenchmarkLSMPutGet(b *testing.B)     { runGroup(b, "BenchmarkLSMPutGet") }
+func BenchmarkLSMCompaction(b *testing.B) { runGroup(b, "BenchmarkLSMCompaction") }
 
 // BenchmarkSaturation boots a 3-node cluster in-process and drives it
 // open-loop at a fixed offered rate; the reported ops/s metric is the

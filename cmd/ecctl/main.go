@@ -64,6 +64,9 @@ type clusterState struct {
 	// streams consistently.
 	XferRate  int `json:"transfer_rate,omitempty"`
 	XferBatch int `json:"transfer_batch,omitempty"`
+	// Engine is the storage engine every node was spawned with
+	// ("" = server default in-memory KV, "lsm" = disk-resident LSM).
+	Engine string `json:"engine,omitempty"`
 }
 
 func main() {
@@ -183,10 +186,14 @@ func cmdUp(args []string) error {
 	shards := fs.Int("shards", 0, "execution shards per node (0 = GOMAXPROCS, 1 = serial; quorum model)")
 	xferRate := fs.Int("transfer-rate", 0, "elasticity transfer throttle, bytes/sec per source (0 = default)")
 	xferBatch := fs.Int("transfer-batch", 0, "elasticity transfer batch payload bytes (0 = default)")
+	engine := fs.String("engine", "", "storage engine: mem (default) or lsm (disk-resident; quorum model, needs data dirs)")
 	dir := stateDir(fs)
 	fs.Parse(args)
 	if *n < 1 {
 		return fmt.Errorf("need at least one node")
+	}
+	if *engine == "lsm" && *noData {
+		return fmt.Errorf("-engine lsm needs data dirs (drop -no-data)")
 	}
 	if _, err := os.Stat(statePath(*dir)); err == nil {
 		return fmt.Errorf("cluster already up (state at %s; `ecctl down` first)", statePath(*dir))
@@ -211,6 +218,7 @@ func cmdUp(args []string) error {
 		Shards:    *shards,
 		XferRate:  *xferRate,
 		XferBatch: *xferBatch,
+		Engine:    *engine,
 	}
 	ids := make([]string, *n)
 	for i := 0; i < *n; i++ {
@@ -241,7 +249,11 @@ func cmdUp(args []string) error {
 			return fmt.Errorf("%s did not come up: %w (see %s)", id, err, filepath.Join(*dir, id+".log"))
 		}
 	}
-	fmt.Printf("cluster up: %d nodes, model=%s\n", *n, *model)
+	fmt.Printf("cluster up: %d nodes, model=%s", *n, *model)
+	if *engine != "" {
+		fmt.Printf(", engine=%s", *engine)
+	}
+	fmt.Println()
 	for _, id := range ids {
 		fmt.Printf("  %s  peer=%s  http=%s  pid=%d", id, st.Peers[id], st.HTTP[id], st.PIDs[id])
 		if st.Data[id] != "" {
@@ -286,6 +298,9 @@ func spawnNode(dir, bin string, st *clusterState, id string, extra ...string) er
 	}
 	if st.XferBatch > 0 {
 		cargs = append(cargs, "-transfer-batch", fmt.Sprint(st.XferBatch))
+	}
+	if st.Engine != "" {
+		cargs = append(cargs, "-engine", st.Engine)
 	}
 	cargs = append(cargs, extra...)
 	cmd := exec.Command(bin, cargs...)
@@ -639,6 +654,9 @@ func cmdStatus(args []string) error {
 				if r := m["ec_wal_records_replayed_total"]; r > 0 {
 					line += fmt.Sprintf(" replayed=%d", uint64(r))
 				}
+			}
+			if _, lsmOn := m["ec_lsm_sstables"]; lsmOn {
+				line += fmt.Sprintf(" lsm=%s/%dsst", fmtBytes(m["ec_lsm_disk_bytes"]), uint64(m["ec_lsm_sstables"]))
 			}
 			if p := m["ec_transfer_ranges_pending"]; p > 0 {
 				line += fmt.Sprintf(" transfer-pending=%d", uint64(p))

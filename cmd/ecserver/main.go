@@ -51,6 +51,7 @@ func main() {
 		join    = flag.Bool("join", false, "boot as a live joiner: own nothing until the cluster admits this node (quorum model; see ecctl add-node)")
 		xferRt  = flag.Int("transfer-rate", 0, "elasticity transfer throttle, bytes/sec per source (0 = default)")
 		xferBt  = flag.Int("transfer-batch", 0, "elasticity transfer batch payload bytes (0 = default)")
+		engine  = flag.String("engine", "", "storage engine: mem (default) or lsm (disk-resident, quorum model, requires -data-dir)")
 	)
 	flag.Parse()
 
@@ -80,6 +81,7 @@ func main() {
 		W:          *w,
 		Seed:       *seed,
 		Shards:     *shards,
+		Engine:     *engine,
 		Logf:       logf,
 
 		DataDir:            *dataDir,
@@ -105,6 +107,9 @@ func main() {
 	}
 	if *dataDir != "" {
 		fmt.Printf(" data=%s fsync=%s", *dataDir, policy)
+	}
+	if *engine != "" {
+		fmt.Printf(" engine=%s", *engine)
 	}
 	fmt.Println()
 

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"net"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -30,6 +31,7 @@ type SaturationConfig struct {
 	Keys      int            // distinct keys (default 1000)
 	GetFrac   float64        // fraction of gets (default 0.5)
 	Shards    int            // execution shards per node (0 = GOMAXPROCS; quorum model)
+	Engine    string         // storage engine ("" = "mem"; "lsm" needs Durable, quorum model)
 }
 
 // SaturationResult is what one run measured.
@@ -103,6 +105,7 @@ func RunSaturation(cfg SaturationConfig) (SaturationResult, error) {
 			Policy: policy,
 			Seed:   int64(1000 + i),
 			Shards: cfg.Shards,
+			Engine: cfg.Engine,
 		}
 		if cfg.Durable {
 			if cfg.Dir == "" {
@@ -229,7 +232,7 @@ func reserveAddrs(n int) ([]string, error) {
 // capacity, not time-per-op: achieved ops/s at the fixed offered load,
 // tail latency, and the shed count under overload. shards 0 leaves the
 // server default (GOMAXPROCS execution shards for the quorum model).
-func saturation(b *testing.B, model string, durable bool, fsync wal.SyncPolicy, shards int) {
+func saturation(b *testing.B, model string, durable bool, fsync wal.SyncPolicy, shards int, engine string) {
 	for i := 0; i < b.N; i++ {
 		res, err := RunSaturation(SaturationConfig{
 			Model:   model,
@@ -237,6 +240,7 @@ func saturation(b *testing.B, model string, durable bool, fsync wal.SyncPolicy, 
 			Fsync:   fsync,
 			Dir:     b.TempDir(),
 			Shards:  shards,
+			Engine:  engine,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -265,18 +269,38 @@ func satBenchmarks() []Benchmark {
 		model := model
 		out = append(out, Benchmark{
 			Name: fmt.Sprintf("BenchmarkSaturation/model=%s", model),
-			F:    func(b *testing.B) { saturation(b, model, false, wal.SyncEach, 0) },
+			F:    func(b *testing.B) { saturation(b, model, false, wal.SyncEach, 0, "") },
 		})
 	}
 	out = append(out, Benchmark{
 		Name: "BenchmarkSaturation/model=quorum-durable",
-		F:    func(b *testing.B) { saturation(b, "quorum", true, wal.SyncEach, 0) },
+		F:    func(b *testing.B) { saturation(b, "quorum", true, wal.SyncEach, 0, "") },
 	})
 	for _, shards := range []int{1, 4, 8} {
 		shards := shards
+		// On a single-core host the multi-shard cells cannot separate:
+		// every shard executor multiplexes onto the one P, so they just
+		// re-measure shards=1 plus goroutine-switch overhead and
+		// pollute the baseline with noise.
+		var skip string
+		if shards > 1 && runtime.GOMAXPROCS(0) == 1 {
+			skip = fmt.Sprintf("GOMAXPROCS=1: the %d-shard cell needs real cores to mean anything", shards)
+		}
 		out = append(out, Benchmark{
 			Name: fmt.Sprintf("BenchmarkSaturation/model=quorum/shards=%d", shards),
-			F:    func(b *testing.B) { saturation(b, "quorum", true, wal.SyncBatch, shards) },
+			F:    func(b *testing.B) { saturation(b, "quorum", true, wal.SyncBatch, shards, "") },
+			Skip: skip,
+		})
+	}
+	// The engine pair holds everything but the storage engine fixed
+	// (durable quorum, batch fsync) so the two cells bracket what
+	// moving replica state from the in-memory map to disk-resident
+	// LSM trees costs on the full request path.
+	for _, engine := range []string{"mem", "lsm"} {
+		engine := engine
+		out = append(out, Benchmark{
+			Name: fmt.Sprintf("BenchmarkSaturation/engine=%s", engine),
+			F:    func(b *testing.B) { saturation(b, "quorum", true, wal.SyncBatch, 0, engine) },
 		})
 	}
 	return out

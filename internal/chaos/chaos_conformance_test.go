@@ -2,11 +2,15 @@ package chaos
 
 import (
 	"fmt"
+	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lsm"
 	"repro/internal/sim"
+	"repro/internal/storage"
 )
 
 // conformanceSeeds is the seed set each (store, schedule) cell runs
@@ -83,6 +87,62 @@ func TestConformanceQuorumSharded(t *testing.T) {
 				AntiEntropyInterval: 200 * time.Millisecond,
 				ReadRepair:          true,
 				QuorumShards:        4,
+			}
+			return CoreSystem(core.Quorum, opts)
+		},
+	}
+	for _, sched := range Schedules() {
+		sched := sched
+		t.Run(sched.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range conformanceSeeds {
+				rep := Conformance(spec, sched, seed, RecordConfig{})
+				t.Logf("%s", rep.String())
+				if rep.Stats.Invoked == 0 {
+					t.Fatalf("seed %d: no operations invoked", seed)
+				}
+				if !rep.Converged {
+					t.Errorf("seed %d: replicas did not converge after heal: %s",
+						seed, rep.Disagreement)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceQuorumLSM reruns the quorum cell of the matrix with
+// every node's replica state on disk-resident LSM engines instead of
+// the in-memory KV. The memtable threshold is tiny so the runs
+// continuously flush, merge, and read across the memtable/SSTable
+// boundary under nemesis schedules — the storage engine must be
+// invisible to the protocol. Engines run with inline (non-Async)
+// compaction so the simulator stays deterministic. Like the sharded
+// cell, this spec is additive: the main matrix's quorum row still
+// builds in-memory nodes, so the pinned seeds are unperturbed.
+func TestConformanceQuorumLSM(t *testing.T) {
+	dir := t.TempDir()
+	var builds atomic.Int64
+	spec := StoreSpec{
+		Name: "quorum-lsm",
+		Build: func(seed int64, latency sim.LatencyModel) System {
+			run := builds.Add(1)
+			opts := core.Options{
+				Nodes:               5,
+				Seed:                seed,
+				Latency:             latency,
+				AntiEntropyInterval: 200 * time.Millisecond,
+				ReadRepair:          true,
+				QuorumStorage: func(node string, shard int) storage.Engine {
+					e, err := lsm.Open(lsm.Options{
+						Dir:           filepath.Join(dir, fmt.Sprintf("run-%d", run), node, fmt.Sprintf("shard-%d", shard)),
+						MemtableBytes: 4 << 10,
+						BlockBytes:    1 << 10,
+					})
+					if err != nil {
+						t.Fatalf("open lsm engine: %v", err)
+					}
+					return e
+				},
 			}
 			return CoreSystem(core.Quorum, opts)
 		},

@@ -29,6 +29,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/session"
 	"repro/internal/sim"
+	"repro/internal/storage"
 )
 
 // Model selects the consistency model (and with it the replication
@@ -99,6 +100,12 @@ type Options struct {
 	// (per-shard request-id minting and state partitioning) without
 	// introducing real concurrency, so seeded runs stay reproducible.
 	QuorumShards int
+	// QuorumStorage, when non-nil, builds the storage engine backing
+	// each Quorum node's replica-state shards (e.g. disk-resident LSM
+	// engines rooted in per-node directories). Default: in-memory
+	// storage.KV per shard. Engines are released by Cluster teardown via
+	// quorum.Node.Close.
+	QuorumStorage func(node string, shard int) storage.Engine
 	// Seed drives all randomness.
 	Seed int64
 	// Latency overrides the network model (default: uniform 1–5ms LAN).
@@ -192,6 +199,7 @@ type Cluster struct {
 
 	// Model-specific server handles.
 	gossipNodes []*gossip.Node
+	quorumNodes []*quorum.Node
 	causalTopo  causal.Topology
 
 	// Resilience plumbing (nil unless Options.Resilience is set).
@@ -305,8 +313,30 @@ func (c *Cluster) buildQuorum() {
 		Shards: c.opts.QuorumShards,
 	}
 	for _, id := range ids {
-		c.sim.AddNode(id, quorum.NewNode(id, cfg))
+		nodeCfg := cfg
+		if c.opts.QuorumStorage != nil {
+			id := id
+			nodeCfg.Storage = func(shard int) storage.Engine {
+				return c.opts.QuorumStorage(id, shard)
+			}
+		}
+		n := quorum.NewNode(id, nodeCfg)
+		c.quorumNodes = append(c.quorumNodes, n)
+		c.sim.AddNode(id, n)
 	}
+}
+
+// Close releases resources held by the cluster's nodes (today: the
+// Quorum model's per-shard storage engines). Optional for purely
+// in-memory clusters.
+func (c *Cluster) Close() error {
+	var first error
+	for _, n := range c.quorumNodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 func (c *Cluster) buildPrimary() {

@@ -1,0 +1,161 @@
+package lsm
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func buildTableBytes(t testing.TB, entries []tableEntry, blockBytes int) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.sst")
+	tab, err := writeTable(path, entries, blockBytes, 10)
+	if err != nil {
+		t.Fatalf("writeTable: %v", err)
+	}
+	tab.close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read table: %v", err)
+	}
+	return b
+}
+
+func TestSSTableRoundTrip(t *testing.T) {
+	var entries []tableEntry
+	seq := uint64(0)
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("key-%04d", i)
+		var vs []storage.Version
+		for j := 0; j <= i%3; j++ {
+			seq++
+			v := storage.Version{Seq: seq, Value: []byte(fmt.Sprintf("%s/v%d", key, j))}
+			if i%17 == 0 && j == i%3 {
+				v.Tombstone = true
+				v.Value = nil
+			}
+			vs = append(vs, v)
+		}
+		entries = append(entries, tableEntry{key: key, versions: vs})
+	}
+
+	path := filepath.Join(t.TempDir(), "t.sst")
+	tab, err := writeTable(path, entries, 512, 10) // small blocks: many index entries
+	if err != nil {
+		t.Fatalf("writeTable: %v", err)
+	}
+	defer tab.close()
+
+	if tab.keys != len(entries) {
+		t.Fatalf("keys = %d, want %d", tab.keys, len(entries))
+	}
+	if tab.minSeq != 1 || tab.maxSeq != seq {
+		t.Fatalf("seq range [%d,%d], want [1,%d]", tab.minSeq, tab.maxSeq, seq)
+	}
+	if len(tab.blocks) < 2 {
+		t.Fatalf("want multiple blocks, got %d", len(tab.blocks))
+	}
+
+	for _, e := range entries {
+		vs, ok, skipped, err := tab.get(e.key)
+		if err != nil || !ok || skipped {
+			t.Fatalf("get(%q) = ok=%v skipped=%v err=%v", e.key, ok, skipped, err)
+		}
+		if len(vs) != len(e.versions) {
+			t.Fatalf("get(%q) = %d versions, want %d", e.key, len(vs), len(e.versions))
+		}
+		for i := range vs {
+			if vs[i].Seq != e.versions[i].Seq || vs[i].Tombstone != e.versions[i].Tombstone ||
+				string(vs[i].Value) != string(e.versions[i].Value) {
+				t.Fatalf("get(%q)[%d] = %+v, want %+v", e.key, i, vs[i], e.versions[i])
+			}
+		}
+	}
+	if _, ok, _, err := tab.get("key-9999"); ok || err != nil {
+		t.Fatalf("get(absent) = ok=%v err=%v", ok, err)
+	}
+
+	var scanned []string
+	err = tab.scanRange("key-0100", "key-0110", func(key string, vs []storage.Version) bool {
+		scanned = append(scanned, key)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("scanRange: %v", err)
+	}
+	if len(scanned) != 10 || scanned[0] != "key-0100" || scanned[9] != "key-0109" {
+		t.Fatalf("scanRange[0100,0110) = %v", scanned)
+	}
+}
+
+// TestSSTableDetectsCorruption flips bytes across the whole file and
+// requires either a clean parse failure or an IO-layer error on read —
+// never a wrong answer accepted silently at the structural level.
+func TestSSTableDetectsCorruption(t *testing.T) {
+	entries := []tableEntry{
+		{key: "alpha", versions: []storage.Version{{Seq: 1, Value: []byte("one")}}},
+		{key: "beta", versions: []storage.Version{{Seq: 2, Value: []byte("two")}}},
+	}
+	clean := buildTableBytes(t, entries, 0)
+	dir := t.TempDir()
+	for off := 0; off < len(clean); off += 7 {
+		mut := append([]byte(nil), clean...)
+		mut[off] ^= 0x40
+		path := filepath.Join(dir, fmt.Sprintf("c%d.sst", off))
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tab, err := openTable(path)
+		if err != nil {
+			continue // rejected at open: good
+		}
+		// Structure parsed (corruption was inside a data block): the
+		// block CRC must catch it at read time.
+		_, _, _, gerr := tab.get("alpha")
+		_, _, _, gerr2 := tab.get("beta")
+		tab.close()
+		if gerr == nil && gerr2 == nil {
+			t.Fatalf("corruption at offset %d accepted silently", off)
+		}
+	}
+}
+
+// FuzzSSTableDecode throws arbitrary bytes at the table parser and the
+// full read path. Any input may be rejected; none may panic.
+func FuzzSSTableDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(buildTableBytes(f, []tableEntry{
+		{key: "a", versions: []storage.Version{{Seq: 1, Value: []byte("x")}}},
+		{key: "b", versions: []storage.Version{{Seq: 2, Tombstone: true}}},
+		{key: "c", versions: []storage.Version{
+			{Seq: 3, Value: []byte("y"), Meta: "m"},
+			{Seq: 4, Value: nil},
+		}},
+	}, 64))
+	seed := buildTableBytes(f, []tableEntry{
+		{key: "longer-key-0001", versions: []storage.Version{{Seq: 9, Value: make([]byte, 300)}}},
+	}, 0)
+	f.Add(seed)
+	f.Add(seed[:len(seed)-10]) // truncated footer
+	f.Add(seed[5:])            // shifted offsets
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.sst")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		tab, err := openTable(path)
+		if err != nil {
+			return
+		}
+		defer tab.close()
+		// Exercise every decode path; errors are fine, panics are not.
+		tab.get("a")
+		tab.get("longer-key-0001")
+		tab.get("zzz")
+		tab.scanRange("", "", func(string, []storage.Version) bool { return true })
+	})
+}

@@ -161,20 +161,17 @@ func (n *Node) persistRecord(domain int, r walRecord) {
 func (n *Node) installEntry(domain int, key string, e clock.SiblingEntry[record]) bool {
 	sh := n.shardFor(key)
 	sh.mu.Lock()
-	sib, ok := sh.data[key]
-	if !ok {
-		sib = &clock.Siblings[record]{}
-		sh.data[key] = sib
-	}
-	if !n.persistEnabled() {
-		sib.Add(e.DVV, e.Value)
-		sh.mu.Unlock()
-		return true
-	}
+	sib, existed := sh.siblings(key)
 	before := sib.Entries()
 	sib.Add(e.DVV, e.Value)
-	changed := !sameEntries(before, sib.Entries())
+	changed := !existed || !sameEntries(before, sib.Entries())
+	if changed {
+		sh.setSiblings(key, sib)
+	}
 	sh.mu.Unlock()
+	if !n.persistEnabled() {
+		return true
+	}
 	if !changed {
 		return false // duplicate or obsolete: nothing to journal
 	}
@@ -288,13 +285,14 @@ func (n *Node) StateSnapshot() ([]byte, error) {
 			defer wg.Done()
 			sh.mu.RLock()
 			defer sh.mu.RUnlock()
+			pairs := sh.store.Scan("", "", 0)
 			im := shardImage{
-				sets:   make(map[string][]clock.SiblingEntry[record], len(sh.data)),
+				sets:   make(map[string][]clock.SiblingEntry[record], len(pairs)),
 				minted: make(map[string]uint64, len(sh.minted)),
 			}
-			for k, s := range sh.data {
-				im.keys = append(im.keys, k)
-				im.sets[k] = s.Entries()
+			for _, p := range pairs {
+				im.keys = append(im.keys, p.Key)
+				im.sets[p.Key] = decodeEntries(p.Version.Value)
 			}
 			for k, c := range sh.minted {
 				im.minted[k] = c

@@ -91,6 +91,12 @@ type Config struct {
 	// execution domains (rounded up to a power of two; default 1, fully
 	// serial). See shard.go.
 	Shards int
+	// Storage, when non-nil, builds the storage engine backing each
+	// replica-state shard (called once per shard index in [0, Shards
+	// rounded up)). Default: the in-memory storage.KV. The server wires
+	// disk-resident LSM engines through this; engines are released by
+	// Node.Close.
+	Storage func(shard int) storage.Engine
 	// Placement, when non-nil, overrides Ring-order placement: a key's
 	// preference list is Sequence(key)[:N] and its sloppy fallbacks the
 	// remainder of the sequence. internal/ring's consistent-hash ring
@@ -385,9 +391,13 @@ func NewNode(id string, cfg Config) *Node {
 		panic(err.Error())
 	}
 	router := storage.NewShardRouter(cfg.Shards)
+	engineFor := cfg.Storage
+	if engineFor == nil {
+		engineFor = func(int) storage.Engine { return storage.NewKV() }
+	}
 	shards := make([]*nodeShard, router.Shards())
 	for i := range shards {
-		shards[i] = newNodeShard()
+		shards[i] = newNodeShard(engineFor(i))
 	}
 	n := &Node{
 		cfg:        cfg,
@@ -565,10 +575,19 @@ func (n *Node) localEntries(key string) []clock.SiblingEntry[record] {
 	sh := n.shardFor(key)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	if s, ok := sh.data[key]; ok {
-		return s.Entries() // Entries copies; safe past the unlock
+	return sh.entries(key) // decoded fresh; safe past the unlock
+}
+
+// Close releases the per-shard storage engines (flushing disk-resident
+// ones). The node must be detached from its transport first.
+func (n *Node) Close() error {
+	var first error
+	for _, sh := range n.shards {
+		if err := sh.store.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
-	return nil
+	return first
 }
 
 // hintedEntries returns every hinted write this node holds for key, in

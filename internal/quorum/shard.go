@@ -1,6 +1,9 @@
 package quorum
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
 	"sync"
 
 	"repro/internal/clock"
@@ -28,12 +31,19 @@ import (
 
 // nodeShard is one shard of a node's replica state.
 type nodeShard struct {
-	// mu guards data and minted: the owning shard goroutine mutates them
-	// on the write path while the serial loop reads and writes them for
-	// anti-entropy, handoff, transfer streaming, and snapshots.
-	mu     sync.RWMutex
-	data   map[string]*clock.Siblings[record]
-	minted map[string]uint64
+	// mu guards store and minted: the owning shard goroutine mutates
+	// them on the write path while the serial loop reads and writes them
+	// for anti-entropy, handoff, transfer streaming, and snapshots. The
+	// engine is internally synchronized, but mu still serializes the
+	// read-modify-write install cycle around it.
+	mu sync.RWMutex
+	// store holds the shard's sibling sets, one engine entry per key,
+	// the value a gob-encoded entry list (see encodeEntries). Which
+	// engine backs it — in-memory KV or disk-resident LSM — is the
+	// host's choice via Config.Storage.
+	store    storage.Engine
+	installs int // engine writes since the last version compaction
+	minted   map[string]uint64
 
 	// Coordination state is executor-confined: only the shard's own
 	// goroutine (or the serial loop when dispatch is unsharded) touches
@@ -47,14 +57,79 @@ type nodeShard struct {
 	repairs map[uint64]*repairState
 }
 
-func newNodeShard() *nodeShard {
+func newNodeShard(store storage.Engine) *nodeShard {
 	return &nodeShard{
-		data:    make(map[string]*clock.Siblings[record]),
+		store:   store,
 		minted:  make(map[string]uint64),
 		writes:  make(map[uint64]*pendingWrite),
 		reads:   make(map[uint64]*pendingRead),
 		repairs: make(map[uint64]*repairState),
 	}
+}
+
+// compactEvery bounds how many engine writes a shard accumulates before
+// discarding superseded sibling-set versions. Engines are multi-version
+// stores: every install writes a fresh version of the key, so without a
+// periodic Compact the obsolete versions would pile up forever (the
+// in-place map the shard used to hold had no such debt).
+const compactEvery = 256
+
+// entries returns key's sibling set as stored, or nil. Caller holds
+// sh.mu (read suffices).
+func (sh *nodeShard) entries(key string) []clock.SiblingEntry[record] {
+	v, ok := sh.store.Get(key)
+	if !ok {
+		return nil
+	}
+	return decodeEntries(v.Value)
+}
+
+// siblings loads key's sibling set rebuilt for merging, or an empty set.
+// Caller holds sh.mu for writing (the result feeds setSiblings).
+func (sh *nodeShard) siblings(key string) (*clock.Siblings[record], bool) {
+	v, ok := sh.store.Get(key)
+	if !ok {
+		return &clock.Siblings[record]{}, false
+	}
+	sib := &clock.Siblings[record]{}
+	for _, e := range decodeEntries(v.Value) {
+		sib.Add(e.DVV, e.Value)
+	}
+	return sib, true
+}
+
+// setSiblings stores key's sibling set back into the engine and
+// amortizes version garbage collection. Caller holds sh.mu for writing.
+func (sh *nodeShard) setSiblings(key string, sib *clock.Siblings[record]) {
+	sh.store.Put(key, encodeEntries(sib.Entries()), nil)
+	sh.installs++
+	if sh.installs >= compactEvery {
+		sh.installs = 0
+		sh.store.Compact(sh.store.Seq())
+	}
+}
+
+// encodeEntries serializes a sibling entry list for engine storage.
+func encodeEntries(es []clock.SiblingEntry[record]) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(es); err != nil {
+		panic(fmt.Sprintf("quorum: encode sibling set: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// decodeEntries is the inverse of encodeEntries. The bytes come from
+// our own engine (CRC-verified on the disk path), so failure is a
+// programming error, not an input error. Rebuilding a Siblings from the
+// decoded list via Add round-trips exactly: stored survivors are
+// mutually concurrent, so no entry obsoletes another and insertion
+// order is preserved.
+func decodeEntries(b []byte) []clock.SiblingEntry[record] {
+	var es []clock.SiblingEntry[record]
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&es); err != nil {
+		panic(fmt.Sprintf("quorum: decode sibling set: %v", err))
+	}
+	return es
 }
 
 // shardFor returns the shard owning key.

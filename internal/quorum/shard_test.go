@@ -39,11 +39,11 @@ func TestShardRouterAgreesWithDataAndMerkle(t *testing.T) {
 	}
 	for _, key := range keys {
 		want := router.Shard(key)
-		// The key must live in exactly its router shard's map.
+		// The key must live in exactly its router shard's engine.
 		owners := 0
 		for i, sh := range n.shards {
 			sh.mu.RLock()
-			_, ok := sh.data[key]
+			_, ok := sh.store.Get(key)
 			sh.mu.RUnlock()
 			if ok {
 				owners++
@@ -154,7 +154,8 @@ func TestArcScanOverShardsMatchesFlatScan(t *testing.T) {
 		got := make(map[string]bool)
 		for _, sh := range n.shards {
 			sh.mu.RLock()
-			for key := range sh.data {
+			for _, p := range sh.store.Scan("", "", 0) {
+				key := p.Key
 				if rangeContains(start, end, ring.KeyHash(key)) {
 					if got[key] {
 						t.Fatalf("arc (%d,%d]: key %q scanned twice", start, end, key)

@@ -356,7 +356,8 @@ func (n *Node) handleTransferReq(env sim.Env, from string, m transferReq) {
 	var keys []kh
 	for _, sh := range n.shards {
 		sh.mu.RLock()
-		for key := range sh.data {
+		for _, p := range sh.store.Scan("", "", 0) {
+			key := p.Key
 			h := ring.KeyHash(key)
 			if !rangeContains(m.Start, m.End, h) {
 				continue

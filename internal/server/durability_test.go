@@ -166,9 +166,27 @@ func (r *recorder) now() time.Duration { return time.Since(r.start) }
 // and the node is restarted from its data dir. The recovered cluster
 // must hold every acknowledged write, the recovered node must actually
 // replay from disk, every node must serve every key (convergence), and
-// the recorded history must stay per-client monotonic.
+// the recorded history must stay per-client monotonic. The scenario
+// runs once per storage engine: the in-memory KV and the disk-resident
+// LSM engine must be indistinguishable through this recovery path —
+// the server WAL is the redo log either way, so a kill may only cost
+// the LSM memtable, which replay restores.
 func TestQuorumCrashRestartZeroLostAckedWrites(t *testing.T) {
+	for _, engine := range []string{"mem", "lsm"} {
+		engine := engine
+		t.Run("engine="+engine, func(t *testing.T) {
+			quorumCrashRestartScenario(t, engine)
+		})
+	}
+}
+
+func quorumCrashRestartScenario(t *testing.T, engine string) {
 	cfgs := durableConfigs(t, "quorum", 3, 200*time.Millisecond)
+	if engine != "mem" {
+		for i := range cfgs {
+			cfgs[i].Engine = engine
+		}
+	}
 	srvs := make([]*Server, len(cfgs))
 	for i, cfg := range cfgs {
 		s, err := New(cfg)

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/lsm"
 )
 
 // startHTTP binds the metrics/health listener and serves in the
@@ -152,6 +154,34 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		gauge("ec_wal_last_seq", "Sequence number of the newest journaled record.", s.dur.log.LastSeq())
 		gauge("ec_wal_checkpoint_seq", "WAL sequence covered by the latest checkpoint snapshot.", s.dur.CheckpointSeq())
 		gauge("ec_wal_disk_bytes", "On-disk footprint of the WAL segments.", uint64(s.dur.log.DiskBytes()))
+	}
+
+	if len(s.lsmEngines) > 0 {
+		// Aggregate across the per-shard trees: operators care about the
+		// node's disk footprint and compaction churn, not shard layout.
+		var agg lsm.Stats
+		for _, e := range s.lsmEngines {
+			st := e.Stats()
+			agg.SSTables += st.SSTables
+			agg.DiskBytes += st.DiskBytes
+			agg.MemtableBytes += st.MemtableBytes
+			agg.Flushes += st.Flushes
+			agg.Compactions += st.Compactions
+			agg.BloomMisses += st.BloomMisses
+			agg.BlockReads += st.BlockReads
+			agg.ReadErrors += st.ReadErrors
+		}
+		lsmGauge := func(name, help string, v uint64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+		}
+		lsmGauge("ec_lsm_sstables", "Immutable SSTable runs across all storage shards.", uint64(agg.SSTables))
+		lsmGauge("ec_lsm_disk_bytes", "On-disk footprint of the LSM storage engine.", uint64(agg.DiskBytes))
+		lsmGauge("ec_lsm_memtable_bytes", "Resident size of the mutable memtables.", uint64(agg.MemtableBytes))
+		counter("ec_lsm_flushes_total", "Memtable flushes to SSTables.", agg.Flushes)
+		counter("ec_lsm_compactions_total", "SSTable merges (size-tiered and explicit).", agg.Compactions)
+		counter("ec_lsm_bloom_misses_total", "Point lookups a bloom filter excluded a table from.", agg.BloomMisses)
+		counter("ec_lsm_block_reads_total", "Data blocks fetched from SSTables.", agg.BlockReads)
+		counter("ec_lsm_read_errors_total", "IO or checksum errors swallowed on the LSM read path.", agg.ReadErrors)
 	}
 
 	if s.el != nil {

@@ -4,17 +4,20 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/gossip"
+	"repro/internal/lsm"
 	"repro/internal/metrics"
 	"repro/internal/quorum"
 	"repro/internal/resilience"
 	"repro/internal/ring"
 	"repro/internal/session"
+	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/wal"
 )
@@ -74,6 +77,13 @@ type Config struct {
 	// GOMAXPROCS; 1 disables sharding and restores the classic single
 	// actor loop. Quorum model only.
 	Shards int
+	// Engine selects the storage engine backing replica state: "mem"
+	// (default) keeps it in memory, "lsm" puts each shard on a
+	// disk-resident log-structured merge tree under DataDir/lsm/.
+	// "lsm" requires the quorum model and a DataDir (the WAL is the
+	// engine's redo log: the LSM keeps no log of its own, so a crash
+	// loses only its memtable, which replay re-installs).
+	Engine string
 }
 
 // Server is one running node: a TCP transport hosting the model's
@@ -87,6 +97,7 @@ type Server struct {
 
 	gwQuorum  []*quorum.Client // quorum model: gateway actors' clients (one per shard)
 	gwIDs     []string
+	lsmEngines []*lsm.Engine // Engine "lsm": per-shard trees, for metrics and close
 	gossipN   *gossip.Node // gossip model: ops run on the storage actor itself
 	qnode     *quorum.Node // quorum model: the storage actor's protocol node
 	qN        int          // quorum model: replication factor
@@ -100,6 +111,18 @@ type Server struct {
 	connSeq   uint64
 	connMu    sync.Mutex
 	closeOnce sync.Once
+
+	// booted is set just before ready closes iff New succeeded; the
+	// channel close orders the write for the parked handlers.
+	booted bool
+	// ready closes when New finishes booting. The transport's listener
+	// accepts client connections from the moment it binds, but the
+	// gateways (and, on a durable node, WAL recovery) come later in New
+	// — a request dispatched in that window would hit a half-built
+	// server. Connection handlers park here until boot completes; on a
+	// restart with a large WAL that means the first client blocks for
+	// the replay instead of racing it.
+	ready chan struct{}
 }
 
 // requestTimeout bounds how long a gateway waits for the protocol to
@@ -119,6 +142,18 @@ func (c Config) validate() error {
 	}
 	if c.Joining && len(c.Peers) < 2 {
 		return errors.New("server: a joining node needs at least one existing peer")
+	}
+	switch c.Engine {
+	case "", "mem":
+	case "lsm":
+		if c.Model != "quorum" {
+			return fmt.Errorf("server: Engine \"lsm\" requires the quorum model, not %q", c.Model)
+		}
+		if c.DataDir == "" {
+			return errors.New("server: Engine \"lsm\" requires a DataDir (the WAL is its redo log)")
+		}
+	default:
+		return fmt.Errorf("server: unknown engine %q (want mem or lsm)", c.Engine)
 	}
 	switch c.Model {
 	case "gossip", "quorum", "session":
@@ -158,12 +193,16 @@ func New(cfg Config) (*Server, error) {
 
 	s := &Server{
 		cfg:      cfg,
+		ready:    make(chan struct{}),
 		ring:     ring.New(ringMembers, ring.DefaultVirtualNodes),
 		dir:      resilience.NewDirectory(policy),
 		policy:   policy,
 		reqCount: metrics.NewCounters(),
 		reqLat:   metrics.NewHistogram(),
 	}
+	// Wake parked connection handlers however New exits — they check
+	// booted and drop the connection if boot failed.
+	defer close(s.ready)
 
 	tcp, err := transport.NewTCP(transport.TCPConfig{
 		LocalID:      cfg.ID,
@@ -173,7 +212,16 @@ func New(cfg Config) (*Server, error) {
 		Directory:    s.dir,
 		Seed:         cfg.Seed,
 		Logf:         cfg.Logf,
-		OnClientConn: func(id string, conn net.Conn) { go s.serveClient(id, conn) },
+		OnClientConn: func(id string, conn net.Conn) {
+			go func() {
+				<-s.ready
+				if !s.booted {
+					conn.Close()
+					return
+				}
+				s.serveClient(id, conn)
+			}()
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -253,6 +301,35 @@ func New(cfg Config) (*Server, error) {
 			// land in that domain's pending table, so every shard's ack
 			// barrier gates on exactly its own appends.
 			qcfg.PersistAt = s.dur.persistAt
+		}
+		if cfg.Engine == "lsm" {
+			// One LSM tree per replica shard under DataDir/lsm/, opened
+			// up front so a bad directory fails New instead of panicking
+			// inside the protocol constructor. Async background
+			// compaction: the real server has no determinism constraint,
+			// and merges should not stall the shard's write path.
+			// Flushed state survives restarts; the unflushed memtable is
+			// re-installed by WAL replay below.
+			nShards := storage.NewShardRouter(shards).Shards()
+			for i := 0; i < nShards; i++ {
+				e, err := lsm.Open(lsm.Options{
+					Dir:   filepath.Join(cfg.DataDir, "lsm", fmt.Sprintf("shard-%d", i)),
+					Async: true,
+					Logf:  cfg.Logf,
+				})
+				if err != nil {
+					for _, open := range s.lsmEngines {
+						open.Close()
+					}
+					if s.dur != nil {
+						s.dur.Close()
+					}
+					tcp.Close()
+					return nil, fmt.Errorf("server %s: open lsm shard %d: %w", cfg.ID, i, err)
+				}
+				s.lsmEngines = append(s.lsmEngines, e)
+			}
+			qcfg.Storage = func(shard int) storage.Engine { return s.lsmEngines[shard] }
 		}
 		qn := quorum.NewNode(cfg.ID, qcfg)
 		s.qnode = qn
@@ -361,6 +438,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	s.booted = true
 	return s, nil
 }
 
@@ -433,6 +511,12 @@ func (s *Server) Close() {
 			// After tcp.Close the actor loops are stopped, so no persist
 			// call can race the log close.
 			s.dur.Close()
+		}
+		if s.qnode != nil {
+			// Flushes LSM memtables and releases table files. Safe after
+			// the loops stop; a crash instead of a clean close loses only
+			// memtable contents, which WAL replay re-installs.
+			s.qnode.Close()
 		}
 	})
 }

@@ -1,0 +1,16 @@
+package storage_test
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/storage/enginetest"
+)
+
+// TestKVEngineConformance runs the shared Engine contract suite against
+// the in-memory KV — the reference the LSM engine is held to.
+func TestKVEngineConformance(t *testing.T) {
+	enginetest.Run(t, func(t *testing.T) storage.Engine {
+		return storage.NewKV()
+	})
+}

@@ -122,6 +122,15 @@ func (kv *KV) Snapshot() *Snapshot {
 	return &Snapshot{kv: kv, at: kv.seq}
 }
 
+// OpenSnapshot implements Engine. KV snapshots read through the live
+// version map, so no release bookkeeping is needed — the checkpointer
+// that pairs Snapshot with a later Compact(at) already guarantees the
+// anchored view stays readable.
+func (kv *KV) OpenSnapshot() EngineSnapshot { return kv.Snapshot() }
+
+// Close implements Engine; the in-memory store holds no resources.
+func (kv *KV) Close() error { return nil }
+
 // Len returns the number of live (non-tombstoned) keys.
 func (kv *KV) Len() int {
 	kv.mu.RLock()
@@ -243,3 +252,6 @@ func (s *Snapshot) Scan(start, end string, limit int) []Pair {
 
 // String implements fmt.Stringer.
 func (s *Snapshot) String() string { return fmt.Sprintf("snapshot@%d", s.at) }
+
+// Release implements EngineSnapshot; KV snapshots hold nothing back.
+func (s *Snapshot) Release() {}

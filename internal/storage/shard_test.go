@@ -102,7 +102,7 @@ func TestShardedKVRoutingAndAggregation(t *testing.T) {
 		t.Fatalf("Len() after delete = %d, want %d", got, n-1)
 	}
 	seen := 0
-	s.ForEach(func(i int, kv *KV) { seen++ })
+	s.ForEach(func(i int, e Engine) { seen++ })
 	if seen != 4 {
 		t.Fatalf("ForEach visited %d shards, want 4", seen)
 	}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// zetaHeadTerms is how many leading terms of the zeta series BigZipfian
+// sums exactly before switching to the integral tail. The head carries
+// nearly all of the curvature of x^-theta; past it the integral
+// approximation is accurate to a few parts in a million.
+const zetaHeadTerms = 1 << 16
+
+// approxZeta approximates the generalized harmonic number
+// zeta(n, theta) = sum_{i=1..n} i^-theta for keyspaces far too large to
+// sum term by term: the first zetaHeadTerms terms are summed exactly and
+// the remainder is the midpoint-corrected integral of x^-theta from k0
+// to n, (n^(1-theta) - k0^(1-theta)) / (1-theta). Exact when n is small
+// enough to sum outright.
+func approxZeta(n uint64, theta float64) float64 {
+	k0 := uint64(zetaHeadTerms)
+	if n <= k0 {
+		return zeta(int(n), theta)
+	}
+	s := zeta(int(k0), theta)
+	s += (math.Pow(float64(n), 1-theta) - math.Pow(float64(k0), 1-theta)) / (1 - theta)
+	return s
+}
+
+// BigZipfian is a zipfian chooser for keyspaces in the tens of millions
+// and beyond, where NewZipfian's exact zeta sum is too slow to build.
+// It uses the same Gray et al. rejection-free draw as Zipfian, with the
+// normalization constant approximated by approxZeta, and scrambles the
+// popularity rank through a 64-bit hash so the hot keys scatter across
+// the whole keyspace instead of clustering at the low indices — the
+// YCSB "scrambled zipfian" shape, which is what disk-resident engines
+// must be benchmarked against (adjacent hot keys would all land in one
+// block and overstate cache hit rates).
+type BigZipfian struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+// NewBigZipfian returns a scrambled zipfian chooser over n keys with
+// skew theta in (0, 1). Construction is O(zetaHeadTerms) regardless of
+// n.
+func NewBigZipfian(n uint64, theta float64) *BigZipfian {
+	if n == 0 {
+		panic("workload: keyspace must be positive")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("workload: zipfian theta must be in (0,1)")
+	}
+	z := &BigZipfian{n: n, theta: theta}
+	z.zetan = approxZeta(n, theta)
+	zeta2 := zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta2/z.zetan)
+	return z
+}
+
+// rank draws a popularity rank in [0, n): 0 is the most popular.
+func (z *BigZipfian) rank(r *rand.Rand) uint64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	k := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k >= z.n { // float round-up at the tail
+		k = z.n - 1
+	}
+	return k
+}
+
+// Next implements KeyChooser: the drawn rank is scrambled through
+// fmix64 so popular keys are spread uniformly over [0, n).
+func (z *BigZipfian) Next(r *rand.Rand) int {
+	return int(fmix64(z.rank(r)) % z.n)
+}
+
+// N implements KeyChooser.
+func (z *BigZipfian) N() int { return int(z.n) }
+
+// fmix64 is the MurmurHash3 64-bit finalizer — a cheap invertible
+// mixer, so distinct ranks always map to distinct scrambled values.
+func fmix64(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestApproxZetaMatchesExact compares the integral-tail approximation
+// against the exact series at sizes just past the head cutoff.
+func TestApproxZetaMatchesExact(t *testing.T) {
+	for _, n := range []int{zetaHeadTerms + 1, 100_000, 250_000} {
+		for _, theta := range []float64{0.5, 0.9, 0.99} {
+			exact := zeta(n, theta)
+			approx := approxZeta(uint64(n), theta)
+			if rel := math.Abs(approx-exact) / exact; rel > 1e-4 {
+				t.Errorf("n=%d theta=%g: approxZeta=%.8f exact=%.8f rel err %.2e",
+					n, theta, approx, exact, rel)
+			}
+		}
+	}
+}
+
+// TestBigZipfianRankSkew draws from the unscrambled rank stream over a
+// 10M-key space (construction must be fast despite the size) and checks
+// the head frequencies against theory: P(rank 0) = 1/zetan.
+func TestBigZipfianRankSkew(t *testing.T) {
+	const n = 10_000_000
+	z := NewBigZipfian(n, 0.99)
+	r := rand.New(rand.NewSource(1))
+	const draws = 200_000
+	var rank0 int
+	for i := 0; i < draws; i++ {
+		k := z.rank(r)
+		if k >= n {
+			t.Fatalf("rank %d out of range", k)
+		}
+		if k == 0 {
+			rank0++
+		}
+	}
+	want := 1 / z.zetan
+	got := float64(rank0) / draws
+	if got < want*0.8 || got > want*1.2 {
+		t.Errorf("P(rank 0) = %.4f, theory %.4f", got, want)
+	}
+}
+
+// TestBigZipfianScramblesHotKeys asserts the hot ranks do not cluster:
+// the 10 most popular ranks must scatter across the keyspace rather
+// than all landing in the lowest indices.
+func TestBigZipfianScramblesHotKeys(t *testing.T) {
+	const n = 1 << 20
+	z := NewBigZipfian(n, 0.99)
+	seen := map[int]bool{}
+	low := 0
+	for rank := uint64(0); rank < 10; rank++ {
+		item := int(fmix64(rank) % z.n)
+		if seen[item] {
+			t.Fatalf("ranks collide on item %d", item)
+		}
+		seen[item] = true
+		if item < n/10 {
+			low++
+		}
+	}
+	if low > 5 {
+		t.Errorf("%d of 10 hot keys landed in the lowest decile; scrambling is not spreading them", low)
+	}
+}
+
+// TestBigZipfianIsAKeyChooser pins the interface contract and
+// determinism: same seed, same stream.
+func TestBigZipfianIsAKeyChooser(t *testing.T) {
+	var kc KeyChooser = NewBigZipfian(1_000_000, 0.9)
+	if kc.N() != 1_000_000 {
+		t.Fatalf("N = %d", kc.N())
+	}
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		x, y := kc.Next(a), kc.Next(b)
+		if x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+		if x < 0 || x >= kc.N() {
+			t.Fatalf("draw %d out of range: %d", i, x)
+		}
+	}
+}

@@ -82,8 +82,8 @@ until ./ecctl status | grep 'suspects=.*node2' >/dev/null; do
 done
 ./ecctl status
 if [ -n "$http0" ] && command -v curl >/dev/null; then
-  curl -fsS "http://$http0/healthz" | grep -q node2
-  curl -fsS "http://$http0/metrics" | grep -q ec_transport_frames_sent_total
+  curl -fsS "http://$http0/healthz" | grep node2 >/dev/null
+  curl -fsS "http://$http0/metrics" | grep ec_transport_frames_sent_total >/dev/null
   echo "healthz + metrics endpoints verified via HTTP"
 fi
 ./ecctl down
@@ -135,6 +135,58 @@ done
 rm -rf .ecctl
 
 echo
+echo "== lsm engine: disk-resident replica state behind the same protocol"
+# One execution shard per node funnels every write into one engine, so a
+# short bench with fat values reliably overflows the 4MiB memtable and
+# forces flushes + tier compactions.
+./ecctl up -n 3 -model quorum -engine lsm -shards 1
+./ecctl status | grep 'lsm=' >/dev/null || { echo "FAIL: status does not show lsm disk usage" >&2; ./ecctl status >&2; exit 1; }
+./ecctl smoke
+# This bench deliberately overdrives a small host so the memtable
+# overflows; while a flush or compaction holds the core, a few ops can
+# cross the coordinator's 500ms quorum timeout. That is the bounded
+# unavailability outcome the quorum model documents, not an engine
+# failure — tolerate up to 2% errors here, fail on anything more.
+benchrc=0
+benchout=$(./ecctl bench -clients 16 -conns 4 -duration 4s -value 8192 -keys 3000 -get 0.3 2>&1) || benchrc=$?
+echo "$benchout"
+if [ "$benchrc" -ne 0 ]; then
+  ops=$(echo "$benchout" | awk '/^bench: [0-9]+ ops in /{print $2; exit}')
+  errs=$(echo "$benchout" | awk '/^bench: [0-9]+ ops in /{gsub(/\(/,""); print $(NF-1); exit}')
+  if [ -z "$ops" ] || [ -z "$errs" ] || [ "$((errs * 50))" -gt "$ops" ]; then
+    echo "FAIL: lsm bench errors exceed the 2% overload allowance (errs=${errs:-?} ops=${ops:-?})" >&2
+    exit 1
+  fi
+  echo "lsm bench: $errs/$ops ops timed out under deliberate overload (within the 2% allowance)"
+fi
+httpl=$(awk '/"http"/{f=1} f && /"node0"/{gsub(/[",]/,""); print $2; exit}' .ecctl/cluster.json)
+if [ -n "$httpl" ] && command -v curl >/dev/null; then
+  metrics=$(curl -fsS "http://$httpl/metrics")
+  for m in ec_lsm_sstables ec_lsm_compactions_total ec_lsm_bloom_misses_total; do
+    echo "$metrics" | grep "^$m " >/dev/null || { echo "FAIL: $m not exported by lsm node" >&2; exit 1; }
+  done
+  sst=$(echo "$metrics" | awk '/^ec_lsm_sstables /{print $2}')
+  if [ -z "$sst" ] || [ "$sst" -lt 1 ]; then
+    echo "FAIL: ec_lsm_sstables = '$sst', the bench never forced a flush" >&2
+    exit 1
+  fi
+  echo "node0: $sst sstables, $(echo "$metrics" | awk '/^ec_lsm_compactions_total /{print $2}') compactions"
+fi
+# Crash recovery with replica state on disk: acked writes must survive a
+# kill -9 — the server WAL is the redo log, so the lost memtable is
+# rebuilt by replay on top of the flushed SSTables.
+for i in $(seq 1 10); do ./ecctl put "lsmdur-$i" "val-$i"; done
+./ecctl kill node2
+sleep 0.5
+./ecctl restart node2
+for i in $(seq 1 10); do
+  [ "$(./ecctl get -node node2 "lsmdur-$i")" = "val-$i" ]
+done
+echo "lsm node recovered all acked writes after kill -9"
+./ecctl down
+rm -rf .ecctl
+
+echo
 echo "== elasticity: live scale-out under load, then graceful decommission"
 # Throttle the arc stream so the catch-up window is observable.
 ./ecctl up -n 3 -model quorum -transfer-rate 65536
@@ -177,7 +229,7 @@ if [ -n "$http3" ] && command -v curl >/dev/null; then
     echo "FAIL: joiner exports no completed transfer ranges (got '$ranges')" >&2
     exit 1
   fi
-  curl -fsS "http://$http3/healthz" | grep -q '"state": "ok"'
+  curl -fsS "http://$http3/healthz" | grep '"state": "ok"' >/dev/null
   echo "joiner streamed $ranges arc ranges, healthz state=ok"
 fi
 echo "-- scale back in: decommission the joiner"
@@ -198,4 +250,4 @@ done <acked.txt
 rm -rf .ecctl acked.txt add-node.txt decom.txt
 
 echo
-echo "e2e: all models served over real TCP; session guarantees held; fast path batched frames and group-committed the WAL; node kill tolerated; crash recovery replayed the WAL; live scale-out/in moved arcs with zero lost acked writes"
+echo "e2e: all models served over real TCP; session guarantees held; fast path batched frames and group-committed the WAL; node kill tolerated; crash recovery replayed the WAL; lsm engine flushed, compacted, and recovered from kill -9; live scale-out/in moved arcs with zero lost acked writes"
