@@ -161,6 +161,11 @@ func BenchmarkWALAppendConcurrent(b *testing.B) { runGroup(b, "BenchmarkWALAppen
 func BenchmarkLSMPutGet(b *testing.B)     { runGroup(b, "BenchmarkLSMPutGet") }
 func BenchmarkLSMCompaction(b *testing.B) { runGroup(b, "BenchmarkLSMCompaction") }
 
+// BenchmarkGeoSLARead reads from a 3-zone cluster with injected
+// cross-zone frame delay, one cell per SLA tier: the strong/eventual
+// gap is the latency the geo tiers trade consistency for.
+func BenchmarkGeoSLARead(b *testing.B) { runGroup(b, "BenchmarkGeoSLARead") }
+
 // BenchmarkSaturation boots a 3-node cluster in-process and drives it
 // open-loop at a fixed offered rate; the reported ops/s metric is the
 // cluster's capacity through the full client fast path (pipelining,

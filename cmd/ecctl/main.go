@@ -5,10 +5,12 @@
 // Usage:
 //
 //	ecctl up -n 3 -model quorum   # spawn a 3-node cluster
-//	ecctl status                  # per-node health, incl. suspected peers
+//	ecctl up -n 9 -zones us,eu,ap # 3 zones x 3 nodes, async cross-zone replication
+//	ecctl status                  # per-node health, incl. suspected peers and geo lag
 //	ecctl ring [key]              # placement: ownership share, or a key's replicas
 //	ecctl put <key> <value>       # write through a node
 //	ecctl get <key>               # read (carries a session token if model=session)
+//	ecctl get -sla eventual <key> # SLA read: strong, eventual, or bounded:<dur>
 //	ecctl del <key>               # delete
 //	ecctl smoke                   # end-to-end check incl. session guarantees
 //	ecctl bench -clients 32       # closed-loop load: ops/s, latency, server cpu
@@ -42,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/geo"
 	"repro/internal/ring"
 	"repro/internal/server"
 	"repro/internal/session"
@@ -67,6 +70,15 @@ type clusterState struct {
 	// Engine is the storage engine every node was spawned with
 	// ("" = server default in-memory KV, "lsm" = disk-resident LSM).
 	Engine string `json:"engine,omitempty"`
+	// Zones maps node id -> zone name when the cluster was brought up
+	// with -zones; ZoneNames keeps the declared zone order so add-node
+	// can keep round-robin assignment going.
+	Zones     map[string]string `json:"zones,omitempty"`
+	ZoneNames []string          `json:"zone_names,omitempty"`
+	// GeoAsync/XZoneDelay record the geo-replication flags every node
+	// was spawned with (XZoneDelay emulates cross-zone RTT locally).
+	GeoAsync   bool          `json:"geo_async,omitempty"`
+	XZoneDelay time.Duration `json:"xzone_delay,omitempty"`
 }
 
 func main() {
@@ -187,10 +199,26 @@ func cmdUp(args []string) error {
 	xferRate := fs.Int("transfer-rate", 0, "elasticity transfer throttle, bytes/sec per source (0 = default)")
 	xferBatch := fs.Int("transfer-batch", 0, "elasticity transfer batch payload bytes (0 = default)")
 	engine := fs.String("engine", "", "storage engine: mem (default) or lsm (disk-resident; quorum model, needs data dirs)")
+	zonesFlag := fs.String("zones", "", "comma-separated zone names (e.g. us,eu,ap); nodes are assigned round-robin")
+	geoAsync := fs.Bool("geo-async", true, "with -zones: ack writes on the intra-zone sub-quorum, replicate cross-zone async")
+	xzDelay := fs.Duration("xzone-delay", 0, "with -zones: artificial cross-zone per-frame delay (local RTT emulation)")
 	dir := stateDir(fs)
 	fs.Parse(args)
 	if *n < 1 {
 		return fmt.Errorf("need at least one node")
+	}
+	var zoneNames []string
+	if *zonesFlag != "" {
+		for _, z := range strings.Split(*zonesFlag, ",") {
+			z = strings.TrimSpace(z)
+			if z == "" {
+				return fmt.Errorf("empty zone name in -zones %q", *zonesFlag)
+			}
+			zoneNames = append(zoneNames, z)
+		}
+		if *model != "quorum" {
+			return fmt.Errorf("-zones requires model=quorum")
+		}
 	}
 	if *engine == "lsm" && *noData {
 		return fmt.Errorf("-engine lsm needs data dirs (drop -no-data)")
@@ -230,6 +258,12 @@ func cmdUp(args []string) error {
 			st.Data[ids[i]] = filepath.Join(*dir, "data", ids[i])
 		}
 	}
+	if len(zoneNames) > 0 {
+		st.Zones = geo.AssignRoundRobin(ids, zoneNames)
+		st.ZoneNames = zoneNames
+		st.GeoAsync = *geoAsync
+		st.XZoneDelay = *xzDelay
+	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
@@ -253,9 +287,18 @@ func cmdUp(args []string) error {
 	if *engine != "" {
 		fmt.Printf(", engine=%s", *engine)
 	}
+	if len(zoneNames) > 0 {
+		fmt.Printf(", zones=%s", strings.Join(zoneNames, ","))
+		if st.GeoAsync {
+			fmt.Printf(" (async cross-zone replication)")
+		}
+	}
 	fmt.Println()
 	for _, id := range ids {
 		fmt.Printf("  %s  peer=%s  http=%s  pid=%d", id, st.Peers[id], st.HTTP[id], st.PIDs[id])
+		if st.Zones[id] != "" {
+			fmt.Printf("  zone=%s", st.Zones[id])
+		}
 		if st.Data[id] != "" {
 			fmt.Printf("  data=%s", st.Data[id])
 		}
@@ -301,6 +344,15 @@ func spawnNode(dir, bin string, st *clusterState, id string, extra ...string) er
 	}
 	if st.Engine != "" {
 		cargs = append(cargs, "-engine", st.Engine)
+	}
+	if len(st.Zones) > 0 {
+		cargs = append(cargs, "-zone", st.Zones[id], "-zones", geo.FormatZoneSpec(st.Zones))
+		if st.GeoAsync {
+			cargs = append(cargs, "-geo-async")
+		}
+		if st.XZoneDelay > 0 {
+			cargs = append(cargs, "-xzone-delay", st.XZoneDelay.String())
+		}
 	}
 	cargs = append(cargs, extra...)
 	cmd := exec.Command(bin, cargs...)
@@ -448,6 +500,7 @@ func cmdAddNode(args []string) error {
 	fs := flag.NewFlagSet("add-node", flag.ExitOnError)
 	dir := stateDir(fs)
 	timeout := fs.Duration("timeout", 2*time.Minute, "how long to wait for catch-up")
+	zoneFlag := fs.String("zone", "", "joiner's zone (default: least-populated declared zone)")
 	fs.Parse(args)
 	st, err := loadState(*dir)
 	if err != nil {
@@ -478,6 +531,25 @@ func cmdAddNode(args []string) error {
 	if len(st.Data) > 0 {
 		st.Data[id] = filepath.Join(*dir, "data", id)
 	}
+	zone := *zoneFlag
+	if zone == "" && len(st.ZoneNames) > 0 {
+		// Keep zones balanced: the joiner lands in the emptiest one.
+		counts := map[string]int{}
+		for _, z := range st.Zones {
+			counts[z]++
+		}
+		for _, z := range st.ZoneNames {
+			if zone == "" || counts[z] < counts[zone] {
+				zone = z
+			}
+		}
+	}
+	if zone != "" {
+		if st.Zones == nil {
+			st.Zones = map[string]string{}
+		}
+		st.Zones[id] = zone
+	}
 	// Persist the member before any process knows about it: if ecctl
 	// dies here, `down` still reaps the node and a joiner restart still
 	// finds the full peer map.
@@ -493,7 +565,11 @@ func cmdAddNode(args []string) error {
 	if err := waitReady(st.Peers[id], 10*time.Second); err != nil {
 		return fmt.Errorf("joiner %s did not come up: %w (see %s)", id, err, filepath.Join(*dir, id+".log"))
 	}
-	fmt.Printf("add-node: %s up (peer=%s http=%s pid=%d), joining...\n", id, st.Peers[id], st.HTTP[id], st.PIDs[id])
+	if zone != "" {
+		fmt.Printf("add-node: %s up (peer=%s http=%s pid=%d zone=%s), joining...\n", id, st.Peers[id], st.HTTP[id], st.PIDs[id], zone)
+	} else {
+		fmt.Printf("add-node: %s up (peer=%s http=%s pid=%d), joining...\n", id, st.Peers[id], st.HTTP[id], st.PIDs[id])
+	}
 
 	// Any existing member coordinates the epoch.
 	var coord *server.Client
@@ -510,7 +586,7 @@ func cmdAddNode(args []string) error {
 	if coord == nil {
 		return fmt.Errorf("no existing member reachable to coordinate the join")
 	}
-	err = coord.AddNode(id, st.Peers[id])
+	err = coord.AddNodeZone(id, st.Peers[id], zone)
 	coord.Close()
 	if err != nil {
 		return fmt.Errorf("coordinator %s: %w", coordID, err)
@@ -611,6 +687,7 @@ func cmdDecommission(args []string) error {
 	delete(st.PIDs, id)
 	delete(st.Data, id)
 	delete(st.Seeds, id)
+	delete(st.Zones, id)
 	return saveState(*dir, st)
 }
 
@@ -629,11 +706,14 @@ func cmdStatus(args []string) error {
 			continue
 		}
 		var h struct {
-			Model   string   `json:"model"`
-			State   string   `json:"state"`
-			Epoch   uint64   `json:"epoch"`
-			Uptime  string   `json:"uptime"`
-			Suspect []string `json:"suspected_peers"`
+			Model        string           `json:"model"`
+			State        string           `json:"state"`
+			Epoch        uint64           `json:"epoch"`
+			Uptime       string           `json:"uptime"`
+			Suspect      []string         `json:"suspected_peers"`
+			Zone         string           `json:"zone"`
+			GeoStaleness map[string]int64 `json:"geo_staleness_ms"`
+			GeoQueue     int              `json:"geo_queue"`
 		}
 		err = json.NewDecoder(resp.Body).Decode(&h)
 		resp.Body.Close()
@@ -642,11 +722,31 @@ func cmdStatus(args []string) error {
 			continue
 		}
 		line := fmt.Sprintf("%-8s UP model=%s uptime=%s", id, h.Model, h.Uptime)
+		if h.Zone != "" {
+			line += " zone=" + h.Zone
+		}
 		if h.State != "" {
 			line += fmt.Sprintf(" state=%s epoch=%d", h.State, h.Epoch)
 		}
 		if len(h.Suspect) > 0 {
 			line += " suspects=" + strings.Join(h.Suspect, ",")
+		}
+		if len(h.GeoStaleness) > 0 {
+			// Cross-zone replication lag as seen from this node: worst
+			// acked high-water age per remote zone.
+			zs := make([]string, 0, len(h.GeoStaleness))
+			for z := range h.GeoStaleness {
+				zs = append(zs, z)
+			}
+			sort.Strings(zs)
+			parts := make([]string, len(zs))
+			for i, z := range zs {
+				parts[i] = fmt.Sprintf("%s:%dms", z, h.GeoStaleness[z])
+			}
+			line += " geo-lag=" + strings.Join(parts, ",")
+			if h.GeoQueue > 0 {
+				line += fmt.Sprintf(" geo-queue=%d", h.GeoQueue)
+			}
 		}
 		if m, err := scrapeMetrics(st.HTTP[id]); err == nil {
 			if _, durable := m["ec_wal_last_seq"]; durable {
@@ -744,7 +844,9 @@ func cmdRing(args []string) error {
 	if err != nil {
 		return err
 	}
-	r := ring.New(sortedIDs(st), ring.DefaultVirtualNodes)
+	// Zone-aware when the cluster is zoned, so replica answers match
+	// the servers' spread-across-zones placement exactly.
+	r := ring.NewZoned(sortedIDs(st), ring.DefaultVirtualNodes, st.Zones)
 	if *diff != "" {
 		if len(*diff) < 2 {
 			return fmt.Errorf("-diff wants +id or -id, got %q", *diff)
@@ -781,6 +883,10 @@ func cmdRing(args []string) error {
 	}
 	load := r.Load()
 	for _, id := range sortedIDs(st) {
+		if z := st.Zones[id]; z != "" {
+			fmt.Printf("%-8s %5.1f%% of keyspace  zone=%s\n", id, 100*load[id], z)
+			continue
+		}
 		fmt.Printf("%-8s %5.1f%% of keyspace\n", id, 100*load[id])
 	}
 	return nil
@@ -825,10 +931,20 @@ func cmdKV(op string, args []string) error {
 	fs := flag.NewFlagSet(op, flag.ExitOnError)
 	dir := stateDir(fs)
 	node := fs.String("node", "", "target node (default: any reachable)")
+	sla := fs.String("sla", "", "get only: consistency tier — strong, eventual, or bounded:<dur> (quorum model)")
 	fs.Parse(args)
 	st, err := loadState(*dir)
 	if err != nil {
 		return err
+	}
+	var tier geo.Tier
+	if *sla != "" {
+		if op != "get" {
+			return fmt.Errorf("-sla applies to get only")
+		}
+		if tier, err = geo.ParseTier(*sla); err != nil {
+			return err
+		}
 	}
 
 	var c *server.Client
@@ -858,7 +974,23 @@ func cmdKV(op string, args []string) error {
 		return c.Put(fs.Arg(0), []byte(fs.Arg(1)))
 	case "get":
 		if fs.NArg() != 1 {
-			return fmt.Errorf("usage: ecctl get <key>")
+			return fmt.Errorf("usage: ecctl get [-sla tier] <key>")
+		}
+		if *sla != "" {
+			v, found, delivered, staleMs, err := c.GetSLA(fs.Arg(0), tier)
+			if err != nil {
+				return err
+			}
+			if staleMs >= 0 {
+				fmt.Fprintf(os.Stderr, "sla: requested=%s delivered=%s staleness=%dms\n", tier.Kind, delivered, staleMs)
+			} else {
+				fmt.Fprintf(os.Stderr, "sla: requested=%s delivered=%s staleness=unknown\n", tier.Kind, delivered)
+			}
+			if !found {
+				return fmt.Errorf("key %q not found", fs.Arg(0))
+			}
+			fmt.Println(string(v))
+			return nil
 		}
 		v, found, err := c.Get(fs.Arg(0))
 		if err != nil {

@@ -28,6 +28,7 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/geo"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -52,10 +53,18 @@ func main() {
 		xferRt  = flag.Int("transfer-rate", 0, "elasticity transfer throttle, bytes/sec per source (0 = default)")
 		xferBt  = flag.Int("transfer-batch", 0, "elasticity transfer batch payload bytes (0 = default)")
 		engine  = flag.String("engine", "", "storage engine: mem (default) or lsm (disk-resident, quorum model, requires -data-dir)")
+		zone    = flag.String("zone", "", "this node's zone name (geo-replication)")
+		zones   = flag.String("zones", "", "comma-separated node=zone for every zoned node (all nodes must agree)")
+		geoA    = flag.Bool("geo-async", false, "ack quorum writes on the intra-zone sub-quorum; stream cross-zone replicas asynchronously")
+		xzDelay = flag.Duration("xzone-delay", 0, "artificial delay injected per frame to peers in other zones (local cross-zone RTT emulation)")
 	)
 	flag.Parse()
 
 	peerMap, err := parsePeers(*peers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	zoneMap, err := geo.ParseZoneSpec(*zones)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -91,6 +100,11 @@ func main() {
 		Joining:       *join,
 		TransferRate:  *xferRt,
 		TransferBatch: *xferBt,
+
+		Zone:       *zone,
+		Zones:      zoneMap,
+		GeoAsync:   *geoA,
+		XZoneDelay: *xzDelay,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -110,6 +124,12 @@ func main() {
 	}
 	if *engine != "" {
 		fmt.Printf(" engine=%s", *engine)
+	}
+	if *zone != "" {
+		fmt.Printf(" zone=%s", *zone)
+		if *geoA {
+			fmt.Printf(" geo-async")
+		}
 	}
 	fmt.Println()
 

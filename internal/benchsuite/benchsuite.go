@@ -99,6 +99,7 @@ func All() []Benchmark {
 	out = append(out, Benchmark{Name: "BenchmarkRingJoinDiff", F: ringJoinDiff})
 	out = append(out, walBenchmarks()...)
 	out = append(out, lsmBenchmarks()...)
+	out = append(out, geoBenchmarks()...)
 	out = append(out, satBenchmarks()...)
 	return out
 }

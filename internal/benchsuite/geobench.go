@@ -1,0 +1,118 @@
+package benchsuite
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/resilience"
+	"repro/internal/server"
+)
+
+// geoSLARead measures one SLA tier's read latency against a zoned
+// cluster: 6 quorum nodes spread over 3 zones with a 2ms delay injected
+// on every cross-zone frame (the local stand-in for WAN RTT) and async
+// cross-zone replication. Strong reads pay the injected RTT through the
+// ring owner's full R quorum; eventual reads serve R=1 from a replica
+// in the contacted node's own zone and never cross a zone — the gap
+// between the two cells is the latency the SLA tiers trade in.
+func geoSLARead(b *testing.B, tier geo.Tier) {
+	const (
+		nodes   = 6
+		keys    = 64
+		xzDelay = 2 * time.Millisecond
+	)
+	addrs, err := reserveAddrs(nodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	peers := make(map[string]string, nodes)
+	ids := make([]string, nodes)
+	for i, a := range addrs {
+		ids[i] = fmt.Sprintf("node%d", i)
+		peers[ids[i]] = a
+	}
+	zones := geo.AssignRoundRobin(ids, []string{"us", "eu", "ap"})
+	policy := &resilience.Policy{HeartbeatInterval: 50 * time.Millisecond}
+	servers := make([]*server.Server, 0, nodes)
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	for i := 0; i < nodes; i++ {
+		s, err := server.New(server.Config{
+			ID:         ids[i],
+			Model:      "quorum",
+			Peers:      peers,
+			Policy:     policy,
+			Seed:       int64(7000 + i),
+			Zone:       zones[ids[i]],
+			Zones:      zones,
+			GeoAsync:   true,
+			XZoneDelay: xzDelay,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		servers = append(servers, s)
+	}
+
+	c, err := server.Dial(servers[0].Addr(), "geobench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	names := make([]string, keys)
+	for i := range names {
+		names[i] = fmt.Sprintf("geo-%d", i)
+		if err := c.Put(names[i], []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Let the async replicator land every key in node0's zone, so the
+	// timed loop measures serving latency, not convergence waits.
+	deadline := time.Now().Add(30 * time.Second)
+	for _, k := range names {
+		for {
+			_, found, _, _, err := c.GetSLA(k, geo.Tier{Kind: geo.Eventual})
+			if err == nil && found {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("key %s never replicated to node0's zone", k)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, _, err := c.GetSLA(names[i%keys], tier); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// geoBenchmarks registers the SLA-read tier cells.
+func geoBenchmarks() []Benchmark {
+	tiers := []struct {
+		name string
+		tier geo.Tier
+	}{
+		{"strong", geo.Tier{Kind: geo.Strong}},
+		{"eventual", geo.Tier{Kind: geo.Eventual}},
+		{"bounded", geo.Tier{Kind: geo.Bounded, Bound: time.Minute}},
+	}
+	var out []Benchmark
+	for _, tc := range tiers {
+		tc := tc
+		out = append(out, Benchmark{
+			Name: fmt.Sprintf("BenchmarkGeoSLARead/tier=%s", tc.name),
+			F:    func(b *testing.B) { geoSLARead(b, tc.tier) },
+		})
+	}
+	return out
+}

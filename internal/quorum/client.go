@@ -333,6 +333,16 @@ func (c *Client) Get(env sim.Env, coordinator, key string, cb func(GetResult)) {
 	c.send(env, coordinator, c.nextID, key, clientGet{ID: c.nextID, Key: key})
 }
 
+// GetR reads key with a per-request read-quorum override — the SLA
+// tiers' lever (R=1 is an eventual-tier read). r <= 0 uses the
+// coordinator's configured quorum.
+func (c *Client) GetR(env sim.Env, coordinator, key string, r int, cb func(GetResult)) {
+	c.nextID++
+	c.getCBs[c.nextID] = cb
+	c.keys[c.nextID] = key
+	c.send(env, coordinator, c.nextID, key, clientGet{ID: c.nextID, Key: key, R: r})
+}
+
 // ID returns the client's node id.
 func (c *Client) ID() string { return c.id }
 

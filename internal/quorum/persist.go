@@ -31,6 +31,7 @@ type walRecord struct {
 	HintAck      *hintAckRec
 	Mint         *mintRec
 	TransferDone *transferDoneRec
+	GeoAck       *geoAckRec
 }
 
 // entryRec installs one version into a key's sibling set.
@@ -77,6 +78,7 @@ type quorumImage struct {
 	Minted    map[string]uint64
 	Hints     []hintRec
 	Transfers []transferDoneRec
+	GeoAcks   []geoAckRec
 }
 
 // Record framing. With the plain Persist hook records are bare gob, as
@@ -259,6 +261,8 @@ func (n *Node) ReplayRecord(rec []byte) error {
 		sh.mu.Unlock()
 	case r.TransferDone != nil:
 		n.markTransferDone(r.TransferDone.Seq, r.TransferDone.Idx)
+	case r.GeoAck != nil:
+		n.geoRestoreAck(r.GeoAck.Peer, r.GeoAck.Seq)
 	default:
 		return fmt.Errorf("quorum: empty WAL record")
 	}
@@ -347,6 +351,18 @@ func (n *Node) StateSnapshot() ([]byte, error) {
 			img.Transfers = append(img.Transfers, transferDoneRec{Seq: seq, Idx: idx})
 		}
 	}
+	n.geoMu.Lock()
+	geoPeers := make([]string, 0, len(n.geoPeers))
+	for p := range n.geoPeers {
+		geoPeers = append(geoPeers, p)
+	}
+	sort.Strings(geoPeers)
+	for _, p := range geoPeers {
+		if acked := n.geoPeers[p].acked; acked > 0 {
+			img.GeoAcks = append(img.GeoAcks, geoAckRec{Peer: p, Seq: acked})
+		}
+	}
+	n.geoMu.Unlock()
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
 		return nil, fmt.Errorf("quorum: encode snapshot: %w", err)
@@ -383,6 +399,9 @@ func (n *Node) RestoreState(state []byte) error {
 	}
 	for _, t := range img.Transfers {
 		n.markTransferDone(t.Seq, t.Idx)
+	}
+	for _, g := range img.GeoAcks {
+		n.geoRestoreAck(g.Peer, g.Seq)
 	}
 	return nil
 }

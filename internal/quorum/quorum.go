@@ -115,6 +115,21 @@ type Config struct {
 	// (default ~8MiB/s); TransferBatch bounds one batch (default 64KiB).
 	TransferRate  int
 	TransferBatch int
+	// Zone names this node's zone and Zones maps every ring node to its
+	// zone; both inform geo-replication (see geo.go). Empty/absent zones
+	// group together, so an unzoned cluster is a single zone.
+	Zone  string
+	Zones map[string]string
+	// GeoAsync acknowledges writes on an intra-zone sub-quorum
+	// (min(W, in-zone replicas)) and replicates to other zones
+	// asynchronously through the per-peer geo replicator.
+	GeoAsync bool
+	// GeoFlushInterval paces replicator ship/retry ticks (default 20ms);
+	// GeoBeaconInterval paces idle high-water beacons (default 250ms);
+	// GeoBatch bounds entries per geoShip frame (default 128).
+	GeoFlushInterval  time.Duration
+	GeoBeaconInterval time.Duration
+	GeoBatch          int
 }
 
 // Placement maps a key to an ordered walk of distinct storage nodes —
@@ -137,6 +152,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MerkleDepth <= 0 {
 		c.MerkleDepth = 8
+	}
+	if c.GeoFlushInterval <= 0 {
+		c.GeoFlushInterval = 20 * time.Millisecond
+	}
+	if c.GeoBeaconInterval <= 0 {
+		c.GeoBeaconInterval = 250 * time.Millisecond
+	}
+	if c.GeoBatch <= 0 {
+		c.GeoBatch = 128
 	}
 	if c.Resilience != nil {
 		c.Resilience = c.Resilience.Normalized()
@@ -164,6 +188,9 @@ func (c Config) Validate() error {
 	}
 	if c.Strict && c.SloppyQuorum {
 		return errors.New("quorum: strict quorum claimed but SloppyQuorum lets fallback acks void replica intersection")
+	}
+	if c.Strict && c.GeoAsync {
+		return errors.New("quorum: strict quorum claimed but GeoAsync acks on an intra-zone sub-quorum smaller than W")
 	}
 	return nil
 }
@@ -222,6 +249,11 @@ type (
 	clientGet struct {
 		ID  uint64
 		Key string
+		// R, when > 0, overrides the configured read quorum for this
+		// request (capped at the preference-list size) — how SLA tiers
+		// trade freshness for latency: an eventual-tier read asks R=1 of
+		// an in-zone coordinator.
+		R int
 	}
 	putResp struct {
 		ID      uint64
@@ -306,6 +338,11 @@ type pendingWrite struct {
 	fi      int             // next unused fallback index
 	fbTried bool            // quorum-timeout fallback engagement done
 	attempt int             // retransmission rounds spent
+
+	// geoAsync lists cross-zone prefs served by the replicator instead
+	// of synchronous replicaPuts; retries and fallback engagement skip
+	// them (they are intentionally un-acked here).
+	geoAsync []string
 }
 
 type pendingRead struct {
@@ -373,11 +410,23 @@ type Node struct {
 	tbLast   time.Duration
 	tbInit   bool
 
+	// Geo-replication state (see geo.go). geoMu guards geoPeers and
+	// zoneHigh: enqueue runs on write shard goroutines, ship/ack on the
+	// serial loop, and the metrics endpoint reads both off-loop.
+	geoMu    sync.Mutex
+	geoPeers map[string]*geoPeer
+	zoneHigh map[string]int64 // source zone -> high-water wall-clock ms
+
 	// Stats (written with atomic adds: shard goroutines race each other).
 	ReadRepairsSent uint64
 	HintsStored     uint64
 	HintsDelivered  uint64
 	AESyncs         uint64
+	// Geo replicator counters (atomic; read off-loop by /metrics).
+	GeoShipped uint64
+	GeoAcked   uint64
+	GeoResends uint64
+	GeoBeacons uint64
 	// Transfer counts elasticity activity (atomic: read off-loop by the
 	// metrics endpoint).
 	Transfer TransferStats
@@ -486,6 +535,11 @@ func (n *Node) OnStart(env sim.Env) {
 		hi := n.cfg.Resilience.HeartbeatInterval
 		env.SetTimer(hi/2+time.Duration(env.Rand().Int63n(int64(hi))), pingTag{})
 	}
+	if n.cfg.GeoAsync {
+		env.SetTimer(n.cfg.GeoFlushInterval, geoFlushTag{})
+		bi := n.cfg.GeoBeaconInterval
+		env.SetTimer(bi/2+time.Duration(env.Rand().Int63n(int64(bi))), geoBeaconTag{})
+	}
 }
 
 // OnTimer implements sim.Handler.
@@ -522,6 +576,10 @@ func (n *Node) OnTimer(env sim.Env, tag any) {
 		n.flushThrottled(env, tg)
 	case drainTag:
 		n.drainTick(env)
+	case geoFlushTag:
+		n.geoFlush(env)
+	case geoBeaconTag:
+		n.geoBeacon(env)
 	}
 }
 
@@ -568,6 +626,10 @@ func (n *Node) OnMessage(env sim.Env, from string, msg sim.Message) {
 		n.handleTransferBatch(env, m)
 	case replicaNotOwner:
 		n.onNotOwner(m)
+	case geoShip:
+		n.handleGeoShip(env, from, m)
+	case geoShipAck:
+		n.handleGeoAck(env, from, m)
 	}
 }
 
@@ -671,9 +733,27 @@ func (n *Node) coordinatePut(env sim.Env, client string, m clientPut) {
 	if n.cfg.SloppyQuorum {
 		pw.fallbacks = n.fallbackList(m.Key)
 	}
+	// Geo async: replicas in the coordinator's zone stay synchronous and
+	// the ack quorum shrinks to the intra-zone sub-quorum; cross-zone
+	// replicas are fed by the retained replicator stream instead (see
+	// geo.go). With a zone-diverse ring every zone holds a replica, so
+	// the local sub-quorum is never empty.
+	syncPrefs := prefs
+	if n.cfg.GeoAsync {
+		if s, a := n.splitGeo(prefs); len(s) > 0 && len(a) > 0 {
+			syncPrefs = s
+			if pw.needed > len(s) {
+				pw.needed = len(s)
+			}
+			pw.geoAsync = a
+			for _, rep := range a {
+				n.geoEnqueue(rep, m.Key, entry)
+			}
+		}
+	}
 	n.shards[shardIdx].writes[id] = pw
 
-	for _, rep := range prefs {
+	for _, rep := range syncPrefs {
 		env.Send(rep, replicaPut{ID: id, Key: m.Key, Entry: entry})
 		// A replica the failure detector already suspects gets a sloppy
 		// stand-in immediately instead of after the quorum timeout.
@@ -749,7 +829,7 @@ func (n *Node) retryWrite(env sim.Env, id uint64) {
 	}
 	now := env.Now()
 	for _, rep := range pw.replicas {
-		if pw.acked[rep] {
+		if pw.acked[rep] || contains(pw.geoAsync, rep) {
 			continue
 		}
 		env.Send(rep, replicaPut{ID: id, Key: pw.key, Entry: pw.entry})
@@ -836,7 +916,7 @@ func (n *Node) writeTimeout(env sim.Env, id uint64) {
 		pw.fbTried = true
 		engaged := pw.sloppy
 		for _, rep := range pw.replicas {
-			if pw.acked[rep] {
+			if pw.acked[rep] || contains(pw.geoAsync, rep) {
 				continue
 			}
 			if n.engageFallback(env, id, pw, rep) {
@@ -861,12 +941,21 @@ func (n *Node) coordinateGet(env sim.Env, client string, m clientGet) {
 	prefs := n.PreferenceList(m.Key)
 	shardIdx := n.router.Shard(m.Key)
 	id := n.mintReq(shardIdx)
+	needed := n.cfg.R
+	if m.R > 0 {
+		// Per-request SLA override: an eventual-tier read asks for R=1.
+		// Capped at the preference-list size so it can always complete.
+		needed = m.R
+		if needed > len(prefs) {
+			needed = len(prefs)
+		}
+	}
 	pr := &pendingRead{
 		client:    client,
 		id:        m.ID,
 		key:       m.Key,
 		responses: make(map[string][]clock.SiblingEntry[record]),
-		needed:    n.cfg.R,
+		needed:    needed,
 		replicas:  prefs,
 		asked:     make(map[string]bool),
 	}

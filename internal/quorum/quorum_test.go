@@ -23,14 +23,27 @@ func newHarness(t *testing.T, nNodes int, cfg Config, seed int64) *harness {
 
 func newHarnessLatency(t *testing.T, nNodes int, cfg Config, seed int64, lat sim.LatencyModel) *harness {
 	t.Helper()
+	return newHarnessPerNode(t, nNodes, seed, lat, func(string) Config { return cfg })
+}
+
+// newHarnessWith builds a cluster whose per-node Config may differ (the
+// geo tests give every node its own Zone).
+func newHarnessWith(t *testing.T, nNodes int, seed int64, cfgFor func(id string) Config) *harness {
+	t.Helper()
+	return newHarnessPerNode(t, nNodes, seed, sim.Uniform(time.Millisecond, 5*time.Millisecond), cfgFor)
+}
+
+func newHarnessPerNode(t *testing.T, nNodes int, seed int64, lat sim.LatencyModel, cfgFor func(id string) Config) *harness {
+	t.Helper()
 	c := sim.New(sim.Config{Seed: seed, Latency: lat})
 	ring := make([]string, nNodes)
 	for i := range ring {
 		ring[i] = fmt.Sprintf("s%d", i)
 	}
-	cfg.Ring = ring
 	nodes := make([]*Node, nNodes)
 	for i, id := range ring {
+		cfg := cfgFor(id)
+		cfg.Ring = ring
 		nodes[i] = NewNode(id, cfg)
 		c.AddNode(id, nodes[i])
 	}

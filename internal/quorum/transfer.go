@@ -488,6 +488,7 @@ func (n *Node) SetMembers(members []string) {
 	ms := append([]string(nil), members...)
 	sort.Strings(ms)
 	n.members.Store(&ms)
+	n.geoDropPeers(ms)
 	n.aeMu.Lock()
 	for peer := range n.aeTrees {
 		if peer != n.id && !contains(ms, peer) {

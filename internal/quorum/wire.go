@@ -32,6 +32,8 @@ const (
 	widTransferReq
 	widTransferBatch
 	widReplicaNotOwner
+	widGeoShip
+	widGeoShipAck
 )
 
 // appendEntry / readEntry encode one sibling version: its DVV and the
@@ -131,7 +133,8 @@ func (m clientPut) AppendBinary(dst []byte) []byte {
 func (clientGet) WireID() uint16 { return widClientGet }
 func (m clientGet) AppendBinary(dst []byte) []byte {
 	dst = wire.AppendUvarint(dst, m.ID)
-	return wire.AppendString(dst, m.Key)
+	dst = wire.AppendString(dst, m.Key)
+	return wire.AppendVarint(dst, int64(m.R))
 }
 
 func (putResp) WireID() uint16 { return widPutResp }
@@ -245,6 +248,19 @@ func (m replicaNotOwner) AppendBinary(dst []byte) []byte {
 	return wire.AppendUvarint(dst, m.Seq)
 }
 
+func (geoShip) WireID() uint16 { return widGeoShip }
+func (m geoShip) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendUvarint(dst, m.Seq)
+	dst = wire.AppendString(dst, m.Zone)
+	dst = wire.AppendVarint(dst, m.HighTS)
+	return appendAEEntries(dst, m.Items)
+}
+
+func (geoShipAck) WireID() uint16 { return widGeoShipAck }
+func (m geoShipAck) AppendBinary(dst []byte) []byte {
+	return wire.AppendUvarint(dst, m.Seq)
+}
+
 func init() {
 	transport.Register(
 		clientPut{}, clientGet{}, putResp{}, getResp{},
@@ -253,12 +269,13 @@ func init() {
 		resPing{}, resPong{},
 		aeReq{}, aeResp{}, aePush{},
 		transferReq{}, transferBatch{}, replicaNotOwner{},
+		geoShip{}, geoShipAck{},
 	)
 	transport.RegisterBinary(widClientPut, func(r *wire.Reader) transport.Message {
 		return clientPut{ID: r.Uvarint(), Key: r.String(), Value: r.Bytes(), Deleted: r.Bool(), Context: r.Vector()}
 	})
 	transport.RegisterBinary(widClientGet, func(r *wire.Reader) transport.Message {
-		return clientGet{ID: r.Uvarint(), Key: r.String()}
+		return clientGet{ID: r.Uvarint(), Key: r.String(), R: int(r.Varint())}
 	})
 	transport.RegisterBinary(widPutResp, func(r *wire.Reader) transport.Message {
 		return putResp{ID: r.Uvarint(), Context: r.Vector(), Err: r.String(), Sloppy: r.Bool()}
@@ -315,5 +332,11 @@ func init() {
 	})
 	transport.RegisterBinary(widReplicaNotOwner, func(r *wire.Reader) transport.Message {
 		return replicaNotOwner{ID: r.Uvarint(), Seq: r.Uvarint()}
+	})
+	transport.RegisterBinary(widGeoShip, func(r *wire.Reader) transport.Message {
+		return geoShip{Seq: r.Uvarint(), Zone: r.String(), HighTS: r.Varint(), Items: readAEEntries(r)}
+	})
+	transport.RegisterBinary(widGeoShipAck, func(r *wire.Reader) transport.Message {
+		return geoShipAck{Seq: r.Uvarint()}
 	})
 }

@@ -43,7 +43,7 @@ func genAEEntries(g *wiretest.Gen) []aeEntry {
 func genMsgs(g *wiretest.Gen) []transport.Message {
 	return []transport.Message{
 		clientPut{ID: g.Uint64(), Key: g.Str(), Value: g.Bytes(), Deleted: g.Bool(), Context: g.Vector()},
-		clientGet{ID: g.Uint64(), Key: g.Str()},
+		clientGet{ID: g.Uint64(), Key: g.Str(), R: int(g.Int64())},
 		putResp{ID: g.Uint64(), Context: g.Vector(), Err: g.Str(), Sloppy: g.Bool()},
 		getResp{ID: g.Uint64(), Values: g.ByteSlices(), Context: g.Vector(), Err: g.Str(), Replicas: int(g.Int64())},
 		replicaPut{ID: g.Uint64(), Key: g.Str(), Entry: genEntry(g), Hint: g.Str(), Repair: g.Bool()},
@@ -68,6 +68,8 @@ func genMsgs(g *wiretest.Gen) []transport.Message {
 			CurHash: g.Uint64(), CurKey: g.Str(), Done: g.Bool(),
 		},
 		replicaNotOwner{ID: g.Uint64(), Seq: g.Uint64()},
+		geoShip{Seq: g.Uint64(), Zone: g.Str(), HighTS: g.Int64(), Items: genAEEntries(g)},
+		geoShipAck{Seq: g.Uint64()},
 	}
 }
 

@@ -19,6 +19,11 @@ func (e Epoch) Join(member string) Epoch {
 	return Epoch{Seq: e.Seq + 1, Ring: e.Ring.Join(member)}
 }
 
+// JoinZone derives the next epoch with member added in zone.
+func (e Epoch) JoinZone(member, zone string) Epoch {
+	return Epoch{Seq: e.Seq + 1, Ring: e.Ring.JoinZone(member, zone)}
+}
+
 // Leave derives the next epoch with member removed.
 func (e Epoch) Leave(member string) Epoch {
 	return Epoch{Seq: e.Seq + 1, Ring: e.Ring.Leave(member)}

@@ -37,14 +37,28 @@ type point struct {
 // placements stay queryable for rebalancing diffs).
 type Ring struct {
 	vnodes  int
-	members []string // sorted, deduped
-	points  []point  // sorted by hash
+	members []string          // sorted, deduped
+	points  []point           // sorted by hash
+	zones   map[string]string // member -> zone; nil/uniform means zone-unaware
 }
 
 // New builds a ring over members with vnodes virtual nodes each
 // (DefaultVirtualNodes if vnodes <= 0). Member order does not matter:
 // the ring is a pure function of the member set.
 func New(members []string, vnodes int) *Ring {
+	return NewZoned(members, vnodes, nil)
+}
+
+// NewZoned builds a ring whose replica walks are zone-aware: the
+// clockwise walk is re-ordered round-robin across zones (in the order
+// zones first appear along the circle), so the N replicas of any key
+// span min(N, zones) distinct zones — rack-aware placement. The first
+// member of the walk (the key's Owner) is unchanged, and vnode
+// positions are untouched, so a zoned ring agrees with an unzoned one
+// on primary ownership and on the wire contract. Members absent from
+// zones group under the empty zone. Like New, the result is a pure
+// function of (member set, zone map).
+func NewZoned(members []string, vnodes int, zones map[string]string) *Ring {
 	if vnodes <= 0 {
 		vnodes = DefaultVirtualNodes
 	}
@@ -52,6 +66,12 @@ func New(members []string, vnodes int) *Ring {
 	sort.Strings(ms)
 	ms = dedupe(ms)
 	r := &Ring{vnodes: vnodes, members: ms}
+	if len(zones) > 0 {
+		r.zones = make(map[string]string, len(zones))
+		for m, z := range zones {
+			r.zones[m] = z
+		}
+	}
 	r.points = make([]point, 0, len(ms)*vnodes)
 	for _, m := range ms {
 		for i := 0; i < vnodes; i++ {
@@ -119,6 +139,13 @@ func dedupe(sorted []string) []string {
 // Members returns the member set (sorted; do not mutate).
 func (r *Ring) Members() []string { return r.members }
 
+// Zones returns the member -> zone map (nil on a zone-unaware ring; do
+// not mutate).
+func (r *Ring) Zones() map[string]string { return r.zones }
+
+// ZoneOf returns member's zone ("" when unknown or zone-unaware).
+func (r *Ring) ZoneOf(member string) string { return r.zones[member] }
+
 // Size returns the number of physical members.
 func (r *Ring) Size() int { return len(r.members) }
 
@@ -160,28 +187,86 @@ func (r *Ring) Replicas(key string, n int) []string {
 	return r.walk(KeyHash(key), n)
 }
 
-// walk collects up to n distinct members clockwise from hash.
+// walk collects up to n distinct members clockwise from hash. On a
+// zoned ring the full distinct walk is re-ordered round-robin across
+// zones (zones ordered by first appearance, members within a zone in
+// circle order) before truncating to n, so a prefix of any length
+// spans as many zones as it can while walk[0] — the Owner — stays the
+// first clockwise member.
 func (r *Ring) walk(hash uint64, n int) []string {
 	if len(r.points) == 0 || n <= 0 {
 		return nil
 	}
-	out := make([]string, 0, n)
-	seen := make(map[string]bool, n)
+	limit := n
+	if len(r.zones) != 0 && limit < len(r.members) {
+		limit = len(r.members) // spread needs the full walk before cutting
+	}
+	out := make([]string, 0, limit)
+	seen := make(map[string]bool, limit)
 	start := r.successorIdx(hash)
-	for i := 0; i < len(r.points) && len(out) < n; i++ {
+	for i := 0; i < len(r.points) && len(out) < limit; i++ {
 		p := r.points[(start+i)%len(r.points)]
 		if !seen[p.node] {
 			seen[p.node] = true
 			out = append(out, p.node)
 		}
 	}
+	if len(r.zones) != 0 {
+		out = zoneSpread(out, r.zones)
+		if len(out) > n {
+			out = out[:n]
+		}
+	}
+	return out
+}
+
+// zoneSpread interleaves a clockwise member walk round-robin by zone:
+// zones in order of first appearance, pass k taking the k-th member of
+// each zone. seq[0] is always preserved (its zone appears first). A
+// single-zone walk comes back unchanged, so uniform clusters behave
+// exactly like unzoned ones.
+func zoneSpread(seq []string, zones map[string]string) []string {
+	order := make([]string, 0, 4)
+	byZone := make(map[string][]string, 4)
+	for _, m := range seq {
+		z := zones[m]
+		if _, ok := byZone[z]; !ok {
+			order = append(order, z)
+		}
+		byZone[z] = append(byZone[z], m)
+	}
+	if len(order) < 2 {
+		return seq
+	}
+	out := make([]string, 0, len(seq))
+	for i := 0; len(out) < len(seq); i++ {
+		for _, z := range order {
+			if g := byZone[z]; i < len(g) {
+				out = append(out, g[i])
+			}
+		}
+	}
 	return out
 }
 
 // Join returns a new ring with member added (the receiver is unchanged;
-// adding an existing member returns an equivalent ring).
+// adding an existing member returns an equivalent ring). The zone map
+// carries over; the joiner lands in the empty zone unless JoinZone is
+// used.
 func (r *Ring) Join(member string) *Ring {
-	return New(append(append([]string(nil), r.members...), member), r.vnodes)
+	return NewZoned(append(append([]string(nil), r.members...), member), r.vnodes, r.zones)
+}
+
+// JoinZone returns a new ring with member added in zone.
+func (r *Ring) JoinZone(member, zone string) *Ring {
+	zs := make(map[string]string, len(r.zones)+1)
+	for m, z := range r.zones {
+		zs[m] = z
+	}
+	if zone != "" {
+		zs[member] = zone
+	}
+	return NewZoned(append(append([]string(nil), r.members...), member), r.vnodes, zs)
 }
 
 // Leave returns a new ring with member removed (the receiver is
@@ -193,7 +278,16 @@ func (r *Ring) Leave(member string) *Ring {
 			ms = append(ms, m)
 		}
 	}
-	return New(ms, r.vnodes)
+	zs := r.zones
+	if _, ok := zs[member]; ok {
+		zs = make(map[string]string, len(r.zones))
+		for m, z := range r.zones {
+			if m != member {
+				zs[m] = z
+			}
+		}
+	}
+	return NewZoned(ms, r.vnodes, zs)
 }
 
 // Range is one arc of the circle, (Start, End] clockwise (wrapping when

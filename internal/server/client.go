@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/geo"
 	"repro/internal/session"
 	"repro/internal/transport"
 )
@@ -194,6 +195,19 @@ func (c *Client) Get(key string) (value []byte, found bool, err error) {
 	return resp.Value, resp.Found, nil
 }
 
+// GetSLA reads key at an SLA tier (quorum model). delivered is the tier
+// the server actually served — a bounded request escalates to strong
+// when the serving node's measured cross-zone staleness exceeds the
+// bound — and staleMs is that measurement at serve time (-1 while the
+// node has no measurement yet).
+func (c *Client) GetSLA(key string, tier geo.Tier) (value []byte, found bool, delivered geo.Kind, staleMs int64, err error) {
+	resp, err := c.do(Request{Op: "get", Key: key, SLA: uint8(tier.Kind), BoundMs: tier.Bound.Milliseconds()})
+	if err != nil {
+		return nil, false, geo.Strong, 0, err
+	}
+	return resp.Value, resp.Found, geo.Kind(resp.Tier), resp.StaleMs, nil
+}
+
 // GetSiblings reads key and returns every concurrent version the store
 // holds (quorum model; other models return at most one value).
 func (c *Client) GetSiblings(key string) ([][]byte, error) {
@@ -258,7 +272,13 @@ func (c *Client) RingStatus() (RingStatus, error) {
 // once every member has acked the new epoch; catch-up progress is
 // observed via RingStatus on the joiner.
 func (c *Client) AddNode(id, addr string) error {
-	_, err := c.do(Request{Op: "add-node", Key: id, Value: []byte(addr)})
+	return c.AddNodeZone(id, addr, "")
+}
+
+// AddNodeZone is AddNode with the joiner's zone declared, so the new
+// epoch's ring keeps replica sets spread across zones.
+func (c *Client) AddNodeZone(id, addr, zone string) error {
+	_, err := c.do(Request{Op: "add-node", Key: id, Value: []byte(addr), Zone: zone})
 	return err
 }
 

@@ -73,6 +73,7 @@ type (
 		Addrs   []string // parallel to Members
 		Settled bool
 		Reply   bool
+		Zones   []string // parallel to Members ("" = unzoned); may be nil from old senders
 	}
 	// ringAck confirms a member installed epoch Seq.
 	ringAck struct{ Seq uint64 }
@@ -94,6 +95,24 @@ func appendStrings(dst []byte, ss []string) []byte {
 		dst = wire.AppendString(dst, s)
 	}
 	return dst
+}
+
+// zonesParallel renders each member's zone as an array parallel to
+// members — nil when no member is zoned, keeping the codec's
+// nil-or-non-empty collection contract.
+func zonesParallel(members []string, zones map[string]string) []string {
+	any := false
+	out := make([]string, len(members))
+	for i, m := range members {
+		out[i] = zones[m]
+		if out[i] != "" {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
 }
 
 func readStrings(r *wire.Reader) []string {
@@ -120,7 +139,8 @@ func (m ringUpdate) AppendBinary(dst []byte) []byte {
 	dst = appendStrings(dst, m.Members)
 	dst = appendStrings(dst, m.Addrs)
 	dst = wire.AppendBool(dst, m.Settled)
-	return wire.AppendBool(dst, m.Reply)
+	dst = wire.AppendBool(dst, m.Reply)
+	return appendStrings(dst, m.Zones)
 }
 
 func (ringAck) WireID() uint16                   { return widRingAck }
@@ -151,6 +171,7 @@ func init() {
 			Addrs:   readStrings(r),
 			Settled: r.Bool(),
 			Reply:   r.Bool(),
+			Zones:   readStrings(r),
 		}
 	})
 	transport.RegisterBinary(widRingAck, func(r *wire.Reader) transport.Message {
@@ -183,6 +204,7 @@ type elastic struct {
 	// joining/leaving name the open window's subject ("" when settled).
 	joining, leaving string
 	addrs            map[string]string // current id -> peer address
+	zones            map[string]string // current id -> zone ("" entries omitted)
 	// Inbound catch-up progress (gainer side), for status reporting.
 	xferDone, xferTotal int
 
@@ -375,6 +397,7 @@ func (s *Server) onRingPull(env transport.Env, from string) {
 		Addrs:   addrs,
 		Settled: el.prev == nil,
 		Reply:   true,
+		Zones:   zonesParallel(members, el.zones),
 	}
 	el.mu.Unlock()
 	env.Send(from, upd)
@@ -417,14 +440,32 @@ func (s *Server) installUpdate(env transport.Env, m ringUpdate) bool {
 	}
 	members := append([]string(nil), m.Members...)
 	sort.Strings(members)
-	newRing := ring.New(members, ring.DefaultVirtualNodes)
+	// Zone map of the new epoch: the update's parallel array when the
+	// sender carried one, this node's prior knowledge otherwise (an
+	// unzoned cluster hits neither and stays unzoned).
+	zones := make(map[string]string)
+	if len(m.Zones) == len(m.Members) && m.Zones != nil {
+		for i, id := range m.Members {
+			if m.Zones[i] != "" {
+				zones[id] = m.Zones[i]
+			}
+		}
+	} else {
+		for id, z := range el.zones {
+			zones[id] = z
+		}
+	}
+	newRing := ring.NewZoned(members, ring.DefaultVirtualNodes, zones)
 	var prev *ring.Ring
 	if !m.Settled {
 		switch {
 		case m.Joining != "":
 			prev = newRing.Leave(m.Joining)
 		case m.Leaving != "":
-			prev = newRing.Join(m.Leaving)
+			// The leaver is absent from the update; its zone survives in
+			// this node's prior map (or degrades to unzoned, which only
+			// affects the closing window's spread, not coverage).
+			prev = newRing.JoinZone(m.Leaving, el.zones[m.Leaving])
 		}
 	}
 	addrs := make(map[string]string, len(m.Members))
@@ -441,10 +482,14 @@ func (s *Server) installUpdate(env transport.Env, m ringUpdate) bool {
 		if la, ok := el.addrs[m.Leaving]; ok {
 			addrs[m.Leaving] = la
 		}
+		if lz, ok := el.zones[m.Leaving]; ok {
+			zones[m.Leaving] = lz
+		}
 	}
 	el.seq, el.cur, el.prev = m.Seq, newRing, prev
 	el.joining, el.leaving = m.Joining, m.Leaving
 	el.addrs = addrs
+	el.zones = zones
 	el.xferDone, el.xferTotal = 0, 0
 	switch {
 	case m.Joining == s.cfg.ID && !m.Settled:
@@ -626,7 +671,7 @@ func (s *Server) afterCatchUp(env transport.Env, seq uint64) {
 // startJoin (coordinator side of `ecctl add-node`) installs the join
 // epoch locally, broadcasts it, and — once every member acked — releases
 // the joiner's transfer. done receives the outcome of the ack phase.
-func (s *Server) startJoin(env transport.Env, id, addr string, done chan error) {
+func (s *Server) startJoin(env transport.Env, id, addr, zone string, done chan error) {
 	el := s.el
 	el.mu.Lock()
 	switch {
@@ -654,9 +699,16 @@ func (s *Server) startJoin(env transport.Env, id, addr string, done chan error) 
 			addrs[i] = el.addrs[m]
 		}
 	}
+	zm := make(map[string]string, len(el.zones)+1)
+	for k, v := range el.zones {
+		zm[k] = v
+	}
+	if zone != "" {
+		zm[id] = zone
+	}
 	el.mu.Unlock()
 
-	upd := ringUpdate{Seq: seq, Joining: id, Members: members, Addrs: addrs}
+	upd := ringUpdate{Seq: seq, Joining: id, Members: members, Addrs: addrs, Zones: zonesParallel(members, zm)}
 	s.installUpdate(env, upd)
 	el.mu.Lock()
 	el.ackSeq = seq
@@ -732,9 +784,10 @@ func (s *Server) decommissionTransfer(env transport.Env) {
 	for i, m := range members {
 		addrs[i] = el.addrs[m]
 	}
+	zones := zonesParallel(members, el.zones)
 	el.mu.Unlock()
 
-	upd := ringUpdate{Seq: seq, Leaving: s.cfg.ID, Members: members, Addrs: addrs}
+	upd := ringUpdate{Seq: seq, Leaving: s.cfg.ID, Members: members, Addrs: addrs, Zones: zones}
 	s.installUpdate(env, upd)
 	s.coordinateLeave(env, upd)
 }
@@ -751,7 +804,8 @@ func (s *Server) resumeDecommission(env transport.Env) {
 	for i, m := range members {
 		addrs[i] = el.addrs[m]
 	}
-	upd := ringUpdate{Seq: el.seq, Leaving: s.cfg.ID, Members: members, Addrs: addrs}
+	upd := ringUpdate{Seq: el.seq, Leaving: s.cfg.ID, Members: members, Addrs: addrs,
+		Zones: zonesParallel(members, el.zones)}
 	el.mu.Unlock()
 	s.qnode.BeginDrain(env, func() {
 		s.tcp.Invoke(s.cfg.ID, func(env transport.Env) { s.coordinateLeave(env, upd) })
@@ -889,6 +943,8 @@ type RingStatus struct {
 	TransferTotal int      `json:"transfer_total"`
 	PendingHints  int      `json:"pending_hints"`
 	MintedDots    uint64   `json:"minted_dots"`
+	// Zone is the node's declared zone ("" = unzoned).
+	Zone string `json:"zone,omitempty"`
 	// Shards is the node's execution shard count (1 = unsharded).
 	Shards int `json:"shards,omitempty"`
 	// ReplayedByLane reports how many WAL records boot recovery replayed
@@ -905,6 +961,7 @@ func (s *Server) handleRingStatus() Response {
 	st := RingStatus{
 		Node: s.cfg.ID, State: mode, Epoch: seq, Members: members,
 		TransferDone: done, TransferTotal: total,
+		Zone:   s.cfg.Zone,
 		Shards: s.qnode.Shards(),
 	}
 	if s.dur != nil {
@@ -942,7 +999,7 @@ func (s *Server) handleAddNode(req Request) Response {
 		return Response{Err: "add-node needs a node id (key) and peer address (value)"}
 	}
 	done := make(chan error, 1)
-	if !s.tcp.Invoke(s.cfg.ID, func(env transport.Env) { s.startJoin(env, id, addr, done) }) {
+	if !s.tcp.Invoke(s.cfg.ID, func(env transport.Env) { s.startJoin(env, id, addr, req.Zone, done) }) {
 		return Response{Err: "node stopped"}
 	}
 	select {

@@ -1,0 +1,272 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// startGeoCluster boots n quorum nodes spread round-robin across zones,
+// with async cross-zone replication and an injected per-frame delay on
+// every cross-zone link — the local stand-in for WAN RTT.
+func startGeoCluster(t *testing.T, n int, zoneNames []string, xzDelay time.Duration, withHTTP bool) ([]*Server, map[string]string) {
+	t.Helper()
+	addrs := reservePorts(t, n)
+	peers := make(map[string]string, n)
+	ids := make([]string, n)
+	for i, a := range addrs {
+		ids[i] = fmt.Sprintf("node%d", i)
+		peers[ids[i]] = a
+	}
+	zones := geo.AssignRoundRobin(ids, zoneNames)
+	srvs := make([]*Server, n)
+	for i := range srvs {
+		cfg := Config{
+			ID:         ids[i],
+			Model:      "quorum",
+			Peers:      peers,
+			Seed:       int64(4000 + i),
+			Zone:       zones[ids[i]],
+			Zones:      zones,
+			GeoAsync:   true,
+			XZoneDelay: xzDelay,
+		}
+		if withHTTP {
+			cfg.ListenHTTP = "127.0.0.1:0"
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("start %s: %v", cfg.ID, err)
+		}
+		srvs[i] = s
+		t.Cleanup(s.Close)
+	}
+	return srvs, zones
+}
+
+// TestClusterGeoSLATiers is the tentpole acceptance scenario scaled to a
+// unit test: a zoned cluster where the same workload trades consistency
+// for latency per SLA tier. Strong reads route through the ring owner
+// and see every acked write at cross-zone cost; eventual reads serve
+// R=1 from an in-zone replica at local latency and converge once the
+// async replicator ships the write over.
+func TestClusterGeoSLATiers(t *testing.T) {
+	const xzDelay = 20 * time.Millisecond
+	srvs, zones := startGeoCluster(t, 6, []string{"us", "eu", "ap"}, xzDelay, false)
+	c0 := dialNode(t, srvs[0], "geo-cli0") // node0 is in "us"
+
+	keys := make([]string, 5)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("geo-k%d", i)
+		if err := c0.Put(keys[i], []byte("v-"+keys[i])); err != nil {
+			t.Fatalf("put %s: %v", keys[i], err)
+		}
+	}
+
+	// Strong reads see every acked write immediately: the contacted node
+	// forwards to the ring owner, which reads a full R quorum including
+	// the replica that coordinated the write.
+	for _, k := range keys {
+		v, found, delivered, _, err := c0.GetSLA(k, geo.Tier{Kind: geo.Strong})
+		if err != nil || !found || string(v) != "v-"+k {
+			t.Fatalf("strong get %s = %q/%v/%v", k, v, found, err)
+		}
+		if delivered != geo.Strong {
+			t.Fatalf("strong get %s delivered %s", k, delivered)
+		}
+	}
+
+	// Eventual reads serve from node0's zone and converge once the
+	// cross-zone replicator delivers (writes coordinated in other zones
+	// reach "us" asynchronously).
+	for _, k := range keys {
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			v, found, delivered, _, err := c0.GetSLA(k, geo.Tier{Kind: geo.Eventual})
+			if err == nil && found && string(v) == "v-"+k {
+				if delivered != geo.Eventual {
+					t.Fatalf("eventual get %s delivered %s", k, delivered)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("eventual read of %s never converged: %q/%v/%v", k, v, found, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// The trade the tiers exist for: eventual reads are measurably
+	// faster than strong reads because they never cross a zone.
+	medianGet := func(tier geo.Tier) time.Duration {
+		var lats []time.Duration
+		for i := 0; i < 7; i++ {
+			k := keys[i%len(keys)]
+			start := time.Now()
+			if _, _, _, _, err := c0.GetSLA(k, tier); err != nil {
+				t.Fatalf("get %s at %s: %v", k, tier, err)
+			}
+			lats = append(lats, time.Since(start))
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		return lats[len(lats)/2]
+	}
+	strong := medianGet(geo.Tier{Kind: geo.Strong})
+	eventual := medianGet(geo.Tier{Kind: geo.Eventual})
+	if eventual >= strong {
+		t.Fatalf("eventual reads not faster: eventual=%s strong=%s (xzone delay %s)", eventual, strong, xzDelay)
+	}
+	t.Logf("median read latency: strong=%s eventual=%s", strong, eventual)
+
+	// Responses carry the serving node's zone.
+	resp, err := c0.do(Request{Op: "get", Key: keys[0], SLA: uint8(geo.Eventual)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Zone != zones["node0"] {
+		t.Fatalf("response zone = %q, want %q", resp.Zone, zones["node0"])
+	}
+}
+
+// TestClusterGeoBoundedStaleness: a bounded read with a generous bound
+// serves the eventual path once the node has staleness measurements for
+// every remote zone, and escalates to strong while it does not.
+func TestClusterGeoBoundedStaleness(t *testing.T) {
+	srvs, _ := startGeoCluster(t, 6, []string{"us", "eu", "ap"}, 10*time.Millisecond, false)
+	c0 := dialNode(t, srvs[0], "geo-cli-b")
+
+	if err := c0.Put("bk", []byte("bv")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Until beacons from every remote zone arrive the node has no
+	// staleness measurement and must escalate; afterwards the bounded
+	// read rides the eventual path. Either answer is correct at any
+	// instant — what must hold is that it settles on eventual.
+	tier := geo.Tier{Kind: geo.Bounded, Bound: time.Hour}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		v, found, delivered, staleMs, err := c0.GetSLA("bk", tier)
+		if err != nil {
+			t.Fatalf("bounded get: %v", err)
+		}
+		if found && string(v) == "bv" && delivered == geo.Eventual {
+			if staleMs < 0 {
+				t.Fatalf("eventual-tier bounded read without a staleness measurement (staleMs=%d)", staleMs)
+			}
+			break
+		}
+		if delivered != geo.Strong && delivered != geo.Eventual {
+			t.Fatalf("bounded get delivered %s", delivered)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bounded read never settled on eventual: %q/%v delivered=%s staleMs=%d", v, found, delivered, staleMs)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestSLAClientRoutesByZone: the Pileus-style picker over real
+// connections. An eventual-tier SLA client in "eu" settles on an eu
+// node once RTT observations accumulate — it never pays the injected
+// cross-zone delay — and scores full utility; a strong-tier client
+// still sees every acked write wherever it reads.
+func TestSLAClientRoutesByZone(t *testing.T) {
+	srvs, zones := startGeoCluster(t, 6, []string{"us", "eu", "ap"}, 15*time.Millisecond, false)
+	peers := make(map[string]string, len(srvs))
+	for _, s := range srvs {
+		peers[s.ID()] = s.Addr()
+	}
+
+	w := dialNode(t, srvs[0], "sla-writer")
+	if err := w.Put("sk", []byte("sv")); err != nil {
+		t.Fatal(err)
+	}
+
+	ec, err := DialSLA(peers, zones, "eu", "sla-eu", geo.TierSLA(geo.Tier{Kind: geo.Eventual}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ec.Close()
+	// Warm the RTT estimates and wait out replication into eu.
+	deadline := time.Now().Add(15 * time.Second)
+	var r SLARead
+	for {
+		if r, err = ec.Get("sk"); err != nil {
+			t.Fatal(err)
+		}
+		if r.Found && string(r.Value) == "sv" && zones[r.Node] == "eu" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("SLA client never served from eu: node=%s zone=%s found=%v", r.Node, zones[r.Node], r.Found)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if r.Tier != geo.Eventual {
+		t.Fatalf("eu read delivered %s, want eventual", r.Tier)
+	}
+	if r.Utility != 1 {
+		t.Fatalf("eu read scored utility %v, want 1 (latency %s, tier %s)", r.Utility, r.Latency, r.Tier)
+	}
+
+	sc, err := DialSLA(peers, zones, "eu", "sla-strong", geo.TierSLA(geo.Tier{Kind: geo.Strong}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	sr, err := sc.Get("sk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Found || string(sr.Value) != "sv" || sr.Tier != geo.Strong || sr.Utility != 1 {
+		t.Fatalf("strong SLA read = %q/%v tier=%s utility=%v", sr.Value, sr.Found, sr.Tier, sr.Utility)
+	}
+}
+
+// TestGeoMetricsEndpoint: a zoned node exports the geo series — the
+// per-zone staleness gauge, replicator counters, and per-zone RTT.
+func TestGeoMetricsEndpoint(t *testing.T) {
+	srvs, _ := startGeoCluster(t, 3, []string{"us", "eu", "ap"}, 5*time.Millisecond, true)
+	c0 := dialNode(t, srvs[0], "geo-cli-m")
+	for i := 0; i < 10; i++ {
+		if err := c0.Put(fmt.Sprintf("mk%d", i), []byte("mv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := []string{"ec_geo_staleness_ms{zone=", "ec_geo_queue_depth", "ec_geo_shipped_total", "ec_zone_rtt_seconds{zone="}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get("http://" + srvs[0].HTTPAddr() + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := string(b)
+		missing := ""
+		for _, w := range want {
+			if !strings.Contains(body, w) {
+				missing = w
+				break
+			}
+		}
+		if missing == "" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics never exported %q; body:\n%s", missing, body)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lsm"
@@ -51,6 +52,12 @@ type healthz struct {
 	Uptime  string       `json:"uptime"`
 	Peers   []peerHealth `json:"peers"`
 	Suspect []string     `json:"suspected_peers"`
+	// Zone is the node's declared zone; GeoStalenessMs the measured
+	// replication lag behind each remote zone; GeoQueue the entries
+	// retained for asynchronous cross-zone shipment.
+	Zone           string           `json:"zone,omitempty"`
+	GeoStalenessMs map[string]int64 `json:"geo_staleness_ms,omitempty"`
+	GeoQueue       int              `json:"geo_queue,omitempty"`
 }
 
 // serveHealthz reports this node's view of the cluster: its own
@@ -64,6 +71,11 @@ func (s *Server) serveHealthz(w http.ResponseWriter, _ *http.Request) {
 		seq, mode, _, _, _ := s.el.snapshot()
 		h.State, h.Epoch = mode, seq
 		h.OK = mode == stateOK
+	}
+	h.Zone = s.cfg.Zone
+	if s.qnode != nil && len(s.cfg.Zones) > 0 {
+		h.GeoStalenessMs = s.qnode.GeoStaleness()
+		h.GeoQueue, _ = s.qnode.GeoQueue()
 	}
 	for _, peer := range s.curRing().Members() {
 		if peer == s.cfg.ID {
@@ -201,6 +213,47 @@ func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 		fmt.Fprintf(&b, "# HELP ec_ring_ok Whether the node is a fully serving member (0 while catching-up, draining, or left).\n# TYPE ec_ring_ok gauge\nec_ring_ok %d\n", stateVal)
 		fmt.Fprintf(&b, "# HELP ec_transfer_ranges_pending Arc ranges still in flight for the open epoch.\n# TYPE ec_transfer_ranges_pending gauge\nec_transfer_ranges_pending %d\n", total-done)
+	}
+
+	if s.qnode != nil && len(s.cfg.Zones) > 0 {
+		st := s.qnode.GeoStaleness()
+		zs := make([]string, 0, len(st))
+		for z := range st {
+			zs = append(zs, z)
+		}
+		sort.Strings(zs)
+		fmt.Fprintf(&b, "# HELP ec_geo_staleness_ms Measured replication staleness behind each remote zone (from the cross-zone replicator's high-water timestamps).\n# TYPE ec_geo_staleness_ms gauge\n")
+		for _, z := range zs {
+			fmt.Fprintf(&b, "ec_geo_staleness_ms{zone=%q} %d\n", z, st[z])
+		}
+		total, _ := s.qnode.GeoQueue()
+		fmt.Fprintf(&b, "# HELP ec_geo_queue_depth Entries retained for asynchronous cross-zone shipment.\n# TYPE ec_geo_queue_depth gauge\nec_geo_queue_depth %d\n", total)
+		counter("ec_geo_shipped_total", "Entries shipped to cross-zone replicas by the async replicator.", atomic.LoadUint64(&s.qnode.GeoShipped))
+		counter("ec_geo_acked_total", "Cross-zone shipments acknowledged by their receivers.", atomic.LoadUint64(&s.qnode.GeoAcked))
+		counter("ec_geo_resends_total", "Cross-zone batches re-shipped after an ack timeout.", atomic.LoadUint64(&s.qnode.GeoResends))
+		counter("ec_geo_beacons_total", "Idle high-water beacons sent to remote zones.", atomic.LoadUint64(&s.qnode.GeoBeacons))
+
+		// Worst heartbeat p99 toward each zone: the latency-class view the
+		// SLA picker trades against.
+		zoneRTT := map[string]time.Duration{}
+		for _, p := range s.curRing().Members() {
+			if p == s.cfg.ID {
+				continue
+			}
+			z := s.cfg.Zones[p]
+			if rtt := s.tcp.RTTQuantile(p, 0.99); rtt > zoneRTT[z] {
+				zoneRTT[z] = rtt
+			}
+		}
+		rzs := make([]string, 0, len(zoneRTT))
+		for z := range zoneRTT {
+			rzs = append(rzs, z)
+		}
+		sort.Strings(rzs)
+		fmt.Fprintf(&b, "# HELP ec_zone_rtt_seconds Worst peer heartbeat round-trip p99 per zone.\n# TYPE ec_zone_rtt_seconds gauge\n")
+		for _, z := range rzs {
+			fmt.Fprintf(&b, "ec_zone_rtt_seconds{zone=%q} %g\n", z, zoneRTT[z].Seconds())
+		}
 	}
 
 	if sts := s.tcp.ShardStats(s.cfg.ID); len(sts) > 0 {

@@ -46,6 +46,17 @@ type Request struct {
 	// happened over another connection to another node — this is how
 	// read-your-writes survives reconnects.
 	Token session.Token
+	// SLA selects the consistency tier for a get (geo.Kind wire values:
+	// 0 strong, 1 bounded, 2 eventual). Zero keeps the configured-quorum
+	// strong path, so pre-SLA clients are unchanged.
+	SLA uint8
+	// BoundMs is the staleness bound in milliseconds for the bounded
+	// tier: the read is served at the eventual tier only while the node's
+	// measured cross-zone staleness stays within it.
+	BoundMs int64
+	// Zone is the client's zone hint ("add-node" carries the joiner's
+	// zone here).
+	Zone string
 }
 
 // Response completes one client operation.
@@ -74,6 +85,13 @@ type Response struct {
 	NotOwner bool
 	Epoch    uint64
 	State    string
+	// StaleMs is the serving node's measured max cross-zone replication
+	// staleness at serve time (SLA gets); Tier is the tier actually
+	// delivered (a bounded request may escalate to strong); Zone is the
+	// serving node's zone.
+	StaleMs int64
+	Tier    uint8
+	Zone    string
 }
 
 func (Request) WireID() uint16 { return widRequest }
@@ -83,7 +101,10 @@ func (m Request) AppendBinary(dst []byte) []byte {
 	dst = wire.AppendString(dst, m.Key)
 	dst = wire.AppendBytes(dst, m.Value)
 	dst = wire.AppendVector(dst, m.Token.Read)
-	return wire.AppendVector(dst, m.Token.Write)
+	dst = wire.AppendVector(dst, m.Token.Write)
+	dst = wire.AppendUvarint(dst, uint64(m.SLA))
+	dst = wire.AppendVarint(dst, m.BoundMs)
+	return wire.AppendString(dst, m.Zone)
 }
 
 func (Response) WireID() uint16 { return widResponse }
@@ -100,18 +121,24 @@ func (m Response) AppendBinary(dst []byte) []byte {
 	dst = wire.AppendString(dst, m.Model)
 	dst = wire.AppendBool(dst, m.NotOwner)
 	dst = wire.AppendUvarint(dst, m.Epoch)
-	return wire.AppendString(dst, m.State)
+	dst = wire.AppendString(dst, m.State)
+	dst = wire.AppendVarint(dst, m.StaleMs)
+	dst = wire.AppendUvarint(dst, uint64(m.Tier))
+	return wire.AppendString(dst, m.Zone)
 }
 
 func init() {
 	transport.Register(Request{}, Response{})
 	transport.RegisterBinary(widRequest, func(r *wire.Reader) transport.Message {
 		return Request{
-			Seq:   r.Uvarint(),
-			Op:    r.String(),
-			Key:   r.String(),
-			Value: r.Bytes(),
-			Token: session.Token{Read: r.Vector(), Write: r.Vector()},
+			Seq:     r.Uvarint(),
+			Op:      r.String(),
+			Key:     r.String(),
+			Value:   r.Bytes(),
+			Token:   session.Token{Read: r.Vector(), Write: r.Vector()},
+			SLA:     uint8(r.Uvarint()),
+			BoundMs: r.Varint(),
+			Zone:    r.String(),
 		}
 	})
 	transport.RegisterBinary(widResponse, func(r *wire.Reader) transport.Message {
@@ -128,6 +155,9 @@ func init() {
 			NotOwner: r.Bool(),
 			Epoch:    r.Uvarint(),
 			State:    r.String(),
+			StaleMs:  r.Varint(),
+			Tier:     uint8(r.Uvarint()),
+			Zone:     r.String(),
 		}
 	})
 }

@@ -25,11 +25,14 @@ func genStrs(g *wiretest.Gen) []string {
 func genMsgs(g *wiretest.Gen) []transport.Message {
 	return []transport.Message{
 		Request{
-			Seq:   g.Uint64(),
-			Op:    g.Str(),
-			Key:   g.Str(),
-			Value: g.Bytes(),
-			Token: session.Token{Read: g.Vector(), Write: g.Vector()},
+			Seq:     g.Uint64(),
+			Op:      g.Str(),
+			Key:     g.Str(),
+			Value:   g.Bytes(),
+			Token:   session.Token{Read: g.Vector(), Write: g.Vector()},
+			SLA:     g.Byte(),
+			BoundMs: g.Int64(),
+			Zone:    g.Str(),
 		},
 		Response{
 			Seq:      g.Uint64(),
@@ -44,6 +47,9 @@ func genMsgs(g *wiretest.Gen) []transport.Message {
 			NotOwner: g.Bool(),
 			Epoch:    g.Uint64(),
 			State:    g.Str(),
+			StaleMs:  g.Int64(),
+			Tier:     g.Byte(),
+			Zone:     g.Str(),
 		},
 		ringUpdate{
 			Seq:     g.Uint64(),
@@ -53,6 +59,7 @@ func genMsgs(g *wiretest.Gen) []transport.Message {
 			Addrs:   genStrs(g),
 			Settled: g.Bool(),
 			Reply:   g.Bool(),
+			Zones:   genStrs(g),
 		},
 		ringAck{Seq: g.Uint64()},
 		beginTransfer{Seq: g.Uint64()},

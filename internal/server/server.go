@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/geo"
 	"repro/internal/gossip"
 	"repro/internal/lsm"
 	"repro/internal/metrics"
@@ -84,6 +85,21 @@ type Config struct {
 	// engine's redo log: the LSM keeps no log of its own, so a crash
 	// loses only its memtable, which replay re-installs).
 	Engine string
+	// Zone names this node's zone ("" = unzoned). With Zones set, ring
+	// placement spreads each key's replicas across zones and the SLA
+	// read tiers route by zone.
+	Zone string
+	// Zones maps node ids to zone names; all nodes must agree on it
+	// (like Peers). Nodes absent from the map share the unnamed zone.
+	Zones map[string]string
+	// GeoAsync acks quorum writes on the intra-zone sub-quorum and
+	// streams the cross-zone remainder through the async per-zone
+	// replicator (WAL-journaled, resumable). Quorum model only.
+	GeoAsync bool
+	// XZoneDelay injects this artificial delay before every frame sent
+	// to a peer in a different zone — cross-zone RTT emulation for
+	// single-host multi-zone clusters. 0 disables.
+	XZoneDelay time.Duration
 }
 
 // Server is one running node: a TCP transport hosting the model's
@@ -143,6 +159,9 @@ func (c Config) validate() error {
 	if c.Joining && len(c.Peers) < 2 {
 		return errors.New("server: a joining node needs at least one existing peer")
 	}
+	if c.GeoAsync && c.Model != "quorum" {
+		return fmt.Errorf("server: GeoAsync requires the quorum model, not %q", c.Model)
+	}
 	switch c.Engine {
 	case "", "mem":
 	case "lsm":
@@ -194,7 +213,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		ready:    make(chan struct{}),
-		ring:     ring.New(ringMembers, ring.DefaultVirtualNodes),
+		ring:     ring.NewZoned(ringMembers, ring.DefaultVirtualNodes, cfg.Zones),
 		dir:      resilience.NewDirectory(policy),
 		policy:   policy,
 		reqCount: metrics.NewCounters(),
@@ -204,6 +223,16 @@ func New(cfg Config) (*Server, error) {
 	// booted and drop the connection if boot failed.
 	defer close(s.ready)
 
+	var linkDelay func(string) time.Duration
+	if cfg.XZoneDelay > 0 && len(cfg.Zones) > 0 {
+		own, d, zones := cfg.Zone, cfg.XZoneDelay, cfg.Zones
+		linkDelay = func(peer string) time.Duration {
+			if zones[peer] != own {
+				return d
+			}
+			return 0
+		}
+	}
 	tcp, err := transport.NewTCP(transport.TCPConfig{
 		LocalID:      cfg.ID,
 		Listen:       cfg.ListenPeer,
@@ -212,6 +241,7 @@ func New(cfg Config) (*Server, error) {
 		Directory:    s.dir,
 		Seed:         cfg.Seed,
 		Logf:         cfg.Logf,
+		LinkDelay:    linkDelay,
 		OnClientConn: func(id string, conn net.Conn) {
 			go func() {
 				<-s.ready
@@ -267,10 +297,15 @@ func New(cfg Config) (*Server, error) {
 		for id, a := range cfg.Peers {
 			addrs[id] = a
 		}
+		zones := make(map[string]string, len(cfg.Zones))
+		for id, z := range cfg.Zones {
+			zones[id] = z
+		}
 		s.el = &elastic{
 			cur:   s.ring,
 			mode:  mode,
 			addrs: addrs,
+			zones: zones,
 		}
 		shards := cfg.Shards
 		if shards == 0 {
@@ -295,6 +330,9 @@ func New(cfg Config) (*Server, error) {
 			TransferRate:  cfg.TransferRate,
 			TransferBatch: cfg.TransferBatch,
 			Shards:        shards,
+			Zone:          cfg.Zone,
+			Zones:         cfg.Zones,
+			GeoAsync:      cfg.GeoAsync,
 		}
 		if s.dur != nil {
 			// The sharded persist hook: each execution domain's records
@@ -677,7 +715,7 @@ func (s *Server) handle(req Request, sess *session.Client, sessID string) Respon
 func (s *Server) dispatch(req Request, sess *session.Client, sessID string) Response {
 	switch req.Op {
 	case "status":
-		resp := Response{OK: true, Model: s.cfg.Model}
+		resp := Response{OK: true, Model: s.cfg.Model, Zone: s.cfg.Zone}
 		if s.el != nil {
 			seq, mode, _, _, _ := s.el.snapshot()
 			resp.Epoch, resp.State = seq, mode
@@ -769,12 +807,12 @@ func (s *Server) handleGossip(req Request) Response {
 // client — the key's shard picks the gateway, so disjoint key ranges
 // use disjoint gateway loops. The coordinator is the key's ring owner —
 // requests for a key land on its primary replica, and the client's
-// resilience layer fails over if that node is down.
+// resilience layer fails over if that node is down. An SLA get may
+// instead route to an in-zone replica with a sub-quorum read (see
+// slaRoute); the response reports the tier actually delivered and the
+// node's measured cross-zone staleness at serve time.
 func (s *Server) handleQuorum(req Request) Response {
-	coord := s.curRing().Owner(req.Key)
-	if coord == "" {
-		coord = s.cfg.ID
-	}
+	tier, rOverride, coord, staleMs := s.slaRoute(req)
 	gi := 0
 	if len(s.gwIDs) > 1 {
 		gi = s.qnode.Router().Shard(req.Key)
@@ -792,12 +830,13 @@ func (s *Server) handleQuorum(req Request) Response {
 				done <- putResponse(r.Err)
 			})
 		case "get":
-			gw.Get(env, coord, req.Key, func(r quorum.GetResult) {
+			gw.GetR(env, coord, req.Key, rOverride, func(r quorum.GetResult) {
 				if r.Err != nil {
 					done <- Response{Err: r.Err.Error()}
 					return
 				}
-				resp := Response{OK: true, Found: len(r.Values) > 0, Values: r.Values}
+				resp := Response{OK: true, Found: len(r.Values) > 0, Values: r.Values,
+					Tier: uint8(tier), StaleMs: staleMs}
 				if len(r.Values) > 0 {
 					resp.Value = r.Values[0]
 				}
@@ -808,7 +847,94 @@ func (s *Server) handleQuorum(req Request) Response {
 	if !ok {
 		return Response{Err: "gateway stopped"}
 	}
-	return await(done)
+	resp := await(done)
+	resp.Zone = s.cfg.Zone
+	return resp
+}
+
+// slaRoute resolves a request's SLA tier into a read plan: the tier
+// actually delivered, the per-request read-quorum override (0 keeps the
+// configured R), the coordinator, and the staleness measurement that
+// justified the decision.
+//
+//   - strong (or any write): the key's ring owner coordinates a full
+//     R quorum — unchanged pre-SLA behavior.
+//   - eventual: an in-zone replica of the key coordinates an R=1 read —
+//     local latency, reads may trail remote zones by the replicator lag.
+//   - bounded: the eventual plan while this node's measured staleness
+//     for every remote zone is within the bound; otherwise it escalates
+//     to strong. No measurement yet (boot) counts as over-bound.
+func (s *Server) slaRoute(req Request) (tier geo.Kind, rOverride int, coord string, staleMs int64) {
+	coord = s.curRing().Owner(req.Key)
+	if coord == "" {
+		coord = s.cfg.ID
+	}
+	tier = geo.Kind(req.SLA)
+	if req.Op != "get" || tier == geo.Strong || s.qnode == nil {
+		return geo.Strong, 0, coord, 0
+	}
+	staleMs = s.maxRemoteStaleness()
+	if tier == geo.Bounded {
+		if staleMs < 0 || staleMs > req.BoundMs {
+			return geo.Strong, 0, coord, staleMs
+		}
+		tier = geo.Eventual
+	}
+	return tier, 1, s.localCoordinator(req.Key), staleMs
+}
+
+// maxRemoteStaleness reports the worst measured replication staleness
+// across this node's remote zones, in milliseconds. 0 when the cluster
+// is unzoned (nothing is remote); -1 when some remote zone has no
+// measurement yet — the conservative answer while beacons warm up.
+func (s *Server) maxRemoteStaleness() int64 {
+	remote := false
+	for _, z := range s.cfg.Zones {
+		if z != s.cfg.Zone {
+			remote = true
+			break
+		}
+	}
+	if !remote {
+		return 0
+	}
+	st := s.qnode.GeoStaleness()
+	var max int64
+	for _, z := range s.cfg.Zones {
+		if z == s.cfg.Zone {
+			continue
+		}
+		ms, ok := st[z]
+		if !ok {
+			return -1
+		}
+		if ms > max {
+			max = ms
+		}
+	}
+	return max
+}
+
+// localCoordinator picks the replica that should coordinate an
+// eventual-tier read of key: this node if it is a replica, else the
+// first same-zone replica, else the key's owner — the read stays inside
+// the client's zone whenever the zone holds a replica.
+func (s *Server) localCoordinator(key string) string {
+	prefs := s.qnode.PreferenceList(key)
+	for _, p := range prefs {
+		if p == s.cfg.ID {
+			return p
+		}
+	}
+	for _, p := range prefs {
+		if s.cfg.Zones[p] == s.cfg.Zone {
+			return p
+		}
+	}
+	if len(prefs) > 0 {
+		return prefs[0]
+	}
+	return s.cfg.ID
 }
 
 func putResponse(err error) Response {

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// SLAClient is the Pileus-style consistency-SLA picker running over
+// real connections: it holds a pipelined Client per node, feeds every
+// request's measured round trip and the server's reported replication
+// staleness back into a geo.Picker, and routes each read to the node
+// and sub-SLA expected to maximize delivered utility. Reads are scored
+// against the SLA (geo.Score), so a workload can report the utility it
+// actually obtained per tier. Not safe for concurrent use; run one per
+// client goroutine (the underlying connections pipeline regardless).
+type SLAClient struct {
+	sla    geo.SLA
+	picker *geo.Picker
+	nodes  []string
+	conns  map[string]*Client
+}
+
+// DialSLA connects to every node in peers and returns an SLA client in
+// localZone (zones maps node id -> zone; reads at weak tiers prefer
+// in-zone nodes). id names the client in handshakes.
+func DialSLA(peers, zones map[string]string, localZone, id string, sla geo.SLA) (*SLAClient, error) {
+	if len(sla) == 0 {
+		return nil, fmt.Errorf("server: empty SLA")
+	}
+	c := &SLAClient{
+		sla:    sla,
+		picker: geo.NewPicker(localZone, zones),
+		conns:  make(map[string]*Client, len(peers)),
+	}
+	for node := range peers {
+		c.nodes = append(c.nodes, node)
+	}
+	sort.Strings(c.nodes)
+	for _, node := range c.nodes {
+		cl, err := Dial(peers[node], id+"-"+node)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.conns[node] = cl
+	}
+	return c, nil
+}
+
+// Close closes every connection.
+func (c *SLAClient) Close() {
+	for _, cl := range c.conns {
+		cl.Close()
+	}
+}
+
+// SLARead is one scored read: which node served it, at which tier, how
+// long it took, and the utility the SLA awards that combination
+// (0 when no sub-SLA was met).
+type SLARead struct {
+	Value   []byte
+	Found   bool
+	Node    string
+	Tier    geo.Kind // tier the server delivered
+	Latency time.Duration
+	StaleMs int64
+	SubSLA  int // index of the sub-SLA the read was issued for
+	Utility float64
+}
+
+// Get routes one read: the picker chooses the (node, sub-SLA) pair
+// expected to maximize utility, the read runs at that sub-SLA's tier,
+// and the observed round trip and reported staleness feed back into
+// the picker for the next request.
+func (c *SLAClient) Get(key string) (SLARead, error) {
+	node, idx := c.picker.Pick(c.sla, c.nodes)
+	if node == "" {
+		return SLARead{}, fmt.Errorf("server: no node to read from")
+	}
+	tier := c.sla[idx].Tier
+	start := time.Now()
+	v, found, delivered, staleMs, err := c.conns[node].GetSLA(key, tier)
+	lat := time.Since(start)
+	if err != nil {
+		return SLARead{Node: node}, err
+	}
+	c.picker.ObserveRTT(node, lat)
+	if staleMs >= 0 {
+		c.picker.ObserveStaleness(node, staleMs)
+	}
+	r := SLARead{
+		Value: v, Found: found, Node: node, Tier: delivered,
+		Latency: lat, StaleMs: staleMs, SubSLA: idx,
+	}
+	_, r.Utility = geo.Score(c.sla, lat, delivered, staleMs)
+	return r, nil
+}
+
+// Put writes through the first node (writes are tier-less: they always
+// ack on the coordinator's sub-quorum policy, not a per-request SLA).
+func (c *SLAClient) Put(key string, value []byte) error {
+	return c.conns[c.nodes[0]].Put(key, value)
+}

@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// Zone latency classes: a cross-zone round trip must pay the injected
+// delay while an intra-zone one stays near-instant.
+func TestLoopbackZoneLatency(t *testing.T) {
+	l := NewLoopback(LoopbackConfig{Seed: 4})
+	defer l.Close()
+	a, b, c := &echoNode{}, &echoNode{}, &echoNode{}
+	l.AddNode("a", a)
+	l.AddNode("b", b)
+	l.AddNode("c", c)
+	l.SetZoneLatency(map[string]string{"a": "us", "b": "us", "c": "eu"}, 0, 25*time.Millisecond)
+
+	intra := time.Now()
+	l.Invoke("a", func(env Env) { env.Send("b", echoMsg{N: 1}) })
+	waitFor(t, time.Second, func() bool { return len(a.received()) == 1 }, "intra-zone reply")
+	if d := time.Since(intra); d > 20*time.Millisecond {
+		t.Fatalf("intra-zone round trip took %v, want near-instant", d)
+	}
+
+	cross := time.Now()
+	l.Invoke("a", func(env Env) { env.Send("c", echoMsg{N: 2}) })
+	waitFor(t, time.Second, func() bool { return len(a.received()) == 2 }, "cross-zone reply")
+	if d := time.Since(cross); d < 50*time.Millisecond {
+		t.Fatalf("cross-zone round trip took %v, want >= 2x25ms", d)
+	}
+}
+
+// Per-link overrides beat zone classes, and gateway ids ("a#gw0")
+// inherit their node's zone.
+func TestLoopbackLinkLatencyOverride(t *testing.T) {
+	l := NewLoopback(LoopbackConfig{Seed: 5})
+	defer l.Close()
+	a, c := &echoNode{}, &echoNode{}
+	l.AddNode("a", a)
+	l.AddNode("c", c)
+	l.SetZoneLatency(map[string]string{"a": "us", "c": "eu"}, 0, 40*time.Millisecond)
+	l.SetLinkLatency("a", "c", 0)
+	l.SetLinkLatency("c", "a", 0)
+
+	start := time.Now()
+	l.Invoke("a", func(env Env) { env.Send("c", echoMsg{N: 1}) })
+	waitFor(t, time.Second, func() bool { return len(a.received()) == 1 }, "override reply")
+	if d := time.Since(start); d > 30*time.Millisecond {
+		t.Fatalf("overridden link still delayed: %v", d)
+	}
+
+	if z := zoneKey("a#gw0"); z != "a" {
+		t.Fatalf("zoneKey(a#gw0) = %q", z)
+	}
+}
+
+// With no latency configured the delay hook must return zero so
+// delivery stays direct and per-pair ordering is untouched — the
+// conformance suite's seeds depend on it.
+func TestLoopbackNoLatencyStaysOrdered(t *testing.T) {
+	l := NewLoopback(LoopbackConfig{Seed: 6})
+	defer l.Close()
+	if d := l.linkDelay("a", "b"); d != 0 {
+		t.Fatalf("unconfigured linkDelay = %v, want 0", d)
+	}
+	a, b := &echoNode{}, &echoNode{}
+	l.AddNode("a", a)
+	l.AddNode("b", b)
+	const n = 200
+	for i := 0; i < n; i++ {
+		i := i
+		l.Invoke("a", func(env Env) { env.Send("b", echoMsg{N: i}) })
+	}
+	waitFor(t, 2*time.Second, func() bool { return len(a.received()) == n }, "all replies")
+	for i, v := range a.received() {
+		if v != i {
+			t.Fatalf("reply %d = %d; ordering violated with idle delay hook", i, v)
+		}
+	}
+}

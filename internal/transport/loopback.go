@@ -25,6 +25,10 @@ type Loopback struct {
 	rng     *rand.Rand
 	latLo   time.Duration
 	latHi   time.Duration
+	links   map[[2]string]time.Duration // per-link one-way delay overrides
+	zoneOf  map[string]string           // node -> zone for class-based delay
+	intra   time.Duration               // same-zone one-way delay
+	cross   time.Duration               // cross-zone one-way delay
 }
 
 // LoopbackConfig shapes a loopback cluster.
@@ -48,9 +52,11 @@ func NewLoopback(cfg LoopbackConfig) *Loopback {
 		latHi:   cfg.MaxLatency,
 	}
 	l.Runtime.cut = l.cutLink
-	if l.latHi > 0 {
-		l.Runtime.delay = l.linkDelay
-	}
+	// Installed unconditionally: Runtime.send only defers delivery when
+	// the hook returns d > 0, so an unconfigured link still dispatches
+	// directly in send order — conformance seeds see identical
+	// interleavings whether or not the hook is present.
+	l.Runtime.delay = l.linkDelay
 	return l
 }
 
@@ -68,13 +74,77 @@ func (l *Loopback) cutLink(from, to string) bool {
 	return l.loss > 0 && l.rng.Float64() < l.loss
 }
 
-func (l *Loopback) linkDelay(_, _ string) time.Duration {
+// linkDelay resolves the artificial one-way latency for a send, most
+// specific first: an explicit per-link override, then the endpoints'
+// zone class (intra- vs cross-zone), then the uniform jitter range.
+// Zero means direct in-order dispatch.
+func (l *Loopback) linkDelay(from, to string) time.Duration {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if len(l.links) != 0 {
+		if d, ok := l.links[[2]string{from, to}]; ok {
+			return d
+		}
+	}
+	if l.zoneOf != nil {
+		if l.zoneOf[zoneKey(from)] == l.zoneOf[zoneKey(to)] {
+			return l.intra
+		}
+		return l.cross
+	}
 	if l.latHi <= l.latLo {
 		return l.latLo
 	}
 	return l.latLo + time.Duration(l.rng.Int63n(int64(l.latHi-l.latLo)))
+}
+
+// zoneKey maps a node id to the id that carries its zone: gateway and
+// client actors ("node1#gw0") ride their storage node's zone.
+func zoneKey(id string) string {
+	for i := 0; i < len(id); i++ {
+		if id[i] == '#' {
+			return id[:i]
+		}
+	}
+	return id
+}
+
+// SetLinkLatency pins a one-way artificial delay on the directed link
+// from -> to, overriding zone classes and the uniform range. A zero d
+// makes the link instant; clear with ClearLinkLatency.
+func (l *Loopback) SetLinkLatency(from, to string, d time.Duration) {
+	l.mu.Lock()
+	if l.links == nil {
+		l.links = make(map[[2]string]time.Duration)
+	}
+	l.links[[2]string{from, to}] = d
+	l.mu.Unlock()
+}
+
+// ClearLinkLatency removes the per-link override for from -> to.
+func (l *Loopback) ClearLinkLatency(from, to string) {
+	l.mu.Lock()
+	delete(l.links, [2]string{from, to})
+	l.mu.Unlock()
+}
+
+// SetZoneLatency declares latency classes over a node -> zone map:
+// sends between same-zone nodes take intra one way, cross-zone sends
+// take cross. Gateway ids ("node#gwN") inherit their node's zone; ids
+// absent from zones share the empty zone. Passing a nil map reverts to
+// the uniform jitter range.
+func (l *Loopback) SetZoneLatency(zones map[string]string, intra, cross time.Duration) {
+	l.mu.Lock()
+	if zones == nil {
+		l.zoneOf = nil
+	} else {
+		l.zoneOf = make(map[string]string, len(zones))
+		for id, z := range zones {
+			l.zoneOf[id] = z
+		}
+	}
+	l.intra, l.cross = intra, cross
+	l.mu.Unlock()
 }
 
 // Partition splits the cluster into groups: sends between different

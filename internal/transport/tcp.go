@@ -39,6 +39,13 @@ type TCPConfig struct {
 	Seed int64
 	// Logf, when set, receives connection lifecycle diagnostics.
 	Logf func(format string, args ...any)
+	// LinkDelay, when set, returns an artificial delay injected before
+	// every frame written to the named peer — cross-zone RTT emulation
+	// for single-host multi-zone clusters (`ecctl up --zones ...
+	// --xzone-delay`). Heartbeats ride the same per-peer queue, so the
+	// failure detector's measured RTTs reflect the delay, which is what
+	// lets the SLA machinery observe realistic latency classes locally.
+	LinkDelay func(peer string) time.Duration
 }
 
 // TCP is the real transport: a Runtime whose non-local sends travel as
@@ -547,8 +554,30 @@ func (p *tcpPeer) writeBatch(conn net.Conn, buf []byte, envs []Envelope) ([]byte
 	return buf, nil
 }
 
+// errPeerClosing breaks a writer loop whose injected link delay was
+// interrupted by peer shutdown.
+var errPeerClosing = errors.New("transport: peer closing")
+
+// linkDelay parks the writer for the configured artificial link delay
+// (zero-cost when none is configured). Delaying the ordered writer
+// queue — rather than each read — models a slow link: every frame,
+// heartbeats included, pays it.
+func (p *tcpPeer) linkDelay() error {
+	if f := p.t.cfg.LinkDelay; f != nil {
+		if d := f(p.id); d > 0 {
+			if !p.sleep(d) {
+				return errPeerClosing
+			}
+		}
+	}
+	return nil
+}
+
 // writeRaw writes one already-framed buffer carrying n envelopes.
 func (p *tcpPeer) writeRaw(conn net.Conn, frame []byte, n int) error {
+	if err := p.linkDelay(); err != nil {
+		return err
+	}
 	conn.SetWriteDeadline(time.Now().Add(p.t.policy.RetryTimeout * 2))
 	wn, err := conn.Write(frame)
 	if err == nil {
@@ -563,6 +592,9 @@ func (p *tcpPeer) writeRaw(conn net.Conn, frame []byte, n int) error {
 }
 
 func (p *tcpPeer) writeFrame(conn net.Conn, e Envelope) error {
+	if err := p.linkDelay(); err != nil {
+		return err
+	}
 	conn.SetWriteDeadline(time.Now().Add(p.t.policy.RetryTimeout * 2))
 	n, err := WriteFrame(conn, e)
 	if err == nil {
